@@ -1,0 +1,24 @@
+"""Ablation: long-run churn stability (beyond the paper's single step).
+
+Wraps :func:`repro.bench.ablations.ablation_churn`; measures the
+first-passage saturation effect the Eq. 11 snapshot bound does not
+cover.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.ablations import ablation_churn
+
+
+def test_ablation_churn(benchmark, scale, capsys):
+    report = run_once(benchmark, ablation_churn, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    rows = {r["structure"]: r for r in report.rows}
+    cbf = rows.pop("CBF")
+    assert cbf["fpr_final"] <= cbf["fpr_epoch0"] + 0.01  # no rot
+    tight = next(r for name, r in rows.items() if "tight" in name)
+    safe = next(r for name, r in rows.items() if "safe" in name)
+    assert tight["saturated_words"] >= safe["saturated_words"]

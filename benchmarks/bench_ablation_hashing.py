@@ -1,0 +1,59 @@
+"""Ablation: independent hashing vs Kirsch–Mitzenmacher double hashing.
+
+Related work [22] (cited in §II.B) shows two hash functions linearly
+combined preserve the Bloom filter's asymptotic FPR while halving the
+hashing work.  The flat filters here support both modes; this bench
+verifies the FPR parity empirically and benchmarks the hashing
+throughput difference — the practical justification for the paper's
+concern with hash-computation counts in Fig. 8.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filters.bloom import BloomFilter
+from repro.hashing.families import HashFamily
+
+_N = 20_000
+_M = 1 << 18
+_K = 5
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(3)
+    members = rng.integers(1, 2**62, size=_N).astype(np.uint64)
+    negatives = (
+        rng.integers(1, 2**62, size=200_000).astype(np.uint64)
+        | np.uint64(1 << 63)
+    )
+    return members, negatives
+
+
+def test_fpr_parity(benchmark, data, capsys):
+    members, negatives = data
+    fprs = {}
+
+    def run():
+        for mode in ("independent", "double"):
+            bf = BloomFilter(_M, _K, seed=1)
+            bf.family = HashFamily(_M, _K, seed=1, mode=mode)
+            bf.insert_many(members)
+            fprs[mode] = float(bf.query_many(negatives).mean())
+        return fprs
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    with capsys.disabled():
+        print(f"\nablation-hashing FPR: {fprs}")
+    assert fprs["double"] == pytest.approx(fprs["independent"], rel=0.35)
+
+
+@pytest.mark.parametrize("mode", ["independent", "double"])
+def test_index_throughput(benchmark, mode, data):
+    members, _ = data
+    benchmark.group = "hash-family-throughput"
+    fam = HashFamily(_M, _K, seed=1, mode=mode)
+    out = benchmark(fam.indices_array, members)
+    assert out.shape == (_N, _K)

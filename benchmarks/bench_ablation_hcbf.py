@@ -1,0 +1,20 @@
+"""Ablation: basic HCBF (fixed b1) vs improved HCBF (maximised b1).
+
+Wraps :func:`repro.bench.ablations.ablation_hcbf_layout`; see that
+driver for the full rationale (§III.B.3's improvement is the design
+choice that gives MPCBF its accuracy edge).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.ablations import ablation_hcbf_layout
+
+
+def test_ablation_hcbf(benchmark, scale, capsys):
+    report = run_once(benchmark, ablation_hcbf_layout, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    for row in report.rows:
+        assert row["improved"] <= row["basic b1=32"] * 1.1

@@ -1,0 +1,21 @@
+"""Ablation: Eq. 11 safe n_max vs average-case sizing + saturate.
+
+Wraps :func:`repro.bench.ablations.ablation_sizing`; quantifies the
+FPR/saturation trade behind Table IV's insert-only sizing.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.ablations import ablation_sizing
+
+
+def test_ablation_sizing(benchmark, scale, capsys):
+    report = run_once(benchmark, ablation_sizing, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    tight = report.rows[0]
+    # At ~10 bits/key the average-case layout must beat the safe one.
+    if tight["safe fpr"] == tight["safe fpr"]:  # not NaN
+        assert tight["average fpr"] < tight["safe fpr"]

@@ -1,0 +1,25 @@
+"""Bank-level traffic simulation (beyond the paper).
+
+Wraps :func:`repro.bench.ablations.banked_traffic`: derives every SRAM
+request's bank from the filters' own hashing over uniform and
+elephant-flow streams, exposing the skew sensitivity the paper's
+uniform access model cannot show.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.ablations import banked_traffic
+
+
+def test_banked_traffic(benchmark, scale, capsys):
+    report = run_once(benchmark, banked_traffic, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    rows = {r["traffic"]: r for r in report.rows}
+    # Skew concentrates MPCBF's requests: hot-bank share must climb.
+    assert rows["hot 90%"]["MPCBF-1 hot-bank"] > rows["uniform"]["MPCBF-1 hot-bank"]
+    # And throughput must fall for both designs under heavy skew.
+    for name in ("MPCBF-1", "CBF"):
+        assert rows["hot 90%"][f"{name} Mops"] < rows["uniform"][f"{name} Mops"]

@@ -1,0 +1,19 @@
+"""Fig. 2 — analytic FPR of CBF vs PCBF-1/PCBF-2 across word sizes.
+
+Regenerates the rows of the paper's fig02 via
+:func:`repro.bench.experiments.fig02` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_fig02(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.fig02, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

@@ -1,0 +1,19 @@
+"""Fig. 5 — analytic FPR of CBF vs MPCBF-1/MPCBF-2 (k=3).
+
+Regenerates the rows of the paper's fig05 via
+:func:`repro.bench.experiments.fig05` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_fig05(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.fig05, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

@@ -1,0 +1,19 @@
+"""Fig. 6 — MPCBF-1 word-overflow probability vs n_max.
+
+Regenerates the rows of the paper's fig06 via
+:func:`repro.bench.experiments.fig06` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_fig06(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.fig06, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

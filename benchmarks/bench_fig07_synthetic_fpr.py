@@ -1,0 +1,19 @@
+"""Fig. 7 — empirical FPR on synthetic data, k=3 and k=4.
+
+Regenerates the rows of the paper's fig07 via
+:func:`repro.bench.experiments.fig07` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_fig07(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.fig07, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

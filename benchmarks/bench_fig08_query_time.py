@@ -1,0 +1,48 @@
+"""Fig. 8 — execution time of the bulk query set, k=3.
+
+Unlike the other figure targets this one is a true micro-benchmark:
+pytest-benchmark times ``query_many`` over the full query set for each
+variant at the middle memory point, giving the per-variant query
+throughput that Fig. 8 plots (the paper's y-axis is seconds for 1M
+queries on an E6300; ours is seconds for the scale's query count on
+this machine — the *ordering* is the reproduced shape).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filters import build_suite
+from repro.workloads.synthetic import make_synthetic_workload
+
+_VARIANTS = ["CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2"]
+_STATE: dict = {}
+
+
+def _setup(scale):
+    if "queries" not in _STATE:
+        workload = make_synthetic_workload(
+            n_members=scale.synth_members,
+            n_queries=scale.synth_queries,
+            seed=0,
+        )
+        memory = scale.synth_memories[len(scale.synth_memories) // 2]
+        suite = build_suite(
+            _VARIANTS, memory, 3, capacity=scale.synth_members, seed=0
+        )
+        for filt in suite.values():
+            filt.insert_many(workload.members)
+        _STATE["queries"] = workload.encoded_queries()
+        _STATE["suite"] = suite
+    return _STATE["suite"], _STATE["queries"]
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_fig08_query_time(benchmark, scale, variant):
+    suite, queries = _setup(scale)
+    filt = suite[variant]
+    benchmark.group = "fig8-bulk-query"
+    benchmark.extra_info["variant"] = variant
+    benchmark.extra_info["queries"] = len(queries)
+    result = benchmark(filt.query_many, queries)
+    assert len(result) == len(queries)

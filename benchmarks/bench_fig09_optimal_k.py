@@ -1,0 +1,19 @@
+"""Fig. 9 — optimal k vs memory.
+
+Regenerates the rows of the paper's fig09 via
+:func:`repro.bench.experiments.fig09` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_fig09(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.fig09, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

@@ -1,0 +1,19 @@
+"""Fig. 10 — FPR at optimal k.
+
+Regenerates the rows of the paper's fig10 via
+:func:`repro.bench.experiments.fig10` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_fig10(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.fig10, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

@@ -1,0 +1,19 @@
+"""Fig. 12 — FPR on IP traces, k=3.
+
+Regenerates the rows of the paper's fig12 via
+:func:`repro.bench.experiments.fig12` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_fig12(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.fig12, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

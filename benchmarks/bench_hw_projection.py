@@ -1,0 +1,20 @@
+"""Hardware throughput projection (the paper's architectural claim).
+
+Wraps :func:`repro.bench.ablations.hw_projection`; feeds *measured*
+access/hash counts into the banked-SRAM pipeline model and checks the
+MPCBF-1 speedup over CBF that Fig. 8's software timing cannot show.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench.ablations import hw_projection
+
+
+def test_hw_projection(benchmark, scale, capsys):
+    report = run_once(benchmark, hw_projection, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    rows = {r["structure"]: r for r in report.rows}
+    assert rows["MPCBF-1"]["mops_per_s"] > 1.9 * rows["CBF"]["mops_per_s"]

@@ -1,0 +1,94 @@
+"""Micro-benchmarks: per-variant insert / query / delete throughput.
+
+Not a paper figure — engineering benchmarks guarding the bulk fast
+paths (the NumPy mirror gather, ``np.add.at`` counter updates, and the
+scalar HCBF hierarchy walk) against regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filters import build_suite
+
+_MEMORY = 1 << 21
+_N = 20_000
+_VARIANTS = ["CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2"]
+
+
+@pytest.fixture(scope="module")
+def keys():
+    rng = np.random.default_rng(0)
+    return rng.integers(1, 2**63, size=_N).astype(np.uint64)
+
+
+@pytest.fixture(scope="module")
+def probe_keys():
+    rng = np.random.default_rng(1)
+    return rng.integers(1, 2**63, size=_N).astype(np.uint64) | np.uint64(1 << 63)
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_bulk_insert(benchmark, variant, keys):
+    benchmark.group = "bulk-insert"
+
+    def build_and_fill():
+        suite = build_suite([variant], _MEMORY, 3, capacity=_N, seed=0)
+        suite[variant].insert_many(keys)
+        return suite[variant]
+
+    filt = benchmark(build_and_fill)
+    assert filt.query_encoded(int(keys[0]))
+
+
+@pytest.mark.parametrize("variant", _VARIANTS)
+def test_bulk_query(benchmark, variant, keys, probe_keys):
+    benchmark.group = "bulk-query"
+    suite = build_suite([variant], _MEMORY, 3, capacity=_N, seed=0)
+    filt = suite[variant]
+    filt.insert_many(keys)
+    result = benchmark(filt.query_many, probe_keys)
+    assert len(result) == _N
+
+
+@pytest.mark.parametrize("variant", ["CBF", "PCBF-1", "MPCBF-1"])
+def test_scalar_query(benchmark, variant, keys):
+    benchmark.group = "scalar-query"
+    suite = build_suite([variant], _MEMORY, 3, capacity=_N, seed=0)
+    filt = suite[variant]
+    filt.insert_many(keys)
+    key = int(keys[123])
+    assert benchmark(filt.query_encoded, key)
+
+
+@pytest.mark.parametrize("variant", ["CBF", "PCBF-1", "MPCBF-1", "MPCBF-2"])
+def test_bulk_delete(benchmark, variant, keys):
+    benchmark.group = "bulk-delete"
+
+    def cycle():
+        suite = build_suite([variant], _MEMORY, 3, capacity=_N, seed=0)
+        filt = suite[variant]
+        filt.insert_many(keys)
+        filt.delete_many(keys)
+        return filt
+
+    filt = benchmark(cycle)
+    assert not filt.query_encoded(int(keys[0]))
+
+
+def test_hcbf_word_insert_delete(benchmark):
+    """Hot loop of the scalar path: one hierarchy insert+delete."""
+    from repro.filters.hcbf_word import HCBFWord
+
+    benchmark.group = "hcbf-word"
+    word = HCBFWord(64, 40)
+    for pos in (1, 5, 9, 13):
+        word.insert_bit(pos)
+
+    def cycle():
+        word.insert_bit(5)
+        word.delete_bit(5)
+
+    benchmark(cycle)
+    word.check_invariants()

@@ -1,0 +1,19 @@
+"""Table I — query overhead, k=3/4.
+
+Regenerates the rows of the paper's table1 via
+:func:`repro.bench.experiments.table1` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_table1(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.table1, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

@@ -1,0 +1,19 @@
+"""Table II — update overhead, k=3/4.
+
+Regenerates the rows of the paper's table2 via
+:func:`repro.bench.experiments.table2` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_table2(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.table2, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

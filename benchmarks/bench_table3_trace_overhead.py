@@ -1,0 +1,19 @@
+"""Table III — processing overhead on IP traces.
+
+Regenerates the rows of the paper's table3 via
+:func:`repro.bench.experiments.table3` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_table3(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.table3, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

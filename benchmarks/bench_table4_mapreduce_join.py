@@ -1,0 +1,19 @@
+"""Table IV — MapReduce reduce-side join.
+
+Regenerates the rows of the paper's table4 via
+:func:`repro.bench.experiments.table4` and prints them.  See
+EXPERIMENTS.md for the paper-vs-measured comparison.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.bench import experiments
+
+
+def test_table4(benchmark, scale, capsys):
+    report = run_once(benchmark, experiments.table4, scale)
+    with capsys.disabled():
+        print()
+        print(report.render())
+    assert report.rows

@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark targets.
+
+Every ``bench_*`` file regenerates one table/figure of the paper via
+the drivers in :mod:`repro.bench.experiments`, printing the rows the
+paper reports.  Heavy experiment drivers run exactly once per session
+(``benchmark.pedantic(rounds=1)``); micro-benchmarks (bench_ops) use
+normal pytest-benchmark timing.
+
+Scale: set ``REPRO_SCALE=paper`` for the paper's exact dataset sizes
+(default ``ci`` divides sizes ~10x with identical ratios).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scale import current_scale
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment driver exactly once under the benchmark timer."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Firewall ACL classification with tuple-space search (paper ref [9]).
+
+Builds a 2,000-rule ACL over (source-prefix, destination-prefix)
+tuples, fronts every tuple's exact table with an MPCBF, classifies a
+packet stream, then applies a batch of ACL updates (rule removals) to
+show counting filters keeping the fast path clean — the
+packet-classification scenario the paper's introduction motivates.
+
+Run:  python examples/acl_classifier.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.apps.classifier import Rule, TupleSpaceClassifier
+from repro.errors import ConfigurationError
+from repro.filters.mpcbf import MPCBF
+
+
+def main() -> None:
+    rng = np.random.default_rng(9)
+
+    def filter_factory(tuple_key):
+        return MPCBF(
+            512, 64, 3, capacity=1500, seed=hash(tuple_key) & 0xFFFF,
+            word_overflow="saturate",
+        )
+
+    clf = TupleSpaceClassifier(filter_factory)
+    rules: list[Rule] = []
+    actions = ["allow", "drop", "log", "rate-limit"]
+    while len(rules) < 2000:
+        src_len = int(rng.choice([8, 16, 24]))
+        dst_len = int(rng.choice([0, 8, 16]))
+        rule = Rule(
+            int(rng.integers(0, 1 << src_len)),
+            src_len,
+            int(rng.integers(0, 1 << dst_len)) if dst_len else 0,
+            dst_len,
+            actions[len(rules) % 4],
+            priority=len(rules),
+        )
+        try:
+            clf.add_rule(rule)
+        except ConfigurationError:
+            continue
+        rules.append(rule)
+    print(
+        f"installed {clf.num_rules} rules across {clf.num_tuples} tuples "
+        f"({sum(f.total_bits for f in clf.filters.values()) // 8192} KiB on-chip)"
+    )
+
+    # Packet stream: half covered by rules, half random.
+    packets = []
+    for rule in (rules[i] for i in rng.integers(0, len(rules), size=5000)):
+        src = (rule.src << (32 - rule.src_len)) if rule.src_len else 1
+        dst = (rule.dst << (32 - rule.dst_len)) if rule.dst_len else 2
+        packets.append((src, dst))
+    packets += [
+        (int(s), int(d))
+        for s, d in zip(
+            rng.integers(0, 1 << 32, size=5000),
+            rng.integers(0, 1 << 32, size=5000),
+        )
+    ]
+
+    t0 = time.perf_counter()
+    matched = sum(clf.classify(s, d).matched for s, d in packets)
+    elapsed = time.perf_counter() - t0
+    print(
+        f"classified {len(packets)} packets in {elapsed:.2f}s "
+        f"({len(packets) / elapsed / 1e3:.0f} Kpkt/s), matched {matched}; "
+        f"exact-table probes/packet = {clf.exact_probes / len(packets):.2f} "
+        f"(of {clf.num_tuples} tuples)"
+    )
+
+    # ACL update: remove a quarter of the rules, then verify cleanliness.
+    removed = rules[:: 4]
+    for rule in removed:
+        clf.remove_rule(rule)
+    clf.exact_probes = clf.false_probes = 0
+    for rule in removed[:500]:
+        src = (rule.src << (32 - rule.src_len)) if rule.src_len else 1
+        dst = (rule.dst << (32 - rule.dst_len)) if rule.dst_len else 2
+        clf.classify(src, dst)
+    print(
+        f"after removing {len(removed)} rules: wasted probes on their "
+        f"packets = {clf.false_probes} (counting filters decrement cleanly; "
+        f"a plain Bloom front-end would leak a probe per packet here)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Capacity planning with the analytic models (§III's equations).
+
+Given a target element count and a false-positive budget, sweep the
+design space — memory, k, g, word size — with the closed forms of
+:mod:`repro.analysis` and print the cheapest MPCBF configuration, its
+overflow risk (Eq. 6), and how much memory the standard CBF would need
+for the same accuracy.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import (
+    cbf_fpr,
+    mpcbf_fpr,
+    mpcbf_optimal_k,
+    n_max_heuristic,
+    improved_b1,
+)
+from repro.analysis.overflow import any_word_overflow_probability
+from repro.analysis.saturation import expected_epochs_to_saturation
+
+
+def plan(n: int, target_fpr: float, word_bits: int = 64) -> None:
+    print(f"\nplanning for n={n:,} elements, target FPR <= {target_fpr:.0e}:")
+    print(f"{'g':>2} {'k*':>3} {'bits/elem':>10} {'memory':>9} {'b1':>4} "
+          f"{'fpr':>10} {'P(overflow)':>12}")
+    best = {}
+    for g in (1, 2, 3):
+        for bits_per_elem in range(16, 200, 4):
+            memory = n * bits_per_elem
+            try:
+                k_opt, fpr = mpcbf_optimal_k(memory, n, word_bits, g=g)
+            except Exception:
+                continue
+            if fpr <= target_fpr:
+                l = memory // word_bits
+                n_max = n_max_heuristic(n, l, g=g)
+                b1 = improved_b1(word_bits, k_opt, n_max, g=g)
+                p_of = any_word_overflow_probability(n, l, n_max, g=g)
+                print(
+                    f"{g:>2} {k_opt:>3} {bits_per_elem:>10} "
+                    f"{memory // 8 // 1024:>7}KB {b1:>4} {fpr:>10.2e} "
+                    f"{p_of:>12.2e}"
+                )
+                best[g] = (bits_per_elem, k_opt, fpr)
+                break
+
+    # What would the standard CBF need?
+    for bits_per_elem in range(16, 600, 4):
+        memory = n * bits_per_elem
+        from repro.analysis import cbf_optimal_k
+
+        k = cbf_optimal_k(memory, n)
+        if cbf_fpr(n, memory, k) <= target_fpr:
+            print(
+                f"(standard CBF needs {bits_per_elem} bits/elem with k={k} "
+                f"= {k} memory accesses per query)"
+            )
+            break
+
+    if best:
+        g, (bpe, k, fpr) = min(best.items(), key=lambda kv: kv[1][0])
+        print(
+            f"=> cheapest: MPCBF-{g} at {bpe} bits/elem, k={k} "
+            f"({g} memory access{'es' if g > 1 else ''}/query, fpr {fpr:.1e})"
+        )
+        # Lifetime under churn: how many 20%-churn epochs before the
+        # first word saturates (first-passage model, docs/hcbf.md).
+        if g == 1 and n <= 200_000:
+            l = (n * bpe) // word_bits
+            lifetime = expected_epochs_to_saturation(
+                n, l, n_max_heuristic(n, l), 0.2, horizon=300
+            )
+            shown = f"{lifetime:.0f}" if lifetime != float("inf") else ">300"
+            print(
+                f"   churn lifetime (median epochs to first word "
+                f"saturation at 20%/epoch): {shown}"
+            )
+
+
+def main() -> None:
+    print("MPCBF capacity planner (closed-form, Eq. 1-11)")
+    plan(n=100_000, target_fpr=1e-3)
+    plan(n=100_000, target_fpr=1e-4)
+    plan(n=1_000_000, target_fpr=1e-5)
+
+
+if __name__ == "__main__":
+    main()

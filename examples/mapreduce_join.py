@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Bloom-filtered reduce-side join in MapReduce (the paper's §V).
+
+Joins an NBER-shaped citation relation against a patent key set on the
+bundled mini MapReduce engine, three ways: unfiltered, CBF-filtered,
+and MPCBF-filtered.  The filter is broadcast to map tasks via
+DistributedCache and prunes non-joining records *before* the shuffle —
+the map-output and execution-time reductions of Table IV.
+
+Run:  python examples/mapreduce_join.py
+"""
+
+from __future__ import annotations
+
+from repro import CountingBloomFilter, MPCBF
+from repro.mapreduce import LocalMapReduceEngine, reduce_side_join
+from repro.workloads import make_patent_dataset
+
+
+def main() -> None:
+    print("generating NBER-shaped citation data...")
+    dataset = make_patent_dataset(
+        n_keys=5_000, n_citations=100_000, hit_fraction=0.35, seed=11
+    )
+    print(
+        f"  {len(dataset.patents)} patents (join keys), "
+        f"{len(dataset.citations)} citations, "
+        f"hit ratio {dataset.hit_ratio:.1%}"
+    )
+
+    engine = LocalMapReduceEngine(num_map_tasks=6, num_reduce_tasks=3)
+    memory_bits = len(dataset.patents) * 10  # tight, like the paper
+    num_words = memory_bits // 64
+
+    filters = {
+        "none": None,
+        "CBF": CountingBloomFilter(memory_bits // 4, 3, seed=1),
+        # Insert-only workload: average-case n_max sizing + saturate
+        # maximises the first level (see DESIGN.md).
+        "MPCBF-1": MPCBF(
+            num_words,
+            64,
+            3,
+            n_max=max(1, round(len(dataset.patents) / num_words)),
+            seed=1,
+            word_overflow="saturate",
+        ),
+    }
+
+    print(f"\nreduce-side join with {memory_bits // 1000} Kb filters:")
+    header = (
+        f"{'filter':8} {'fpr':>8} {'map outputs':>12} {'shuffle KB':>11} "
+        f"{'modelled s':>11} {'joined':>8}"
+    )
+    print(header)
+    baseline_rows = None
+    for name, filt in filters.items():
+        report = reduce_side_join(dataset, filt, engine=engine)
+        if baseline_rows is None:
+            baseline_rows = report.joined_rows
+        assert report.joined_rows == baseline_rows, "filtering lost join rows!"
+        fpr = f"{report.filter_fpr:.1%}" if filt is not None else "-"
+        print(
+            f"{name:8} {fpr:>8} {report.map_output_records:12d} "
+            f"{report.shuffle_bytes / 1024:11.0f} "
+            f"{report.modelled_seconds:11.3f} {report.joined_rows:8d}"
+        )
+
+    print(
+        "\nevery variant produced the identical join result (Bloom filters"
+        "\nnever drop true matches); the filtered jobs shuffled far fewer"
+        "\nrecords, and MPCBF pruned more than CBF at the same memory."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Line-rate flow membership on a backbone trace (the paper's §IV.D).
+
+Scenario: a flow-measurement system tracks 20K "monitored" flows in a
+small on-chip filter and must classify every arriving packet with as
+few memory accesses as possible.  We replay a CAIDA-shaped synthetic
+trace through a standard CBF and an MPCBF-1 at equal memory and compare
+accuracy and access cost — the router use case that motivates the
+paper.
+
+Run:  python examples/packet_filtering.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import build_suite
+from repro.workloads import make_trace_workload
+
+
+def main() -> None:
+    print("generating CAIDA-shaped trace (55K observations, 5K flows)...")
+    trace = make_trace_workload(
+        n_unique=5_000, n_observations=55_856, n_inserted=2_000, seed=7
+    )
+    members = trace.member_keys()
+    packets = trace.query_keys()
+    truth = trace.query_is_member()
+    print(
+        f"  {trace.n_unique} unique flows, {trace.n_observations} packets, "
+        f"{len(members)} flows monitored"
+    )
+
+    # 140 Kb of "on-chip SRAM" for every variant (70 bits per monitored
+    # flow, the middle of the paper's Fig. 12 range).
+    memory_bits = 140_000
+    suite = build_suite(
+        ["CBF", "PCBF-1", "MPCBF-1", "MPCBF-2"],
+        memory_bits,
+        k=3,
+        capacity=len(members),
+        seed=7,
+    )
+
+    print(f"\nclassifying packets at {memory_bits // 1000} Kb per filter:")
+    print(f"{'filter':10} {'fpr':>10} {'accesses/q':>11} {'Mpkt/s':>8}")
+    for name, filt in suite.items():
+        filt.insert_many(members)
+        filt.reset_stats()
+        t0 = time.perf_counter()
+        verdict = filt.query_many(packets)
+        elapsed = time.perf_counter() - t0
+        negatives = ~truth
+        fpr = float(verdict[negatives].mean())
+        missed = int((~verdict[truth]).sum())
+        assert missed == 0, "a Bloom filter must never miss a member"
+        rate = len(packets) / elapsed / 1e6
+        print(
+            f"{name:10} {fpr:10.4%} {filt.stats.query.mean_accesses:11.2f} "
+            f"{rate:8.1f}"
+        )
+
+    print(
+        "\nMPCBF answers every membership query with ~1 word fetch, at a"
+        "\nfalse positive rate below the standard CBF's — the paper's"
+        "\nheadline trade for line-rate packet processing."
+    )
+
+
+if __name__ == "__main__":
+    main()

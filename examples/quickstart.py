@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: build an MPCBF, insert, query, count, delete.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import MPCBF, CountingBloomFilter
+from repro.analysis import mpcbf_fpr, cbf_fpr
+
+
+def main() -> None:
+    # An MPCBF sized for ~10K elements in 64 KiB of "SRAM":
+    # 8192 words x 64 bits.  `capacity` drives the paper's Eq. 11
+    # n_max heuristic; everything else is automatic.
+    filt = MPCBF(num_words=8192, word_bits=64, k=3, capacity=10_000, seed=42)
+    print(f"built {filt!r}")
+    print(
+        f"  n_max={filt.n_max}, first level b1={filt.first_level_bits} bits, "
+        f"hierarchy budget={64 - filt.first_level_bits} bits/word"
+    )
+
+    # Insert and query single keys (str, bytes, int, or (src, dst) flows).
+    filt.insert("alice")
+    filt.insert("bob")
+    filt.insert(("alice"))  # duplicate insertions are counted
+    print(f"  'alice' in filter: {'alice' in filt}")
+    print(f"  count('alice') = {filt.count('alice')}")
+    print(f"  'mallory' in filter: {'mallory' in filt}")
+
+    # Deletions — the whole point of a *counting* Bloom filter.
+    filt.delete("alice")
+    print(f"  after one delete, count('alice') = {filt.count('alice')}")
+    filt.delete("alice")
+    print(f"  after two deletes, 'alice' in filter: {'alice' in filt}")
+
+    # Bulk (vectorised) operations: one memory access per query.
+    keys = [f"flow-{i}" for i in range(10_000)]
+    filt.insert_many(keys)
+    answers = filt.query_many(keys)
+    print(f"  bulk-inserted {len(keys)} keys, all found: {bool(answers.all())}")
+    stats = filt.stats.query
+    print(f"  mean memory accesses per query: {stats.mean_accesses:.2f}")
+
+    # Compare against a standard CBF at the same memory (Fig. 5's story).
+    memory = filt.total_bits
+    n = 10_000
+    print("\nanalytic false positive rates at equal memory "
+          f"({memory // 8192} KiB, n={n}, k=3):")
+    print(f"  standard CBF : {cbf_fpr(n, memory, 3):.2e}")
+    print(f"  MPCBF-1      : {mpcbf_fpr(n, memory, 64, 3, g=1):.2e}")
+    print(f"  MPCBF-2      : {mpcbf_fpr(n, memory, 64, 3, g=2):.2e}")
+
+
+if __name__ == "__main__":
+    main()

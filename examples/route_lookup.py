@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""IP route lookup with Bloom-filter LPM under BGP churn (paper ref [4]).
+
+Builds a longest-prefix-match table whose per-length on-chip filters
+are MPCBFs, replays a lookup stream, then applies a burst of route
+withdrawals and re-announcements (BGP churn).  A plain-Bloom-filter
+table is run alongside to show why routers need *counting* filters:
+withdrawals leave stale bits that waste off-chip probes forever.
+
+Run:  python examples/route_lookup.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.lpm import BloomLPMTable
+from repro.filters.bloom import BloomFilter
+from repro.filters.mpcbf import MPCBF
+
+
+def make_routes(rng: np.random.Generator, count: int) -> dict:
+    routes = {}
+    while len(routes) < count:
+        length = int(rng.choice([8, 16, 24], p=[0.1, 0.35, 0.55]))
+        prefix = int(rng.integers(0, 1 << length))
+        routes[(prefix, length)] = f"hop-{len(routes)}"
+    return routes
+
+
+def run_table(name: str, table: BloomLPMTable, routes: dict, rng) -> None:
+    for (prefix, length), hop in routes.items():
+        table.announce(prefix, length, hop)
+
+    # Lookup stream: half toward announced prefixes, half random.
+    addresses = []
+    keys = list(routes)
+    for _ in range(5000):
+        prefix, length = keys[int(rng.integers(0, len(keys)))]
+        addresses.append(
+            (prefix << (32 - length)) | int(rng.integers(0, 1 << (32 - length)))
+        )
+    addresses += [int(a) for a in rng.integers(0, 1 << 32, size=5000)]
+
+    # BGP churn: withdraw 20% of routes, announce replacements.
+    victims = [keys[i] for i in rng.choice(len(keys), size=len(keys) // 5, replace=False)]
+    for prefix, length in victims:
+        table.withdraw(prefix, length)
+    for (prefix, length) in make_routes(rng, len(victims)):
+        table.announce(prefix, length, "new-hop")
+
+    table.offchip_probes = table.false_probes = 0
+    matched = sum(table.lookup(addr).matched for addr in addresses)
+    print(
+        f"  {name:12} matched {matched}/{len(addresses)}, "
+        f"off-chip probes/lookup = {table.offchip_probes / len(addresses):.3f}, "
+        f"wasted (stale/false) probes = {table.false_probes}"
+    )
+
+
+def main() -> None:
+    print("Bloom-filter LPM with 5K routes, 10K lookups, 20% BGP churn:")
+    routes = make_routes(np.random.default_rng(1), 5000)
+
+    mpcbf_table = BloomLPMTable(
+        lambda length: MPCBF(
+            1024, 64, 3, capacity=4000, seed=length, word_overflow="saturate"
+        )
+    )
+    bloom_table = BloomLPMTable(
+        lambda length: BloomFilter(65536, 3, seed=length)
+    )
+    run_table("MPCBF (1 access/length)", mpcbf_table, dict(routes), np.random.default_rng(2))
+    run_table("plain BF (no deletes)", bloom_table, dict(routes), np.random.default_rng(2))
+
+    print(
+        "\nthe counting table absorbs withdrawals exactly; the plain-BF"
+        "\ntable accumulates stale bits and pays wasted off-chip probes —"
+        "\nthe reason route lookup needs CBFs, and fast ones (the paper's"
+        "\npoint: MPCBF answers each per-length check in one SRAM access)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works on offline environments without the
+``wheel`` package (pip falls back to ``setup.py develop`` when PEP 517
+editable builds are unavailable).  All real metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

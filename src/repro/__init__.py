@@ -1,0 +1,73 @@
+"""repro — reproduction of "A Multi-Partitioning Approach to Building
+Fast and Accurate Counting Bloom Filters" (Huang et al., IPDPS 2013).
+
+The package implements the paper's contribution — the
+Multiple-Partitioned Counting Bloom Filter (:class:`repro.MPCBF`) built
+from hierarchical counting words (:class:`repro.HCBFWord`) — together
+with every baseline it is evaluated against (standard BF/CBF, one-access
+BF-g, partitioned PCBF-g, plus the related-work dlCBF and VI-CBF), the
+closed-form analysis of §II–III, the synthetic/trace/patent workload
+generators of §IV–V, and a miniature MapReduce engine reproducing the
+reduce-side-join evaluation of §V.
+
+Quickstart::
+
+    from repro import MPCBF
+
+    f = MPCBF(num_words=4096, word_bits=64, k=3, capacity=10_000)
+    f.insert("alice")
+    assert "alice" in f
+    f.delete("alice")
+    assert "alice" not in f
+"""
+
+from repro.errors import (
+    ReproError,
+    ConfigurationError,
+    CapacityError,
+    CounterOverflowError,
+    CounterUnderflowError,
+    WordOverflowError,
+    UnsupportedOperationError,
+)
+from repro.filters import (
+    BloomFilter,
+    OneAccessBloomFilter,
+    CountingBloomFilter,
+    PartitionedCBF,
+    HCBFWord,
+    MPCBF,
+    DLeftCBF,
+    SpectralBloomFilter,
+    VariableIncrementCBF,
+    FilterSpec,
+    build_filter,
+    build_suite,
+    OverflowPolicy,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "CounterOverflowError",
+    "CounterUnderflowError",
+    "WordOverflowError",
+    "UnsupportedOperationError",
+    "BloomFilter",
+    "OneAccessBloomFilter",
+    "CountingBloomFilter",
+    "PartitionedCBF",
+    "HCBFWord",
+    "MPCBF",
+    "DLeftCBF",
+    "SpectralBloomFilter",
+    "VariableIncrementCBF",
+    "FilterSpec",
+    "build_filter",
+    "build_suite",
+    "OverflowPolicy",
+    "__version__",
+]

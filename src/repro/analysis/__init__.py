@@ -1,0 +1,71 @@
+"""Analytic models from the paper: FPR, overflow, optimal-k, bandwidth.
+
+Implements every numbered equation of §II–III:
+
+* Eq. (1) — standard BF/CBF false positive rate
+  (:func:`~repro.analysis.fpr.bf_fpr`).
+* Eq. (2)/(3) — PCBF-1 / PCBF-g FPR
+  (:func:`~repro.analysis.fpr.pcbf_fpr`).
+* Eq. (4)/(5)/(8)/(9) — MPCBF-1 / MPCBF-g FPR, basic and improved
+  (:func:`~repro.analysis.fpr.mpcbf_fpr`).
+* Eq. (6)/(10) — word-overflow probability bounds
+  (:mod:`repro.analysis.overflow`).
+* Eq. (11) — the ``n_max`` Poisson-inverse heuristic
+  (:func:`~repro.analysis.heuristics.n_max_heuristic`).
+* Optimal-k selection: closed form for CBF, brute force for MPCBF
+  (:mod:`repro.analysis.optimal`).
+* Access-bandwidth formulas for Tables I–III
+  (:mod:`repro.analysis.bandwidth`).
+"""
+
+from repro.analysis.fpr import (
+    bf_fpr,
+    bfg_fpr,
+    cbf_fpr,
+    pcbf_fpr,
+    mpcbf_fpr,
+    mpcbf_fpr_average,
+)
+from repro.analysis.overflow import (
+    word_overflow_probability,
+    word_overflow_bound,
+)
+from repro.analysis.heuristics import (
+    n_max_heuristic,
+    improved_b1,
+    words_for_memory,
+)
+from repro.analysis.optimal import (
+    cbf_optimal_k,
+    mpcbf_optimal_k,
+    bf_optimal_fpr,
+)
+from repro.analysis.saturation import (
+    saturation_probability_by_epoch,
+    expected_epochs_to_saturation,
+)
+from repro.analysis.bandwidth import (
+    query_budget,
+    update_budget,
+)
+
+__all__ = [
+    "bf_fpr",
+    "bfg_fpr",
+    "cbf_fpr",
+    "pcbf_fpr",
+    "mpcbf_fpr",
+    "mpcbf_fpr_average",
+    "word_overflow_probability",
+    "word_overflow_bound",
+    "n_max_heuristic",
+    "improved_b1",
+    "words_for_memory",
+    "cbf_optimal_k",
+    "mpcbf_optimal_k",
+    "bf_optimal_fpr",
+    "query_budget",
+    "update_budget",
+    "saturation_probability_by_epoch",
+    "expected_epochs_to_saturation",
+]

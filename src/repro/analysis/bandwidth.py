@@ -1,0 +1,122 @@
+"""Analytic access-bandwidth formulas (§III, Tables I–II).
+
+Worst-case hash-bit consumption per operation:
+
+* CBF: ``k·log2(m)`` bits, ``k`` accesses (query and update alike).
+* PCBF-g: ``g·log2(l) + k·log2(w/c)`` bits, ``g`` accesses.
+* MPCBF-g query: ``g·log2(l) + k·log2(b1)`` bits, ``g`` accesses.
+* MPCBF-g update: queries' bits plus the hierarchy traversal
+  ``k·(log2(b2) + … + log2(b_d))``; level sizes are estimated from the
+  expected occupancy (level 2 holds ≈ ``⌈k/g⌉·n_avg`` slots, deeper
+  levels decay geometrically with the fill ratio of the level above).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.heuristics import improved_b1, n_max_heuristic
+from repro.errors import ConfigurationError
+from repro.hashing.bit_budget import HashBitBudget, bits_for_range
+
+__all__ = ["query_budget", "update_budget", "estimated_level_sizes"]
+
+_VARIANTS = ("CBF", "PCBF", "MPCBF")
+
+
+def _mpcbf_b1(
+    memory_bits: int, word_bits: int, k: int, g: int, n: int | None
+) -> int:
+    l = memory_bits // word_bits
+    if n is None:
+        raise ConfigurationError("MPCBF budgets need n (for the n_max heuristic)")
+    n_max = n_max_heuristic(n, l, g=g)
+    return improved_b1(word_bits, k, n_max, g=g)
+
+
+def query_budget(
+    variant: str,
+    memory_bits: int,
+    k: int,
+    *,
+    word_bits: int = 64,
+    g: int = 1,
+    counter_bits: int = 4,
+    n: int | None = None,
+) -> HashBitBudget:
+    """Per-query budget for one of ``CBF``/``PCBF``/``MPCBF``."""
+    if variant not in _VARIANTS:
+        raise ConfigurationError(f"unknown variant {variant!r}; use {_VARIANTS}")
+    if variant == "CBF":
+        return HashBitBudget.flat(memory_bits // counter_bits, k)
+    l = memory_bits // word_bits
+    if variant == "PCBF":
+        return HashBitBudget.partitioned(l, word_bits // counter_bits, k, g)
+    b1 = _mpcbf_b1(memory_bits, word_bits, k, g, n)
+    return HashBitBudget.partitioned(l, b1, k, g)
+
+
+def estimated_level_sizes(
+    memory_bits: int,
+    word_bits: int,
+    k: int,
+    *,
+    g: int = 1,
+    n: int | None = None,
+    max_depth: int = 6,
+) -> list[float]:
+    """Expected HCBF level sizes ``[b1, b2, …]`` at average occupancy.
+
+    Level 2's slot count equals the number of set first-level bits;
+    level ``j+1``'s equals the number of set bits at level ``j``.  With
+    ``t = ⌈k/g⌉·n_avg`` hash insertions per word spread uniformly, the
+    expected set-bit counts follow the classic occupancy recurrence.
+    """
+    l = memory_bits // word_bits
+    if n is None:
+        raise ConfigurationError("need n to estimate occupancy")
+    b1 = float(_mpcbf_b1(memory_bits, word_bits, k, g, n))
+    t = -(-k // g) * (g * n / l)  # hash insertions per word
+    sizes = [b1]
+    remaining = t
+    current_bits = b1
+    for _ in range(max_depth - 1):
+        if remaining <= 0 or current_bits <= 0:
+            break
+        # Expected set bits after throwing `remaining` balls at
+        # `current_bits` slots; the excess spills to the next level.
+        set_bits = current_bits * -math.expm1(-remaining / current_bits)
+        next_slots = set_bits
+        if next_slots < 0.5:
+            break
+        sizes.append(next_slots)
+        remaining -= set_bits
+        current_bits = next_slots
+    return sizes
+
+
+def update_budget(
+    variant: str,
+    memory_bits: int,
+    k: int,
+    *,
+    word_bits: int = 64,
+    g: int = 1,
+    counter_bits: int = 4,
+    n: int | None = None,
+) -> HashBitBudget:
+    """Per-update (insert/delete) budget; MPCBF pays traversal bits."""
+    base = query_budget(
+        variant,
+        memory_bits,
+        k,
+        word_bits=word_bits,
+        g=g,
+        counter_bits=counter_bits,
+        n=n,
+    )
+    if variant != "MPCBF":
+        return base
+    sizes = estimated_level_sizes(memory_bits, word_bits, k, g=g, n=n)
+    extra = sum(bits_for_range(max(2, int(round(s)))) for s in sizes[1:])
+    return base.scaled_update(k * extra)

@@ -1,0 +1,186 @@
+"""Closed-form false positive rates — Eq. (1)–(5), (8), (9).
+
+All the partitioned formulas share one shape: the number of element
+slots landing in a word is binomial, and conditioned on ``j`` slots the
+word behaves like a tiny Bloom filter over its offset range.  The
+generic mixture is evaluated with ``scipy.stats.binom`` over the
+numerically relevant part of the support (tail mass below 1e-15 is
+truncated), which keeps the sums exact to double precision without
+iterating to ``n`` for the paper's ``n = 100 000``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy import stats
+
+from repro.analysis.heuristics import improved_b1, n_max_heuristic
+from repro.errors import ConfigurationError
+
+__all__ = ["bf_fpr", "cbf_fpr", "bfg_fpr", "pcbf_fpr", "mpcbf_fpr", "mpcbf_fpr_average"]
+
+_TAIL = 1e-15
+
+
+def bf_fpr(n: int, m: int, k: int, *, exact: bool = True) -> float:
+    """Standard Bloom filter FPR, Eq. (1).
+
+    Parameters
+    ----------
+    n, m, k:
+        Elements stored, vector bits, hash functions.
+    exact:
+        Use ``(1 − (1 − 1/m)^{kn})^k``; otherwise the ``e^{−kn/m}``
+        approximation.
+    """
+    if min(n, m, k) < 1:
+        raise ConfigurationError(f"n, m, k must be >= 1, got {(n, m, k)}")
+    if exact:
+        # log1p keeps (1 - 1/m)^{kn} accurate for large m.
+        inner = -np.expm1(k * n * np.log1p(-1.0 / m))
+    else:
+        inner = -np.expm1(-k * n / m)
+    return float(inner**k)
+
+
+def cbf_fpr(n: int, memory_bits: int, k: int, *, counter_bits: int = 4) -> float:
+    """Standard CBF FPR at a total memory budget.
+
+    A CBF of ``M`` bits has ``m = M/c`` counters and the same FPR as a
+    Bloom filter with ``m`` bits (a counter is "set" iff nonzero).
+    """
+    m = memory_bits // counter_bits
+    return bf_fpr(n, m, k)
+
+
+def bfg_fpr(
+    n: int,
+    memory_bits: int,
+    word_bits: int,
+    k: int,
+    *,
+    g: int = 1,
+) -> float:
+    """One-memory-access Bloom filter (BF-g, Qiao et al. [11]) FPR.
+
+    Identical mixture to Eq. (2)/(3) with plain bits instead of 4-bit
+    counters: a word of ``w`` bits receives ``Binom(g·n, 1/l)`` element
+    slots of ``k/g`` set bits each.
+    """
+    l = memory_bits // word_bits
+    if l < 1:
+        raise ConfigurationError("memory budget smaller than one word")
+    hashes_per_word = k / g
+    word_fp = _binomial_mixture(
+        g * n, 1.0 / l, lambda j: _small_bf_fpr(j, word_bits, hashes_per_word)
+    )
+    return float(word_fp**g)
+
+
+def _binomial_mixture(
+    trials: int, p: float, per_word: Callable[[np.ndarray], np.ndarray]
+) -> float:
+    """``Σ_j P[Binom(trials, p) = j] · per_word(j)`` over the live support."""
+    dist = stats.binom(trials, p)
+    lo = int(dist.ppf(_TAIL))
+    hi = int(dist.ppf(1.0 - _TAIL)) + 1
+    j = np.arange(lo, hi + 1)
+    pmf = dist.pmf(j)
+    values = per_word(j.astype(float))
+    return float(np.sum(pmf * values))
+
+
+def _small_bf_fpr(j: np.ndarray, bits: float, hashes: float) -> np.ndarray:
+    """FPR of a ``bits``-wide Bloom region holding ``j`` slots of
+    ``hashes`` hashes each: ``(1 − (1 − 1/bits)^{j·hashes})^hashes``.
+
+    ``hashes`` may be fractional (``k/g``), exactly as the paper writes
+    Eq. (3)/(8) with the ``k/g`` exponent.
+    """
+    inner = -np.expm1(j * hashes * np.log1p(-1.0 / bits))
+    return inner**hashes
+
+
+def pcbf_fpr(
+    n: int,
+    memory_bits: int,
+    word_bits: int,
+    k: int,
+    *,
+    g: int = 1,
+    counter_bits: int = 4,
+) -> float:
+    """PCBF-g FPR, Eq. (2) for g=1 and Eq. (3) in general.
+
+    ``E'``, the number of element slots in a word, is
+    ``Binom(g·n, 1/l)``; conditioned on ``j`` slots the word holds
+    ``j·k/g`` set counters out of ``w/c``, and a false positive needs
+    all ``k/g`` probes per word to hit nonzero counters, independently
+    across the ``g`` words.
+    """
+    l = memory_bits // word_bits
+    if l < 1:
+        raise ConfigurationError("memory budget smaller than one word")
+    counters_per_word = word_bits // counter_bits
+    hashes_per_word = k / g
+    word_fp = _binomial_mixture(
+        g * n,
+        1.0 / l,
+        lambda j: _small_bf_fpr(j, counters_per_word, hashes_per_word),
+    )
+    return float(word_fp**g)
+
+
+def mpcbf_fpr(
+    n: int,
+    memory_bits: int,
+    word_bits: int,
+    k: int,
+    *,
+    g: int = 1,
+    n_max: int | None = None,
+    first_level_bits: int | None = None,
+) -> float:
+    """MPCBF-g FPR with the improved HCBF, Eq. (5) / Eq. (9).
+
+    The first level has ``b1 = w − ⌈k/g⌉·n_max`` bits (``n_max`` from
+    Eq. 11 unless given); a query probes ``k/g`` first-level bits in
+    each of ``g`` words.
+    """
+    l = memory_bits // word_bits
+    if l < 1:
+        raise ConfigurationError("memory budget smaller than one word")
+    if first_level_bits is None:
+        if n_max is None:
+            n_max = n_max_heuristic(n, l, g=g)
+        first_level_bits = improved_b1(word_bits, k, n_max, g=g)
+    b1 = first_level_bits
+    hashes_per_word = k / g
+    word_fp = _binomial_mixture(
+        g * n, 1.0 / l, lambda j: _small_bf_fpr(j, b1, hashes_per_word)
+    )
+    return float(word_fp**g)
+
+
+def mpcbf_fpr_average(
+    n: int, memory_bits: int, word_bits: int, k: int, *, g: int = 1
+) -> float:
+    """Average-case MPCBF FPR with ``b1 = w − k·n·w/(4m)`` (§III.B.3 end).
+
+    Assumes elements spread evenly (``n_avg = n/l`` per word); used for
+    the Fig. 5 curves where the paper plots the *average* rate.
+    """
+    l = memory_bits // word_bits
+    if l < 1:
+        raise ConfigurationError("memory budget smaller than one word")
+    n_avg = g * n / l
+    hashes_per_word = k / g
+    b1 = word_bits - hashes_per_word * n_avg
+    if b1 < 1:
+        return 1.0
+    word_fp = _binomial_mixture(
+        g * n, 1.0 / l, lambda j: _small_bf_fpr(j, b1, hashes_per_word)
+    )
+    return float(word_fp**g)

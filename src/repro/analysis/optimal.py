@@ -1,0 +1,69 @@
+"""Optimal hash-function counts (§IV.C, Fig. 9/10).
+
+* For the standard CBF the optimum is the Bloom classic
+  ``k = (m/n)·ln 2`` with ``m = M/c`` counters — rounded to the best of
+  the two neighbouring integers.
+* For MPCBF-g, optimising Eq. (9) in ``k`` is awkward analytically (the
+  ``n_max`` heuristic couples into ``b1``), so the paper brute-forces
+  the discrete ``k``; we do the same.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.fpr import bf_fpr, mpcbf_fpr
+from repro.errors import ConfigurationError
+
+__all__ = ["cbf_optimal_k", "mpcbf_optimal_k", "bf_optimal_fpr"]
+
+
+def cbf_optimal_k(memory_bits: int, n: int, *, counter_bits: int = 4) -> int:
+    """Optimal integer ``k`` for a standard CBF of ``M`` bits.
+
+    Evaluates Eq. (1) at ``floor`` and ``ceil`` of ``(m/n)·ln 2`` and
+    returns whichever minimises the FPR.
+    """
+    m = memory_bits // counter_bits
+    if m < 1 or n < 1:
+        raise ConfigurationError(f"invalid sizing: m={m}, n={n}")
+    k_real = (m / n) * math.log(2.0)
+    lo = max(1, math.floor(k_real))
+    hi = max(1, math.ceil(k_real))
+    return min((lo, hi), key=lambda k: bf_fpr(n, m, k))
+
+
+def bf_optimal_fpr(memory_bits: int, n: int, *, counter_bits: int = 4) -> float:
+    """FPR of the standard CBF at its optimal ``k``."""
+    m = memory_bits // counter_bits
+    return bf_fpr(n, m, cbf_optimal_k(memory_bits, n, counter_bits=counter_bits))
+
+
+def mpcbf_optimal_k(
+    memory_bits: int,
+    n: int,
+    word_bits: int,
+    *,
+    g: int = 1,
+    k_max: int = 16,
+) -> tuple[int, float]:
+    """Brute-force the ``k`` minimising the MPCBF-g FPR (Eq. 9).
+
+    Returns ``(k_opt, fpr_at_k_opt)``.  Values of ``k`` that are
+    infeasible at this geometry (``b1 < k`` after the ``n_max``
+    heuristic, or ``k < g``) are skipped.
+    """
+    best_k, best_fpr = 0, math.inf
+    for k in range(max(1, g), k_max + 1):
+        try:
+            fpr = mpcbf_fpr(n, memory_bits, word_bits, k, g=g)
+        except (ConfigurationError, ValueError):
+            continue
+        if fpr < best_fpr:
+            best_k, best_fpr = k, fpr
+    if best_k == 0:
+        raise ConfigurationError(
+            f"no feasible k in [1, {k_max}] for M={memory_bits}, n={n}, "
+            f"w={word_bits}, g={g}"
+        )
+    return best_k, best_fpr

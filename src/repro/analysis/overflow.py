@@ -1,0 +1,62 @@
+"""Word-overflow probability — Eq. (6) / Eq. (10) and the exact tail.
+
+A word overflows when more than ``n_max`` elements hash into it.  The
+number of element slots in one word is ``Binom(g·n, 1/l)``; the paper
+bounds the probability that *any* word overflows with a union bound and
+the Chernoff-style estimate ``(e·n / (n_max·l))^{n_max} · l``.  Both the
+paper's bound and the exact binomial tail (per-word and any-word) are
+provided so the Fig. 6 curves can be drawn either way.
+"""
+
+from __future__ import annotations
+
+import math
+
+from scipy import stats
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "word_overflow_probability",
+    "word_overflow_bound",
+    "any_word_overflow_probability",
+]
+
+
+def word_overflow_probability(
+    n: int, num_words: int, n_max: int, *, g: int = 1
+) -> float:
+    """Exact probability one given word receives more than ``n_max`` slots.
+
+    ``P[Binom(g·n, 1/l) > n_max]`` — the per-word tail behind Eq. (6).
+    """
+    if num_words < 1:
+        raise ConfigurationError(f"num_words must be >= 1, got {num_words}")
+    return float(stats.binom.sf(n_max, g * n, 1.0 / num_words))
+
+
+def any_word_overflow_probability(
+    n: int, num_words: int, n_max: int, *, g: int = 1
+) -> float:
+    """Union-bounded probability that *any* of the ``l`` words overflows.
+
+    Clamped to 1; this is the quantity the paper plots in Fig. 6.
+    """
+    per_word = word_overflow_probability(n, num_words, n_max, g=g)
+    return min(1.0, num_words * per_word)
+
+
+def word_overflow_bound(
+    n: int, num_words: int, n_max: int, *, g: int = 1
+) -> float:
+    """The paper's closed-form Chernoff bound, Eq. (6)/(10).
+
+    ``P[E ≥ n_max] ≤ C(gn, n_max)(1/l)^{n_max} ≤ (e·g·n/(n_max·l))^{n_max}``.
+    Returned clamped to 1.
+    """
+    if n_max < 1:
+        raise ConfigurationError(f"n_max must be >= 1, got {n_max}")
+    log_bound = n_max * (
+        1.0 + math.log(g * n) - math.log(n_max) - math.log(num_words)
+    )
+    return min(1.0, math.exp(log_bound))

@@ -1,0 +1,127 @@
+"""First-passage saturation analysis under sustained churn.
+
+Eq. (11) bounds a *snapshot*: the probability that one word holds more
+than ``n_max`` elements at a single instant.  A long-lived filter under
+churn re-samples that event continuously — per-word occupancy is a
+birth–death chain, and the quantity that matters for a deployment is
+the probability that the occupancy *ever* crosses ``n_max`` within the
+filter's lifetime.  This module computes it exactly.
+
+Model (matching :func:`repro.workloads.churn.run_churn`): each epoch a
+fraction ``c`` of the live population is deleted uniformly and replaced
+by fresh uniform keys.  For one word with occupancy ``X_t``:
+
+    X_{t+1} = Binomial(X_t, 1 − c)  +  A_t,
+    A_t ~ Binomial(c·n, 1/l) ≈ Poisson(c·n/l)
+
+The chain is truncated at the absorbing state ``> n_max`` (a word that
+ever exceeds its budget saturates permanently), and the absorption
+probability after ``t`` epochs comes from iterating the transition
+matrix — exact to the truncation, no simulation noise.  The per-word
+result lifts to "any of ``l`` words" by independence (occupancies are
+negatively correlated, so the product form is slightly conservative,
+i.e. an upper bound — the safe direction for planning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "churn_transition_matrix",
+    "saturation_probability_by_epoch",
+    "expected_epochs_to_saturation",
+]
+
+
+def churn_transition_matrix(
+    n: int, num_words: int, n_max: int, churn_fraction: float
+) -> np.ndarray:
+    """Single-word occupancy transition matrix with absorption.
+
+    States ``0..n_max`` are live occupancies; state ``n_max+1`` absorbs
+    every trajectory that ever needed more than the word's budget.
+    Entry ``[i, j]`` is ``P[X_{t+1}=j | X_t=i]``.
+    """
+    if not 0.0 < churn_fraction <= 1.0:
+        raise ConfigurationError(
+            f"churn_fraction must be in (0, 1], got {churn_fraction}"
+        )
+    if n_max < 1 or num_words < 1 or n < 1:
+        raise ConfigurationError("n, num_words, n_max must be >= 1")
+    states = n_max + 2  # 0..n_max live, n_max+1 absorbing
+    arrivals_rate = churn_fraction * n / num_words
+    # Arrival pmf truncated where negligible; the tail mass goes to
+    # "overflowing arrivals" and is routed to the absorbing state.
+    a_hi = max(int(stats.poisson.ppf(1 - 1e-12, arrivals_rate)), n_max) + 1
+    a_pmf = stats.poisson.pmf(np.arange(a_hi + 1), arrivals_rate)
+    matrix = np.zeros((states, states))
+    matrix[-1, -1] = 1.0  # absorbing
+    for occupancy in range(n_max + 1):
+        survive_pmf = stats.binom.pmf(
+            np.arange(occupancy + 1), occupancy, 1.0 - churn_fraction
+        )
+        for survivors, p_survive in enumerate(survive_pmf):
+            if p_survive < 1e-15:
+                continue
+            # survivors + arrivals -> next state (clip into absorption).
+            next_states = survivors + np.arange(a_hi + 1)
+            live = next_states <= n_max
+            np.add.at(
+                matrix[occupancy],
+                next_states[live],
+                p_survive * a_pmf[live],
+            )
+            matrix[occupancy, -1] += p_survive * a_pmf[~live].sum()
+    return matrix
+
+
+def saturation_probability_by_epoch(
+    n: int,
+    num_words: int,
+    n_max: int,
+    churn_fraction: float,
+    epochs: int,
+) -> np.ndarray:
+    """P[some word has saturated by epoch t], for t = 1..epochs.
+
+    The initial occupancy is the stationary build distribution
+    ``Binomial(n, 1/l)`` (mass above ``n_max`` counts as saturated at
+    t=0 — the Fig. 6 snapshot event).
+    """
+    matrix = churn_transition_matrix(n, num_words, n_max, churn_fraction)
+    states = matrix.shape[0]
+    dist = np.zeros(states)
+    build = stats.binom.pmf(np.arange(n_max + 1), n, 1.0 / num_words)
+    dist[: n_max + 1] = build
+    dist[-1] = max(0.0, 1.0 - build.sum())
+    out = np.empty(epochs)
+    for t in range(epochs):
+        dist = dist @ matrix
+        per_word_saturated = dist[-1]
+        out[t] = 1.0 - (1.0 - per_word_saturated) ** num_words
+    return out
+
+
+def expected_epochs_to_saturation(
+    n: int,
+    num_words: int,
+    n_max: int,
+    churn_fraction: float,
+    *,
+    horizon: int = 10_000,
+) -> float:
+    """Median epochs until the first word saturates (∞ if > horizon).
+
+    Reported as the median of the any-word first-passage time — the
+    planning number: "how long can this filter churn before its first
+    word freezes?".
+    """
+    probs = saturation_probability_by_epoch(
+        n, num_words, n_max, churn_fraction, horizon
+    )
+    crossed = np.nonzero(probs >= 0.5)[0]
+    return float(crossed[0] + 1) if len(crossed) else float("inf")

@@ -1,0 +1,172 @@
+"""Design-space exploration: Eq. (7) and the accuracy/overhead frontier.
+
+§III.B.4 derives the fundamental MPCBF trade-off: a word of ``w`` bits
+holding at most ``n_max`` elements spends ``k·n_max`` bits on the
+hierarchy, so the efficiency ratio obeys
+
+    m/n  ≥  w/n_max + k          (Eq. 7, with m in *counter-equivalent*
+                                   units of the CBF comparison: the
+                                   paper's m/n uses w bits per word and
+                                   n_max elements — w/n_max bits per
+                                   element — plus k hierarchy bits)
+
+and not every efficiency ratio is reachable (with w=32, k=3 only
+values above 29/3 exist).  This module exposes that bound, enumerates
+feasible geometries, and packages the "cheapest configuration meeting a
+target FPR" search used by ``examples/capacity_planning.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.fpr import bf_fpr, mpcbf_fpr
+from repro.analysis.heuristics import improved_b1, n_max_heuristic
+from repro.analysis.optimal import cbf_optimal_k, mpcbf_optimal_k
+from repro.analysis.overflow import any_word_overflow_probability
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "efficiency_ratio_bound",
+    "min_bits_per_element",
+    "DesignPoint",
+    "feasible_designs",
+    "cheapest_design",
+    "cbf_bits_for_fpr",
+]
+
+
+def efficiency_ratio_bound(word_bits: int, k: int, n_max: int) -> float:
+    """Lower bound on bits-per-element, Eq. (7): ``w/n_max + k``...
+
+    Interpreted in memory bits per stored element: each word stores up
+    to ``n_max`` elements in ``w`` bits, i.e. at least ``w/n_max`` bits
+    per element, of which ``k`` are hierarchy bits.
+    """
+    if n_max < 1:
+        raise ConfigurationError(f"n_max must be >= 1, got {n_max}")
+    return word_bits / n_max
+
+
+def min_bits_per_element(word_bits: int, k: int) -> float:
+    """Smallest reachable bits/element for a feasible geometry.
+
+    ``n_max`` is capped by ``b1 ≥ k`` (the first level must hold the
+    ``k`` probe bits): ``n_max ≤ (w − k)/k``, hence the paper's example
+    that with w=32, k=3 only ratios above 32/((32−3)/3) ≈ 29/3·… exist.
+    """
+    n_max_cap = (word_bits - k) // k
+    if n_max_cap < 1:
+        raise ConfigurationError(
+            f"w={word_bits}, k={k} admits no feasible geometry"
+        )
+    return word_bits / n_max_cap
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One feasible MPCBF configuration and its predicted behaviour."""
+
+    g: int
+    k: int
+    bits_per_element: float
+    memory_bits: int
+    num_words: int
+    n_max: int
+    first_level_bits: int
+    fpr: float
+    overflow_probability: float
+
+    @property
+    def memory_accesses(self) -> int:
+        return self.g
+
+    @property
+    def hash_calls(self) -> int:
+        return self.k + self.g - 1
+
+
+def feasible_designs(
+    n: int,
+    *,
+    word_bits: int = 64,
+    gs: tuple[int, ...] = (1, 2, 3),
+    bits_per_element_grid: tuple[float, ...] = tuple(range(16, 200, 4)),
+) -> list[DesignPoint]:
+    """Enumerate feasible (g, bits/element) geometries with optimal k."""
+    points: list[DesignPoint] = []
+    for g in gs:
+        for bpe in bits_per_element_grid:
+            memory = int(n * bpe)
+            num_words = memory // word_bits
+            if num_words < 1:
+                continue
+            try:
+                k_opt, fpr = mpcbf_optimal_k(memory, n, word_bits, g=g)
+                n_max = n_max_heuristic(n, num_words, g=g)
+                b1 = improved_b1(word_bits, k_opt, n_max, g=g)
+            except (ConfigurationError, ValueError):
+                continue
+            points.append(
+                DesignPoint(
+                    g=g,
+                    k=k_opt,
+                    bits_per_element=float(bpe),
+                    memory_bits=memory,
+                    num_words=num_words,
+                    n_max=n_max,
+                    first_level_bits=b1,
+                    fpr=fpr,
+                    overflow_probability=any_word_overflow_probability(
+                        n, num_words, n_max, g=g
+                    ),
+                )
+            )
+    return points
+
+
+def cheapest_design(
+    n: int,
+    target_fpr: float,
+    *,
+    word_bits: int = 64,
+    max_accesses: int = 3,
+    max_overflow_probability: float = 1.0,
+) -> DesignPoint:
+    """Cheapest feasible design meeting an FPR (and overflow) budget.
+
+    Raises :class:`~repro.errors.ConfigurationError` when no enumerated
+    geometry meets the targets.
+    """
+    candidates = [
+        p
+        for p in feasible_designs(n, word_bits=word_bits)
+        if p.fpr <= target_fpr
+        and p.g <= max_accesses
+        and p.overflow_probability <= max_overflow_probability
+    ]
+    if not candidates:
+        raise ConfigurationError(
+            f"no MPCBF design meets fpr<={target_fpr} within "
+            f"{max_accesses} accesses"
+        )
+    return min(candidates, key=lambda p: (p.bits_per_element, p.g))
+
+
+def cbf_bits_for_fpr(
+    n: int, target_fpr: float, *, max_bits_per_element: int = 640
+) -> tuple[float, int]:
+    """Bits/element a standard CBF needs for the same target.
+
+    Returns ``(bits_per_element, optimal_k)``; used to quote the
+    memory-or-accesses price of the baseline.
+    """
+    for bpe in range(8, max_bits_per_element + 1, 4):
+        memory = n * bpe
+        k = cbf_optimal_k(memory, n)
+        if bf_fpr(n, memory // 4, k) <= target_fpr:
+            return float(bpe), k
+    raise ConfigurationError(
+        f"CBF cannot reach fpr<={target_fpr} within "
+        f"{max_bits_per_element} bits/element"
+    )

@@ -1,0 +1,31 @@
+"""Packet-processing applications built on the filter substrate.
+
+The paper's introduction motivates fast CBFs with concrete router
+functions; this package implements two of them end-to-end so the
+library can be exercised the way the paper intends:
+
+* :mod:`repro.apps.lpm` — longest-prefix-match IP route lookup with
+  per-length filters (Dharmapurikar et al., SIGCOMM 2003 — the paper's
+  reference [4]); counting filters make route *withdrawals* work
+  without rebuilding.
+* :mod:`repro.apps.flow_measurement` — the §IV.D traffic-measurement
+  scenario: membership + per-flow packet counting over a monitored
+  flow set, with heavy-hitter reporting and accuracy accounting.
+* :mod:`repro.apps.classifier` — tuple-space packet classification
+  with per-tuple filters (the paper's reference [9] application);
+  counting filters keep ACL updates clean.
+"""
+
+from repro.apps.lpm import BloomLPMTable, LookupResult
+from repro.apps.flow_measurement import FlowMonitor, FlowReport
+from repro.apps.classifier import Rule, ClassifyResult, TupleSpaceClassifier
+
+__all__ = [
+    "BloomLPMTable",
+    "LookupResult",
+    "FlowMonitor",
+    "FlowReport",
+    "Rule",
+    "ClassifyResult",
+    "TupleSpaceClassifier",
+]

@@ -1,0 +1,24 @@
+"""Benchmark harness: one driver per table/figure of the paper.
+
+:mod:`repro.bench.experiments` exposes ``fig02()`` … ``table4()``,
+each returning an :class:`~repro.bench.reporting.ExperimentReport`
+whose rows are the series/columns the paper plots.  The
+``benchmarks/`` directory wraps these in pytest-benchmark targets;
+``python -m repro.bench`` prints every report.
+
+Experiment scale is controlled by the ``REPRO_SCALE`` environment
+variable: ``ci`` (default — minutes, shapes preserved) or ``paper``
+(the paper's exact n/m/query counts — slower).
+"""
+
+from repro.bench.reporting import ExperimentReport, format_table
+from repro.bench.scale import Scale, current_scale
+from repro.bench import experiments
+
+__all__ = [
+    "ExperimentReport",
+    "format_table",
+    "Scale",
+    "current_scale",
+    "experiments",
+]

@@ -1,0 +1,71 @@
+"""``python -m repro.bench`` — print every regenerated table/figure.
+
+Pass experiment ids (``fig7 table4 …``) to run a subset; set
+``REPRO_SCALE=paper`` for the paper's exact dataset sizes; pass
+``--export DIR`` to also write per-experiment JSON plus a combined
+Markdown file (via :mod:`repro.bench.export`).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.bench import ablations, experiments
+from repro.bench.scale import current_scale
+
+_DRIVERS = {
+    "fig2": experiments.fig02,
+    "fig5": experiments.fig05,
+    "fig6": experiments.fig06,
+    "fig7": experiments.fig07,
+    "fig8": experiments.fig08,
+    "fig9": experiments.fig09,
+    "fig10": experiments.fig10,
+    "fig11": experiments.fig11,
+    "fig12": experiments.fig12,
+    "table1": experiments.table1,
+    "table2": experiments.table2,
+    "table3": experiments.table3,
+    "table4": experiments.table4,
+    # Beyond the paper: design-choice ablations and the hw projection.
+    "hcbf": ablations.ablation_hcbf_layout,
+    "sizing": ablations.ablation_sizing,
+    "churn": ablations.ablation_churn,
+    "hw": ablations.hw_projection,
+    "banked": ablations.banked_traffic,
+}
+
+
+def main(argv: list[str]) -> int:
+    scale = current_scale()
+    export_dir = None
+    if "--export" in argv:
+        idx = argv.index("--export")
+        try:
+            export_dir = argv[idx + 1]
+        except IndexError:
+            print("--export requires a directory argument")
+            return 2
+        argv = argv[:idx] + argv[idx + 2 :]
+    wanted = argv or list(_DRIVERS)
+    unknown = [w for w in wanted if w not in _DRIVERS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; known: {list(_DRIVERS)}")
+        return 2
+    print(f"scale: {scale.name}")
+    reports = []
+    for name in wanted:
+        report = _DRIVERS[name](scale)
+        reports.append(report)
+        print()
+        print(report.render())
+    if export_dir is not None:
+        from repro.bench.export import write_reports
+
+        md_path = write_reports(reports, export_dir)
+        print(f"\nexported {len(reports)} report(s) -> {md_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,625 @@
+"""Experiment drivers — one per table/figure of the paper's evaluation.
+
+Each function regenerates the corresponding figure/table as an
+:class:`~repro.bench.reporting.ExperimentReport` whose rows carry the
+same series the paper plots.  Analytic figures (2, 5, 6, 9) evaluate
+the closed forms of :mod:`repro.analysis`; empirical ones (7, 8, 10,
+11, 12, Tables I–IV) build real filters, run workloads through them,
+and read the measured FPR / access statistics.
+
+All empirical experiments honour ``REPRO_SCALE`` (see
+:mod:`repro.bench.scale`) and average over the scale's seed count, as
+the paper averages over ten dataset draws.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.analysis import (
+    bf_fpr,
+    cbf_fpr,
+    cbf_optimal_k,
+    mpcbf_fpr,
+    mpcbf_fpr_average,
+    mpcbf_optimal_k,
+    pcbf_fpr,
+    n_max_heuristic,
+    query_budget,
+    update_budget,
+)
+from repro.analysis.overflow import (
+    any_word_overflow_probability,
+    word_overflow_bound,
+)
+from repro.bench.reporting import ExperimentReport
+from repro.bench.scale import Scale, current_scale
+from repro.filters import build_suite
+from repro.filters.factory import FilterSpec, build_filter
+from repro.mapreduce import ClusterCostModel, LocalMapReduceEngine, reduce_side_join
+from repro.workloads import (
+    make_patent_dataset,
+    make_synthetic_workload,
+    make_trace_workload,
+    run_membership_workload,
+)
+
+__all__ = [
+    "fig02",
+    "fig05",
+    "fig06",
+    "fig07",
+    "fig08",
+    "fig09",
+    "fig10",
+    "fig11",
+    "table1",
+    "table2",
+    "fig12",
+    "table3",
+    "table4",
+    "all_experiments",
+]
+
+_MAIN_VARIANTS = ("CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2")
+
+
+def _spec(variant: str, memory: int, k: int, capacity: int) -> FilterSpec:
+    """FilterSpec with the experiment-grade MPCBF overflow policy."""
+    extra = {"word_overflow": "saturate"} if variant.startswith("MPCBF") else {}
+    return FilterSpec(
+        variant=variant, memory_bits=memory, k=k, capacity=capacity, extra=extra
+    )
+
+
+# ---------------------------------------------------------------------------
+# Analytic figures
+# ---------------------------------------------------------------------------
+
+def fig02(scale: Scale | None = None) -> ExperimentReport:
+    """Fig. 2 — analytic FPR of CBF vs PCBF-1/PCBF-2 across word sizes."""
+    scale = scale or current_scale()
+    n = scale.synth_members
+    k = 3
+    report = ExperimentReport(
+        "fig2",
+        "False positive rates of CBF, PCBF-1 and PCBF-2 vs word size (analytic)",
+        paper=(
+            "PCBF is always worse than CBF; larger words close the gap; "
+            "PCBF-2 is much better than PCBF-1 but still above CBF."
+        ),
+    )
+    for memory in scale.synth_memories:
+        row = {"bits_per_elem": memory / n, "CBF": cbf_fpr(n, memory, k)}
+        for w in (16, 32, 64, 128, 256):
+            row[f"PCBF-1 w={w}"] = pcbf_fpr(n, memory, w, k, g=1)
+        for w in (64, 128):
+            row[f"PCBF-2 w={w}"] = pcbf_fpr(n, memory, w, k, g=2)
+        report.add(**row)
+    worst = max(r["PCBF-1 w=64"] / r["CBF"] for r in report.rows)
+    report.note(f"PCBF-1(w=64)/CBF FPR ratio up to {worst:.1f}x (paper: >1 always)")
+    return report
+
+
+def fig05(scale: Scale | None = None) -> ExperimentReport:
+    """Fig. 5 — analytic FPR of CBF vs MPCBF-1/MPCBF-2, k=3."""
+    scale = scale or current_scale()
+    n = scale.synth_members
+    k = 3
+    report = ExperimentReport(
+        "fig5",
+        "False positive rates of CBF, MPCBF-1 and MPCBF-2, k=3 (analytic)",
+        paper=(
+            "MPCBF-1 is about an order of magnitude below CBF; larger "
+            "word sizes decrease the MPCBF rate; MPCBF-2 lower still."
+        ),
+    )
+    for memory in scale.synth_memories:
+        row = {"bits_per_elem": memory / n, "CBF": cbf_fpr(n, memory, k)}
+        for w in (32, 64):
+            try:
+                row[f"MPCBF-1 w={w}"] = mpcbf_fpr(n, memory, w, k, g=1)
+            except Exception:
+                row[f"MPCBF-1 w={w}"] = float("nan")
+        row["MPCBF-2 w=64"] = mpcbf_fpr(n, memory, 64, k, g=2)
+        # The curves the paper actually plots are the *average* rates
+        # (f_avg, end of SSIII.B.3, with b1 = w - k*n/l).
+        row["avg MPCBF-1 w=64"] = mpcbf_fpr_average(n, memory, 64, k, g=1)
+        row["avg MPCBF-2 w=64"] = mpcbf_fpr_average(n, memory, 64, k, g=2)
+        report.add(**row)
+    mid = report.rows[len(report.rows) // 2]
+    report.note(
+        f"CBF/avg-MPCBF-1(w=64) ratio at mid memory: "
+        f"{mid['CBF'] / mid['avg MPCBF-1 w=64']:.1f}x (paper: ~10x); "
+        f"worst-case Eq. 9 sizing gives "
+        f"{mid['CBF'] / mid['MPCBF-1 w=64']:.1f}x"
+    )
+    return report
+
+
+def fig06(scale: Scale | None = None) -> ExperimentReport:
+    """Fig. 6 — word-overflow probability of MPCBF-1, n=100K, k=3."""
+    scale = scale or current_scale()
+    n = scale.synth_members
+    report = ExperimentReport(
+        "fig6",
+        "Word overflow probability of MPCBF-1 (exact tail and Eq. 6 bound)",
+        paper=(
+            "w=64 gives more freedom in n_max and lower overflow "
+            "probability than w=32; probability falls steeply with n_max."
+        ),
+    )
+    for w in (32, 64):
+        for memory in scale.synth_memories:
+            l = memory // w
+            n_star = n_max_heuristic(n, l)
+            for n_max in range(max(1, n_star - 2), n_star + 3):
+                report.add(
+                    w=w,
+                    bits_per_elem=memory / n,
+                    n_max=n_max,
+                    heuristic_n_max=n_star,
+                    p_any_overflow=any_word_overflow_probability(n, l, n_max),
+                    eq6_bound=min(1.0, l * word_overflow_bound(n, l, n_max)),
+                )
+    return report
+
+
+def fig09(scale: Scale | None = None) -> ExperimentReport:
+    """Fig. 9 — optimal k vs memory for CBF and MPCBF-1/2/3."""
+    scale = scale or current_scale()
+    n = scale.synth_members
+    report = ExperimentReport(
+        "fig9",
+        "Optimal number of hash functions vs memory",
+        paper=(
+            "CBF's optimal k climbs from ~6 to ~12 across the memory "
+            "range; MPCBF's stays nearly constant (3 for MPCBF-1, "
+            "4-5 for MPCBF-2, 5 for MPCBF-3)."
+        ),
+    )
+    for memory in scale.synth_memories:
+        row = {
+            "bits_per_elem": memory / n,
+            "CBF": cbf_optimal_k(memory, n),
+        }
+        for g in (1, 2, 3):
+            k_opt, _ = mpcbf_optimal_k(memory, n, 64, g=g)
+            row[f"MPCBF-{g}"] = k_opt
+        report.add(**row)
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Empirical synthetic experiments (§IV.B)
+# ---------------------------------------------------------------------------
+
+def _run_synthetic_grid(
+    variants: tuple[str, ...],
+    k: int,
+    scale: Scale,
+    *,
+    memories: tuple[int, ...] | None = None,
+) -> dict[tuple[str, int], list]:
+    """Run the §IV protocol over (variant × memory) averaged over seeds."""
+    results: dict[tuple[str, int], list] = {}
+    memories = memories or scale.synth_memories
+    for seed in range(scale.repeats):
+        workload = make_synthetic_workload(
+            n_members=scale.synth_members,
+            n_queries=scale.synth_queries,
+            seed=seed,
+        )
+        for memory in memories:
+            suite = build_suite(
+                list(variants),
+                memory,
+                k,
+                capacity=scale.synth_members,
+                seed=seed,
+            )
+            for name, filt in suite.items():
+                res = run_membership_workload(filt, workload)
+                results.setdefault((name, memory), []).append(res)
+    return results
+
+
+def fig07(scale: Scale | None = None, *, ks: tuple[int, ...] = (3, 4)) -> ExperimentReport:
+    """Fig. 7 — empirical FPR of all five variants, k=3 and k=4."""
+    scale = scale or current_scale()
+    report = ExperimentReport(
+        "fig7",
+        "Empirical false positive rates on synthetic data (k=3 and k=4)",
+        paper=(
+            "At equal memory MPCBF-2's FPR is ~23x below PCBF and ~13x "
+            "below CBF at k=3; at k=4 MPCBF-1 is slightly worse than CBF "
+            "but MPCBF-2 still far better."
+        ),
+    )
+    for k in ks:
+        grid = _run_synthetic_grid(_MAIN_VARIANTS, k, scale)
+        for memory in scale.synth_memories:
+            row: dict = {"k": k, "bits_per_elem": memory / scale.synth_members}
+            for name in _MAIN_VARIANTS:
+                runs = grid[(name, memory)]
+                row[name] = float(
+                    np.mean([r.false_positive_rate for r in runs])
+                )
+            report.add(**row)
+    for row in report.rows:
+        if row["MPCBF-2"] > 0:
+            report.note(
+                f"k={row['k']} m/n={row['bits_per_elem']:.0f}: "
+                f"CBF/MPCBF-2 = {row['CBF'] / row['MPCBF-2']:.1f}x"
+            )
+            break
+    return report
+
+
+def fig08(scale: Scale | None = None) -> ExperimentReport:
+    """Fig. 8 — execution time of the bulk query set, k=3."""
+    scale = scale or current_scale()
+    k = 3
+    report = ExperimentReport(
+        "fig8",
+        "Execution time of bulk queries, k=3 (seconds, this machine)",
+        paper=(
+            "Time is ~flat in memory; PCBF-1/MPCBF-1 beat CBF (fewer "
+            "gathers at equal hash work); PCBF-2/MPCBF-2 pay one extra "
+            "hash computation and come in slower than CBF in software."
+        ),
+    )
+    workload = make_synthetic_workload(
+        n_members=scale.synth_members, n_queries=scale.synth_queries, seed=0
+    )
+    encoded_queries = workload.encoded_queries()
+    for memory in scale.synth_memories:
+        suite = build_suite(
+            list(_MAIN_VARIANTS), memory, k, capacity=scale.synth_members, seed=0
+        )
+        row: dict = {"bits_per_elem": memory / scale.synth_members}
+        for name, filt in suite.items():
+            filt.insert_many(workload.members)
+            best = float("inf")
+            for _ in range(3):
+                t0 = time.perf_counter()
+                filt.query_many(encoded_queries)
+                best = min(best, time.perf_counter() - t0)
+            row[name] = best
+        report.add(**row)
+    return report
+
+
+def fig10(scale: Scale | None = None) -> ExperimentReport:
+    """Fig. 10 — FPR with each structure at its own optimal k."""
+    scale = scale or current_scale()
+    n = scale.synth_members
+    report = ExperimentReport(
+        "fig10",
+        "False positive rates at optimal k (analytic + empirical)",
+        paper=(
+            "With optimal k CBF narrows the gap (needs ~12 accesses to "
+            "match MPCBF-2's 2); MPCBF-3 stays ~an order of magnitude "
+            "below optimal-k CBF."
+        ),
+    )
+    for memory in scale.synth_memories:
+        k_cbf = cbf_optimal_k(memory, n)
+        row: dict = {
+            "bits_per_elem": memory / n,
+            "CBF k": k_cbf,
+            "CBF": bf_fpr(n, memory // 4, k_cbf),
+        }
+        for g in (1, 2, 3):
+            k_opt, fpr = mpcbf_optimal_k(memory, n, 64, g=g)
+            row[f"MPCBF-{g} k"] = k_opt
+            row[f"MPCBF-{g}"] = fpr
+        report.add(**row)
+    # Empirical spot check at the largest memory.
+    memory = scale.synth_memories[-1]
+    workload = make_synthetic_workload(
+        n_members=n, n_queries=scale.synth_queries, seed=0
+    )
+    k_cbf = cbf_optimal_k(memory, n)
+    for variant, k in [("CBF", k_cbf)] + [
+        (f"MPCBF-{g}", mpcbf_optimal_k(memory, n, 64, g=g)[0]) for g in (1, 2, 3)
+    ]:
+        filt = build_filter(_spec(variant, memory, k, n))
+        res = run_membership_workload(filt, workload)
+        report.note(
+            f"empirical {variant} at k={k}, m/n={memory / n:.0f}: "
+            f"fpr={res.false_positive_rate:.2e}"
+        )
+    return report
+
+
+def fig11(scale: Scale | None = None) -> ExperimentReport:
+    """Fig. 11 — query overhead (accesses, bandwidth) at optimal k."""
+    scale = scale or current_scale()
+    n = scale.synth_members
+    report = ExperimentReport(
+        "fig11",
+        "Query overhead at optimal k: memory accesses and bandwidth",
+        paper=(
+            "CBF needs 5.2-10 accesses per query as optimal k grows; "
+            "MPCBF-1/2/3 stay constant at 1.0 / 1.8 / 2.6."
+        ),
+    )
+    workload = make_synthetic_workload(
+        n_members=n, n_queries=max(scale.synth_queries // 5, 10_000), seed=0
+    )
+    for memory in scale.synth_memories:
+        k_cbf = cbf_optimal_k(memory, n)
+        configs = [("CBF", k_cbf, None)] + [
+            (f"MPCBF-{g}", mpcbf_optimal_k(memory, n, 64, g=g)[0], g)
+            for g in (1, 2, 3)
+        ]
+        row: dict = {"bits_per_elem": memory / n}
+        for variant, k, g in configs:
+            filt = build_filter(_spec(variant, memory, k, n))
+            res = run_membership_workload(filt, workload)
+            row[f"{variant} acc"] = round(res.mean_query_accesses, 2)
+            row[f"{variant} bits"] = round(res.mean_query_bits, 1)
+        report.add(**row)
+    return report
+
+
+def _overhead_table(
+    kind: str, scale: Scale, ks: tuple[int, ...] = (3, 4)
+) -> ExperimentReport:
+    """Shared driver for Tables I (query) and II (update)."""
+    titles = {
+        "query": ("table1", "Query overhead with k=3 and k=4"),
+        "update": ("table2", "Update overhead with k=3 and k=4"),
+    }
+    exp_id, title = titles[kind]
+    paper = (
+        "CBF pays k accesses and k*log2(m) bits; PCBF/MPCBF pay g "
+        "accesses; MPCBF's bandwidth is slightly above PCBF's "
+        "(hierarchy traversal on updates)."
+    )
+    report = ExperimentReport(exp_id, title, paper=paper)
+    memory = scale.synth_memories[len(scale.synth_memories) // 2]
+    workload = make_synthetic_workload(
+        n_members=scale.synth_members,
+        n_queries=max(scale.synth_queries // 5, 10_000),
+        seed=0,
+    )
+    for k in ks:
+        suite = build_suite(
+            list(_MAIN_VARIANTS),
+            memory,
+            k,
+            capacity=scale.synth_members,
+            seed=0,
+        )
+        for name, filt in suite.items():
+            res = run_membership_workload(filt, workload)
+            if kind == "query":
+                acc, bits = res.mean_query_accesses, res.mean_query_bits
+            else:
+                acc, bits = res.mean_update_accesses, res.mean_update_bits
+            base = name.split("-")[0]
+            g = int(name.split("-")[1]) if "-" in name else 1
+            budget_fn = query_budget if kind == "query" else update_budget
+            budget = budget_fn(
+                "CBF" if base == "CBF" else base,
+                memory,
+                k,
+                g=g,
+                n=scale.synth_members,
+            )
+            report.add(
+                k=k,
+                structure=name,
+                measured_accesses=round(acc, 2),
+                measured_bits=round(bits, 1),
+                model_accesses=budget.memory_accesses,
+                model_bits=round(budget.total_bits, 1),
+            )
+    return report
+
+
+def table1(scale: Scale | None = None) -> ExperimentReport:
+    """Table I — query overhead with k=3 and k=4."""
+    return _overhead_table("query", scale or current_scale())
+
+
+def table2(scale: Scale | None = None) -> ExperimentReport:
+    """Table II — update overhead with k=3 and k=4."""
+    return _overhead_table("update", scale or current_scale())
+
+
+# ---------------------------------------------------------------------------
+# Trace experiments (§IV.D)
+# ---------------------------------------------------------------------------
+
+def _run_trace(scale: Scale, memory: int, k: int, seed: int):
+    """Run the trace protocol over one memory budget; returns results."""
+    trace = make_trace_workload(
+        n_unique=scale.trace_unique,
+        n_observations=scale.trace_observations,
+        n_inserted=scale.trace_inserted,
+        seed=seed,
+    )
+    members = trace.member_keys()
+    queries = trace.query_keys()
+    truth = trace.query_is_member()
+    suite = build_suite(
+        list(_MAIN_VARIANTS), memory, k, capacity=scale.trace_inserted, seed=seed
+    )
+    out = {}
+    for name, filt in suite.items():
+        filt.insert_many(members)
+        # Update period: delete then re-insert 20% of the members, as §IV.A.
+        churn = members[: scale.trace_inserted // 5]
+        filt.delete_many(churn)
+        filt.insert_many(churn)
+        update_stats = filt.stats.update
+        u_acc, u_bits = update_stats.mean_accesses, update_stats.mean_bits
+        filt.reset_stats()
+        answers = filt.query_many(queries)
+        negatives = ~truth
+        fpr = float(answers[negatives].mean())
+        assert bool(answers[truth].all()), f"{name}: false negative on trace"
+        out[name] = {
+            "fpr": fpr,
+            "q_acc": filt.stats.query.mean_accesses,
+            "q_bits": filt.stats.query.mean_bits,
+            "u_acc": u_acc,
+            "u_bits": u_bits,
+        }
+    return out
+
+
+def fig12(scale: Scale | None = None) -> ExperimentReport:
+    """Fig. 12 — FPR on (CAIDA-shaped) IP traces, k=3."""
+    scale = scale or current_scale()
+    report = ExperimentReport(
+        "fig12",
+        "False positive rates with k=3 on IP traces",
+        paper=(
+            "8→16 Mb: CBF falls 0.66%→0.083%; MPCBF-2 0.15%→0.012% "
+            "(~6.9x below CBF); MPCBF-1 slightly above CBF but close."
+        ),
+    )
+    # The trace FPR is weighted by heavy Zipf flows (one false-positive
+    # elephant flow moves the rate visibly), so average over seeds.
+    for memory in scale.trace_memories:
+        acc: dict[str, list[float]] = {}
+        for seed in range(scale.repeats):
+            rows = _run_trace(scale, memory, k=3, seed=seed)
+            for name, vals in rows.items():
+                acc.setdefault(name, []).append(vals["fpr"])
+        report.add(
+            bits_per_inserted=memory / scale.trace_inserted,
+            **{name: float(np.mean(v)) for name, v in acc.items()},
+        )
+    return report
+
+
+def table3(scale: Scale | None = None) -> ExperimentReport:
+    """Table III — processing overhead with k=3 on IP traces."""
+    scale = scale or current_scale()
+    report = ExperimentReport(
+        "table3",
+        "Processing overhead with k=3 on IP traces",
+        paper=(
+            "CBF: 2.1 query accesses / 46 bits, 3.0 update accesses / 66 "
+            "bits; MPCBF-1: 1.0 / 28 and 1.0 / 36; MPCBF-2: 1.5 / 39 and "
+            "2.0 / 56."
+        ),
+    )
+    memory = scale.trace_memories[0]
+    rows = _run_trace(scale, memory, k=3, seed=0)
+    for name, vals in rows.items():
+        report.add(
+            structure=name,
+            query_accesses=round(vals["q_acc"], 2),
+            query_bits=round(vals["q_bits"], 1),
+            update_accesses=round(vals["u_acc"], 2),
+            update_bits=round(vals["u_bits"], 1),
+        )
+    return report
+
+
+# ---------------------------------------------------------------------------
+# MapReduce join (§V, Table IV)
+# ---------------------------------------------------------------------------
+
+def table4(scale: Scale | None = None) -> ExperimentReport:
+    """Table IV — reduce-side join in MapReduce with CBF vs MPCBF."""
+    scale = scale or current_scale()
+    report = ExperimentReport(
+        "table4",
+        "Join performance in MapReduce (reduce-side join + filters)",
+        paper=(
+            "FPR 35.7% (CBF) → 9.7% (MPCBF-1) → 4.4% (MPCBF-2); map "
+            "outputs cut 26.7% / 30.3%; total time cut 14.3% / 15.2%."
+        ),
+    )
+    # hit_fraction calibrated so the relative map-output reduction of
+    # MPCBF over CBF lands in the paper's regime (its 26.7% cut at
+    # 35.7%→9.7% FPR implies ~0.35-0.4 of citations join).
+    dataset = make_patent_dataset(
+        n_keys=scale.join_keys,
+        n_citations=scale.join_citations,
+        hit_fraction=0.35,
+        seed=0,
+    )
+    # Filter memory deliberately tight (~10 bits/key) so the CBF FPR
+    # lands in the tens of percent like the paper's 35.7% (they sized
+    # the filter for the small relation).  The join filter is built
+    # once and never deleted from, so MPCBF uses *average-case* sizing
+    # (n_max ≈ g·n/l, the paper's own f_avg analysis at the end of
+    # §III.B.3) with the saturate policy instead of the churn-safe
+    # Eq. 11 bound, which would crush b1 at this load.
+    memory = scale.join_keys * 10
+    l = memory // 64
+    engine = LocalMapReduceEngine(cost_model=ClusterCostModel())
+    baseline = reduce_side_join(dataset, None, engine=engine)
+
+    def join_spec(variant: str) -> FilterSpec:
+        if not variant.startswith("MPCBF"):
+            return _spec(variant, memory, 3, scale.join_keys)
+        g = int(variant.split("-")[1])
+        n_max = max(1, round(g * scale.join_keys / l))
+        return FilterSpec(
+            variant=variant,
+            memory_bits=memory,
+            k=3,
+            capacity=scale.join_keys,
+            n_max=n_max,
+            extra={"word_overflow": "saturate"},
+        )
+
+    specs = [(v, join_spec(v)) for v in ("CBF", "MPCBF-1", "MPCBF-2")]
+    reports = {"none": baseline}
+    for name, spec in specs:
+        filt = build_filter(spec)
+        rep = reduce_side_join(dataset, filt, engine=engine)
+        assert rep.joined_rows == baseline.joined_rows, (
+            f"{name} lost join rows: {rep.joined_rows} != {baseline.joined_rows}"
+        )
+        reports[name] = rep
+    # The paper's "reduce X% of the map outputs / execution time" is
+    # relative to the CBF-filtered job, so both references are shown.
+    cbf = reports["CBF"]
+    for name, rep in reports.items():
+        map_cut_none = 1 - rep.map_output_records / baseline.map_output_records
+        time_cut_none = 1 - rep.modelled_seconds / baseline.modelled_seconds
+        map_cut_cbf = 1 - rep.map_output_records / cbf.map_output_records
+        time_cut_cbf = 1 - rep.modelled_seconds / cbf.modelled_seconds
+        report.add(
+            structure=name,
+            fpr=rep.filter_fpr,
+            map_output_records=rep.map_output_records,
+            cut_vs_none=f"{100 * map_cut_none:.1f}%",
+            cut_vs_cbf=f"{100 * map_cut_cbf:.1f}%",
+            modelled_s=round(rep.modelled_seconds, 3),
+            time_vs_cbf=f"{100 * time_cut_cbf:.1f}%",
+            joined_rows=rep.joined_rows,
+        )
+    return report
+
+
+def all_experiments(scale: Scale | None = None) -> list[ExperimentReport]:
+    """Run every driver in figure/table order."""
+    scale = scale or current_scale()
+    return [
+        fig02(scale),
+        fig05(scale),
+        fig06(scale),
+        fig07(scale),
+        fig08(scale),
+        fig09(scale),
+        fig10(scale),
+        fig11(scale),
+        table1(scale),
+        table2(scale),
+        fig12(scale),
+        table3(scale),
+        table4(scale),
+    ]

@@ -1,0 +1,89 @@
+"""Export experiment reports to JSON and Markdown.
+
+``python -m repro.bench`` prints plain text; this module persists the
+same reports so results can be archived, diffed across runs, or pasted
+into EXPERIMENTS.md.  JSON is loss-free (all rows, notes, and the
+paper-claim string); Markdown renders a GitHub table per report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable
+
+from repro.bench.reporting import ExperimentReport, format_value
+
+__all__ = [
+    "report_to_json",
+    "report_from_json",
+    "report_to_markdown",
+    "write_reports",
+]
+
+
+def report_to_json(report: ExperimentReport) -> str:
+    """Serialise one report to a JSON string."""
+    return json.dumps(asdict(report), indent=2, default=float)
+
+
+def report_from_json(text: str) -> ExperimentReport:
+    """Reconstruct a report serialised by :func:`report_to_json`."""
+    data = json.loads(text)
+    return ExperimentReport(
+        experiment_id=data["experiment_id"],
+        title=data["title"],
+        rows=data["rows"],
+        paper=data.get("paper", ""),
+        notes=data.get("notes", []),
+        columns=data.get("columns"),
+    )
+
+
+def report_to_markdown(report: ExperimentReport) -> str:
+    """Render one report as a Markdown section with a table."""
+    lines = [f"### {report.experiment_id}: {report.title}", ""]
+    if report.paper:
+        lines += [f"> paper: {report.paper}", ""]
+    if report.rows:
+        cols = report.columns or list(report.rows[0].keys())
+        lines.append("| " + " | ".join(cols) + " |")
+        lines.append("|" + "|".join("---" for _ in cols) + "|")
+        for row in report.rows:
+            lines.append(
+                "| "
+                + " | ".join(format_value(row.get(c, "")) for c in cols)
+                + " |"
+            )
+        lines.append("")
+    for note in report.notes:
+        lines.append(f"*{note}*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_reports(
+    reports: Iterable[ExperimentReport],
+    directory: str | Path,
+    *,
+    markdown_name: str = "results.md",
+) -> Path:
+    """Write per-report JSON files plus one combined Markdown file.
+
+    Returns the Markdown path.  Filenames are
+    ``<experiment_id>.json`` inside ``directory`` (created if absent).
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    sections = []
+    for report in reports:
+        (directory / f"{report.experiment_id}.json").write_text(
+            report_to_json(report)
+        )
+        sections.append(report_to_markdown(report))
+    md_path = directory / markdown_name
+    md_path.write_text(
+        "# Regenerated experiment results\n\n" + "\n".join(sections)
+    )
+    return md_path

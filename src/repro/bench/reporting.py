@@ -1,0 +1,80 @@
+"""Experiment reports and plain-text table rendering.
+
+Every experiment driver returns an :class:`ExperimentReport`: an id
+("fig7a", "table3", …), the regenerated rows, and a ``paper`` note
+stating what the original figure shows so paper-vs-measured comparison
+is one ``print`` away (EXPERIMENTS.md is generated from these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+__all__ = ["ExperimentReport", "format_table", "format_value"]
+
+
+def format_value(value: object) -> str:
+    """Render one cell: compact scientific notation for small floats."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) < 1e-3 or abs(value) >= 1e6:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(rows: Sequence[dict], *, columns: Sequence[str] | None = None) -> str:
+    """Render rows as an aligned plain-text table."""
+    if not rows:
+        return "(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+    rendered = [[format_value(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in rendered)) for i, col in enumerate(cols)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    sep = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(r))
+        for r in rendered
+    )
+    return f"{header}\n{sep}\n{body}"
+
+
+@dataclass
+class ExperimentReport:
+    """One regenerated table/figure."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict] = field(default_factory=list)
+    #: What the paper's version of this figure/table shows (the claim
+    #: whose *shape* the rows must reproduce).
+    paper: str = ""
+    notes: list[str] = field(default_factory=list)
+    columns: list[str] | None = None
+
+    def add(self, **row: object) -> None:
+        """Append one row."""
+        self.rows.append(row)
+
+    def note(self, text: str) -> None:
+        """Attach a free-form observation."""
+        self.notes.append(text)
+
+    def render(self) -> str:
+        """Full plain-text rendering (id, paper claim, table, notes)."""
+        parts = [f"== {self.experiment_id}: {self.title} =="]
+        if self.paper:
+            parts.append(f"paper: {self.paper}")
+        parts.append(format_table(self.rows, columns=self.columns))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()

@@ -1,0 +1,97 @@
+"""Experiment scale selection.
+
+``REPRO_SCALE=paper`` runs every experiment at the paper's exact sizes
+(100K–200K members, 1M–5.6M queries, 16.5M citations) — tens of minutes
+of CPU.  The default ``ci`` scale divides dataset sizes by ~10–30 while
+keeping every *ratio* (memory-per-element, member fraction, churn
+fraction, unique/total trace ratio, join hit ratio) identical, so the
+reproduced shapes — orderings, relative factors, crossovers — are
+unchanged; only the statistical noise floor rises.  ``quick`` shrinks a
+further ~5× for seconds-long smoke runs (shapes hold, tails get noisy).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+__all__ = ["Scale", "current_scale"]
+
+
+@dataclass(frozen=True)
+class Scale:
+    """Dataset sizes for one run of the full experiment grid."""
+
+    name: str
+    #: §IV synthetic: members inserted / queries issued.
+    synth_members: int
+    synth_queries: int
+    #: §IV memory grid in bits (the paper sweeps 4–8 Mb synthetic,
+    #: 8–16 Mb traces; Mb = 10^6 bits in the paper's axes).
+    synth_memories: tuple[int, ...]
+    #: §IV.D trace: unique flows / observations / inserted flows.
+    trace_unique: int
+    trace_observations: int
+    trace_inserted: int
+    trace_memories: tuple[int, ...]
+    #: §V join: small-relation keys / citation records.
+    join_keys: int
+    join_citations: int
+    #: Seeds averaged per configuration (paper: 10).
+    repeats: int
+
+
+_CI = Scale(
+    name="ci",
+    synth_members=10_000,
+    synth_queries=100_000,
+    synth_memories=(400_000, 500_000, 600_000, 700_000, 800_000),
+    trace_unique=29_236,
+    trace_observations=558_563,
+    trace_inserted=20_000,
+    trace_memories=(800_000, 1_200_000, 1_600_000),
+    join_keys=7_166,
+    join_citations=165_224,
+    repeats=3,
+)
+
+_PAPER = Scale(
+    name="paper",
+    synth_members=100_000,
+    synth_queries=1_000_000,
+    synth_memories=(4_000_000, 5_000_000, 6_000_000, 7_000_000, 8_000_000),
+    trace_unique=292_363,
+    trace_observations=5_585_633,
+    trace_inserted=200_000,
+    trace_memories=(8_000_000, 12_000_000, 16_000_000),
+    join_keys=71_661,
+    join_citations=16_522_438,
+    repeats=10,
+)
+
+_QUICK = Scale(
+    name="quick",
+    synth_members=2_000,
+    synth_queries=20_000,
+    synth_memories=(80_000, 120_000, 160_000),
+    trace_unique=2_924,
+    trace_observations=55_856,
+    trace_inserted=2_000,
+    trace_memories=(80_000, 120_000, 160_000),
+    join_keys=1_000,
+    join_citations=23_060,
+    repeats=1,
+)
+
+_SCALES = {"quick": _QUICK, "ci": _CI, "paper": _PAPER}
+
+
+def current_scale() -> Scale:
+    """Resolve the active scale from ``REPRO_SCALE`` (default ``ci``)."""
+    name = os.environ.get("REPRO_SCALE", "ci").lower()
+    try:
+        return _SCALES[name]
+    except KeyError:
+        raise ValueError(
+            f"REPRO_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        ) from None

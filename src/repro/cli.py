@@ -1,0 +1,204 @@
+"""Command-line interface: build, query, plan, and benchmark filters.
+
+Usage (also installed as the ``repro`` console script)::
+
+    repro build --variant MPCBF-1 --memory-kb 64 --k 3 \
+                --keys keys.txt --out filter.mpcbf
+    repro query --filter filter.mpcbf --keys probes.txt
+    repro plan --n 100000 --target-fpr 1e-4
+    repro bench fig7 table4
+    repro workload synthetic --members 10000 --out keys.txt
+
+Key files are plain text, one key per line (encoded as UTF-8 bytes).
+Filters serialise through :mod:`repro.serialize`, so a built filter can
+be shipped to another process or machine — e.g. as a DistributedCache
+payload.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.tradeoffs import cbf_bits_for_fpr, cheapest_design
+from repro.bench.scale import current_scale
+from repro.errors import ReproError
+from repro.filters.factory import FilterSpec, build_filter
+from repro.serialize import dump_filter, load_filter
+
+__all__ = ["main", "build_parser"]
+
+
+def _read_keys(path: str) -> list[bytes]:
+    text = Path(path).read_text(encoding="utf-8")
+    return [line.encode("utf-8") for line in text.splitlines() if line]
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    keys = _read_keys(args.keys)
+    spec = FilterSpec(
+        variant=args.variant,
+        memory_bits=args.memory_kb * 8192,
+        k=args.k,
+        word_bits=args.word_bits,
+        capacity=args.capacity or len(keys),
+        seed=args.seed,
+        extra=(
+            {"word_overflow": args.word_overflow}
+            if args.variant.startswith("MPCBF")
+            else {}
+        ),
+    )
+    filt = build_filter(spec)
+    filt.insert_many(keys)
+    blob = dump_filter(filt)
+    Path(args.out).write_bytes(blob)
+    print(
+        f"built {filt.name}: {len(keys)} keys, {filt.total_bits // 8192} KiB "
+        f"logical, {len(blob)} bytes serialised -> {args.out}"
+    )
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    filt = load_filter(Path(args.filter).read_bytes())
+    keys = _read_keys(args.keys)
+    answers = filt.query_many(keys)
+    positives = int(answers.sum())
+    if args.verbose:
+        for key, ans in zip(keys, answers):
+            print(f"{key.decode('utf-8', 'replace')}\t{'maybe' if ans else 'no'}")
+    print(
+        f"{filt.name}: {positives}/{len(keys)} keys possibly present "
+        f"({filt.stats.query.mean_accesses:.2f} accesses/query)"
+    )
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    design = cheapest_design(
+        args.n,
+        args.target_fpr,
+        word_bits=args.word_bits,
+        max_accesses=args.max_accesses,
+    )
+    print(
+        f"cheapest MPCBF-{design.g}: {design.bits_per_element:.0f} bits/elem "
+        f"({design.memory_bits // 8192} KiB), k={design.k}, "
+        f"b1={design.first_level_bits}, n_max={design.n_max}, "
+        f"fpr={design.fpr:.2e}, P(overflow)={design.overflow_probability:.2e}"
+    )
+    try:
+        cbf_bpe, cbf_k = cbf_bits_for_fpr(args.n, args.target_fpr)
+        print(
+            f"standard CBF needs {cbf_bpe:.0f} bits/elem at k={cbf_k} "
+            f"({cbf_k} memory accesses/query vs {design.g})"
+        )
+    except ReproError as exc:
+        print(f"standard CBF: {exc}")
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(args.experiments)
+
+
+def _cmd_workload(args: argparse.Namespace) -> int:
+    rng_seed = args.seed
+    if args.kind == "synthetic":
+        from repro.workloads.synthetic import random_strings
+
+        rng = np.random.default_rng(rng_seed)
+        keys = random_strings(args.members, length=args.length, rng=rng)
+        Path(args.out).write_text(
+            "\n".join(k.decode("ascii") for k in keys) + "\n"
+        )
+        print(f"wrote {len(keys)} synthetic keys -> {args.out}")
+        return 0
+    if args.kind == "trace":
+        from repro.workloads.traces import make_trace_workload
+
+        trace = make_trace_workload(
+            n_unique=args.members,
+            n_observations=args.members * 19,
+            n_inserted=max(1, int(args.members * 0.68)),
+            seed=rng_seed,
+        )
+        flows = trace.flows[trace.stream]
+        lines = [f"{src}.{dst}" for src, dst in flows[: args.members * 19]]
+        Path(args.out).write_text("\n".join(lines) + "\n")
+        print(f"wrote {len(lines)} trace observations -> {args.out}")
+        return 0
+    raise ReproError(f"unknown workload kind {args.kind!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MPCBF (IPDPS 2013) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_build = sub.add_parser("build", help="build and serialise a filter")
+    p_build.add_argument("--variant", default="MPCBF-1")
+    p_build.add_argument("--memory-kb", type=int, default=64)
+    p_build.add_argument("--k", type=int, default=3)
+    p_build.add_argument("--word-bits", type=int, default=64)
+    p_build.add_argument("--capacity", type=int, default=None)
+    p_build.add_argument("--seed", type=int, default=0)
+    p_build.add_argument(
+        "--word-overflow", choices=["raise", "saturate"], default="saturate"
+    )
+    p_build.add_argument("--keys", required=True, help="text file, 1 key/line")
+    p_build.add_argument("--out", required=True)
+    p_build.set_defaults(func=_cmd_build)
+
+    p_query = sub.add_parser("query", help="query keys against a filter")
+    p_query.add_argument("--filter", required=True)
+    p_query.add_argument("--keys", required=True)
+    p_query.add_argument("--verbose", action="store_true")
+    p_query.set_defaults(func=_cmd_query)
+
+    p_plan = sub.add_parser("plan", help="capacity-plan an MPCBF")
+    p_plan.add_argument("--n", type=int, required=True)
+    p_plan.add_argument("--target-fpr", type=float, required=True)
+    p_plan.add_argument("--word-bits", type=int, default=64)
+    p_plan.add_argument("--max-accesses", type=int, default=3)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_bench = sub.add_parser("bench", help="regenerate paper tables/figures")
+    p_bench.add_argument("experiments", nargs="*", help="e.g. fig7 table4")
+    p_bench.set_defaults(func=_cmd_bench)
+
+    p_work = sub.add_parser("workload", help="generate workload files")
+    p_work.add_argument("kind", choices=["synthetic", "trace"])
+    p_work.add_argument("--members", type=int, default=10_000)
+    p_work.add_argument("--length", type=int, default=5)
+    p_work.add_argument("--seed", type=int, default=0)
+    p_work.add_argument("--out", required=True)
+    p_work.set_defaults(func=_cmd_workload)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

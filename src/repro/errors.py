@@ -1,0 +1,91 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the individual failure modes that the paper's data
+structures exhibit (counter overflow in CBFs, word overflow in HCBF
+words, deletion of absent elements, and capacity misconfiguration).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "CapacityError",
+    "CounterOverflowError",
+    "CounterUnderflowError",
+    "WordOverflowError",
+    "UnsupportedOperationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A filter or experiment was constructed with inconsistent parameters.
+
+    Examples: a word size that is not a multiple of 64 bits when the
+    vectorised mirror is requested, ``k`` larger than the first-level
+    vector, or a memory budget too small for a single word.
+    """
+
+
+class CapacityError(ReproError):
+    """An operation exceeded the configured capacity of a structure."""
+
+
+class CounterOverflowError(CapacityError):
+    """A c-bit counter in a counting filter reached its maximum value.
+
+    The standard CBF uses 4-bit counters; the paper notes four bits
+    suffice for most applications, so hitting this error usually means
+    the filter is severely over capacity or an adversarial key is being
+    re-inserted.
+    """
+
+    def __init__(self, index: int, limit: int) -> None:
+        super().__init__(
+            f"counter at index {index} would exceed its maximum value {limit}"
+        )
+        self.index = index
+        self.limit = limit
+
+
+class CounterUnderflowError(CapacityError):
+    """A delete was applied to a counter that is already zero.
+
+    This corresponds to deleting an element that was never inserted —
+    an operation that silently corrupts a CBF, so the library refuses it
+    by default (policies can downgrade it to a recorded statistic).
+    """
+
+    def __init__(self, index: int) -> None:
+        super().__init__(f"counter at index {index} is zero; delete would underflow")
+        self.index = index
+
+
+class WordOverflowError(CapacityError):
+    """An HCBF word ran out of hierarchy bits during an insertion.
+
+    The paper bounds the probability of this event (Eq. 6 / Eq. 10) and
+    chooses ``n_max`` so that it never occurred in their experiments;
+    the library surfaces it explicitly so the bound can be validated.
+    """
+
+    def __init__(self, word_index: int, capacity: int) -> None:
+        super().__init__(
+            f"HCBF word {word_index} overflowed its hierarchy capacity "
+            f"({capacity} elements)"
+        )
+        self.word_index = word_index
+        self.capacity = capacity
+
+
+class UnsupportedOperationError(ReproError):
+    """The requested operation is not supported by this filter variant.
+
+    For example, deleting from a plain (non-counting) Bloom filter.
+    """

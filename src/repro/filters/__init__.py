@@ -1,0 +1,55 @@
+"""Filter implementations: the paper's contribution and all baselines.
+
+Variants (all comparable at equal memory via
+:func:`repro.filters.factory.build_suite`):
+
+* :class:`~repro.filters.bloom.BloomFilter` — standard BF [1].
+* :class:`~repro.filters.one_access.OneAccessBloomFilter` — BF-1/BF-g
+  (Qiao et al. [11]), the inspiration baseline.
+* :class:`~repro.filters.cbf.CountingBloomFilter` — standard CBF [3].
+* :class:`~repro.filters.pcbf.PartitionedCBF` — PCBF-1/PCBF-g (§III.A).
+* :class:`~repro.filters.hcbf_word.HCBFWord` — the hierarchical
+  counting word (§III.B.1, §III.B.3).
+* :class:`~repro.filters.mpcbf.MPCBF` — the paper's contribution,
+  MPCBF-1/MPCBF-g (§III.B.2, §III.C).
+* :class:`~repro.filters.dlcbf.DLeftCBF` — d-left CBF [17] (extension).
+* :class:`~repro.filters.vicbf.VariableIncrementCBF` — VI-CBF [23]
+  (extension).
+* :class:`~repro.filters.spectral.SpectralBloomFilter` — SBF [12]
+  (extension).
+"""
+
+from repro.filters.base import (
+    FilterBase,
+    CountingFilterBase,
+    OverflowPolicy,
+)
+from repro.filters.bloom import BloomFilter
+from repro.filters.one_access import OneAccessBloomFilter
+from repro.filters.cbf import CountingBloomFilter
+from repro.filters.pcbf import PartitionedCBF
+from repro.filters.hcbf_word import HCBFWord, improved_first_level_size
+from repro.filters.mpcbf import MPCBF
+from repro.filters.dlcbf import DLeftCBF
+from repro.filters.spectral import SpectralBloomFilter
+from repro.filters.vicbf import VariableIncrementCBF
+from repro.filters.factory import FilterSpec, build_filter, build_suite
+
+__all__ = [
+    "FilterBase",
+    "CountingFilterBase",
+    "OverflowPolicy",
+    "BloomFilter",
+    "OneAccessBloomFilter",
+    "CountingBloomFilter",
+    "PartitionedCBF",
+    "HCBFWord",
+    "improved_first_level_size",
+    "MPCBF",
+    "DLeftCBF",
+    "SpectralBloomFilter",
+    "VariableIncrementCBF",
+    "FilterSpec",
+    "build_filter",
+    "build_suite",
+]

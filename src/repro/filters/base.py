@@ -1,0 +1,164 @@
+"""Common filter API shared by every variant in :mod:`repro.filters`.
+
+Design notes
+------------
+* **Keys.** Public methods accept raw keys (bytes/str/int/flow tuples);
+  each filter owns a :class:`~repro.hashing.encoders.KeyEncoder` and the
+  ``*_encoded`` methods accept pre-encoded 64-bit keys so bulk callers
+  can encode a dataset once and reuse it across all variants — that is
+  how the paper compares variants "on the same datasets".
+* **Scalar vs bulk.** Scalar methods are the straightforward reference
+  implementation (simple and legible first, per the optimisation guide);
+  ``*_many`` bulk methods are NumPy-vectorised hot paths.  Tests assert
+  the two agree.
+* **Accounting.** Every operation records word accesses and hash-bit
+  bandwidth into ``self.stats`` (:class:`repro.memmodel.AccessStats`);
+  the numbers in the paper's Tables I–III fall out of these counters.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import UnsupportedOperationError
+from repro.hashing.encoders import KeyEncoder
+from repro.memmodel.accounting import AccessStats
+
+__all__ = ["OverflowPolicy", "FilterBase", "CountingFilterBase"]
+
+
+class OverflowPolicy(str, enum.Enum):
+    """What a counting filter does when a counter hits its maximum.
+
+    ``RAISE`` surfaces :class:`repro.errors.CounterOverflowError` (the
+    library default — the paper sizes counters so overflow is a bug).
+    ``SATURATE`` pins the counter at its maximum, which is the common
+    hardware behaviour; note that subsequent deletes through a saturated
+    counter can introduce false negatives, which the filter then merely
+    counts in ``saturation_events``.
+    """
+
+    RAISE = "raise"
+    SATURATE = "saturate"
+
+
+class FilterBase:
+    """Abstract approximate-membership filter.
+
+    Subclasses must implement the ``*_encoded`` scalar primitives and
+    may override the bulk methods with vectorised versions (the default
+    bulk implementations loop over the scalar path).
+    """
+
+    #: Human-readable variant name, e.g. ``"MPCBF-2"``; set by subclass.
+    name: str = "filter"
+
+    def __init__(self, *, encoder: KeyEncoder | None = None) -> None:
+        self.encoder = encoder or KeyEncoder()
+        self.stats = AccessStats()
+
+    # -- sizing ---------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Total memory footprint in bits (the paper's x-axis)."""
+        raise NotImplementedError
+
+    @property
+    def num_hashes(self) -> int:
+        """Number of index hash functions ``k``."""
+        raise NotImplementedError
+
+    # -- scalar primitives (encoded keys) -------------------------------
+    def insert_encoded(self, encoded_key: int) -> None:
+        raise NotImplementedError
+
+    def query_encoded(self, encoded_key: int) -> bool:
+        raise NotImplementedError
+
+    # -- public scalar API ----------------------------------------------
+    def insert(self, key: object) -> None:
+        """Insert one key."""
+        self.insert_encoded(self.encoder.encode(key))
+
+    def query(self, key: object) -> bool:
+        """Return True if the key *may* be in the set (no false negatives)."""
+        return self.query_encoded(self.encoder.encode(key))
+
+    def __contains__(self, key: object) -> bool:
+        return self.query(key)
+
+    # -- bulk API ---------------------------------------------------------
+    def insert_many(self, keys: object) -> None:
+        """Insert a bulk collection of keys (array or iterable)."""
+        for encoded in self._encode_bulk(keys):
+            self.insert_encoded(int(encoded))
+
+    def query_many(self, keys: object) -> np.ndarray:
+        """Query a bulk collection; returns a boolean array."""
+        encoded = self._encode_bulk(keys)
+        return np.fromiter(
+            (self.query_encoded(int(e)) for e in encoded),
+            dtype=bool,
+            count=len(encoded),
+        )
+
+    def _encode_bulk(self, keys: object) -> np.ndarray:
+        if isinstance(keys, np.ndarray) and keys.dtype == np.uint64:
+            return keys
+        if isinstance(keys, (np.ndarray, list, tuple)) or isinstance(
+            keys, Iterable
+        ):
+            return self.encoder.encode_many(keys)
+        raise TypeError(f"unsupported bulk key container: {type(keys).__name__}")
+
+    # -- maintenance ------------------------------------------------------
+    def reset_stats(self) -> None:
+        """Zero the access statistics (e.g. after the build phase)."""
+        self.stats.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"<{type(self).__name__} {self.name} bits={self.total_bits} "
+            f"k={self.num_hashes}>"
+        )
+
+
+class CountingFilterBase(FilterBase):
+    """A filter that additionally supports deletion and counting."""
+
+    def delete_encoded(self, encoded_key: int) -> None:
+        raise NotImplementedError
+
+    def count_encoded(self, encoded_key: int) -> int:
+        """Upper-bound multiplicity estimate (min over hashed counters)."""
+        raise NotImplementedError
+
+    def delete(self, key: object) -> None:
+        """Delete one previously inserted key.
+
+        Deleting a key that was never inserted raises
+        :class:`repro.errors.CounterUnderflowError` (or silently corrupts
+        a saturated counter — see :class:`OverflowPolicy`).
+        """
+        self.delete_encoded(self.encoder.encode(key))
+
+    def count(self, key: object) -> int:
+        """Estimated multiplicity of the key (never an underestimate)."""
+        return self.count_encoded(self.encoder.encode(key))
+
+    def delete_many(self, keys: object) -> None:
+        """Delete a bulk collection of keys."""
+        for encoded in self._encode_bulk(keys):
+            self.delete_encoded(int(encoded))
+
+
+def require_counting(filter_obj: FilterBase) -> CountingFilterBase:
+    """Assert that a filter supports deletion, for generic harness code."""
+    if not isinstance(filter_obj, CountingFilterBase):
+        raise UnsupportedOperationError(
+            f"{filter_obj.name} does not support deletion"
+        )
+    return filter_obj

@@ -1,0 +1,130 @@
+"""Standard Bloom filter (Bloom 1970), the Eq. (1) baseline.
+
+An ``m``-bit vector with ``k`` independent hash functions.  Queries
+short-circuit on the first zero bit, which is what makes the *measured*
+mean access count of negative queries smaller than ``k`` (the effect
+behind the sub-``k`` access numbers in Table III for CBF).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.filters.base import FilterBase
+from repro.hashing.bit_budget import HashBitBudget
+from repro.hashing.encoders import KeyEncoder
+from repro.hashing.families import HashFamily
+from repro.memmodel.accounting import OpKind
+
+__all__ = ["BloomFilter"]
+
+
+class BloomFilter(FilterBase):
+    """Plain ``m``-bit Bloom filter.
+
+    Parameters
+    ----------
+    num_bits:
+        Vector size ``m``.
+    k:
+        Number of hash functions.
+    seed:
+        Master hash seed.
+    """
+
+    def __init__(
+        self,
+        num_bits: int,
+        k: int,
+        *,
+        seed: int = 0,
+        encoder: KeyEncoder | None = None,
+    ) -> None:
+        super().__init__(encoder=encoder)
+        if num_bits < 1:
+            raise ConfigurationError(f"num_bits must be >= 1, got {num_bits}")
+        self.name = "BF"
+        self.num_bits = num_bits
+        self.k = k
+        self.family = HashFamily(num_bits, k, seed=seed)
+        self._bits = np.zeros(num_bits, dtype=bool)
+        self._budget = HashBitBudget.flat(num_bits, k)
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self.k
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of set bits (the load factor behind Eq. 1)."""
+        return float(self._bits.mean())
+
+    # -- scalar ---------------------------------------------------------
+    def insert_encoded(self, encoded_key: int) -> None:
+        indices = self.family.indices(encoded_key)
+        for idx in indices:
+            self._bits[idx] = True
+        self.stats.record(
+            OpKind.INSERT,
+            word_accesses=float(self.k),
+            hash_bits=self._budget.total_bits,
+            hash_calls=self._budget.hash_calls,
+        )
+
+    def query_encoded(self, encoded_key: int) -> bool:
+        indices = self.family.indices(encoded_key)
+        accesses = 0
+        result = True
+        for idx in indices:
+            accesses += 1
+            if not self._bits[idx]:
+                result = False
+                break
+        self.stats.record(
+            OpKind.QUERY,
+            word_accesses=float(accesses),
+            hash_bits=self._budget.total_bits / self.k * accesses,
+            hash_calls=self._budget.hash_calls,
+        )
+        return result
+
+    # -- bulk -----------------------------------------------------------
+    def insert_many(self, keys: object) -> None:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return
+        indices = self.family.indices_array(encoded)
+        self._bits[indices.reshape(-1)] = True
+        self.stats.record(
+            OpKind.INSERT,
+            count=len(encoded),
+            word_accesses=float(self.k * len(encoded)),
+            hash_bits=self._budget.total_bits * len(encoded),
+            hash_calls=self._budget.hash_calls * len(encoded),
+        )
+
+    def query_many(self, keys: object) -> np.ndarray:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return np.zeros(0, dtype=bool)
+        indices = self.family.indices_array(encoded)
+        bits = self._bits[indices]
+        member = bits.all(axis=1)
+        # Early-exit accounting: a query touches bits up to and including
+        # the first zero (or all k when positive).
+        first_zero = np.where(member, self.k - 1, np.argmin(bits, axis=1))
+        accesses = first_zero + 1
+        total_accesses = float(accesses.sum())
+        self.stats.record(
+            OpKind.QUERY,
+            count=len(encoded),
+            word_accesses=total_accesses,
+            hash_bits=self._budget.total_bits / self.k * total_accesses,
+            hash_calls=self._budget.hash_calls * len(encoded),
+        )
+        return member

@@ -1,0 +1,299 @@
+"""Standard Counting Bloom Filter (Fan et al. 2000), the paper's baseline.
+
+A vector of ``m`` c-bit counters (``c = 4`` by default, which the paper
+notes suffices for most applications).  Memory footprint is ``c·m``
+bits — the 4× blow-up over a plain Bloom filter that motivates MPCBF.
+
+Two storage backends: the default ``"fast"`` keeps counters in an
+``int32`` NumPy array (``c`` defines the overflow limit and the
+reported footprint — the comparison axis of every figure), with bulk
+inserts/deletes via ``np.add.at``/``np.subtract.at`` so repeated
+indices within one batch accumulate correctly.  ``"packed"`` stores
+genuine ``c``-bit fields in 64-bit limbs
+(:mod:`repro.memmodel.packed`) for memory-faithful experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+)
+from repro.filters.base import CountingFilterBase, OverflowPolicy
+from repro.hashing.bit_budget import HashBitBudget
+from repro.hashing.encoders import KeyEncoder
+from repro.hashing.families import HashFamily
+from repro.memmodel.accounting import OpKind
+
+__all__ = ["CountingBloomFilter"]
+
+
+class CountingBloomFilter(CountingFilterBase):
+    """Flat CBF with ``m`` counters of ``counter_bits`` bits each.
+
+    Parameters
+    ----------
+    num_counters:
+        Number of counters ``m``.
+    k:
+        Number of hash functions.
+    counter_bits:
+        Counter width ``c`` (default 4, per the paper).
+    overflow:
+        Counter-overflow policy, see
+        :class:`~repro.filters.base.OverflowPolicy`.
+    storage:
+        ``"fast"`` (default) keeps counters in an ``int32`` array —
+        the quick simulation representation.  ``"packed"`` stores real
+        ``counter_bits``-wide fields in 64-bit limbs
+        (:class:`repro.memmodel.packed.PackedCounterArray`), so the
+        filter physically occupies the memory it reports; bulk queries
+        stay vectorised, bulk updates fall back to per-counter
+        read-modify-write (the honest hardware cost).  Requires
+        ``counter_bits`` ∈ {1, 2, 4, 8, 16, 32}.
+    """
+
+    def __init__(
+        self,
+        num_counters: int,
+        k: int,
+        *,
+        counter_bits: int = 4,
+        seed: int = 0,
+        overflow: OverflowPolicy | str = OverflowPolicy.RAISE,
+        storage: str = "fast",
+        encoder: KeyEncoder | None = None,
+    ) -> None:
+        super().__init__(encoder=encoder)
+        if num_counters < 1:
+            raise ConfigurationError(
+                f"num_counters must be >= 1, got {num_counters}"
+            )
+        if counter_bits < 1:
+            raise ConfigurationError(
+                f"counter_bits must be >= 1, got {counter_bits}"
+            )
+        self.name = "CBF"
+        self.num_counters = num_counters
+        self.k = k
+        self.counter_bits = counter_bits
+        self.counter_limit = (1 << counter_bits) - 1
+        self.overflow = OverflowPolicy(overflow)
+        if storage not in ("fast", "packed"):
+            raise ConfigurationError(
+                f"storage must be 'fast' or 'packed', got {storage!r}"
+            )
+        self.storage = storage
+        self.family = HashFamily(num_counters, k, seed=seed)
+        if storage == "packed":
+            from repro.memmodel.packed import PackedCounterArray
+
+            self._packed = PackedCounterArray(num_counters, counter_bits)
+            self._counters = None
+        else:
+            self._packed = None
+            self._counters = np.zeros(num_counters, dtype=np.int32)
+        self._budget = HashBitBudget.flat(num_counters, k)
+        #: Number of increments clipped by the SATURATE policy.
+        self.saturation_events = 0
+
+    @property
+    def total_bits(self) -> int:
+        if self._packed is not None:
+            return self._packed.total_bits
+        return self.num_counters * self.counter_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self.k
+
+    @property
+    def counters(self) -> np.ndarray:
+        """Read-only view/copy of the counter vector (tests/analysis)."""
+        if self._packed is not None:
+            return self._packed.to_array()
+        view = self._counters.view()
+        view.flags.writeable = False
+        return view
+
+    def _get(self, idx: int) -> int:
+        if self._packed is not None:
+            return self._packed.get(idx)
+        return int(self._counters[idx])
+
+    def _add(self, idx: int, delta: int) -> None:
+        if self._packed is not None:
+            if delta > 0:
+                self._packed.increment(idx)
+            else:
+                self._packed.decrement(idx)
+        else:
+            self._counters[idx] += delta
+
+    def _gather_positive(self, indices: np.ndarray) -> np.ndarray:
+        if self._packed is not None:
+            return self._packed.nonzero_mask(indices)
+        return self._counters[indices] > 0
+
+    # -- scalar ---------------------------------------------------------
+    def insert_encoded(self, encoded_key: int) -> None:
+        indices = self.family.indices(encoded_key)
+        for idx in indices:
+            if self._get(idx) >= self.counter_limit:
+                if self.overflow is OverflowPolicy.RAISE:
+                    raise CounterOverflowError(idx, self.counter_limit)
+                self.saturation_events += 1
+            else:
+                self._add(idx, 1)
+        self.stats.record(
+            OpKind.INSERT,
+            word_accesses=float(self.k),
+            hash_bits=self._budget.total_bits,
+            hash_calls=self._budget.hash_calls,
+        )
+
+    def delete_encoded(self, encoded_key: int) -> None:
+        indices = self.family.indices(encoded_key)
+        # Validate first so a failed delete leaves the filter untouched.
+        for idx in indices:
+            if self._get(idx) == 0:
+                raise CounterUnderflowError(idx)
+        for idx in indices:
+            self._add(idx, -1)
+        self.stats.record(
+            OpKind.DELETE,
+            word_accesses=float(self.k),
+            hash_bits=self._budget.total_bits,
+            hash_calls=self._budget.hash_calls,
+        )
+
+    def query_encoded(self, encoded_key: int) -> bool:
+        indices = self.family.indices(encoded_key)
+        accesses = 0
+        result = True
+        for idx in indices:
+            accesses += 1
+            if self._get(idx) == 0:
+                result = False
+                break
+        self.stats.record(
+            OpKind.QUERY,
+            word_accesses=float(accesses),
+            hash_bits=self._budget.total_bits / self.k * accesses,
+            hash_calls=self._budget.hash_calls,
+        )
+        return result
+
+    def count_encoded(self, encoded_key: int) -> int:
+        indices = self.family.indices(encoded_key)
+        return int(min(self._get(idx) for idx in indices))
+
+    def merge(self, other: "CountingBloomFilter") -> None:
+        """Add another CBF's counters into this one (multiset union).
+
+        Both filters must share geometry and seed (same hash family),
+        the precondition for distributed builds where each worker
+        fills a partial filter and a reducer merges them.  Overflow
+        follows this filter's policy.
+        """
+        if (
+            not isinstance(other, CountingBloomFilter)
+            or other.num_counters != self.num_counters
+            or other.k != self.k
+            or other.family.seed != self.family.seed
+            or other.counter_bits != self.counter_bits
+        ):
+            raise ConfigurationError(
+                "merge requires an identically configured CountingBloomFilter"
+            )
+        summed = self.counters.astype(np.int64) + other.counters.astype(
+            np.int64
+        )
+        exceeded = summed > self.counter_limit
+        if exceeded.any():
+            if self.overflow is OverflowPolicy.RAISE:
+                raise CounterOverflowError(
+                    int(np.argmax(exceeded)), self.counter_limit
+                )
+            self.saturation_events += int(
+                (summed[exceeded] - self.counter_limit).sum()
+            )
+            summed = np.minimum(summed, self.counter_limit)
+        if self._packed is not None:
+            self._packed.load_array(summed)
+        else:
+            self._counters[:] = summed.astype(np.int32)
+
+    # -- bulk -----------------------------------------------------------
+    def insert_many(self, keys: object) -> None:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return
+        if self._packed is not None:
+            for key in encoded:
+                self.insert_encoded(int(key))
+            return
+        indices = self.family.indices_array(encoded).reshape(-1)
+        np.add.at(self._counters, indices, 1)
+        exceeded = self._counters > self.counter_limit
+        if exceeded.any():
+            if self.overflow is OverflowPolicy.RAISE:
+                idx = int(np.argmax(exceeded))
+                # Roll back so the filter is untouched on failure.
+                np.subtract.at(self._counters, indices, 1)
+                raise CounterOverflowError(idx, self.counter_limit)
+            self.saturation_events += int(
+                (self._counters[exceeded] - self.counter_limit).sum()
+            )
+            np.minimum(self._counters, self.counter_limit, out=self._counters)
+        self.stats.record(
+            OpKind.INSERT,
+            count=len(encoded),
+            word_accesses=float(self.k * len(encoded)),
+            hash_bits=self._budget.total_bits * len(encoded),
+            hash_calls=self._budget.hash_calls * len(encoded),
+        )
+
+    def delete_many(self, keys: object) -> None:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return
+        if self._packed is not None:
+            for key in encoded:
+                self.delete_encoded(int(key))
+            return
+        indices = self.family.indices_array(encoded).reshape(-1)
+        np.subtract.at(self._counters, indices, 1)
+        if (self._counters < 0).any():
+            idx = int(np.argmax(self._counters < 0))
+            np.add.at(self._counters, indices, 1)
+            raise CounterUnderflowError(idx)
+        self.stats.record(
+            OpKind.DELETE,
+            count=len(encoded),
+            word_accesses=float(self.k * len(encoded)),
+            hash_bits=self._budget.total_bits * len(encoded),
+            hash_calls=self._budget.hash_calls * len(encoded),
+        )
+
+    def query_many(self, keys: object) -> np.ndarray:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return np.zeros(0, dtype=bool)
+        indices = self.family.indices_array(encoded)
+        positive = self._gather_positive(indices)
+        member = positive.all(axis=1)
+        first_zero = np.where(member, self.k - 1, np.argmin(positive, axis=1))
+        accesses = first_zero + 1
+        total_accesses = float(accesses.sum())
+        self.stats.record(
+            OpKind.QUERY,
+            count=len(encoded),
+            word_accesses=total_accesses,
+            hash_bits=self._budget.total_bits / self.k * total_accesses,
+            hash_calls=self._budget.hash_calls * len(encoded),
+        )
+        return member

@@ -1,0 +1,198 @@
+"""Equal-memory filter construction (the paper's comparison discipline).
+
+Every figure in §IV compares variants *at the same memory consumption*.
+:func:`build_filter` maps a (variant, memory budget, k, …) spec onto the
+variant's own geometry:
+
+* ``BF`` — ``m = M`` bits.
+* ``CBF`` — ``m = M/c`` counters.
+* ``BF-g``/``PCBF-g``/``MPCBF-g`` — ``l = M/w`` words of ``w`` bits.
+* ``dlCBF`` — buckets sized to fill ``M`` bits of cells.
+* ``VI-CBF`` — ``m = M/c`` counters of ``c`` (8) bits.
+
+:func:`build_suite` builds the whole line-up the paper plots, sharing
+one :class:`~repro.hashing.encoders.KeyEncoder` and seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.filters.base import FilterBase
+from repro.filters.bloom import BloomFilter
+from repro.filters.cbf import CountingBloomFilter
+from repro.filters.dlcbf import DLeftCBF
+from repro.filters.mpcbf import MPCBF
+from repro.filters.one_access import OneAccessBloomFilter
+from repro.filters.pcbf import PartitionedCBF
+from repro.filters.spectral import SpectralBloomFilter
+from repro.filters.vicbf import VariableIncrementCBF
+from repro.hashing.encoders import KeyEncoder
+
+__all__ = ["FilterSpec", "build_filter", "build_suite"]
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """Declarative description of one filter in an experiment.
+
+    ``variant`` is one of ``BF``, ``BF-g``, ``CBF``, ``PCBF-g``,
+    ``MPCBF-g``, ``dlCBF``, ``VI-CBF`` (``g`` a small integer, e.g.
+    ``MPCBF-2``).
+    """
+
+    variant: str
+    memory_bits: int
+    k: int
+    word_bits: int = 64
+    counter_bits: int = 4
+    capacity: int | None = None
+    n_max: int | None = None
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def parse_variant(self) -> tuple[str, int]:
+        """Split ``"MPCBF-2"`` into ``("MPCBF", 2)``; bare names get g=1."""
+        base, _, suffix = self.variant.partition("-")
+        if suffix == "":
+            return base, 1
+        try:
+            return base, int(suffix)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad variant suffix in {self.variant!r}"
+            ) from exc
+
+
+def build_filter(spec: FilterSpec, *, encoder: KeyEncoder | None = None) -> FilterBase:
+    """Instantiate the filter described by ``spec`` at its memory budget."""
+    if spec.variant == "SBF":
+        counter_bits = spec.extra.get("counter_bits", 8)
+        rm = spec.extra.get("recurring_minimum", True)
+        # Memory splits between primary and the m/4 secondary when RM on.
+        denom = counter_bits * (5 if rm else 4) // 4
+        num_counters = max(4, spec.memory_bits // denom)
+        return SpectralBloomFilter(
+            num_counters,
+            spec.k,
+            counter_bits=counter_bits,
+            recurring_minimum=rm,
+            seed=spec.seed,
+            encoder=encoder,
+        )
+    if spec.variant == "VI-CBF":
+        counter_bits = spec.extra.get("counter_bits", 8)
+        num_counters = spec.memory_bits // counter_bits
+        return VariableIncrementCBF(
+            num_counters,
+            spec.k,
+            L=spec.extra.get("L", 4),
+            counter_bits=counter_bits,
+            seed=spec.seed,
+            encoder=encoder,
+        )
+    base, g = spec.parse_variant()
+    if base == "BF" and g == 1 and spec.variant == "BF":
+        return BloomFilter(spec.memory_bits, spec.k, seed=spec.seed, encoder=encoder)
+    if base == "BF":
+        num_words = spec.memory_bits // spec.word_bits
+        return OneAccessBloomFilter(
+            num_words, spec.word_bits, spec.k, g=g, seed=spec.seed, encoder=encoder
+        )
+    if base == "CBF":
+        num_counters = spec.memory_bits // spec.counter_bits
+        return CountingBloomFilter(
+            num_counters,
+            spec.k,
+            counter_bits=spec.counter_bits,
+            seed=spec.seed,
+            encoder=encoder,
+            **spec.extra,
+        )
+    if base == "PCBF":
+        num_words = spec.memory_bits // spec.word_bits
+        return PartitionedCBF(
+            num_words,
+            spec.word_bits,
+            spec.k,
+            g=g,
+            counter_bits=spec.counter_bits,
+            seed=spec.seed,
+            encoder=encoder,
+            **spec.extra,
+        )
+    if base == "MPCBF":
+        num_words = spec.memory_bits // spec.word_bits
+        return MPCBF(
+            num_words,
+            spec.word_bits,
+            spec.k,
+            g=g,
+            capacity=spec.capacity,
+            n_max=spec.n_max,
+            seed=spec.seed,
+            encoder=encoder,
+            **spec.extra,
+        )
+    if base == "dlCBF":
+        d = spec.extra.get("d", 4)
+        cells = spec.extra.get("cells_per_bucket", 8)
+        fp_bits = spec.extra.get("fingerprint_bits", 14)
+        c_bits = spec.extra.get("counter_bits", 2)
+        cell_bits = fp_bits + c_bits
+        num_buckets = max(1, spec.memory_bits // (d * cells * cell_bits))
+        return DLeftCBF(
+            num_buckets,
+            d=d,
+            cells_per_bucket=cells,
+            fingerprint_bits=fp_bits,
+            counter_bits=c_bits,
+            seed=spec.seed,
+            encoder=encoder,
+        )
+    raise ConfigurationError(f"unknown filter variant: {spec.variant!r}")
+
+
+def build_suite(
+    variants: list[str],
+    memory_bits: int,
+    k: int,
+    *,
+    capacity: int | None = None,
+    word_bits: int = 64,
+    counter_bits: int = 4,
+    seed: int = 0,
+    mpcbf_word_overflow: str = "saturate",
+) -> dict[str, FilterBase]:
+    """Build all ``variants`` at the same memory budget with a shared encoder.
+
+    Returns a name→filter mapping preserving the input order (Python
+    dicts are ordered), ready to run one workload across the line-up.
+
+    MPCBF members default to the ``saturate`` word-overflow policy: the
+    Eq. 11 heuristic leaves a non-negligible chance that *some* word of
+    a large filter overflows during a long experiment grid, and the
+    paper's protocol keeps running; saturation events remain visible in
+    ``filter.overflow_events``.
+    """
+    encoder = KeyEncoder()
+    suite: dict[str, FilterBase] = {}
+    for variant in variants:
+        extra = (
+            {"word_overflow": mpcbf_word_overflow}
+            if variant.startswith("MPCBF")
+            else {}
+        )
+        spec = FilterSpec(
+            variant=variant,
+            memory_bits=memory_bits,
+            k=k,
+            word_bits=word_bits,
+            counter_bits=counter_bits,
+            capacity=capacity,
+            seed=seed,
+            extra=extra,
+        )
+        suite[variant] = build_filter(spec, encoder=encoder)
+    return suite

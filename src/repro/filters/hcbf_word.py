@@ -1,0 +1,272 @@
+"""Hierarchical Counting Bloom Filter word (§III.B.1 / §III.B.3).
+
+One HCBF occupies a single ``w``-bit machine word and replaces ``w/4``
+fixed 4-bit counters with:
+
+* a first-level membership bit-vector ``v1`` of ``b1`` bits — the only
+  part a membership query ever reads, and
+* a popcount-indexed unary hierarchy: every **1** bit at level ``j``
+  owns exactly one child slot at level ``j+1``, located at index
+  ``popcount(level j bits before it)``.  A counter's value is the
+  length of the run of 1s along its child path.
+
+Each hash insertion flips exactly one 0→1 somewhere on the path and
+appends exactly one new (0) child slot at the next level, so the
+hierarchy region consumes exactly ``k × (elements stored)`` bits.  The
+*improved* layout (§III.B.3) exploits this to maximise
+``b1 = w − k·n_max``, where ``n_max`` bounds the elements per word.
+
+Representation: each level is an arbitrary-precision Python int (bit
+``i`` of the int is position ``i``) plus an explicit size.  Popcounts
+use ``int.bit_count()`` — the same primitive as the hardware popcount
+instruction the paper relies on.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import (
+    ConfigurationError,
+    CounterUnderflowError,
+    WordOverflowError,
+)
+
+__all__ = ["improved_first_level_size", "HCBFWord"]
+
+
+def improved_first_level_size(word_bits: int, hashes_per_word: int, n_max: int) -> int:
+    """Maximised first-level size ``b1 = w − k·n_max`` (§III.B.3).
+
+    ``hashes_per_word`` is ``k`` for MPCBF-1 and ``ceil(k/g)`` for
+    MPCBF-g (the paper's ``⌈k/g⌉·n'_max`` term).
+    """
+    b1 = word_bits - hashes_per_word * n_max
+    if b1 < hashes_per_word:
+        raise ConfigurationError(
+            f"w={word_bits}, k={hashes_per_word}, n_max={n_max} leaves "
+            f"b1={b1} < k first-level bits; decrease n_max or k"
+        )
+    return b1
+
+
+class HCBFWord:
+    """One hierarchical counting word.
+
+    Parameters
+    ----------
+    word_bits:
+        Total width ``w`` of the word.
+    first_level_bits:
+        Size ``b1`` of the first-level membership vector; the remaining
+        ``w − b1`` bits form the hierarchy budget.
+    index:
+        Position of this word inside its MPCBF (used in error messages).
+    """
+
+    __slots__ = ("word_bits", "first_level_bits", "index", "_levels", "_sizes")
+
+    def __init__(self, word_bits: int, first_level_bits: int, *, index: int = 0) -> None:
+        if first_level_bits < 1:
+            raise ConfigurationError(
+                f"first_level_bits must be >= 1, got {first_level_bits}"
+            )
+        if first_level_bits > word_bits:
+            raise ConfigurationError(
+                f"first_level_bits={first_level_bits} exceeds word_bits={word_bits}"
+            )
+        self.word_bits = word_bits
+        self.first_level_bits = first_level_bits
+        self.index = index
+        # _levels[j] is the bitmap of level j+1 in paper numbering;
+        # _sizes[j] its current size in bits. Level 0 has fixed size b1.
+        self._levels: list[int] = [0]
+        self._sizes: list[int] = [first_level_bits]
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def hierarchy_capacity_bits(self) -> int:
+        """Bits available to the hierarchy: ``w − b1``."""
+        return self.word_bits - self.first_level_bits
+
+    @property
+    def hierarchy_bits_used(self) -> int:
+        """Bits currently consumed by levels 2..d."""
+        return sum(self._sizes[1:])
+
+    @property
+    def bits_free(self) -> int:
+        """Remaining hierarchy budget."""
+        return self.hierarchy_capacity_bits - self.hierarchy_bits_used
+
+    @property
+    def depth(self) -> int:
+        """Number of levels currently materialised (≥ 1)."""
+        return len(self._levels)
+
+    def level_sizes(self) -> tuple[int, ...]:
+        """Current per-level sizes ``(b1, |v2|, …, |vd|)``."""
+        return tuple(self._sizes)
+
+    def level_bits(self, level: int) -> int:
+        """Raw bitmap of one level (tests and invariant checks)."""
+        return self._levels[level]
+
+    @property
+    def stored_hashes(self) -> int:
+        """Total hash insertions currently stored (= hierarchy bits used)."""
+        return self.hierarchy_bits_used
+
+    def first_level_value(self) -> int:
+        """The membership vector as an int (bit i = position i)."""
+        return self._levels[0]
+
+    # -- internal helpers -------------------------------------------------
+    def _get(self, level: int, pos: int) -> int:
+        return (self._levels[level] >> pos) & 1
+
+    def _ones_before(self, level: int, pos: int) -> int:
+        return (self._levels[level] & ((1 << pos) - 1)).bit_count()
+
+    def _check_pos(self, pos: int) -> None:
+        if not 0 <= pos < self.first_level_bits:
+            raise ValueError(
+                f"bit position {pos} out of range [0, {self.first_level_bits})"
+            )
+
+    def _insert_zero_slot(self, level: int, slot: int) -> None:
+        """Insert a 0 bit at ``slot`` in ``level``, shifting higher bits up."""
+        if level == len(self._levels):
+            self._levels.append(0)
+            self._sizes.append(0)
+        bits = self._levels[level]
+        low = bits & ((1 << slot) - 1)
+        high = bits >> slot
+        self._levels[level] = (high << (slot + 1)) | low
+        self._sizes[level] += 1
+
+    def _remove_slot(self, level: int, slot: int) -> None:
+        """Remove the bit at ``slot`` in ``level``, shifting higher bits down."""
+        bits = self._levels[level]
+        low = bits & ((1 << slot) - 1)
+        high = bits >> (slot + 1)
+        self._levels[level] = (high << slot) | low
+        self._sizes[level] -= 1
+        # Drop trailing empty levels so depth reflects real occupancy.
+        while len(self._levels) > 1 and self._sizes[-1] == 0:
+            self._levels.pop()
+            self._sizes.pop()
+
+    # -- operations --------------------------------------------------------
+    def insert_bit(self, pos: int) -> tuple[int, float]:
+        """Increment the counter at first-level position ``pos``.
+
+        Returns ``(new_counter_value, traversal_bits)`` where
+        ``traversal_bits`` is the extra access bandwidth (in hash/index
+        bits, ``Σ log2 |v_j|`` over traversed deeper levels) the paper
+        charges updates for.
+
+        Raises
+        ------
+        WordOverflowError
+            If the hierarchy budget ``w − b1`` is exhausted.
+        """
+        self._check_pos(pos)
+        if self.bits_free < 1:
+            raise WordOverflowError(self.index, self.hierarchy_capacity_bits)
+        level, p = 0, pos
+        traversal_bits = 0.0
+        while self._get(level, p):
+            p = self._ones_before(level, p)
+            level += 1
+            if self._sizes[level] > 1:
+                traversal_bits += math.log2(self._sizes[level])
+        self._levels[level] |= 1 << p
+        child_slot = self._ones_before(level, p)
+        self._insert_zero_slot(level + 1, child_slot)
+        return level + 1, traversal_bits
+
+    def delete_bit(self, pos: int) -> tuple[int, float]:
+        """Decrement the counter at first-level position ``pos``.
+
+        Returns ``(remaining_counter_value, traversal_bits)``.
+
+        Raises
+        ------
+        CounterUnderflowError
+            If the counter is already zero (deleting a never-inserted
+            element).
+        """
+        self._check_pos(pos)
+        if not self._get(0, pos):
+            raise CounterUnderflowError(pos)
+        level, p = 0, pos
+        traversal_bits = 0.0
+        while True:
+            child = self._ones_before(level, p)
+            if level + 1 < len(self._levels) and self._get(level + 1, child):
+                level, p = level + 1, child
+                if self._sizes[level] > 1:
+                    traversal_bits += math.log2(self._sizes[level])
+            else:
+                break
+        # (level, p) is the deepest 1 on the path; its child slot holds 0.
+        self._remove_slot(level + 1, child)
+        self._levels[level] &= ~(1 << p)
+        return level, traversal_bits
+
+    def count(self, pos: int) -> int:
+        """Counter value at first-level position ``pos``."""
+        self._check_pos(pos)
+        value = 0
+        level, p = 0, pos
+        while level < len(self._levels) and self._get(level, p):
+            value += 1
+            p = self._ones_before(level, p)
+            level += 1
+        return value
+
+    def query_bit(self, pos: int) -> bool:
+        """Membership test of one first-level bit (the only query read)."""
+        self._check_pos(pos)
+        return bool(self._get(0, pos))
+
+    # -- validation ---------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert structural invariants; raises AssertionError on violation.
+
+        1. Level j+1 has exactly ``popcount(level j)`` slots (every 1
+           owns one child, every 0 owns none).
+        2. No level bitmap has bits beyond its size.
+        3. Hierarchy usage never exceeds the budget.
+        4. The deepest level contains no 1s without materialised children
+           only if it is the last level (its 1s' children would be the
+           next level, created lazily on first flip — enforced by (1)
+           applied through the chain).
+        """
+        for j, (bits, size) in enumerate(zip(self._levels, self._sizes)):
+            assert bits >> size == 0, f"level {j} has bits beyond size {size}"
+            if j + 1 < len(self._levels):
+                assert self._sizes[j + 1] == bits.bit_count(), (
+                    f"level {j + 1} size {self._sizes[j + 1]} != "
+                    f"popcount(level {j}) = {bits.bit_count()}"
+                )
+            else:
+                assert bits.bit_count() == 0 or j == 0 or True
+        if len(self._levels) > 1:
+            assert self._levels[-1].bit_count() == 0 or len(self._levels) >= 1
+            # The last level's 1s must have zero children, i.e. if any 1
+            # exists at the last level the invariant chain would have
+            # created a next level; so the last level must be all zeros
+            # unless it is level 0.
+            assert self._levels[-1].bit_count() == 0, (
+                "deepest level must be all child slots (zeros)"
+            )
+        assert self.hierarchy_bits_used <= self.hierarchy_capacity_bits
+
+    def __repr__(self) -> str:
+        return (
+            f"<HCBFWord idx={self.index} w={self.word_bits} "
+            f"b1={self.first_level_bits} used={self.hierarchy_bits_used}/"
+            f"{self.hierarchy_capacity_bits} depth={self.depth}>"
+        )

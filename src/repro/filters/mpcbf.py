@@ -1,0 +1,432 @@
+"""MPCBF — Multiple-Partitioned Counting Bloom Filter (§III.B–C).
+
+The paper's contribution.  The membership counter vector is an array of
+``l`` improved :class:`~repro.filters.hcbf_word.HCBFWord` words; a key
+hashes to ``g`` words (one memory access each) and to ``k`` first-level
+bit offsets split across them.  Queries read only the words' first
+levels; updates traverse each word's popcount hierarchy.
+
+Sizing: given the expected number of stored elements, ``n_max`` (the
+per-word element bound) defaults to the paper's Poisson-inverse
+heuristic (Eq. 11) and the first level is maximised to
+``b1 = w − ⌈k/g⌉·n_max`` (§III.B.3).  A word that receives more than
+``n_max`` elements raises :class:`repro.errors.WordOverflowError`; the
+probability of that event is bounded by Eq. 6 / Eq. 10 and validated in
+the test suite.
+
+Bulk queries run fully vectorised against a packed ``uint64`` mirror of
+all first-level vectors, which scalar updates keep in sync (only
+first-level flips matter; hierarchy churn never moves level-1 bits).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError, WordOverflowError
+from repro.filters.base import CountingFilterBase
+from repro.filters.hcbf_word import HCBFWord, improved_first_level_size
+from repro.hashing.bit_budget import HashBitBudget
+from repro.hashing.encoders import KeyEncoder
+from repro.hashing.families import PartitionedHashFamily
+from repro.memmodel.accounting import OpKind
+
+__all__ = ["MPCBF"]
+
+
+class MPCBF(CountingFilterBase):
+    """MPCBF-g counting filter.
+
+    Parameters
+    ----------
+    num_words:
+        Number of HCBF words ``l``; total memory is ``l·w`` bits.
+    word_bits:
+        Word width ``w`` (64 for the paper's main experiments).
+    k:
+        Total number of first-level hash functions.
+    g:
+        Memory accesses per operation (words per key).
+    capacity:
+        Expected number of stored elements ``n``; used by the ``n_max``
+        heuristic.  Required unless ``n_max`` is given explicitly.
+    n_max:
+        Per-word element bound; overrides the heuristic when given.
+    word_overflow:
+        ``"raise"`` (default) surfaces
+        :class:`~repro.errors.WordOverflowError` when a word's hierarchy
+        fills up.  ``"saturate"`` freezes the overflowing word's
+        hierarchy and keeps a membership-only overlay for it instead:
+        queries stay false-negative-free, deletes touching the word
+        become recorded no-ops (``skipped_deletes``), and every
+        saturated insertion bumps ``overflow_events``.  The Eq. 11
+        heuristic keeps the *expected* number of overflowing words
+        around one in ``l``, so saturation is rare but not impossible
+        on long experiment grids.
+    """
+
+    def __init__(
+        self,
+        num_words: int,
+        word_bits: int,
+        k: int,
+        *,
+        g: int = 1,
+        capacity: int | None = None,
+        n_max: int | None = None,
+        first_level_bits: int | None = None,
+        seed: int = 0,
+        word_overflow: str = "raise",
+        encoder: KeyEncoder | None = None,
+    ) -> None:
+        super().__init__(encoder=encoder)
+        if num_words < 1:
+            raise ConfigurationError(f"num_words must be >= 1, got {num_words}")
+        if first_level_bits is not None:
+            # Basic HCBF (§III.B.1): a caller-fixed b1 instead of the
+            # improved maximised layout; n_max follows from the
+            # leftover hierarchy budget.
+            if not 1 <= first_level_bits < word_bits:
+                raise ConfigurationError(
+                    f"first_level_bits must be in [1, {word_bits}), "
+                    f"got {first_level_bits}"
+                )
+            n_max = (word_bits - first_level_bits) // max(1, -(-k // g))
+            if n_max < 1:
+                raise ConfigurationError(
+                    f"first_level_bits={first_level_bits} leaves no "
+                    f"hierarchy budget for even one element"
+                )
+        elif n_max is None:
+            if capacity is None:
+                raise ConfigurationError(
+                    "provide either capacity (for the Eq. 11 heuristic) or n_max"
+                )
+            # Local import: analysis depends on filters' sizing helpers.
+            from repro.analysis.heuristics import n_max_heuristic
+
+            n_max = n_max_heuristic(capacity, num_words, g=g)
+        if n_max < 1:
+            raise ConfigurationError(f"n_max must be >= 1, got {n_max}")
+        self.name = f"MPCBF-{g}"
+        self.num_words = num_words
+        self.word_bits = word_bits
+        self.k = k
+        self.g = g
+        self.n_max = n_max
+        self.capacity = capacity
+        self.hashes_per_word = -(-k // g)  # ceil(k/g), the paper's ⌈k/g⌉
+        if first_level_bits is not None:
+            self.first_level_bits = first_level_bits
+        else:
+            self.first_level_bits = improved_first_level_size(
+                word_bits, self.hashes_per_word, n_max
+            )
+        if k > self.first_level_bits:
+            raise ConfigurationError(
+                f"k={k} exceeds first-level size b1={self.first_level_bits}"
+            )
+        self.family = PartitionedHashFamily(
+            num_words, self.first_level_bits, k, g=g, seed=seed
+        )
+        self.words = [
+            HCBFWord(word_bits, self.first_level_bits, index=i)
+            for i in range(num_words)
+        ]
+        self._limbs = -(-self.first_level_bits // 64)
+        self._mirror = np.zeros((num_words, self._limbs), dtype=np.uint64)
+        # Flat view for the single-limb bulk fast path (shares memory).
+        self._mirror1d = self._mirror[:, 0] if self._limbs == 1 else None
+        self._budget_query = HashBitBudget.partitioned(
+            num_words, self.first_level_bits, k, g
+        )
+        if word_overflow not in ("raise", "saturate"):
+            raise ConfigurationError(
+                f"word_overflow must be 'raise' or 'saturate', got {word_overflow!r}"
+            )
+        self.word_overflow = word_overflow
+        #: Membership-only overlays for saturated words (index → bitmap).
+        self._saturated: dict[int, int] = {}
+        #: Hash insertions absorbed by saturated words.
+        self.overflow_events = 0
+        #: Deletes skipped because they touched a saturated word.
+        self.skipped_deletes = 0
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_words * self.word_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self.k
+
+    @property
+    def stored_hash_bits(self) -> int:
+        """Total hierarchy bits in use across all words."""
+        return sum(word.hierarchy_bits_used for word in self.words)
+
+    def _mirror_set(self, word_index: int, bit: int) -> None:
+        self._mirror[word_index, bit >> 6] |= np.uint64(1 << (bit & 63))
+
+    def _mirror_clear(self, word_index: int, bit: int) -> None:
+        self._mirror[word_index, bit >> 6] &= np.uint64(
+            ~(1 << (bit & 63)) & 0xFFFFFFFFFFFFFFFF
+        )
+
+    def _saturate_word(self, word_index: int) -> None:
+        """Freeze a word's hierarchy; further inserts go to the overlay."""
+        self._saturated.setdefault(word_index, 0)
+
+    def _overlay_insert(self, word_index: int, offsets: list[int]) -> None:
+        overlay = self._saturated[word_index]
+        for pos in offsets:
+            overlay |= 1 << pos
+            self._mirror_set(word_index, pos)
+            self.overflow_events += 1
+        self._saturated[word_index] = overlay
+
+    # -- scalar ---------------------------------------------------------
+    def insert_encoded(self, encoded_key: int) -> None:
+        # Two-phase inside _apply_insert: dry-run capacity check first,
+        # so a failed insert leaves every word untouched.
+        word_indices = self.family.word_indices(encoded_key)
+        groups = self.family.grouped_offsets(encoded_key)
+        extra_bits = self._apply_insert(word_indices, groups)
+        self.stats.record(
+            OpKind.INSERT,
+            word_accesses=float(self.g),
+            hash_bits=self._budget_query.total_bits + extra_bits,
+            hash_calls=self._budget_query.hash_calls,
+        )
+
+    def delete_encoded(self, encoded_key: int) -> None:
+        word_indices = self.family.word_indices(encoded_key)
+        groups = self.family.grouped_offsets(encoded_key)
+        # Validate all counters first so a bad delete leaves no trace.
+        # Demand aggregates across *all* groups: with g > 1 the word
+        # hashes can collide, landing two groups' offsets in one word.
+        demand: dict[tuple[int, int], int] = {}
+        for word_index, offsets in zip(word_indices, groups):
+            if word_index in self._saturated:
+                continue
+            for pos in offsets:
+                demand[(word_index, pos)] = demand.get((word_index, pos), 0) + 1
+        for (word_index, pos), need in demand.items():
+            if self.words[word_index].count(pos) < need:
+                from repro.errors import CounterUnderflowError
+
+                raise CounterUnderflowError(pos)
+        extra_bits = 0.0
+        for word_index, offsets in zip(word_indices, groups):
+            if word_index in self._saturated:
+                # A frozen word cannot safely decrement: skip, keep the
+                # bits set (no false negatives), and record the skip.
+                self.skipped_deletes += len(offsets)
+                continue
+            word = self.words[word_index]
+            for pos in offsets:
+                remaining, bits = word.delete_bit(pos)
+                extra_bits += bits
+                if remaining == 0:
+                    self._mirror_clear(word_index, pos)
+        self.stats.record(
+            OpKind.DELETE,
+            word_accesses=float(self.g),
+            hash_bits=self._budget_query.total_bits + extra_bits,
+            hash_calls=self._budget_query.hash_calls,
+        )
+
+    def query_encoded(self, encoded_key: int) -> bool:
+        word_indices = self.family.word_indices(encoded_key)
+        groups = self.family.grouped_offsets(encoded_key)
+        accesses = 0
+        result = True
+        for word_index, offsets in zip(word_indices, groups):
+            accesses += 1
+            word = self.words[word_index]
+            overlay = self._saturated.get(word_index, 0)
+            if any(
+                not (word.query_bit(pos) or (overlay >> pos) & 1)
+                for pos in offsets
+            ):
+                result = False
+                break
+        self.stats.record(
+            OpKind.QUERY,
+            word_accesses=float(accesses),
+            hash_bits=self._budget_query.total_bits / self.g * accesses,
+            hash_calls=self._budget_query.hash_calls,
+        )
+        return result
+
+    def count_encoded(self, encoded_key: int) -> int:
+        word_indices = self.family.word_indices(encoded_key)
+        groups = self.family.grouped_offsets(encoded_key)
+        best = None
+        for word_index, offsets in zip(word_indices, groups):
+            word = self.words[word_index]
+            overlay = self._saturated.get(word_index, 0)
+            for pos in offsets:
+                value = word.count(pos)
+                if value == 0 and (overlay >> pos) & 1:
+                    value = 1  # overlay knows membership, not multiplicity
+                best = value if best is None else min(best, value)
+        return int(best or 0)
+
+    # -- bulk -----------------------------------------------------------
+    def _grouped_rows(self, encoded: np.ndarray):
+        """One vectorised hash pass for a whole batch of updates.
+
+        Yields ``(word_indices_row, grouped_offsets_row)`` per key —
+        the hierarchy mutations stay scalar (they are inherently
+        sequential per word), but the k+g−1 mixes per key run in NumPy,
+        which dominates the pure-Python cost at batch sizes ≥ ~1000.
+        """
+        word_idx, offsets = self.family.locate_array(encoded)
+        k_per_word = self.family.k_per_word
+        for row in range(len(encoded)):
+            groups = []
+            start = 0
+            for count in k_per_word:
+                groups.append(
+                    [int(o) for o in offsets[row, start : start + count]]
+                )
+                start += count
+            yield [int(w) for w in word_idx[row]], groups
+
+    def _apply_insert(self, word_indices, groups) -> float:
+        """Scalar insert body shared by insert_encoded and insert_many."""
+        extra_bits = 0.0
+        demand: dict[int, int] = {}
+        for word_index, offsets in zip(word_indices, groups):
+            demand[word_index] = demand.get(word_index, 0) + len(offsets)
+        for word_index, need in demand.items():
+            if word_index in self._saturated:
+                continue
+            if self.words[word_index].bits_free < need:
+                if self.word_overflow == "raise":
+                    raise WordOverflowError(
+                        word_index,
+                        self.words[word_index].hierarchy_capacity_bits,
+                    )
+                self._saturate_word(word_index)
+        for word_index, offsets in zip(word_indices, groups):
+            if word_index in self._saturated:
+                self._overlay_insert(word_index, offsets)
+                continue
+            word = self.words[word_index]
+            for pos in offsets:
+                depth, bits = word.insert_bit(pos)
+                extra_bits += bits
+                if depth == 1:
+                    self._mirror_set(word_index, pos)
+        return extra_bits
+
+    def insert_many(self, keys: object) -> None:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return
+        total_extra = 0.0
+        for word_indices, groups in self._grouped_rows(encoded):
+            total_extra += self._apply_insert(word_indices, groups)
+        self.stats.record(
+            OpKind.INSERT,
+            count=len(encoded),
+            word_accesses=float(self.g * len(encoded)),
+            hash_bits=self._budget_query.total_bits * len(encoded) + total_extra,
+            hash_calls=self._budget_query.hash_calls * len(encoded),
+        )
+
+    def delete_many(self, keys: object) -> None:
+        for encoded in self._encode_bulk(keys):
+            self.delete_encoded(int(encoded))
+
+    def query_many(self, keys: object) -> np.ndarray:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return np.zeros(0, dtype=bool)
+        word_idx, offsets = self.family.locate_array(encoded)
+        word_cols = self.family.offset_word_columns()
+        words_per_offset = word_idx[:, word_cols]
+        shift = (offsets & 63).astype(np.uint64)
+        if self._limbs == 1:
+            # b1 <= 64: the common case; one flat gather per offset.
+            limbs = self._mirror1d[words_per_offset]
+        else:
+            limbs = self._mirror[words_per_offset, (offsets >> 6)]
+        tested = ((limbs >> shift) & np.uint64(1)).astype(bool)
+        member = tested.all(axis=1)
+        first_fail = np.where(member, self.k - 1, np.argmin(tested, axis=1))
+        accesses = word_cols[first_fail] + 1
+        total_accesses = float(accesses.sum())
+        self.stats.record(
+            OpKind.QUERY,
+            count=len(encoded),
+            word_accesses=total_accesses,
+            hash_bits=self._budget_query.total_bits / self.g * total_accesses,
+            hash_calls=self._budget_query.hash_calls * len(encoded),
+        )
+        return member
+
+    def merge(self, other: "MPCBF") -> None:
+        """Add another MPCBF's counters into this one (multiset union).
+
+        Requires identical geometry and seed.  Per word, every
+        first-level counter of ``other`` is re-inserted into this
+        filter's hierarchy ``count`` times; saturated words of either
+        side merge into this side's membership overlay.  Overflow
+        follows this filter's ``word_overflow`` policy.
+        """
+        if (
+            not isinstance(other, MPCBF)
+            or other.num_words != self.num_words
+            or other.word_bits != self.word_bits
+            or other.k != self.k
+            or other.g != self.g
+            or other.first_level_bits != self.first_level_bits
+            or other.family.seed != self.family.seed
+        ):
+            raise ConfigurationError(
+                "merge requires an identically configured MPCBF"
+            )
+        for index, word in enumerate(other.words):
+            mine = self.words[index]
+            for pos in range(self.first_level_bits):
+                count = word.count(pos)
+                for _ in range(count):
+                    if index in self._saturated:
+                        self._overlay_insert(index, [pos])
+                        continue
+                    if mine.bits_free < 1:
+                        if self.word_overflow == "raise":
+                            raise WordOverflowError(
+                                index, mine.hierarchy_capacity_bits
+                            )
+                        self._saturate_word(index)
+                        self._overlay_insert(index, [pos])
+                        continue
+                    depth, _ = mine.insert_bit(pos)
+                    if depth == 1:
+                        self._mirror_set(index, pos)
+        # Membership-only overlays of the other side fold into ours.
+        for index, overlay in other._saturated.items():
+            self._saturate_word(index)
+            positions = [
+                pos
+                for pos in range(self.first_level_bits)
+                if (overlay >> pos) & 1
+            ]
+            if positions:
+                self._overlay_insert(index, positions)
+
+    # -- validation -------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Check every word's invariants plus mirror consistency."""
+        for i, word in enumerate(self.words):
+            word.check_invariants()
+            value = word.first_level_value() | self._saturated.get(i, 0)
+            for limb in range(self._limbs):
+                expect = (value >> (64 * limb)) & 0xFFFFFFFFFFFFFFFF
+                assert int(self._mirror[i, limb]) == expect, (
+                    f"mirror desync at word {i} limb {limb}"
+                )

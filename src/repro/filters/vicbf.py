@@ -1,0 +1,231 @@
+"""Variable-Increment CBF (Rottenstreich et al. [23]) — extension baseline.
+
+Instead of incrementing hashed counters by 1, VI-CBF adds a *variable*
+increment drawn (per key, per hash) from the sequence
+``D_L = {L, L+1, …, 2L−1}``.  Because every increment lies in
+``[L, 2L−1]``, a counter value ``c`` observed at query time can rule an
+element out in two extra ways beyond ``c == 0``:
+
+* ``c < v`` — the element's own increment ``v`` alone would exceed the
+  counter, and
+* ``0 < c − v < L`` — the residue after removing ``v`` cannot be a sum
+  of increments ≥ ``L``.
+
+This refined test gives VI-CBF a lower FPR than CBF at the same number
+of counters, at the price of wider counters — the paper cites it as the
+accuracy-focused prior work that still costs ``k`` memory accesses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+)
+from repro.filters.base import CountingFilterBase
+from repro.hashing.bit_budget import HashBitBudget
+from repro.hashing.encoders import KeyEncoder
+from repro.hashing.families import HashFamily
+from repro.hashing.mixers import derive_seeds, splitmix64, splitmix64_array
+from repro.memmodel.accounting import OpKind
+
+__all__ = ["VariableIncrementCBF"]
+
+
+class VariableIncrementCBF(CountingFilterBase):
+    """VI-CBF with increments from ``D_L = {L, …, 2L−1}``.
+
+    Parameters
+    ----------
+    num_counters:
+        Number of counters ``m``.
+    k:
+        Number of hash functions.
+    L:
+        Base increment (the paper's recommended ``L = 4``); the
+        increment hash selects uniformly from ``{L, …, 2L−1}``.
+    counter_bits:
+        Counter width (8 by default — variable increments need more
+        headroom than CBF's 4 bits).
+    """
+
+    def __init__(
+        self,
+        num_counters: int,
+        k: int,
+        *,
+        L: int = 4,
+        counter_bits: int = 8,
+        seed: int = 0,
+        encoder: KeyEncoder | None = None,
+    ) -> None:
+        super().__init__(encoder=encoder)
+        if L < 2:
+            raise ConfigurationError(f"L must be >= 2, got {L}")
+        self.name = "VI-CBF"
+        self.num_counters = num_counters
+        self.k = k
+        self.L = L
+        self.counter_bits = counter_bits
+        self.counter_limit = (1 << counter_bits) - 1
+        self.family = HashFamily(num_counters, k, seed=seed)
+        self._inc_seeds = derive_seeds(seed ^ 0xA5A5A5A5, k)
+        self._inc_seeds_np = np.array(self._inc_seeds, dtype=np.uint64)
+        self._counters = np.zeros(num_counters, dtype=np.int64)
+        self._budget = HashBitBudget.flat(num_counters, k)
+
+    @property
+    def total_bits(self) -> int:
+        return self.num_counters * self.counter_bits
+
+    @property
+    def num_hashes(self) -> int:
+        return self.k
+
+    def _increments(self, encoded_key: int) -> list[int]:
+        return [
+            self.L + splitmix64(encoded_key ^ s) % self.L
+            for s in self._inc_seeds
+        ]
+
+    def _increments_array(self, encoded: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            mixed = splitmix64_array(
+                np.asarray(encoded, dtype=np.uint64)[:, None]
+                ^ self._inc_seeds_np[None, :]
+            )
+        return (mixed % np.uint64(self.L)).astype(np.int64) + self.L
+
+    def _compatible(self, counter: int, increment: int) -> bool:
+        """The VI-CBF membership test for one (counter, increment) pair."""
+        residue = counter - increment
+        return residue == 0 or residue >= self.L
+
+    # -- scalar ---------------------------------------------------------
+    def insert_encoded(self, encoded_key: int) -> None:
+        indices = self.family.indices(encoded_key)
+        increments = self._increments(encoded_key)
+        for idx, inc in zip(indices, increments):
+            if self._counters[idx] + inc > self.counter_limit:
+                raise CounterOverflowError(idx, self.counter_limit)
+        for idx, inc in zip(indices, increments):
+            self._counters[idx] += inc
+        self.stats.record(
+            OpKind.INSERT,
+            word_accesses=float(self.k),
+            hash_bits=self._budget.total_bits,
+            hash_calls=2 * self.k,
+        )
+
+    def delete_encoded(self, encoded_key: int) -> None:
+        indices = self.family.indices(encoded_key)
+        increments = self._increments(encoded_key)
+        for idx, inc in zip(indices, increments):
+            if self._counters[idx] < inc:
+                raise CounterUnderflowError(idx)
+        for idx, inc in zip(indices, increments):
+            self._counters[idx] -= inc
+        self.stats.record(
+            OpKind.DELETE,
+            word_accesses=float(self.k),
+            hash_bits=self._budget.total_bits,
+            hash_calls=2 * self.k,
+        )
+
+    def query_encoded(self, encoded_key: int) -> bool:
+        indices = self.family.indices(encoded_key)
+        increments = self._increments(encoded_key)
+        accesses = 0
+        result = True
+        for idx, inc in zip(indices, increments):
+            accesses += 1
+            if not self._compatible(int(self._counters[idx]), inc):
+                result = False
+                break
+        self.stats.record(
+            OpKind.QUERY,
+            word_accesses=float(accesses),
+            hash_bits=self._budget.total_bits / self.k * accesses,
+            hash_calls=2 * self.k,
+        )
+        return result
+
+    def count_encoded(self, encoded_key: int) -> int:
+        indices = self.family.indices(encoded_key)
+        increments = self._increments(encoded_key)
+        # Upper bound: each insertion of this key adds `inc` at each
+        # position, so counter // inc bounds the multiplicity.
+        return int(
+            min(
+                int(self._counters[idx]) // inc
+                for idx, inc in zip(indices, increments)
+            )
+        )
+
+    # -- bulk -----------------------------------------------------------
+    def insert_many(self, keys: object) -> None:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return
+        indices = self.family.indices_array(encoded)
+        increments = self._increments_array(encoded)
+        np.add.at(self._counters, indices.reshape(-1), increments.reshape(-1))
+        if (self._counters > self.counter_limit).any():
+            idx = int(np.argmax(self._counters > self.counter_limit))
+            np.subtract.at(
+                self._counters, indices.reshape(-1), increments.reshape(-1)
+            )
+            raise CounterOverflowError(idx, self.counter_limit)
+        self.stats.record(
+            OpKind.INSERT,
+            count=len(encoded),
+            word_accesses=float(self.k * len(encoded)),
+            hash_bits=self._budget.total_bits * len(encoded),
+            hash_calls=2 * self.k * len(encoded),
+        )
+
+    def delete_many(self, keys: object) -> None:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return
+        indices = self.family.indices_array(encoded)
+        increments = self._increments_array(encoded)
+        np.subtract.at(
+            self._counters, indices.reshape(-1), increments.reshape(-1)
+        )
+        if (self._counters < 0).any():
+            idx = int(np.argmax(self._counters < 0))
+            np.add.at(self._counters, indices.reshape(-1), increments.reshape(-1))
+            raise CounterUnderflowError(idx)
+        self.stats.record(
+            OpKind.DELETE,
+            count=len(encoded),
+            word_accesses=float(self.k * len(encoded)),
+            hash_bits=self._budget.total_bits * len(encoded),
+            hash_calls=2 * self.k * len(encoded),
+        )
+
+    def query_many(self, keys: object) -> np.ndarray:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return np.zeros(0, dtype=bool)
+        indices = self.family.indices_array(encoded)
+        increments = self._increments_array(encoded)
+        counters = self._counters[indices]
+        residue = counters - increments
+        compatible = (residue == 0) | (residue >= self.L)
+        member = compatible.all(axis=1)
+        first_fail = np.where(member, self.k - 1, np.argmin(compatible, axis=1))
+        accesses = first_fail + 1
+        total_accesses = float(accesses.sum())
+        self.stats.record(
+            OpKind.QUERY,
+            count=len(encoded),
+            word_accesses=total_accesses,
+            hash_bits=self._budget.total_bits / self.k * total_accesses,
+            hash_calls=2 * self.k * len(encoded),
+        )
+        return member

@@ -1,0 +1,63 @@
+"""Hashing substrate: mixers, key encoders, and indexed hash families.
+
+Every filter in :mod:`repro.filters` draws its randomness from this
+package.  The design separates three concerns:
+
+* :mod:`repro.hashing.mixers` — 64-bit avalanche mixers (splitmix64 and
+  the MurmurHash3 finaliser), each available both as a scalar function
+  on Python ints and as a vectorised function on ``numpy`` ``uint64``
+  arrays.  The vectorised forms are the hot path of every bulk filter
+  operation (guide idiom: vectorise the inner loop).
+* :mod:`repro.hashing.encoders` — deterministic conversion of user keys
+  (bytes, str, int, tuples such as IP flow 2-tuples) into ``uint64``
+  seeds, scalar and bulk.
+* :mod:`repro.hashing.families` — :class:`HashFamily`, which turns one
+  encoded key into ``k`` indices in a range, a word index plus in-word
+  offsets (the partitioned layout of PCBF/MPCBF), with optional
+  Kirsch–Mitzenmacher double hashing.
+* :mod:`repro.hashing.bit_budget` — the hash-bit accounting primitives
+  used for the paper's "access bandwidth" metric.
+"""
+
+from repro.hashing.mixers import (
+    splitmix64,
+    splitmix64_array,
+    murmur_fmix64,
+    murmur_fmix64_array,
+    derive_seeds,
+)
+from repro.hashing.encoders import (
+    encode_key,
+    encode_bytes,
+    encode_int,
+    encode_flow,
+    encode_str_array,
+    encode_int_array,
+    encode_flow_arrays,
+    KeyEncoder,
+)
+from repro.hashing.families import HashFamily, PartitionedHashFamily
+from repro.hashing.tabulation import TabulationHash, TabulationHashFamily
+from repro.hashing.bit_budget import bits_for_range, HashBitBudget
+
+__all__ = [
+    "splitmix64",
+    "splitmix64_array",
+    "murmur_fmix64",
+    "murmur_fmix64_array",
+    "derive_seeds",
+    "encode_key",
+    "encode_bytes",
+    "encode_int",
+    "encode_flow",
+    "encode_str_array",
+    "encode_int_array",
+    "encode_flow_arrays",
+    "KeyEncoder",
+    "HashFamily",
+    "PartitionedHashFamily",
+    "TabulationHash",
+    "TabulationHashFamily",
+    "bits_for_range",
+    "HashBitBudget",
+]

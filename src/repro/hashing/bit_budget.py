@@ -1,0 +1,109 @@
+"""Hash-bit budget accounting ("access bandwidth" in the paper).
+
+The paper measures the processing overhead of each filter variant as the
+number of memory accesses plus the *access bandwidth*: the number of
+hash bits an operation must consume to address the structure.  For
+example (§III.A), PCBF-1 needs ``log2(l) + k·log2(w/4)`` bits per
+operation versus ``k·log2(m)`` for the standard CBF.
+
+:class:`HashBitBudget` captures one operation's bit cost, broken into
+word-select bits and in-word offset bits, and knows how to render the
+per-variant formulas from §III.  The empirical access counters live in
+:mod:`repro.memmodel.accounting`; this module is the analytic side.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["bits_for_range", "HashBitBudget"]
+
+
+def bits_for_range(size: int) -> float:
+    """Hash bits needed to address a range of ``size`` values.
+
+    The paper uses ``log2`` of the range directly (fractional bits are
+    kept, matching the tables' non-integer bandwidth values).
+    """
+    if size < 1:
+        raise ValueError(f"size must be >= 1, got {size}")
+    return math.log2(size) if size > 1 else 0.0
+
+
+@dataclass(frozen=True)
+class HashBitBudget:
+    """Hash-bit cost of one filter operation.
+
+    Attributes
+    ----------
+    word_select_bits:
+        Bits consumed selecting word(s) — ``g·log2(l)`` for the
+        partitioned variants, 0 for flat ones.
+    offset_bits:
+        Bits consumed locating counters/bits inside the addressed
+        region.
+    memory_accesses:
+        Worst-case number of distinct memory words touched.
+    hash_calls:
+        Modelled number of hash-function computations.  Calibrated to
+        the paper's discussion of Fig. 8: the first word-select hash
+        shares a computation with the first index hash, giving
+        ``k + g − 1`` for partitioned variants and ``k`` for flat ones.
+    """
+
+    word_select_bits: float
+    offset_bits: float
+    memory_accesses: float
+    hash_calls: int
+
+    @property
+    def total_bits(self) -> float:
+        """Total access bandwidth in hash bits."""
+        return self.word_select_bits + self.offset_bits
+
+    @staticmethod
+    def flat(m: int, k: int) -> "HashBitBudget":
+        """Budget for a flat (non-partitioned) BF/CBF over ``m`` slots.
+
+        The standard CBF consumes ``k·log2(m)`` bits and ``k`` accesses
+        per operation (Fig. 1 caption: k=3, m=16 → 12 bits).
+        """
+        return HashBitBudget(
+            word_select_bits=0.0,
+            offset_bits=k * bits_for_range(m),
+            memory_accesses=float(k),
+            hash_calls=k,
+        )
+
+    @staticmethod
+    def partitioned(
+        num_words: int, offset_range: int, k: int, g: int = 1
+    ) -> "HashBitBudget":
+        """Budget for a partitioned variant (BF-g / PCBF-g / MPCBF-g).
+
+        ``g·log2(l)`` word-select bits plus ``k·log2(offset_range)``
+        offset bits, ``g`` memory accesses.  For MPCBF the offset range
+        is the first-level size ``b1``; for PCBF it is the counters per
+        word ``w/4``.
+        """
+        return HashBitBudget(
+            word_select_bits=g * bits_for_range(num_words),
+            offset_bits=k * bits_for_range(offset_range),
+            memory_accesses=float(g),
+            hash_calls=k + g - 1,
+        )
+
+    def scaled_update(self, extra_offset_bits: float) -> "HashBitBudget":
+        """Budget for an update that consumes extra traversal bits.
+
+        MPCBF insert/delete traverses the hierarchy, consuming
+        ``log2(b1) + … + log2(b_d)`` bits in the worst case (§III.B.2);
+        callers add the extra levels' bits here.
+        """
+        return HashBitBudget(
+            word_select_bits=self.word_select_bits,
+            offset_bits=self.offset_bits + extra_offset_bits,
+            memory_accesses=self.memory_accesses,
+            hash_calls=self.hash_calls,
+        )

@@ -1,0 +1,43 @@
+"""Miniature MapReduce engine + reduce-side join (§V substitution).
+
+The paper accelerates Hadoop reduce-side joins by broadcasting a
+counting Bloom filter of the small relation's keys to every map task
+(via DistributedCache) and dropping non-matching map outputs before the
+shuffle.  This package rebuilds that pipeline in-process:
+
+* :mod:`repro.mapreduce.engine` — input splits, map tasks, hash
+  partitioning, sort-merge shuffle, reduce tasks, Hadoop-style named
+  counters.
+* :mod:`repro.mapreduce.cache` — the read-only broadcast side channel.
+* :mod:`repro.mapreduce.cost` — an explicit I/O + network cost model,
+  so "total execution time" can be reported both as wall-clock of the
+  local engine and as modelled cluster seconds (DESIGN.md
+  substitution #3).
+* :mod:`repro.mapreduce.join` — tagged reduce-side join, with and
+  without a Bloom-filter pre-filter, reproducing Table IV.
+"""
+
+from repro.mapreduce.engine import (
+    MapContext,
+    ReduceContext,
+    JobCounters,
+    JobResult,
+    LocalMapReduceEngine,
+    MapTaskFailedError,
+)
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cost import ClusterCostModel
+from repro.mapreduce.join import JoinReport, reduce_side_join
+
+__all__ = [
+    "MapContext",
+    "ReduceContext",
+    "JobCounters",
+    "JobResult",
+    "LocalMapReduceEngine",
+    "MapTaskFailedError",
+    "DistributedCache",
+    "ClusterCostModel",
+    "JoinReport",
+    "reduce_side_join",
+]

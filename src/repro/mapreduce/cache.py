@@ -1,0 +1,65 @@
+"""DistributedCache: the broadcast side channel of the join pipeline.
+
+In Hadoop, DistributedCache ships read-only files (here: the serialised
+Bloom filter of the small relation) to every task tracker once per job
+instead of per task.  The local engine models that as a named object
+store whose per-object "shipping cost" is charged once per map *node*
+by the cost model.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+__all__ = ["DistributedCache"]
+
+
+class DistributedCache:
+    """Named read-only objects broadcast to all tasks.
+
+    The cache tracks an approximate byte size per entry so the cost
+    model can charge the one-time broadcast.  Objects exposing
+    ``total_bits`` (all filters in :mod:`repro.filters`) are sized
+    exactly; anything else falls back to a caller-supplied size.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[str, object] = {}
+        self._sizes: dict[str, int] = {}
+
+    def put(self, name: str, obj: object, *, size_bytes: int | None = None) -> None:
+        """Register an object under ``name``.
+
+        Raises ``KeyError`` on duplicate names — Hadoop cache filenames
+        are unique per job, and silently replacing a filter mid-job
+        would invalidate the cost accounting.
+        """
+        if name in self._entries:
+            raise KeyError(f"cache entry {name!r} already exists")
+        if size_bytes is None:
+            total_bits = getattr(obj, "total_bits", None)
+            size_bytes = (int(total_bits) + 7) // 8 if total_bits else 0
+        self._entries[name] = obj
+        self._sizes[name] = size_bytes
+
+    def get(self, name: str) -> object:
+        """Fetch a broadcast object (raises ``KeyError`` if absent)."""
+        return self._entries[name]
+
+    def size_bytes(self, name: str) -> int:
+        """Registered size of one entry."""
+        return self._sizes[name]
+
+    @property
+    def total_bytes(self) -> int:
+        """Total broadcast payload per node."""
+        return sum(self._sizes.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,268 @@
+"""A faithful miniature MapReduce engine (Dean & Ghemawat 2004 shape).
+
+The engine reproduces the structure that matters for §V: input splits →
+map tasks → hash partitioning → per-partition sort-merge → reduce
+tasks, with Hadoop-style counters at every stage.  It is deliberately
+in-process and deterministic (no threads): the paper's effect — the
+Bloom filter shrinking the shuffle — is entirely about *record counts
+and bytes*, which the counters capture exactly; modelled cluster time
+comes from :class:`repro.mapreduce.cost.ClusterCostModel`.
+
+Mappers and reducers are plain callables::
+
+    def mapper(record, ctx):          # ctx.emit(key, value)
+        ...
+    def reducer(key, values, ctx):    # ctx.emit(result)
+        ...
+
+Both receive a context exposing the distributed cache and counters.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.cost import ClusterCostModel, PhaseCosts
+
+__all__ = [
+    "JobCounters",
+    "MapContext",
+    "ReduceContext",
+    "JobResult",
+    "LocalMapReduceEngine",
+    "MapTaskFailedError",
+]
+
+
+class MapTaskFailedError(RuntimeError):
+    """A map task exhausted its attempts; the job is aborted."""
+
+    def __init__(self, attempts: int) -> None:
+        super().__init__(f"map task failed after {attempts} attempt(s)")
+        self.attempts = attempts
+
+
+@dataclass
+class JobCounters:
+    """Hadoop-style named counters, plus the standard framework set."""
+
+    map_input_records: int = 0
+    map_output_records: int = 0
+    map_output_bytes: int = 0
+    shuffle_records: int = 0
+    shuffle_bytes: int = 0
+    reduce_input_groups: int = 0
+    reduce_input_records: int = 0
+    reduce_output_records: int = 0
+    custom: dict[str, int] = field(default_factory=dict)
+
+    def increment(self, name: str, amount: int = 1) -> None:
+        """Bump a user-defined counter (e.g. ``"join.filtered"``)."""
+        self.custom[name] = self.custom.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Read a user-defined counter (0 if never incremented)."""
+        return self.custom.get(name, 0)
+
+
+class MapContext:
+    """Per-map-task context handed to the mapper callable."""
+
+    def __init__(
+        self,
+        counters: JobCounters,
+        cache: DistributedCache,
+        record_bytes: int,
+    ) -> None:
+        self.counters = counters
+        self.cache = cache
+        self._record_bytes = record_bytes
+        self._output: list[tuple[object, object]] = []
+
+    def emit(self, key: object, value: object) -> None:
+        """Emit one intermediate key-value pair."""
+        self._output.append((key, value))
+        self.counters.map_output_records += 1
+        self.counters.map_output_bytes += self._record_bytes
+
+    def drain(self) -> list[tuple[object, object]]:
+        out = self._output
+        self._output = []
+        return out
+
+
+class ReduceContext:
+    """Per-reduce-task context handed to the reducer callable."""
+
+    def __init__(self, counters: JobCounters, cache: DistributedCache) -> None:
+        self.counters = counters
+        self.cache = cache
+        self._output: list[object] = []
+
+    def emit(self, record: object) -> None:
+        """Emit one final output record."""
+        self._output.append(record)
+        self.counters.reduce_output_records += 1
+
+    def drain(self) -> list[object]:
+        out = self._output
+        self._output = []
+        return out
+
+
+@dataclass
+class JobResult:
+    """Everything a job run produced."""
+
+    output: list[object]
+    counters: JobCounters
+    wall_seconds: float
+    modelled: PhaseCosts
+
+    @property
+    def modelled_seconds(self) -> float:
+        return self.modelled.total_seconds
+
+
+def _split(records: Sequence, num_splits: int) -> list[Sequence]:
+    """Contiguous, even input splits (Hadoop splits by byte ranges)."""
+    n = len(records)
+    num_splits = max(1, min(num_splits, n)) if n else 1
+    bounds = [n * i // num_splits for i in range(num_splits + 1)]
+    return [records[bounds[i] : bounds[i + 1]] for i in range(num_splits)]
+
+
+class LocalMapReduceEngine:
+    """Deterministic single-process MapReduce executor.
+
+    Parameters
+    ----------
+    num_map_tasks / num_reduce_tasks:
+        Task parallelism being modelled (affects only split shapes and
+        counter attribution, not results — execution is sequential).
+    cost_model:
+        Cluster model used for the ``modelled`` time in results.
+    """
+
+    def __init__(
+        self,
+        *,
+        num_map_tasks: int = 6,
+        num_reduce_tasks: int = 3,
+        cost_model: ClusterCostModel | None = None,
+        max_attempts: int = 1,
+    ) -> None:
+        if num_map_tasks < 1 or num_reduce_tasks < 1:
+            raise ValueError("task counts must be >= 1")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.num_map_tasks = num_map_tasks
+        self.num_reduce_tasks = num_reduce_tasks
+        self.cost_model = cost_model or ClusterCostModel()
+        #: Hadoop-style task retries: a map task whose mapper raises is
+        #: re-executed from its split up to this many times; its partial
+        #: output is discarded (attempt isolation), exactly like a task
+        #: tracker restarting a failed attempt.
+        self.max_attempts = max_attempts
+
+    def _run_map_task(
+        self,
+        split: Sequence,
+        mapper: Callable[[object, MapContext], None],
+        counters: JobCounters,
+        cache: DistributedCache,
+    ) -> list[tuple[object, object]]:
+        """Execute one map task with attempt isolation and retries."""
+        last_error: Exception | None = None
+        for attempt in range(self.max_attempts):
+            attempt_counters = JobCounters()
+            ctx = MapContext(
+                attempt_counters, cache, self.cost_model.record_bytes
+            )
+            try:
+                for record in split:
+                    attempt_counters.map_input_records += 1
+                    mapper(record, ctx)
+            except Exception as exc:  # noqa: BLE001 - task attempt boundary
+                last_error = exc
+                counters.increment("task.failed_attempts")
+                continue
+            # Commit the successful attempt's counters to the job.
+            counters.map_input_records += attempt_counters.map_input_records
+            counters.map_output_records += attempt_counters.map_output_records
+            counters.map_output_bytes += attempt_counters.map_output_bytes
+            for name, value in attempt_counters.custom.items():
+                counters.increment(name, value)
+            return ctx.drain()
+        raise MapTaskFailedError(self.max_attempts) from last_error
+
+    def run(
+        self,
+        records: Sequence,
+        mapper: Callable[[object, MapContext], None],
+        reducer: Callable[[object, list, ReduceContext], None],
+        *,
+        cache: DistributedCache | None = None,
+        combiner: Callable[[object, list], Iterable] | None = None,
+    ) -> JobResult:
+        """Execute one job over ``records``.
+
+        ``combiner``, when given, runs per map task on that task's
+        grouped output (the Hadoop map-side combine), shrinking the
+        shuffle without changing reduce semantics for associative
+        reductions.
+        """
+        cache = cache or DistributedCache()
+        counters = JobCounters()
+        t0 = time.perf_counter()
+
+        # -- map phase ------------------------------------------------
+        partitions: list[dict[object, list]] = [
+            defaultdict(list) for _ in range(self.num_reduce_tasks)
+        ]
+        for split in _split(records, self.num_map_tasks):
+            output = self._run_map_task(split, mapper, counters, cache)
+            if combiner is not None:
+                grouped: dict[object, list] = defaultdict(list)
+                for key, value in output:
+                    grouped[key].append(value)
+                output = [
+                    (key, combined)
+                    for key, values in grouped.items()
+                    for combined in combiner(key, values)
+                ]
+            # -- partition + "network" transfer ------------------------
+            for key, value in output:
+                part = hash(key) % self.num_reduce_tasks
+                partitions[part][key].append(value)
+                counters.shuffle_records += 1
+                counters.shuffle_bytes += self.cost_model.record_bytes
+
+        # -- reduce phase ----------------------------------------------
+        output: list[object] = []
+        for partition in partitions:
+            ctx = ReduceContext(counters, cache)
+            # Sort-merge order, as Hadoop presents keys to the reducer.
+            for key in sorted(partition, key=repr):
+                values = partition[key]
+                counters.reduce_input_groups += 1
+                counters.reduce_input_records += len(values)
+                reducer(key, values, ctx)
+            output.extend(ctx.drain())
+
+        wall = time.perf_counter() - t0
+        modelled = self.cost_model.job_costs(
+            map_input_records=counters.map_input_records,
+            map_output_records=counters.map_output_records,
+            shuffle_bytes=counters.shuffle_bytes,
+            reduce_input_records=counters.reduce_input_records,
+            broadcast_bytes=cache.total_bytes,
+            filter_probes=counters.get("filter.probes"),
+        )
+        return JobResult(
+            output=output, counters=counters, wall_seconds=wall, modelled=modelled
+        )

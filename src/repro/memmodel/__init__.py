@@ -1,0 +1,36 @@
+"""Memory-access modelling substrate.
+
+The paper's "processing overhead" metric is the number of memory words
+an operation touches plus the hash bits it consumes (access bandwidth).
+This package provides:
+
+* :class:`~repro.memmodel.accounting.AccessStats` — per-filter running
+  counters of operations, word accesses, bandwidth bits, and hash
+  calls, with per-operation averages (the numbers in Tables I–III).
+* :class:`~repro.memmodel.memory.WordMemory` — a simulated
+  word-addressable memory that stores word payloads and counts
+  reads/writes, used by the scalar filter paths so that the empirical
+  access counts are observed rather than assumed.
+"""
+
+from repro.memmodel.accounting import AccessStats, OpKind
+from repro.memmodel.memory import WordMemory
+from repro.memmodel.banked import (
+    BankedSimResult,
+    lookup_bank_requests,
+    simulate_lookup_stream,
+)
+from repro.memmodel.packed import PackedCounterArray
+from repro.memmodel.pipeline import SramPipelineModel, ThroughputEstimate
+
+__all__ = [
+    "AccessStats",
+    "OpKind",
+    "WordMemory",
+    "PackedCounterArray",
+    "BankedSimResult",
+    "lookup_bank_requests",
+    "simulate_lookup_stream",
+    "SramPipelineModel",
+    "ThroughputEstimate",
+]

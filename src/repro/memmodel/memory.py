@@ -1,0 +1,83 @@
+"""Simulated word-addressable memory with access counting.
+
+Hardware CBFs live in on-chip SRAM fetched one machine word at a time;
+the whole point of the paper's partitioned layout is to bound the number
+of word fetches per operation.  :class:`WordMemory` models exactly that:
+an array of ``w``-bit words (stored as Python ints so any ``w`` works),
+with read/write counters.  The scalar paths of the partitioned filters
+route every access through it so the empirical access counts in
+Tables I–III are *observed*, not assumed from the formulas.
+"""
+
+from __future__ import annotations
+
+__all__ = ["WordMemory"]
+
+
+class WordMemory:
+    """An array of fixed-width words with read/write accounting.
+
+    Parameters
+    ----------
+    num_words:
+        Number of addressable words.
+    word_bits:
+        Width of each word in bits; writes are masked to this width.
+    """
+
+    def __init__(self, num_words: int, word_bits: int) -> None:
+        if num_words < 1:
+            raise ValueError(f"num_words must be >= 1, got {num_words}")
+        if word_bits < 1:
+            raise ValueError(f"word_bits must be >= 1, got {word_bits}")
+        self.num_words = num_words
+        self.word_bits = word_bits
+        self._mask = (1 << word_bits) - 1
+        self._words = [0] * num_words
+        self.reads = 0
+        self.writes = 0
+
+    def __len__(self) -> int:
+        return self.num_words
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage in bits."""
+        return self.num_words * self.word_bits
+
+    @property
+    def accesses(self) -> int:
+        """Total reads plus writes."""
+        return self.reads + self.writes
+
+    def read(self, index: int) -> int:
+        """Fetch one word, counting the access."""
+        self.reads += 1
+        return self._words[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Store one word (masked to the word width), counting the access."""
+        self.writes += 1
+        self._words[index] = value & self._mask
+
+    def peek(self, index: int) -> int:
+        """Read a word *without* counting (for assertions and tests)."""
+        return self._words[index]
+
+    def poke(self, index: int, value: int) -> None:
+        """Write a word *without* counting (bulk initialisation)."""
+        self._words[index] = value & self._mask
+
+    def reset_counters(self) -> None:
+        """Zero the access counters, keeping contents."""
+        self.reads = 0
+        self.writes = 0
+
+    def clear(self) -> None:
+        """Zero all words and counters."""
+        self._words = [0] * self.num_words
+        self.reset_counters()
+
+    def popcount(self) -> int:
+        """Total number of set bits across the memory."""
+        return sum(word.bit_count() for word in self._words)

@@ -1,0 +1,138 @@
+"""Packed c-bit counter storage — memory-faithful CBF backing.
+
+The reference filters keep counters in ``int32`` NumPy arrays for
+speed and report memory from their *parameters*; this substrate stores
+counters the way hardware actually does — packed ``c``-bit fields
+inside 64-bit limbs — so a filter built on it occupies (to the limb)
+exactly the bits it claims.  Field widths must divide 64 so no counter
+straddles a limb, mirroring how SRAM rows are laid out.
+
+Reads are vectorised (gather + shift + mask); writes are
+read-modify-write per counter, which is also the honest hardware cost
+(one word access per counter update — exactly what the paper charges).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import (
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+)
+
+__all__ = ["PackedCounterArray"]
+
+_ALLOWED_WIDTHS = (1, 2, 4, 8, 16, 32)
+
+
+class PackedCounterArray:
+    """``size`` counters of ``width`` bits packed into uint64 limbs.
+
+    Parameters
+    ----------
+    size:
+        Number of counters.
+    width:
+        Field width in bits; must divide 64 (1, 2, 4, 8, 16, 32).
+    """
+
+    def __init__(self, size: int, width: int) -> None:
+        if size < 1:
+            raise ConfigurationError(f"size must be >= 1, got {size}")
+        if width not in _ALLOWED_WIDTHS:
+            raise ConfigurationError(
+                f"width must be one of {_ALLOWED_WIDTHS}, got {width}"
+            )
+        self.size = size
+        self.width = width
+        self.limit = (1 << width) - 1
+        self.fields_per_limb = 64 // width
+        num_limbs = -(-size // self.fields_per_limb)
+        self._limbs = np.zeros(num_limbs, dtype=np.uint64)
+        self._mask = np.uint64(self.limit)
+
+    def __len__(self) -> int:
+        return self.size
+
+    @property
+    def total_bits(self) -> int:
+        """Actual storage footprint (whole limbs)."""
+        return len(self._limbs) * 64
+
+    def _locate(self, index: int) -> tuple[int, int]:
+        if not 0 <= index < self.size:
+            raise IndexError(f"counter {index} out of range [0, {self.size})")
+        return index // self.fields_per_limb, (
+            index % self.fields_per_limb
+        ) * self.width
+
+    # -- scalar ---------------------------------------------------------
+    def get(self, index: int) -> int:
+        """Read one counter."""
+        limb, shift = self._locate(index)
+        return (int(self._limbs[limb]) >> shift) & self.limit
+
+    def set(self, index: int, value: int) -> None:
+        """Write one counter (value must fit the field)."""
+        if not 0 <= value <= self.limit:
+            raise ConfigurationError(
+                f"value {value} does not fit a {self.width}-bit field"
+            )
+        limb, shift = self._locate(index)
+        current = int(self._limbs[limb])
+        cleared = current & ~(self.limit << shift)
+        self._limbs[limb] = np.uint64(cleared | (value << shift))
+
+    def increment(self, index: int) -> int:
+        """Counter += 1; raises on overflow; returns the new value."""
+        value = self.get(index)
+        if value >= self.limit:
+            raise CounterOverflowError(index, self.limit)
+        self.set(index, value + 1)
+        return value + 1
+
+    def decrement(self, index: int) -> int:
+        """Counter −= 1; raises on underflow; returns the new value."""
+        value = self.get(index)
+        if value == 0:
+            raise CounterUnderflowError(index)
+        self.set(index, value - 1)
+        return value - 1
+
+    # -- bulk -----------------------------------------------------------
+    def gather(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised read of many counters (any shape of indices)."""
+        idx = np.asarray(indices, dtype=np.int64)
+        if idx.size and (idx.min() < 0 or idx.max() >= self.size):
+            raise IndexError("counter index out of range in bulk gather")
+        limb = idx // self.fields_per_limb
+        shift = ((idx % self.fields_per_limb) * self.width).astype(np.uint64)
+        return ((self._limbs[limb] >> shift) & self._mask).astype(np.int64)
+
+    def nonzero_mask(self, indices: np.ndarray) -> np.ndarray:
+        """Vectorised ``counter > 0`` test (the CBF query primitive)."""
+        return self.gather(indices) > 0
+
+    def to_array(self) -> np.ndarray:
+        """Unpacked copy of all counters (tests/analysis)."""
+        return self.gather(np.arange(self.size))
+
+    def load_array(self, values: np.ndarray) -> None:
+        """Bulk-load counters from an unpacked array (deserialisation)."""
+        values = np.asarray(values)
+        if values.shape != (self.size,):
+            raise ConfigurationError(
+                f"expected shape ({self.size},), got {values.shape}"
+            )
+        if values.size and (values.min() < 0 or values.max() > self.limit):
+            raise ConfigurationError("values exceed the field width")
+        self._limbs[:] = 0
+        for index, value in enumerate(values):
+            if value:
+                self.set(index, int(value))
+
+    def popcount_nonzero(self) -> int:
+        """Number of nonzero counters (fill statistic)."""
+        return int((self.to_array() > 0).sum())

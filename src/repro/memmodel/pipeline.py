@@ -1,0 +1,107 @@
+"""Hardware throughput projection (the paper's FPGA/ASIC motivation).
+
+The paper's speed argument is architectural, not software: a hardware
+packet pipeline issues one on-chip SRAM access per cycle per port, so a
+filter needing ``a`` accesses per query sustains ``ports·f / a``
+queries per second.  Software timings (Fig. 8) blur this because hash
+computation dominates; the authors state they were "currently building
+such a hardware platform".  This model makes the projection explicit
+and reproducible: given a clock, port count, and per-variant access and
+hash counts (measured by :class:`~repro.memmodel.accounting.AccessStats`
+or taken from the §III model), it reports sustained throughput and the
+line rate supported for minimum-size packets — the router-facing number
+the introduction motivates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["SramPipelineModel", "ThroughputEstimate"]
+
+#: Minimum-size Ethernet frame on the wire: 64B + preamble/IFG = 84B.
+_MIN_PACKET_BITS = 84 * 8
+
+
+@dataclass(frozen=True)
+class ThroughputEstimate:
+    """Projected sustained performance of one filter variant."""
+
+    ops_per_second: float
+    bottleneck: str
+    memory_bound_ops: float
+    hash_bound_ops: float
+
+    def line_rate_gbps(self, packet_bits: int = _MIN_PACKET_BITS) -> float:
+        """Line rate sustained at one lookup per packet."""
+        return self.ops_per_second * packet_bits / 1e9
+
+
+@dataclass(frozen=True)
+class SramPipelineModel:
+    """A single-chip lookup pipeline with banked on-chip SRAM.
+
+    Attributes
+    ----------
+    clock_hz:
+        Pipeline clock (350 MHz is a typical 2013-era FPGA block RAM
+        clock; ASICs clock higher).
+    memory_ports:
+        Independent SRAM ports usable per cycle (dual-port block RAM
+        → 2).
+    hash_units:
+        Parallel hash engines; each computes one hash per cycle.
+    """
+
+    clock_hz: float = 350e6
+    memory_ports: int = 2
+    hash_units: int = 4
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ConfigurationError(f"clock_hz must be > 0, got {self.clock_hz}")
+        if self.memory_ports < 1 or self.hash_units < 1:
+            raise ConfigurationError("ports and hash units must be >= 1")
+
+    def estimate(
+        self, accesses_per_op: float, hash_calls_per_op: float
+    ) -> ThroughputEstimate:
+        """Sustained operations/second for a filter variant.
+
+        The pipeline is limited by whichever resource saturates first:
+        memory ports (``accesses·ops ≤ ports·f``) or hash engines
+        (``hashes·ops ≤ units·f``).  Latency is hidden by pipelining,
+        as in every published CBF hardware design.
+        """
+        if accesses_per_op <= 0 or hash_calls_per_op <= 0:
+            raise ConfigurationError("per-op costs must be positive")
+        memory_bound = self.memory_ports * self.clock_hz / accesses_per_op
+        hash_bound = self.hash_units * self.clock_hz / hash_calls_per_op
+        if memory_bound <= hash_bound:
+            return ThroughputEstimate(
+                ops_per_second=memory_bound,
+                bottleneck="memory",
+                memory_bound_ops=memory_bound,
+                hash_bound_ops=hash_bound,
+            )
+        return ThroughputEstimate(
+            ops_per_second=hash_bound,
+            bottleneck="hash",
+            memory_bound_ops=memory_bound,
+            hash_bound_ops=hash_bound,
+        )
+
+    def speedup_over(
+        self,
+        accesses_a: float,
+        hashes_a: float,
+        accesses_b: float,
+        hashes_b: float,
+    ) -> float:
+        """Throughput ratio of variant A over variant B on this pipeline."""
+        return (
+            self.estimate(accesses_a, hashes_a).ops_per_second
+            / self.estimate(accesses_b, hashes_b).ops_per_second
+        )

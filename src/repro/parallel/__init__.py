@@ -1,0 +1,16 @@
+"""Parallel filter substrate.
+
+The paper's introduction motivates MPCBF with line cards that "run
+multiple CBFs in parallel" [4–10] — each pipeline stage or port owns a
+filter shard and keys are routed by hash.  This package provides that
+architecture in library form:
+
+* :class:`~repro.parallel.sharded.ShardedFilterBank` — ``s``
+  independent filters of any variant with hash routing, vectorised
+  scatter/gather bulk operations, optional thread-parallel shard
+  execution, and aggregated statistics.
+"""
+
+from repro.parallel.sharded import ShardedFilterBank
+
+__all__ = ["ShardedFilterBank"]

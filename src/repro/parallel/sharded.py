@@ -1,0 +1,247 @@
+"""Sharded filter bank: hash-routed parallel filters.
+
+A :class:`ShardedFilterBank` splits one logical set across ``s``
+independent filter shards.  Keys route to shards by an independent
+hash (never one of the shards' own hashes, so routing does not bias
+the per-shard distributions), exactly how multi-pipeline packet
+processors spread flow state across per-port filters.
+
+Bulk operations are vectorised end-to-end: the whole key batch is
+routed, stably grouped by shard with one ``argsort``, handed to each
+shard's own bulk path, and results scattered back into input order.
+Shard execution can optionally run on a thread pool
+(``max_workers > 1``).  Measure before enabling it: NumPy's gathers do
+release the GIL, but at the batch sizes typical here the Python-side
+orchestration dominates and threads add overhead (a 2M-probe bulk query
+over 8 MPCBF shards measures ~2× *slower* at ``max_workers=4`` on
+CPython 3.11).  The option exists for deployments with genuinely heavy
+per-shard kernels and for free-threaded Python builds; the default is
+sequential.
+
+Semantics are identical to a single filter of ``s``× the memory with
+the caveat that per-shard load imbalance (binomial, like the words of
+an MPCBF) slightly raises the effective load of the fullest shard.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.filters.base import CountingFilterBase, FilterBase
+from repro.filters.factory import FilterSpec, build_filter
+from repro.hashing.encoders import KeyEncoder
+from repro.hashing.mixers import derive_seeds, splitmix64, splitmix64_array
+from repro.memmodel.accounting import AccessStats
+
+__all__ = ["ShardedFilterBank"]
+
+
+class ShardedFilterBank:
+    """``s`` hash-routed filter shards behaving as one filter.
+
+    Parameters
+    ----------
+    spec:
+        Per-shard filter specification (each shard gets ``spec`` with a
+        distinct derived seed; ``spec.memory_bits`` is the *per-shard*
+        budget).
+    num_shards:
+        Number of shards ``s``.
+    max_workers:
+        Thread-pool width for bulk operations; ``1`` (default) runs
+        shards sequentially.
+    """
+
+    def __init__(
+        self,
+        spec: FilterSpec,
+        num_shards: int,
+        *,
+        max_workers: int = 1,
+        encoder: KeyEncoder | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
+        if max_workers < 1:
+            raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        self.spec = spec
+        self.num_shards = num_shards
+        self.max_workers = max_workers
+        self.encoder = encoder or KeyEncoder()
+        seeds = derive_seeds(spec.seed ^ 0x5348415244, num_shards + 1)
+        self._route_seed = seeds[0]
+        self.shards: list[FilterBase] = []
+        for i in range(num_shards):
+            shard_spec = FilterSpec(
+                variant=spec.variant,
+                memory_bits=spec.memory_bits,
+                k=spec.k,
+                word_bits=spec.word_bits,
+                counter_bits=spec.counter_bits,
+                capacity=(
+                    max(1, spec.capacity // num_shards)
+                    if spec.capacity is not None
+                    else None
+                ),
+                n_max=spec.n_max,
+                seed=seeds[i + 1],
+                extra=dict(spec.extra),
+            )
+            self.shards.append(build_filter(shard_spec, encoder=self.encoder))
+        self.name = f"{self.shards[0].name}x{num_shards}"
+
+    # -- sizing ----------------------------------------------------------
+    @property
+    def total_bits(self) -> int:
+        """Aggregate memory across shards."""
+        return sum(shard.total_bits for shard in self.shards)
+
+    @property
+    def num_hashes(self) -> int:
+        return self.shards[0].num_hashes
+
+    @property
+    def supports_deletion(self) -> bool:
+        return isinstance(self.shards[0], CountingFilterBase)
+
+    # -- routing ----------------------------------------------------------
+    def shard_of(self, key: object) -> int:
+        """Shard index a key routes to."""
+        encoded = self.encoder.encode(key)
+        return splitmix64(encoded ^ self._route_seed) % self.num_shards
+
+    def _route_array(self, encoded: np.ndarray) -> np.ndarray:
+        with np.errstate(over="ignore"):
+            mixed = splitmix64_array(encoded ^ np.uint64(self._route_seed))
+        return (mixed % np.uint64(self.num_shards)).astype(np.int64)
+
+    def _encode_bulk(self, keys: object) -> np.ndarray:
+        if isinstance(keys, np.ndarray) and keys.dtype == np.uint64:
+            return keys
+        return self.encoder.encode_many(keys)
+
+    # -- scalar API ---------------------------------------------------------
+    def insert(self, key: object) -> None:
+        """Insert one key into its shard."""
+        encoded = self.encoder.encode(key)
+        shard = splitmix64(encoded ^ self._route_seed) % self.num_shards
+        self.shards[shard].insert_encoded(encoded)
+
+    def query(self, key: object) -> bool:
+        """Query one key against its shard."""
+        encoded = self.encoder.encode(key)
+        shard = splitmix64(encoded ^ self._route_seed) % self.num_shards
+        return self.shards[shard].query_encoded(encoded)
+
+    def __contains__(self, key: object) -> bool:
+        return self.query(key)
+
+    def delete(self, key: object) -> None:
+        """Delete one key from its shard (counting variants only)."""
+        encoded = self.encoder.encode(key)
+        shard = splitmix64(encoded ^ self._route_seed) % self.num_shards
+        filt = self.shards[shard]
+        if not isinstance(filt, CountingFilterBase):
+            raise UnsupportedOperationError(f"{self.name} cannot delete")
+        filt.delete_encoded(encoded)
+
+    def count(self, key: object) -> int:
+        """Multiplicity estimate from the owning shard."""
+        encoded = self.encoder.encode(key)
+        shard = splitmix64(encoded ^ self._route_seed) % self.num_shards
+        filt = self.shards[shard]
+        if not isinstance(filt, CountingFilterBase):
+            raise UnsupportedOperationError(f"{self.name} cannot count")
+        return filt.count_encoded(encoded)
+
+    # -- bulk API -------------------------------------------------------------
+    def _dispatch(
+        self,
+        encoded: np.ndarray,
+        op: Callable[[FilterBase, np.ndarray], np.ndarray | None],
+    ) -> list[tuple[np.ndarray, np.ndarray | None]]:
+        """Group keys by shard, run ``op`` per shard (maybe threaded).
+
+        Returns ``(positions, result)`` per shard, where ``positions``
+        are the original indices of that shard's keys.
+        """
+        routes = self._route_array(encoded)
+        order = np.argsort(routes, kind="stable")
+        sorted_routes = routes[order]
+        bounds = np.searchsorted(
+            sorted_routes, np.arange(self.num_shards + 1)
+        )
+        jobs = []
+        for shard_index in range(self.num_shards):
+            lo, hi = bounds[shard_index], bounds[shard_index + 1]
+            if lo == hi:
+                continue
+            positions = order[lo:hi]
+            jobs.append((shard_index, positions, encoded[positions]))
+        if self.max_workers > 1 and len(jobs) > 1:
+            with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
+                futures = [
+                    (positions, pool.submit(op, self.shards[i], chunk))
+                    for i, positions, chunk in jobs
+                ]
+                return [(pos, fut.result()) for pos, fut in futures]
+        return [
+            (positions, op(self.shards[i], chunk))
+            for i, positions, chunk in jobs
+        ]
+
+    def insert_many(self, keys: object) -> None:
+        """Bulk insert, routed and executed per shard."""
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return
+        self._dispatch(encoded, lambda filt, chunk: filt.insert_many(chunk))
+
+    def delete_many(self, keys: object) -> None:
+        """Bulk delete (counting variants only)."""
+        if not self.supports_deletion:
+            raise UnsupportedOperationError(f"{self.name} cannot delete")
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return
+        self._dispatch(encoded, lambda filt, chunk: filt.delete_many(chunk))
+
+    def query_many(self, keys: object) -> np.ndarray:
+        """Bulk query; results in input order."""
+        encoded = self._encode_bulk(keys)
+        result = np.zeros(len(encoded), dtype=bool)
+        if len(encoded) == 0:
+            return result
+        for positions, answers in self._dispatch(
+            encoded, lambda filt, chunk: filt.query_many(chunk)
+        ):
+            result[positions] = answers
+        return result
+
+    # -- stats -----------------------------------------------------------------
+    @property
+    def stats(self) -> AccessStats:
+        """Aggregated access statistics across shards."""
+        combined = AccessStats()
+        for shard in self.shards:
+            combined.merge(shard.stats)
+        return combined
+
+    def reset_stats(self) -> None:
+        for shard in self.shards:
+            shard.reset_stats()
+
+    def shard_loads(self, keys: Sequence) -> np.ndarray:
+        """Histogram of how a key batch routes across shards."""
+        encoded = self._encode_bulk(keys)
+        return np.bincount(self._route_array(encoded), minlength=self.num_shards)
+
+    def __repr__(self) -> str:
+        return (
+            f"<ShardedFilterBank {self.name} shards={self.num_shards} "
+            f"bits={self.total_bits}>"
+        )

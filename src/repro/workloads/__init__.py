@@ -1,0 +1,53 @@
+"""Workload generators and experiment runners (§IV–V inputs).
+
+* :mod:`repro.workloads.synthetic` — the paper's synthetic setup:
+  100K unique 5-byte strings inserted, 1M queries of which 80% are
+  members, plus an update period that deletes and re-inserts 20%.
+* :mod:`repro.workloads.traces` — a CAIDA-like IPv4 flow trace:
+  Zipf-distributed flow sizes with the paper's unique/total ratio
+  (292,363 unique in 5,585,633 total), scalable.
+* :mod:`repro.workloads.patents` — NBER-like patent citation pairs for
+  the MapReduce reduce-side join of §V.
+* :mod:`repro.workloads.runner` — drive a workload through a filter
+  suite and collect FPR / access / bandwidth metrics.
+"""
+
+from repro.workloads.synthetic import (
+    random_strings,
+    MembershipWorkload,
+    make_synthetic_workload,
+)
+from repro.workloads.traces import FlowTrace, make_trace_workload
+from repro.workloads.patents import PatentDataset, make_patent_dataset
+from repro.workloads.churn import ChurnResult, run_churn, first_saturation_epoch
+from repro.workloads.adversarial import (
+    hot_key_stream,
+    mine_colliding_keys,
+    mine_single_word_flood,
+)
+from repro.workloads.runner import (
+    MembershipResult,
+    run_membership_workload,
+    run_suite,
+    measure_fpr,
+)
+
+__all__ = [
+    "random_strings",
+    "MembershipWorkload",
+    "make_synthetic_workload",
+    "FlowTrace",
+    "make_trace_workload",
+    "PatentDataset",
+    "make_patent_dataset",
+    "MembershipResult",
+    "run_membership_workload",
+    "run_suite",
+    "measure_fpr",
+    "ChurnResult",
+    "run_churn",
+    "first_saturation_epoch",
+    "hot_key_stream",
+    "mine_colliding_keys",
+    "mine_single_word_flood",
+]

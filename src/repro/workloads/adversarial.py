@@ -1,0 +1,109 @@
+"""Adversarial workload generation for robustness testing.
+
+Partitioned filters concentrate each element's state in one word, which
+creates an attack surface flat filters lack: an adversary who can probe
+the filter (or knows its seed) can mine keys that all land in the same
+word, overflowing it or saturating its first level.  The paper does not
+evaluate adversarial inputs; a production-quality release must, so the
+test-suite's failure-injection scenarios generate them here.
+
+All miners are brute-force searches over candidate keys — honest (they
+use only the public hashing API) and deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.filters.mpcbf import MPCBF
+from repro.hashing.families import PartitionedHashFamily
+
+__all__ = [
+    "mine_colliding_keys",
+    "mine_single_word_flood",
+    "hot_key_stream",
+]
+
+
+def mine_colliding_keys(
+    family: PartitionedHashFamily,
+    target_word: int,
+    count: int,
+    *,
+    start: int = 0,
+    limit: int = 50_000_000,
+) -> np.ndarray:
+    """Find ``count`` encoded keys whose *first* word is ``target_word``.
+
+    Scans encoded-key candidates in batches using the family's own bulk
+    path.  Expected work is ``count · num_words`` candidates.
+    """
+    if not 0 <= target_word < family.num_words:
+        raise ConfigurationError(
+            f"target_word {target_word} out of range [0, {family.num_words})"
+        )
+    found: list[np.ndarray] = []
+    have = 0
+    # Bounded batches: enough to expect several hits per round, capped
+    # so a hopeless search cannot allocate unbounded memory before the
+    # limit check fires.
+    batch = int(min(max(4096, count * family.num_words // 4), 1 << 20, limit))
+    position = start
+    while have < count:
+        if position - start >= limit:
+            raise ConfigurationError(
+                f"mining exceeded {limit} candidates; is num_words huge?"
+            )
+        candidates = np.arange(
+            position, position + batch, dtype=np.uint64
+        )
+        words = family.word_indices_array(candidates)[:, 0]
+        hits = candidates[words == target_word]
+        if len(hits):
+            found.append(hits[: count - have])
+            have += len(found[-1])
+        position += batch
+    return np.concatenate(found)
+
+
+def mine_single_word_flood(filt: MPCBF, *, margin: int = 4) -> np.ndarray:
+    """Keys that overflow one word of ``filt`` when inserted.
+
+    Returns ``n_max + margin`` distinct encoded keys all routed to word
+    0 of the filter — inserting them must either raise
+    ``WordOverflowError`` (policy ``raise``) or saturate the word
+    (policy ``saturate``); the failure-injection tests assert both.
+    """
+    return mine_colliding_keys(filt.family, 0, filt.n_max + margin)
+
+
+def hot_key_stream(
+    n_unique: int,
+    length: int,
+    hot_fraction: float,
+    *,
+    seed: int = 0,
+) -> np.ndarray:
+    """A stream where one key dominates (elephant-flow stress).
+
+    ``hot_fraction`` of the stream is a single key; the rest is uniform
+    over the remaining ``n_unique − 1`` keys.  Exercises the per-key
+    counter depth (the HCBF hierarchy's worst case is one very hot
+    first-level bit).
+    """
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ConfigurationError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}"
+        )
+    if n_unique < 1 or length < 1:
+        raise ConfigurationError("n_unique and length must be >= 1")
+    rng = np.random.default_rng(seed)
+    n_hot = int(round(hot_fraction * length))
+    cold = rng.integers(1, max(2, n_unique), size=length - n_hot)
+    stream = np.concatenate([np.zeros(n_hot, dtype=np.int64), cold])
+    rng.shuffle(stream)
+    # Map ordinals to well-spread encoded keys.
+    from repro.hashing.mixers import splitmix64_array
+
+    return splitmix64_array(stream.astype(np.uint64))

@@ -1,0 +1,119 @@
+"""Long-run churn driver: sustained insert/delete cycles over epochs.
+
+The paper's update period (delete 20%, insert 20%, once) is a single
+churn step.  Real deployments — flow tables, cache summaries — churn
+*continuously*, and that changes the failure analysis: the Eq. 11 bound
+controls a single occupancy snapshot, but over many epochs a word's
+occupancy performs a random walk and the probability that it *ever*
+crosses ``n_max`` grows with time (a first-passage event).  The library
+surfaced this in practice (see ``examples/dynamic_cache_sharing.py``);
+this module makes the phenomenon measurable:
+
+* :func:`run_churn` drives a counting filter through ``epochs`` steps
+  of delete-`rate`/insert-`rate` at a constant population, recording
+  the FPR and (for MPCBF) saturation state after each epoch.
+* :func:`first_saturation_epoch` reports when the first word overflow
+  happened, the statistic that quantifies how conservative ``n_max``
+  must be for a given deployment lifetime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.filters.base import CountingFilterBase
+from repro.filters.mpcbf import MPCBF
+from repro.hashing.mixers import splitmix64_array
+
+__all__ = ["ChurnResult", "run_churn", "first_saturation_epoch"]
+
+
+@dataclass
+class ChurnResult:
+    """Per-epoch trajectory of one churn run."""
+
+    epochs: int
+    population: int
+    churn_per_epoch: int
+    fpr_by_epoch: list[float] = field(default_factory=list)
+    saturated_words_by_epoch: list[int] = field(default_factory=list)
+    skipped_deletes: int = 0
+
+    @property
+    def final_fpr(self) -> float:
+        return self.fpr_by_epoch[-1] if self.fpr_by_epoch else 0.0
+
+    @property
+    def ever_saturated(self) -> bool:
+        return any(self.saturated_words_by_epoch)
+
+
+def _fresh_keys(counter: int, count: int) -> tuple[np.ndarray, int]:
+    """``count`` never-before-used encoded keys from a running counter."""
+    keys = splitmix64_array(
+        np.arange(counter, counter + count, dtype=np.uint64)
+    )
+    return keys, counter + count
+
+
+def run_churn(
+    filter_obj: CountingFilterBase,
+    *,
+    population: int,
+    churn_fraction: float = 0.2,
+    epochs: int = 20,
+    probe_count: int = 20_000,
+    seed: int = 0,
+) -> ChurnResult:
+    """Drive a filter through sustained churn at constant population.
+
+    Each epoch deletes ``churn_fraction`` of the live set (uniformly at
+    random) and inserts the same number of fresh keys, then measures
+    the FPR against never-inserted probes.  For MPCBF the per-epoch
+    count of saturated words is recorded (0 under the ``raise`` policy
+    — it would have thrown instead).
+    """
+    if not 0.0 < churn_fraction <= 1.0:
+        raise ConfigurationError(
+            f"churn_fraction must be in (0, 1], got {churn_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    key_counter = 1
+    live, key_counter = _fresh_keys(key_counter, population)
+    filter_obj.insert_many(live)
+    # Probes come from a disjoint stretch of the key space.
+    probes = splitmix64_array(
+        np.arange(2**48, 2**48 + probe_count, dtype=np.uint64)
+    )
+    result = ChurnResult(
+        epochs=epochs,
+        population=population,
+        churn_per_epoch=int(round(churn_fraction * population)),
+    )
+    for _ in range(epochs):
+        n_churn = result.churn_per_epoch
+        victims_idx = rng.choice(len(live), size=n_churn, replace=False)
+        victims = live[victims_idx]
+        filter_obj.delete_many(victims)
+        fresh, key_counter = _fresh_keys(key_counter, n_churn)
+        filter_obj.insert_many(fresh)
+        live = np.concatenate([np.delete(live, victims_idx), fresh])
+        result.fpr_by_epoch.append(
+            float(filter_obj.query_many(probes).mean())
+        )
+        if isinstance(filter_obj, MPCBF):
+            result.saturated_words_by_epoch.append(len(filter_obj._saturated))
+    if isinstance(filter_obj, MPCBF):
+        result.skipped_deletes = filter_obj.skipped_deletes
+    return result
+
+
+def first_saturation_epoch(result: ChurnResult) -> int | None:
+    """Epoch index of the first word saturation, or None if none."""
+    for epoch, count in enumerate(result.saturated_words_by_epoch):
+        if count > 0:
+            return epoch
+    return None

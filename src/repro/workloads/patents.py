@@ -1,0 +1,117 @@
+"""NBER-like patent citation data (§V substitution).
+
+The paper's reduce-side-join experiment joins the NBER citation file
+``cite75_99.txt`` (16,522,438 ``citing,cited`` records) against a key
+set of 71,661 patents drawn from ``pat63_99.txt``.  The files are not
+redistributable here, so this module synthesises datasets with the same
+join structure: a universe of patent numbers, a small "patent metadata"
+relation whose keys seed the Bloom filter, and a large citation
+relation in which only a fraction of ``cited`` values hit the key set
+(the paper's measured 35.7% CBF FPR implies most citations *miss*).
+
+See DESIGN.md, substitution #2; the join-relevant behaviour — the hit
+ratio and the key-universe size that drives filter FPR — is configurable
+and matched in shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = ["PatentDataset", "make_patent_dataset"]
+
+#: Scale of the real NBER files used in the paper.
+PAPER_CITATIONS = 16_522_438
+PAPER_JOIN_KEYS = 71_661
+
+
+@dataclass
+class PatentDataset:
+    """Synthetic patent relations for the reduce-side join.
+
+    Attributes
+    ----------
+    patents:
+        ``(n_keys, 2)`` int64 array: (patent_id, grant_year) — the small
+        relation; its ids are the join keys the filter is built from.
+    citations:
+        ``(n_citations, 2)`` int64 array: (citing_id, cited_id) — the
+        large relation streamed through map tasks.
+    """
+
+    patents: np.ndarray
+    citations: np.ndarray
+    seed: int
+
+    @property
+    def join_keys(self) -> np.ndarray:
+        """Patent ids participating in the join."""
+        return self.patents[:, 0]
+
+    def citation_hits(self) -> np.ndarray:
+        """Ground truth: which citation rows join (cited ∈ join keys)."""
+        keys = np.sort(self.join_keys)
+        cited = self.citations[:, 1]
+        pos = np.searchsorted(keys, cited)
+        pos = np.clip(pos, 0, len(keys) - 1)
+        return keys[pos] == cited
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of citation rows that actually join."""
+        return float(self.citation_hits().mean())
+
+
+def make_patent_dataset(
+    *,
+    n_keys: int = PAPER_JOIN_KEYS,
+    n_citations: int = PAPER_CITATIONS,
+    hit_fraction: float = 0.2,
+    universe: int = 6_000_000,
+    seed: int = 0,
+) -> PatentDataset:
+    """Build the synthetic patent join inputs.
+
+    Parameters
+    ----------
+    n_keys:
+        Size of the small (filter-building) relation.
+    n_citations:
+        Size of the large relation.
+    hit_fraction:
+        Fraction of citations whose ``cited`` id is a join key — the
+        paper's joins are selective, which is exactly why Bloom
+        filtering pays off.
+    universe:
+        Patent-id universe; non-joining cited ids are drawn from its
+        complement w.r.t. the key set.
+    """
+    if n_keys > universe // 2:
+        raise ConfigurationError(
+            f"n_keys={n_keys} too large for universe={universe}"
+        )
+    if not 0.0 <= hit_fraction <= 1.0:
+        raise ConfigurationError(
+            f"hit_fraction must be in [0, 1], got {hit_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    ids = rng.permutation(universe)[: n_keys * 3]
+    key_ids = np.sort(ids[:n_keys])
+    non_key_pool = ids[n_keys:]
+    years = rng.integers(1963, 2000, size=n_keys)
+    patents = np.stack([key_ids, years], axis=1).astype(np.int64)
+
+    n_hits = int(round(hit_fraction * n_citations))
+    cited_hits = key_ids[rng.integers(0, n_keys, size=n_hits)]
+    cited_miss = non_key_pool[
+        rng.integers(0, len(non_key_pool), size=n_citations - n_hits)
+    ]
+    cited = np.concatenate([cited_hits, cited_miss])
+    citing = rng.integers(0, universe, size=n_citations)
+    order = rng.permutation(n_citations)
+    citations = np.stack([citing, cited], axis=1).astype(np.int64)[order]
+    return PatentDataset(patents=patents, citations=citations, seed=seed)

@@ -1,0 +1,149 @@
+"""Experiment runner: drive workloads through filter suites (§IV).
+
+The runner reproduces the paper's measurement protocol:
+
+1. insert the member set,
+2. run the update period (delete churn-out, insert churn-in) when the
+   filter supports deletion,
+3. reset access statistics,
+4. run the query set in bulk and measure the false positive rate over
+   the non-member queries plus per-operation access/bandwidth averages.
+
+False *negatives* are also asserted to be absent — a Bloom-filter
+implementation bug would show up there first.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.filters.base import CountingFilterBase, FilterBase
+from repro.workloads.synthetic import MembershipWorkload
+
+__all__ = [
+    "MembershipResult",
+    "run_membership_workload",
+    "run_suite",
+    "measure_fpr",
+]
+
+
+@dataclass
+class MembershipResult:
+    """Metrics from one filter × workload run."""
+
+    name: str
+    memory_bits: int
+    k: int
+    false_positive_rate: float
+    false_negatives: int
+    query_seconds: float
+    build_seconds: float
+    mean_query_accesses: float
+    mean_query_bits: float
+    mean_update_accesses: float
+    mean_update_bits: float
+    n_queries: int
+    n_negative_queries: int
+    extra: dict = field(default_factory=dict)
+
+    def row(self) -> dict:
+        """Flat dict for table rendering."""
+        return {
+            "filter": self.name,
+            "memory_bits": self.memory_bits,
+            "k": self.k,
+            "fpr": self.false_positive_rate,
+            "false_negatives": self.false_negatives,
+            "query_s": self.query_seconds,
+            "q_accesses": self.mean_query_accesses,
+            "q_bits": self.mean_query_bits,
+            "u_accesses": self.mean_update_accesses,
+            "u_bits": self.mean_update_bits,
+        }
+
+
+def measure_fpr(
+    filter_obj: FilterBase,
+    negatives: np.ndarray,
+) -> float:
+    """Fraction of guaranteed non-members the filter claims as members."""
+    if len(negatives) == 0:
+        return 0.0
+    return float(filter_obj.query_many(negatives).mean())
+
+
+def run_membership_workload(
+    filter_obj: FilterBase,
+    workload: MembershipWorkload,
+    *,
+    skip_churn: bool = False,
+) -> MembershipResult:
+    """Run the full §IV protocol on one filter.
+
+    ``skip_churn`` disables the update period (used for plain Bloom
+    filters, which cannot delete).
+    """
+    t0 = time.perf_counter()
+    filter_obj.insert_many(workload.members)
+    do_churn = not skip_churn and isinstance(filter_obj, CountingFilterBase)
+    if do_churn and len(workload.churn_out):
+        filter_obj.delete_many(workload.churn_out)
+        filter_obj.insert_many(workload.churn_in)
+    build_seconds = time.perf_counter() - t0
+    update_stats = filter_obj.stats.update
+    mean_update_accesses = update_stats.mean_accesses
+    mean_update_bits = update_stats.mean_bits
+
+    filter_obj.reset_stats()
+    queries = workload.queries
+    labels = workload.query_is_member
+    if not do_churn:
+        # Without churn the ground truth is the original member set:
+        # churn-in queries are then true negatives, churn-out still members.
+        members = np.sort(workload.members)
+        pos = np.clip(np.searchsorted(members, queries), 0, len(members) - 1)
+        labels = members[pos] == queries
+    t0 = time.perf_counter()
+    answers = filter_obj.query_many(queries)
+    query_seconds = time.perf_counter() - t0
+
+    negatives_mask = ~labels
+    n_neg = int(negatives_mask.sum())
+    fpr = float(answers[negatives_mask].mean()) if n_neg else 0.0
+    false_negatives = int((~answers[labels]).sum())
+    if false_negatives:
+        raise ReproError(
+            f"{filter_obj.name} produced {false_negatives} false negatives — "
+            "implementation bug"
+        )
+    return MembershipResult(
+        name=filter_obj.name,
+        memory_bits=filter_obj.total_bits,
+        k=filter_obj.num_hashes,
+        false_positive_rate=fpr,
+        false_negatives=false_negatives,
+        query_seconds=query_seconds,
+        build_seconds=build_seconds,
+        mean_query_accesses=filter_obj.stats.query.mean_accesses,
+        mean_query_bits=filter_obj.stats.query.mean_bits,
+        mean_update_accesses=mean_update_accesses,
+        mean_update_bits=mean_update_bits,
+        n_queries=len(queries),
+        n_negative_queries=n_neg,
+    )
+
+
+def run_suite(
+    suite: dict[str, FilterBase],
+    workload: MembershipWorkload,
+) -> dict[str, MembershipResult]:
+    """Run one workload across a whole filter suite."""
+    return {
+        name: run_membership_workload(filt, workload)
+        for name, filt in suite.items()
+    }

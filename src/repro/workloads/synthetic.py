@@ -1,0 +1,182 @@
+"""Synthetic membership workloads (§IV.A).
+
+The paper synthesises five-byte strings over the alphabet
+``[a-zA-Z]``: a test set of 100K *unique* strings inserted into the
+filters, a query set of 1M strings of which 80% belong to the test set,
+and an update period that deletes 20K strings and inserts 20K fresh
+ones, holding the filter population constant.  Ten seeds are averaged.
+
+Everything here is vectorised: strings are generated as a
+``(count, length)`` uint8 matrix of alphabet indices and viewed as an
+``S<length>`` NumPy array; uniqueness is enforced with ``np.unique``
+plus top-up rounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.hashing.encoders import encode_str_array
+
+__all__ = ["random_strings", "MembershipWorkload", "make_synthetic_workload"]
+
+_ALPHABET = np.frombuffer(
+    b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ", dtype=np.uint8
+)
+
+
+def random_strings(
+    count: int,
+    *,
+    length: int = 5,
+    rng: np.random.Generator,
+    exclude: np.ndarray | None = None,
+) -> np.ndarray:
+    """Generate ``count`` unique random strings over ``[a-zA-Z]``.
+
+    Parameters
+    ----------
+    count:
+        Number of unique strings to return.
+    length:
+        String length (5 in the paper).
+    rng:
+        Source of randomness.
+    exclude:
+        Optional sorted-or-not array of strings that must not appear
+        (used to draw guaranteed non-members and churn replacements).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``S<length>`` array of ``count`` distinct strings, shuffled.
+    """
+    if count == 0:
+        return np.empty(0, dtype=f"S{length}")
+    space = float(len(_ALPHABET)) ** length
+    if count > space * 0.5:
+        raise ConfigurationError(
+            f"cannot draw {count} unique strings of length {length} "
+            f"(space is only {space:.0f})"
+        )
+    exclude_set = (
+        np.sort(np.asarray(exclude, dtype=f"S{length}"))
+        if exclude is not None and len(exclude)
+        else None
+    )
+    collected: list[np.ndarray] = []
+    have = 0
+    while have < count:
+        need = count - have
+        batch = max(1024, int(need * 1.1))
+        codes = rng.integers(0, len(_ALPHABET), size=(batch, length))
+        chars = _ALPHABET[codes]
+        strings = chars.view(f"S{length}").reshape(-1)
+        strings = np.unique(strings)
+        if exclude_set is not None:
+            pos = np.searchsorted(exclude_set, strings)
+            pos = np.clip(pos, 0, len(exclude_set) - 1)
+            strings = strings[exclude_set[pos] != strings]
+        if collected:
+            seen = np.sort(np.concatenate(collected))
+            pos = np.searchsorted(seen, strings)
+            pos = np.clip(pos, 0, len(seen) - 1)
+            strings = strings[seen[pos] != strings]
+        take = strings[: count - have]
+        if len(take):
+            collected.append(take)
+            have += len(take)
+    result = np.concatenate(collected)
+    rng.shuffle(result)
+    return result
+
+
+@dataclass
+class MembershipWorkload:
+    """One realisation of the paper's synthetic experiment.
+
+    Attributes
+    ----------
+    members:
+        Keys inserted into the filter (``S<length>`` array, unique).
+    queries:
+        Query keys; ``query_is_member`` flags ground truth.
+    churn_out / churn_in:
+        Update period: keys deleted from / inserted into the filter
+        between the build and query phases.
+    """
+
+    members: np.ndarray
+    queries: np.ndarray
+    query_is_member: np.ndarray
+    churn_out: np.ndarray
+    churn_in: np.ndarray
+    seed: int
+
+    @property
+    def n_members(self) -> int:
+        return len(self.members)
+
+    def final_members(self) -> np.ndarray:
+        """Membership after the churn phase (what queries see)."""
+        kept = np.setdiff1d(self.members, self.churn_out, assume_unique=True)
+        return np.concatenate([kept, self.churn_in])
+
+    def encoded_queries(self) -> np.ndarray:
+        """Pre-encoded query keys (uint64), computed once per workload."""
+        return encode_str_array(self.queries)
+
+
+def make_synthetic_workload(
+    *,
+    n_members: int = 100_000,
+    n_queries: int = 1_000_000,
+    member_fraction: float = 0.8,
+    churn_fraction: float = 0.2,
+    length: int = 5,
+    seed: int = 0,
+) -> MembershipWorkload:
+    """Build the §IV.A synthetic workload.
+
+    Queries sample the *post-churn* membership for the member portion
+    so ground truth stays exact; the non-member portion is drawn
+    disjoint from every key ever inserted (no accidental members).
+    """
+    if not 0.0 <= member_fraction <= 1.0:
+        raise ConfigurationError(
+            f"member_fraction must be in [0, 1], got {member_fraction}"
+        )
+    if not 0.0 <= churn_fraction <= 1.0:
+        raise ConfigurationError(
+            f"churn_fraction must be in [0, 1], got {churn_fraction}"
+        )
+    rng = np.random.default_rng(seed)
+    n_churn = int(round(churn_fraction * n_members))
+    members = random_strings(n_members, length=length, rng=rng)
+    churn_out = members[rng.choice(n_members, size=n_churn, replace=False)]
+    churn_in = random_strings(n_churn, length=length, rng=rng, exclude=members)
+    all_inserted = np.concatenate([members, churn_in])
+
+    n_member_queries = int(round(member_fraction * n_queries))
+    n_nonmember_queries = n_queries - n_member_queries
+    kept = np.setdiff1d(members, churn_out, assume_unique=False)
+    final = np.concatenate([kept, churn_in])
+    member_queries = final[rng.integers(0, len(final), size=n_member_queries)]
+    nonmember_queries = random_strings(
+        n_nonmember_queries, length=length, rng=rng, exclude=all_inserted
+    )
+    queries = np.concatenate([member_queries, nonmember_queries])
+    labels = np.zeros(n_queries, dtype=bool)
+    labels[:n_member_queries] = True
+    order = rng.permutation(n_queries)
+    return MembershipWorkload(
+        members=members,
+        queries=queries[order],
+        query_is_member=labels[order],
+        churn_out=churn_out,
+        churn_in=churn_in,
+        seed=seed,
+    )

@@ -1,0 +1,93 @@
+"""Tests for the analytic bandwidth budgets (Tables I-II machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.bandwidth import (
+    estimated_level_sizes,
+    query_budget,
+    update_budget,
+)
+from repro.errors import ConfigurationError
+
+M = 500_000
+N = 10_000
+
+
+class TestQueryBudget:
+    def test_cbf(self):
+        b = query_budget("CBF", M, 3)
+        assert b.memory_accesses == 3.0
+        assert b.total_bits == pytest.approx(3 * math.log2(M // 4))
+
+    def test_pcbf(self):
+        b = query_budget("PCBF", M, 3, word_bits=64)
+        l = M // 64
+        assert b.memory_accesses == 1.0
+        assert b.total_bits == pytest.approx(math.log2(l) + 3 * math.log2(16))
+
+    def test_mpcbf_uses_b1(self):
+        b = query_budget("MPCBF", M, 3, word_bits=64, n=N)
+        pc = query_budget("PCBF", M, 3, word_bits=64)
+        # b1 > w/4 counters → MPCBF offset bits exceed PCBF's.
+        assert b.offset_bits > pc.offset_bits
+        assert b.memory_accesses == 1.0
+
+    def test_partitioned_cheaper_than_cbf(self):
+        cbf = query_budget("CBF", M, 3)
+        for variant in ("PCBF", "MPCBF"):
+            assert (
+                query_budget(variant, M, 3, n=N).total_bits < cbf.total_bits
+            )
+
+    def test_g_scaling(self):
+        b1 = query_budget("MPCBF", M, 3, n=N, g=1)
+        b2 = query_budget("MPCBF", M, 4, n=N, g=2)
+        assert b2.memory_accesses == 2.0
+        assert b2.word_select_bits == pytest.approx(2 * b1.word_select_bits)
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            query_budget("XCBF", M, 3)
+
+    def test_mpcbf_needs_n(self):
+        with pytest.raises(ConfigurationError):
+            query_budget("MPCBF", M, 3)
+
+
+class TestUpdateBudget:
+    def test_cbf_update_equals_query(self):
+        assert update_budget("CBF", M, 3) == query_budget("CBF", M, 3)
+
+    def test_mpcbf_update_exceeds_query(self):
+        q = query_budget("MPCBF", M, 3, n=N)
+        u = update_budget("MPCBF", M, 3, n=N)
+        assert u.total_bits > q.total_bits
+        assert u.memory_accesses == q.memory_accesses
+
+
+class TestEstimatedLevelSizes:
+    def test_first_level_is_b1(self):
+        sizes = estimated_level_sizes(M, 64, 3, n=N)
+        from repro.analysis.heuristics import improved_b1, n_max_heuristic
+
+        l = M // 64
+        b1 = improved_b1(64, 3, n_max_heuristic(N, l))
+        assert sizes[0] == float(b1)
+
+    def test_decreasing(self):
+        sizes = estimated_level_sizes(M, 64, 3, n=N)
+        assert all(sizes[i] > sizes[i + 1] for i in range(len(sizes) - 1))
+
+    def test_levels_bounded_by_hash_mass(self):
+        # Total deeper-level slots cannot exceed hash insertions/word.
+        sizes = estimated_level_sizes(M, 64, 3, n=N)
+        t = 3 * (N / (M // 64))
+        assert sum(sizes[1:]) <= t + 1e-9
+
+    def test_needs_n(self):
+        with pytest.raises(ConfigurationError):
+            estimated_level_sizes(M, 64, 3)

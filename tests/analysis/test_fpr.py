@@ -1,0 +1,223 @@
+"""Tests for the closed-form FPR models (Eq. 1-5, 8, 9)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.fpr import (
+    bf_fpr,
+    cbf_fpr,
+    mpcbf_fpr,
+    mpcbf_fpr_average,
+    pcbf_fpr,
+)
+from repro.errors import ConfigurationError
+
+
+class TestBfFpr:
+    def test_paper_example(self):
+        # §II.A: m/n = 10, k = 7 → f ≈ 0.008.
+        assert bf_fpr(1000, 10_000, 7) == pytest.approx(0.008, rel=0.1)
+
+    def test_optimal_k_formula(self):
+        # At k = (m/n)·ln2 the FPR is (1/2)^k.
+        m, n = 32_000, 2000
+        k = round((m / n) * math.log(2))
+        assert bf_fpr(n, m, k) == pytest.approx(0.5**k, rel=0.1)
+
+    def test_monotone_in_n(self):
+        fprs = [bf_fpr(n, 10_000, 3) for n in (100, 500, 1000, 5000)]
+        assert fprs == sorted(fprs)
+
+    def test_monotone_in_m(self):
+        fprs = [bf_fpr(1000, m, 3) for m in (4000, 8000, 16_000, 32_000)]
+        assert fprs == sorted(fprs, reverse=True)
+
+    def test_exact_vs_approx_converge(self):
+        exact = bf_fpr(10_000, 100_000, 3, exact=True)
+        approx = bf_fpr(10_000, 100_000, 3, exact=False)
+        assert exact == pytest.approx(approx, rel=1e-3)
+
+    @given(
+        st.integers(1, 10_000),
+        st.integers(10, 100_000),
+        st.integers(1, 10),
+    )
+    def test_is_probability(self, n, m, k):
+        assert 0.0 <= bf_fpr(n, m, k) <= 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            bf_fpr(0, 100, 3)
+
+
+class TestCbfFpr:
+    def test_equivalent_to_bf_on_counters(self):
+        assert cbf_fpr(1000, 40_000, 3) == bf_fpr(1000, 10_000, 3)
+
+    def test_counter_width_matters(self):
+        # Same memory, wider counters → fewer counters → worse FPR.
+        assert cbf_fpr(1000, 40_000, 3, counter_bits=8) > cbf_fpr(
+            1000, 40_000, 3, counter_bits=4
+        )
+
+
+class TestPcbfFpr:
+    def test_worse_than_cbf(self):
+        # Fig. 2's core message.
+        n, M, k = 10_000, 600_000, 3
+        for w in (16, 32, 64, 128):
+            assert pcbf_fpr(n, M, w, k) > cbf_fpr(n, M, k)
+
+    def test_converges_to_cbf_with_word_size(self):
+        # "when w increases the false positive rate of PCBF-1 converges
+        # to that of CBF."
+        n, M, k = 10_000, 600_000, 3
+        gaps = [
+            pcbf_fpr(n, M, w, k) / cbf_fpr(n, M, k) for w in (16, 64, 256, 1024)
+        ]
+        assert gaps == sorted(gaps, reverse=True)
+        assert gaps[-1] < 1.6
+
+    def test_g2_below_g1(self):
+        n, M, k = 10_000, 600_000, 3
+        assert pcbf_fpr(n, M, 64, k, g=2) < pcbf_fpr(n, M, 64, k, g=1)
+
+    def test_montecarlo_agreement(self, rng):
+        # Empirical PCBF-1 FPR must match Eq. (2).
+        from repro.filters.pcbf import PartitionedCBF
+
+        n, num_words, k = 3000, 1024, 3
+        filt = PartitionedCBF(num_words, 64, k, seed=3)
+        members = rng.integers(1, 2**62, size=n).astype(np.uint64)
+        filt.insert_many(members)
+        negatives = (
+            rng.integers(1, 2**62, size=300_000).astype(np.uint64)
+            | np.uint64(1 << 63)
+        )
+        measured = float(filt.query_many(negatives).mean())
+        predicted = pcbf_fpr(n, num_words * 64, 64, k)
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_memory_too_small(self):
+        with pytest.raises(ConfigurationError):
+            pcbf_fpr(100, 32, 64, 3)
+
+
+class TestMpcbfFpr:
+    def test_better_than_cbf_k3(self):
+        # Fig. 5's core message at k=3.
+        n, M, k = 100_000, 6_000_000, 3
+        assert mpcbf_fpr(n, M, 64, k) < cbf_fpr(n, M, k)
+
+    def test_order_of_magnitude_at_paper_scale(self):
+        # Fig. 5 plots the *average* MPCBF rate (f_avg with
+        # b1 = w − k·n/l); that is the curve sitting an order of
+        # magnitude below CBF.  The worst-case Eq. 9 sizing is closer.
+        n, M, k = 100_000, 6_000_000, 3
+        avg_ratio = cbf_fpr(n, M, k) / mpcbf_fpr_average(n, M, 64, k)
+        worst_ratio = cbf_fpr(n, M, k) / mpcbf_fpr(n, M, 64, k)
+        assert avg_ratio > 8  # paper: "an order of magnitude"
+        assert worst_ratio > 2
+
+    def test_g2_below_g1(self):
+        n, M = 100_000, 6_000_000
+        assert mpcbf_fpr(n, M, 64, 3, g=2) < mpcbf_fpr(n, M, 64, 3, g=1)
+
+    def test_explicit_b1_override(self):
+        n, M = 10_000, 600_000
+        wide = mpcbf_fpr(n, M, 64, 3, first_level_bits=50)
+        narrow = mpcbf_fpr(n, M, 64, 3, first_level_bits=20)
+        assert wide < narrow
+
+    def test_montecarlo_agreement(self, rng):
+        from repro.filters.mpcbf import MPCBF
+
+        n, num_words, k = 3000, 1024, 3
+        # saturate: the Eq. 11 heuristic leaves a ~25% chance that one
+        # word of the 1024 overflows during the build; a single
+        # saturated word shifts the measured FPR by < 0.1%.
+        filt = MPCBF(num_words, 64, k, capacity=n, seed=3, word_overflow="saturate")
+        members = rng.integers(1, 2**62, size=n).astype(np.uint64)
+        filt.insert_many(members)
+        negatives = (
+            rng.integers(1, 2**62, size=300_000).astype(np.uint64)
+            | np.uint64(1 << 63)
+        )
+        measured = float(filt.query_many(negatives).mean())
+        predicted = mpcbf_fpr(n, num_words * 64, 64, k, n_max=filt.n_max)
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+    def test_average_case_below_worst_case(self):
+        n, M = 100_000, 6_000_000
+        assert mpcbf_fpr_average(n, M, 64, 3) <= mpcbf_fpr(n, M, 64, 3)
+
+    def test_average_saturates_at_one_when_overloaded(self):
+        # k·n/l >= w leaves b1 <= 0: every query is a false positive by
+        # convention.
+        assert mpcbf_fpr_average(100_000, 3000 * 64, 64, 3) == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(1000, 20_000),
+    mem_per_n=st.integers(36, 64),
+    k=st.integers(3, 4),
+)
+def test_variant_ordering_property(n, mem_per_n, k):
+    """CBF ≤ PCBF and MPCBF ≲ CBF across the paper's Fig. 7 regime.
+
+    The grid matches the paper's operating point: k ∈ {3, 4} and m/n
+    between ~36 and 64.  Outside it the ordering genuinely flips — at
+    m/n ≫ 64 most words are empty and partitioning *helps* PCBF; at
+    m/n ≪ 36 with large k the worst-case n_max sizing crushes b1 and
+    MPCBF degrades (the reason the paper keeps k small for MPCBF)."""
+    M = n * mem_per_n
+    cbf = cbf_fpr(n, M, k)
+    pcbf = pcbf_fpr(n, M, 64, k)
+    try:
+        mpcbf = mpcbf_fpr(n, M, 64, k)
+    except ConfigurationError:
+        return  # geometry infeasible (b1 < k); nothing to assert
+    assert pcbf >= cbf * 0.9
+    assert mpcbf <= cbf * 1.6  # allow small-regime wiggle
+
+
+class TestBfgFpr:
+    def test_worse_than_flat_bf(self):
+        from repro.analysis.fpr import bfg_fpr
+
+        n, M, k = 10_000, 600_000, 3
+        assert bfg_fpr(n, M, 64, k) > bf_fpr(n, M, k)
+
+    def test_g2_below_g1(self):
+        from repro.analysis.fpr import bfg_fpr
+
+        n, M, k = 10_000, 600_000, 4
+        assert bfg_fpr(n, M, 64, k, g=2) < bfg_fpr(n, M, 64, k, g=1)
+
+    def test_montecarlo_agreement(self, rng):
+        from repro.analysis.fpr import bfg_fpr
+        from repro.filters.one_access import OneAccessBloomFilter
+
+        n, num_words, k = 3000, 512, 4
+        filt = OneAccessBloomFilter(num_words, 64, k, seed=3)
+        members = rng.integers(1, 2**62, size=n).astype(np.uint64)
+        filt.insert_many(members)
+        negatives = (
+            rng.integers(1, 2**62, size=200_000).astype(np.uint64)
+            | np.uint64(1 << 63)
+        )
+        measured = float(filt.query_many(negatives).mean())
+        predicted = bfg_fpr(n, num_words * 64, 64, k)
+        assert measured == pytest.approx(predicted, rel=0.15)
+
+    def test_memory_too_small(self):
+        from repro.analysis.fpr import bfg_fpr
+
+        with pytest.raises(ConfigurationError):
+            bfg_fpr(100, 32, 64, 3)

@@ -1,0 +1,66 @@
+"""Tests for the sizing heuristics (Eq. 11, improved b1)."""
+
+from __future__ import annotations
+
+import pytest
+from scipy import stats
+
+from repro.analysis.heuristics import improved_b1, n_max_heuristic, words_for_memory
+from repro.errors import ConfigurationError
+
+
+class TestNMaxHeuristic:
+    def test_matches_poisson_inverse(self):
+        n, l = 100_000, 62_500
+        expected = int(stats.poisson.ppf(1 - 1 / l, n / l))
+        assert n_max_heuristic(n, l) == expected
+
+    def test_paper_range(self):
+        # §IV.B: "choosing n_max from 10 to 7 in our experiments" for
+        # l = 62500 to 250000 at n = 100K (k=3, w=64).
+        values = {
+            n_max_heuristic(100_000, l) for l in (62_500, 125_000, 250_000)
+        }
+        assert values <= set(range(6, 11))
+
+    def test_g_scales_rate(self):
+        assert n_max_heuristic(10_000, 4096, g=2) > n_max_heuristic(
+            10_000, 4096, g=1
+        )
+
+    def test_minimum_one(self):
+        assert n_max_heuristic(1, 1_000_000) >= 1
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            n_max_heuristic(0, 100)
+        with pytest.raises(ConfigurationError):
+            n_max_heuristic(100, 0)
+
+
+class TestImprovedB1:
+    def test_g1(self):
+        assert improved_b1(64, 3, 8) == 64 - 24
+
+    def test_g2_uses_ceil_k_over_g(self):
+        # k=3, g=2 → ⌈3/2⌉ = 2 hashes per word.
+        assert improved_b1(64, 3, 10, g=2) == 64 - 20
+
+    def test_paper_b1_ranges(self):
+        # §IV.B: b1 = 34..43 for k=3, w=64 (n_max 10..7); 24..36 for k=4.
+        assert {improved_b1(64, 3, nm) for nm in (7, 8, 9, 10)} == {43, 40, 37, 34}
+        assert improved_b1(64, 4, 10) == 24
+        assert improved_b1(64, 4, 7) == 36
+
+    def test_infeasible(self):
+        with pytest.raises(ConfigurationError):
+            improved_b1(64, 3, 21)
+
+
+class TestWordsForMemory:
+    def test_floor_division(self):
+        assert words_for_memory(1_000_000, 64) == 15_625
+
+    def test_too_small(self):
+        with pytest.raises(ConfigurationError):
+            words_for_memory(32, 64)

@@ -1,0 +1,114 @@
+"""Numerical-accuracy tests for the analysis internals.
+
+The closed forms truncate binomial supports and use log1p/expm1
+rearrangements; these tests pin them against brute-force references at
+sizes where the naive computation is exact.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.analysis.fpr import (
+    _binomial_mixture,
+    _small_bf_fpr,
+    bf_fpr,
+    mpcbf_fpr,
+    pcbf_fpr,
+)
+
+
+class TestBinomialMixture:
+    def test_matches_full_summation_small(self):
+        n, p = 200, 0.02
+
+        def per_word(j):
+            return 1.0 - np.exp(-0.3 * j)
+
+        truncated = _binomial_mixture(n, p, per_word)
+        full = sum(
+            stats.binom.pmf(j, n, p) * per_word(np.array([float(j)]))[0]
+            for j in range(n + 1)
+        )
+        assert truncated == pytest.approx(full, rel=1e-10)
+
+    def test_constant_function_integrates_to_constant(self):
+        assert _binomial_mixture(
+            10_000, 1e-3, lambda j: np.ones_like(j)
+        ) == pytest.approx(1.0, abs=1e-9)
+
+    def test_identity_function_gives_mean(self):
+        n, p = 5000, 0.002
+        assert _binomial_mixture(n, p, lambda j: j) == pytest.approx(
+            n * p, rel=1e-9
+        )
+
+    def test_large_support_stable(self):
+        # Paper scale: the truncation must not lose mass.
+        value = _binomial_mixture(
+            200_000, 1 / 125_000, lambda j: np.ones_like(j)
+        )
+        assert value == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSmallBfFpr:
+    def test_matches_naive_power_form(self):
+        j = np.array([5.0])
+        naive = (1.0 - (1.0 - 1.0 / 40.0) ** (5 * 3)) ** 3
+        assert _small_bf_fpr(j, 40, 3)[0] == pytest.approx(naive, rel=1e-12)
+
+    def test_fractional_hashes(self):
+        j = np.array([4.0])
+        naive = (1.0 - (1.0 - 1.0 / 38.0) ** (4 * 1.5)) ** 1.5
+        assert _small_bf_fpr(j, 38, 1.5)[0] == pytest.approx(naive, rel=1e-12)
+
+    def test_zero_slots_zero_fpr(self):
+        assert _small_bf_fpr(np.array([0.0]), 40, 3)[0] == 0.0
+
+
+class TestBfFprNumerics:
+    def test_log1p_form_matches_naive_at_small_m(self):
+        n, m, k = 50, 256, 3
+        naive = (1.0 - (1.0 - 1.0 / m) ** (k * n)) ** k
+        assert bf_fpr(n, m, k) == pytest.approx(naive, rel=1e-12)
+
+    def test_huge_m_no_underflow(self):
+        # 1/m below float epsilon of the naive (1-1/m)**kn form.
+        value = bf_fpr(1000, 10**12, 3)
+        expected = (1000 * 3 / 10**12) ** 3  # ~ (kn/m)^k for tiny load
+        assert value == pytest.approx(expected, rel=1e-2)
+        assert value > 0.0
+
+
+class TestMixtureConsistency:
+    def test_pcbf_reduces_to_per_word_bloom_with_one_word(self):
+        # l = 1: every element lands in the single word; Eq. (2) should
+        # collapse to the small-Bloom formula with j = n exactly.
+        n, w, k = 40, 512, 3
+        mixture = pcbf_fpr(n, w, w, k)
+        direct = float(_small_bf_fpr(np.array([float(n)]), w // 4, k)[0])
+        assert mixture == pytest.approx(direct, rel=1e-9)
+
+    def test_mpcbf_monotone_in_n(self):
+        fprs = [
+            mpcbf_fpr(n, 600_000, 64, 3, n_max=8)
+            for n in (2000, 5000, 10_000, 15_000)
+        ]
+        assert fprs == sorted(fprs)
+
+    def test_mpcbf_monotone_in_memory(self):
+        fprs = [
+            mpcbf_fpr(10_000, M, 64, 3, n_max=8)
+            for M in (400_000, 600_000, 800_000)
+        ]
+        assert fprs == sorted(fprs, reverse=True)
+
+    def test_probabilities_never_escape_unit_interval(self):
+        for n in (10, 1000, 100_000):
+            for m_per_n in (8, 40, 200):
+                value = pcbf_fpr(n, n * m_per_n, 64, 3)
+                assert 0.0 <= value <= 1.0, (n, m_per_n)

@@ -1,0 +1,79 @@
+"""Tests for optimal-k selection (Fig. 9/10 machinery)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.fpr import bf_fpr, mpcbf_fpr
+from repro.analysis.optimal import bf_optimal_fpr, cbf_optimal_k, mpcbf_optimal_k
+from repro.errors import ConfigurationError
+
+
+class TestCbfOptimalK:
+    def test_matches_ln2_formula(self):
+        M, n = 4_000_000, 100_000
+        m = M // 4
+        k_real = (m / n) * math.log(2)
+        k = cbf_optimal_k(M, n)
+        assert abs(k - k_real) <= 1
+
+    def test_actually_optimal_among_neighbours(self):
+        M, n = 6_000_000, 100_000
+        m = M // 4
+        k = cbf_optimal_k(M, n)
+        assert bf_fpr(n, m, k) <= bf_fpr(n, m, max(1, k - 1))
+        assert bf_fpr(n, m, k) <= bf_fpr(n, m, k + 1)
+
+    def test_paper_range(self):
+        # Fig. 9: 4 Mb → ~6-7 hashes, 8 Mb → ~12-14 at n = 100K.
+        assert 5 <= cbf_optimal_k(4_000_000, 100_000) <= 8
+        assert 11 <= cbf_optimal_k(8_000_000, 100_000) <= 15
+
+    def test_grows_with_memory(self):
+        ks = [cbf_optimal_k(M, 100_000) for M in range(4_000_000, 8_000_001, 1_000_000)]
+        assert ks == sorted(ks)
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            cbf_optimal_k(2, 0)
+
+    def test_bf_optimal_fpr_consistent(self):
+        M, n = 6_000_000, 100_000
+        assert bf_optimal_fpr(M, n) == bf_fpr(n, M // 4, cbf_optimal_k(M, n))
+
+
+class TestMpcbfOptimalK:
+    def test_returns_feasible_minimum(self):
+        M, n = 6_000_000, 100_000
+        k_opt, fpr_opt = mpcbf_optimal_k(M, n, 64, g=1)
+        assert fpr_opt == mpcbf_fpr(n, M, 64, k_opt, g=1)
+        for k in range(1, 12):
+            try:
+                assert mpcbf_fpr(n, M, 64, k, g=1) >= fpr_opt
+            except (ConfigurationError, ValueError):
+                continue
+
+    def test_nearly_constant_in_memory(self):
+        # Fig. 9: MPCBF-1's optimal k stays ~3-4 across the sweep.
+        ks = {
+            mpcbf_optimal_k(M, 100_000, 64, g=1)[0]
+            for M in range(4_000_000, 8_000_001, 1_000_000)
+        }
+        assert ks <= {3, 4, 5}
+
+    def test_g_requires_k_at_least_g(self):
+        k_opt, _ = mpcbf_optimal_k(6_000_000, 100_000, 64, g=3)
+        assert k_opt >= 3
+
+    def test_infeasible_raises(self):
+        with pytest.raises(ConfigurationError):
+            # Memory below one word leaves no feasible geometry at all.
+            mpcbf_optimal_k(32, 100_000, 64, g=1, k_max=4)
+
+    def test_g2_fpr_below_g1(self):
+        M, n = 6_000_000, 100_000
+        _, f1 = mpcbf_optimal_k(M, n, 64, g=1)
+        _, f2 = mpcbf_optimal_k(M, n, 64, g=2)
+        assert f2 < f1

@@ -1,0 +1,88 @@
+"""Tests for the word-overflow probability models (Eq. 6 / 10)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.overflow import (
+    any_word_overflow_probability,
+    word_overflow_bound,
+    word_overflow_probability,
+)
+from repro.errors import ConfigurationError
+
+
+class TestExactTail:
+    def test_monotone_decreasing_in_n_max(self):
+        probs = [
+            word_overflow_probability(100_000, 62_500, n_max)
+            for n_max in range(1, 12)
+        ]
+        assert probs == sorted(probs, reverse=True)
+
+    def test_increasing_in_g(self):
+        p1 = word_overflow_probability(10_000, 4096, 6, g=1)
+        p2 = word_overflow_probability(10_000, 4096, 6, g=2)
+        assert p2 > p1
+
+    def test_zero_when_n_max_exceeds_n(self):
+        assert word_overflow_probability(10, 100, 10) == 0.0
+        assert word_overflow_probability(10, 100, 11) == 0.0
+
+    def test_any_word_is_union_bound(self):
+        per = word_overflow_probability(10_000, 1000, 15)
+        any_ = any_word_overflow_probability(10_000, 1000, 15)
+        assert any_ == pytest.approx(min(1.0, 1000 * per))
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            word_overflow_probability(100, 0, 5)
+
+
+class TestChernoffBound:
+    def test_bounds_the_exact_tail(self):
+        # Eq. 6 is an upper bound on P(E >= n_max) >= P(E > n_max).
+        for n_max in range(3, 15):
+            exact = word_overflow_probability(100_000, 62_500, n_max)
+            bound = word_overflow_bound(100_000, 62_500, n_max)
+            assert bound >= exact
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        n=st.integers(1000, 200_000),
+        l=st.integers(100, 100_000),
+        n_max=st.integers(1, 30),
+    )
+    def test_bound_property(self, n, l, n_max):
+        exact = word_overflow_probability(n, l, n_max)
+        bound = word_overflow_bound(n, l, n_max)
+        assert 0.0 <= exact <= 1.0
+        assert exact <= bound <= 1.0
+
+    def test_clamped_to_one(self):
+        assert word_overflow_bound(100_000, 10, 1) == 1.0
+
+
+class TestHeuristicValidation:
+    def test_eq11_keeps_per_word_tail_below_1_over_l(self):
+        # Eq. 11 chooses n_max so the per-word tail is ≲ 1/l.
+        from repro.analysis.heuristics import n_max_heuristic
+
+        for n, l in [(100_000, 62_500), (10_000, 6_250), (200_000, 125_000)]:
+            n_max = n_max_heuristic(n, l)
+            assert word_overflow_probability(n, l, n_max) <= 1.5 / l
+
+    def test_montecarlo_occupancy_tail(self, rng):
+        # Simulated word occupancies must match the binomial tail.
+        n, l, n_max = 20_000, 2048, 14
+        trials = 50
+        exceed = 0
+        for _ in range(trials):
+            words = rng.integers(0, l, size=n)
+            counts = np.bincount(words, minlength=l)
+            exceed += int((counts > n_max).sum())
+        observed_rate = exceed / (trials * l)
+        predicted = word_overflow_probability(n, l, n_max)
+        assert observed_rate == pytest.approx(predicted, rel=0.5, abs=1e-5)

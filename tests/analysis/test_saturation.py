@@ -1,0 +1,93 @@
+"""Tests for the first-passage saturation model, validated against the
+churn simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.saturation import (
+    churn_transition_matrix,
+    expected_epochs_to_saturation,
+    saturation_probability_by_epoch,
+)
+from repro.errors import ConfigurationError
+from repro.filters.mpcbf import MPCBF
+from repro.workloads.churn import run_churn
+
+
+class TestTransitionMatrix:
+    def test_rows_are_distributions(self):
+        matrix = churn_transition_matrix(1000, 128, 8, 0.2)
+        np.testing.assert_allclose(matrix.sum(axis=1), 1.0, atol=1e-9)
+        assert (matrix >= 0).all()
+
+    def test_absorbing_state(self):
+        matrix = churn_transition_matrix(1000, 128, 8, 0.2)
+        assert matrix[-1, -1] == 1.0
+        assert matrix[-1, :-1].sum() == 0.0
+
+    def test_full_churn_resets_occupancy(self):
+        # c = 1: next state is pure arrivals, independent of current.
+        matrix = churn_transition_matrix(1000, 128, 8, 1.0)
+        np.testing.assert_allclose(matrix[0, :-1], matrix[5, :-1], atol=1e-12)
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            churn_transition_matrix(1000, 128, 8, 0.0)
+        with pytest.raises(ConfigurationError):
+            churn_transition_matrix(0, 128, 8, 0.5)
+
+
+class TestSaturationProbability:
+    def test_monotone_in_epochs(self):
+        probs = saturation_probability_by_epoch(300, 128, 4, 0.2, 30)
+        assert all(a <= b + 1e-12 for a, b in zip(probs, probs[1:]))
+        assert 0.0 <= probs[0] <= probs[-1] <= 1.0
+
+    def test_larger_n_max_safer(self):
+        tight = saturation_probability_by_epoch(300, 128, 4, 0.2, 20)[-1]
+        safe = saturation_probability_by_epoch(300, 128, 8, 0.2, 20)[-1]
+        assert safe < tight
+
+    def test_median_first_passage(self):
+        tight = expected_epochs_to_saturation(300, 128, 4, 0.2, horizon=200)
+        safe = expected_epochs_to_saturation(300, 128, 10, 0.2, horizon=200)
+        assert tight < safe
+
+    def test_infinite_when_generously_sized(self):
+        assert expected_epochs_to_saturation(
+            100, 1024, 20, 0.2, horizon=500
+        ) == float("inf")
+
+
+class TestModelMatchesSimulation:
+    def test_tight_sizing_first_passage(self):
+        """The model's any-word saturation curve must track the churn
+        simulator's measured saturation over multiple seeds."""
+        n, l, n_max, c, epochs = 300, 128, 4, 0.2, 12
+        predicted = saturation_probability_by_epoch(n, l, n_max, c, epochs)
+        trials = 12
+        saturated_by_epoch = np.zeros(epochs)
+        for seed in range(trials):
+            filt = MPCBF(l, 64, 3, n_max=n_max, seed=seed, word_overflow="saturate")
+            result = run_churn(
+                filt,
+                population=n,
+                churn_fraction=c,
+                epochs=epochs,
+                probe_count=100,
+                seed=seed,
+            )
+            saturated_by_epoch += np.array(
+                [1 if s > 0 else 0 for s in result.saturated_words_by_epoch]
+            )
+        observed = saturated_by_epoch / trials
+        # Same shape: the model (an upper-ish bound) within a loose band
+        # of the 12-trial empirical frequency at the midpoint and end.
+        for t in (epochs // 2, epochs - 1):
+            assert observed[t] == pytest.approx(predicted[t], abs=0.35)
+        # And directionally: if the model says near-certain saturation,
+        # the simulation must show it too.
+        if predicted[-1] > 0.9:
+            assert observed[-1] > 0.5

@@ -1,0 +1,99 @@
+"""Tests for the Eq. (7) trade-off and design-space planner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.fpr import mpcbf_fpr
+from repro.analysis.tradeoffs import (
+    cbf_bits_for_fpr,
+    cheapest_design,
+    efficiency_ratio_bound,
+    feasible_designs,
+    min_bits_per_element,
+)
+from repro.errors import ConfigurationError
+
+
+class TestEq7Bound:
+    def test_basic(self):
+        assert efficiency_ratio_bound(64, 3, 8) == pytest.approx(8.0)
+
+    def test_paper_w32_example(self):
+        # §III.B.4: with w=32, k=3 only efficiency ratios above ~29/3
+        # are possible (n_max capped at (32-3)/3 = 9).
+        assert min_bits_per_element(32, 3) == pytest.approx(32 / 9)
+
+    def test_infeasible_geometry(self):
+        with pytest.raises(ConfigurationError):
+            min_bits_per_element(4, 3)
+
+    def test_invalid_n_max(self):
+        with pytest.raises(ConfigurationError):
+            efficiency_ratio_bound(64, 3, 0)
+
+
+class TestFeasibleDesigns:
+    def test_points_are_internally_consistent(self):
+        points = feasible_designs(10_000, bits_per_element_grid=(24, 40, 64))
+        assert points
+        for p in points:
+            assert p.first_level_bits >= p.k
+            assert p.memory_bits == int(10_000 * p.bits_per_element)
+            assert 0.0 <= p.fpr <= 1.0
+            assert p.hash_calls == p.k + p.g - 1
+            # Reported FPR matches a direct evaluation.
+            assert p.fpr == pytest.approx(
+                mpcbf_fpr(10_000, p.memory_bits, 64, p.k, g=p.g), rel=1e-9
+            )
+
+    def test_fpr_improves_with_memory_within_g(self):
+        points = [
+            p
+            for p in feasible_designs(
+                10_000, gs=(1,), bits_per_element_grid=(24, 40, 64, 96)
+            )
+        ]
+        fprs = [p.fpr for p in sorted(points, key=lambda p: p.bits_per_element)]
+        assert fprs == sorted(fprs, reverse=True)
+
+
+class TestCheapestDesign:
+    def test_meets_target(self):
+        design = cheapest_design(10_000, 1e-3)
+        assert design.fpr <= 1e-3
+        assert design.g <= 3
+
+    def test_tighter_target_costs_more(self):
+        loose = cheapest_design(10_000, 1e-2)
+        tight = cheapest_design(10_000, 1e-4)
+        assert tight.bits_per_element >= loose.bits_per_element
+
+    def test_access_budget_respected(self):
+        design = cheapest_design(10_000, 1e-3, max_accesses=1)
+        assert design.g == 1
+
+    def test_impossible_target(self):
+        with pytest.raises(ConfigurationError):
+            cheapest_design(10_000, 1e-30)
+
+    def test_mpcbf_cheaper_or_fewer_accesses_than_cbf(self):
+        # The paper's value proposition, as a planner invariant: at the
+        # same FPR target, MPCBF needs no more memory than CBF needs
+        # while using at most 3 accesses vs CBF's optimal k.
+        target = 1e-4
+        design = cheapest_design(20_000, target)
+        cbf_bpe, cbf_k = cbf_bits_for_fpr(20_000, target)
+        assert design.bits_per_element <= cbf_bpe * 1.25
+        assert design.memory_accesses < cbf_k
+
+
+class TestCbfBitsForFpr:
+    def test_monotone(self):
+        loose, _ = cbf_bits_for_fpr(10_000, 1e-2)
+        tight, _ = cbf_bits_for_fpr(10_000, 1e-5)
+        assert tight > loose
+
+    def test_unreachable(self):
+        with pytest.raises(ConfigurationError):
+            cbf_bits_for_fpr(10_000, 1e-30, max_bits_per_element=64)

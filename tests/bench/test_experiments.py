@@ -1,0 +1,121 @@
+"""Smoke tests for every experiment driver at a tiny scale.
+
+Each driver must run end-to-end and reproduce the paper's *direction*
+(orderings), even at 1/100 of the paper's sizes.  The full shapes are
+exercised by the ``benchmarks/`` targets at CI/paper scale.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import experiments
+from repro.bench.scale import Scale
+
+TINY = Scale(
+    name="tiny",
+    synth_members=2000,
+    synth_queries=20_000,
+    synth_memories=(80_000, 120_000, 160_000),
+    trace_unique=2000,
+    trace_observations=38_000,
+    trace_inserted=1400,
+    trace_memories=(56_000, 84_000, 112_000),
+    join_keys=800,
+    join_citations=16_000,
+    repeats=1,
+)
+
+
+@pytest.fixture(scope="module")
+def fig7_report():
+    return experiments.fig07(TINY, ks=(3,))
+
+
+class TestAnalyticDrivers:
+    def test_fig02_pcbf_worse_than_cbf(self):
+        report = experiments.fig02(TINY)
+        for row in report.rows:
+            assert row["PCBF-1 w=64"] > row["CBF"]
+
+    def test_fig05_mpcbf_below_cbf(self):
+        report = experiments.fig05(TINY)
+        for row in report.rows:
+            assert row["MPCBF-2 w=64"] < row["CBF"]
+
+    def test_fig06_overflow_decreasing_in_n_max(self):
+        report = experiments.fig06(TINY)
+        by_config: dict = {}
+        for row in report.rows:
+            by_config.setdefault(
+                (row["w"], row["bits_per_elem"]), []
+            ).append(row["p_any_overflow"])
+        for series in by_config.values():
+            assert series == sorted(series, reverse=True)
+
+    def test_fig09_cbf_k_grows_mpcbf_k_flat(self):
+        report = experiments.fig09(TINY)
+        cbf_ks = [row["CBF"] for row in report.rows]
+        mp1_ks = [row["MPCBF-1"] for row in report.rows]
+        assert cbf_ks[-1] > cbf_ks[0]
+        assert max(mp1_ks) - min(mp1_ks) <= 2
+
+
+class TestEmpiricalDrivers:
+    def test_fig07_orderings(self, fig7_report):
+        for row in fig7_report.rows:
+            assert row["PCBF-1"] > row["CBF"], row
+            assert row["MPCBF-2"] < row["CBF"], row
+
+    def test_fig07_fpr_decreases_with_memory(self, fig7_report):
+        cbf = [row["CBF"] for row in fig7_report.rows]
+        assert cbf[-1] < cbf[0]
+
+    def test_fig08_produces_timings(self):
+        report = experiments.fig08(TINY)
+        for row in report.rows:
+            for name in ("CBF", "PCBF-1", "MPCBF-1"):
+                assert row[name] > 0
+
+    def test_fig10_runs(self):
+        report = experiments.fig10(TINY)
+        assert len(report.rows) == len(TINY.synth_memories)
+        assert report.notes  # empirical spot checks recorded
+
+    def test_fig11_constant_mpcbf_accesses(self):
+        report = experiments.fig11(TINY)
+        for row in report.rows:
+            assert row["MPCBF-1 acc"] == pytest.approx(1.0, abs=0.05)
+            assert row["CBF acc"] > 2.0
+
+    def test_table1_and_table2(self):
+        t1 = experiments.table1(TINY)
+        t2 = experiments.table2(TINY)
+        by = {(r["k"], r["structure"]): r for r in t1.rows}
+        assert by[(3, "MPCBF-1")]["measured_accesses"] == pytest.approx(1.0, abs=0.05)
+        assert by[(3, "CBF")]["measured_accesses"] > by[(3, "MPCBF-1")]["measured_accesses"]
+        by2 = {(r["k"], r["structure"]): r for r in t2.rows}
+        assert by2[(3, "CBF")]["measured_accesses"] == pytest.approx(3.0)
+        assert by2[(3, "PCBF-2")]["measured_accesses"] == pytest.approx(2.0)
+
+    def test_fig12_and_table3(self):
+        fig12 = experiments.fig12(TINY)
+        for row in fig12.rows:
+            assert row["MPCBF-2"] <= row["CBF"] * 1.5
+        table3 = experiments.table3(TINY)
+        rows = {r["structure"]: r for r in table3.rows}
+        assert rows["MPCBF-1"]["query_accesses"] == pytest.approx(1.0, abs=0.05)
+        assert rows["CBF"]["query_accesses"] > 1.5
+
+    def test_table4_join(self):
+        report = experiments.table4(TINY)
+        rows = {r["structure"]: r for r in report.rows}
+        assert rows["CBF"]["fpr"] < 1.0
+        assert rows["MPCBF-1"]["fpr"] < rows["CBF"]["fpr"]
+        assert (
+            rows["MPCBF-1"]["map_output_records"]
+            < rows["CBF"]["map_output_records"]
+        )
+        # All joins produced identical results (asserted inside driver);
+        # every row reports the same join cardinality.
+        assert len({r["joined_rows"] for r in report.rows}) == 1

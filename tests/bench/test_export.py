@@ -1,0 +1,82 @@
+"""Tests for report export (JSON / Markdown)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.export import (
+    report_from_json,
+    report_to_json,
+    report_to_markdown,
+    write_reports,
+)
+from repro.bench.reporting import ExperimentReport
+
+
+def _sample() -> ExperimentReport:
+    report = ExperimentReport(
+        "figX", "Sample", paper="something should hold"
+    )
+    report.add(x=1, fpr=2.5e-4)
+    report.add(x=2, fpr=1.0e-4)
+    report.note("it held")
+    return report
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_everything(self):
+        original = _sample()
+        restored = report_from_json(report_to_json(original))
+        assert restored.experiment_id == original.experiment_id
+        assert restored.title == original.title
+        assert restored.paper == original.paper
+        assert restored.rows == original.rows
+        assert restored.notes == original.notes
+
+    def test_json_is_valid(self):
+        data = json.loads(report_to_json(_sample()))
+        assert data["experiment_id"] == "figX"
+        assert len(data["rows"]) == 2
+
+    def test_renders_identically_after_round_trip(self):
+        original = _sample()
+        restored = report_from_json(report_to_json(original))
+        assert restored.render() == original.render()
+
+
+class TestMarkdown:
+    def test_structure(self):
+        md = report_to_markdown(_sample())
+        assert md.startswith("### figX: Sample")
+        assert "> paper: something should hold" in md
+        assert "| x | fpr |" in md
+        assert "2.500e-04" in md
+        assert "*it held*" in md
+
+    def test_empty_report(self):
+        md = report_to_markdown(ExperimentReport("e", "Empty"))
+        assert "### e: Empty" in md
+        assert "|" not in md
+
+    def test_explicit_columns(self):
+        report = ExperimentReport("c", "Cols", columns=["fpr"])
+        report.add(x=1, fpr=0.5)
+        md = report_to_markdown(report)
+        assert "| fpr |" in md
+        assert "| x |" not in md
+
+
+class TestWriteReports:
+    def test_writes_json_and_markdown(self, tmp_path):
+        a, b = _sample(), ExperimentReport("figY", "Other")
+        b.add(y=3)
+        md_path = write_reports([a, b], tmp_path)
+        assert (tmp_path / "figX.json").exists()
+        assert (tmp_path / "figY.json").exists()
+        text = md_path.read_text()
+        assert "### figX" in text and "### figY" in text
+
+    def test_json_files_loadable(self, tmp_path):
+        write_reports([_sample()], tmp_path)
+        restored = report_from_json((tmp_path / "figX.json").read_text())
+        assert restored.rows[0]["x"] == 1

@@ -1,0 +1,35 @@
+"""Tests for the ``python -m repro.bench`` entry point."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.__main__ import main
+
+
+class TestBenchMain:
+    def test_runs_named_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        rc = main(["fig9"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "scale: ci" in out
+        assert "fig9" in out
+
+    def test_unknown_id_rejected(self, capsys):
+        rc = main(["fig99"])
+        assert rc == 2
+        assert "unknown experiment ids" in capsys.readouterr().out
+
+    def test_export_writes_files(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        rc = main(["fig9", "--export", str(tmp_path)])
+        assert rc == 0
+        data = json.loads((tmp_path / "fig9.json").read_text())
+        assert data["experiment_id"] == "fig9"
+        assert "### fig9" in (tmp_path / "results.md").read_text()
+
+    def test_export_requires_directory(self, capsys):
+        rc = main(["fig9", "--export"])
+        assert rc == 2
+        assert "requires a directory" in capsys.readouterr().out

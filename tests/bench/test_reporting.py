@@ -1,0 +1,66 @@
+"""Tests for experiment reporting and table rendering."""
+
+from __future__ import annotations
+
+from repro.bench.reporting import ExperimentReport, format_table, format_value
+
+
+class TestFormatValue:
+    def test_small_float_scientific(self):
+        assert "e-04" in format_value(2.5e-4)
+
+    def test_normal_float(self):
+        assert format_value(0.123) == "0.123"
+
+    def test_zero(self):
+        assert format_value(0.0) == "0"
+
+    def test_int_passthrough(self):
+        assert format_value(42) == "42"
+
+    def test_bool(self):
+        assert format_value(True) == "True"
+
+    def test_string(self):
+        assert format_value("CBF") == "CBF"
+
+
+class TestFormatTable:
+    def test_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_alignment(self):
+        rows = [{"a": 1, "b": "xx"}, {"a": 100, "b": "y"}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_explicit_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = format_table(rows, columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_columns_come_from_first_row(self):
+        # Later rows' extra keys are dropped unless columns are given.
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        assert "3" not in format_table(rows)
+        assert "3" in format_table(rows, columns=["a", "b"])
+
+
+class TestExperimentReport:
+    def test_add_and_render(self):
+        report = ExperimentReport("fig0", "Demo", paper="something holds")
+        report.add(x=1, y=0.5)
+        report.add(x=2, y=0.25)
+        report.note("observed the trend")
+        text = report.render()
+        assert "fig0" in text
+        assert "something holds" in text
+        assert "note: observed the trend" in text
+        assert "0.25" in text
+
+    def test_columns_override(self):
+        report = ExperimentReport("t", "T", columns=["y"])
+        report.add(x=1, y=2)
+        assert "x" not in report.render().splitlines()[2]

@@ -1,0 +1,51 @@
+"""Tests for experiment scale selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scale import current_scale
+
+
+class TestScaleSelection:
+    def test_default_is_ci(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "ci"
+
+    def test_paper_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        scale = current_scale()
+        assert scale.name == "paper"
+        assert scale.synth_members == 100_000
+        assert scale.trace_observations == 5_585_633
+        assert scale.repeats == 10
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "PAPER")
+        assert current_scale().name == "paper"
+
+    def test_unknown_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "huge")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_ci_preserves_ratios(self, monkeypatch):
+        """The CI scale must keep every ratio of the paper scale so the
+        reproduced shapes carry over."""
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        ci = current_scale()
+        monkeypatch.setenv("REPRO_SCALE", "paper")
+        paper = current_scale()
+        # memory-per-member grid identical
+        ci_grid = [m / ci.synth_members for m in ci.synth_memories]
+        paper_grid = [m / paper.synth_members for m in paper.synth_memories]
+        assert ci_grid == paper_grid
+        # query/member ratio identical
+        assert (
+            ci.synth_queries / ci.synth_members
+            == paper.synth_queries / paper.synth_members
+        )
+        # trace unique/total ratio within 1%
+        assert ci.trace_observations / ci.trace_unique == pytest.approx(
+            paper.trace_observations / paper.trace_unique, rel=0.01
+        )

@@ -1,0 +1,36 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.hashing.encoders import KeyEncoder
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def encoder() -> KeyEncoder:
+    return KeyEncoder()
+
+
+@pytest.fixture
+def small_keys() -> list[str]:
+    """A handful of distinct string keys."""
+    return [f"key-{i:04d}" for i in range(200)]
+
+
+@pytest.fixture
+def encoded_keys(small_keys, encoder) -> np.ndarray:
+    return encoder.encode_many(small_keys)
+
+
+@pytest.fixture
+def negative_keys(encoder) -> np.ndarray:
+    """Keys guaranteed disjoint from ``small_keys``."""
+    return encoder.encode_many([f"neg-{i:05d}" for i in range(5000)])

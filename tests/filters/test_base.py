@@ -1,0 +1,106 @@
+"""Tests for the shared filter API plumbing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.filters.base import (
+    CountingFilterBase,
+    FilterBase,
+    OverflowPolicy,
+    require_counting,
+)
+from repro.filters.bloom import BloomFilter
+from repro.filters.cbf import CountingBloomFilter
+
+
+class _MinimalFilter(FilterBase):
+    """Scalar-only subclass to exercise the default bulk loops."""
+
+    name = "minimal"
+
+    def __init__(self):
+        super().__init__()
+        self._set: set[int] = set()
+
+    @property
+    def total_bits(self) -> int:
+        return 0
+
+    @property
+    def num_hashes(self) -> int:
+        return 1
+
+    def insert_encoded(self, encoded_key: int) -> None:
+        self._set.add(encoded_key)
+
+    def query_encoded(self, encoded_key: int) -> bool:
+        return encoded_key in self._set
+
+
+class TestFilterBaseDefaults:
+    def test_default_bulk_paths_use_scalar(self):
+        f = _MinimalFilter()
+        f.insert_many(["a", "b"])
+        result = f.query_many(["a", "b", "c"])
+        np.testing.assert_array_equal(result, [True, True, False])
+
+    def test_contains(self):
+        f = _MinimalFilter()
+        f.insert("z")
+        assert "z" in f
+        assert "y" not in f
+
+    def test_encode_bulk_uint64_passthrough(self):
+        f = _MinimalFilter()
+        arr = np.array([5], dtype=np.uint64)
+        assert f._encode_bulk(arr) is arr
+
+    def test_encode_bulk_rejects_scalars(self):
+        f = _MinimalFilter()
+        with pytest.raises(TypeError):
+            f._encode_bulk(42)
+
+    def test_repr(self):
+        bf = BloomFilter(128, 2)
+        assert "BF" in repr(bf)
+        assert "bits=128" in repr(bf)
+
+    def test_reset_stats(self):
+        bf = BloomFilter(128, 2)
+        bf.insert("a")
+        bf.reset_stats()
+        assert bf.stats.insert.operations == 0
+
+
+class TestRequireCounting:
+    def test_accepts_counting(self):
+        cbf = CountingBloomFilter(64, 2)
+        assert require_counting(cbf) is cbf
+
+    def test_rejects_plain(self):
+        with pytest.raises(UnsupportedOperationError):
+            require_counting(BloomFilter(64, 2))
+
+
+class TestOverflowPolicy:
+    def test_values(self):
+        assert OverflowPolicy("raise") is OverflowPolicy.RAISE
+        assert OverflowPolicy("saturate") is OverflowPolicy.SATURATE
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            OverflowPolicy("explode")
+
+
+class TestCountingFilterBaseDefaults:
+    def test_delete_many_uses_scalar(self):
+        cbf = CountingBloomFilter(1024, 2)
+        cbf.insert("a")
+        cbf.insert("b")
+        # Route through the base-class implementation explicitly.
+        CountingFilterBase.delete_many(cbf, ["a", "b"])
+        assert not cbf.query("a")
+        assert not cbf.query("b")

@@ -1,0 +1,80 @@
+"""Tests for the standard Bloom filter baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.fpr import bf_fpr
+from repro.errors import ConfigurationError
+from repro.filters.bloom import BloomFilter
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self, small_keys):
+        bf = BloomFilter(4096, 3, seed=1)
+        for key in small_keys:
+            bf.insert(key)
+        assert all(bf.query(key) for key in small_keys)
+
+    def test_contains_protocol(self):
+        bf = BloomFilter(1024, 3)
+        bf.insert("x")
+        assert "x" in bf
+
+    def test_empty_filter_rejects_everything(self, negative_keys):
+        bf = BloomFilter(4096, 3)
+        assert not bf.query_many(negative_keys).any()
+
+    def test_bulk_matches_scalar(self, small_keys, negative_keys):
+        a = BloomFilter(2048, 3, seed=7)
+        b = BloomFilter(2048, 3, seed=7)
+        a.insert_many(small_keys)
+        for key in small_keys:
+            b.insert(key)
+        np.testing.assert_array_equal(a._bits, b._bits)
+        bulk = a.query_many(negative_keys)
+        scalar = np.array([b.query_encoded(int(k)) for k in negative_keys])
+        np.testing.assert_array_equal(bulk, scalar)
+
+    def test_fpr_close_to_eq1(self, rng):
+        n, m, k = 2000, 16384, 3
+        bf = BloomFilter(m, k, seed=3)
+        keys = rng.integers(0, 2**63, size=n, dtype=np.int64)
+        bf.insert_many(keys.astype(np.uint64) | np.uint64(1 << 63))
+        negatives = rng.integers(0, 2**62, size=100_000, dtype=np.int64)
+        measured = float(bf.query_many(negatives).mean())
+        expected = bf_fpr(n, m, k)
+        assert measured == pytest.approx(expected, rel=0.3)
+
+    def test_fill_ratio(self):
+        bf = BloomFilter(100, 2)
+        assert bf.fill_ratio == 0.0
+        bf.insert("a")
+        assert 0 < bf.fill_ratio <= 0.02
+
+    def test_query_stats_early_exit(self, negative_keys):
+        bf = BloomFilter(1 << 16, 4)
+        bf.query_many(negative_keys)
+        # Empty filter: every query fails on its first bit test.
+        assert bf.stats.query.mean_accesses == pytest.approx(1.0)
+
+    def test_insert_stats(self, small_keys):
+        bf = BloomFilter(4096, 3)
+        bf.insert_many(small_keys)
+        assert bf.stats.insert.operations == len(small_keys)
+        assert bf.stats.insert.mean_accesses == 3.0
+
+    def test_total_bits_and_k(self):
+        bf = BloomFilter(12345, 5)
+        assert bf.total_bits == 12345
+        assert bf.num_hashes == 5
+
+    def test_invalid_size(self):
+        with pytest.raises(ConfigurationError):
+            BloomFilter(0, 3)
+
+    def test_empty_bulk_ops(self):
+        bf = BloomFilter(64, 2)
+        bf.insert_many(np.zeros(0, dtype=np.uint64))
+        assert bf.query_many(np.zeros(0, dtype=np.uint64)).shape == (0,)

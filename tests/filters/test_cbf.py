@@ -1,0 +1,179 @@
+"""Tests for the standard Counting Bloom Filter."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+)
+from repro.filters.base import OverflowPolicy
+from repro.filters.cbf import CountingBloomFilter
+
+
+class TestCBFBasics:
+    def test_insert_query_delete_cycle(self):
+        cbf = CountingBloomFilter(1024, 3, seed=1)
+        cbf.insert("alice")
+        assert cbf.query("alice")
+        cbf.delete("alice")
+        assert not cbf.query("alice")
+
+    def test_no_false_negatives(self, small_keys):
+        cbf = CountingBloomFilter(4096, 3)
+        cbf.insert_many(small_keys)
+        assert cbf.query_many(small_keys).all()
+
+    def test_count_tracks_multiplicity(self):
+        cbf = CountingBloomFilter(1024, 3)
+        for _ in range(5):
+            cbf.insert("dup")
+        assert cbf.count("dup") == 5
+        cbf.delete("dup")
+        assert cbf.count("dup") == 4
+
+    def test_count_of_absent_is_zero_whp(self):
+        cbf = CountingBloomFilter(4096, 3)
+        cbf.insert("present")
+        assert cbf.count("definitely-absent-key") == 0
+
+    def test_total_bits_uses_counter_width(self):
+        cbf = CountingBloomFilter(1000, 3, counter_bits=4)
+        assert cbf.total_bits == 4000
+
+    def test_deleting_one_of_two_colliding_keys_keeps_other(self, small_keys):
+        cbf = CountingBloomFilter(256, 3)  # small: collisions likely
+        cbf.insert_many(small_keys)
+        cbf.delete(small_keys[0])
+        # All remaining keys must still be present (counting property).
+        assert cbf.query_many(small_keys[1:]).all()
+
+
+class TestCBFOverflow:
+    def test_overflow_raises(self):
+        cbf = CountingBloomFilter(64, 1, counter_bits=2, seed=0)
+        for _ in range(3):
+            cbf.insert("same")
+        with pytest.raises(CounterOverflowError):
+            cbf.insert("same")
+
+    def test_overflow_saturates(self):
+        cbf = CountingBloomFilter(
+            64, 1, counter_bits=2, overflow=OverflowPolicy.SATURATE
+        )
+        for _ in range(10):
+            cbf.insert("same")
+        assert cbf.saturation_events == 7
+        assert cbf.count("same") == 3  # pinned at limit
+
+    def test_bulk_overflow_raises_and_rolls_back(self):
+        cbf = CountingBloomFilter(64, 1, counter_bits=2, seed=0)
+        keys = np.full(5, cbf.encoder.encode("same"), dtype=np.uint64)
+        with pytest.raises(CounterOverflowError):
+            cbf.insert_many(keys)
+        assert cbf.count("same") == 0  # rollback left it untouched
+
+    def test_bulk_overflow_saturates(self):
+        cbf = CountingBloomFilter(
+            64, 1, counter_bits=2, overflow="saturate", seed=0
+        )
+        keys = np.full(5, cbf.encoder.encode("same"), dtype=np.uint64)
+        cbf.insert_many(keys)
+        assert cbf.count("same") == 3
+        assert cbf.saturation_events == 2
+
+
+class TestCBFUnderflow:
+    def test_delete_absent_raises(self):
+        cbf = CountingBloomFilter(1024, 3)
+        with pytest.raises(CounterUnderflowError):
+            cbf.delete("ghost")
+
+    def test_failed_delete_leaves_filter_intact(self):
+        cbf = CountingBloomFilter(1024, 3)
+        cbf.insert("real")
+        before = cbf.counters.copy()
+        with pytest.raises(CounterUnderflowError):
+            cbf.delete("ghost")
+        np.testing.assert_array_equal(cbf.counters, before)
+
+    def test_bulk_delete_underflow_rolls_back(self, small_keys):
+        cbf = CountingBloomFilter(4096, 3)
+        cbf.insert_many(small_keys)
+        before = cbf.counters.copy()
+        bad = np.append(
+            cbf.encoder.encode_many(small_keys[:5]),
+            np.uint64(cbf.encoder.encode("ghost")),
+        )
+        with pytest.raises(CounterUnderflowError):
+            cbf.delete_many(bad)
+        np.testing.assert_array_equal(cbf.counters, before)
+
+
+class TestCBFBulkScalarAgreement:
+    def test_insert_many_matches_scalar(self, small_keys):
+        a = CountingBloomFilter(2048, 3, seed=5)
+        b = CountingBloomFilter(2048, 3, seed=5)
+        a.insert_many(small_keys)
+        for key in small_keys:
+            b.insert(key)
+        np.testing.assert_array_equal(a.counters, b.counters)
+
+    def test_delete_many_matches_scalar(self, small_keys):
+        a = CountingBloomFilter(2048, 3, seed=5)
+        b = CountingBloomFilter(2048, 3, seed=5)
+        a.insert_many(small_keys)
+        b.insert_many(small_keys)
+        a.delete_many(small_keys[:50])
+        for key in small_keys[:50]:
+            b.delete(key)
+        np.testing.assert_array_equal(a.counters, b.counters)
+
+    def test_query_many_matches_scalar(self, small_keys, negative_keys):
+        cbf = CountingBloomFilter(2048, 3, seed=5)
+        cbf.insert_many(small_keys)
+        bulk = cbf.query_many(negative_keys[:500])
+        scalar = np.array(
+            [cbf.query_encoded(int(k)) for k in negative_keys[:500]]
+        )
+        np.testing.assert_array_equal(bulk, scalar)
+
+    def test_duplicates_in_one_batch_accumulate(self):
+        cbf = CountingBloomFilter(1024, 3, seed=2)
+        key = cbf.encoder.encode("dup")
+        cbf.insert_many(np.full(4, key, dtype=np.uint64))
+        assert cbf.count("dup") == 4
+
+
+class TestCBFStats:
+    def test_query_access_early_exit(self, small_keys, negative_keys):
+        cbf = CountingBloomFilter(1 << 15, 3)
+        cbf.insert_many(small_keys)
+        cbf.reset_stats()
+        cbf.query_many(negative_keys)
+        # Nearly empty filter: negative queries stop at ~first counter.
+        assert 1.0 <= cbf.stats.query.mean_accesses < 1.2
+
+    def test_member_query_costs_k_accesses(self, small_keys):
+        cbf = CountingBloomFilter(1 << 15, 3)
+        cbf.insert_many(small_keys)
+        cbf.reset_stats()
+        cbf.query_many(small_keys)
+        assert cbf.stats.query.mean_accesses == pytest.approx(3.0)
+
+    def test_update_stats(self, small_keys):
+        cbf = CountingBloomFilter(4096, 4)
+        cbf.insert_many(small_keys)
+        cbf.delete_many(small_keys[:10])
+        upd = cbf.stats.update
+        assert upd.operations == len(small_keys) + 10
+        assert upd.mean_accesses == 4.0
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            CountingBloomFilter(0, 3)
+        with pytest.raises(ConfigurationError):
+            CountingBloomFilter(10, 3, counter_bits=0)

@@ -1,0 +1,97 @@
+"""Packed-storage CBF: equivalence with the fast representation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+)
+from repro.filters.cbf import CountingBloomFilter
+
+
+def make_pair(num_counters=2048, k=3, seed=5, **kw):
+    fast = CountingBloomFilter(num_counters, k, seed=seed, storage="fast", **kw)
+    packed = CountingBloomFilter(
+        num_counters, k, seed=seed, storage="packed", **kw
+    )
+    return fast, packed
+
+
+class TestPackedCBFEquivalence:
+    def test_counters_identical_after_ops(self, small_keys):
+        fast, packed = make_pair()
+        fast.insert_many(small_keys)
+        packed.insert_many(small_keys)
+        np.testing.assert_array_equal(fast.counters, packed.counters)
+        fast.delete_many(small_keys[:50])
+        packed.delete_many(small_keys[:50])
+        np.testing.assert_array_equal(fast.counters, packed.counters)
+
+    def test_queries_identical(self, small_keys, negative_keys):
+        fast, packed = make_pair()
+        fast.insert_many(small_keys)
+        packed.insert_many(small_keys)
+        np.testing.assert_array_equal(
+            fast.query_many(negative_keys), packed.query_many(negative_keys)
+        )
+        np.testing.assert_array_equal(
+            fast.query_many(small_keys), packed.query_many(small_keys)
+        )
+
+    def test_counts_identical(self, small_keys):
+        fast, packed = make_pair()
+        for key in small_keys[:20]:
+            fast.insert(key)
+            fast.insert(key)
+            packed.insert(key)
+            packed.insert(key)
+        for key in small_keys[:20]:
+            assert fast.count(key) == packed.count(key)
+
+
+class TestPackedCBFSemantics:
+    def test_memory_footprint_faithful(self):
+        packed = CountingBloomFilter(1000, 3, storage="packed")
+        # 1000 4-bit counters = 4000 bits → 63 limbs → 4032 bits.
+        assert packed.total_bits == 4032
+
+    def test_overflow_raises(self):
+        packed = CountingBloomFilter(64, 1, counter_bits=2, storage="packed")
+        for _ in range(3):
+            packed.insert("same")
+        with pytest.raises(CounterOverflowError):
+            packed.insert("same")
+
+    def test_underflow_raises(self):
+        packed = CountingBloomFilter(64, 3, storage="packed")
+        with pytest.raises(CounterUnderflowError):
+            packed.delete("ghost")
+
+    def test_saturate_policy(self):
+        packed = CountingBloomFilter(
+            64, 1, counter_bits=2, storage="packed", overflow="saturate"
+        )
+        for _ in range(5):
+            packed.insert("same")
+        assert packed.saturation_events == 2
+        assert packed.count("same") == 3
+
+    def test_invalid_storage(self):
+        with pytest.raises(ConfigurationError):
+            CountingBloomFilter(64, 3, storage="compressed")
+
+    def test_packed_requires_supported_width(self):
+        with pytest.raises(ConfigurationError):
+            CountingBloomFilter(64, 3, counter_bits=3, storage="packed")
+
+    def test_full_cycle(self, small_keys):
+        packed = CountingBloomFilter(4096, 3, storage="packed")
+        packed.insert_many(small_keys)
+        assert packed.query_many(small_keys).all()
+        packed.delete_many(small_keys)
+        assert not packed.query_many(small_keys).any()
+        assert packed.counters.sum() == 0

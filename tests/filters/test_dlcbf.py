@@ -1,0 +1,113 @@
+"""Tests for the d-left CBF extension baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    CounterUnderflowError,
+)
+from repro.filters.dlcbf import DLeftCBF
+
+
+def make(**kw) -> DLeftCBF:
+    defaults = dict(num_buckets=128, d=4, cells_per_bucket=8, seed=1)
+    defaults.update(kw)
+    return DLeftCBF(**defaults)
+
+
+class TestDLeftCBF:
+    def test_cycle(self, small_keys):
+        f = make()
+        for key in small_keys:
+            f.insert(key)
+        assert all(f.query(key) for key in small_keys)
+        for key in small_keys:
+            f.delete(key)
+        assert not any(f.query(key) for key in small_keys)
+
+    def test_count(self):
+        f = make()
+        for _ in range(3):
+            f.insert("dup")
+        assert f.count("dup") == 3
+        f.delete("dup")
+        assert f.count("dup") == 2
+
+    def test_count_absent(self):
+        f = make()
+        assert f.count("nothing") == 0
+
+    def test_load_tracks_distinct_fingerprints(self, small_keys):
+        f = make()
+        for key in small_keys:
+            f.insert(key)
+        assert f.load <= len(small_keys)
+        assert f.load > 0.9 * len(small_keys)  # few fingerprint collisions
+
+    def test_duplicate_insert_does_not_grow_load(self):
+        f = make()
+        f.insert("same")
+        load = f.load
+        f.insert("same")
+        assert f.load == load
+
+    def test_delete_absent_raises(self):
+        f = make()
+        with pytest.raises(CounterUnderflowError):
+            f.delete("ghost")
+
+    def test_balanced_loads(self, rng):
+        # d-left hashing keeps bucket loads tight around the mean.
+        f = make(num_buckets=64, d=4, cells_per_bucket=8)
+        keys = rng.integers(1, 2**62, size=1200).astype(np.uint64)
+        for key in keys:
+            f.insert_encoded(int(key))
+        loads = (f._fingerprints != 0).sum(axis=2)
+        assert loads.max() - loads.min() <= 4
+
+    def test_capacity_error_when_buckets_full(self):
+        f = DLeftCBF(1, d=1, cells_per_bucket=2, seed=0)
+        f.insert("a")
+        f.insert("b")
+        # Third distinct fingerprint cannot fit anywhere.
+        with pytest.raises(CapacityError):
+            for i in range(10):
+                f.insert(f"x{i}")
+
+    def test_bulk_query_matches_scalar(self, small_keys, negative_keys):
+        f = make()
+        for key in small_keys:
+            f.insert(key)
+        bulk = f.query_many(negative_keys[:500])
+        scalar = np.array([f.query_encoded(int(k)) for k in negative_keys[:500]])
+        np.testing.assert_array_equal(bulk, scalar)
+
+    def test_fpr_scales_with_fingerprint_bits(self, rng):
+        members = rng.integers(1, 2**62, size=2000).astype(np.uint64)
+        negatives = (
+            rng.integers(1, 2**62, size=100_000).astype(np.uint64)
+            | np.uint64(1 << 63)
+        )
+        small = DLeftCBF(256, fingerprint_bits=8, seed=2)
+        large = DLeftCBF(256, fingerprint_bits=16, seed=2)
+        for f in (small, large):
+            for key in members:
+                f.insert_encoded(int(key))
+        assert (
+            large.query_many(negatives).mean()
+            < small.query_many(negatives).mean()
+        )
+
+    def test_total_bits(self):
+        f = DLeftCBF(100, d=2, cells_per_bucket=4, fingerprint_bits=10, counter_bits=2)
+        assert f.total_bits == 2 * 100 * 4 * 12
+
+    def test_invalid_config(self):
+        with pytest.raises(ConfigurationError):
+            DLeftCBF(0)
+        with pytest.raises(ConfigurationError):
+            DLeftCBF(10, fingerprint_bits=31)

@@ -1,0 +1,116 @@
+"""Tests for equal-memory filter construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filters import (
+    BloomFilter,
+    CountingBloomFilter,
+    DLeftCBF,
+    MPCBF,
+    OneAccessBloomFilter,
+    PartitionedCBF,
+    VariableIncrementCBF,
+)
+from repro.filters.factory import FilterSpec, build_filter, build_suite
+
+MEMORY = 1 << 18
+
+
+class TestParseVariant:
+    @pytest.mark.parametrize(
+        "variant,expected",
+        [
+            ("CBF", ("CBF", 1)),
+            ("PCBF-2", ("PCBF", 2)),
+            ("MPCBF-3", ("MPCBF", 3)),
+            ("BF", ("BF", 1)),
+            ("BF-2", ("BF", 2)),
+        ],
+    )
+    def test_parse(self, variant, expected):
+        spec = FilterSpec(variant=variant, memory_bits=MEMORY, k=3)
+        assert spec.parse_variant() == expected
+
+    def test_bad_suffix(self):
+        spec = FilterSpec(variant="PCBF-x", memory_bits=MEMORY, k=3)
+        with pytest.raises(ConfigurationError):
+            spec.parse_variant()
+
+
+class TestBuildFilter:
+    @pytest.mark.parametrize(
+        "variant,cls",
+        [
+            ("BF", BloomFilter),
+            ("BF-1", OneAccessBloomFilter),
+            ("BF-2", OneAccessBloomFilter),
+            ("CBF", CountingBloomFilter),
+            ("PCBF-1", PartitionedCBF),
+            ("PCBF-2", PartitionedCBF),
+            ("MPCBF-1", MPCBF),
+            ("MPCBF-2", MPCBF),
+            ("dlCBF", DLeftCBF),
+            ("VI-CBF", VariableIncrementCBF),
+        ],
+    )
+    def test_types(self, variant, cls):
+        spec = FilterSpec(
+            variant=variant, memory_bits=MEMORY, k=3, capacity=2000
+        )
+        assert isinstance(build_filter(spec), cls)
+
+    @pytest.mark.parametrize(
+        "variant", ["BF", "CBF", "PCBF-1", "PCBF-2", "MPCBF-1", "MPCBF-2"]
+    )
+    def test_equal_memory(self, variant):
+        spec = FilterSpec(
+            variant=variant, memory_bits=MEMORY, k=3, capacity=2000
+        )
+        filt = build_filter(spec)
+        # All variants land within one word of the budget.
+        assert MEMORY - 64 <= filt.total_bits <= MEMORY
+
+    def test_mpcbf_g(self):
+        spec = FilterSpec(variant="MPCBF-2", memory_bits=MEMORY, k=3, capacity=2000)
+        filt = build_filter(spec)
+        assert filt.g == 2
+
+    def test_extra_kwargs_forwarded(self):
+        spec = FilterSpec(
+            variant="MPCBF-1",
+            memory_bits=MEMORY,
+            k=3,
+            capacity=2000,
+            extra={"word_overflow": "saturate"},
+        )
+        assert build_filter(spec).word_overflow == "saturate"
+
+    def test_unknown_variant(self):
+        with pytest.raises(ConfigurationError):
+            build_filter(FilterSpec(variant="XBF", memory_bits=MEMORY, k=3))
+
+
+class TestBuildSuite:
+    def test_order_and_names(self):
+        variants = ["CBF", "PCBF-1", "MPCBF-1"]
+        suite = build_suite(variants, MEMORY, 3, capacity=2000)
+        assert list(suite) == variants
+        for name, filt in suite.items():
+            assert filt.name == name
+
+    def test_shared_encoder(self):
+        suite = build_suite(["CBF", "MPCBF-1"], MEMORY, 3, capacity=2000)
+        encoders = {id(f.encoder) for f in suite.values()}
+        assert len(encoders) == 1
+
+    def test_mpcbf_saturate_default(self):
+        suite = build_suite(["MPCBF-1"], MEMORY, 3, capacity=2000)
+        assert suite["MPCBF-1"].word_overflow == "saturate"
+
+    def test_same_seed_same_hashes(self):
+        a = build_suite(["CBF"], MEMORY, 3, capacity=100, seed=7)["CBF"]
+        b = build_suite(["CBF"], MEMORY, 3, capacity=100, seed=7)["CBF"]
+        assert a.family.indices(42) == b.family.indices(42)

@@ -1,0 +1,237 @@
+"""Tests for the HCBF word — the paper's core data structure.
+
+The key property: an HCBF word must behave exactly like an array of
+``b1`` unbounded counters (bounded only by the shared hierarchy budget),
+with the structural invariants of §III.B.1 holding after every
+operation.  The hypothesis test drives random insert/delete sequences
+against a plain-list reference model.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    ConfigurationError,
+    CounterUnderflowError,
+    WordOverflowError,
+)
+from repro.filters.hcbf_word import HCBFWord, improved_first_level_size
+
+
+class TestImprovedFirstLevelSize:
+    def test_paper_example(self):
+        # §III.B.3: w=16, k=3, n_max=2 → b1 = 16 − 6 = 10.
+        assert improved_first_level_size(16, 3, 2) == 10
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            improved_first_level_size(16, 3, 5)  # b1 = 1 < k
+
+
+class TestHCBFWordBasics:
+    def test_construction(self):
+        word = HCBFWord(64, 40)
+        assert word.hierarchy_capacity_bits == 24
+        assert word.hierarchy_bits_used == 0
+        assert word.depth == 1
+        assert word.level_sizes() == (40,)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ConfigurationError):
+            HCBFWord(64, 0)
+        with pytest.raises(ConfigurationError):
+            HCBFWord(64, 65)
+
+    def test_single_insert(self):
+        word = HCBFWord(64, 40)
+        depth, _bits = word.insert_bit(5)
+        assert depth == 1
+        assert word.count(5) == 1
+        assert word.query_bit(5)
+        assert not word.query_bit(6)
+        assert word.hierarchy_bits_used == 1
+        word.check_invariants()
+
+    def test_repeated_insert_deepens_counter(self):
+        word = HCBFWord(64, 40)
+        for expected_depth in (1, 2, 3, 4):
+            depth, _ = word.insert_bit(7)
+            assert depth == expected_depth
+        assert word.count(7) == 4
+        assert word.hierarchy_bits_used == 4
+        word.check_invariants()
+
+    def test_paper_fig3_example(self):
+        # Fig. 3(a): w=16, b1=8, insert x0 at {0,2,4} then x5 at {7,4,2}.
+        word = HCBFWord(16, 8)
+        for pos in (0, 2, 4):
+            word.insert_bit(pos)
+        assert word.level_sizes() == (8, 3)
+        for pos in (7, 4, 2):
+            word.insert_bit(pos)
+        # After x5: level 2 has 4 slots, level 3 has 2 (bits 2 and 4 now
+        # have counter 2).
+        assert word.level_sizes() == (8, 4, 2)
+        assert word.count(0) == 1
+        assert word.count(2) == 2
+        assert word.count(4) == 2
+        assert word.count(7) == 1
+        word.check_invariants()
+
+    def test_delete_reverses_insert(self):
+        word = HCBFWord(64, 40)
+        word.insert_bit(3)
+        word.insert_bit(3)
+        remaining, _ = word.delete_bit(3)
+        assert remaining == 1
+        assert word.count(3) == 1
+        remaining, _ = word.delete_bit(3)
+        assert remaining == 0
+        assert not word.query_bit(3)
+        assert word.hierarchy_bits_used == 0
+        assert word.depth == 1
+        word.check_invariants()
+
+    def test_delete_absent_raises(self):
+        word = HCBFWord(64, 40)
+        with pytest.raises(CounterUnderflowError):
+            word.delete_bit(3)
+
+    def test_overflow(self):
+        word = HCBFWord(16, 12)  # 4 hierarchy bits
+        for pos in range(4):
+            word.insert_bit(pos)
+        assert word.bits_free == 0
+        with pytest.raises(WordOverflowError):
+            word.insert_bit(5)
+        # The failed insert must not have altered anything.
+        word.check_invariants()
+        assert word.hierarchy_bits_used == 4
+
+    def test_position_bounds(self):
+        word = HCBFWord(64, 40)
+        with pytest.raises(ValueError):
+            word.insert_bit(40)
+        with pytest.raises(ValueError):
+            word.count(-1)
+
+    def test_interleaved_counters_stay_independent(self):
+        word = HCBFWord(128, 64)
+        word.insert_bit(10)
+        word.insert_bit(20)
+        word.insert_bit(10)
+        word.insert_bit(30)
+        word.insert_bit(20)
+        word.insert_bit(10)
+        assert word.count(10) == 3
+        assert word.count(20) == 2
+        assert word.count(30) == 1
+        assert word.count(11) == 0
+        word.delete_bit(20)
+        assert word.count(20) == 1
+        assert word.count(10) == 3  # neighbours untouched
+        assert word.count(30) == 1
+        word.check_invariants()
+
+    def test_first_level_value_matches_queries(self):
+        word = HCBFWord(64, 32)
+        for pos in (0, 5, 31):
+            word.insert_bit(pos)
+        value = word.first_level_value()
+        for pos in range(32):
+            assert bool((value >> pos) & 1) == word.query_bit(pos)
+
+    def test_stored_hashes_tracks_insertions(self):
+        word = HCBFWord(64, 40)
+        for i in range(6):
+            word.insert_bit(i % 3)
+        assert word.stored_hashes == 6
+        word.delete_bit(0)
+        assert word.stored_hashes == 5
+
+
+class _ReferenceCounters:
+    """Plain-list counter model used as the hypothesis oracle."""
+
+    def __init__(self, size: int, budget: int) -> None:
+        self.counts = [0] * size
+        self.budget = budget
+
+    @property
+    def used(self) -> int:
+        return sum(self.counts)
+
+    def insert(self, pos: int) -> int:
+        if self.used >= self.budget:
+            raise WordOverflowError(0, self.budget)
+        self.counts[pos] += 1
+        return self.counts[pos]
+
+    def delete(self, pos: int) -> int:
+        if self.counts[pos] == 0:
+            raise CounterUnderflowError(pos)
+        self.counts[pos] -= 1
+        return self.counts[pos]
+
+
+@st.composite
+def _operations(draw):
+    b1 = draw(st.integers(4, 48))
+    budget = draw(st.integers(1, 40))
+    ops = draw(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, b1 - 1)),
+            max_size=120,
+        )
+    )
+    return b1, budget, ops
+
+
+class TestHCBFWordProperties:
+    @settings(max_examples=300, deadline=None)
+    @given(_operations())
+    def test_matches_reference_counters(self, scenario):
+        b1, budget, ops = scenario
+        word = HCBFWord(b1 + budget, b1)
+        ref = _ReferenceCounters(b1, budget)
+        for op, pos in ops:
+            if op == "insert":
+                try:
+                    expected = ref.insert(pos)
+                except WordOverflowError:
+                    with pytest.raises(WordOverflowError):
+                        word.insert_bit(pos)
+                    continue
+                depth, _ = word.insert_bit(pos)
+                assert depth == expected
+            else:
+                try:
+                    expected = ref.delete(pos)
+                except CounterUnderflowError:
+                    with pytest.raises(CounterUnderflowError):
+                        word.delete_bit(pos)
+                    continue
+                remaining, _ = word.delete_bit(pos)
+                assert remaining == expected
+            word.check_invariants()
+            assert word.hierarchy_bits_used == ref.used
+            # Full counter state must match the oracle.
+            for p in range(b1):
+                assert word.count(p) == ref.counts[p], (
+                    f"counter {p} diverged after {op}@{pos}"
+                )
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 19), min_size=1, max_size=30))
+    def test_insert_then_delete_everything_restores_empty(self, positions):
+        word = HCBFWord(20 + len(positions), 20)
+        for pos in positions:
+            word.insert_bit(pos)
+        for pos in reversed(positions):
+            word.delete_bit(pos)
+        assert word.hierarchy_bits_used == 0
+        assert word.depth == 1
+        assert word.first_level_value() == 0
+        word.check_invariants()

@@ -1,0 +1,179 @@
+"""Tests for filter merging (distributed-build union)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError, CounterOverflowError, WordOverflowError
+from repro.filters.cbf import CountingBloomFilter
+from repro.filters.mpcbf import MPCBF
+
+
+class TestCBFMerge:
+    def test_union_equals_sequential_build(self, small_keys):
+        half = len(small_keys) // 2
+        whole = CountingBloomFilter(4096, 3, seed=1)
+        left = CountingBloomFilter(4096, 3, seed=1)
+        right = CountingBloomFilter(4096, 3, seed=1)
+        whole.insert_many(small_keys)
+        left.insert_many(small_keys[:half])
+        right.insert_many(small_keys[half:])
+        left.merge(right)
+        np.testing.assert_array_equal(left.counters, whole.counters)
+
+    def test_multiplicities_add(self):
+        a = CountingBloomFilter(1024, 3, seed=2)
+        b = CountingBloomFilter(1024, 3, seed=2)
+        for _ in range(2):
+            a.insert("dup")
+        for _ in range(3):
+            b.insert("dup")
+        a.merge(b)
+        assert a.count("dup") == 5
+
+    def test_deletes_work_after_merge(self, small_keys):
+        a = CountingBloomFilter(4096, 3, seed=1)
+        b = CountingBloomFilter(4096, 3, seed=1)
+        a.insert_many(small_keys[:100])
+        b.insert_many(small_keys[100:])
+        a.merge(b)
+        a.delete_many(small_keys)
+        assert not a.query_many(small_keys).any()
+
+    def test_geometry_mismatch_rejected(self):
+        a = CountingBloomFilter(1024, 3, seed=1)
+        for other in (
+            CountingBloomFilter(2048, 3, seed=1),
+            CountingBloomFilter(1024, 4, seed=1),
+            CountingBloomFilter(1024, 3, seed=2),
+            CountingBloomFilter(1024, 3, seed=1, counter_bits=8),
+        ):
+            with pytest.raises(ConfigurationError):
+                a.merge(other)
+
+    def test_merge_overflow_raises(self):
+        a = CountingBloomFilter(64, 1, counter_bits=2, seed=0)
+        b = CountingBloomFilter(64, 1, counter_bits=2, seed=0)
+        for _ in range(3):
+            a.insert("x")
+            b.insert("x")
+        with pytest.raises(CounterOverflowError):
+            a.merge(b)
+
+    def test_merge_overflow_saturates(self):
+        a = CountingBloomFilter(
+            64, 1, counter_bits=2, seed=0, overflow="saturate"
+        )
+        b = CountingBloomFilter(64, 1, counter_bits=2, seed=0)
+        for _ in range(3):
+            a.insert("x")
+            b.insert("x")
+        a.merge(b)
+        assert a.count("x") == 3  # pinned at limit
+        assert a.saturation_events == 3
+
+    def test_packed_merge(self, small_keys):
+        a = CountingBloomFilter(2048, 3, seed=1, storage="packed")
+        b = CountingBloomFilter(2048, 3, seed=1)
+        a.insert_many(small_keys[:100])
+        b.insert_many(small_keys[100:])
+        a.merge(b)
+        assert a.query_many(small_keys).all()
+
+
+class TestMPCBFMerge:
+    def _pair(self, seed=3, n_max=20):
+        return (
+            MPCBF(64, 128, 3, n_max=n_max, seed=seed),
+            MPCBF(64, 128, 3, n_max=n_max, seed=seed),
+        )
+
+    def test_union_equals_sequential_build(self, small_keys):
+        half = len(small_keys) // 2
+        a, b = self._pair()
+        whole = MPCBF(64, 128, 3, n_max=20, seed=3)
+        whole.insert_many(small_keys)
+        a.insert_many(small_keys[:half])
+        b.insert_many(small_keys[half:])
+        a.merge(b)
+        a.check_invariants()
+        # Identical observable state: same counters at every position.
+        for i in range(a.num_words):
+            for pos in range(a.first_level_bits):
+                assert a.words[i].count(pos) == whole.words[i].count(pos)
+
+    def test_deletes_work_after_merge(self, small_keys):
+        a, b = self._pair()
+        a.insert_many(small_keys[:100])
+        b.insert_many(small_keys[100:])
+        a.merge(b)
+        a.delete_many(small_keys)
+        a.check_invariants()
+        assert not a.query_many(small_keys).any()
+
+    def test_geometry_mismatch_rejected(self):
+        a = MPCBF(64, 128, 3, n_max=20, seed=3)
+        for other in (
+            MPCBF(32, 128, 3, n_max=20, seed=3),
+            MPCBF(64, 128, 3, n_max=10, seed=3),
+            MPCBF(64, 128, 3, n_max=20, seed=4),
+        ):
+            with pytest.raises(ConfigurationError):
+                a.merge(other)
+
+    def test_merge_overflow_raises(self):
+        a = MPCBF(1, 64, 3, n_max=3, seed=0)
+        b = MPCBF(1, 64, 3, n_max=3, seed=0)
+        for i in range(3):
+            a.insert(f"a{i}")
+            b.insert(f"b{i}")
+        with pytest.raises(WordOverflowError):
+            a.merge(b)
+
+    def test_merge_overflow_saturates_and_keeps_membership(self):
+        a = MPCBF(1, 64, 3, n_max=3, seed=0, word_overflow="saturate")
+        b = MPCBF(1, 64, 3, n_max=3, seed=0)
+        keys = [f"a{i}" for i in range(3)] + [f"b{i}" for i in range(3)]
+        for key in keys[:3]:
+            a.insert(key)
+        for key in keys[3:]:
+            b.insert(key)
+        a.merge(b)
+        a.check_invariants()
+        assert all(a.query(k) for k in keys)
+        assert a.overflow_events > 0
+
+    def test_saturated_other_side_folds_in(self):
+        a = MPCBF(1, 64, 3, n_max=3, seed=0, word_overflow="saturate")
+        b = MPCBF(1, 64, 3, n_max=3, seed=0, word_overflow="saturate")
+        keys = [f"k{i}" for i in range(8)]
+        for key in keys:
+            b.insert(key)  # b saturates its single word
+        assert b.overflow_events > 0
+        a.merge(b)
+        a.check_invariants()
+        assert all(a.query(k) for k in keys)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(st.integers(0, 60), max_size=40),
+    st.lists(st.integers(0, 60), max_size=40),
+)
+def test_merge_equals_sequential_property(left_keys, right_keys):
+    """merge(A, B) is observably identical to inserting A∪B sequentially."""
+    a = MPCBF(16, 256, 3, n_max=60, seed=5)
+    b = MPCBF(16, 256, 3, n_max=60, seed=5)
+    whole = MPCBF(16, 256, 3, n_max=60, seed=5)
+    for k in left_keys:
+        a.insert(f"k{k}")
+        whole.insert(f"k{k}")
+    for k in right_keys:
+        b.insert(f"k{k}")
+        whole.insert(f"k{k}")
+    a.merge(b)
+    a.check_invariants()
+    for k in set(left_keys) | set(right_keys):
+        assert a.count(f"k{k}") == whole.count(f"k{k}")

@@ -1,0 +1,161 @@
+"""Tests for the partitioned CBF (PCBF-1 / PCBF-g)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+)
+from repro.filters.pcbf import PartitionedCBF
+
+
+def make(g=1, num_words=256, k=3, seed=1, **kw) -> PartitionedCBF:
+    return PartitionedCBF(num_words, 64, k, g=g, seed=seed, **kw)
+
+
+class TestPCBFBasics:
+    @pytest.mark.parametrize("g", [1, 2, 3])
+    def test_cycle(self, g, small_keys):
+        pcbf = make(g=g)
+        pcbf.insert_many(small_keys)
+        assert pcbf.query_many(small_keys).all()
+        pcbf.delete_many(small_keys)
+        assert not pcbf.query_many(small_keys).any()
+
+    def test_name_reflects_g(self):
+        assert make(g=2).name == "PCBF-2"
+
+    def test_total_bits(self):
+        assert make(num_words=100).total_bits == 6400
+
+    def test_counters_shape(self):
+        pcbf = make(num_words=10)
+        assert pcbf.counters.shape == (10, 16)
+
+    def test_count_multiplicity(self):
+        pcbf = make()
+        for _ in range(3):
+            pcbf.insert("dup")
+        assert pcbf.count("dup") == 3
+
+    def test_word_bits_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            PartitionedCBF(10, 65, 3)
+
+    def test_all_counters_in_one_word_for_g1(self):
+        pcbf = make(g=1)
+        pcbf.insert("solo")
+        touched_words = np.nonzero(pcbf.counters.sum(axis=1))[0]
+        assert len(touched_words) == 1
+
+    def test_g2_touches_at_most_two_words(self):
+        pcbf = make(g=2)
+        pcbf.insert("solo")
+        touched = np.nonzero(pcbf.counters.sum(axis=1))[0]
+        assert 1 <= len(touched) <= 2
+
+
+class TestPCBFBulkScalarAgreement:
+    @pytest.mark.parametrize("g", [1, 2])
+    def test_insert(self, g, small_keys):
+        a, b = make(g=g, seed=9), make(g=g, seed=9)
+        a.insert_many(small_keys)
+        for key in small_keys:
+            b.insert(key)
+        np.testing.assert_array_equal(a.counters, b.counters)
+
+    @pytest.mark.parametrize("g", [1, 2])
+    def test_query(self, g, small_keys, negative_keys):
+        pcbf = make(g=g, seed=9)
+        pcbf.insert_many(small_keys)
+        bulk = pcbf.query_many(negative_keys[:400])
+        scalar = np.array(
+            [pcbf.query_encoded(int(k)) for k in negative_keys[:400]]
+        )
+        np.testing.assert_array_equal(bulk, scalar)
+
+    def test_delete(self, small_keys):
+        a, b = make(seed=9), make(seed=9)
+        a.insert_many(small_keys)
+        b.insert_many(small_keys)
+        a.delete_many(small_keys[:30])
+        for key in small_keys[:30]:
+            b.delete(key)
+        np.testing.assert_array_equal(a.counters, b.counters)
+
+
+class TestPCBFErrors:
+    def test_underflow(self):
+        pcbf = make()
+        with pytest.raises(CounterUnderflowError):
+            pcbf.delete("ghost")
+
+    def test_bulk_underflow_rolls_back(self, small_keys):
+        pcbf = make()
+        pcbf.insert_many(small_keys)
+        before = pcbf.counters.copy()
+        with pytest.raises(CounterUnderflowError):
+            pcbf.delete_many(["ghost"])
+        np.testing.assert_array_equal(pcbf.counters, before)
+
+    def test_overflow_raises(self):
+        pcbf = make(k=1)
+        for _ in range(15):
+            pcbf.insert("same")
+        with pytest.raises(CounterOverflowError):
+            pcbf.insert("same")
+
+    def test_bulk_overflow_rolls_back(self):
+        pcbf = make(k=1)
+        key = pcbf.encoder.encode("same")
+        with pytest.raises(CounterOverflowError):
+            pcbf.insert_many(np.full(16, key, dtype=np.uint64))
+        assert pcbf.count("same") == 0
+
+
+class TestPCBFStats:
+    def test_one_access_per_query_g1(self, small_keys):
+        pcbf = make(g=1)
+        pcbf.insert_many(small_keys)
+        pcbf.reset_stats()
+        pcbf.query_many(small_keys)
+        assert pcbf.stats.query.mean_accesses == pytest.approx(1.0)
+
+    def test_g2_member_queries_cost_two_accesses(self, small_keys):
+        pcbf = make(g=2, num_words=4096)
+        pcbf.insert_many(small_keys)
+        pcbf.reset_stats()
+        pcbf.query_many(small_keys)
+        assert pcbf.stats.query.mean_accesses == pytest.approx(2.0)
+
+    def test_g2_negative_queries_early_exit(self, negative_keys):
+        pcbf = make(g=2)
+        pcbf.query_many(negative_keys)
+        # Empty filter: first word always rejects.
+        assert pcbf.stats.query.mean_accesses == pytest.approx(1.0)
+
+    def test_update_accesses_equal_g(self, small_keys):
+        pcbf = make(g=2)
+        pcbf.insert_many(small_keys)
+        assert pcbf.stats.insert.mean_accesses == pytest.approx(2.0)
+
+    def test_bandwidth_below_cbf(self, small_keys):
+        # The headline claim: partitioning cuts the per-query hash-bit
+        # bandwidth versus a flat CBF at the same memory.
+        from repro.filters.cbf import CountingBloomFilter
+
+        memory = 256 * 64
+        pcbf = make(g=1, num_words=256)
+        cbf = CountingBloomFilter(memory // 4, 3, seed=1)
+        pcbf.insert_many(small_keys)
+        cbf.insert_many(small_keys)
+        for f in (pcbf, cbf):
+            f.reset_stats()
+            f.query_many(small_keys)
+        assert (
+            pcbf.stats.query.mean_bits < 0.7 * cbf.stats.query.mean_bits
+        )

@@ -1,0 +1,145 @@
+"""Cross-variant property-based tests.
+
+Two oracles:
+
+* a *multiset* oracle — every counting filter must answer ``True`` for
+  every key currently in the multiset (no false negatives), under
+  arbitrary interleavings of inserts and deletes;
+* a *pairwise equivalence* oracle — bulk and scalar paths must leave
+  identical observable state.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.filters.cbf import CountingBloomFilter
+from repro.filters.mpcbf import MPCBF
+from repro.filters.pcbf import PartitionedCBF
+from repro.filters.vicbf import VariableIncrementCBF
+
+
+def _make_filters(seed: int):
+    """Comparable counting filters, generously sized for tiny key sets."""
+    # MPCBF words are 256 bits with large n_max so that even highly
+    # adversarial interleavings (hypothesis loves hammering one key)
+    # cannot exhaust a word's hierarchy budget.
+    return [
+        CountingBloomFilter(4096, 3, seed=seed),
+        PartitionedCBF(64, 64, 3, seed=seed),
+        PartitionedCBF(64, 64, 3, g=2, seed=seed),
+        MPCBF(64, 256, 3, n_max=60, seed=seed),
+        MPCBF(64, 256, 3, g=2, n_max=64, seed=seed),
+        VariableIncrementCBF(4096, 3, seed=seed),
+    ]
+
+
+@st.composite
+def _op_sequences(draw):
+    """Random interleavings over a small key universe.
+
+    Deletes are only generated for keys currently present, so the
+    sequence is always legal.
+    """
+    n_ops = draw(st.integers(1, 60))
+    ops = []
+    live: Counter = Counter()
+    for _ in range(n_ops):
+        key = draw(st.integers(0, 19))
+        if live[key] > 0 and draw(st.booleans()):
+            ops.append(("delete", key))
+            live[key] -= 1
+        elif live[key] < 4:  # cap multiplicity: 4-bit CBF counters
+            ops.append(("insert", key))
+            live[key] += 1
+    return ops
+
+
+class TestNoFalseNegativesProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(_op_sequences(), st.integers(0, 3))
+    def test_all_variants(self, ops, seed):
+        filters = _make_filters(seed)
+        live: Counter = Counter()
+        for op, key in ops:
+            for filt in filters:
+                getattr(filt, op)(f"key-{key}")
+            live[key] += 1 if op == "insert" else -1
+        for key, count in live.items():
+            if count > 0:
+                for filt in filters:
+                    assert filt.query(f"key-{key}"), (
+                        f"{filt.name} false negative on key-{key} "
+                        f"(multiplicity {count})"
+                    )
+
+    @settings(max_examples=40, deadline=None)
+    @given(_op_sequences())
+    def test_counts_are_upper_bounds(self, ops):
+        filters = _make_filters(0)
+        live: Counter = Counter()
+        for op, key in ops:
+            for filt in filters:
+                getattr(filt, op)(f"key-{key}")
+            live[key] += 1 if op == "insert" else -1
+        for key, count in live.items():
+            for filt in filters:
+                assert filt.count(f"key-{key}") >= count, (
+                    f"{filt.name} undercounts key-{key}"
+                )
+
+
+class TestEmptyAfterFullDeletion:
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, 200), min_size=1, max_size=40))
+    def test_full_cycle_restores_empty(self, keys):
+        for filt in _make_filters(1):
+            names = [f"k-{k}" for k in keys]
+            filt.insert_many(names)
+            filt.delete_many(names)
+            assert not filt.query_many(names).any(), filt.name
+            if isinstance(filt, MPCBF):
+                filt.check_invariants()
+                assert filt.stored_hash_bits == 0
+
+
+class TestBulkScalarEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(st.integers(0, 100), min_size=1, max_size=50),
+        st.integers(0, 2),
+    )
+    def test_query_results_identical(self, keys, seed):
+        probe = [f"p-{i}" for i in range(40)]
+        names = [f"k-{k}" for k in keys]
+        for filt in _make_filters(seed):
+            filt.insert_many(names)
+            bulk = filt.query_many(probe)
+            scalar = np.array([filt.query(p) for p in probe])
+            np.testing.assert_array_equal(bulk, scalar, err_msg=filt.name)
+
+
+class TestMPCBFStructuralInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(_op_sequences(), st.integers(1, 2))
+    def test_invariants_hold_throughout(self, ops, g):
+        filt = MPCBF(32, 256, 3, g=g, n_max=60, seed=2)
+        for op, key in ops:
+            getattr(filt, op)(f"key-{key}")
+            filt.check_invariants()
+
+    @settings(max_examples=40, deadline=None)
+    @given(_op_sequences())
+    def test_hierarchy_bits_equal_k_times_live_hashes(self, ops):
+        filt = MPCBF(32, 256, 3, n_max=60, seed=2)
+        live = 0
+        for op, key in ops:
+            getattr(filt, op)(f"key-{key}")
+            live += 1 if op == "insert" else -1
+        # Exactly k hierarchy bits per live insertion (§III.B.3's
+        # accounting, the basis of b1 = w − k·n_max).
+        assert filt.stored_hash_bits == 3 * live

@@ -1,0 +1,116 @@
+"""Tests for the Variable-Increment CBF extension baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+)
+from repro.filters.vicbf import VariableIncrementCBF
+
+
+def make(num_counters=2048, k=3, seed=1, **kw) -> VariableIncrementCBF:
+    return VariableIncrementCBF(num_counters, k, seed=seed, **kw)
+
+
+class TestVICBF:
+    def test_cycle(self, small_keys):
+        f = make()
+        f.insert_many(small_keys)
+        assert f.query_many(small_keys).all()
+        f.delete_many(small_keys)
+        assert not f.query_many(small_keys).any()
+
+    def test_no_false_negatives_under_collisions(self):
+        f = make(num_counters=128)  # heavy collisions
+        keys = [f"c{i}" for i in range(60)]
+        f.insert_many(keys)
+        assert f.query_many(keys).all()
+
+    def test_increments_in_DL_range(self):
+        f = make(L=4)
+        for key in range(100):
+            for inc in f._increments(key):
+                assert 4 <= inc <= 7
+
+    def test_L_validation(self):
+        with pytest.raises(ConfigurationError):
+            make(L=1)
+
+    def test_count_upper_bound(self):
+        f = make()
+        for _ in range(5):
+            f.insert("dup")
+        assert f.count("dup") >= 5
+
+    def test_compatibility_rule(self):
+        f = make(L=4)
+        # c == v: possible member; 0 < c - v < L: impossible; c - v >= L: possible.
+        assert f._compatible(5, 5)
+        assert not f._compatible(6, 5)
+        assert not f._compatible(8, 5)
+        assert f._compatible(9, 5)
+        assert not f._compatible(0, 4)
+        assert not f._compatible(3, 4)
+
+    def test_underflow(self):
+        f = make()
+        with pytest.raises(CounterUnderflowError):
+            f.delete("ghost")
+
+    def test_bulk_underflow_rolls_back(self, small_keys):
+        # A lightly loaded filter: the ghost's counters are zero, so the
+        # batch delete must detect the underflow and roll back.  (On a
+        # heavily loaded filter a wrong delete can pass undetected —
+        # the classic CBF deletion hazard, which VI-CBF only reduces.)
+        f = make(num_counters=1 << 14)
+        f.insert_many(small_keys[:5])
+        before = f._counters.copy()
+        with pytest.raises(CounterUnderflowError):
+            f.delete_many(["ghost"])
+        np.testing.assert_array_equal(f._counters, before)
+
+    def test_overflow(self):
+        f = make(num_counters=64, k=1, counter_bits=4)  # limit 15
+        for _ in range(2):
+            f.insert("same")  # each insert adds 4..7
+        with pytest.raises(CounterOverflowError):
+            for _ in range(3):
+                f.insert("same")
+
+    def test_bulk_scalar_agreement(self, small_keys, negative_keys):
+        a, b = make(seed=7), make(seed=7)
+        a.insert_many(small_keys)
+        for key in small_keys:
+            b.insert(key)
+        np.testing.assert_array_equal(a._counters, b._counters)
+        bulk = a.query_many(negative_keys[:500])
+        scalar = np.array([b.query_encoded(int(k)) for k in negative_keys[:500]])
+        np.testing.assert_array_equal(bulk, scalar)
+
+    def test_lower_fpr_than_cbf_at_equal_counters(self, rng):
+        # VI-CBF's claim [23]: fewer false positives than CBF with the
+        # same number of counters (it uses more bits per counter).
+        from repro.filters.cbf import CountingBloomFilter
+
+        n, m = 3000, 8192
+        members = rng.integers(1, 2**62, size=n).astype(np.uint64)
+        negatives = (
+            rng.integers(1, 2**62, size=200_000).astype(np.uint64)
+            | np.uint64(1 << 63)
+        )
+        vi = make(num_counters=m, k=3, seed=2)
+        cbf = CountingBloomFilter(m, 3, seed=2)
+        vi.insert_many(members)
+        cbf.insert_many(members)
+        assert (
+            vi.query_many(negatives).mean() < cbf.query_many(negatives).mean()
+        )
+
+    def test_total_bits(self):
+        f = make(num_counters=100, counter_bits=8)
+        assert f.total_bits == 800

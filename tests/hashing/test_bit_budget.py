@@ -1,0 +1,68 @@
+"""Tests for the access-bandwidth budget primitives."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.hashing.bit_budget import HashBitBudget, bits_for_range
+
+
+class TestBitsForRange:
+    def test_powers_of_two(self):
+        assert bits_for_range(16) == 4.0
+        assert bits_for_range(1 << 20) == 20.0
+
+    def test_one(self):
+        assert bits_for_range(1) == 0.0
+
+    def test_fractional(self):
+        assert bits_for_range(10) == pytest.approx(math.log2(10))
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bits_for_range(0)
+
+
+class TestHashBitBudget:
+    def test_flat_matches_paper_fig1(self):
+        # Fig. 1: CBF with m=16, k=3 needs 3*log2(16) = 12 bits and 3
+        # accesses.
+        budget = HashBitBudget.flat(16, 3)
+        assert budget.total_bits == 12.0
+        assert budget.memory_accesses == 3.0
+        assert budget.hash_calls == 3
+
+    def test_partitioned_matches_paper_fig1(self):
+        # Fig. 1: PCBF-1 with l=4 words, 4 counters/word, k=3 needs
+        # log2(4) + 3*log2(4) = 8 bits and one access.
+        budget = HashBitBudget.partitioned(4, 4, 3, 1)
+        assert budget.total_bits == 8.0
+        assert budget.memory_accesses == 1.0
+
+    def test_hash_calls_model(self):
+        # Calibration from §IV.B: CBF k=3 → 3 calls, PCBF-1 → 3,
+        # PCBF-2/MPCBF-2 → 4.
+        assert HashBitBudget.flat(1 << 20, 3).hash_calls == 3
+        assert HashBitBudget.partitioned(1 << 14, 16, 3, 1).hash_calls == 3
+        assert HashBitBudget.partitioned(1 << 14, 16, 3, 2).hash_calls == 4
+
+    def test_partitioned_g_scaling(self):
+        b1 = HashBitBudget.partitioned(1024, 32, 4, 1)
+        b2 = HashBitBudget.partitioned(1024, 32, 4, 2)
+        assert b2.word_select_bits == 2 * b1.word_select_bits
+        assert b2.offset_bits == b1.offset_bits
+        assert b2.memory_accesses == 2.0
+
+    def test_scaled_update_adds_bits_only(self):
+        base = HashBitBudget.partitioned(1024, 40, 3, 1)
+        upd = base.scaled_update(7.5)
+        assert upd.total_bits == pytest.approx(base.total_bits + 7.5)
+        assert upd.memory_accesses == base.memory_accesses
+        assert upd.hash_calls == base.hash_calls
+
+    def test_frozen(self):
+        budget = HashBitBudget.flat(16, 3)
+        with pytest.raises(AttributeError):
+            budget.offset_bits = 1.0

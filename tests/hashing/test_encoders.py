@@ -1,0 +1,149 @@
+"""Tests for key encoding: scalar/vector agreement, type dispatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hashing.encoders import (
+    KeyEncoder,
+    encode_bytes,
+    encode_flow,
+    encode_flow_arrays,
+    encode_int,
+    encode_int_array,
+    encode_key,
+    encode_str_array,
+)
+
+
+class TestEncodeBytes:
+    def test_known_fnv_vector(self):
+        # FNV-1a 64-bit of empty input is the offset basis.
+        assert encode_bytes(b"") == 0xCBF29CE484222325
+
+    def test_fnv_a(self):
+        # Well-known FNV-1a("a") test vector.
+        assert encode_bytes(b"a") == 0xAF63DC4C8601EC8C
+
+    def test_distinct(self):
+        assert encode_bytes(b"hello") != encode_bytes(b"hellp")
+
+    @given(st.binary(min_size=0, max_size=32))
+    def test_range(self, data):
+        assert 0 <= encode_bytes(data) < 2**64
+
+
+class TestEncodeStrArray:
+    def test_matches_scalar(self):
+        keys = np.array([b"abcde", b"fghij", b"zzzzz"], dtype="S5")
+        bulk = encode_str_array(keys)
+        for key, enc in zip(keys, bulk):
+            assert int(enc) == encode_bytes(bytes(key))
+
+    def test_shorter_keys_in_wide_dtype(self):
+        # NumPy pads with NULs; encoding must use the true length.
+        keys = np.array([b"ab", b"abcd"], dtype="S6")
+        bulk = encode_str_array(keys)
+        assert int(bulk[0]) == encode_bytes(b"ab")
+        assert int(bulk[1]) == encode_bytes(b"abcd")
+
+    def test_empty_string(self):
+        keys = np.array([b"", b"x"], dtype="S3")
+        bulk = encode_str_array(keys)
+        assert int(bulk[0]) == encode_bytes(b"")
+
+    def test_embedded_nul(self):
+        keys = np.array([b"a\x00b"], dtype="S3")
+        assert int(encode_str_array(keys)[0]) == encode_bytes(b"a\x00b")
+
+    def test_preserves_shape(self):
+        keys = np.array([[b"aa", b"bb"], [b"cc", b"dd"]], dtype="S2")
+        assert encode_str_array(keys).shape == (2, 2)
+
+    def test_large_batch_unique(self):
+        keys = np.array(
+            [f"k{i:07d}".encode() for i in range(50_000)], dtype="S8"
+        )
+        encoded = encode_str_array(keys)
+        assert len(np.unique(encoded)) == 50_000
+
+
+class TestEncodeIntAndFlow:
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_int_scalar_matches_array(self, v):
+        arr = encode_int_array(np.array([v], dtype=np.uint64))
+        assert int(arr[0]) == encode_int(v)
+
+    def test_flow_scalar_matches_array(self):
+        src = np.array([1, 2**32 - 1, 12345], dtype=np.uint64)
+        dst = np.array([9, 0, 54321], dtype=np.uint64)
+        bulk = encode_flow_arrays(src, dst)
+        for s, d, e in zip(src, dst, bulk):
+            assert int(e) == encode_flow(int(s), int(d))
+
+    def test_flow_direction_matters(self):
+        assert encode_flow(1, 2) != encode_flow(2, 1)
+
+    def test_flow_rejects_oversized(self):
+        with pytest.raises(ValueError):
+            encode_flow(2**32, 0)
+
+    def test_flow_arrays_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            encode_flow_arrays(np.zeros(3, np.uint64), np.zeros(4, np.uint64))
+
+
+class TestEncodeKeyDispatch:
+    def test_str_matches_bytes(self):
+        assert encode_key("abc") == encode_key(b"abc")
+
+    def test_int(self):
+        assert encode_key(7) == encode_int(7)
+
+    def test_tuple_is_flow(self):
+        assert encode_key((3, 4)) == encode_flow(3, 4)
+
+    def test_numpy_integer(self):
+        assert encode_key(np.int64(7)) == encode_int(7)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            encode_key(3.14)
+
+
+class TestKeyEncoder:
+    def test_uint64_passthrough(self):
+        enc = KeyEncoder()
+        arr = np.array([1, 2, 3], dtype=np.uint64)
+        assert enc.encode_many(arr) is arr
+
+    def test_int_array(self):
+        enc = KeyEncoder()
+        out = enc.encode_many(np.array([1, 2, 3], dtype=np.int32))
+        assert out.dtype == np.uint64
+        assert int(out[0]) == encode_int(1)
+
+    def test_bytes_array(self):
+        enc = KeyEncoder()
+        keys = np.array([b"aaa", b"bbb"], dtype="S3")
+        out = enc.encode_many(keys)
+        assert int(out[1]) == encode_bytes(b"bbb")
+
+    def test_iterable_fallback(self):
+        enc = KeyEncoder()
+        out = enc.encode_many(["x", "y"])
+        assert int(out[0]) == encode_key("x")
+
+    def test_float_array_rejected(self):
+        enc = KeyEncoder()
+        with pytest.raises(TypeError):
+            enc.encode_many(np.zeros(3, dtype=np.float64))
+
+    def test_scalar_bulk_agreement(self):
+        enc = KeyEncoder()
+        keys = [f"agree-{i}" for i in range(100)]
+        bulk = enc.encode_many(keys)
+        for key, e in zip(keys, bulk):
+            assert enc.encode(key) == int(e)

@@ -1,0 +1,105 @@
+"""Tests for tabulation hashing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.hashing.tabulation import TabulationHash, TabulationHashFamily
+
+
+class TestTabulationHash:
+    def test_deterministic(self):
+        h = TabulationHash(seed=1)
+        assert h(12345) == h(12345)
+
+    def test_seed_changes_function(self):
+        assert TabulationHash(1)(42) != TabulationHash(2)(42)
+
+    def test_zero_key(self):
+        # h(0) = XOR of the eight T[i][0] entries — a fixed, generally
+        # nonzero value (unlike multiplicative mixers' fixed point).
+        h = TabulationHash(seed=3)
+        expected = 0
+        for i in range(8):
+            expected ^= int(h._tables[i][0])
+        assert h(0) == expected
+
+    @settings(max_examples=100)
+    @given(st.integers(0, 2**64 - 1))
+    def test_scalar_matches_array(self, key):
+        h = TabulationHash(seed=5)
+        arr = h.hash_array(np.array([key], dtype=np.uint64))
+        assert int(arr[0]) == h(key)
+
+    def test_linearity_property(self):
+        # Simple tabulation is linear over byte-aligned XOR when the
+        # differing bytes don't interact: h(x) ^ h(x ^ d) depends only
+        # on the changed byte positions.
+        h = TabulationHash(seed=7)
+        x, y = 0x1122334455667788, 0xAA22334455667788  # differ in top byte
+        delta1 = h(x) ^ h(x ^ (0xBB << 56))
+        delta2 = h(y) ^ h(y ^ (0xBB << 56))
+        assert delta1 == delta2
+
+    def test_avalanche_over_sequential_keys(self):
+        h = TabulationHash(seed=9)
+        outs = h.hash_array(np.arange(10_000, dtype=np.uint64))
+        assert len(np.unique(outs)) == 10_000
+        # Low byte uniformity (sequential inputs are the worst case).
+        counts = np.bincount((outs & np.uint64(0xFF)).astype(int), minlength=256)
+        assert counts.min() > 0.5 * counts.mean()
+
+
+class TestTabulationHashFamily:
+    def test_ranges_and_determinism(self):
+        fam = TabulationHashFamily(97, 4, seed=2)
+        idx = fam.indices(123)
+        assert len(idx) == 4
+        assert all(0 <= i < 97 for i in idx)
+        assert idx == TabulationHashFamily(97, 4, seed=2).indices(123)
+
+    def test_bulk_matches_scalar(self):
+        fam = TabulationHashFamily(1009, 3, seed=4)
+        keys = (np.arange(300, dtype=np.uint64) + 7) * np.uint64(0x9E3779B9)
+        matrix = fam.indices_array(keys)
+        for i in (0, 150, 299):
+            assert list(matrix[i]) == fam.indices(int(keys[i]))
+
+    def test_functions_distinct(self):
+        fam = TabulationHashFamily(1 << 30, 3, seed=1)
+        idx = fam.indices(999)
+        assert len(set(idx)) == 3
+
+    def test_uniformity(self):
+        fam = TabulationHashFamily(64, 3, seed=0)
+        keys = np.arange(30_000, dtype=np.uint64)
+        counts = np.bincount(fam.indices_array(keys).reshape(-1), minlength=64)
+        assert counts.min() > 0.85 * counts.mean()
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            TabulationHashFamily(0, 3)
+        with pytest.raises(ConfigurationError):
+            TabulationHashFamily(10, 0)
+
+    def test_drop_in_for_bloom_filter(self, small_keys, negative_keys):
+        # Swapping the family must preserve Bloom semantics exactly.
+        from repro.filters.bloom import BloomFilter
+
+        bf = BloomFilter(4096, 3, seed=1)
+        bf.family = TabulationHashFamily(4096, 3, seed=1)
+        bf.insert_many(small_keys)
+        assert bf.query_many(small_keys).all()
+        assert bf.query_many(negative_keys).mean() < 0.01
+
+    def test_drop_in_for_cbf_with_deletion(self, small_keys):
+        from repro.filters.cbf import CountingBloomFilter
+
+        cbf = CountingBloomFilter(4096, 3, seed=1)
+        cbf.family = TabulationHashFamily(4096, 3, seed=1)
+        cbf.insert_many(small_keys)
+        cbf.delete_many(small_keys)
+        assert not cbf.query_many(small_keys).any()

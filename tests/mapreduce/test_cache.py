@@ -1,0 +1,50 @@
+"""Tests for the DistributedCache broadcast channel."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filters.bloom import BloomFilter
+from repro.mapreduce.cache import DistributedCache
+
+
+class TestDistributedCache:
+    def test_put_get(self):
+        cache = DistributedCache()
+        cache.put("x", {"a": 1}, size_bytes=10)
+        assert cache.get("x") == {"a": 1}
+
+    def test_duplicate_rejected(self):
+        cache = DistributedCache()
+        cache.put("x", 1, size_bytes=1)
+        with pytest.raises(KeyError):
+            cache.put("x", 2, size_bytes=1)
+
+    def test_missing_raises(self):
+        with pytest.raises(KeyError):
+            DistributedCache().get("nope")
+
+    def test_filter_sized_from_total_bits(self):
+        cache = DistributedCache()
+        bf = BloomFilter(8192, 3)
+        cache.put("filter", bf)
+        assert cache.size_bytes("filter") == 1024
+
+    def test_unknown_objects_default_to_zero(self):
+        cache = DistributedCache()
+        cache.put("obj", object())
+        assert cache.size_bytes("obj") == 0
+
+    def test_total_bytes(self):
+        cache = DistributedCache()
+        cache.put("a", 1, size_bytes=100)
+        cache.put("b", 2, size_bytes=50)
+        assert cache.total_bytes == 150
+
+    def test_container_protocol(self):
+        cache = DistributedCache()
+        cache.put("a", 1, size_bytes=1)
+        assert "a" in cache
+        assert "b" not in cache
+        assert list(cache) == ["a"]
+        assert len(cache) == 1

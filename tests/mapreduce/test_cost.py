@@ -1,0 +1,86 @@
+"""Tests for the cluster cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.cost import ClusterCostModel
+
+
+def costs(model: ClusterCostModel, **kw):
+    defaults = dict(
+        map_input_records=100_000,
+        map_output_records=50_000,
+        shuffle_bytes=50_000 * 24,
+        reduce_input_records=50_000,
+    )
+    defaults.update(kw)
+    return model.job_costs(**defaults)
+
+
+class TestClusterCostModel:
+    def test_phases_positive(self):
+        c = costs(ClusterCostModel())
+        assert c.map_seconds > 0
+        assert c.shuffle_seconds > 0
+        assert c.reduce_seconds > 0
+        assert c.total_seconds == pytest.approx(
+            c.map_seconds + c.shuffle_seconds + c.reduce_seconds + c.broadcast_seconds
+        )
+
+    def test_shuffle_scales_with_bytes(self):
+        model = ClusterCostModel()
+        a = costs(model, shuffle_bytes=10_000)
+        b = costs(model, shuffle_bytes=100_000)
+        assert b.shuffle_seconds == pytest.approx(10 * a.shuffle_seconds)
+
+    def test_filtering_map_outputs_reduces_total(self):
+        # The §V mechanism: fewer surviving map outputs → less shuffle
+        # and reduce work → smaller total, despite the probe CPU.
+        model = ClusterCostModel()
+        unfiltered = costs(model)
+        filtered = costs(
+            model,
+            map_output_records=20_000,
+            shuffle_bytes=20_000 * 24,
+            reduce_input_records=20_000,
+            filter_probes=100_000,
+            broadcast_bytes=50_000,
+        )
+        assert filtered.total_seconds < unfiltered.total_seconds
+
+    def test_more_nodes_faster(self):
+        three = costs(ClusterCostModel(nodes=3))
+        six = costs(ClusterCostModel(nodes=6))
+        assert six.total_seconds < three.total_seconds
+
+    def test_broadcast_charged(self):
+        model = ClusterCostModel()
+        with_bc = costs(model, broadcast_bytes=10_000_000)
+        without = costs(model)
+        assert with_bc.broadcast_seconds > without.broadcast_seconds
+
+    def test_frozen(self):
+        model = ClusterCostModel()
+        with pytest.raises(AttributeError):
+            model.nodes = 5
+
+    def test_relative_savings_insensitive_to_constants(self):
+        # EXPERIMENTS.md leans on this: the % time cut from filtering is
+        # stable when hardware constants shift by 2x.
+        def cut(model):
+            base = costs(model)
+            filt = costs(
+                model,
+                map_output_records=20_000,
+                shuffle_bytes=20_000 * 24,
+                reduce_input_records=20_000,
+                filter_probes=100_000,
+            )
+            return 1 - filt.total_seconds / base.total_seconds
+
+    # Halve network speed / double CPU cost: direction must not flip.
+        slow_net = ClusterCostModel(net_bytes_per_sec=58e6)
+        slow_cpu = ClusterCostModel(map_cpu_per_record=3e-6)
+        for model in (ClusterCostModel(), slow_net, slow_cpu):
+            assert cut(model) > 0.1

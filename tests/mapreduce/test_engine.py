@@ -1,0 +1,110 @@
+"""Tests for the mini MapReduce engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.cache import DistributedCache
+from repro.mapreduce.engine import LocalMapReduceEngine
+
+
+def word_count_mapper(record, ctx):
+    for word in record.split():
+        ctx.emit(word, 1)
+
+
+def sum_reducer(key, values, ctx):
+    ctx.emit((key, sum(values)))
+
+
+class TestWordCount:
+    @pytest.fixture
+    def engine(self):
+        return LocalMapReduceEngine(num_map_tasks=3, num_reduce_tasks=2)
+
+    def test_basic_word_count(self, engine):
+        docs = ["a b a", "b c", "a"]
+        result = engine.run(docs, word_count_mapper, sum_reducer)
+        counts = dict(result.output)
+        assert counts == {"a": 3, "b": 2, "c": 1}
+
+    def test_counters(self, engine):
+        docs = ["a b a", "b c", "a"]
+        result = engine.run(docs, word_count_mapper, sum_reducer)
+        c = result.counters
+        assert c.map_input_records == 3
+        assert c.map_output_records == 6
+        assert c.shuffle_records == 6
+        assert c.reduce_input_groups == 3
+        assert c.reduce_input_records == 6
+        assert c.reduce_output_records == 3
+
+    def test_combiner_shrinks_shuffle(self):
+        engine = LocalMapReduceEngine(num_map_tasks=1, num_reduce_tasks=1)
+        docs = ["a a a a", "a a"]
+
+        def combiner(key, values):
+            yield sum(values)
+
+        plain = engine.run(docs, word_count_mapper, sum_reducer)
+        combined = engine.run(
+            docs, word_count_mapper, sum_reducer, combiner=combiner
+        )
+        assert dict(combined.output) == dict(plain.output)
+        assert combined.counters.shuffle_records < plain.counters.shuffle_records
+
+    def test_deterministic_output(self, engine):
+        docs = [f"w{i % 7}" for i in range(100)]
+        a = engine.run(docs, word_count_mapper, sum_reducer)
+        b = engine.run(docs, word_count_mapper, sum_reducer)
+        assert a.output == b.output
+
+    def test_results_independent_of_task_counts(self):
+        docs = [f"w{i % 13} w{i % 5}" for i in range(200)]
+        outputs = []
+        for m, r in [(1, 1), (4, 2), (16, 8)]:
+            engine = LocalMapReduceEngine(num_map_tasks=m, num_reduce_tasks=r)
+            result = engine.run(docs, word_count_mapper, sum_reducer)
+            outputs.append(sorted(result.output))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+    def test_empty_input(self, engine):
+        result = engine.run([], word_count_mapper, sum_reducer)
+        assert result.output == []
+        assert result.counters.map_input_records == 0
+
+    def test_modelled_time_positive(self, engine):
+        result = engine.run(["a b"], word_count_mapper, sum_reducer)
+        assert result.modelled_seconds > 0
+        assert result.wall_seconds > 0
+
+    def test_cache_reaches_mapper_and_reducer(self):
+        cache = DistributedCache()
+        cache.put("threshold", 2, size_bytes=8)
+        engine = LocalMapReduceEngine()
+
+        def mapper(record, ctx):
+            if record >= ctx.cache.get("threshold"):
+                ctx.emit("big", record)
+
+        def reducer(key, values, ctx):
+            assert "threshold" in ctx.cache
+            ctx.emit((key, sorted(values)))
+
+        result = engine.run([1, 2, 3], mapper, reducer, cache=cache)
+        assert result.output == [("big", [2, 3])]
+
+    def test_custom_counters(self):
+        engine = LocalMapReduceEngine()
+
+        def mapper(record, ctx):
+            ctx.counters.increment("seen")
+            ctx.emit(record, 1)
+
+        result = engine.run([1, 2, 3], mapper, sum_reducer)
+        assert result.counters.get("seen") == 3
+        assert result.counters.get("never") == 0
+
+    def test_invalid_task_counts(self):
+        with pytest.raises(ValueError):
+            LocalMapReduceEngine(num_map_tasks=0)

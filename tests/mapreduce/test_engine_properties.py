@@ -1,0 +1,86 @@
+"""Property-based tests for the MapReduce engine.
+
+Oracle: a direct single-pass group-by in plain Python.  The engine must
+produce identical results for any mapper/reducer pair regardless of how
+many map/reduce tasks the work is split across, with or without a
+combiner — the determinism contract distributed jobs rely on.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.mapreduce.engine import LocalMapReduceEngine
+
+
+def tag_mapper(record, ctx):
+    key, value = record
+    ctx.emit(key % 5, value)
+    if value % 2 == 0:
+        ctx.emit(-1, value)  # "even" bucket; int key keeps sorting total
+
+
+def sum_reducer(key, values, ctx):
+    ctx.emit((key, sum(values), len(values)))
+
+
+def _oracle(records):
+    grouped = defaultdict(list)
+    for key, value in records:
+        grouped[key % 5].append(value)
+        if value % 2 == 0:
+            grouped[-1].append(value)
+    return sorted(
+        (key, sum(vals), len(vals)) for key, vals in grouped.items()
+    )
+
+
+_records = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(-100, 100)), max_size=80
+)
+
+
+class TestEngineProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(_records, st.integers(1, 8), st.integers(1, 5))
+    def test_matches_oracle_for_any_task_split(self, records, m, r):
+        engine = LocalMapReduceEngine(num_map_tasks=m, num_reduce_tasks=r)
+        result = engine.run(records, tag_mapper, sum_reducer)
+        assert sorted(result.output) == _oracle(records)
+
+    @settings(max_examples=40, deadline=None)
+    @given(_records, st.integers(1, 6))
+    def test_combiner_preserves_results(self, records, m):
+        def combiner(key, values):
+            # Associative partial sum carried as (sum, count) pairs —
+            # the reducer below reconstructs totals.
+            yield (sum(values), len(values))
+
+        def pair_reducer(key, values, ctx):
+            total = sum(s for s, _ in values)
+            count = sum(c for _, c in values)
+            ctx.emit((key, total, count))
+
+        plain = LocalMapReduceEngine(num_map_tasks=m, num_reduce_tasks=2)
+        combined = LocalMapReduceEngine(num_map_tasks=m, num_reduce_tasks=2)
+        base = plain.run(records, tag_mapper, sum_reducer)
+        opt = combined.run(records, tag_mapper, pair_reducer, combiner=combiner)
+        assert sorted(base.output) == sorted(opt.output)
+        # The combiner may only shrink the shuffle.
+        assert (
+            opt.counters.shuffle_records <= base.counters.shuffle_records
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(_records)
+    def test_counter_conservation(self, records):
+        engine = LocalMapReduceEngine(num_map_tasks=3, num_reduce_tasks=2)
+        result = engine.run(records, tag_mapper, sum_reducer)
+        c = result.counters
+        assert c.map_input_records == len(records)
+        # Without a combiner, everything emitted is shuffled and reduced.
+        assert c.map_output_records == c.shuffle_records
+        assert c.shuffle_records == c.reduce_input_records
+        assert c.reduce_output_records == len(result.output)

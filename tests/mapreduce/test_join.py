@@ -1,0 +1,104 @@
+"""Tests for the reduce-side join, plain and Bloom-filtered (§V)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filters import CountingBloomFilter, MPCBF
+from repro.mapreduce.engine import LocalMapReduceEngine
+from repro.mapreduce.join import reduce_side_join
+from repro.workloads.patents import make_patent_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_patent_dataset(
+        n_keys=500, n_citations=10_000, hit_fraction=0.3, seed=1
+    )
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return LocalMapReduceEngine(num_map_tasks=4, num_reduce_tasks=2)
+
+
+@pytest.fixture(scope="module")
+def baseline(dataset, engine):
+    return reduce_side_join(dataset, None, engine=engine)
+
+
+def _expected_join_rows(dataset) -> int:
+    keys, counts = np.unique(dataset.citations[:, 1], return_counts=True)
+    key_set = np.sort(dataset.join_keys)
+    pos = np.clip(np.searchsorted(key_set, keys), 0, len(key_set) - 1)
+    return int(counts[key_set[pos] == keys].sum())
+
+
+class TestUnfilteredJoin:
+    def test_join_cardinality_exact(self, dataset, baseline):
+        assert baseline.joined_rows == _expected_join_rows(dataset)
+
+    def test_join_rows_well_formed(self, dataset, engine):
+        rep = reduce_side_join(dataset, None, engine=engine)
+        key_set = set(dataset.join_keys.tolist())
+        for key, year, citing in rep.result.output[:50]:
+            assert key in key_set
+            assert 1963 <= year <= 1999
+
+    def test_map_outputs_everything(self, dataset, baseline):
+        expected = len(dataset.patents) + len(dataset.citations)
+        assert baseline.map_output_records == expected
+
+
+class TestFilteredJoin:
+    def test_cbf_preserves_join_result(self, dataset, engine, baseline):
+        cbf = CountingBloomFilter(2000, 3, seed=2)
+        rep = reduce_side_join(dataset, cbf, engine=engine)
+        assert rep.joined_rows == baseline.joined_rows
+
+    def test_filter_reduces_map_outputs(self, dataset, engine, baseline):
+        cbf = CountingBloomFilter(2000, 3, seed=2)
+        rep = reduce_side_join(dataset, cbf, engine=engine)
+        assert rep.map_output_records < baseline.map_output_records
+        assert rep.shuffle_bytes < baseline.shuffle_bytes
+
+    def test_measured_fpr_in_range(self, dataset, engine):
+        cbf = CountingBloomFilter(2000, 3, seed=2)
+        rep = reduce_side_join(dataset, cbf, engine=engine)
+        assert 0.0 < rep.filter_fpr < 1.0
+
+    def test_mpcbf_lower_fpr_than_cbf(self, dataset, engine):
+        memory = 8000
+        cbf = CountingBloomFilter(memory // 4, 3, seed=2)
+        mp = MPCBF(
+            memory // 64,
+            64,
+            3,
+            n_max=max(1, round(500 / (memory // 64))),
+            seed=2,
+            word_overflow="saturate",
+        )
+        rep_cbf = reduce_side_join(dataset, cbf, engine=engine)
+        rep_mp = reduce_side_join(dataset, mp, engine=engine)
+        assert rep_mp.filter_fpr < rep_cbf.filter_fpr
+        assert rep_mp.joined_rows == rep_cbf.joined_rows
+
+    def test_modelled_time_improves(self, dataset, engine, baseline):
+        cbf = CountingBloomFilter(2000, 3, seed=2)
+        rep = reduce_side_join(dataset, cbf, engine=engine)
+        assert rep.modelled_seconds < baseline.modelled_seconds
+
+    def test_filtered_out_accounting(self, dataset, engine):
+        cbf = CountingBloomFilter(2000, 3, seed=2)
+        rep = reduce_side_join(dataset, cbf, engine=engine)
+        hits = int(dataset.citation_hits().sum())
+        survivors = rep.map_output_records - len(dataset.patents)
+        assert survivors + rep.filtered_out == len(dataset.citations)
+        assert survivors >= hits  # no join row may be dropped
+
+    def test_report_row(self, dataset, engine):
+        cbf = CountingBloomFilter(2000, 3, seed=2)
+        row = reduce_side_join(dataset, cbf, engine=engine).row()
+        assert row["filter"] == "CBF"
+        assert {"fpr", "map_output_records", "joined_rows"} <= set(row)

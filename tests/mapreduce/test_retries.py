@@ -1,0 +1,95 @@
+"""Failure-injection tests for the engine's task-retry semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mapreduce.engine import LocalMapReduceEngine, MapTaskFailedError
+
+
+def sum_reducer(key, values, ctx):
+    ctx.emit((key, sum(values)))
+
+
+class FlakyMapper:
+    """Raises on the first ``failures`` invocations of a chosen record."""
+
+    def __init__(self, poison: object, failures: int) -> None:
+        self.poison = poison
+        self.failures = failures
+        self.calls = 0
+
+    def __call__(self, record, ctx) -> None:
+        if record == self.poison and self.failures > 0:
+            self.failures -= 1
+            raise RuntimeError("transient task failure")
+        ctx.emit(record, 1)
+
+
+class TestMapTaskRetries:
+    def test_transient_failure_recovers(self):
+        engine = LocalMapReduceEngine(num_map_tasks=1, max_attempts=3)
+        mapper = FlakyMapper("b", failures=2)
+        result = engine.run(["a", "b", "a"], mapper, sum_reducer)
+        assert dict(result.output) == {"a": 2, "b": 1}
+        assert result.counters.get("task.failed_attempts") == 2
+
+    def test_attempt_isolation_discards_partial_output(self):
+        # The failing attempt emitted "a" before raising on "b"; those
+        # partial emits must not leak into the job output.
+        engine = LocalMapReduceEngine(num_map_tasks=1, max_attempts=2)
+        mapper = FlakyMapper("b", failures=1)
+        result = engine.run(["a", "b"], mapper, sum_reducer)
+        assert dict(result.output) == {"a": 1, "b": 1}
+        assert result.counters.map_output_records == 2  # not 3
+
+    def test_permanent_failure_aborts_job(self):
+        engine = LocalMapReduceEngine(num_map_tasks=1, max_attempts=2)
+        mapper = FlakyMapper("b", failures=99)
+        with pytest.raises(MapTaskFailedError) as excinfo:
+            engine.run(["a", "b"], mapper, sum_reducer)
+        assert excinfo.value.attempts == 2
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_default_is_fail_fast(self):
+        engine = LocalMapReduceEngine(num_map_tasks=1)
+        mapper = FlakyMapper("a", failures=1)
+        with pytest.raises(MapTaskFailedError):
+            engine.run(["a"], mapper, sum_reducer)
+
+    def test_only_failed_split_is_retried(self):
+        # Two splits; poison lives in the second. The first split's
+        # mapper runs exactly once.
+        engine = LocalMapReduceEngine(num_map_tasks=2, max_attempts=3)
+        seen: list[object] = []
+
+        def mapper(record, ctx):
+            seen.append(record)
+            if record == "z" and seen.count("z") < 2:
+                raise RuntimeError("flake")
+            ctx.emit(record, 1)
+
+        result = engine.run(["a", "z"], mapper, sum_reducer)
+        assert dict(result.output) == {"a": 1, "z": 1}
+        assert seen.count("a") == 1
+        assert seen.count("z") == 2
+
+    def test_invalid_max_attempts(self):
+        with pytest.raises(ValueError):
+            LocalMapReduceEngine(max_attempts=0)
+
+    def test_custom_counters_not_double_counted(self):
+        engine = LocalMapReduceEngine(num_map_tasks=1, max_attempts=3)
+        flaky = {"left": 1}
+
+        def mapper(record, ctx):
+            ctx.counters.increment("app.seen")
+            if flaky["left"] > 0:
+                flaky["left"] -= 1
+                raise RuntimeError("flake")
+            ctx.emit(record, 1)
+
+        result = engine.run(["a"], mapper, sum_reducer)
+        # One failed attempt + one good attempt, but only the good
+        # attempt's counter commits.
+        assert result.counters.get("app.seen") == 1

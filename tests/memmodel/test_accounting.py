@@ -1,0 +1,94 @@
+"""Tests for access statistics accumulation and averaging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memmodel.accounting import AccessStats, OpKind, OpStats
+
+
+class TestOpStats:
+    def test_empty_means_are_zero(self):
+        stats = OpStats()
+        assert stats.mean_accesses == 0.0
+        assert stats.mean_bits == 0.0
+        assert stats.mean_hash_calls == 0.0
+
+    def test_record_and_means(self):
+        stats = OpStats()
+        stats.record(word_accesses=3.0, hash_bits=46.0, hash_calls=3)
+        stats.record(word_accesses=1.0, hash_bits=26.0, hash_calls=3)
+        assert stats.operations == 2
+        assert stats.mean_accesses == 2.0
+        assert stats.mean_bits == 36.0
+        assert stats.mean_hash_calls == 3.0
+
+    def test_bulk_record(self):
+        stats = OpStats()
+        stats.record(count=100, word_accesses=150.0, hash_bits=2600.0, hash_calls=300)
+        assert stats.operations == 100
+        assert stats.mean_accesses == 1.5
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            OpStats().record(count=-1, word_accesses=0, hash_bits=0, hash_calls=0)
+
+    def test_merge(self):
+        a = OpStats()
+        a.record(word_accesses=2.0, hash_bits=10.0, hash_calls=2)
+        b = OpStats()
+        b.record(word_accesses=4.0, hash_bits=20.0, hash_calls=4)
+        a.merge(b)
+        assert a.operations == 2
+        assert a.mean_accesses == 3.0
+
+
+class TestAccessStats:
+    def test_kind_routing(self):
+        stats = AccessStats()
+        stats.record(OpKind.QUERY, word_accesses=1.0, hash_bits=5.0, hash_calls=1)
+        stats.record(OpKind.INSERT, word_accesses=2.0, hash_bits=6.0, hash_calls=2)
+        stats.record(OpKind.DELETE, word_accesses=3.0, hash_bits=7.0, hash_calls=3)
+        assert stats.query.operations == 1
+        assert stats.insert.operations == 1
+        assert stats.delete.operations == 1
+
+    def test_update_combines_insert_and_delete(self):
+        stats = AccessStats()
+        stats.record(OpKind.INSERT, word_accesses=1.0, hash_bits=10.0, hash_calls=1)
+        stats.record(OpKind.DELETE, word_accesses=3.0, hash_bits=30.0, hash_calls=3)
+        upd = stats.update
+        assert upd.operations == 2
+        assert upd.mean_accesses == 2.0
+        assert upd.mean_bits == 20.0
+
+    def test_update_is_a_snapshot(self):
+        stats = AccessStats()
+        stats.record(OpKind.INSERT, word_accesses=1.0, hash_bits=1.0, hash_calls=1)
+        snapshot = stats.update
+        stats.record(OpKind.INSERT, word_accesses=1.0, hash_bits=1.0, hash_calls=1)
+        assert snapshot.operations == 1  # unchanged
+
+    def test_reset(self):
+        stats = AccessStats()
+        stats.record(OpKind.QUERY, word_accesses=1.0, hash_bits=1.0, hash_calls=1)
+        stats.reset()
+        assert stats.query.operations == 0
+
+    def test_merge(self):
+        a, b = AccessStats(), AccessStats()
+        a.record(OpKind.QUERY, word_accesses=1.0, hash_bits=1.0, hash_calls=1)
+        b.record(OpKind.QUERY, word_accesses=3.0, hash_bits=3.0, hash_calls=3)
+        a.merge(b)
+        assert a.query.operations == 2
+        assert a.query.mean_accesses == 2.0
+
+    def test_summary_keys(self):
+        stats = AccessStats()
+        summary = stats.summary()
+        assert set(summary) == {"query", "insert", "delete", "update"}
+        assert summary["query"]["operations"] == 0.0
+
+    def test_for_kind(self):
+        stats = AccessStats()
+        assert stats.for_kind(OpKind.DELETE) is stats.delete

@@ -1,0 +1,66 @@
+"""Tests for the simulated word-addressable memory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memmodel.memory import WordMemory
+
+
+class TestWordMemory:
+    def test_initial_state(self):
+        mem = WordMemory(8, 64)
+        assert len(mem) == 8
+        assert mem.total_bits == 512
+        assert mem.accesses == 0
+        assert all(mem.peek(i) == 0 for i in range(8))
+
+    def test_read_write_counting(self):
+        mem = WordMemory(4, 32)
+        mem.write(0, 0xDEAD)
+        assert mem.read(0) == 0xDEAD
+        assert mem.reads == 1
+        assert mem.writes == 1
+        assert mem.accesses == 2
+
+    def test_write_masks_to_width(self):
+        mem = WordMemory(2, 8)
+        mem.write(1, 0x1FF)
+        assert mem.peek(1) == 0xFF
+
+    def test_peek_poke_do_not_count(self):
+        mem = WordMemory(2, 16)
+        mem.poke(0, 42)
+        assert mem.peek(0) == 42
+        assert mem.accesses == 0
+
+    def test_reset_counters_keeps_contents(self):
+        mem = WordMemory(2, 16)
+        mem.write(0, 7)
+        mem.reset_counters()
+        assert mem.accesses == 0
+        assert mem.peek(0) == 7
+
+    def test_clear(self):
+        mem = WordMemory(2, 16)
+        mem.write(0, 7)
+        mem.clear()
+        assert mem.peek(0) == 0
+        assert mem.accesses == 0
+
+    def test_popcount(self):
+        mem = WordMemory(3, 8)
+        mem.poke(0, 0b1011)
+        mem.poke(2, 0b1)
+        assert mem.popcount() == 4
+
+    def test_out_of_range_index(self):
+        mem = WordMemory(2, 8)
+        with pytest.raises(IndexError):
+            mem.read(5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            WordMemory(0, 8)
+        with pytest.raises(ValueError):
+            WordMemory(2, 0)

@@ -1,0 +1,139 @@
+"""Tests for the packed counter substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+)
+from repro.memmodel.packed import PackedCounterArray
+
+
+class TestPackedBasics:
+    def test_initially_zero(self):
+        arr = PackedCounterArray(100, 4)
+        assert arr.to_array().sum() == 0
+        assert len(arr) == 100
+
+    def test_set_get(self):
+        arr = PackedCounterArray(40, 4)
+        arr.set(0, 15)
+        arr.set(15, 7)  # same limb, last field
+        arr.set(16, 3)  # next limb
+        assert arr.get(0) == 15
+        assert arr.get(15) == 7
+        assert arr.get(16) == 3
+        assert arr.get(1) == 0  # neighbours untouched
+
+    def test_increment_decrement(self):
+        arr = PackedCounterArray(10, 4)
+        assert arr.increment(3) == 1
+        assert arr.increment(3) == 2
+        assert arr.decrement(3) == 1
+        assert arr.decrement(3) == 0
+
+    def test_overflow(self):
+        arr = PackedCounterArray(10, 2)
+        for _ in range(3):
+            arr.increment(5)
+        with pytest.raises(CounterOverflowError):
+            arr.increment(5)
+
+    def test_underflow(self):
+        arr = PackedCounterArray(10, 4)
+        with pytest.raises(CounterUnderflowError):
+            arr.decrement(0)
+
+    def test_value_range_enforced(self):
+        arr = PackedCounterArray(10, 4)
+        with pytest.raises(ConfigurationError):
+            arr.set(0, 16)
+        with pytest.raises(ConfigurationError):
+            arr.set(0, -1)
+
+    def test_index_bounds(self):
+        arr = PackedCounterArray(10, 4)
+        with pytest.raises(IndexError):
+            arr.get(10)
+        with pytest.raises(IndexError):
+            arr.gather(np.array([10]))
+
+    def test_total_bits_faithful(self):
+        # 100 4-bit counters → 400 bits → 7 limbs → 448 bits stored.
+        arr = PackedCounterArray(100, 4)
+        assert arr.total_bits == 448
+        assert arr.total_bits < 100 * 32  # far below the int32 reference
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8, 16, 32])
+    def test_all_widths(self, width):
+        arr = PackedCounterArray(70, width)
+        arr.set(69, arr.limit)
+        assert arr.get(69) == arr.limit
+        assert arr.get(68) == 0
+
+    def test_invalid_width(self):
+        with pytest.raises(ConfigurationError):
+            PackedCounterArray(10, 3)
+
+
+class TestPackedBulk:
+    def test_gather_matches_scalar(self, rng):
+        arr = PackedCounterArray(500, 4)
+        for i in range(0, 500, 7):
+            arr.set(i, i % 16)
+        idx = rng.integers(0, 500, size=200)
+        bulk = arr.gather(idx)
+        scalar = np.array([arr.get(int(i)) for i in idx])
+        np.testing.assert_array_equal(bulk, scalar)
+
+    def test_gather_preserves_shape(self):
+        arr = PackedCounterArray(64, 4)
+        idx = np.arange(24).reshape(4, 6)
+        assert arr.gather(idx).shape == (4, 6)
+
+    def test_nonzero_mask(self):
+        arr = PackedCounterArray(16, 4)
+        arr.set(3, 1)
+        mask = arr.nonzero_mask(np.array([2, 3, 4]))
+        np.testing.assert_array_equal(mask, [False, True, False])
+
+    def test_load_array_round_trip(self, rng):
+        arr = PackedCounterArray(300, 4)
+        values = rng.integers(0, 16, size=300)
+        arr.load_array(values)
+        np.testing.assert_array_equal(arr.to_array(), values)
+
+    def test_load_array_validation(self):
+        arr = PackedCounterArray(10, 4)
+        with pytest.raises(ConfigurationError):
+            arr.load_array(np.full(10, 16))
+        with pytest.raises(ConfigurationError):
+            arr.load_array(np.zeros(9))
+
+    def test_popcount_nonzero(self):
+        arr = PackedCounterArray(50, 2)
+        for i in (1, 10, 49):
+            arr.increment(i)
+        assert arr.popcount_nonzero() == 3
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 59), st.integers(0, 15)),
+        max_size=60,
+    )
+)
+def test_packed_matches_plain_array_property(ops):
+    """Packed storage behaves exactly like a plain array under writes."""
+    packed = PackedCounterArray(60, 4)
+    reference = np.zeros(60, dtype=int)
+    for index, value in ops:
+        packed.set(index, value)
+        reference[index] = value
+    np.testing.assert_array_equal(packed.to_array(), reference)

@@ -1,0 +1,179 @@
+"""Tests for the packet-processing applications (LPM + flow measurement)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.flow_measurement import FlowMonitor
+from repro.apps.lpm import BloomLPMTable
+from repro.errors import ConfigurationError
+from repro.filters.bloom import BloomFilter
+from repro.filters.cbf import CountingBloomFilter
+from repro.filters.mpcbf import MPCBF
+from repro.workloads.traces import make_trace_workload
+
+
+def mpcbf_factory(length: int) -> MPCBF:
+    return MPCBF(
+        256, 64, 3, n_max=8, seed=length, word_overflow="saturate"
+    )
+
+
+def cbf_factory(length: int) -> CountingBloomFilter:
+    return CountingBloomFilter(4096, 3, seed=length)
+
+
+class TestBloomLPM:
+    @pytest.fixture
+    def table(self) -> BloomLPMTable:
+        table = BloomLPMTable(mpcbf_factory)
+        # 10.0.0.0/8 -> A, 10.1.0.0/16 -> B, 10.1.2.0/24 -> C
+        table.announce(10, 8, "A")
+        table.announce((10 << 8) | 1, 16, "B")
+        table.announce((((10 << 8) | 1) << 8) | 2, 24, "C")
+        return table
+
+    def _addr(self, a, b, c, d) -> int:
+        return (a << 24) | (b << 16) | (c << 8) | d
+
+    def test_longest_match_wins(self, table):
+        assert table.lookup(self._addr(10, 1, 2, 3)).next_hop == "C"
+        assert table.lookup(self._addr(10, 1, 9, 9)).next_hop == "B"
+        assert table.lookup(self._addr(10, 9, 9, 9)).next_hop == "A"
+
+    def test_no_match(self, table):
+        result = table.lookup(self._addr(192, 168, 0, 1))
+        assert not result.matched
+        assert result.prefix_length == 0
+
+    def test_matched_length_reported(self, table):
+        assert table.lookup(self._addr(10, 1, 2, 3)).prefix_length == 24
+
+    def test_offchip_probes_near_one(self, table):
+        result = table.lookup(self._addr(10, 1, 2, 3))
+        # With tiny tables and honest filters: exactly one off-chip
+        # probe (the winning length), no false probes.
+        assert result.offchip_probes == 1
+        assert result.false_probes == 0
+
+    def test_withdraw_route(self, table):
+        table.withdraw((((10 << 8) | 1) << 8) | 2, 24)
+        assert table.lookup(self._addr(10, 1, 2, 3)).next_hop == "B"
+        assert table.num_routes == 2
+
+    def test_withdraw_missing_route(self, table):
+        with pytest.raises(KeyError):
+            table.withdraw(99, 8)
+
+    def test_update_next_hop(self, table):
+        table.announce(10, 8, "A2")
+        assert table.lookup(self._addr(10, 9, 9, 9)).next_hop == "A2"
+        # Re-announce must not double-insert into the filter.
+        table.withdraw(10, 8)
+        assert not table.lookup(self._addr(10, 9, 9, 9)).matched
+
+    def test_plain_bloom_withdraw_leaves_stale_bits(self):
+        table = BloomLPMTable(lambda length: BloomFilter(2048, 3, seed=length))
+        table.announce(10, 8, "A")
+        table.withdraw(10, 8)
+        result = table.lookup(self._addr(10, 0, 0, 1))
+        assert not result.matched
+        # The stale filter bit costs a wasted off-chip probe — the
+        # operational argument for *counting* filters in routers.
+        assert result.false_probes == 1
+
+    def test_counting_withdraw_is_clean(self):
+        table = BloomLPMTable(cbf_factory)
+        table.announce(10, 8, "A")
+        table.withdraw(10, 8)
+        result = table.lookup(self._addr(10, 0, 0, 1))
+        assert result.offchip_probes == 0
+
+    def test_bulk_routing_table(self):
+        rng = np.random.default_rng(7)
+        table = BloomLPMTable(cbf_factory)
+        routes = {}
+        for _ in range(500):
+            length = int(rng.integers(8, 25))
+            prefix = int(rng.integers(0, 1 << length))
+            routes[(prefix, length)] = f"hop-{len(routes)}"
+            table.announce(prefix, length, routes[(prefix, length)])
+        hits = 0
+        for (prefix, length), hop in list(routes.items())[:200]:
+            address = prefix << (32 - length)
+            result = table.lookup(address)
+            assert result.matched
+            # A longer random prefix may shadow; at minimum the match
+            # must be at least as long as the announced one.
+            assert result.prefix_length >= length
+            hits += result.next_hop == hop
+        assert hits > 150
+
+    def test_prefix_validation(self, table):
+        with pytest.raises(ConfigurationError):
+            table.announce(1 << 9, 8, "X")  # bits beyond length
+        with pytest.raises(ConfigurationError):
+            table.announce(1, 0, "X")
+        with pytest.raises(ConfigurationError):
+            table.lookup(1 << 40)
+
+    def test_onchip_accounting(self, table):
+        # A miss probes every length filter (longest-first, no match).
+        table.lookup(self._addr(192, 168, 0, 1))
+        stats = table.onchip_stats()
+        assert stats.query.operations == 3  # one per length filter
+        assert table.onchip_bits == sum(
+            f.total_bits for f in table.filters.values()
+        )
+
+
+class TestFlowMonitor:
+    @pytest.fixture
+    def trace(self):
+        return make_trace_workload(
+            n_unique=2000, n_observations=30_000, n_inserted=600, seed=3
+        )
+
+    def _monitor(self) -> FlowMonitor:
+        return FlowMonitor(
+            CountingBloomFilter(1 << 16, 3, counter_bits=16, seed=1),
+            CountingBloomFilter(1 << 14, 3, seed=2),
+        )
+
+    def test_run_produces_sane_report(self, trace):
+        report = self._monitor().run(trace)
+        assert report.packets_processed == trace.n_observations
+        assert 0 < report.packets_counted <= trace.n_observations
+        assert 0.0 <= report.membership_fpr < 0.05
+        assert report.mean_relative_count_error >= 0.0
+        assert len(report.heavy_hitters) == 10
+
+    def test_counts_never_undercount(self, trace):
+        monitor = self._monitor()
+        monitor.run(trace)
+        true_counts = np.bincount(trace.stream, minlength=trace.n_unique)
+        encoded = trace.encoded_flows()
+        for idx in np.nonzero(trace.members_mask)[0][:100]:
+            assert monitor.estimate(int(encoded[idx])) >= true_counts[idx]
+
+    def test_heavy_hitters_are_actually_heavy(self, trace):
+        monitor = self._monitor()
+        report = monitor.run(trace)
+        top_estimate = report.heavy_hitters[0][1]
+        true_counts = np.bincount(trace.stream, minlength=trace.n_unique)
+        monitored_max = true_counts[trace.members_mask].max()
+        assert top_estimate >= monitored_max
+
+    def test_requires_counting_filters(self):
+        with pytest.raises(ConfigurationError):
+            FlowMonitor(BloomFilter(64, 2), BloomFilter(64, 2))
+
+    def test_mpcbf_monitor(self, trace):
+        monitor = FlowMonitor(
+            MPCBF(2048, 256, 3, n_max=70, seed=1, word_overflow="saturate"),
+            MPCBF(2048, 64, 3, capacity=600, seed=2, word_overflow="saturate"),
+        )
+        report = monitor.run(trace)
+        assert report.membership_fpr < 0.05
+        assert report.packets_counted > 0

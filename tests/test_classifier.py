@@ -1,0 +1,159 @@
+"""Tests for the tuple-space packet classifier."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.classifier import ClassifyResult, Rule, TupleSpaceClassifier
+from repro.errors import ConfigurationError
+from repro.filters.cbf import CountingBloomFilter
+from repro.filters.mpcbf import MPCBF
+
+
+def cbf_factory(tuple_key):
+    return CountingBloomFilter(2048, 3, seed=hash(tuple_key) & 0xFFFF)
+
+
+def mpcbf_factory(tuple_key):
+    return MPCBF(
+        128, 64, 3, n_max=10, seed=hash(tuple_key) & 0xFFFF,
+        word_overflow="saturate",
+    )
+
+
+def _addr(a, b, c, d):
+    return (a << 24) | (b << 16) | (c << 8) | d
+
+
+@pytest.fixture
+def classifier():
+    clf = TupleSpaceClassifier(cbf_factory)
+    # (10.0.0.0/8 -> any): allow, priority 10
+    clf.add_rule(Rule(10, 8, 0, 0, "allow", priority=10))
+    # (10.1.0.0/16 -> 192.168.0.0/16): drop, priority 1
+    clf.add_rule(
+        Rule((10 << 8) | 1, 16, (192 << 8) | 168, 16, "drop", priority=1)
+    )
+    # (any -> 8.8.8.8/32): dns, priority 5
+    clf.add_rule(
+        Rule(0, 0, _addr(8, 8, 8, 8), 32, "dns", priority=5)
+    )
+    return clf
+
+
+class TestClassification:
+    def test_priority_wins(self, classifier):
+        result = classifier.classify(
+            _addr(10, 1, 2, 3), _addr(192, 168, 7, 7)
+        )
+        assert result.action == "drop"  # priority 1 beats "allow" (10)
+
+    def test_single_match(self, classifier):
+        result = classifier.classify(_addr(10, 9, 9, 9), _addr(1, 2, 3, 4))
+        assert result.action == "allow"
+
+    def test_wildcard_source(self, classifier):
+        result = classifier.classify(_addr(99, 0, 0, 1), _addr(8, 8, 8, 8))
+        assert result.action == "dns"
+
+    def test_no_match(self, classifier):
+        result = classifier.classify(_addr(99, 0, 0, 1), _addr(99, 0, 0, 2))
+        assert not result.matched
+        assert result.action is None
+
+    def test_tuples_counted(self, classifier):
+        assert classifier.num_tuples == 3
+        assert classifier.num_rules == 3
+        result = classifier.classify(_addr(10, 1, 1, 1), _addr(9, 9, 9, 9))
+        assert result.tuples_probed == 3
+
+    def test_filters_skip_exact_probes(self, classifier):
+        # A miss on every tuple should cost zero exact probes (modulo
+        # filter false positives, which these sizes make negligible).
+        classifier.exact_probes = 0
+        classifier.classify(_addr(77, 1, 1, 1), _addr(66, 2, 2, 2))
+        assert classifier.exact_probes == 0
+
+
+class TestRuleMaintenance:
+    def test_remove_rule(self, classifier):
+        rule = Rule(10, 8, 0, 0, "allow", priority=10)
+        classifier.remove_rule(rule)
+        result = classifier.classify(_addr(10, 9, 9, 9), _addr(1, 2, 3, 4))
+        assert not result.matched
+        # Counting filter cleaned up: no false probe either.
+        assert result.exact_probes == 0
+
+    def test_remove_missing_rule(self, classifier):
+        with pytest.raises(KeyError):
+            classifier.remove_rule(Rule(77, 8, 0, 0, "x"))
+
+    def test_duplicate_rule_rejected(self, classifier):
+        with pytest.raises(ConfigurationError):
+            classifier.add_rule(Rule(10, 8, 0, 0, "allow", priority=10))
+
+    def test_same_key_different_priority_allowed(self, classifier):
+        classifier.add_rule(Rule(10, 8, 0, 0, "log", priority=0))
+        result = classifier.classify(_addr(10, 9, 9, 9), _addr(1, 2, 3, 4))
+        assert result.action == "log"
+
+    def test_invalid_rule(self):
+        clf = TupleSpaceClassifier(cbf_factory)
+        with pytest.raises(ConfigurationError):
+            clf.add_rule(Rule(1 << 9, 8, 0, 0, "x"))
+        with pytest.raises(ConfigurationError):
+            clf.add_rule(Rule(0, 40, 0, 0, "x"))
+
+    def test_invalid_address(self, classifier):
+        with pytest.raises(ConfigurationError):
+            classifier.classify(1 << 33, 0)
+
+
+class TestAtScale:
+    def test_bulk_ruleset_with_mpcbf(self):
+        rng = np.random.default_rng(3)
+        clf = TupleSpaceClassifier(mpcbf_factory)
+        rules = []
+        for i in range(400):
+            src_len = int(rng.choice([8, 16, 24]))
+            dst_len = int(rng.choice([0, 16]))
+            rule = Rule(
+                int(rng.integers(0, 1 << src_len)),
+                src_len,
+                int(rng.integers(0, 1 << dst_len)) if dst_len else 0,
+                dst_len,
+                f"act-{i}",
+                priority=i,
+            )
+            try:
+                clf.add_rule(rule)
+            except ConfigurationError:
+                continue  # rare duplicate
+            rules.append(rule)
+        # Every installed rule must be findable by a covered packet.
+        hits = 0
+        for rule in rules[:150]:
+            src = (rule.src << (32 - rule.src_len)) if rule.src_len else 12345
+            dst = (rule.dst << (32 - rule.dst_len)) if rule.dst_len else 54321
+            result = clf.classify(src, dst)
+            assert result.matched
+            hits += result.rule.matches(src, dst)
+        assert hits == 150
+
+    def test_churned_ruleset_stays_clean(self):
+        clf = TupleSpaceClassifier(cbf_factory)
+        rules = [
+            Rule(i, 16, 0, 0, f"a{i}", priority=i) for i in range(200)
+        ]
+        for rule in rules:
+            clf.add_rule(rule)
+        for rule in rules[::2]:
+            clf.remove_rule(rule)
+        assert clf.num_rules == 100
+        # Removed rules: no match, and (counting filters) no false probes.
+        clf.exact_probes = clf.false_probes = 0
+        for rule in rules[::2][:50]:
+            result = clf.classify(rule.src << 16, 999)
+            assert not result.matched
+        assert clf.false_probes == 0

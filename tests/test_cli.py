@@ -1,0 +1,135 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.serialize import load_filter
+
+
+@pytest.fixture
+def keys_file(tmp_path):
+    path = tmp_path / "keys.txt"
+    path.write_text("\n".join(f"key-{i}" for i in range(500)) + "\n")
+    return str(path)
+
+
+@pytest.fixture
+def probes_file(tmp_path):
+    path = tmp_path / "probes.txt"
+    lines = [f"key-{i}" for i in range(100)] + [f"nope-{i}" for i in range(100)]
+    path.write_text("\n".join(lines) + "\n")
+    return str(path)
+
+
+class TestBuildAndQuery:
+    def test_build_creates_loadable_filter(self, tmp_path, keys_file, capsys):
+        out = str(tmp_path / "f.mpcbf")
+        rc = main(
+            ["build", "--variant", "MPCBF-1", "--keys", keys_file, "--out", out]
+        )
+        assert rc == 0
+        assert "built MPCBF-1" in capsys.readouterr().out
+        filt = load_filter((tmp_path / "f.mpcbf").read_bytes())
+        assert filt.query(b"key-0")
+        assert not filt.query(b"definitely-not-there")
+
+    def test_query_counts_positives(self, tmp_path, keys_file, probes_file, capsys):
+        out = str(tmp_path / "f.mpcbf")
+        main(["build", "--keys", keys_file, "--out", out])
+        capsys.readouterr()
+        rc = main(["query", "--filter", out, "--keys", probes_file])
+        assert rc == 0
+        text = capsys.readouterr().out
+        # 100 members + possible (rare) false positives out of 200.
+        count = int(text.split(":")[1].split("/")[0].strip())
+        assert 100 <= count <= 110
+
+    def test_query_verbose_lists_keys(self, tmp_path, keys_file, capsys):
+        out = str(tmp_path / "f.cbf")
+        main(["build", "--variant", "CBF", "--keys", keys_file, "--out", out])
+        capsys.readouterr()
+        main(["query", "--filter", out, "--keys", keys_file, "--verbose"])
+        text = capsys.readouterr().out
+        assert "key-0\tmaybe" in text
+
+    @pytest.mark.parametrize("variant", ["CBF", "PCBF-2", "MPCBF-2", "BF"])
+    def test_variants_round_trip(self, tmp_path, keys_file, variant, capsys):
+        out = str(tmp_path / "f.bin")
+        rc = main(
+            ["build", "--variant", variant, "--keys", keys_file, "--out", out]
+        )
+        assert rc == 0
+        rc = main(["query", "--filter", out, "--keys", keys_file])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "500/500" in text  # no false negatives
+
+    def test_missing_keys_file(self, tmp_path, capsys):
+        rc = main(
+            ["build", "--keys", str(tmp_path / "nope.txt"), "--out", "x"]
+        )
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestPlan:
+    def test_plan_outputs_design(self, capsys):
+        rc = main(["plan", "--n", "10000", "--target-fpr", "1e-3"])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "cheapest MPCBF" in text
+        assert "standard CBF" in text
+
+    def test_impossible_plan_fails_cleanly(self, capsys):
+        rc = main(["plan", "--n", "10000", "--target-fpr", "1e-30"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestWorkload:
+    def test_synthetic(self, tmp_path, capsys):
+        out = tmp_path / "w.txt"
+        rc = main(
+            [
+                "workload", "synthetic", "--members", "300",
+                "--out", str(out),
+            ]
+        )
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) == 300
+        assert len(set(lines)) == 300
+
+    def test_trace(self, tmp_path):
+        out = tmp_path / "t.txt"
+        rc = main(
+            ["workload", "trace", "--members", "200", "--out", str(out)]
+        )
+        assert rc == 0
+        lines = out.read_text().splitlines()
+        assert len(lines) >= 200
+        assert all("." in line for line in lines[:10])
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_bench_subcommand_listed(self):
+        args = build_parser().parse_args(["bench", "fig9"])
+        assert args.experiments == ["fig9"]
+
+
+class TestBenchSubcommand:
+    def test_bench_runs_named_experiment(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "ci")
+        rc = main(["bench", "fig9"])
+        assert rc == 0
+        assert "fig9" in capsys.readouterr().out
+
+    def test_bench_unknown_id(self, capsys):
+        rc = main(["bench", "fig99"])
+        assert rc == 2

@@ -1,0 +1,69 @@
+"""Tests for the exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+    ReproError,
+    UnsupportedOperationError,
+    WordOverflowError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            ConfigurationError,
+            CapacityError,
+            CounterOverflowError,
+            CounterUnderflowError,
+            WordOverflowError,
+            UnsupportedOperationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+
+    def test_configuration_is_value_error(self):
+        # So sloppy callers catching ValueError still see config bugs.
+        assert issubclass(ConfigurationError, ValueError)
+
+    def test_capacity_family(self):
+        for exc in (CounterOverflowError, CounterUnderflowError, WordOverflowError):
+            assert issubclass(exc, CapacityError)
+
+
+class TestMessages:
+    def test_counter_overflow_carries_context(self):
+        err = CounterOverflowError(17, 15)
+        assert err.index == 17
+        assert err.limit == 15
+        assert "17" in str(err) and "15" in str(err)
+
+    def test_counter_underflow(self):
+        err = CounterUnderflowError(3)
+        assert err.index == 3
+        assert "underflow" in str(err)
+
+    def test_word_overflow(self):
+        err = WordOverflowError(9, 24)
+        assert err.word_index == 9
+        assert err.capacity == 24
+        assert "word 9" in str(err)
+
+    def test_single_except_catches_everything(self):
+        for exc in (
+            ConfigurationError("x"),
+            CounterOverflowError(0, 1),
+            WordOverflowError(0, 1),
+        ):
+            try:
+                raise exc
+            except ReproError:
+                pass

@@ -1,0 +1,171 @@
+"""Cross-module integration tests: the paper's pipelines end to end."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro
+from repro import build_suite
+from repro.analysis import cbf_fpr, mpcbf_fpr
+from repro.filters import CountingBloomFilter, MPCBF
+from repro.mapreduce import LocalMapReduceEngine, reduce_side_join
+from repro.workloads import (
+    make_patent_dataset,
+    make_synthetic_workload,
+    make_trace_workload,
+    run_membership_workload,
+    run_suite,
+)
+
+
+class TestPackageSurface:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None
+
+    def test_errors_hierarchy(self):
+        assert issubclass(repro.CounterOverflowError, repro.CapacityError)
+        assert issubclass(repro.WordOverflowError, repro.CapacityError)
+        assert issubclass(repro.CapacityError, repro.ReproError)
+        assert issubclass(repro.ConfigurationError, ValueError)
+
+
+class TestSection4Pipeline:
+    """The full §IV synthetic experiment, one small instance."""
+
+    def test_fig7_style_run_agrees_with_analysis(self):
+        n, memory, k = 4000, 240_000, 3
+        workload = make_synthetic_workload(
+            n_members=n, n_queries=60_000, seed=5
+        )
+        suite = build_suite(
+            ["CBF", "PCBF-1", "MPCBF-1", "MPCBF-2"], memory, k,
+            capacity=n, seed=5,
+        )
+        results = run_suite(suite, workload)
+        # No variant ever returns a false negative (runner enforces it).
+        for res in results.values():
+            assert res.false_negatives == 0
+        # Measured FPRs land near their closed forms.
+        assert results["CBF"].false_positive_rate == pytest.approx(
+            cbf_fpr(n, memory, k), rel=0.4
+        )
+        assert results["MPCBF-1"].false_positive_rate == pytest.approx(
+            mpcbf_fpr(n, memory, 64, k), rel=0.5, abs=2e-4
+        )
+        # And the headline ordering holds.
+        assert (
+            results["MPCBF-2"].false_positive_rate
+            <= results["CBF"].false_positive_rate
+        )
+        # Access accounting: MPCBF-1 must do exactly one access/query.
+        assert results["MPCBF-1"].mean_query_accesses == pytest.approx(1.0)
+        assert results["CBF"].mean_query_accesses > 1.5
+
+    def test_churn_preserves_correctness_across_suite(self):
+        workload = make_synthetic_workload(
+            n_members=1500, n_queries=10_000, churn_fraction=0.5, seed=9
+        )
+        suite = build_suite(
+            ["CBF", "PCBF-2", "MPCBF-1", "MPCBF-2"], 150_000, 3,
+            capacity=1500, seed=9,
+        )
+        for res in run_suite(suite, workload).values():
+            assert res.false_negatives == 0
+
+
+class TestSection4DTracePipeline:
+    def test_trace_membership(self):
+        trace = make_trace_workload(
+            n_unique=3000, n_observations=40_000, n_inserted=1000, seed=2
+        )
+        filt = MPCBF(4096, 64, 3, capacity=1000, seed=2, word_overflow="saturate")
+        filt.insert_many(trace.member_keys())
+        answers = filt.query_many(trace.query_keys())
+        truth = trace.query_is_member()
+        assert answers[truth].all()
+        assert answers[~truth].mean() < 0.05
+        filt.check_invariants()
+
+
+class TestSection5Pipeline:
+    def test_filtered_join_end_to_end(self):
+        dataset = make_patent_dataset(
+            n_keys=1000, n_citations=20_000, hit_fraction=0.35, seed=4
+        )
+        engine = LocalMapReduceEngine(num_map_tasks=3, num_reduce_tasks=2)
+        plain = reduce_side_join(dataset, None, engine=engine)
+        cbf = CountingBloomFilter(2500, 3, seed=4)
+        filtered = reduce_side_join(dataset, cbf, engine=engine)
+        assert filtered.joined_rows == plain.joined_rows
+        assert filtered.map_output_records < plain.map_output_records
+        assert filtered.modelled_seconds < plain.modelled_seconds
+
+    def test_join_results_identical_across_filters(self):
+        dataset = make_patent_dataset(
+            n_keys=500, n_citations=8_000, hit_fraction=0.3, seed=6
+        )
+        engine = LocalMapReduceEngine()
+        outputs = []
+        for filt in (
+            None,
+            CountingBloomFilter(1250, 3, seed=6),
+            MPCBF(78, 64, 3, n_max=7, seed=6, word_overflow="saturate"),
+        ):
+            rep = reduce_side_join(dataset, filt, engine=engine)
+            outputs.append(sorted(rep.result.output))
+        assert outputs[0] == outputs[1] == outputs[2]
+
+
+class TestSharedEncoderConsistency:
+    def test_same_keys_same_answers_across_key_types(self):
+        # A str key and its utf-8 bytes must be the same element.
+        filt = MPCBF(512, 64, 3, capacity=100, seed=1)
+        filt.insert("key-1")
+        assert filt.query(b"key-1")
+        filt.delete(b"key-1")
+        assert not filt.query("key-1")
+
+    def test_bulk_encoded_and_raw_agree(self):
+        filt = CountingBloomFilter(4096, 3, seed=1)
+        keys = [f"x{i}" for i in range(100)]
+        encoded = filt.encoder.encode_many(keys)
+        filt.insert_many(keys)
+        assert filt.query_many(encoded).all()
+
+
+class TestStatsConsistency:
+    def test_bulk_and_scalar_record_same_totals(self):
+        a = CountingBloomFilter(4096, 3, seed=1)
+        b = CountingBloomFilter(4096, 3, seed=1)
+        keys = [f"k{i}" for i in range(50)]
+        a.insert_many(keys)
+        for key in keys:
+            b.insert(key)
+        assert a.stats.insert.operations == b.stats.insert.operations
+        assert a.stats.insert.word_accesses == b.stats.insert.word_accesses
+        assert a.stats.insert.hash_bits == pytest.approx(
+            b.stats.insert.hash_bits
+        )
+
+    def test_mpcbf_query_stats_bulk_scalar_agree(self):
+        a = MPCBF(512, 64, 3, capacity=200, seed=1)
+        b = MPCBF(512, 64, 3, capacity=200, seed=1)
+        keys = [f"k{i}" for i in range(200)]
+        probes = np.asarray(
+            a.encoder.encode_many([f"p{i}" for i in range(500)])
+        )
+        a.insert_many(keys)
+        b.insert_many(keys)
+        a.reset_stats()
+        b.reset_stats()
+        a.query_many(probes)
+        for p in probes:
+            b.query_encoded(int(p))
+        assert a.stats.query.word_accesses == pytest.approx(
+            b.stats.query.word_accesses
+        )

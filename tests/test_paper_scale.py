@@ -1,0 +1,66 @@
+"""Paper-scale regression checks (opt-in: ``REPRO_SCALE=paper``).
+
+These reproduce the paper's headline numbers at its exact dataset
+sizes; they take tens of minutes, so CI skips them unless the paper
+scale is explicitly requested.  Keeping them as *tests* (not just
+benchmarks) pins the quantitative claims in EXPERIMENTS.md to
+assertions.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.analysis import cbf_fpr, mpcbf_fpr_average, cbf_optimal_k
+
+paper_scale = pytest.mark.skipif(
+    os.environ.get("REPRO_SCALE", "ci").lower() != "paper",
+    reason="paper-scale run; set REPRO_SCALE=paper to enable",
+)
+
+
+class TestAnalyticHeadlinesAtPaperScale:
+    """The closed forms at n=100K run instantly — always checked."""
+
+    def test_fig5_order_of_magnitude(self):
+        n = 100_000
+        for memory in (4_000_000, 6_000_000, 8_000_000):
+            ratio = cbf_fpr(n, memory, 3) / mpcbf_fpr_average(n, memory, 64, 3)
+            assert ratio > 8, f"M={memory}: only {ratio:.1f}x"
+
+    def test_fig9_optimal_k_range(self):
+        assert 5 <= cbf_optimal_k(4_000_000, 100_000) <= 8
+        assert 11 <= cbf_optimal_k(8_000_000, 100_000) <= 15
+
+
+@paper_scale
+class TestEmpiricalHeadlinesAtPaperScale:
+    def test_fig7_k3_orderings(self):
+        from repro.bench.experiments import fig07
+        from repro.bench.scale import current_scale
+
+        report = fig07(current_scale(), ks=(3,))
+        for row in report.rows:
+            assert row["PCBF-1"] > row["CBF"]
+            assert row["MPCBF-2"] < row["CBF"] / 5  # paper: ~13x
+
+    def test_table3_access_counts(self):
+        from repro.bench.experiments import table3
+        from repro.bench.scale import current_scale
+
+        report = table3(current_scale())
+        rows = {r["structure"]: r for r in report.rows}
+        assert rows["MPCBF-1"]["query_accesses"] == pytest.approx(1.0, abs=0.05)
+        assert 1.9 <= rows["CBF"]["query_accesses"] <= 3.0
+        assert 1.4 <= rows["MPCBF-2"]["query_accesses"] <= 1.9
+
+    def test_table4_join_reductions(self):
+        from repro.bench.experiments import table4
+        from repro.bench.scale import current_scale
+
+        report = table4(current_scale())
+        rows = {r["structure"]: r for r in report.rows}
+        assert 0.25 <= rows["CBF"]["fpr"] <= 0.45  # paper: 35.7%
+        assert rows["MPCBF-1"]["fpr"] < rows["CBF"]["fpr"] / 2

@@ -1,0 +1,193 @@
+"""Tests for filter serialisation round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filters import (
+    BloomFilter,
+    CountingBloomFilter,
+    DLeftCBF,
+    MPCBF,
+    PartitionedCBF,
+    VariableIncrementCBF,
+)
+from repro.serialize import dump_filter, load_filter, serialized_size
+
+
+def _fill(filt, n=300):
+    keys = [f"ser-{i}" for i in range(n)]
+    filt.insert_many(keys)
+    return keys
+
+
+def _assert_equivalent(original, restored, keys):
+    probes = [f"probe-{i}" for i in range(2000)]
+    np.testing.assert_array_equal(
+        original.query_many(keys), restored.query_many(keys)
+    )
+    np.testing.assert_array_equal(
+        original.query_many(probes), restored.query_many(probes)
+    )
+
+
+class TestRoundTrips:
+    def test_bloom(self):
+        bf = BloomFilter(4096, 3, seed=7)
+        keys = _fill(bf)
+        restored = load_filter(dump_filter(bf))
+        _assert_equivalent(bf, restored, keys)
+
+    def test_cbf(self):
+        cbf = CountingBloomFilter(4096, 3, seed=7)
+        keys = _fill(cbf)
+        restored = load_filter(dump_filter(cbf))
+        _assert_equivalent(cbf, restored, keys)
+        # Counting state survives too.
+        assert restored.count(keys[0]) == cbf.count(keys[0])
+        restored.delete(keys[0])
+        assert not restored.query(keys[0])
+
+    def test_pcbf(self):
+        pcbf = PartitionedCBF(128, 64, 3, g=2, seed=7)
+        keys = _fill(pcbf)
+        restored = load_filter(dump_filter(pcbf))
+        _assert_equivalent(pcbf, restored, keys)
+        np.testing.assert_array_equal(restored.counters, pcbf.counters)
+
+    def test_vicbf(self):
+        vi = VariableIncrementCBF(4096, 3, seed=7)
+        keys = _fill(vi)
+        restored = load_filter(dump_filter(vi))
+        _assert_equivalent(vi, restored, keys)
+
+    def test_mpcbf(self):
+        mp = MPCBF(256, 64, 3, capacity=300, seed=7)
+        keys = _fill(mp)
+        restored = load_filter(dump_filter(mp))
+        _assert_equivalent(mp, restored, keys)
+        restored.check_invariants()
+        # Hierarchy state survives: deletions still work.
+        restored.delete(keys[0])
+        assert not restored.query(keys[0])
+
+    def test_mpcbf_with_saturated_words(self):
+        mp = MPCBF(1, 64, 3, n_max=2, word_overflow="saturate", seed=1)
+        keys = [f"s{i}" for i in range(8)]
+        for key in keys:
+            mp.insert(key)
+        assert mp.overflow_events > 0
+        restored = load_filter(dump_filter(mp))
+        restored.check_invariants()
+        assert all(restored.query(k) for k in keys)
+
+    def test_byte_identical_reserialisation(self):
+        cbf = CountingBloomFilter(1024, 3, seed=2)
+        _fill(cbf, 50)
+        blob = dump_filter(cbf)
+        assert dump_filter(load_filter(blob)) == blob
+
+
+class TestFormat:
+    def test_magic_check(self):
+        with pytest.raises(ConfigurationError):
+            load_filter(b"NOPE" + b"\x00" * 32)
+
+    def test_version_check(self):
+        blob = bytearray(dump_filter(BloomFilter(64, 2)))
+        blob[4] = 99
+        with pytest.raises(ConfigurationError):
+            load_filter(bytes(blob))
+
+    def test_unsupported_type(self):
+        with pytest.raises(ConfigurationError):
+            dump_filter(DLeftCBF(16))
+
+    def test_serialized_size_tracks_state(self):
+        small = BloomFilter(512, 3)
+        large = BloomFilter(1 << 16, 3)
+        assert serialized_size(large) > serialized_size(small)
+
+    def test_empty_filter_round_trip(self):
+        mp = MPCBF(32, 64, 3, n_max=5, seed=0)
+        restored = load_filter(dump_filter(mp))
+        assert not restored.query("anything")
+        restored.check_invariants()
+
+
+class TestSerializationProperties:
+    """Hypothesis: round-trips preserve observable state under random ops."""
+
+    from hypothesis import given, settings, strategies as st
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 30)),
+            max_size=60,
+        ),
+        st.sampled_from(["CBF", "PCBF", "MPCBF", "VI-CBF"]),
+    )
+    def test_round_trip_after_random_ops(self, ops, variant):
+        from collections import Counter
+
+        if variant == "CBF":
+            filt = CountingBloomFilter(2048, 3, seed=1)
+        elif variant == "PCBF":
+            filt = PartitionedCBF(64, 64, 3, seed=1)
+        elif variant == "VI-CBF":
+            filt = VariableIncrementCBF(2048, 3, seed=1)
+        else:
+            filt = MPCBF(32, 256, 3, n_max=60, seed=1)
+        live: Counter = Counter()
+        for op, key in ops:
+            name = f"k{key}"
+            if op == "delete":
+                if live[name] == 0:
+                    continue
+                filt.delete(name)
+                live[name] -= 1
+            elif live[name] < 4:
+                filt.insert(name)
+                live[name] += 1
+        restored = load_filter(dump_filter(filt))
+        probes = [f"k{i}" for i in range(40)] + [f"p{i}" for i in range(40)]
+        np.testing.assert_array_equal(
+            filt.query_many(probes), restored.query_many(probes)
+        )
+        for name, count in live.items():
+            if count:
+                assert restored.count(name) >= count
+
+
+class TestStorageLayoutRoundTrips:
+    def test_packed_cbf_round_trip(self):
+        packed = CountingBloomFilter(2048, 3, seed=1, storage="packed")
+        for key in ("a", "a", "b"):
+            packed.insert(key)
+        restored = load_filter(dump_filter(packed))
+        assert restored.storage == "packed"
+        assert restored.count("a") == 2
+        restored.delete("b")
+        assert not restored.query("b")
+
+    def test_fast_and_packed_serialise_equivalent_state(self, small_keys):
+        fast = CountingBloomFilter(2048, 3, seed=1)
+        packed = CountingBloomFilter(2048, 3, seed=1, storage="packed")
+        fast.insert_many(small_keys)
+        packed.insert_many(small_keys)
+        a = load_filter(dump_filter(fast))
+        b = load_filter(dump_filter(packed))
+        np.testing.assert_array_equal(a.counters, b.counters)
+
+    def test_basic_layout_mpcbf_round_trip(self):
+        basic = MPCBF(64, 64, 3, first_level_bits=32, seed=2)
+        basic.insert("x")
+        restored = load_filter(dump_filter(basic))
+        assert restored.first_level_bits == 32
+        assert restored.query("x")
+        restored.delete("x")
+        assert not restored.query("x")
+        restored.check_invariants()

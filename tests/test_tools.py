@@ -1,0 +1,114 @@
+"""Tests for the repo tooling (API doc generator)."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "tools"))
+
+import gen_api_docs  # noqa: E402
+
+
+class TestGenApiDocs:
+    def test_generates_every_module_section(self):
+        text = gen_api_docs.generate()
+        for module in gen_api_docs.MODULES:
+            assert f"## `{module}`" in text, module
+
+    def test_core_classes_documented(self):
+        text = gen_api_docs.generate()
+        for cls in ("MPCBF", "HCBFWord", "CountingBloomFilter", "ShardedFilterBank"):
+            assert f"#### class `{cls}`" in text, cls
+
+    def test_functions_carry_signatures(self):
+        # Annotations render as strings (PEP 563 future import).
+        text = gen_api_docs.generate()
+        assert "#### `bf_fpr(n: 'int', m: 'int', k: 'int', *, exact: 'bool' = True)" in text
+
+    def test_no_private_members(self):
+        text = gen_api_docs.generate()
+        assert "`._" not in text
+
+    def test_committed_file_is_current(self):
+        committed = Path("docs/api.md")
+        assert committed.exists(), "run tools/gen_api_docs.py"
+        assert committed.read_text() == gen_api_docs.generate(), (
+            "docs/api.md is stale; rerun tools/gen_api_docs.py"
+        )
+
+
+import compare_results  # noqa: E402
+
+
+class TestCompareResults:
+    def _report(self, **overrides):
+        base = {
+            "experiment_id": "figX",
+            "title": "T",
+            "rows": [{"a": 1.0, "name": "CBF"}, {"a": 2.0, "name": "MPCBF"}],
+            "paper": "",
+            "notes": [],
+            "columns": None,
+        }
+        base.update(overrides)
+        return base
+
+    def test_identical_reports_no_drift(self):
+        a = self._report()
+        assert compare_results.compare_reports(a, a) == []
+
+    def test_numeric_drift_flagged(self):
+        a = self._report()
+        b = self._report(rows=[{"a": 1.0, "name": "CBF"}, {"a": 9.0, "name": "MPCBF"}])
+        drifts = compare_results.compare_reports(a, b, rel=0.5)
+        assert len(drifts) == 1
+        assert "figX[1].a" in drifts[0]
+
+    def test_small_drift_within_tolerance(self):
+        a = self._report()
+        b = self._report(rows=[{"a": 1.2, "name": "CBF"}, {"a": 2.0, "name": "MPCBF"}])
+        assert compare_results.compare_reports(a, b, rel=0.5) == []
+
+    def test_text_mismatch_flagged(self):
+        a = self._report()
+        b = self._report(rows=[{"a": 1.0, "name": "PCBF"}, {"a": 2.0, "name": "MPCBF"}])
+        drifts = compare_results.compare_reports(a, b)
+        assert any("name" in d for d in drifts)
+
+    def test_row_count_change(self):
+        a = self._report()
+        b = self._report(rows=[{"a": 1.0}])
+        assert "row count" in compare_results.compare_reports(a, b)[0]
+
+    def test_directory_comparison(self, tmp_path):
+        import json
+
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        old.mkdir()
+        new.mkdir()
+        (old / "figX.json").write_text(json.dumps(self._report()))
+        (new / "figX.json").write_text(json.dumps(self._report()))
+        (new / "figY.json").write_text(
+            json.dumps(self._report(experiment_id="figY"))
+        )
+        drifts = compare_results.compare_dirs(old, new)
+        assert drifts == ["figY: new experiment (no baseline)"]
+
+    def test_main_exit_codes(self, tmp_path, capsys):
+        import json
+
+        old = tmp_path / "old"
+        new = tmp_path / "new"
+        old.mkdir()
+        new.mkdir()
+        (old / "figX.json").write_text(json.dumps(self._report()))
+        (new / "figX.json").write_text(json.dumps(self._report()))
+        assert compare_results.main([str(old), str(new)]) == 0
+        (new / "figX.json").write_text(
+            json.dumps(
+                self._report(rows=[{"a": 50.0, "name": "CBF"}, {"a": 2.0, "name": "MPCBF"}])
+            )
+        )
+        assert compare_results.main([str(old), str(new)]) == 1

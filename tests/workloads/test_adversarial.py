@@ -1,0 +1,110 @@
+"""Failure-injection tests driven by adversarial workloads."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WordOverflowError
+from repro.filters.mpcbf import MPCBF
+from repro.hashing.families import PartitionedHashFamily
+from repro.workloads.adversarial import (
+    hot_key_stream,
+    mine_colliding_keys,
+    mine_single_word_flood,
+)
+
+
+class TestMineCollidingKeys:
+    def test_all_keys_hit_target_word(self):
+        fam = PartitionedHashFamily(64, 40, 3, seed=5)
+        keys = mine_colliding_keys(fam, 7, 20)
+        assert len(keys) == 20
+        assert len(np.unique(keys)) == 20
+        for key in keys:
+            assert fam.word_indices(int(key))[0] == 7
+
+    def test_target_out_of_range(self):
+        fam = PartitionedHashFamily(64, 40, 3, seed=5)
+        with pytest.raises(ConfigurationError):
+            mine_colliding_keys(fam, 64, 5)
+
+    def test_mining_limit(self):
+        fam = PartitionedHashFamily(4, 40, 3, seed=5)
+        with pytest.raises(ConfigurationError):
+            mine_colliding_keys(fam, 0, 10**9, limit=10_000)
+
+
+class TestSingleWordFlood:
+    def test_raise_policy_detects_attack(self):
+        filt = MPCBF(64, 64, 3, n_max=6, seed=2, word_overflow="raise")
+        attack = mine_single_word_flood(filt)
+        with pytest.raises(WordOverflowError):
+            for key in attack:
+                filt.insert_encoded(int(key))
+        # The filter survives the failed insert in a consistent state.
+        filt.check_invariants()
+
+    def test_saturate_policy_absorbs_attack(self):
+        filt = MPCBF(64, 64, 3, n_max=6, seed=2, word_overflow="saturate")
+        attack = mine_single_word_flood(filt, margin=10)
+        for key in attack:
+            filt.insert_encoded(int(key))
+        filt.check_invariants()
+        # Membership semantics intact for every attack key...
+        assert all(filt.query_encoded(int(k)) for k in attack)
+        # ...and the attack is visible in the stats.
+        assert filt.overflow_events > 0
+        assert len(filt._saturated) >= 1
+
+    def test_attack_does_not_corrupt_other_words(self):
+        filt = MPCBF(64, 64, 3, n_max=6, seed=2, word_overflow="saturate")
+        victims = [f"legit-{i}" for i in range(100)]
+        filt.insert_many(victims)
+        for key in mine_single_word_flood(filt, margin=10):
+            filt.insert_encoded(int(key))
+        assert all(filt.query(v) for v in victims)
+        # Deleting legitimate keys still works outside the attacked word.
+        deletable = [
+            v
+            for v in victims
+            if all(
+                w not in filt._saturated
+                for w in filt.family.word_indices(filt.encoder.encode(v))
+            )
+        ]
+        assert deletable, "expected most victims outside the one attacked word"
+        for v in deletable:
+            filt.delete(v)
+        filt.check_invariants()
+
+
+class TestHotKeyStream:
+    def test_composition(self):
+        stream = hot_key_stream(100, 10_000, 0.4, seed=1)
+        assert len(stream) == 10_000
+        values, counts = np.unique(stream, return_counts=True)
+        assert counts.max() == 4000  # the hot key
+
+    def test_hot_stream_counter_depth(self):
+        # A very hot key drives one HCBF counter deep; the structure
+        # must track the exact multiplicity and unwind it.
+        filt = MPCBF(8, 256, 3, n_max=70, seed=3)
+        stream = hot_key_stream(10, 60, 0.5, seed=2)
+        for key in stream:
+            filt.insert_encoded(int(key))
+        filt.check_invariants()
+        hot = int(np.unique(stream, return_counts=True)[0][
+            np.argmax(np.unique(stream, return_counts=True)[1])
+        ])
+        depth = filt.count_encoded(hot)
+        assert depth >= 30  # at least the hot multiplicity
+        for _ in range(30):
+            filt.delete_encoded(hot)
+        filt.check_invariants()
+
+    def test_invalid_params(self):
+        with pytest.raises(ConfigurationError):
+            hot_key_stream(10, 100, 1.5)
+        with pytest.raises(ConfigurationError):
+            hot_key_stream(0, 100, 0.5)

@@ -1,0 +1,89 @@
+"""Tests for the long-run churn driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filters.cbf import CountingBloomFilter
+from repro.filters.mpcbf import MPCBF
+from repro.workloads.churn import ChurnResult, first_saturation_epoch, run_churn
+
+
+class TestRunChurn:
+    def test_cbf_stable_under_churn(self):
+        cbf = CountingBloomFilter(1 << 15, 3, seed=1)
+        result = run_churn(
+            cbf, population=2000, epochs=10, probe_count=5000, seed=1
+        )
+        assert len(result.fpr_by_epoch) == 10
+        # Constant population → the FPR stays in one band (no rot).
+        assert max(result.fpr_by_epoch) < 0.02
+        first, last = result.fpr_by_epoch[0], result.fpr_by_epoch[-1]
+        assert last < first + 0.01
+
+    def test_mpcbf_with_safe_nmax_rarely_saturates_early(self):
+        filt = MPCBF(
+            2048, 64, 3, capacity=2000, seed=3, word_overflow="saturate"
+        )
+        result = run_churn(
+            filt, population=2000, epochs=5, probe_count=2000, seed=3
+        )
+        # A handful of saturated words is tolerable; wholesale
+        # saturation would mean the sizing is broken.
+        assert max(result.saturated_words_by_epoch) <= 5
+
+    def test_tight_nmax_saturates_under_sustained_churn(self):
+        # Average-case sizing + long churn: the first-passage effect
+        # must show up (this is the documented deployment caveat).
+        filt = MPCBF(128, 64, 3, n_max=4, seed=2, word_overflow="saturate")
+        result = run_churn(
+            filt, population=300, epochs=30, probe_count=2000, seed=2
+        )
+        assert result.ever_saturated
+        epoch = first_saturation_epoch(result)
+        assert epoch is not None and epoch < 30
+
+    def test_saturation_counts_monotone(self):
+        # Words never un-saturate: the per-epoch counts must be
+        # non-decreasing.
+        filt = MPCBF(128, 64, 3, n_max=4, seed=5, word_overflow="saturate")
+        result = run_churn(
+            filt, population=300, epochs=15, probe_count=1000, seed=5
+        )
+        counts = result.saturated_words_by_epoch
+        assert all(a <= b for a, b in zip(counts, counts[1:]))
+
+    def test_no_false_negatives_throughout(self):
+        # The driver deletes only live keys, so underflow must never
+        # trigger — reaching the end without exceptions is the check;
+        # additionally skipped deletes only occur once saturated.
+        filt = MPCBF(
+            1024, 64, 3, capacity=1000, seed=7, word_overflow="saturate"
+        )
+        result = run_churn(
+            filt, population=1000, epochs=8, probe_count=1000, seed=7
+        )
+        if not result.ever_saturated:
+            assert result.skipped_deletes == 0
+
+    def test_invalid_churn_fraction(self):
+        cbf = CountingBloomFilter(1024, 3)
+        with pytest.raises(ConfigurationError):
+            run_churn(cbf, population=100, churn_fraction=0.0)
+
+
+class TestFirstSaturationEpoch:
+    def test_none_when_clean(self):
+        result = ChurnResult(
+            epochs=3, population=10, churn_per_epoch=2,
+            saturated_words_by_epoch=[0, 0, 0],
+        )
+        assert first_saturation_epoch(result) is None
+
+    def test_finds_first(self):
+        result = ChurnResult(
+            epochs=3, population=10, churn_per_epoch=2,
+            saturated_words_by_epoch=[0, 2, 3],
+        )
+        assert first_saturation_epoch(result) == 1

@@ -1,0 +1,68 @@
+"""Tests for the NBER-like patent citation generator (§V inputs)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.patents import PatentDataset, make_patent_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset() -> PatentDataset:
+    return make_patent_dataset(
+        n_keys=2000, n_citations=40_000, hit_fraction=0.3, seed=2
+    )
+
+
+class TestPatentDataset:
+    def test_shapes(self, dataset):
+        assert dataset.patents.shape == (2000, 2)
+        assert dataset.citations.shape == (40_000, 2)
+
+    def test_join_keys_unique(self, dataset):
+        assert len(np.unique(dataset.join_keys)) == 2000
+
+    def test_hit_ratio_matches_request(self, dataset):
+        assert dataset.hit_ratio == pytest.approx(0.3, abs=0.01)
+
+    def test_citation_hits_ground_truth(self, dataset):
+        hits = dataset.citation_hits()
+        keys = set(dataset.join_keys.tolist())
+        for i in range(0, 1000, 97):
+            assert hits[i] == (int(dataset.citations[i, 1]) in keys)
+
+    def test_years_plausible(self, dataset):
+        years = dataset.patents[:, 1]
+        assert years.min() >= 1963
+        assert years.max() <= 1999
+
+    def test_deterministic(self):
+        a = make_patent_dataset(n_keys=100, n_citations=1000, seed=5)
+        b = make_patent_dataset(n_keys=100, n_citations=1000, seed=5)
+        np.testing.assert_array_equal(a.citations, b.citations)
+
+    def test_zero_hit_fraction(self):
+        d = make_patent_dataset(
+            n_keys=100, n_citations=1000, hit_fraction=0.0, seed=1
+        )
+        assert d.hit_ratio == 0.0
+
+    def test_full_hit_fraction(self):
+        d = make_patent_dataset(
+            n_keys=100, n_citations=1000, hit_fraction=1.0, seed=1
+        )
+        assert d.hit_ratio == 1.0
+
+    def test_invalid(self):
+        with pytest.raises(ConfigurationError):
+            make_patent_dataset(n_keys=100, universe=150)
+        with pytest.raises(ConfigurationError):
+            make_patent_dataset(hit_fraction=1.5)
+
+    def test_paper_scale_constants(self):
+        from repro.workloads.patents import PAPER_CITATIONS, PAPER_JOIN_KEYS
+
+        assert PAPER_CITATIONS == 16_522_438
+        assert PAPER_JOIN_KEYS == 71_661

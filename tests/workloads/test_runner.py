@@ -1,0 +1,86 @@
+"""Tests for the workload runner (the §IV measurement protocol)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filters import BloomFilter, CountingBloomFilter, build_suite
+from repro.workloads.runner import (
+    measure_fpr,
+    run_membership_workload,
+    run_suite,
+)
+from repro.workloads.synthetic import make_synthetic_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return make_synthetic_workload(n_members=2000, n_queries=20_000, seed=4)
+
+
+class TestMeasureFpr:
+    def test_empty_filter_zero_fpr(self, negative_keys):
+        assert measure_fpr(BloomFilter(1 << 16, 3), negative_keys) == 0.0
+
+    def test_no_negatives(self):
+        assert measure_fpr(BloomFilter(64, 2), np.zeros(0, np.uint64)) == 0.0
+
+    def test_loaded_filter(self, small_keys, negative_keys):
+        bf = BloomFilter(512, 3)  # deliberately tight
+        bf.insert_many(small_keys)
+        assert measure_fpr(bf, negative_keys) > 0.0
+
+
+class TestRunMembershipWorkload:
+    def test_counting_filter_full_protocol(self, workload):
+        cbf = CountingBloomFilter(40_000, 3, seed=1)
+        res = run_membership_workload(cbf, workload)
+        assert res.false_negatives == 0
+        assert 0.0 <= res.false_positive_rate < 0.2
+        assert res.n_queries == 20_000
+        assert res.mean_query_accesses > 0
+        assert res.mean_update_accesses == pytest.approx(3.0)
+        assert res.query_seconds > 0
+
+    def test_plain_bloom_skips_churn(self, workload):
+        bf = BloomFilter(160_000, 3, seed=1)
+        res = run_membership_workload(bf, workload)
+        # Without deletion the filter keeps churn-out members; ground
+        # truth is adjusted, so no false negatives are reported.
+        assert res.false_negatives == 0
+        assert res.mean_update_bits > 0  # inserts counted as updates
+
+    def test_row_keys(self, workload):
+        cbf = CountingBloomFilter(40_000, 3)
+        row = run_membership_workload(cbf, workload).row()
+        assert {"filter", "fpr", "q_accesses", "u_bits"} <= set(row)
+
+    def test_stats_reset_between_phases(self, workload):
+        cbf = CountingBloomFilter(40_000, 3)
+        res = run_membership_workload(cbf, workload)
+        # Query stats must reflect only the query phase.
+        assert cbf.stats.query.operations == res.n_queries
+        assert cbf.stats.insert.operations == 0
+
+
+class TestRunSuite:
+    def test_all_variants(self, workload):
+        suite = build_suite(
+            ["CBF", "PCBF-1", "MPCBF-1"], 200_000, 3, capacity=2000
+        )
+        results = run_suite(suite, workload)
+        assert set(results) == {"CBF", "PCBF-1", "MPCBF-1"}
+        for name, res in results.items():
+            assert res.name == name
+            assert res.false_negatives == 0
+
+    def test_mpcbf_beats_pcbf_on_fpr(self, workload):
+        suite = build_suite(
+            ["PCBF-1", "MPCBF-1"], 120_000, 3, capacity=2000, seed=2
+        )
+        results = run_suite(suite, workload)
+        assert (
+            results["MPCBF-1"].false_positive_rate
+            < results["PCBF-1"].false_positive_rate
+        )

@@ -1,0 +1,109 @@
+"""Tests for the synthetic string workload generator (§IV.A)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hashing.encoders import encode_str_array
+from repro.workloads.synthetic import (
+    MembershipWorkload,
+    make_synthetic_workload,
+    random_strings,
+)
+
+
+class TestRandomStrings:
+    def test_count_and_uniqueness(self, rng):
+        strings = random_strings(5000, rng=rng)
+        assert len(strings) == 5000
+        assert len(np.unique(strings)) == 5000
+
+    def test_alphabet(self, rng):
+        strings = random_strings(500, rng=rng)
+        allowed = set(b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ")
+        for s in strings[:100]:
+            assert set(bytes(s)) <= allowed
+            assert len(bytes(s)) == 5
+
+    def test_custom_length(self, rng):
+        strings = random_strings(100, length=8, rng=rng)
+        assert strings.dtype == np.dtype("S8")
+
+    def test_exclusion(self, rng):
+        first = random_strings(2000, rng=rng)
+        second = random_strings(2000, rng=rng, exclude=first)
+        assert len(np.intersect1d(first, second)) == 0
+
+    def test_deterministic_per_seed(self):
+        a = random_strings(100, rng=np.random.default_rng(7))
+        b = random_strings(100, rng=np.random.default_rng(7))
+        np.testing.assert_array_equal(a, b)
+
+    def test_space_exhaustion_guard(self, rng):
+        with pytest.raises(ConfigurationError):
+            random_strings(100, length=1, rng=rng)
+
+
+class TestMakeSyntheticWorkload:
+    @pytest.fixture(scope="class")
+    def workload(self) -> MembershipWorkload:
+        return make_synthetic_workload(
+            n_members=2000, n_queries=20_000, seed=3
+        )
+
+    def test_shapes(self, workload):
+        assert workload.n_members == 2000
+        assert len(workload.queries) == 20_000
+        assert len(workload.query_is_member) == 20_000
+        assert len(workload.churn_out) == 400  # 20% of members
+        assert len(workload.churn_in) == 400
+
+    def test_member_fraction(self, workload):
+        assert workload.query_is_member.mean() == pytest.approx(0.8, abs=0.01)
+
+    def test_ground_truth_exact(self, workload):
+        final = np.sort(workload.final_members())
+        pos = np.clip(np.searchsorted(final, workload.queries), 0, len(final) - 1)
+        truth = final[pos] == workload.queries
+        np.testing.assert_array_equal(truth, workload.query_is_member)
+
+    def test_churn_out_subset_of_members(self, workload):
+        assert np.isin(workload.churn_out, workload.members).all()
+
+    def test_churn_in_disjoint_from_members(self, workload):
+        assert not np.isin(workload.churn_in, workload.members).any()
+
+    def test_nonmember_queries_never_inserted(self, workload):
+        inserted = np.sort(
+            np.concatenate([workload.members, workload.churn_in])
+        )
+        non_members = workload.queries[~workload.query_is_member]
+        pos = np.clip(
+            np.searchsorted(inserted, non_members), 0, len(inserted) - 1
+        )
+        assert not (inserted[pos] == non_members).any()
+
+    def test_seeds_differ(self):
+        a = make_synthetic_workload(n_members=100, n_queries=500, seed=0)
+        b = make_synthetic_workload(n_members=100, n_queries=500, seed=1)
+        assert not np.array_equal(a.members, b.members)
+
+    def test_encoded_queries(self, workload):
+        np.testing.assert_array_equal(
+            workload.encoded_queries(), encode_str_array(workload.queries)
+        )
+
+    def test_no_churn(self):
+        w = make_synthetic_workload(
+            n_members=500, n_queries=1000, churn_fraction=0.0, seed=1
+        )
+        assert len(w.churn_out) == 0
+        np.testing.assert_array_equal(np.sort(w.final_members()), np.sort(w.members))
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ConfigurationError):
+            make_synthetic_workload(member_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            make_synthetic_workload(churn_fraction=-0.1)

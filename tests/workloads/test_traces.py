@@ -1,0 +1,89 @@
+"""Tests for the CAIDA-shaped flow trace generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.traces import FlowTrace, make_trace_workload
+
+
+@pytest.fixture(scope="module")
+def trace() -> FlowTrace:
+    return make_trace_workload(
+        n_unique=5000, n_observations=100_000, n_inserted=3000, seed=1
+    )
+
+
+class TestTraceShape:
+    def test_counts(self, trace):
+        assert trace.n_unique == 5000
+        assert trace.n_observations == 100_000
+        assert trace.members_mask.sum() == 3000
+
+    def test_flows_distinct(self, trace):
+        packed = (trace.flows[:, 0].astype(np.uint64) << np.uint64(32)) | \
+            trace.flows[:, 1].astype(np.uint64)
+        assert len(np.unique(packed)) == 5000
+
+    def test_every_flow_observed_at_least_once(self, trace):
+        assert len(np.unique(trace.stream)) == 5000
+
+    def test_heavy_tail(self, trace):
+        counts = np.bincount(trace.stream, minlength=5000)
+        # Power-law-ish: the top 1% of flows carry far more than 1% of
+        # traffic, as in real backbone traces.
+        top = np.sort(counts)[-50:].sum()
+        assert top > 0.05 * trace.n_observations
+        assert counts.min() >= 1
+
+    def test_ground_truth_consistency(self, trace):
+        truth = trace.query_is_member()
+        assert len(truth) == trace.n_observations
+        # Member fraction of the stream should exceed the unique member
+        # fraction only by the weight of heavy member flows; sanity-check
+        # it is in (0, 1).
+        assert 0.0 < truth.mean() < 1.0
+
+    def test_member_keys_subset_of_encoded(self, trace):
+        members = trace.member_keys()
+        assert len(members) == 3000
+        assert np.isin(members, trace.encoded_flows()).all()
+
+    def test_query_keys_alignment(self, trace):
+        queries = trace.query_keys()
+        encoded = trace.encoded_flows()
+        np.testing.assert_array_equal(queries[:100], encoded[trace.stream[:100]])
+
+    def test_deterministic(self):
+        a = make_trace_workload(
+            n_unique=100, n_observations=1000, n_inserted=50, seed=9
+        )
+        b = make_trace_workload(
+            n_unique=100, n_observations=1000, n_inserted=50, seed=9
+        )
+        np.testing.assert_array_equal(a.stream, b.stream)
+        np.testing.assert_array_equal(a.flows, b.flows)
+
+
+class TestTraceValidation:
+    def test_inserted_exceeds_unique(self):
+        with pytest.raises(ConfigurationError):
+            make_trace_workload(n_unique=10, n_observations=100, n_inserted=11)
+
+    def test_observations_below_unique(self):
+        with pytest.raises(ConfigurationError):
+            make_trace_workload(n_unique=100, n_observations=50, n_inserted=10)
+
+    def test_paper_defaults(self):
+        # Default parameters mirror the paper's trace statistics.
+        from repro.workloads.traces import (
+            PAPER_INSERTED_FLOWS,
+            PAPER_TOTAL_FLOWS,
+            PAPER_UNIQUE_FLOWS,
+        )
+
+        assert PAPER_TOTAL_FLOWS == 5_585_633
+        assert PAPER_UNIQUE_FLOWS == 292_363
+        assert PAPER_INSERTED_FLOWS == 200_000

@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Compare two exported results directories and flag drifts.
+
+Regression guard for the experiment harness: after a change, run
+
+    python -m repro.bench --export results_new
+    python tools/compare_results.py results results_new [--rel 0.5]
+
+and review any metric that moved more than the relative tolerance.
+Rows are matched positionally per experiment (the drivers are
+deterministic per scale); numeric cells compare with a relative
+tolerance, everything else must match exactly.  Exit code 1 on drift,
+so it slots into CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+__all__ = ["compare_dirs", "compare_reports", "main"]
+
+
+def _load(directory: Path) -> dict[str, dict]:
+    reports = {}
+    for path in sorted(directory.glob("*.json")):
+        data = json.loads(path.read_text())
+        reports[data["experiment_id"]] = data
+    return reports
+
+
+def _is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def compare_reports(
+    old: dict, new: dict, *, rel: float = 0.5, abs_floor: float = 1e-6
+) -> list[str]:
+    """Human-readable drift list between two report dicts."""
+    drifts: list[str] = []
+    eid = old["experiment_id"]
+    old_rows, new_rows = old["rows"], new["rows"]
+    if len(old_rows) != len(new_rows):
+        return [f"{eid}: row count {len(old_rows)} -> {len(new_rows)}"]
+    for i, (row_a, row_b) in enumerate(zip(old_rows, new_rows)):
+        keys = set(row_a) | set(row_b)
+        for key in sorted(keys, key=str):
+            a, b = row_a.get(key), row_b.get(key)
+            if _is_number(a) and _is_number(b):
+                scale = max(abs(a), abs(b), abs_floor)
+                if abs(a - b) / scale > rel and abs(a - b) > abs_floor:
+                    drifts.append(
+                        f"{eid}[{i}].{key}: {a!r} -> {b!r} "
+                        f"({abs(a - b) / scale:.0%} drift)"
+                    )
+            elif a != b:
+                drifts.append(f"{eid}[{i}].{key}: {a!r} -> {b!r}")
+    return drifts
+
+
+def compare_dirs(
+    old_dir: str | Path, new_dir: str | Path, *, rel: float = 0.5
+) -> list[str]:
+    """Drifts across two exported directories (missing reports included)."""
+    old, new = _load(Path(old_dir)), _load(Path(new_dir))
+    drifts: list[str] = []
+    for eid in sorted(set(old) | set(new)):
+        if eid not in old:
+            drifts.append(f"{eid}: new experiment (no baseline)")
+        elif eid not in new:
+            drifts.append(f"{eid}: missing from new results")
+        else:
+            drifts.extend(compare_reports(old[eid], new[eid], rel=rel))
+    return drifts
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("old", help="baseline results directory")
+    parser.add_argument("new", help="candidate results directory")
+    parser.add_argument(
+        "--rel",
+        type=float,
+        default=0.5,
+        help="relative tolerance for numeric cells (default 0.5 — FPRs "
+        "at CI scale are noisy)",
+    )
+    args = parser.parse_args(argv)
+    drifts = compare_dirs(args.old, args.new, rel=args.rel)
+    if not drifts:
+        print("no drift beyond tolerance")
+        return 0
+    print(f"{len(drifts)} drift(s):")
+    for line in drifts:
+        print(f"  {line}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
