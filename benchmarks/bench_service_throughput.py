@@ -1,0 +1,120 @@
+"""Daemon throughput: ops/s vs client concurrency, coalescing on/off.
+
+The service's performance claim mirrors the paper's: amortise a fixed
+per-operation cost over a batch.  This bench starts the daemon
+in-process on an ephemeral port and measures single-key QUERY
+throughput at 1-, 8-, and 64-way client concurrency, once with the
+coalescer enabled (200 us window) and once disabled (``max_delay_us=0``
+— every request dispatches alone, the per-op baseline).  At one client
+there is nothing to coalesce and the two configurations tie; at 64-way
+concurrency the coalesced daemon must win, because each dispatch then
+carries many keys down the vectorised ``query_many`` path.
+
+Writes ``results/service-throughput.json``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from pathlib import Path
+
+from benchmarks.conftest import run_once
+from repro.filters.factory import FilterSpec
+from repro.parallel.sharded import ShardedFilterBank
+from repro.service.client import AsyncFilterClient
+from repro.service.server import FilterServer
+
+CONCURRENCY_LEVELS = (1, 8, 64)
+RESULTS_PATH = Path(__file__).resolve().parents[1] / "results"
+
+
+def _make_bank(members: int):
+    bank = ShardedFilterBank(
+        FilterSpec(
+            variant="MPCBF-1",
+            memory_bits=64 * 8192,
+            k=3,
+            capacity=max(members, 1000),
+            seed=3,
+            extra={"word_overflow": "saturate"},
+        ),
+        num_shards=4,
+    )
+    bank.insert_many([b"member-%d" % i for i in range(members)])
+    return bank
+
+
+async def _drive(server: FilterServer, clients: int, ops_per_client: int):
+    async def one_client(c: int) -> int:
+        async with AsyncFilterClient(port=server.port) as client:
+            for i in range(ops_per_client):
+                await client.query(b"member-%d" % ((c * ops_per_client + i) % 1000))
+        return ops_per_client
+
+    started = time.perf_counter()
+    counts = await asyncio.gather(*[one_client(c) for c in range(clients)])
+    elapsed = time.perf_counter() - started
+    return sum(counts), elapsed
+
+
+def _measure(
+    members: int, clients: int, ops_per_client: int, coalesce: bool
+) -> dict:
+    async def main():
+        server = FilterServer(
+            _make_bank(members),
+            port=0,
+            max_delay_us=200.0 if coalesce else 0.0,
+        )
+        await server.start()
+        total, elapsed = await _drive(server, clients, ops_per_client)
+        mean_batch = server.metrics.mean_batch_size
+        await server.stop()
+        return total, elapsed, mean_batch
+
+    total, elapsed, mean_batch = asyncio.run(main())
+    return {
+        "clients": clients,
+        "coalescing": coalesce,
+        "ops": total,
+        "elapsed_s": round(elapsed, 4),
+        "ops_per_s": round(total / elapsed, 1),
+        "mean_batch_requests": round(mean_batch, 2),
+    }
+
+
+def service_throughput(scale) -> list[dict]:
+    # ~1/20th of the synthetic query volume keeps the 6-config grid
+    # inside a CI-friendly wall-clock budget at every scale.
+    ops_total = max(1000, scale.synth_queries // 20)
+    members = min(scale.synth_members, 1000)
+    return [
+        _measure(members, clients, max(20, ops_total // clients), coalesce)
+        for coalesce in (True, False)
+        for clients in CONCURRENCY_LEVELS
+    ]
+
+
+def test_service_throughput(benchmark, scale, capsys):
+    rows = run_once(benchmark, service_throughput, scale)
+    RESULTS_PATH.mkdir(exist_ok=True)
+    out = RESULTS_PATH / "service-throughput.json"
+    out.write_text(json.dumps({"scale": scale.name, "rows": rows}, indent=2))
+    with capsys.disabled():
+        print()
+        header = f"{'clients':>8} {'coalesce':>9} {'ops/s':>12} {'mean batch':>11}"
+        print(header)
+        for row in rows:
+            print(
+                f"{row['clients']:>8} {str(row['coalescing']):>9} "
+                f"{row['ops_per_s']:>12.0f} {row['mean_batch_requests']:>11.2f}"
+            )
+    by_key = {(r["clients"], r["coalescing"]): r for r in rows}
+    # The acceptance shape: coalescing wins at 64-way concurrency.
+    assert (
+        by_key[(64, True)]["ops_per_s"] > by_key[(64, False)]["ops_per_s"]
+    ), "coalesced daemon must beat per-op dispatch at 64-way concurrency"
+    # And it really coalesced: mean batch size well above one request.
+    assert by_key[(64, True)]["mean_batch_requests"] > 1.5

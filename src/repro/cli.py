@@ -8,6 +8,8 @@ Usage (also installed as the ``repro`` console script)::
     repro plan --n 100000 --target-fpr 1e-4
     repro bench fig7 table4
     repro workload synthetic --members 10000 --out keys.txt
+    repro serve --variant MPCBF-1 --memory-kb 64 --shards 4 --port 7757
+    repro client query --port 7757 alice bob
 
 Key files are plain text, one key per line (encoded as UTF-8 bytes).
 Filters serialise through :mod:`repro.serialize`, so a built filter can
@@ -33,8 +35,14 @@ __all__ = ["main", "build_parser"]
 
 
 def _read_keys(path: str) -> list[bytes]:
-    text = Path(path).read_text(encoding="utf-8")
-    return [line.encode("utf-8") for line in text.splitlines() if line]
+    """Read one key per line, streaming (key files can be huge)."""
+    keys: list[bytes] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            stripped = line.rstrip("\r\n")
+            if stripped:
+                keys.append(stripped.encode("utf-8"))
+    return keys
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
@@ -137,10 +145,107 @@ def _cmd_workload(args: argparse.Namespace) -> int:
     raise ReproError(f"unknown workload kind {args.kind!r}")
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.parallel.sharded import ShardedFilterBank
+    from repro.service.server import serve
+    from repro.service.snapshot import load_snapshot
+
+    if args.restore:
+        try:
+            filt = load_snapshot(args.restore)
+        except OSError as exc:
+            raise ReproError(f"cannot restore from {args.restore}: {exc}")
+        print(f"restored {filt.name} from {args.restore}")
+    else:
+        memory_bits = args.memory_kb * 8192
+        # MPCBF sizing needs a capacity for the Eq. 11 n_max heuristic;
+        # ~12 bits/element is the paper's operating range.
+        capacity = args.capacity or max(1, memory_bits // 12)
+        spec = FilterSpec(
+            variant=args.variant,
+            memory_bits=memory_bits,
+            k=args.k,
+            word_bits=args.word_bits,
+            capacity=capacity,
+            seed=args.seed,
+            extra=(
+                # A long-lived daemon keeps serving through word
+                # saturation instead of dying (see build_suite).
+                {"word_overflow": "saturate"}
+                if args.variant.startswith("MPCBF")
+                else {}
+            ),
+        )
+        if args.shards > 1:
+            filt = ShardedFilterBank(spec, args.shards)
+        else:
+            filt = build_filter(spec)
+    if args.keys:
+        preload = _read_keys(args.keys)
+        filt.insert_many(preload)
+        print(f"preloaded {len(preload)} keys into {filt.name}")
+    asyncio.run(
+        serve(
+            filt,
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            max_delay_us=args.max_delay_us,
+            fuse_mutations=args.fuse_mutations,
+            snapshot_path=args.snapshot,
+            snapshot_interval_s=args.snapshot_interval,
+        )
+    )
+    return 0
+
+
+def _cmd_client(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.service.client import FilterClient
+
+    keys: list[bytes] = [key.encode("utf-8") for key in args.key]
+    if args.keys:
+        keys.extend(_read_keys(args.keys))
+    if args.action in ("insert", "query", "delete") and not keys:
+        raise ReproError(f"{args.action} needs keys (positional or --keys FILE)")
+    with FilterClient(args.host, args.port, timeout_s=args.timeout) as client:
+        if args.action == "ping":
+            client.ping()
+            print("pong")
+        elif args.action == "insert":
+            client.insert_many(keys)
+            print(f"inserted {len(keys)} keys")
+        elif args.action == "delete":
+            client.delete_many(keys)
+            print(f"deleted {len(keys)} keys")
+        elif args.action == "query":
+            answers = client.query_many(keys)
+            for key, ans in zip(keys, answers):
+                print(
+                    f"{key.decode('utf-8', 'replace')}\t"
+                    f"{'maybe' if ans else 'no'}"
+                )
+            print(f"{sum(answers)}/{len(keys)} keys possibly present")
+        elif args.action == "stats":
+            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+        elif args.action == "snapshot":
+            report = client.snapshot()
+            print(f"snapshot: {report['bytes']} bytes -> {report['path']}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MPCBF (IPDPS 2013) reproduction toolkit",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -183,6 +288,64 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("--out", required=True)
     p_work.set_defaults(func=_cmd_workload)
 
+    p_serve = sub.add_parser("serve", help="run the filter-serving daemon")
+    p_serve.add_argument("--variant", default="MPCBF-1")
+    p_serve.add_argument("--memory-kb", type=int, default=64)
+    p_serve.add_argument("--k", type=int, default=3)
+    p_serve.add_argument("--word-bits", type=int, default=64)
+    p_serve.add_argument("--capacity", type=int, default=None)
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--shards", type=int, default=1,
+        help="host a ShardedFilterBank of this many shards",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7757, help="0 picks an ephemeral port"
+    )
+    p_serve.add_argument(
+        "--max-batch", type=int, default=512,
+        help="max keys coalesced into one bulk dispatch",
+    )
+    p_serve.add_argument(
+        "--max-delay-us", type=float, default=200.0,
+        help="max added latency while coalescing (0 disables)",
+    )
+    p_serve.add_argument(
+        "--fuse-mutations", action="store_true",
+        help="fuse INSERT/DELETE batches across requests "
+        "(whole-batch error frames on failure)",
+    )
+    p_serve.add_argument(
+        "--snapshot", default=None, help="snapshot file path (enables SNAPSHOT op)"
+    )
+    p_serve.add_argument(
+        "--snapshot-interval", type=float, default=None,
+        help="periodic snapshot interval in seconds",
+    )
+    p_serve.add_argument(
+        "--restore", metavar="PATH", default=None,
+        help="restore the filter from a snapshot file instead of building",
+    )
+    p_serve.add_argument(
+        "--keys", default=None, help="preload keys from a file before serving"
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_client = sub.add_parser("client", help="talk to a running daemon")
+    p_client.add_argument(
+        "action",
+        choices=["ping", "insert", "query", "delete", "stats", "snapshot"],
+    )
+    # argparse consumes positionals in one contiguous block: keys must
+    # directly follow the action (`repro client query a b --port 7757`).
+    p_client.add_argument("key", nargs="*", help="keys for insert/query/delete")
+    p_client.add_argument("--keys", default=None, help="read keys from a file")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7757)
+    p_client.add_argument("--timeout", type=float, default=10.0)
+    p_client.set_defaults(func=_cmd_client)
+
     return parser
 
 
@@ -195,9 +358,11 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
-    except FileNotFoundError as exc:
+    except (FileNotFoundError, ConnectionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except KeyboardInterrupt:
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -72,6 +72,7 @@ class DLeftCBF(CountingFilterBase):
                 f"fingerprint_bits must be in [1, 30], got {fingerprint_bits}"
             )
         self.name = "dlCBF"
+        self.seed = seed
         self.num_buckets = num_buckets
         self.d = d
         self.cells_per_bucket = cells_per_bucket

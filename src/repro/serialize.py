@@ -28,14 +28,24 @@ from repro.errors import ConfigurationError
 from repro.filters.base import FilterBase
 from repro.filters.bloom import BloomFilter
 from repro.filters.cbf import CountingBloomFilter
+from repro.filters.dlcbf import DLeftCBF
 from repro.filters.hcbf_word import HCBFWord
 from repro.filters.mpcbf import MPCBF
+from repro.filters.one_access import OneAccessBloomFilter
 from repro.filters.pcbf import PartitionedCBF
+from repro.filters.spectral import SpectralBloomFilter
 from repro.filters.vicbf import VariableIncrementCBF
 
-__all__ = ["dump_filter", "load_filter", "serialized_size"]
+__all__ = [
+    "dump_filter",
+    "load_filter",
+    "dump_bank",
+    "load_bank",
+    "serialized_size",
+]
 
 _MAGIC = b"MPCB"
+_BANK_MAGIC = b"MPBK"
 _VERSION = 1
 
 
@@ -77,13 +87,14 @@ def _load_mpcbf_words(filt: MPCBF, blob: list[list]) -> None:
 def dump_filter(filt: FilterBase) -> bytes:
     """Serialise a filter to bytes.
 
-    Supported: BloomFilter, CountingBloomFilter, PartitionedCBF,
-    VariableIncrementCBF, MPCBF.  (BF-g and dlCBF are summary-only
-    structures the §V pipeline never ships; extendable the same way.)
+    Supported: BloomFilter, OneAccessBloomFilter (BF-g),
+    CountingBloomFilter, PartitionedCBF, VariableIncrementCBF, MPCBF,
+    DLeftCBF, SpectralBloomFilter — every variant the factory builds,
+    so the serving daemon can snapshot whatever it hosts.
     """
     state = io.BytesIO()
     family = getattr(filt, "family", None)
-    config: dict = {"seed": getattr(family, "seed", 0)}
+    config: dict = {"seed": getattr(filt, "seed", getattr(family, "seed", 0))}
 
     if isinstance(filt, BloomFilter):
         config.update(
@@ -121,6 +132,37 @@ def dump_filter(filt: FilterBase) -> bytes:
             storage=filt.storage,
             counters=_write_array(state, np.asarray(filt.counters)),
         )
+    elif isinstance(filt, OneAccessBloomFilter):
+        config.update(
+            variant="BF-g",
+            num_words=filt.num_words,
+            word_bits=filt.word_bits,
+            k=filt.k,
+            g=filt.g,
+            mirror=_write_array(state, filt._mirror),
+        )
+    elif isinstance(filt, DLeftCBF):
+        config.update(
+            variant="dlCBF",
+            num_buckets=filt.num_buckets,
+            d=filt.d,
+            cells_per_bucket=filt.cells_per_bucket,
+            fingerprint_bits=filt.fingerprint_bits,
+            counter_bits=filt.counter_bits,
+            fingerprints=_write_array(state, filt._fingerprints),
+            counters=_write_array(state, filt._counters),
+        )
+    elif isinstance(filt, SpectralBloomFilter):
+        config.update(
+            variant="SBF",
+            num_counters=filt.num_counters,
+            k=filt.k,
+            counter_bits=filt.counter_bits,
+            recurring_minimum=filt.recurring_minimum,
+            counters=_write_array(state, filt._counters),
+        )
+        if filt.recurring_minimum:
+            config["secondary"] = _write_array(state, filt._secondary)
     elif isinstance(filt, MPCBF):
         config.update(
             variant="MPCBF",
@@ -204,6 +246,48 @@ def load_filter(data: bytes) -> FilterBase:
         else:
             filt._counters = values.astype(np.int32)
         return filt
+    if variant == "BF-g":
+        filt = OneAccessBloomFilter(
+            config["num_words"],
+            config["word_bits"],
+            config["k"],
+            g=config["g"],
+            seed=seed,
+        )
+        mirror = _read_array(payload, config["mirror"]).astype(np.uint64)
+        filt._mirror[...] = mirror
+        # The WordMemory is authoritative for scalar paths; rebuild each
+        # word's Python int from its mirror limbs.
+        for word_index in range(filt.num_words):
+            value = 0
+            for limb in range(mirror.shape[1]):
+                value |= int(mirror[word_index, limb]) << (64 * limb)
+            filt.memory.poke(word_index, value)
+        return filt
+    if variant == "dlCBF":
+        filt = DLeftCBF(
+            config["num_buckets"],
+            d=config["d"],
+            cells_per_bucket=config["cells_per_bucket"],
+            fingerprint_bits=config["fingerprint_bits"],
+            counter_bits=config["counter_bits"],
+            seed=seed,
+        )
+        filt._fingerprints = _read_array(payload, config["fingerprints"])
+        filt._counters = _read_array(payload, config["counters"])
+        return filt
+    if variant == "SBF":
+        filt = SpectralBloomFilter(
+            config["num_counters"],
+            config["k"],
+            counter_bits=config["counter_bits"],
+            recurring_minimum=config["recurring_minimum"],
+            seed=seed,
+        )
+        filt._counters = _read_array(payload, config["counters"])
+        if config["recurring_minimum"]:
+            filt._secondary = _read_array(payload, config["secondary"])
+        return filt
     if variant == "MPCBF":
         # Reconstruct from b1: exact for both the improved layout
         # (b1 = w − ⌈k/g⌉·n_max, so n_max round-trips) and the basic
@@ -230,6 +314,82 @@ def load_filter(data: bytes) -> FilterBase:
         filt._mirror[...] = mirror
         return filt
     raise ConfigurationError(f"unknown serialised variant {variant!r}")
+
+
+def dump_bank(bank) -> bytes:
+    """Serialise a :class:`~repro.parallel.ShardedFilterBank`.
+
+    The bank header records the per-shard :class:`FilterSpec` (so the
+    routing seed and shard seeds re-derive deterministically) followed
+    by each shard's :func:`dump_filter` blob.
+    """
+    spec = bank.spec
+    shard_blobs = [dump_filter(shard) for shard in bank.shards]
+    offsets = []
+    pos = 0
+    for blob in shard_blobs:
+        offsets.append({"offset": pos, "nbytes": len(blob)})
+        pos += len(blob)
+    config = {
+        "num_shards": bank.num_shards,
+        "max_workers": bank.max_workers,
+        "spec": {
+            "variant": spec.variant,
+            "memory_bits": spec.memory_bits,
+            "k": spec.k,
+            "word_bits": spec.word_bits,
+            "counter_bits": spec.counter_bits,
+            "capacity": spec.capacity,
+            "n_max": spec.n_max,
+            "seed": spec.seed,
+            "extra": dict(spec.extra),
+        },
+        "shards": offsets,
+    }
+    config_bytes = json.dumps(config).encode("utf-8")
+    out = io.BytesIO()
+    out.write(_BANK_MAGIC)
+    out.write(struct.pack("<I", _VERSION))
+    out.write(struct.pack("<I", len(config_bytes)))
+    out.write(config_bytes)
+    for blob in shard_blobs:
+        out.write(blob)
+    return out.getvalue()
+
+
+def load_bank(data: bytes):
+    """Reconstruct a bank serialised by :func:`dump_bank`."""
+    from repro.filters.factory import FilterSpec
+    from repro.parallel.sharded import ShardedFilterBank
+
+    if data[:4] != _BANK_MAGIC:
+        raise ConfigurationError("not a serialised filter bank (bad magic)")
+    (version,) = struct.unpack_from("<I", data, 4)
+    if version != _VERSION:
+        raise ConfigurationError(f"unsupported bank format version {version}")
+    (config_len,) = struct.unpack_from("<I", data, 8)
+    config = json.loads(data[12 : 12 + config_len].decode("utf-8"))
+    payload = data[12 + config_len :]
+    spec_cfg = config["spec"]
+    spec = FilterSpec(
+        variant=spec_cfg["variant"],
+        memory_bits=spec_cfg["memory_bits"],
+        k=spec_cfg["k"],
+        word_bits=spec_cfg["word_bits"],
+        counter_bits=spec_cfg["counter_bits"],
+        capacity=spec_cfg["capacity"],
+        n_max=spec_cfg["n_max"],
+        seed=spec_cfg["seed"],
+        extra=dict(spec_cfg["extra"]),
+    )
+    bank = ShardedFilterBank(
+        spec, config["num_shards"], max_workers=config["max_workers"]
+    )
+    bank.shards = [
+        load_filter(payload[d["offset"] : d["offset"] + d["nbytes"]])
+        for d in config["shards"]
+    ]
+    return bank
 
 
 def serialized_size(filt: FilterBase) -> int:

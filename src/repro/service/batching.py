@@ -1,0 +1,298 @@
+"""Micro-batching coalescer: many in-flight requests → one bulk call.
+
+The daemon's whole performance story lives here.  A single Python-level
+filter operation costs microseconds of interpreter overhead per key; the
+vectorised ``*_many`` paths amortise that over the batch exactly like
+the paper's one-word layout amortises a DRAM row activation over ``k``
+probes.  Under concurrent load the server therefore does not execute
+requests one at a time — it appends them to a queue, and a single drain
+task gathers whatever has accumulated (bounded by ``max_batch`` keys and
+``max_delay_us`` of added latency) into one dispatch.
+
+Ordering: batches dispatch strictly in arrival order and a batch only
+contains consecutive same-operation requests, so a client that awaits
+its INSERT response before sending a QUERY always observes the insert.
+All filter access happens on one worker thread (the executor below is
+single-threaded), so the hosted filter needs no locks.
+
+Error isolation: the dispatch function receives the batch still split
+per request and returns one result *or exception* per request, so one
+request's :class:`~repro.errors.CounterUnderflowError` never poisons its
+neighbours in the same coalesced batch (see
+:meth:`FilterExecutor.apply`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ReproError, UnsupportedOperationError
+from repro.filters.base import CountingFilterBase
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import Opcode
+
+__all__ = ["FilterExecutor", "MicroBatcher"]
+
+
+@dataclass
+class _Pending:
+    op: Opcode
+    keys: list[bytes]
+    future: asyncio.Future = field(repr=False)
+
+
+class _Stop:
+    """Queue sentinel ending the drain loop."""
+
+
+class FilterExecutor:
+    """Applies one coalesced batch of requests to the hosted filter.
+
+    Runs on the batcher's worker thread.  QUERY batches fuse across
+    requests into a single ``query_many`` probe (read-only, so a shared
+    failure cannot corrupt state).  INSERT/DELETE apply per request —
+    each request still rides its own bulk path — so a mid-batch error is
+    attributed to exactly the request that caused it and neighbouring
+    requests are never replayed against partially-applied state.  Pass
+    ``fuse_mutations=True`` to fuse writes too (worth it only when the
+    filter's overflow policies saturate, i.e. bulk inserts cannot raise;
+    a fused-write error then fails the whole batch).
+    """
+
+    def __init__(self, filt, *, fuse_mutations: bool = False) -> None:
+        self.filter = filt
+        self.fuse_mutations = fuse_mutations
+        self.supports_deletion = (
+            isinstance(filt, CountingFilterBase)
+            or getattr(filt, "supports_deletion", False)
+        )
+
+    def apply(
+        self, op: Opcode, key_lists: list[list[bytes]]
+    ) -> list[object]:
+        """Return one result or exception per request in the batch."""
+        if op == Opcode.QUERY:
+            return self._apply_queries(key_lists)
+        if op == Opcode.DELETE and not self.supports_deletion:
+            exc = UnsupportedOperationError(
+                f"{self.filter.name} does not support deletion"
+            )
+            return [exc for _ in key_lists]
+        if self.fuse_mutations:
+            return self._apply_fused(op, key_lists)
+        return self._apply_isolated(op, key_lists)
+
+    def _apply_queries(self, key_lists: list[list[bytes]]) -> list[object]:
+        flat = [key for keys in key_lists for key in keys]
+        answers = self.filter.query_many(flat)
+        results: list[object] = []
+        pos = 0
+        for keys in key_lists:
+            results.append(np.asarray(answers[pos : pos + len(keys)], dtype=bool))
+            pos += len(keys)
+        return results
+
+    def _apply_fused(self, op: Opcode, key_lists: list[list[bytes]]) -> list[object]:
+        flat = [key for keys in key_lists for key in keys]
+        try:
+            if op == Opcode.INSERT:
+                self.filter.insert_many(flat)
+            else:
+                self.filter.delete_many(flat)
+        except ReproError as exc:
+            return [exc for _ in key_lists]
+        return [None for _ in key_lists]
+
+    def _apply_isolated(
+        self, op: Opcode, key_lists: list[list[bytes]]
+    ) -> list[object]:
+        results: list[object] = []
+        for keys in key_lists:
+            try:
+                if op == Opcode.INSERT:
+                    self.filter.insert_many(keys)
+                else:
+                    self.filter.delete_many(keys)
+                results.append(None)
+            except ReproError as exc:
+                results.append(exc)
+        return results
+
+
+class MicroBatcher:
+    """Gathers concurrent requests and dispatches them as bulk batches.
+
+    Parameters
+    ----------
+    apply:
+        ``apply(op, key_lists) -> list[result | Exception]``, executed
+        on the batcher's single worker thread (see
+        :class:`FilterExecutor`).
+    max_batch:
+        Key-count bound per dispatched batch; a batch closes as soon as
+        it holds this many keys.
+    max_delay_us:
+        Upper bound on the coalescing window after the first request of
+        a batch arrives — the most latency the daemon will trade for
+        amortisation.  The drain task never sleeps the window out: it
+        gathers whatever is queued, grants producers a couple of
+        event-loop iterations to add more, and dispatches as soon as no
+        further requests show up.  0 disables coalescing entirely
+        (every request dispatches alone), which is the per-op baseline
+        the throughput benchmark compares against.
+    metrics:
+        Optional :class:`ServiceMetrics` receiving batch-size samples.
+    """
+
+    def __init__(
+        self,
+        apply: Callable[[Opcode, list[list[bytes]]], list[object]],
+        *,
+        max_batch: int = 512,
+        max_delay_us: float = 200.0,
+        metrics: ServiceMetrics | None = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if max_delay_us < 0:
+            raise ValueError(f"max_delay_us must be >= 0, got {max_delay_us}")
+        self._apply = apply
+        self.max_batch = max_batch
+        self.max_delay_us = max_delay_us
+        self.metrics = metrics
+        self._queue: asyncio.Queue = asyncio.Queue()
+        self._carry: _Pending | None = None
+        self._task: asyncio.Task | None = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-filter"
+        )
+        self._stopping = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Launch the drain task on the running event loop."""
+        if self._task is None:
+            self._stopping = False
+            self._task = asyncio.get_running_loop().create_task(self._drain())
+
+    async def stop(self) -> None:
+        """Drain everything queued, then stop the worker."""
+        if self._task is None:
+            return
+        self._stopping = True
+        await self._queue.put(_Stop())
+        await self._task
+        self._task = None
+        self._executor.shutdown(wait=True)
+
+    # -- submission -----------------------------------------------------
+    async def submit(self, op: Opcode, keys: list[bytes]) -> object:
+        """Enqueue one request; resolves to its per-request result.
+
+        Submissions racing :meth:`stop` fail fast instead of hanging:
+        anything enqueued before the stop sentinel still drains, but a
+        request arriving after shutdown began has no worker left to
+        serve it.
+        """
+        if self._task is None:
+            raise RuntimeError("MicroBatcher is not running (call start())")
+        if self._stopping:
+            raise RuntimeError("MicroBatcher is stopping; request rejected")
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Pending(op=op, keys=keys, future=future))
+        return await future
+
+    async def run(self, fn: Callable[[], object]) -> object:
+        """Run ``fn`` on the worker thread, serialised after in-flight
+        batches — how STATS/SNAPSHOT reads avoid racing mutations."""
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._executor, fn)
+
+    # -- drain loop -----------------------------------------------------
+    #: Consecutive empty-queue event-loop yields the gather loop grants
+    #: producers before dispatching.  A response written by the previous
+    #: dispatch reaches a same-host client and comes back as the next
+    #: request within a couple of loop iterations; waiting longer than
+    #: that (e.g. sleeping out the whole delay window) just adds dead
+    #: time once every in-flight request is already in the batch.
+    _IDLE_YIELDS = 2
+
+    async def _next_blocking(self):
+        if self._carry is not None:
+            item, self._carry = self._carry, None
+            return item
+        return await self._queue.get()
+
+    def _take_ready(self):
+        if self._carry is not None:
+            item, self._carry = self._carry, None
+            return item
+        try:
+            return self._queue.get_nowait()
+        except asyncio.QueueEmpty:
+            return None
+
+    async def _drain(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._next_blocking()
+            if isinstance(first, _Stop):
+                if self._flush_remaining_on_stop():
+                    continue
+                return
+            batch = [first]
+            total_keys = len(first.keys)
+            if self.max_delay_us > 0:
+                deadline = loop.time() + self.max_delay_us / 1e6
+                idle_yields = 0
+                while total_keys < self.max_batch:
+                    item = self._take_ready()
+                    if item is None:
+                        if loop.time() >= deadline:
+                            break
+                        if idle_yields >= self._IDLE_YIELDS:
+                            break
+                        idle_yields += 1
+                        await asyncio.sleep(0)
+                        continue
+                    if isinstance(item, _Stop):
+                        self._stopping = True
+                        break
+                    if item.op != first.op:
+                        self._carry = item
+                        break
+                    idle_yields = 0
+                    batch.append(item)
+                    total_keys += len(item.keys)
+            await self._dispatch(batch, total_keys)
+            if self._stopping and self._carry is None and self._queue.empty():
+                return
+
+    def _flush_remaining_on_stop(self) -> bool:
+        """After a stop sentinel, keep draining if work remains queued."""
+        return self._carry is not None or not self._queue.empty()
+
+    async def _dispatch(self, batch: list[_Pending], total_keys: int) -> None:
+        if self.metrics is not None:
+            self.metrics.record_batch(len(batch), total_keys)
+        op = batch[0].op
+        key_lists = [pending.keys for pending in batch]
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._apply, op, key_lists
+            )
+        except BaseException as exc:  # noqa: BLE001 - forwarded per future
+            results = [exc for _ in batch]
+        for pending, result in zip(batch, results):
+            if pending.future.done():  # client went away mid-flight
+                continue
+            if isinstance(result, BaseException):
+                pending.future.set_exception(result)
+            else:
+                pending.future.set_result(result)

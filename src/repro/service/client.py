@@ -1,0 +1,302 @@
+"""Client library for the filter-serving daemon (sync + async).
+
+Both clients speak the :mod:`repro.service.protocol` frames over one
+TCP connection with strict request/response ordering.  The sync
+:class:`FilterClient` is the ergonomic default for scripts and the CLI;
+:class:`AsyncFilterClient` is for callers that want many in-flight
+connections from one process (the integration tests and the throughput
+benchmark drive the daemon's coalescer with it).
+
+Connection establishment retries with exponential backoff — daemons
+come up asynchronously and "connect until it answers" is the protocol
+every deployment script otherwise reinvents.
+
+Error frames re-raise as :class:`~repro.service.protocol.RemoteError`,
+whose ``code`` preserves which :mod:`repro.errors` failure the server
+hit (e.g. ``COUNTER_UNDERFLOW`` for deleting an absent key).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+import time
+
+from repro.service.protocol import (
+    FrameDecoder,
+    Opcode,
+    ProtocolError,
+    RemoteError,
+    decode_error_body,
+    encode_batch_body,
+    encode_frame,
+    read_frame,
+    unpack_bools,
+)
+
+__all__ = ["FilterClient", "AsyncFilterClient"]
+
+
+def _to_bytes(key) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    raise TypeError(f"wire keys must be str or bytes, got {type(key).__name__}")
+
+
+def _check(opcode: Opcode, body: bytes, expected: Opcode):
+    if opcode == Opcode.ERROR:
+        code, message = decode_error_body(body)
+        raise RemoteError(code, message)
+    if opcode != expected:
+        raise ProtocolError(
+            f"expected {expected.name} response, got {opcode.name}"
+        )
+    return body
+
+
+class _BaseClient:
+    """Request encoding shared by both transports."""
+
+    @staticmethod
+    def _single_frame(op: Opcode, key) -> bytes:
+        return encode_frame(op, _to_bytes(key))
+
+    @staticmethod
+    def _batch_frame(subop: Opcode, keys) -> bytes:
+        return encode_frame(
+            Opcode.BATCH, encode_batch_body(subop, [_to_bytes(k) for k in keys])
+        )
+
+
+class FilterClient(_BaseClient):
+    """Blocking client; usable as a context manager.
+
+    Parameters
+    ----------
+    host, port:
+        Daemon address.
+    timeout_s:
+        Socket timeout for each call.
+    retries, backoff_s:
+        Connection attempts and the initial retry delay (doubles per
+        attempt, capped at 2 s).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7757,
+        *,
+        timeout_s: float = 10.0,
+        retries: int = 8,
+        backoff_s: float = 0.05,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._sock: socket.socket | None = None
+        self._decoder = FrameDecoder()
+
+    # -- connection -----------------------------------------------------
+    def connect(self) -> "FilterClient":
+        """Connect with retry/backoff; returns self for chaining."""
+        if self._sock is not None:
+            return self
+        delay = self.backoff_s
+        last_error: Exception | None = None
+        for _ in range(max(1, self.retries)):
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout_s
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                self._sock = sock
+                self._decoder = FrameDecoder()
+                return self
+            except OSError as exc:
+                last_error = exc
+                time.sleep(delay)
+                delay = min(delay * 2, 2.0)
+        raise ConnectionError(
+            f"cannot reach repro service at {self.host}:{self.port}: {last_error}"
+        )
+
+    def close(self) -> None:
+        if self._sock is not None:
+            self._sock.close()
+            self._sock = None
+
+    def __enter__(self) -> "FilterClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- transport ------------------------------------------------------
+    def _call(self, frame: bytes) -> tuple[Opcode, bytes]:
+        if self._sock is None:
+            self.connect()
+        assert self._sock is not None
+        self._sock.sendall(frame)
+        while True:
+            for parsed in self._decoder.frames():
+                return parsed
+            chunk = self._sock.recv(65536)
+            if not chunk:
+                self.close()
+                raise ConnectionError("server closed the connection")
+            self._decoder.feed(chunk)
+
+    # -- operations -----------------------------------------------------
+    def ping(self) -> bool:
+        opcode, body = self._call(encode_frame(Opcode.PING))
+        _check(opcode, body, Opcode.OK)
+        return True
+
+    def insert(self, key) -> None:
+        opcode, body = self._call(self._single_frame(Opcode.INSERT, key))
+        _check(opcode, body, Opcode.OK)
+
+    def query(self, key) -> bool:
+        opcode, body = self._call(self._single_frame(Opcode.QUERY, key))
+        _check(opcode, body, Opcode.BOOL)
+        return bool(body[0])
+
+    def delete(self, key) -> None:
+        opcode, body = self._call(self._single_frame(Opcode.DELETE, key))
+        _check(opcode, body, Opcode.OK)
+
+    def insert_many(self, keys) -> None:
+        opcode, body = self._call(self._batch_frame(Opcode.INSERT, keys))
+        _check(opcode, body, Opcode.OK)
+
+    def query_many(self, keys) -> list[bool]:
+        opcode, body = self._call(self._batch_frame(Opcode.QUERY, keys))
+        _check(opcode, body, Opcode.BITMAP)
+        return unpack_bools(body)
+
+    def delete_many(self, keys) -> None:
+        opcode, body = self._call(self._batch_frame(Opcode.DELETE, keys))
+        _check(opcode, body, Opcode.OK)
+
+    def stats(self) -> dict:
+        opcode, body = self._call(encode_frame(Opcode.STATS))
+        _check(opcode, body, Opcode.JSON)
+        return json.loads(body.decode("utf-8"))
+
+    def snapshot(self) -> dict:
+        opcode, body = self._call(encode_frame(Opcode.SNAPSHOT))
+        _check(opcode, body, Opcode.JSON)
+        return json.loads(body.decode("utf-8"))
+
+
+class AsyncFilterClient(_BaseClient):
+    """Asyncio client mirroring :class:`FilterClient`'s surface."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7757,
+        *,
+        retries: int = 8,
+        backoff_s: float = 0.05,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff_s = backoff_s
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+
+    async def connect(self) -> "AsyncFilterClient":
+        if self._writer is not None:
+            return self
+        delay = self.backoff_s
+        last_error: Exception | None = None
+        for _ in range(max(1, self.retries)):
+            try:
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                return self
+            except OSError as exc:
+                last_error = exc
+                await asyncio.sleep(delay)
+                delay = min(delay * 2, 2.0)
+        raise ConnectionError(
+            f"cannot reach repro service at {self.host}:{self.port}: {last_error}"
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except ConnectionError:
+                pass
+            self._reader = None
+            self._writer = None
+
+    async def __aenter__(self) -> "AsyncFilterClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def _call(self, frame: bytes) -> tuple[Opcode, bytes]:
+        if self._writer is None:
+            await self.connect()
+        assert self._reader is not None and self._writer is not None
+        self._writer.write(frame)
+        await self._writer.drain()
+        parsed = await read_frame(self._reader)
+        if parsed is None:
+            await self.close()
+            raise ConnectionError("server closed the connection")
+        return parsed
+
+    async def ping(self) -> bool:
+        opcode, body = await self._call(encode_frame(Opcode.PING))
+        _check(opcode, body, Opcode.OK)
+        return True
+
+    async def insert(self, key) -> None:
+        opcode, body = await self._call(self._single_frame(Opcode.INSERT, key))
+        _check(opcode, body, Opcode.OK)
+
+    async def query(self, key) -> bool:
+        opcode, body = await self._call(self._single_frame(Opcode.QUERY, key))
+        _check(opcode, body, Opcode.BOOL)
+        return bool(body[0])
+
+    async def delete(self, key) -> None:
+        opcode, body = await self._call(self._single_frame(Opcode.DELETE, key))
+        _check(opcode, body, Opcode.OK)
+
+    async def insert_many(self, keys) -> None:
+        opcode, body = await self._call(self._batch_frame(Opcode.INSERT, keys))
+        _check(opcode, body, Opcode.OK)
+
+    async def query_many(self, keys) -> list[bool]:
+        opcode, body = await self._call(self._batch_frame(Opcode.QUERY, keys))
+        _check(opcode, body, Opcode.BITMAP)
+        return unpack_bools(body)
+
+    async def delete_many(self, keys) -> None:
+        opcode, body = await self._call(self._batch_frame(Opcode.DELETE, keys))
+        _check(opcode, body, Opcode.OK)
+
+    async def stats(self) -> dict:
+        opcode, body = await self._call(encode_frame(Opcode.STATS))
+        _check(opcode, body, Opcode.JSON)
+        return json.loads(body.decode("utf-8"))
+
+    async def snapshot(self) -> dict:
+        opcode, body = await self._call(encode_frame(Opcode.SNAPSHOT))
+        _check(opcode, body, Opcode.JSON)
+        return json.loads(body.decode("utf-8"))

@@ -1,0 +1,156 @@
+"""In-process metrics for the serving daemon.
+
+Everything here is plain counters and power-of-two histograms — cheap
+enough to update on every request without measurably moving the numbers
+being measured.  The STATS op serialises :meth:`ServiceMetrics.snapshot`
+to JSON, folding in the hosted filter's own
+:class:`~repro.memmodel.accounting.AccessStats` so a client sees wire
+metrics (latency, batch sizes, bytes) and memory-model metrics (word
+accesses per op — the paper's Tables I–III axis) in one report.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+
+__all__ = ["Histogram", "ServiceMetrics"]
+
+
+class Histogram:
+    """Power-of-two bucketed histogram of non-negative values.
+
+    Bucket ``i`` counts observations in ``[2^(i-1), 2^i)`` (bucket 0
+    counts zeros and sub-1 values).  Quantiles are estimated at bucket
+    upper bounds — coarse, but monotone and allocation-free, which is
+    what a per-request hot path wants.
+    """
+
+    #: 2^62 upper bound; more than any latency or batch size seen here.
+    NUM_BUCKETS = 63
+
+    def __init__(self) -> None:
+        self._buckets = [0] * self.NUM_BUCKETS
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (values below 0 clamp to 0)."""
+        value = max(0.0, value)
+        index = min(self.NUM_BUCKETS - 1, max(0, int(value).bit_length()))
+        self._buckets[index] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Upper-bound estimate of the q-quantile (q in [0, 1])."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket in enumerate(self._buckets):
+            seen += bucket
+            if seen >= target:
+                return float(min(self.max, (1 << index) - 1)) if index else 0.0
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+
+class ServiceMetrics:
+    """Registry of everything the daemon measures about itself."""
+
+    def __init__(self) -> None:
+        self.started_at = time.monotonic()
+        self.ops: Counter[str] = Counter()
+        self.errors: Counter[str] = Counter()
+        self.bytes_in = 0
+        self.bytes_out = 0
+        self.connections_opened = 0
+        self.connections_active = 0
+        #: Per-op wall-clock latency in microseconds (frame in → frame out).
+        self.latency_us: dict[str, Histogram] = {}
+        #: Requests coalesced into each dispatched micro-batch.
+        self.batch_requests = Histogram()
+        #: Keys carried by each dispatched micro-batch.
+        self.batch_keys = Histogram()
+        self.snapshots_written = 0
+
+    # -- recording ------------------------------------------------------
+    def record_op(self, name: str, latency_us: float) -> None:
+        self.ops[name] += 1
+        hist = self.latency_us.get(name)
+        if hist is None:
+            hist = self.latency_us[name] = Histogram()
+        hist.observe(latency_us)
+
+    def record_error(self, code_name: str) -> None:
+        self.errors[code_name] += 1
+
+    def record_batch(self, num_requests: int, num_keys: int) -> None:
+        self.batch_requests.observe(num_requests)
+        self.batch_keys.observe(num_keys)
+
+    @property
+    def mean_batch_size(self) -> float:
+        """Mean requests coalesced per dispatch (the amortisation win)."""
+        return self.batch_requests.mean
+
+    # -- reporting ------------------------------------------------------
+    def snapshot(self, filt=None) -> dict:
+        """Plain-dict report for the STATS op (JSON-serialisable)."""
+        out: dict = {
+            "uptime_s": time.monotonic() - self.started_at,
+            "ops": dict(self.ops),
+            "errors": dict(self.errors),
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "connections": {
+                "opened": self.connections_opened,
+                "active": self.connections_active,
+            },
+            "latency_us": {
+                name: hist.summary() for name, hist in self.latency_us.items()
+            },
+            "coalescing": {
+                "dispatches": self.batch_requests.count,
+                "mean_batch_requests": self.batch_requests.mean,
+                "mean_batch_keys": self.batch_keys.mean,
+                "batch_requests": self.batch_requests.summary(),
+                "batch_keys": self.batch_keys.summary(),
+            },
+            "snapshots_written": self.snapshots_written,
+        }
+        if filt is not None:
+            out["filter"] = {
+                "name": getattr(filt, "name", type(filt).__name__),
+                "total_bits": filt.total_bits,
+                "access_stats": filt.stats.summary(),
+            }
+            shards = getattr(filt, "shards", None)
+            if shards is not None:
+                out["filter"]["shards"] = [
+                    {
+                        "name": shard.name,
+                        "inserts": shard.stats.insert.operations,
+                        "queries": shard.stats.query.operations,
+                        "deletes": shard.stats.delete.operations,
+                    }
+                    for shard in shards
+                ]
+        return out

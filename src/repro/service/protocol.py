@@ -1,0 +1,346 @@
+"""Versioned binary wire protocol for the filter-serving daemon.
+
+Framing (all integers little-endian)::
+
+    frame   := u32 payload_len | payload
+    payload := u8 version | u8 opcode | body
+
+``payload_len`` counts the version/opcode bytes plus the body, so an
+empty-bodied frame has ``payload_len == 2``.  Frames larger than
+:data:`MAX_FRAME_BYTES` are rejected before the body is read, which
+bounds the memory a malformed (or hostile) peer can pin.
+
+Request bodies::
+
+    PING / STATS / SNAPSHOT  (empty)
+    INSERT / QUERY / DELETE  key bytes (the whole remaining body)
+    BATCH                    u8 sub-op | u32 count | count x (u16 len | key)
+
+Response bodies::
+
+    OK      (empty)               insert/delete/ping acknowledgement
+    BOOL    u8                    single-query result
+    BITMAP  u32 count | bits      batch-query results, LSB-first packed
+    JSON    utf-8 JSON            stats / snapshot reports
+    ERROR   u16 code | utf-8 msg  see :class:`ErrorCode`
+
+Every :mod:`repro.errors` failure mode maps to a stable
+:class:`ErrorCode` so clients can re-raise the library exception the
+server hit — the wire adds no new failure vocabulary of its own.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    CounterOverflowError,
+    CounterUnderflowError,
+    ReproError,
+    UnsupportedOperationError,
+    WordOverflowError,
+)
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "MAX_FRAME_BYTES",
+    "MAX_KEY_BYTES",
+    "Opcode",
+    "ErrorCode",
+    "ProtocolError",
+    "RemoteError",
+    "Request",
+    "encode_frame",
+    "decode_payload",
+    "parse_request",
+    "encode_batch_body",
+    "encode_error_body",
+    "decode_error_body",
+    "pack_bools",
+    "unpack_bools",
+    "error_code_for",
+    "FrameDecoder",
+    "read_frame",
+]
+
+PROTOCOL_VERSION = 1
+#: Upper bound on one frame's payload; bounds per-connection buffering.
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+#: Keys are length-prefixed with a u16 inside BATCH bodies.
+MAX_KEY_BYTES = 0xFFFF
+
+_HEADER = struct.Struct("<I")
+_PAYLOAD_PREFIX = struct.Struct("<BB")
+
+
+class Opcode(enum.IntEnum):
+    """Request and response frame types."""
+
+    # requests
+    PING = 0x01
+    INSERT = 0x02
+    QUERY = 0x03
+    DELETE = 0x04
+    BATCH = 0x05
+    STATS = 0x06
+    SNAPSHOT = 0x07
+    # responses
+    ERROR = 0x7F
+    OK = 0x81
+    BOOL = 0x82
+    BITMAP = 0x83
+    JSON = 0x84
+
+
+#: Opcodes a BATCH frame may carry as its sub-operation.
+BATCH_SUBOPS = (Opcode.INSERT, Opcode.QUERY, Opcode.DELETE)
+
+
+class ErrorCode(enum.IntEnum):
+    """Stable numeric codes for error frames."""
+
+    INTERNAL = 1
+    PROTOCOL = 2
+    CONFIGURATION = 3
+    CAPACITY = 4
+    COUNTER_OVERFLOW = 5
+    COUNTER_UNDERFLOW = 6
+    WORD_OVERFLOW = 7
+    UNSUPPORTED = 8
+
+
+#: Most-derived-first so isinstance dispatch picks the tightest code.
+_ERROR_CODES: tuple[tuple[type, ErrorCode], ...] = (
+    (CounterOverflowError, ErrorCode.COUNTER_OVERFLOW),
+    (CounterUnderflowError, ErrorCode.COUNTER_UNDERFLOW),
+    (WordOverflowError, ErrorCode.WORD_OVERFLOW),
+    (CapacityError, ErrorCode.CAPACITY),
+    (ConfigurationError, ErrorCode.CONFIGURATION),
+    (UnsupportedOperationError, ErrorCode.UNSUPPORTED),
+    (ReproError, ErrorCode.INTERNAL),
+)
+
+
+class ProtocolError(ReproError):
+    """A frame violated the wire format (bad version, opcode, length…)."""
+
+
+class RemoteError(ReproError):
+    """Client-side view of a server error frame."""
+
+    def __init__(self, code: ErrorCode, message: str) -> None:
+        super().__init__(f"[{code.name}] {message}")
+        self.code = code
+        self.remote_message = message
+
+
+def error_code_for(exc: BaseException) -> ErrorCode:
+    """Map an exception to the error code its frame carries."""
+    if isinstance(exc, ProtocolError):
+        return ErrorCode.PROTOCOL
+    for klass, code in _ERROR_CODES:
+        if isinstance(exc, klass):
+            return code
+    return ErrorCode.INTERNAL
+
+
+@dataclass
+class Request:
+    """A parsed request frame: an operation over one or more keys."""
+
+    op: Opcode
+    keys: list[bytes]
+    #: True when the request arrived as a single-key frame (response is
+    #: OK/BOOL) rather than a BATCH frame (response is OK/BITMAP).
+    single: bool
+
+
+# -- encoding -----------------------------------------------------------
+def encode_frame(opcode: Opcode, body: bytes = b"") -> bytes:
+    """Serialise one frame (header + version + opcode + body)."""
+    payload_len = 2 + len(body)
+    if payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame body of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return (
+        _HEADER.pack(payload_len)
+        + _PAYLOAD_PREFIX.pack(PROTOCOL_VERSION, opcode)
+        + body
+    )
+
+
+def encode_batch_body(subop: Opcode, keys: list[bytes]) -> bytes:
+    """Build a BATCH body: sub-op, count, then length-prefixed keys."""
+    if subop not in BATCH_SUBOPS:
+        raise ProtocolError(f"invalid batch sub-op {subop!r}")
+    parts = [struct.pack("<BI", subop, len(keys))]
+    for key in keys:
+        if len(key) > MAX_KEY_BYTES:
+            raise ProtocolError(
+                f"key of {len(key)} bytes exceeds the {MAX_KEY_BYTES}-byte limit"
+            )
+        parts.append(struct.pack("<H", len(key)))
+        parts.append(key)
+    return b"".join(parts)
+
+
+def encode_error_body(code: ErrorCode, message: str) -> bytes:
+    return struct.pack("<H", code) + message.encode("utf-8")
+
+
+def decode_error_body(body: bytes) -> tuple[ErrorCode, str]:
+    if len(body) < 2:
+        raise ProtocolError("truncated error body")
+    (raw,) = struct.unpack_from("<H", body)
+    try:
+        code = ErrorCode(raw)
+    except ValueError:
+        code = ErrorCode.INTERNAL
+    return code, body[2:].decode("utf-8", "replace")
+
+
+def pack_bools(values) -> bytes:
+    """Pack an iterable of booleans into a BITMAP body (LSB-first)."""
+    bits = list(values)
+    out = bytearray(struct.pack("<I", len(bits)))
+    acc = 0
+    for i, value in enumerate(bits):
+        if value:
+            acc |= 1 << (i & 7)
+        if (i & 7) == 7:
+            out.append(acc)
+            acc = 0
+    if len(bits) & 7:
+        out.append(acc)
+    return bytes(out)
+
+
+def unpack_bools(body: bytes) -> list[bool]:
+    """Inverse of :func:`pack_bools`."""
+    if len(body) < 4:
+        raise ProtocolError("truncated bitmap body")
+    (count,) = struct.unpack_from("<I", body)
+    need = 4 + (count + 7) // 8
+    if len(body) < need:
+        raise ProtocolError(
+            f"bitmap body holds {len(body) - 4} bytes, needs {need - 4}"
+        )
+    return [bool(body[4 + (i >> 3)] >> (i & 7) & 1) for i in range(count)]
+
+
+# -- decoding -----------------------------------------------------------
+def decode_payload(payload: bytes) -> tuple[Opcode, bytes]:
+    """Split a frame payload into (opcode, body), validating the prefix."""
+    if len(payload) < 2:
+        raise ProtocolError(f"payload of {len(payload)} bytes is too short")
+    version, raw_op = _PAYLOAD_PREFIX.unpack_from(payload)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(f"unsupported protocol version {version}")
+    try:
+        opcode = Opcode(raw_op)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown opcode 0x{raw_op:02x}") from exc
+    return opcode, payload[2:]
+
+
+def parse_request(opcode: Opcode, body: bytes) -> Request:
+    """Parse a request frame body into a :class:`Request`.
+
+    Control frames (PING/STATS/SNAPSHOT) are not key-carrying requests
+    and are rejected here; the server dispatches them before batching.
+    """
+    if opcode in (Opcode.INSERT, Opcode.QUERY, Opcode.DELETE):
+        if len(body) == 0:
+            raise ProtocolError(f"{opcode.name} frame carries an empty key")
+        if len(body) > MAX_KEY_BYTES:
+            raise ProtocolError(
+                f"key of {len(body)} bytes exceeds the {MAX_KEY_BYTES}-byte limit"
+            )
+        return Request(op=opcode, keys=[body], single=True)
+    if opcode == Opcode.BATCH:
+        if len(body) < 5:
+            raise ProtocolError("truncated batch header")
+        raw_subop, count = struct.unpack_from("<BI", body)
+        try:
+            subop = Opcode(raw_subop)
+        except ValueError as exc:
+            raise ProtocolError(f"unknown batch sub-op 0x{raw_subop:02x}") from exc
+        if subop not in BATCH_SUBOPS:
+            raise ProtocolError(f"invalid batch sub-op {subop.name}")
+        keys: list[bytes] = []
+        pos = 5
+        for _ in range(count):
+            if pos + 2 > len(body):
+                raise ProtocolError("truncated batch key length")
+            (key_len,) = struct.unpack_from("<H", body, pos)
+            pos += 2
+            if pos + key_len > len(body):
+                raise ProtocolError("truncated batch key")
+            keys.append(body[pos : pos + key_len])
+            pos += key_len
+        if pos != len(body):
+            raise ProtocolError(
+                f"{len(body) - pos} trailing bytes after batch keys"
+            )
+        return Request(op=subop, keys=keys, single=False)
+    raise ProtocolError(f"opcode {opcode.name} is not a keyed request")
+
+
+class FrameDecoder:
+    """Incremental frame parser for byte streams.
+
+    Feed raw socket bytes with :meth:`feed`; iterate complete payloads
+    with :meth:`frames`.  Used by the sync client (``recv`` chunks don't
+    align with frames) and by the fuzz tests.
+    """
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buffer.extend(data)
+
+    def frames(self):
+        """Yield (opcode, body) for each complete frame buffered."""
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                return
+            (payload_len,) = _HEADER.unpack_from(self._buffer)
+            if payload_len > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame of {payload_len} bytes exceeds the "
+                    f"{MAX_FRAME_BYTES}-byte frame limit"
+                )
+            end = _HEADER.size + payload_len
+            if len(self._buffer) < end:
+                return
+            payload = bytes(self._buffer[_HEADER.size : end])
+            del self._buffer[:end]
+            yield decode_payload(payload)
+
+
+async def read_frame(reader) -> tuple[Opcode, bytes] | None:
+    """Read one frame from an asyncio stream; None on clean EOF."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (payload_len,) = _HEADER.unpack(header)
+    if payload_len > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {payload_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    try:
+        payload = await reader.readexactly(payload_len)
+    except (asyncio.IncompleteReadError, ConnectionResetError) as exc:
+        raise ProtocolError("connection closed mid-frame") from exc
+    return decode_payload(payload)

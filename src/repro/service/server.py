@@ -1,0 +1,274 @@
+"""Asyncio TCP daemon serving a filter (or sharded bank) over the wire.
+
+Architecture::
+
+    client conns ──frames──▶ per-connection handler
+                                  │  (parse, time, frame responses)
+                                  ▼
+                            MicroBatcher queue ──▶ single worker thread
+                                  │                  bulk_insert/bulk_query
+                                  ▼                  on the hosted filter
+                            coalesced batches
+
+Every connection handler is an asyncio task; key-carrying requests all
+funnel through one :class:`~repro.service.batching.MicroBatcher`, so
+concurrency across connections is precisely what feeds the coalescer.
+Control ops (PING/STATS/SNAPSHOT) bypass the batch queue but reads of
+filter state still serialise onto the worker thread.
+
+Shutdown is graceful by design: ``stop()`` (wired to SIGTERM/SIGINT by
+:func:`serve`) stops accepting, lets in-flight requests drain through
+the batcher, writes a final snapshot when one is configured, and only
+then closes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+import time
+
+from repro.errors import ReproError
+from repro.service.batching import FilterExecutor, MicroBatcher
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    Opcode,
+    ProtocolError,
+    encode_error_body,
+    encode_frame,
+    error_code_for,
+    pack_bools,
+    parse_request,
+    read_frame,
+)
+from repro.service.snapshot import SnapshotManager
+
+__all__ = ["FilterServer", "serve"]
+
+
+class FilterServer:
+    """TCP front-end for one filter instance.
+
+    Parameters
+    ----------
+    filt:
+        Any :class:`~repro.filters.base.FilterBase` or
+        :class:`~repro.parallel.ShardedFilterBank`.
+    host, port:
+        Bind address; port 0 picks an ephemeral port (read it back from
+        ``server.port`` after :meth:`start` — tests do).
+    max_batch, max_delay_us:
+        Coalescer bounds, see :class:`~repro.service.batching.MicroBatcher`.
+    fuse_mutations:
+        Fuse INSERT/DELETE batches across requests (see
+        :class:`~repro.service.batching.FilterExecutor`).
+    snapshot_path, snapshot_interval_s:
+        Enable on-demand (and optionally periodic) snapshots.
+    """
+
+    def __init__(
+        self,
+        filt,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 512,
+        max_delay_us: float = 200.0,
+        fuse_mutations: bool = False,
+        snapshot_path: str | None = None,
+        snapshot_interval_s: float | None = None,
+    ) -> None:
+        self.filter = filt
+        self.host = host
+        self.port = port
+        self.metrics = ServiceMetrics()
+        self.executor = FilterExecutor(filt, fuse_mutations=fuse_mutations)
+        self.batcher = MicroBatcher(
+            self.executor.apply,
+            max_batch=max_batch,
+            max_delay_us=max_delay_us,
+            metrics=self.metrics,
+        )
+        self.snapshots = (
+            SnapshotManager(filt, snapshot_path, interval_s=snapshot_interval_s)
+            if snapshot_path
+            else None
+        )
+        self._server: asyncio.base_events.Server | None = None
+        self._stopped = asyncio.Event()
+        self._connections: set[asyncio.Task] = set()
+        self._writers: set[asyncio.StreamWriter] = set()
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind, start the coalescer and periodic snapshots."""
+        self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        if self.snapshots is not None:
+            self.snapshots.start_periodic(self.batcher.run)
+
+    async def stop(self) -> None:
+        """Graceful drain: close listener, finish in-flight requests,
+        flush the batcher, write a final snapshot."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Kick idle connections off their blocking reads; handlers that
+        # are mid-request finish writing their response first.
+        for writer in list(self._writers):
+            writer.close()
+        if self._connections:
+            await asyncio.gather(*self._connections, return_exceptions=True)
+        if self.snapshots is not None:
+            await self.snapshots.stop()
+        await self.batcher.stop()
+        if self.snapshots is not None:
+            self.snapshots.save_now()
+        self._stopped.set()
+
+    async def wait_stopped(self) -> None:
+        await self._stopped.wait()
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.metrics.connections_opened += 1
+        self.metrics.connections_active += 1
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    frame = await read_frame(reader)
+                except ProtocolError as exc:
+                    # Framing is broken; answer once and hang up.
+                    await self._send_error(writer, exc)
+                    break
+                if frame is None:
+                    break
+                opcode, body = frame
+                self.metrics.bytes_in += len(body) + 6
+                started = time.perf_counter()
+                try:
+                    response = await self._dispatch(opcode, body)
+                except ProtocolError as exc:
+                    # Bad body in a well-framed request: answer, carry on.
+                    response = self._error_frame(exc)
+                except ReproError as exc:
+                    response = self._error_frame(exc)
+                latency_us = (time.perf_counter() - started) * 1e6
+                self.metrics.record_op(opcode.name, latency_us)
+                self.metrics.bytes_out += len(response)
+                writer.write(response)
+                try:
+                    await writer.drain()
+                except ConnectionError:
+                    break
+        finally:
+            self.metrics.connections_active -= 1
+            self._writers.discard(writer)
+            if task is not None:
+                self._connections.discard(task)
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, opcode: Opcode, body: bytes) -> bytes:
+        if opcode == Opcode.PING:
+            return encode_frame(Opcode.OK)
+        if opcode == Opcode.STATS:
+            report = await self.batcher.run(
+                lambda: self.metrics.snapshot(self.filter)
+            )
+            return encode_frame(
+                Opcode.JSON, json.dumps(report).encode("utf-8")
+            )
+        if opcode == Opcode.SNAPSHOT:
+            if self.snapshots is None:
+                raise ProtocolError("server has no snapshot path configured")
+            report = await self.snapshots.save(self.batcher.run)
+            self.metrics.snapshots_written += 1
+            return encode_frame(
+                Opcode.JSON, json.dumps(report).encode("utf-8")
+            )
+        request = parse_request(opcode, body)
+        result = await self.batcher.submit(request.op, request.keys)
+        if request.op == Opcode.QUERY:
+            if request.single:
+                return encode_frame(Opcode.BOOL, bytes([int(result[0])]))
+            return encode_frame(Opcode.BITMAP, pack_bools(result))
+        return encode_frame(Opcode.OK)
+
+    def _error_frame(self, exc: Exception) -> bytes:
+        code = error_code_for(exc)
+        self.metrics.record_error(code.name)
+        return encode_frame(Opcode.ERROR, encode_error_body(code, str(exc)))
+
+    async def _send_error(
+        self, writer: asyncio.StreamWriter, exc: Exception
+    ) -> None:
+        with contextlib.suppress(ConnectionError):
+            writer.write(self._error_frame(exc))
+            await writer.drain()
+
+
+async def serve(
+    filt,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    max_batch: int = 512,
+    max_delay_us: float = 200.0,
+    fuse_mutations: bool = False,
+    snapshot_path: str | None = None,
+    snapshot_interval_s: float | None = None,
+    ready: asyncio.Event | None = None,
+    install_signal_handlers: bool = True,
+) -> None:
+    """Run a :class:`FilterServer` until SIGTERM/SIGINT, then drain.
+
+    ``ready`` (if given) is set once the port is bound — callers that
+    embed the daemon (tests, benchmarks) use it instead of polling.
+    """
+    server = FilterServer(
+        filt,
+        host=host,
+        port=port,
+        max_batch=max_batch,
+        max_delay_us=max_delay_us,
+        fuse_mutations=fuse_mutations,
+        snapshot_path=snapshot_path,
+        snapshot_interval_s=snapshot_interval_s,
+    )
+    await server.start()
+    stop_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if install_signal_handlers:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop_requested.set)
+    print(
+        f"repro service: {server.filter.name} listening on "
+        f"{server.host}:{server.port}",
+        flush=True,
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        await stop_requested.wait()
+    finally:
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError):
+                    loop.remove_signal_handler(sig)
+        await server.stop()
+    print("repro service: drained and stopped", flush=True)

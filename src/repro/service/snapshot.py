@@ -1,0 +1,110 @@
+"""Snapshot/restore for the serving daemon.
+
+Snapshots reuse :mod:`repro.serialize` — the same bytes a MapReduce
+broadcast would ship — written with the classic crash-safe dance: dump
+to a ``.tmp`` sibling, ``fsync``, then :func:`os.replace` so the
+snapshot path always holds either the previous complete snapshot or the
+new complete snapshot, never a torn write.
+
+:func:`load_snapshot` sniffs the magic, so a daemon restarts equally
+well from a single-filter dump (``MPCB``) or a sharded-bank dump
+(``MPBK``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+from repro.serialize import dump_bank, dump_filter, load_bank, load_filter
+
+__all__ = ["SnapshotManager", "write_snapshot", "load_snapshot"]
+
+
+def _dump(filt) -> bytes:
+    if hasattr(filt, "shards"):
+        return dump_bank(filt)
+    return dump_filter(filt)
+
+
+def write_snapshot(filt, path: str | Path) -> dict:
+    """Atomically write a snapshot; returns a small report dict."""
+    path = Path(path)
+    started = time.perf_counter()
+    blob = _dump(filt)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return {
+        "path": str(path),
+        "bytes": len(blob),
+        "elapsed_s": time.perf_counter() - started,
+    }
+
+
+def load_snapshot(path: str | Path):
+    """Load a snapshot written by :func:`write_snapshot` (filter or bank)."""
+    data = Path(path).read_bytes()
+    if data[:4] == b"MPBK":
+        return load_bank(data)
+    if data[:4] == b"MPCB":
+        return load_filter(data)
+    raise ConfigurationError(f"{path}: not a repro snapshot (bad magic)")
+
+
+class SnapshotManager:
+    """Periodic + on-demand snapshots of the served filter.
+
+    The actual dump must not race the batcher's worker thread mutating
+    the filter, so :meth:`save` accepts a ``runner`` — the server passes
+    :meth:`~repro.service.batching.MicroBatcher.run`, which serialises
+    the dump after in-flight batches on the same worker thread.
+    """
+
+    def __init__(self, filt, path: str | Path, *, interval_s: float | None = None) -> None:
+        self.filter = filt
+        self.path = Path(path)
+        self.interval_s = interval_s
+        self.last_report: dict | None = None
+        self._task: asyncio.Task | None = None
+
+    def save_now(self) -> dict:
+        """Dump synchronously (caller must own the filter's thread)."""
+        report = write_snapshot(self.filter, self.path)
+        self.last_report = report
+        return report
+
+    async def save(self, runner=None) -> dict:
+        """Dump via ``runner`` (an async exclusive-execution hook)."""
+        if runner is None:
+            return self.save_now()
+        return await runner(self.save_now)
+
+    def start_periodic(self, runner) -> None:
+        """Begin the periodic snapshot loop (no-op without an interval)."""
+        if self.interval_s and self._task is None:
+            self._task = asyncio.get_running_loop().create_task(
+                self._periodic(runner)
+            )
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    async def _periodic(self, runner) -> None:
+        assert self.interval_s is not None
+        while True:
+            await asyncio.sleep(self.interval_s)
+            await self.save(runner)

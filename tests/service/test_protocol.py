@@ -1,0 +1,178 @@
+"""Wire-format tests: encode/decode symmetry and malformed-frame fuzz."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import (
+    CounterOverflowError,
+    CounterUnderflowError,
+    ReproError,
+    UnsupportedOperationError,
+    WordOverflowError,
+)
+from repro.service.protocol import (
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    ErrorCode,
+    FrameDecoder,
+    Opcode,
+    ProtocolError,
+    decode_error_body,
+    decode_payload,
+    encode_batch_body,
+    encode_error_body,
+    encode_frame,
+    error_code_for,
+    pack_bools,
+    parse_request,
+    unpack_bools,
+)
+
+
+class TestFraming:
+    def test_round_trip(self):
+        frame = encode_frame(Opcode.INSERT, b"alice")
+        decoder = FrameDecoder()
+        decoder.feed(frame)
+        [(opcode, body)] = list(decoder.frames())
+        assert opcode == Opcode.INSERT
+        assert body == b"alice"
+
+    def test_incremental_feed(self):
+        frame = encode_frame(Opcode.QUERY, b"bob") * 3
+        decoder = FrameDecoder()
+        collected = []
+        for i in range(len(frame)):
+            decoder.feed(frame[i : i + 1])
+            collected.extend(decoder.frames())
+        assert len(collected) == 3
+        assert all(op == Opcode.QUERY and body == b"bob" for op, body in collected)
+
+    def test_bad_version_rejected(self):
+        payload = struct.pack("<BB", PROTOCOL_VERSION + 1, Opcode.PING)
+        with pytest.raises(ProtocolError, match="version"):
+            decode_payload(payload)
+
+    def test_unknown_opcode_rejected(self):
+        payload = struct.pack("<BB", PROTOCOL_VERSION, 0x66)
+        with pytest.raises(ProtocolError, match="opcode"):
+            decode_payload(payload)
+
+    def test_oversized_frame_rejected_before_body(self):
+        decoder = FrameDecoder()
+        decoder.feed(struct.pack("<I", MAX_FRAME_BYTES + 1))
+        with pytest.raises(ProtocolError, match="frame limit"):
+            list(decoder.frames())
+
+
+class TestRequests:
+    def test_single_key_ops(self):
+        for op in (Opcode.INSERT, Opcode.QUERY, Opcode.DELETE):
+            request = parse_request(op, b"key-1")
+            assert request.op == op
+            assert request.keys == [b"key-1"]
+            assert request.single
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ProtocolError, match="empty key"):
+            parse_request(Opcode.INSERT, b"")
+
+    def test_batch_round_trip(self):
+        keys = [f"k{i}".encode() for i in range(100)] + [b"\x00\xff binary"]
+        body = encode_batch_body(Opcode.QUERY, keys)
+        request = parse_request(Opcode.BATCH, body)
+        assert request.op == Opcode.QUERY
+        assert request.keys == keys
+        assert not request.single
+
+    def test_batch_bad_subop(self):
+        body = struct.pack("<BI", Opcode.STATS, 0)
+        with pytest.raises(ProtocolError, match="sub-op"):
+            parse_request(Opcode.BATCH, body)
+
+    def test_batch_truncated_key(self):
+        body = struct.pack("<BI", Opcode.INSERT, 1) + struct.pack("<H", 10) + b"ab"
+        with pytest.raises(ProtocolError, match="truncated"):
+            parse_request(Opcode.BATCH, body)
+
+    def test_batch_trailing_garbage(self):
+        body = encode_batch_body(Opcode.INSERT, [b"x"]) + b"junk"
+        with pytest.raises(ProtocolError, match="trailing"):
+            parse_request(Opcode.BATCH, body)
+
+    def test_control_ops_not_keyed(self):
+        with pytest.raises(ProtocolError):
+            parse_request(Opcode.STATS, b"")
+
+
+class TestBodies:
+    def test_bools_round_trip(self):
+        for pattern in ([], [True], [False] * 9, [True, False] * 37):
+            assert unpack_bools(pack_bools(pattern)) == pattern
+
+    def test_error_body_round_trip(self):
+        body = encode_error_body(ErrorCode.COUNTER_UNDERFLOW, "nope")
+        code, message = decode_error_body(body)
+        assert code == ErrorCode.COUNTER_UNDERFLOW
+        assert message == "nope"
+
+    def test_error_code_mapping(self):
+        assert error_code_for(CounterOverflowError(1, 15)) == ErrorCode.COUNTER_OVERFLOW
+        assert error_code_for(CounterUnderflowError(1)) == ErrorCode.COUNTER_UNDERFLOW
+        assert error_code_for(WordOverflowError(0, 8)) == ErrorCode.WORD_OVERFLOW
+        assert error_code_for(UnsupportedOperationError("x")) == ErrorCode.UNSUPPORTED
+        assert error_code_for(ProtocolError("x")) == ErrorCode.PROTOCOL
+        assert error_code_for(ReproError("x")) == ErrorCode.INTERNAL
+        assert error_code_for(RuntimeError("x")) == ErrorCode.INTERNAL
+
+
+class TestFuzz:
+    """Arbitrary bytes must produce ProtocolError or clean parses — never
+    any other exception.  (The server turns ProtocolError into an error
+    frame; anything else would be a crash.)"""
+
+    @settings(max_examples=300, deadline=None)
+    @given(st.binary(max_size=256))
+    def test_decoder_never_crashes(self, data):
+        decoder = FrameDecoder()
+        decoder.feed(data)
+        try:
+            for opcode, body in decoder.frames():
+                if opcode in (
+                    Opcode.INSERT,
+                    Opcode.QUERY,
+                    Opcode.DELETE,
+                    Opcode.BATCH,
+                ):
+                    parse_request(opcode, body)
+        except ProtocolError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=128))
+    def test_batch_body_parse_never_crashes(self, body):
+        try:
+            parse_request(Opcode.BATCH, body)
+        except ProtocolError:
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=4, max_size=64))
+    def test_corrupted_valid_frame_never_crashes(self, noise):
+        frame = bytearray(encode_frame(Opcode.BATCH, encode_batch_body(
+            Opcode.INSERT, [b"aa", b"bb", b"cc"]
+        )))
+        for i, byte in enumerate(noise):
+            frame[byte % len(frame)] ^= (i % 255) + 1
+        decoder = FrameDecoder()
+        decoder.feed(bytes(frame))
+        try:
+            for opcode, body in decoder.frames():
+                if opcode == Opcode.BATCH:
+                    parse_request(opcode, body)
+        except ProtocolError:
+            pass

@@ -122,6 +122,105 @@ class TestParser:
         args = build_parser().parse_args(["bench", "fig9"])
         assert args.experiments == ["fig9"]
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 7757
+        assert args.shards == 1
+        assert args.max_batch == 512
+        assert not args.fuse_mutations
+
+    def test_serve_restore_takes_a_path(self):
+        args = build_parser().parse_args(["serve", "--restore", "/tmp/x.snap"])
+        assert args.restore == "/tmp/x.snap"
+
+    def test_serve_restore_missing_file_is_clean_error(self, capsys):
+        rc = main(["serve", "--restore", "/tmp/definitely-missing.snap"])
+        assert rc == 1
+        assert "cannot restore" in capsys.readouterr().err
+
+    def test_client_parser_positional_keys(self):
+        args = build_parser().parse_args(["client", "query", "a", "b"])
+        assert args.action == "query"
+        assert args.key == ["a", "b"]
+
+
+class TestReadKeys:
+    def test_streams_lines_and_skips_blanks(self, tmp_path):
+        from repro.cli import _read_keys
+
+        path = tmp_path / "keys.txt"
+        path.write_text("one\n\ntwo\r\nthree\n")
+        assert _read_keys(str(path)) == [b"one", b"two", b"three"]
+
+    def test_client_requires_keys_for_keyed_actions(self, capsys):
+        rc = main(["client", "insert", "--port", "1"])
+        assert rc == 1
+        assert "needs keys" in capsys.readouterr().err
+
+    def test_client_connection_refused_is_clean_error(self, capsys):
+        # Port 1 is never listening; retries exhaust quickly enough
+        # because backoff caps are small at default settings.
+        rc = main(["client", "ping", "--port", "1"])
+        assert rc == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestServeClientEndToEnd:
+    def test_serve_and_client_over_subprocess(self, tmp_path):
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+        from pathlib import Path
+
+        env = dict(os.environ)
+        repo_src = str(Path(__file__).resolve().parents[1] / "src")
+        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
+        snap = tmp_path / "served.snap"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--port", "0", "--shards", "2",
+                "--snapshot", str(snap),
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            # The daemon prints its bound port once listening.
+            port = None
+            deadline = time.time() + 15
+            while time.time() < deadline:
+                line = proc.stdout.readline()
+                if "listening on" in line:
+                    port = int(line.rsplit(":", 1)[1])
+                    break
+            assert port, "daemon never reported its port"
+            rc = main(["client", "insert", "k1", "k2", "--port", str(port)])
+            assert rc == 0
+            rc = main(["client", "query", "k1", "k3", "--port", str(port)])
+            assert rc == 0
+            rc = main(["client", "stats", "--port", str(port)])
+            assert rc == 0
+            proc.send_signal(signal.SIGTERM)
+            assert proc.wait(timeout=15) == 0
+            # Graceful shutdown wrote the final snapshot.
+            assert snap.exists()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+
 
 class TestBenchSubcommand:
     def test_bench_runs_named_experiment(self, capsys, monkeypatch):

@@ -11,10 +11,18 @@ from repro.filters import (
     CountingBloomFilter,
     DLeftCBF,
     MPCBF,
+    OneAccessBloomFilter,
     PartitionedCBF,
+    SpectralBloomFilter,
     VariableIncrementCBF,
 )
-from repro.serialize import dump_filter, load_filter, serialized_size
+from repro.serialize import (
+    dump_bank,
+    dump_filter,
+    load_bank,
+    load_filter,
+    serialized_size,
+)
 
 
 def _fill(filt, n=300):
@@ -89,6 +97,45 @@ class TestRoundTrips:
         blob = dump_filter(cbf)
         assert dump_filter(load_filter(blob)) == blob
 
+    def test_one_access_bf(self):
+        bf1 = OneAccessBloomFilter(256, 64, 3, g=1, seed=7)
+        keys = _fill(bf1)
+        restored = load_filter(dump_filter(bf1))
+        _assert_equivalent(bf1, restored, keys)
+        # Scalar path (WordMemory) and bulk path (mirror) both restored.
+        assert all(restored.query(k) for k in keys[:20])
+
+    def test_one_access_bf_g_multiword(self):
+        bfg = OneAccessBloomFilter(64, 128, 6, g=3, seed=9)
+        keys = _fill(bfg)
+        restored = load_filter(dump_filter(bfg))
+        _assert_equivalent(bfg, restored, keys)
+        assert dump_filter(restored) == dump_filter(bfg)
+
+    def test_dlcbf(self):
+        dl = DLeftCBF(256, seed=4)
+        keys = _fill(dl)
+        restored = load_filter(dump_filter(dl))
+        _assert_equivalent(dl, restored, keys)
+        assert restored.count(keys[0]) == dl.count(keys[0])
+        restored.delete(keys[0])
+        assert not restored.query(keys[0])
+
+    def test_spectral(self):
+        sbf = SpectralBloomFilter(4096, 3, seed=6)
+        keys = _fill(sbf)
+        sbf.insert(keys[0])  # multiplicity 2 exercises the RM estimator
+        restored = load_filter(dump_filter(sbf))
+        _assert_equivalent(sbf, restored, keys)
+        assert restored.count(keys[0]) == sbf.count(keys[0])
+
+    def test_spectral_without_recurring_minimum(self):
+        sbf = SpectralBloomFilter(2048, 3, seed=6, recurring_minimum=False)
+        keys = _fill(sbf, 100)
+        restored = load_filter(dump_filter(sbf))
+        _assert_equivalent(sbf, restored, keys)
+        assert not restored.recurring_minimum
+
 
 class TestFormat:
     def test_magic_check(self):
@@ -102,8 +149,10 @@ class TestFormat:
             load_filter(bytes(blob))
 
     def test_unsupported_type(self):
+        from repro.filters.base import FilterBase
+
         with pytest.raises(ConfigurationError):
-            dump_filter(DLeftCBF(16))
+            dump_filter(FilterBase())
 
     def test_serialized_size_tracks_state(self):
         small = BloomFilter(512, 3)
@@ -160,6 +209,63 @@ class TestSerializationProperties:
         for name, count in live.items():
             if count:
                 assert restored.count(name) >= count
+
+
+class TestBankRoundTrips:
+    def _bank(self, variant="MPCBF-1", num_shards=4):
+        from repro.filters.factory import FilterSpec
+        from repro.parallel.sharded import ShardedFilterBank
+
+        spec = FilterSpec(
+            variant=variant,
+            memory_bits=32 * 8192,
+            k=3,
+            capacity=2000,
+            seed=13,
+            extra=(
+                {"word_overflow": "saturate"}
+                if variant.startswith("MPCBF")
+                else {}
+            ),
+        )
+        return ShardedFilterBank(spec, num_shards)
+
+    @pytest.mark.parametrize("variant", ["MPCBF-1", "CBF", "BF"])
+    def test_bank_round_trip(self, variant):
+        bank = self._bank(variant)
+        keys = _fill(bank)
+        restored = load_bank(dump_bank(bank))
+        assert restored.num_shards == bank.num_shards
+        assert restored.name == bank.name
+        _assert_equivalent(bank, restored, keys)
+        # Routing survives: per-shard loads match exactly.
+        np.testing.assert_array_equal(
+            restored.shard_loads(keys), bank.shard_loads(keys)
+        )
+
+    def test_bank_deletion_after_restore(self):
+        bank = self._bank("CBF")
+        keys = _fill(bank)
+        restored = load_bank(dump_bank(bank))
+        restored.delete(keys[0])
+        assert not restored.query(keys[0])
+
+    def test_bank_byte_identical_reserialisation(self):
+        bank = self._bank()
+        _fill(bank, 100)
+        blob = dump_bank(bank)
+        assert dump_bank(load_bank(blob)) == blob
+
+    def test_bank_bad_magic(self):
+        with pytest.raises(ConfigurationError):
+            load_bank(b"NOPE" + b"\x00" * 16)
+
+    def test_filter_and_bank_magics_are_disjoint(self):
+        bank = self._bank()
+        with pytest.raises(ConfigurationError):
+            load_filter(dump_bank(bank))
+        with pytest.raises(ConfigurationError):
+            load_bank(dump_filter(bank.shards[0]))
 
 
 class TestStorageLayoutRoundTrips:
