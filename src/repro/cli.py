@@ -8,8 +8,11 @@ Usage (also installed as the ``repro`` console script)::
     repro plan --n 100000 --target-fpr 1e-4
     repro bench fig7 table4
     repro workload synthetic --members 10000 --out keys.txt
-    repro serve --variant MPCBF-1 --memory-kb 64 --shards 4 --port 7757
+    repro serve --variant MPCBF-1 --memory-kb 64 --shards 4 --port 7757 \
+                --metrics-port 9464 --log-json
     repro client query --port 7757 alice bob
+    repro client stats --port 7757 --watch
+    repro metrics-dump --port 9464
 
 Key files are plain text, one key per line (encoded as UTF-8 bytes).
 Filters serialise through :mod:`repro.serialize`, so a built filter can
@@ -152,6 +155,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.server import serve
     from repro.service.snapshot import load_snapshot
 
+    if args.log_json:
+        import logging
+
+        from repro.observability.logging import configure_json_logging
+
+        configure_json_logging(
+            level=logging.DEBUG if args.log_level == "debug" else logging.INFO
+        )
     if args.restore:
         try:
             filt = load_snapshot(args.restore)
@@ -196,8 +207,70 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fuse_mutations=args.fuse_mutations,
             snapshot_path=args.snapshot,
             snapshot_interval_s=args.snapshot_interval,
+            metrics_port=args.metrics_port,
         )
     )
+    return 0
+
+
+def _render_stats_watch(stats: dict) -> str:
+    """Compact one-screen view of the STATS document for --watch."""
+    lines = [
+        f"uptime {stats.get('uptime_s', 0.0):8.1f}s   "
+        f"connections {stats.get('connections', {}).get('active', 0)} active / "
+        f"{stats.get('connections', {}).get('opened', 0)} opened   "
+        f"bytes in/out {stats.get('bytes_in', 0)}/{stats.get('bytes_out', 0)}"
+    ]
+    ops = stats.get("ops", {})
+    if ops:
+        lines.append(
+            "ops  " + "  ".join(f"{op}={n}" for op, n in sorted(ops.items()))
+        )
+    errors = stats.get("errors", {})
+    if errors:
+        lines.append(
+            "errs " + "  ".join(f"{c}={n}" for c, n in sorted(errors.items()))
+        )
+    coal = stats.get("coalescing", {})
+    if coal:
+        lines.append(
+            f"coalescing  dispatches={coal.get('dispatches', 0)}  "
+            f"mean_requests={coal.get('mean_batch_requests', 0.0):.2f}  "
+            f"mean_keys={coal.get('mean_batch_keys', 0.0):.1f}"
+        )
+    for op, hist in sorted(stats.get("latency_us", {}).items()):
+        lines.append(
+            f"lat[{op}]  p50={hist['p50']:.0f}us  p95={hist['p95']:.0f}us  "
+            f"p99={hist['p99']:.0f}us  max={hist['max']:.0f}us  "
+            f"n={hist['count']:.0f}"
+        )
+    for name, hist in sorted(stats.get("spans_us", {}).items()):
+        lines.append(
+            f"span[{name}]  p50={hist['p50']:.0f}us  p99={hist['p99']:.0f}us  "
+            f"n={hist['count']:.0f}"
+        )
+    filt = stats.get("filter")
+    if filt:
+        access = filt.get("access_stats", {}).get("query", {})
+        lines.append(
+            f"filter {filt.get('name')}  bits={filt.get('total_bits')}  "
+            f"queries={access.get('operations', 0):.0f}  "
+            f"accesses/query={access.get('mean_accesses', 0.0):.2f}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_metrics_dump(args: argparse.Namespace) -> int:
+    """Fetch and print a /metrics exposition from a running daemon."""
+    from urllib.error import URLError
+    from urllib.request import urlopen
+
+    url = f"http://{args.host}:{args.port}/metrics"
+    try:
+        with urlopen(url, timeout=args.timeout) as response:
+            sys.stdout.write(response.read().decode("utf-8"))
+    except (URLError, OSError) as exc:
+        raise ReproError(f"cannot scrape {url}: {exc}")
     return 0
 
 
@@ -230,7 +303,18 @@ def _cmd_client(args: argparse.Namespace) -> int:
                 )
             print(f"{sum(answers)}/{len(keys)} keys possibly present")
         elif args.action == "stats":
-            print(_json.dumps(client.stats(), indent=2, sort_keys=True))
+            if args.watch:
+                import time as _time
+
+                try:
+                    while True:
+                        stats = client.stats()
+                        print(f"\x1b[2J\x1b[H{_render_stats_watch(stats)}", flush=True)
+                        _time.sleep(args.interval)
+                except KeyboardInterrupt:
+                    pass
+            else:
+                print(_json.dumps(client.stats(), indent=2, sort_keys=True))
         elif args.action == "snapshot":
             report = client.snapshot()
             print(f"snapshot: {report['bytes']} bytes -> {report['path']}")
@@ -330,6 +414,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--keys", default=None, help="preload keys from a file before serving"
     )
+    p_serve.add_argument(
+        "--metrics-port", type=int, default=None,
+        help="serve Prometheus /metrics + /healthz on this port (0 = ephemeral)",
+    )
+    p_serve.add_argument(
+        "--log-json", action="store_true",
+        help="emit structured JSON logs (one object per line) to stderr",
+    )
+    p_serve.add_argument(
+        "--log-level", choices=["info", "debug"], default="info",
+        help="JSON log verbosity (debug includes per-request events)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
 
     p_client = sub.add_parser("client", help="talk to a running daemon")
@@ -344,7 +440,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument("--host", default="127.0.0.1")
     p_client.add_argument("--port", type=int, default=7757)
     p_client.add_argument("--timeout", type=float, default=10.0)
+    p_client.add_argument(
+        "--watch", action="store_true",
+        help="with 'stats': refresh a compact live view until Ctrl-C",
+    )
+    p_client.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period for --watch, seconds",
+    )
     p_client.set_defaults(func=_cmd_client)
+
+    p_metrics = sub.add_parser(
+        "metrics-dump",
+        help="print the Prometheus exposition of a daemon's /metrics endpoint",
+    )
+    p_metrics.add_argument("--host", default="127.0.0.1")
+    p_metrics.add_argument("--port", type=int, required=True)
+    p_metrics.add_argument("--timeout", type=float, default=5.0)
+    p_metrics.set_defaults(func=_cmd_metrics_dump)
 
     return parser
 

@@ -124,6 +124,17 @@ class AccessStats:
         self.insert.merge(other.insert)
         self.delete.merge(other.delete)
 
+    def iter_totals(self):
+        """Yield ``(kind_name, OpStats)`` for each tracked operation kind.
+
+        The exporter-facing view: unlike :meth:`summary` (per-op means,
+        for humans), this hands out the raw monotone totals that map
+        onto Prometheus counters (``repro_word_accesses_total`` etc. —
+        the paper's Tables I–III axis as a time series).
+        """
+        for kind in OpKind:
+            yield kind.value, self.for_kind(kind)
+
     def summary(self) -> dict[str, dict[str, float]]:
         """Return a plain-dict summary for reporting code."""
         out: dict[str, dict[str, float]] = {}

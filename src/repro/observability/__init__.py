@@ -1,0 +1,51 @@
+"""Dependency-free observability: metrics export, logs, and spans.
+
+The serving daemon measures itself through
+:class:`~repro.service.metrics.ServiceMetrics` and the filters measure
+themselves through :class:`~repro.memmodel.accounting.AccessStats`;
+this package is the layer that gets those numbers *out* of the process:
+
+* :mod:`~repro.observability.prometheus` — text-exposition rendering of
+  every registry (plus a parser for tests and smoke checks);
+* :mod:`~repro.observability.httpd` — the asyncio ``/metrics`` +
+  ``/healthz`` endpoint (``repro serve --metrics-port``);
+* :mod:`~repro.observability.logging` — structured JSON logs with
+  per-request ids propagated through the micro-batcher;
+* :mod:`~repro.observability.spans` — timer spans (context manager +
+  decorator) feeding the same power-of-two histograms.
+
+Everything is standard library only, by design: the daemon's
+operational surface must not cost a dependency.  See
+``docs/observability.md`` for metric families, label conventions, and
+scrape configuration.
+"""
+
+from __future__ import annotations
+
+from repro.observability.httpd import ObservabilityHTTPServer
+from repro.observability.logging import (
+    JsonLogFormatter,
+    configure_json_logging,
+    get_logger,
+    new_request_id,
+)
+from repro.observability.prometheus import (
+    escape_label_value,
+    parse_exposition,
+    render_metrics,
+)
+from repro.observability.spans import Span, span, spanned
+
+__all__ = [
+    "ObservabilityHTTPServer",
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "get_logger",
+    "new_request_id",
+    "escape_label_value",
+    "parse_exposition",
+    "render_metrics",
+    "Span",
+    "span",
+    "spanned",
+]

@@ -1,0 +1,141 @@
+"""Tiny asyncio HTTP/1.1 server for ``/metrics`` and ``/healthz``.
+
+Deliberately not a web framework: Prometheus scrapers and load-balancer
+health checks send one short ``GET`` and read one response, so this
+implements exactly that — request line, headers to the blank line,
+route, respond, ``Connection: close``.  It runs on the daemon's own
+event loop next to the wire-protocol listener, reads only monotone
+counters, and therefore adds nothing to the request hot path beyond
+what the scrape itself costs.
+
+The two callbacks are injected so the server stays ignorant of the
+service layer: ``render_metrics`` returns the exposition text,
+``health`` returns a JSON-serialisable dict (rendered at ``/healthz``
+with status 200, or 503 when it contains ``"status": "draining"``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+from typing import Callable
+
+__all__ = ["ObservabilityHTTPServer"]
+
+#: Request line + headers cap; a scrape request is a few hundred bytes.
+_MAX_HEADER_BYTES = 16 * 1024
+
+_CONTENT_TYPE_EXPOSITION = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class ObservabilityHTTPServer:
+    """Serve ``GET /metrics`` and ``GET /healthz`` on an asyncio loop.
+
+    Parameters
+    ----------
+    render_metrics:
+        Zero-arg callable returning the exposition document
+        (:func:`~repro.observability.prometheus.render_metrics` bound to
+        the daemon's registries).
+    health:
+        Zero-arg callable returning the health payload dict.
+    host, port:
+        Bind address; port 0 picks an ephemeral port, read back from
+        ``.port`` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        render_metrics: Callable[[], str],
+        health: Callable[[], dict],
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.render_metrics = render_metrics
+        self.health = health
+        self.host = host
+        self.port = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # -- request handling ----------------------------------------------
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            request = await self._read_request(reader)
+            if request is None:
+                return
+            method, path = request
+            status, content_type, body = self._route(method, path)
+            writer.write(_response_bytes(status, content_type, body))
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(ConnectionError):
+                await writer.wait_closed()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str] | None:
+        try:
+            header_blob = await reader.readuntil(b"\r\n\r\n")
+        except asyncio.LimitOverrunError:
+            return None
+        except asyncio.IncompleteReadError as exc:
+            header_blob = exc.partial
+            if not header_blob.strip():
+                return None
+        if len(header_blob) > _MAX_HEADER_BYTES:
+            return None
+        request_line = header_blob.split(b"\r\n", 1)[0].decode(
+            "latin-1", "replace"
+        )
+        parts = request_line.split()
+        if len(parts) < 2:
+            return None
+        method, target = parts[0].upper(), parts[1]
+        path = target.split("?", 1)[0]
+        return method, path
+
+    def _route(self, method: str, path: str) -> tuple[int, str, bytes]:
+        if method not in ("GET", "HEAD"):
+            return 405, "text/plain; charset=utf-8", b"method not allowed\n"
+        if path == "/metrics":
+            text = self.render_metrics()
+            return 200, _CONTENT_TYPE_EXPOSITION, text.encode("utf-8")
+        if path == "/healthz":
+            payload = self.health()
+            status = 503 if payload.get("status") == "draining" else 200
+            body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+            return status, "application/json", body
+        return 404, "text/plain; charset=utf-8", b"not found\n"
+
+
+_REASONS = {200: "OK", 404: "Not Found", 405: "Method Not Allowed", 503: "Service Unavailable"}
+
+
+def _response_bytes(status: int, content_type: str, body: bytes) -> bytes:
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    )
+    return head.encode("latin-1") + body

@@ -1,0 +1,137 @@
+"""Structured JSON logging for the serving stack.
+
+One line per event, one JSON object per line — the format every log
+shipper (Loki, CloudWatch, `jq`) ingests without a parsing config.
+Nothing here is enabled by default: the service logs through ordinary
+:mod:`logging` loggers under the ``repro`` namespace at DEBUG/INFO, so a
+library user who never calls :func:`configure_json_logging` sees
+nothing, and ``repro serve --log-json`` turns the firehose on without
+touching any other handler in the process.
+
+Request ids tie the pieces together: the server mints one per inbound
+frame (:func:`new_request_id`), attaches it to the request's log events,
+and hands it to the micro-batcher so a coalesced dispatch can log
+exactly which request ids it fused — the only way to follow one
+client's request through a batch that served sixty of them.
+"""
+
+from __future__ import annotations
+
+import io
+import itertools
+import json
+import logging
+import os
+
+__all__ = [
+    "JsonLogFormatter",
+    "configure_json_logging",
+    "get_logger",
+    "new_request_id",
+]
+
+#: Root of every logger the serving stack emits through.
+ROOT_LOGGER_NAME = "repro"
+
+#: ``logging.LogRecord`` attributes that are bookkeeping, not payload.
+_RESERVED_RECORD_KEYS = frozenset(
+    {
+        "args",
+        "asctime",
+        "created",
+        "exc_info",
+        "exc_text",
+        "filename",
+        "funcName",
+        "levelname",
+        "levelno",
+        "lineno",
+        "message",
+        "module",
+        "msecs",
+        "msg",
+        "name",
+        "pathname",
+        "process",
+        "processName",
+        "relativeCreated",
+        "stack_info",
+        "taskName",
+        "thread",
+        "threadName",
+    }
+)
+
+
+class JsonLogFormatter(logging.Formatter):
+    """Render a ``LogRecord`` as one compact JSON object per line.
+
+    The record's message becomes ``event``; anything passed through
+    ``extra=`` (request ids, op names, byte counts...) is merged in at
+    the top level, so ``logger.info("request", extra={"op": "QUERY"})``
+    emits ``{"event": "request", "op": "QUERY", ...}``.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload: dict = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _RESERVED_RECORD_KEYS or key.startswith("_"):
+                continue
+            payload[key] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str, separators=(",", ":"))
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a logger under the ``repro`` namespace.
+
+    ``get_logger("service.server")`` → ``repro.service.server``; a name
+    already rooted at ``repro`` is used as-is.
+    """
+    if name == ROOT_LOGGER_NAME or name.startswith(ROOT_LOGGER_NAME + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def configure_json_logging(
+    stream: io.TextIOBase | None = None,
+    *,
+    level: int = logging.INFO,
+) -> logging.Handler:
+    """Install a JSON handler on the ``repro`` logger tree.
+
+    Idempotent: a previous handler installed by this function is
+    replaced, not duplicated, so tests (and repeated CLI invocations in
+    one process) can reconfigure freely.  Returns the installed handler
+    so callers can detach it (``logger.removeHandler``) when done.
+    """
+    logger = logging.getLogger(ROOT_LOGGER_NAME)
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_json_handler", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(stream) if stream is not None else logging.StreamHandler()
+    handler.setFormatter(JsonLogFormatter())
+    handler._repro_json_handler = True  # type: ignore[attr-defined]
+    logger.addHandler(handler)
+    logger.setLevel(level)
+    # The stack's events are operational, not application warnings —
+    # don't also bubble them into the root logger's handlers.
+    logger.propagate = False
+    return handler
+
+
+#: Monotone per-process sequence; combined with the PID so ids from two
+#: daemons on one host never collide in a merged log stream.
+_REQUEST_SEQ = itertools.count(1)
+_PID_PREFIX = f"{os.getpid():x}"
+
+
+def new_request_id() -> str:
+    """Mint a process-unique request id (``<pid-hex>-<seq-hex>``)."""
+    return f"{_PID_PREFIX}-{next(_REQUEST_SEQ):08x}"

@@ -1,0 +1,368 @@
+"""Prometheus text exposition (version 0.0.4) without a client library.
+
+:func:`render_metrics` turns the daemon's live state — the
+:class:`~repro.service.metrics.ServiceMetrics` registry, the hosted
+filter's :class:`~repro.memmodel.accounting.AccessStats`, and snapshot
+freshness — into the plain-text format every Prometheus-compatible
+scraper ingests.  The power-of-two :class:`Histogram` maps directly
+onto a Prometheus histogram: bucket ``i``'s exclusive upper bound
+becomes the ``le`` label (scaled, e.g. µs → s), counts accumulate
+cumulatively, and ``_sum``/``_count`` come from the histogram's running
+totals, so PromQL's ``histogram_quantile`` works unmodified.
+
+Label conventions (see ``docs/observability.md``): ``op`` for wire
+opcodes (``INSERT``/``QUERY``/...), ``kind`` for filter operation kinds
+(``insert``/``query``/``delete``), ``span`` for timer spans, ``shard``
+for a bank's shard index.  Every family is prefixed ``repro_``.
+
+:func:`parse_exposition` is the matching reader — enough of the format
+to let tests and the CI smoke job assert on scraped output without
+pulling in a client library.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # import only for annotations: repro.service imports
+    # the server, which imports this module — a runtime import here
+    # would be circular.
+    from repro.service.metrics import Histogram, ServiceMetrics
+
+__all__ = ["escape_label_value", "render_metrics", "parse_exposition"]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the text-exposition rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _format_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _labels_text(labels: dict[str, str] | None) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{escape_label_value(value)}"' for key, value in labels.items()
+    )
+    return "{" + inner + "}"
+
+
+class _Writer:
+    """Accumulates families; emits # HELP/# TYPE once per family."""
+
+    def __init__(self) -> None:
+        self._lines: list[str] = []
+        self._declared: set[str] = set()
+
+    def declare(self, name: str, mtype: str, help_text: str) -> None:
+        if name in self._declared:
+            return
+        self._declared.add(name)
+        self._lines.append(f"# HELP {name} {help_text}")
+        self._lines.append(f"# TYPE {name} {mtype}")
+
+    def sample(
+        self,
+        name: str,
+        value: float,
+        labels: dict[str, str] | None = None,
+        *,
+        suffix: str = "",
+    ) -> None:
+        self._lines.append(
+            f"{name}{suffix}{_labels_text(labels)} {_format_value(value)}"
+        )
+
+    def histogram(
+        self,
+        name: str,
+        hist: "Histogram",
+        labels: dict[str, str] | None = None,
+        *,
+        scale: float = 1.0,
+        help_text: str = "",
+    ) -> None:
+        """Emit one histogram series (cumulative buckets + sum + count)."""
+        self.declare(name, "histogram", help_text or name)
+        labels = dict(labels or {})
+        cumulative = 0
+        counts = hist.bucket_counts()
+        # Emit up to the highest occupied bucket; +Inf carries the rest.
+        highest = max(
+            (i for i, c in enumerate(counts) if c), default=-1
+        )
+        for index in range(highest + 1):
+            cumulative += counts[index]
+            bound = hist.bucket_upper(index) * scale
+            self.sample(
+                name,
+                cumulative,
+                {**labels, "le": _format_value(bound)},
+                suffix="_bucket",
+            )
+        self.sample(name, hist.count, {**labels, "le": "+Inf"}, suffix="_bucket")
+        self.sample(name, hist.total * scale, labels or None, suffix="_sum")
+        self.sample(name, hist.count, labels or None, suffix="_count")
+
+    def render(self) -> str:
+        return "\n".join(self._lines) + "\n"
+
+
+#: µs → s; latencies are recorded in microseconds but exported in the
+#: Prometheus base unit, seconds.
+_US = 1e-6
+
+
+def render_metrics(
+    metrics: "ServiceMetrics",
+    filt=None,
+    snapshots=None,
+    *,
+    now: float | None = None,
+) -> str:
+    """Render the full exposition document for one scrape.
+
+    ``filt`` (optional) contributes the filter-level families —
+    ``AccessStats`` counters, size, per-shard load, overflow events;
+    ``snapshots`` (an optional
+    :class:`~repro.service.snapshot.SnapshotManager`) contributes
+    snapshot freshness.  Reading the registries is lock-free by design:
+    all values are monotone counters or single floats, so a scrape
+    racing the event loop sees a slightly stale but never torn view.
+    """
+    writer = _Writer()
+    now = time.monotonic() if now is None else now
+
+    writer.declare(
+        "repro_uptime_seconds", "gauge", "Seconds since the daemon started."
+    )
+    writer.sample("repro_uptime_seconds", max(0.0, now - metrics.started_at))
+
+    writer.declare(
+        "repro_requests_total", "counter", "Requests served, by wire opcode."
+    )
+    for op, count in sorted(metrics.ops.items()):
+        writer.sample("repro_requests_total", count, {"op": op})
+
+    writer.declare(
+        "repro_errors_total", "counter", "Error frames sent, by error code."
+    )
+    for code, count in sorted(metrics.errors.items()):
+        writer.sample("repro_errors_total", count, {"code": code})
+
+    writer.declare(
+        "repro_bytes_total", "counter", "Wire bytes moved, by direction."
+    )
+    writer.sample("repro_bytes_total", metrics.bytes_in, {"direction": "in"})
+    writer.sample("repro_bytes_total", metrics.bytes_out, {"direction": "out"})
+
+    writer.declare(
+        "repro_connections_opened_total", "counter", "TCP connections accepted."
+    )
+    writer.sample("repro_connections_opened_total", metrics.connections_opened)
+    writer.declare(
+        "repro_connections_active", "gauge", "Currently open client connections."
+    )
+    writer.sample("repro_connections_active", metrics.connections_active)
+
+    for op, hist in sorted(metrics.latency_us.items()):
+        writer.histogram(
+            "repro_request_latency_seconds",
+            hist,
+            {"op": op},
+            scale=_US,
+            help_text="Per-request wall-clock latency (frame in to frame out).",
+        )
+    writer.histogram(
+        "repro_batch_requests",
+        metrics.batch_requests,
+        help_text="Requests coalesced into each dispatched micro-batch.",
+    )
+    writer.histogram(
+        "repro_batch_keys",
+        metrics.batch_keys,
+        help_text="Keys carried by each dispatched micro-batch.",
+    )
+    for name, hist in sorted(metrics.spans.items()):
+        writer.histogram(
+            "repro_span_duration_seconds",
+            hist,
+            {"span": name},
+            scale=_US,
+            help_text="Instrumented timer spans inside the request path.",
+        )
+
+    writer.declare(
+        "repro_snapshots_written_total", "counter", "Snapshots written via the SNAPSHOT op."
+    )
+    writer.sample("repro_snapshots_written_total", metrics.snapshots_written)
+    if snapshots is not None:
+        age = snapshots.age_s
+        if age is not None:
+            writer.declare(
+                "repro_snapshot_age_seconds", "gauge",
+                "Seconds since the last successful snapshot.",
+            )
+            writer.sample("repro_snapshot_age_seconds", age)
+        if snapshots.last_report is not None:
+            writer.declare(
+                "repro_snapshot_bytes", "gauge", "Size of the last snapshot."
+            )
+            writer.sample(
+                "repro_snapshot_bytes", snapshots.last_report.get("bytes", 0)
+            )
+
+    if filt is not None:
+        _render_filter(writer, filt)
+    return writer.render()
+
+
+def _render_filter(writer: _Writer, filt) -> None:
+    labels = {"filter": getattr(filt, "name", type(filt).__name__)}
+    writer.declare(
+        "repro_filter_total_bits", "gauge", "Logical size of the hosted filter."
+    )
+    writer.sample("repro_filter_total_bits", filt.total_bits, labels)
+
+    writer.declare(
+        "repro_filter_operations_total", "counter",
+        "Filter operations executed, by kind.",
+    )
+    writer.declare(
+        "repro_word_accesses_total", "counter",
+        "Machine-word memory accesses (the paper's Tables I-III axis).",
+    )
+    writer.declare(
+        "repro_hash_bits_total", "counter",
+        "Hash bits consumed (access bandwidth, Tables I-III).",
+    )
+    writer.declare(
+        "repro_hash_calls_total", "counter", "Hash function evaluations."
+    )
+    for kind, stats in filt.stats.iter_totals():
+        kind_labels = {**labels, "kind": kind}
+        writer.sample(
+            "repro_filter_operations_total", stats.operations, kind_labels
+        )
+        writer.sample(
+            "repro_word_accesses_total", stats.word_accesses, kind_labels
+        )
+        writer.sample("repro_hash_bits_total", stats.hash_bits, kind_labels)
+        writer.sample("repro_hash_calls_total", stats.hash_calls, kind_labels)
+
+    overflow = getattr(filt, "overflow_events", None)
+    if overflow is not None:
+        writer.declare(
+            "repro_word_overflow_events_total", "counter",
+            "Inserts absorbed by saturated words (word_overflow=saturate).",
+        )
+        writer.sample("repro_word_overflow_events_total", overflow, labels)
+    skipped = getattr(filt, "skipped_deletes", None)
+    if skipped is not None:
+        writer.declare(
+            "repro_skipped_deletes_total", "counter",
+            "Deletes recorded as no-ops on saturated words.",
+        )
+        writer.sample("repro_skipped_deletes_total", skipped, labels)
+
+    shards = getattr(filt, "shards", None)
+    if shards is not None:
+        writer.declare(
+            "repro_shard_operations_total", "counter",
+            "Per-shard operation load of a sharded bank.",
+        )
+        for index, shard in enumerate(shards):
+            for kind, stats in shard.stats.iter_totals():
+                writer.sample(
+                    "repro_shard_operations_total",
+                    stats.operations,
+                    {"shard": str(index), "kind": kind},
+                )
+
+
+def parse_exposition(text: str) -> dict[str, list[tuple[dict[str, str], float]]]:
+    """Parse a text-exposition document into ``{series: [(labels, value)]}``.
+
+    Covers the subset this exporter emits (no timestamps, no exemplars).
+    Histogram child series keep their ``_bucket``/``_sum``/``_count``
+    suffixes as distinct keys.  Raises :class:`ValueError` on a
+    malformed sample line, which is exactly what the CI smoke job wants
+    to detect.
+    """
+    families: dict[str, list[tuple[dict[str, str], float]]] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        name, labels, rest = _split_sample(line, lineno)
+        parts = rest.split()
+        if len(parts) != 1:
+            raise ValueError(f"line {lineno}: expected '<series> <value>': {raw!r}")
+        try:
+            value = float(parts[0].replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError as exc:
+            raise ValueError(f"line {lineno}: bad value {parts[0]!r}") from exc
+        families.setdefault(name, []).append((labels, value))
+    return families
+
+
+def _split_sample(line: str, lineno: int) -> tuple[str, dict[str, str], str]:
+    brace = line.find("{")
+    if brace == -1:
+        name, _, rest = line.partition(" ")
+        if not name or not rest:
+            raise ValueError(f"line {lineno}: malformed sample: {line!r}")
+        return name, {}, rest
+    name = line[:brace]
+    end = line.find("}", brace)
+    if end == -1:
+        raise ValueError(f"line {lineno}: unterminated label set: {line!r}")
+    labels = _parse_labels(line[brace + 1 : end], lineno)
+    return name, labels, line[end + 1 :].strip()
+
+
+def _parse_labels(body: str, lineno: int) -> dict[str, str]:
+    labels: dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        eq = body.find("=", pos)
+        if eq == -1 or eq + 1 >= len(body) or body[eq + 1] != '"':
+            raise ValueError(f"line {lineno}: malformed labels: {body!r}")
+        key = body[pos:eq].strip().lstrip(",").strip()
+        value_chars: list[str] = []
+        i = eq + 2
+        while i < len(body):
+            ch = body[i]
+            if ch == "\\" and i + 1 < len(body):
+                escaped = body[i + 1]
+                value_chars.append(
+                    {"n": "\n", "\\": "\\", '"': '"'}.get(escaped, escaped)
+                )
+                i += 2
+                continue
+            if ch == '"':
+                break
+            value_chars.append(ch)
+            i += 1
+        else:
+            raise ValueError(f"line {lineno}: unterminated label value: {body!r}")
+        labels[key] = "".join(value_chars)
+        pos = i + 1
+    return labels

@@ -25,6 +25,7 @@ neighbours in the same coalesced batch (see
 from __future__ import annotations
 
 import asyncio
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable
@@ -33,10 +34,14 @@ import numpy as np
 
 from repro.errors import ReproError, UnsupportedOperationError
 from repro.filters.base import CountingFilterBase
+from repro.observability.logging import get_logger
+from repro.observability.spans import span
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import Opcode
 
 __all__ = ["FilterExecutor", "MicroBatcher"]
+
+logger = get_logger("service.batching")
 
 
 @dataclass
@@ -44,6 +49,13 @@ class _Pending:
     op: Opcode
     keys: list[bytes]
     future: asyncio.Future = field(repr=False)
+    #: Wire-level request id (see :func:`repro.observability.logging.
+    #: new_request_id`); lets a coalesced dispatch log which requests
+    #: it fused.
+    request_id: str | None = None
+    #: Event-loop clock at enqueue; dispatch time minus this is the
+    #: latency the coalescer *added* (the ``coalesce_wait`` span).
+    enqueued_at: float = 0.0
 
 
 class _Stop:
@@ -191,20 +203,32 @@ class MicroBatcher:
         self._executor.shutdown(wait=True)
 
     # -- submission -----------------------------------------------------
-    async def submit(self, op: Opcode, keys: list[bytes]) -> object:
+    async def submit(
+        self, op: Opcode, keys: list[bytes], *, request_id: str | None = None
+    ) -> object:
         """Enqueue one request; resolves to its per-request result.
 
         Submissions racing :meth:`stop` fail fast instead of hanging:
         anything enqueued before the stop sentinel still drains, but a
         request arriving after shutdown began has no worker left to
-        serve it.
+        serve it.  ``request_id`` (optional) travels with the request so
+        the dispatch log can attribute the fused batch.
         """
         if self._task is None:
             raise RuntimeError("MicroBatcher is not running (call start())")
         if self._stopping:
             raise RuntimeError("MicroBatcher is stopping; request rejected")
-        future: asyncio.Future = asyncio.get_running_loop().create_future()
-        await self._queue.put(_Pending(op=op, keys=keys, future=future))
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        await self._queue.put(
+            _Pending(
+                op=op,
+                keys=keys,
+                future=future,
+                request_id=request_id,
+                enqueued_at=loop.time(),
+            )
+        )
         return await future
 
     async def run(self, fn: Callable[[], object]) -> object:
@@ -278,15 +302,35 @@ class MicroBatcher:
         return self._carry is not None or not self._queue.empty()
 
     async def _dispatch(self, batch: list[_Pending], total_keys: int) -> None:
+        loop = asyncio.get_running_loop()
         if self.metrics is not None:
             self.metrics.record_batch(len(batch), total_keys)
+            dispatched_at = loop.time()
+            for pending in batch:
+                self.metrics.observe_span(
+                    "coalesce_wait", (dispatched_at - pending.enqueued_at) * 1e6
+                )
         op = batch[0].op
-        key_lists = [pending.keys for pending in batch]
-        loop = asyncio.get_running_loop()
-        try:
-            results = await loop.run_in_executor(
-                self._executor, self._apply, op, key_lists
+        if logger.isEnabledFor(logging.DEBUG):
+            logger.debug(
+                "batch_dispatch",
+                extra={
+                    "op": op.name,
+                    "requests": len(batch),
+                    "keys": total_keys,
+                    "request_ids": [
+                        pending.request_id
+                        for pending in batch
+                        if pending.request_id is not None
+                    ],
+                },
             )
+        key_lists = [pending.keys for pending in batch]
+        try:
+            with span("filter_execute", self.metrics):
+                results = await loop.run_in_executor(
+                    self._executor, self._apply, op, key_lists
+                )
         except BaseException as exc:  # noqa: BLE001 - forwarded per future
             results = [exc for _ in batch]
         for pending, result in zip(batch, results):

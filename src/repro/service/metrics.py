@@ -49,17 +49,47 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    @staticmethod
+    def bucket_upper(index: int) -> float:
+        """Exclusive upper bound of bucket ``index`` (1.0 for bucket 0)."""
+        return 1.0 if index == 0 else float(1 << index)
+
+    def bucket_counts(self) -> list[int]:
+        """Per-bucket observation counts (a copy; exporters iterate it)."""
+        return list(self._buckets)
+
     def quantile(self, q: float) -> float:
-        """Upper-bound estimate of the q-quantile (q in [0, 1])."""
+        """Upper-bound estimate of the q-quantile (q clamps to [0, 1]).
+
+        Monotone in ``q`` and never below the empirical quantile: the
+        estimate is the containing bucket's upper bound, tightened to
+        the observed ``max``.  ``q == 0`` reports the smallest occupied
+        bucket's bound (not a flat 0), and a histogram whose values all
+        fall in bucket 0 reports its sub-1 ``max`` instead of 0.
+        """
         if not self.count:
             return 0.0
-        target = q * self.count
+        target = max(1.0, min(1.0, max(0.0, q)) * self.count)
         seen = 0
         for index, bucket in enumerate(self._buckets):
             seen += bucket
             if seen >= target:
-                return float(min(self.max, (1 << index) - 1)) if index else 0.0
+                if index == self.NUM_BUCKETS - 1:
+                    # The final bucket is open-ended (it also catches
+                    # clamped overflow); max is the only bound we have.
+                    return self.max
+                return min(self.max, self.bucket_upper(index))
         return self.max
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram into this one (bucket-exact: merging
+        equals having observed both value streams on one histogram)."""
+        for index, bucket in enumerate(other._buckets):
+            self._buckets[index] += bucket
+        self.count += other.count
+        self.total += other.total
+        if other.max > self.max:
+            self.max = other.max
 
     def summary(self) -> dict[str, float]:
         return {
@@ -89,6 +119,10 @@ class ServiceMetrics:
         self.batch_requests = Histogram()
         #: Keys carried by each dispatched micro-batch.
         self.batch_keys = Histogram()
+        #: Named timer spans (protocol decode, coalescer wait, bulk
+        #: execute, snapshot write), microseconds — see
+        #: :mod:`repro.observability.spans`.
+        self.spans: dict[str, Histogram] = {}
         self.snapshots_written = 0
 
     # -- recording ------------------------------------------------------
@@ -98,6 +132,13 @@ class ServiceMetrics:
         if hist is None:
             hist = self.latency_us[name] = Histogram()
         hist.observe(latency_us)
+
+    def observe_span(self, name: str, duration_us: float) -> None:
+        """Record one timer-span duration (the spans' sink hook)."""
+        hist = self.spans.get(name)
+        if hist is None:
+            hist = self.spans[name] = Histogram()
+        hist.observe(duration_us)
 
     def record_error(self, code_name: str) -> None:
         self.errors[code_name] += 1
@@ -126,6 +167,9 @@ class ServiceMetrics:
             },
             "latency_us": {
                 name: hist.summary() for name, hist in self.latency_us.items()
+            },
+            "spans_us": {
+                name: hist.summary() for name, hist in self.spans.items()
             },
             "coalescing": {
                 "dispatches": self.batch_requests.count,

@@ -27,10 +27,15 @@ from __future__ import annotations
 import asyncio
 import contextlib
 import json
+import logging
 import signal
 import time
 
 from repro.errors import ReproError
+from repro.observability.httpd import ObservabilityHTTPServer
+from repro.observability.logging import get_logger, new_request_id
+from repro.observability.prometheus import render_metrics
+from repro.observability.spans import span
 from repro.service.batching import FilterExecutor, MicroBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -46,6 +51,8 @@ from repro.service.protocol import (
 from repro.service.snapshot import SnapshotManager
 
 __all__ = ["FilterServer", "serve"]
+
+logger = get_logger("service.server")
 
 
 class FilterServer:
@@ -66,6 +73,10 @@ class FilterServer:
         :class:`~repro.service.batching.FilterExecutor`).
     snapshot_path, snapshot_interval_s:
         Enable on-demand (and optionally periodic) snapshots.
+    metrics_port:
+        When not None, serve ``/metrics`` (Prometheus text exposition)
+        and ``/healthz`` over HTTP on this port (0 picks an ephemeral
+        port, read back from ``.metrics_port`` after :meth:`start`).
     """
 
     def __init__(
@@ -79,6 +90,7 @@ class FilterServer:
         fuse_mutations: bool = False,
         snapshot_path: str | None = None,
         snapshot_interval_s: float | None = None,
+        metrics_port: int | None = None,
     ) -> None:
         self.filter = filt
         self.host = host
@@ -92,29 +104,73 @@ class FilterServer:
             metrics=self.metrics,
         )
         self.snapshots = (
-            SnapshotManager(filt, snapshot_path, interval_s=snapshot_interval_s)
+            SnapshotManager(
+                filt,
+                snapshot_path,
+                interval_s=snapshot_interval_s,
+                metrics=self.metrics,
+            )
             if snapshot_path
             else None
         )
+        self.metrics_port = metrics_port
+        self.metrics_http = (
+            ObservabilityHTTPServer(
+                self._render_metrics,
+                self._health,
+                host=host,
+                port=metrics_port,
+            )
+            if metrics_port is not None
+            else None
+        )
+        self._draining = False
         self._server: asyncio.base_events.Server | None = None
         self._stopped = asyncio.Event()
         self._connections: set[asyncio.Task] = set()
         self._writers: set[asyncio.StreamWriter] = set()
 
+    # -- observability ---------------------------------------------------
+    def _render_metrics(self) -> str:
+        return render_metrics(self.metrics, self.filter, self.snapshots)
+
+    def _health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "filter": getattr(self.filter, "name", type(self.filter).__name__),
+            "uptime_s": round(
+                time.monotonic() - self.metrics.started_at, 3
+            ),
+            "connections_active": self.metrics.connections_active,
+        }
+
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
-        """Bind, start the coalescer and periodic snapshots."""
+        """Bind, start the coalescer, metrics endpoint, and snapshots."""
         self.batcher.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port
         )
         self.port = self._server.sockets[0].getsockname()[1]
+        if self.metrics_http is not None:
+            await self.metrics_http.start()
+            self.metrics_port = self.metrics_http.port
         if self.snapshots is not None:
             self.snapshots.start_periodic(self.batcher.run)
+        logger.info(
+            "server_started",
+            extra={
+                "filter": getattr(self.filter, "name", None),
+                "host": self.host,
+                "port": self.port,
+                "metrics_port": self.metrics_port,
+            },
+        )
 
     async def stop(self) -> None:
         """Graceful drain: close listener, finish in-flight requests,
         flush the batcher, write a final snapshot."""
+        self._draining = True  # /healthz flips to 503 while we drain
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -130,6 +186,11 @@ class FilterServer:
         await self.batcher.stop()
         if self.snapshots is not None:
             self.snapshots.save_now()
+        # The metrics endpoint outlives the drain so operators can watch
+        # it happen; it is the last thing to go dark.
+        if self.metrics_http is not None:
+            await self.metrics_http.stop()
+        logger.info("server_stopped", extra={"port": self.port})
         self._stopped.set()
 
     async def wait_stopped(self) -> None:
@@ -156,18 +217,30 @@ class FilterServer:
                 if frame is None:
                     break
                 opcode, body = frame
+                request_id = new_request_id()
                 self.metrics.bytes_in += len(body) + 6
                 started = time.perf_counter()
                 try:
-                    response = await self._dispatch(opcode, body)
+                    response = await self._dispatch(opcode, body, request_id)
                 except ProtocolError as exc:
                     # Bad body in a well-framed request: answer, carry on.
-                    response = self._error_frame(exc)
+                    response = self._error_frame(exc, request_id)
                 except ReproError as exc:
-                    response = self._error_frame(exc)
+                    response = self._error_frame(exc, request_id)
                 latency_us = (time.perf_counter() - started) * 1e6
                 self.metrics.record_op(opcode.name, latency_us)
                 self.metrics.bytes_out += len(response)
+                if logger.isEnabledFor(logging.DEBUG):
+                    logger.debug(
+                        "request",
+                        extra={
+                            "request_id": request_id,
+                            "op": opcode.name,
+                            "latency_us": round(latency_us, 1),
+                            "bytes_in": len(body) + 6,
+                            "bytes_out": len(response),
+                        },
+                    )
                 writer.write(response)
                 try:
                     await writer.drain()
@@ -182,7 +255,9 @@ class FilterServer:
             with contextlib.suppress(ConnectionError):
                 await writer.wait_closed()
 
-    async def _dispatch(self, opcode: Opcode, body: bytes) -> bytes:
+    async def _dispatch(
+        self, opcode: Opcode, body: bytes, request_id: str | None = None
+    ) -> bytes:
         if opcode == Opcode.PING:
             return encode_frame(Opcode.OK)
         if opcode == Opcode.STATS:
@@ -200,17 +275,28 @@ class FilterServer:
             return encode_frame(
                 Opcode.JSON, json.dumps(report).encode("utf-8")
             )
-        request = parse_request(opcode, body)
-        result = await self.batcher.submit(request.op, request.keys)
+        with span("protocol_decode", self.metrics):
+            request = parse_request(opcode, body)
+        result = await self.batcher.submit(
+            request.op, request.keys, request_id=request_id
+        )
         if request.op == Opcode.QUERY:
             if request.single:
                 return encode_frame(Opcode.BOOL, bytes([int(result[0])]))
             return encode_frame(Opcode.BITMAP, pack_bools(result))
         return encode_frame(Opcode.OK)
 
-    def _error_frame(self, exc: Exception) -> bytes:
+    def _error_frame(self, exc: Exception, request_id: str | None = None) -> bytes:
         code = error_code_for(exc)
         self.metrics.record_error(code.name)
+        logger.info(
+            "request_error",
+            extra={
+                "request_id": request_id,
+                "code": code.name,
+                "error": str(exc),
+            },
+        )
         return encode_frame(Opcode.ERROR, encode_error_body(code, str(exc)))
 
     async def _send_error(
@@ -231,6 +317,7 @@ async def serve(
     fuse_mutations: bool = False,
     snapshot_path: str | None = None,
     snapshot_interval_s: float | None = None,
+    metrics_port: int | None = None,
     ready: asyncio.Event | None = None,
     install_signal_handlers: bool = True,
 ) -> None:
@@ -248,6 +335,7 @@ async def serve(
         fuse_mutations=fuse_mutations,
         snapshot_path=snapshot_path,
         snapshot_interval_s=snapshot_interval_s,
+        metrics_port=metrics_port,
     )
     await server.start()
     stop_requested = asyncio.Event()
@@ -261,6 +349,12 @@ async def serve(
         f"{server.host}:{server.port}",
         flush=True,
     )
+    if server.metrics_http is not None:
+        print(
+            f"repro service: metrics on "
+            f"http://{server.host}:{server.metrics_port}/metrics",
+            flush=True,
+        )
     if ready is not None:
         ready.set()
     try:

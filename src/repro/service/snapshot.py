@@ -19,6 +19,7 @@ import time
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.observability.spans import spanned
 from repro.serialize import dump_bank, dump_filter, load_bank, load_filter
 
 __all__ = ["SnapshotManager", "write_snapshot", "load_snapshot"]
@@ -68,17 +69,36 @@ class SnapshotManager:
     the dump after in-flight batches on the same worker thread.
     """
 
-    def __init__(self, filt, path: str | Path, *, interval_s: float | None = None) -> None:
+    def __init__(
+        self,
+        filt,
+        path: str | Path,
+        *,
+        interval_s: float | None = None,
+        metrics=None,
+    ) -> None:
         self.filter = filt
         self.path = Path(path)
         self.interval_s = interval_s
         self.last_report: dict | None = None
+        self.last_saved_monotonic: float | None = None
+        #: Optional span sink (:class:`ServiceMetrics`) timing each dump.
+        self.metrics = metrics
         self._task: asyncio.Task | None = None
 
+    @property
+    def age_s(self) -> float | None:
+        """Seconds since the last successful dump (None before the first)."""
+        if self.last_saved_monotonic is None:
+            return None
+        return time.monotonic() - self.last_saved_monotonic
+
+    @spanned("snapshot_write")
     def save_now(self) -> dict:
         """Dump synchronously (caller must own the filter's thread)."""
         report = write_snapshot(self.filter, self.path)
         self.last_report = report
+        self.last_saved_monotonic = time.monotonic()
         return report
 
     async def save(self, runner=None) -> dict:

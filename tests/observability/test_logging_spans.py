@@ -1,0 +1,161 @@
+"""Unit tests for structured JSON logging and timer spans."""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+import logging
+
+import pytest
+
+from repro.observability.logging import (
+    JsonLogFormatter,
+    configure_json_logging,
+    get_logger,
+    new_request_id,
+)
+from repro.observability.spans import Span, span, spanned
+from repro.service.metrics import ServiceMetrics
+
+
+@pytest.fixture
+def json_log_stream():
+    """Capture the repro logger tree as JSON lines; detach afterwards."""
+    stream = io.StringIO()
+    handler = configure_json_logging(stream, level=logging.DEBUG)
+    yield stream
+    logging.getLogger("repro").removeHandler(handler)
+
+
+def log_lines(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestJsonLogging:
+    def test_every_line_is_valid_json_with_extras(self, json_log_stream):
+        logger = get_logger("service.test")
+        logger.info("request", extra={"request_id": "abc-1", "op": "QUERY"})
+        logger.debug("detail", extra={"keys": 3})
+        events = log_lines(json_log_stream)
+        assert [e["event"] for e in events] == ["request", "detail"]
+        assert events[0]["request_id"] == "abc-1"
+        assert events[0]["op"] == "QUERY"
+        assert events[0]["level"] == "INFO"
+        assert events[0]["logger"] == "repro.service.test"
+        assert events[1]["keys"] == 3
+
+    def test_non_serialisable_extras_fall_back_to_str(self, json_log_stream):
+        get_logger("x").info("obj", extra={"payload": object()})
+        (event,) = log_lines(json_log_stream)
+        assert "object object" in event["payload"]
+
+    def test_exception_info_included(self, json_log_stream):
+        try:
+            raise ValueError("boom")
+        except ValueError:
+            get_logger("x").info("failed", exc_info=True)
+        (event,) = log_lines(json_log_stream)
+        assert "ValueError: boom" in event["exc"]
+
+    def test_configure_is_idempotent(self):
+        stream = io.StringIO()
+        first = configure_json_logging(stream)
+        second = configure_json_logging(stream)
+        logger = logging.getLogger("repro")
+        json_handlers = [
+            h for h in logger.handlers if getattr(h, "_repro_json_handler", False)
+        ]
+        assert json_handlers == [second]
+        assert first is not second
+        logger.removeHandler(second)
+
+    def test_get_logger_namespacing(self):
+        assert get_logger("service.server").name == "repro.service.server"
+        assert get_logger("repro.service").name == "repro.service"
+
+    def test_formatter_compact_single_line(self):
+        record = logging.LogRecord(
+            "repro.t", logging.INFO, __file__, 1, "msg with \n newline", (), None
+        )
+        text = JsonLogFormatter().format(record)
+        assert "\n" not in text
+        assert json.loads(text)["event"] == "msg with \n newline"
+
+
+class TestRequestIds:
+    def test_unique_and_monotone(self):
+        ids = [new_request_id() for _ in range(100)]
+        assert len(set(ids)) == 100
+        # pid prefix shared, sequence increasing
+        prefixes = {rid.split("-")[0] for rid in ids}
+        assert len(prefixes) == 1
+        sequences = [int(rid.split("-")[1], 16) for rid in ids]
+        assert sequences == sorted(sequences)
+
+
+class TestSpans:
+    def test_span_records_into_service_metrics(self):
+        metrics = ServiceMetrics()
+        with span("decode", metrics):
+            pass
+        assert metrics.spans["decode"].count == 1
+        assert metrics.spans["decode"].max >= 0.0
+
+    def test_span_with_callable_sink(self):
+        seen = []
+        with span("x", lambda name, us: seen.append((name, us))) as timer:
+            pass
+        assert seen[0][0] == "x"
+        assert seen[0][1] == timer.elapsed_us
+
+    def test_span_with_none_sink_still_times(self):
+        with span("quiet") as timer:
+            pass
+        assert timer.elapsed_us >= 0.0
+
+    def test_span_records_failed_blocks_and_reraises(self):
+        metrics = ServiceMetrics()
+        with pytest.raises(RuntimeError):
+            with span("failing", metrics):
+                raise RuntimeError("nope")
+        assert metrics.spans["failing"].count == 1
+
+    def test_span_rejects_bad_sink(self):
+        with pytest.raises(TypeError):
+            Span("x", sink=42)
+
+    def test_spanned_decorator_sync(self):
+        class Worker:
+            def __init__(self):
+                self.metrics = ServiceMetrics()
+
+            @spanned("work")
+            def work(self, value):
+                return value * 2
+
+        worker = Worker()
+        assert worker.work(21) == 42
+        assert worker.metrics.spans["work"].count == 1
+
+    def test_spanned_decorator_async(self):
+        class Worker:
+            def __init__(self):
+                self.metrics = ServiceMetrics()
+
+            @spanned("awork")
+            async def work(self, value):
+                await asyncio.sleep(0)
+                return value + 1
+
+        worker = Worker()
+        assert asyncio.run(worker.work(1)) == 2
+        assert worker.metrics.spans["awork"].count == 1
+
+    def test_spanned_tolerates_missing_sink_attr(self):
+        class Bare:
+            @spanned("anon")
+            def work(self):
+                return "ok"
+
+        assert Bare().work() == "ok"

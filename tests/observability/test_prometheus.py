@@ -1,0 +1,186 @@
+"""Unit tests for the Prometheus text-exposition renderer and parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filters.factory import FilterSpec, build_filter
+from repro.observability.prometheus import (
+    escape_label_value,
+    parse_exposition,
+    render_metrics,
+)
+from repro.service.metrics import Histogram, ServiceMetrics
+
+
+def make_metrics() -> ServiceMetrics:
+    metrics = ServiceMetrics()
+    metrics.record_op("QUERY", 120.0)
+    metrics.record_op("QUERY", 450.0)
+    metrics.record_op("INSERT", 80.0)
+    metrics.record_error("COUNTER_UNDERFLOW")
+    metrics.record_batch(3, 48)
+    metrics.observe_span("filter_execute", 200.0)
+    metrics.bytes_in = 1000
+    metrics.bytes_out = 2000
+    metrics.connections_opened = 4
+    metrics.connections_active = 2
+    return metrics
+
+
+def make_filter():
+    filt = build_filter(
+        FilterSpec(variant="MPCBF-1", memory_bits=8 * 8192, k=3, capacity=500, seed=3)
+    )
+    filt.insert_many([b"k%d" % i for i in range(100)])
+    filt.query_many([b"k%d" % i for i in range(50)])
+    return filt
+
+
+class TestRenderMetrics:
+    def test_document_parses(self):
+        text = render_metrics(make_metrics(), make_filter())
+        families = parse_exposition(text)
+        assert families  # non-empty, and no line raised
+
+    def test_counter_families_present_and_typed(self):
+        text = render_metrics(make_metrics(), make_filter())
+        assert "# TYPE repro_requests_total counter" in text
+        assert "# TYPE repro_connections_active gauge" in text
+        assert "# TYPE repro_request_latency_seconds histogram" in text
+        # HELP/TYPE emitted once per family even with many label sets.
+        assert text.count("# TYPE repro_request_latency_seconds histogram") == 1
+
+    def test_per_op_counters(self):
+        families = parse_exposition(render_metrics(make_metrics()))
+        requests = dict(
+            (labels["op"], value)
+            for labels, value in families["repro_requests_total"]
+        )
+        assert requests == {"QUERY": 2.0, "INSERT": 1.0}
+        errors = families["repro_errors_total"]
+        assert errors == [({"code": "COUNTER_UNDERFLOW"}, 1.0)]
+
+    def test_histogram_buckets_cumulative_and_consistent(self):
+        families = parse_exposition(render_metrics(make_metrics()))
+        buckets = [
+            (labels, value)
+            for labels, value in families["repro_request_latency_seconds_bucket"]
+            if labels.get("op") == "QUERY"
+        ]
+        values = [value for _, value in buckets]
+        assert values == sorted(values), "buckets must be cumulative"
+        inf_bucket = [v for labels, v in buckets if labels["le"] == "+Inf"]
+        assert inf_bucket == [2.0]
+        count = [
+            v
+            for labels, v in families["repro_request_latency_seconds_count"]
+            if labels.get("op") == "QUERY"
+        ]
+        assert count == [2.0]
+        total = [
+            v
+            for labels, v in families["repro_request_latency_seconds_sum"]
+            if labels.get("op") == "QUERY"
+        ]
+        # 120µs + 450µs exported in seconds.
+        assert total[0] == pytest.approx(570e-6)
+
+    def test_access_stats_exported_as_counters(self):
+        filt = make_filter()
+        families = parse_exposition(render_metrics(make_metrics(), filt))
+        accesses = {
+            labels["kind"]: value
+            for labels, value in families["repro_word_accesses_total"]
+        }
+        assert accesses["insert"] > 0
+        assert accesses["query"] > 0
+        ops = {
+            labels["kind"]: value
+            for labels, value in families["repro_filter_operations_total"]
+        }
+        assert ops["insert"] == 100.0
+        assert ops["query"] == 50.0
+
+    def test_sharded_bank_exports_per_shard_load(self):
+        from repro.parallel.sharded import ShardedFilterBank
+
+        bank = ShardedFilterBank(
+            FilterSpec(
+                variant="MPCBF-1",
+                memory_bits=16 * 8192,
+                k=3,
+                capacity=500,
+                seed=3,
+                extra={"word_overflow": "saturate"},
+            ),
+            4,
+        )
+        bank.insert_many([b"s%d" % i for i in range(200)])
+        families = parse_exposition(render_metrics(make_metrics(), bank))
+        shard_inserts = [
+            value
+            for labels, value in families["repro_shard_operations_total"]
+            if labels["kind"] == "insert"
+        ]
+        assert len(shard_inserts) == 4
+        assert sum(shard_inserts) == 200.0
+
+    def test_snapshot_age_gauge(self, tmp_path):
+        from repro.service.snapshot import SnapshotManager
+
+        manager = SnapshotManager(make_filter(), tmp_path / "f.snap")
+        text = render_metrics(make_metrics(), snapshots=manager)
+        assert "repro_snapshot_age_seconds" not in text  # nothing saved yet
+        manager.save_now()
+        families = parse_exposition(render_metrics(make_metrics(), snapshots=manager))
+        (labels, age), = families["repro_snapshot_age_seconds"]
+        assert 0.0 <= age < 60.0
+        (_, size), = families["repro_snapshot_bytes"]
+        assert size > 0
+
+    def test_empty_registry_renders_valid_document(self):
+        text = render_metrics(ServiceMetrics())
+        families = parse_exposition(text)
+        assert families["repro_uptime_seconds"][0][1] >= 0.0
+
+
+class TestEscapingAndParsing:
+    def test_escape_label_value(self):
+        assert escape_label_value('a"b\\c\nd') == 'a\\"b\\\\c\\nd'
+
+    def test_parse_roundtrips_escaped_labels(self):
+        doc = 'weird_metric{name="a\\"b\\\\c\\nd"} 1\n'
+        families = parse_exposition(doc)
+        assert families["weird_metric"] == [({"name": 'a"b\\c\nd'}, 1.0)]
+
+    def test_parse_rejects_malformed_lines(self):
+        with pytest.raises(ValueError):
+            parse_exposition("no_value_here\n")
+        with pytest.raises(ValueError):
+            parse_exposition('unterminated{label="x 1\n')
+        with pytest.raises(ValueError):
+            parse_exposition("metric notanumber\n")
+
+    def test_parse_skips_comments_and_blanks(self):
+        doc = "# HELP x y\n# TYPE x counter\n\nx 3\n"
+        assert parse_exposition(doc) == {"x": [({}, 3.0)]}
+
+    def test_parse_handles_inf(self):
+        doc = 'h_bucket{le="+Inf"} 7\n'
+        (labels, value), = parse_exposition(doc)["h_bucket"]
+        assert labels == {"le": "+Inf"}
+        assert value == 7.0
+
+    def test_histogram_bucket_bound_uses_bucket_upper(self):
+        hist = Histogram()
+        hist.observe(3.0)  # bucket 2: [2, 4)
+        metrics = ServiceMetrics()
+        metrics.spans["probe"] = hist
+        families = parse_exposition(render_metrics(metrics))
+        bounds = [
+            labels["le"]
+            for labels, _ in families["repro_span_duration_seconds_bucket"]
+        ]
+        # µs → s scaling: bucket 2's upper bound 4 µs renders as 4e-06.
+        assert "4e-06" in bounds

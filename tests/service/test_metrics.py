@@ -1,0 +1,166 @@
+"""Unit + property tests for the service metrics primitives.
+
+The Histogram is the daemon's only latency datatype, so its edge cases
+(empty, single bucket, exact power-of-two values) and its algebra
+(merge == concatenated observation streams, quantile monotone in q)
+get the hypothesis treatment here.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.service.metrics import Histogram, ServiceMetrics
+
+values_strategy = st.lists(
+    st.floats(min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False),
+    max_size=200,
+)
+
+
+def hist_of(values) -> Histogram:
+    hist = Histogram()
+    for value in values:
+        hist.observe(value)
+    return hist
+
+
+class TestHistogramEdgeCases:
+    def test_empty_histogram(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 0.0
+        assert hist.summary()["p99"] == 0.0
+
+    def test_single_observation(self):
+        hist = hist_of([5.0])
+        for q in (0.0, 0.5, 1.0):
+            assert hist.quantile(q) == 5.0
+
+    def test_single_bucket_sub_one_values(self):
+        # All values land in bucket 0; quantiles must report the sub-1
+        # max, not a flat 0 (the old behaviour).
+        hist = hist_of([0.25, 0.5, 0.75])
+        assert hist.quantile(0.99) == 0.75
+        assert hist.quantile(0.0) == 0.75  # bucket-0 upper bound, clamped to max
+
+    def test_values_exactly_at_power_of_two_boundaries(self):
+        for exponent in (0, 1, 4, 10, 31):
+            value = float(2**exponent)
+            hist = hist_of([value] * 10)
+            assert hist.quantile(0.5) == value
+            assert hist.quantile(1.0) == value
+            assert hist.max == value
+
+    def test_quantile_clamps_q_outside_unit_interval(self):
+        hist = hist_of([1.0, 100.0])
+        assert hist.quantile(-1.0) == hist.quantile(0.0)
+        assert hist.quantile(2.0) == hist.quantile(1.0)
+
+    def test_zero_values(self):
+        hist = hist_of([0.0] * 5)
+        assert hist.quantile(0.99) == 0.0
+        assert hist.mean == 0.0
+
+    def test_negative_values_clamp_to_zero(self):
+        hist = hist_of([-3.0])
+        assert hist.count == 1
+        assert hist.max == 0.0
+
+    def test_huge_values_clamp_to_last_bucket(self):
+        hist = hist_of([1e30])
+        assert sum(hist.bucket_counts()) == 1
+        assert hist.bucket_counts()[Histogram.NUM_BUCKETS - 1] == 1
+        assert hist.quantile(1.0) == 1e30
+
+    def test_bucket_upper_bounds(self):
+        assert Histogram.bucket_upper(0) == 1.0
+        assert Histogram.bucket_upper(1) == 2.0
+        assert Histogram.bucket_upper(10) == 1024.0
+
+
+class TestHistogramProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(values=values_strategy, qs=st.lists(st.floats(0, 1), min_size=2, max_size=8))
+    def test_quantile_monotone_in_q(self, values, qs):
+        hist = hist_of(values)
+        estimates = [hist.quantile(q) for q in sorted(qs)]
+        assert estimates == sorted(estimates)
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=values_strategy.filter(bool), q=st.floats(0, 1))
+    def test_quantile_never_below_empirical(self, values, q):
+        # The estimate is a bucket upper bound: it must dominate the
+        # empirical (ceil-rank) quantile it approximates.
+        hist = hist_of(values)
+        clamped = sorted(max(0.0, v) for v in values)
+        rank = max(1, math.ceil(q * len(clamped)))
+        assert hist.quantile(q) >= clamped[rank - 1] or math.isclose(
+            hist.quantile(q), clamped[rank - 1]
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(values=values_strategy.filter(bool))
+    def test_quantile_one_equals_max(self, values):
+        hist = hist_of(values)
+        assert hist.quantile(1.0) == hist.max
+
+    @settings(max_examples=60, deadline=None)
+    @given(left=values_strategy, right=values_strategy)
+    def test_merge_equals_concatenated_stream(self, left, right):
+        merged = hist_of(left)
+        merged.merge(hist_of(right))
+        combined = hist_of(left + right)
+        assert merged.bucket_counts() == combined.bucket_counts()
+        assert merged.count == combined.count
+        assert merged.max == combined.max
+        assert merged.total == pytest.approx(combined.total)
+
+    @settings(max_examples=40, deadline=None)
+    @given(left=values_strategy, right=values_strategy, q=st.floats(0, 1))
+    def test_merge_quantile_bounded_by_parts(self, left, right, q):
+        # Merging can only widen the value range: the merged quantile
+        # estimate stays within [min, max] of the parts' estimates...
+        # for q=1 exactly; in general it never exceeds the larger max.
+        merged = hist_of(left)
+        merged.merge(hist_of(right))
+        assert merged.quantile(q) <= max(
+            hist_of(left).max, hist_of(right).max
+        ) or (not left and not right)
+
+    def test_merge_into_empty(self):
+        target = Histogram()
+        target.merge(hist_of([1.0, 8.0]))
+        assert target.count == 2
+        assert target.quantile(1.0) == 8.0
+
+
+class TestServiceMetricsSpans:
+    def test_observe_span_creates_and_feeds_histograms(self):
+        metrics = ServiceMetrics()
+        metrics.observe_span("decode", 10.0)
+        metrics.observe_span("decode", 20.0)
+        metrics.observe_span("execute", 5.0)
+        assert metrics.spans["decode"].count == 2
+        assert metrics.spans["execute"].count == 1
+
+    def test_snapshot_includes_spans(self):
+        metrics = ServiceMetrics()
+        metrics.observe_span("decode", 10.0)
+        report = metrics.snapshot()
+        assert "decode" in report["spans_us"]
+        assert report["spans_us"]["decode"]["count"] == 1.0
+
+    def test_snapshot_still_json_serialisable(self):
+        import json
+
+        metrics = ServiceMetrics()
+        metrics.record_op("QUERY", 12.0)
+        metrics.observe_span("coalesce_wait", 3.0)
+        json.dumps(metrics.snapshot())

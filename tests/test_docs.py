@@ -1,0 +1,104 @@
+"""Executable documentation: every fenced ``python`` block must run.
+
+Hand-written docs rot the moment the API moves under them; the fix is
+to execute them.  This module extracts every fenced ```python block
+from README.md and docs/*.md and runs each one in a fresh namespace
+(cwd moved to a tmp dir so snippets may write files freely).  A block
+that genuinely cannot run standalone — e.g. it talks to a live daemon —
+opts out by placing ``<!-- no-test -->`` on one of the two lines above
+the fence; opted-out blocks still show up in the test report as
+skipped, so the escape hatch stays visible instead of silent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from pathlib import Path
+
+import pytest
+
+ROOT = Path(__file__).resolve().parent.parent
+
+NO_TEST_MARKER = "<!-- no-test -->"
+
+
+@dataclasses.dataclass
+class Snippet:
+    path: Path
+    lineno: int  # 1-based line of the opening fence
+    code: str
+    skipped: bool
+
+    @property
+    def test_id(self) -> str:
+        return f"{self.path.relative_to(ROOT)}:{self.lineno}"
+
+
+def extract_snippets(path: Path) -> list[Snippet]:
+    lines = path.read_text(encoding="utf-8").splitlines()
+    snippets: list[Snippet] = []
+    inside = False
+    start = 0
+    block: list[str] = []
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not inside and stripped.startswith("```python"):
+            inside = True
+            start = index
+            block = []
+        elif inside and stripped == "```":
+            inside = False
+            context = lines[max(0, start - 2) : start]
+            skipped = any(NO_TEST_MARKER in c for c in context)
+            snippets.append(
+                Snippet(
+                    path=path,
+                    lineno=start + 1,
+                    code="\n".join(block) + "\n",
+                    skipped=skipped,
+                )
+            )
+        elif inside:
+            block.append(line)
+    if inside:
+        raise AssertionError(f"{path}: unterminated ```python fence at line {start + 1}")
+    return snippets
+
+
+def documented_files() -> list[Path]:
+    return [ROOT / "README.md", *sorted((ROOT / "docs").glob("*.md"))]
+
+
+def all_snippets() -> list[Snippet]:
+    out: list[Snippet] = []
+    for path in documented_files():
+        out.extend(extract_snippets(path))
+    return out
+
+
+SNIPPETS = all_snippets()
+
+
+def test_docs_contain_executable_snippets():
+    """The extraction itself must find something — an empty parametrize
+    below would silently pass if the fence syntax drifted."""
+    assert len(SNIPPETS) >= 3
+    assert any(not s.skipped for s in SNIPPETS)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        pytest.param(
+            snippet,
+            id=snippet.test_id,
+            marks=[pytest.mark.skip(reason=NO_TEST_MARKER)] if snippet.skipped else [],
+        )
+        for snippet in SNIPPETS
+    ],
+)
+def test_doc_snippet_executes(snippet: Snippet, tmp_path, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # snippets may write files; keep the repo clean
+    code = compile(snippet.code, str(snippet.test_id), "exec")
+    namespace: dict = {"__name__": "__doc_snippet__"}
+    exec(code, namespace)  # noqa: S102 - executing our own documentation

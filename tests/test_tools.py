@@ -37,6 +37,27 @@ class TestGenApiDocs:
             "docs/api.md is stale; rerun tools/gen_api_docs.py"
         )
 
+    def test_observability_modules_covered(self):
+        assert "repro.observability" in gen_api_docs.MODULES
+        assert "repro.service.server" in gen_api_docs.MODULES
+        text = gen_api_docs.generate()
+        assert "#### `render_metrics" in text
+        assert "#### class `ObservabilityHTTPServer`" in text
+
+    def test_check_mode_passes_when_current(self, capsys):
+        assert gen_api_docs.main(["--check"]) == 0
+        assert "up to date" in capsys.readouterr().out
+
+    def test_check_mode_fails_on_drift(self, monkeypatch, capsys):
+        monkeypatch.setattr(gen_api_docs, "generate", lambda: "# drifted\n")
+        assert gen_api_docs.main(["--check"]) == 1
+        captured = capsys.readouterr()
+        assert "stale" in captured.err
+        assert "+# drifted" in captured.out  # the diff is shown
+
+    def test_check_mode_fails_when_file_missing(self, tmp_path):
+        assert gen_api_docs.check(tmp_path / "api.md") == 1
+
 
 import compare_results  # noqa: E402
 
