@@ -13,6 +13,11 @@ Usage (also installed as the ``repro`` console script)::
     repro client query --port 7757 alice bob
     repro client stats --port 7757 --watch
     repro metrics-dump --port 9464
+    repro cluster serve --wal-dir wal/a0 --port 7801 \
+                --replica 127.0.0.1:7802 --ack-mode quorum
+    repro cluster serve --wal-dir wal/a1 --port 7802 --read-only
+    repro cluster route --group a=127.0.0.1:7801,127.0.0.1:7802 --port 7700
+    repro cluster status --group a=127.0.0.1:7801,127.0.0.1:7802
 
 Key files are plain text, one key per line (encoded as UTF-8 bytes).
 Filters serialise through :mod:`repro.serialize`, so a built filter can
@@ -210,6 +215,124 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics_port=args.metrics_port,
         )
     )
+    return 0
+
+
+def _configure_serve_logging(args: argparse.Namespace) -> None:
+    if args.log_json:
+        import logging
+
+        from repro.observability.logging import configure_json_logging
+
+        configure_json_logging(
+            level=logging.DEBUG if args.log_level == "debug" else logging.INFO
+        )
+
+
+def _cmd_cluster_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster.node import serve_node
+    from repro.parallel.sharded import ShardedFilterBank
+
+    _configure_serve_logging(args)
+    memory_bits = args.memory_kb * 8192
+    capacity = args.capacity or max(1, memory_bits // 12)
+    spec = FilterSpec(
+        variant=args.variant,
+        memory_bits=memory_bits,
+        k=args.k,
+        word_bits=args.word_bits,
+        capacity=capacity,
+        seed=args.seed,
+        extra=(
+            {"word_overflow": "saturate"}
+            if args.variant.startswith("MPCBF")
+            else {}
+        ),
+    )
+
+    def build():
+        if args.shards > 1:
+            return ShardedFilterBank(spec, args.shards)
+        return build_filter(spec)
+
+    replicas = []
+    for spec_str in args.replica:
+        host, _, port = spec_str.rpartition(":")
+        if not host:
+            raise ReproError(f"--replica {spec_str!r} is not HOST:PORT")
+        replicas.append((host, int(port)))
+    asyncio.run(
+        serve_node(
+            build,
+            wal_dir=args.wal_dir,
+            snapshot_path=args.snapshot,
+            fsync=args.fsync,
+            host=args.host,
+            port=args.port,
+            replicas=replicas,
+            ack_mode=args.ack_mode,
+            read_only=args.read_only,
+            snapshot_interval_s=args.snapshot_interval,
+            metrics_port=args.metrics_port,
+            max_batch=args.max_batch,
+            max_delay_us=args.max_delay_us,
+            quorum_timeout_s=args.quorum_timeout,
+        )
+    )
+    return 0
+
+
+def _cmd_cluster_route(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.cluster.router import (
+        HashRing,
+        HealthChecker,
+        RouterBackend,
+        parse_group,
+    )
+    from repro.service.server import serve
+
+    _configure_serve_logging(args)
+    groups = [parse_group(spec) for spec in args.group]
+    ring = HashRing(groups, vnodes=args.vnodes)
+    health = HealthChecker(
+        [node for group in groups for node in group.nodes],
+        interval_s=args.health_interval,
+    )
+    health.start()
+    backend = RouterBackend(ring, health=health, timeout_s=args.timeout)
+    try:
+        asyncio.run(
+            serve(
+                backend,
+                host=args.host,
+                port=args.port,
+                max_batch=args.max_batch,
+                max_delay_us=args.max_delay_us,
+                metrics_port=args.metrics_port,
+            )
+        )
+    finally:
+        health.stop()
+        backend.close()
+    return 0
+
+
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    from repro.cluster.cluster_client import ClusterClient
+
+    with ClusterClient(
+        args.group,
+        vnodes=args.vnodes,
+        timeout_s=args.timeout,
+        check_health=True,
+    ) as client:
+        import json as _json
+
+        print(_json.dumps(client.status(), indent=2, sort_keys=True))
     return 0
 
 
@@ -449,6 +572,102 @@ def build_parser() -> argparse.ArgumentParser:
         help="refresh period for --watch, seconds",
     )
     p_client.set_defaults(func=_cmd_client)
+
+    p_cluster = sub.add_parser(
+        "cluster", help="WAL-durable nodes, replication, and routing"
+    )
+    cluster_sub = p_cluster.add_subparsers(dest="cluster_command", required=True)
+
+    p_cnode = cluster_sub.add_parser(
+        "serve", help="run one durable cluster node (primary or replica)"
+    )
+    p_cnode.add_argument("--variant", default="MPCBF-1")
+    p_cnode.add_argument("--memory-kb", type=int, default=64)
+    p_cnode.add_argument("--k", type=int, default=3)
+    p_cnode.add_argument("--word-bits", type=int, default=64)
+    p_cnode.add_argument("--capacity", type=int, default=None)
+    p_cnode.add_argument("--seed", type=int, default=0)
+    p_cnode.add_argument("--shards", type=int, default=1)
+    p_cnode.add_argument("--host", default="127.0.0.1")
+    p_cnode.add_argument("--port", type=int, default=7801)
+    p_cnode.add_argument(
+        "--wal-dir", required=True, help="write-ahead log directory"
+    )
+    p_cnode.add_argument(
+        "--fsync", choices=["always", "batch", "interval", "never"],
+        default="batch", help="WAL fsync policy",
+    )
+    p_cnode.add_argument(
+        "--snapshot", default=None,
+        help="snapshot path; dumps compact the WAL behind them",
+    )
+    p_cnode.add_argument("--snapshot-interval", type=float, default=None)
+    p_cnode.add_argument(
+        "--replica", action="append", default=[], metavar="HOST:PORT",
+        help="stream the WAL to this replica (repeatable; makes this node "
+        "a primary)",
+    )
+    p_cnode.add_argument(
+        "--ack-mode", choices=["async", "quorum"], default="async",
+        help="when to acknowledge mutations (quorum = majority of "
+        "primary+replicas holds the record)",
+    )
+    p_cnode.add_argument(
+        "--quorum-timeout", type=float, default=5.0,
+        help="seconds a quorum-mode ack may wait",
+    )
+    p_cnode.add_argument(
+        "--read-only", action="store_true",
+        help="replica role: reject client writes, accept replicated ones",
+    )
+    p_cnode.add_argument("--max-batch", type=int, default=512)
+    p_cnode.add_argument("--max-delay-us", type=float, default=200.0)
+    p_cnode.add_argument("--metrics-port", type=int, default=None)
+    p_cnode.add_argument("--log-json", action="store_true")
+    p_cnode.add_argument(
+        "--log-level", choices=["info", "debug"], default="info"
+    )
+    p_cnode.set_defaults(func=_cmd_cluster_serve)
+
+    p_croute = cluster_sub.add_parser(
+        "route", help="run the consistent-hash router daemon"
+    )
+    p_croute.add_argument(
+        "--group", action="append", required=True,
+        metavar="NAME=HOST:PORT[,HOST:PORT...]",
+        help="shard group: primary first, then replicas (repeatable); "
+        "append /HEALTHPORT to a node for /healthz checks",
+    )
+    p_croute.add_argument(
+        "--vnodes", type=int, default=64,
+        help="virtual nodes per group on the hash ring",
+    )
+    p_croute.add_argument("--host", default="127.0.0.1")
+    p_croute.add_argument("--port", type=int, default=7700)
+    p_croute.add_argument("--max-batch", type=int, default=512)
+    p_croute.add_argument("--max-delay-us", type=float, default=200.0)
+    p_croute.add_argument("--timeout", type=float, default=5.0)
+    p_croute.add_argument(
+        "--health-interval", type=float, default=1.0,
+        help="seconds between /healthz polls",
+    )
+    p_croute.add_argument("--metrics-port", type=int, default=None)
+    p_croute.add_argument("--log-json", action="store_true")
+    p_croute.add_argument(
+        "--log-level", choices=["info", "debug"], default="info"
+    )
+    p_croute.set_defaults(func=_cmd_cluster_route)
+
+    p_cstatus = cluster_sub.add_parser(
+        "status", help="print cluster topology, health, and replication lag"
+    )
+    p_cstatus.add_argument(
+        "--group", action="append", required=True,
+        metavar="NAME=HOST:PORT[,HOST:PORT...]",
+    )
+    p_cstatus.add_argument("--vnodes", type=int, default=64)
+    p_cstatus.add_argument("--timeout", type=float, default=5.0)
+    p_cstatus.set_defaults(func=_cmd_cluster_status)
 
     p_metrics = sub.add_parser(
         "metrics-dump",

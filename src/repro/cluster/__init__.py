@@ -1,0 +1,67 @@
+"""Durability and horizontal scale for the serving daemon.
+
+The serving daemon (:mod:`repro.service`) hosts one filter in one
+process; this package makes that filter durable and the deployment
+multi-node.  The design rhymes with the paper at every level: MPCBF
+partitions hash space across words so each query touches one word; the
+cluster partitions key space across shard groups so each query touches
+one node; the WAL's ``batch`` fsync policy amortises the flush over a
+coalesced micro-batch the same way the one-word layout amortises a row
+activation over ``k`` probes.
+
+Modules
+-------
+* :mod:`~repro.cluster.wal` — segmented, CRC-checked write-ahead log;
+  crash recovery is ``snapshot + replay``.
+* :mod:`~repro.cluster.replication` — primary→replica WAL streaming
+  over the wire protocol, with async or quorum acknowledgement.
+* :mod:`~repro.cluster.node` — node recovery, WAL-compacting
+  snapshots, and the ``repro cluster serve`` entry point.
+* :mod:`~repro.cluster.router` — consistent-hash ring (virtual nodes),
+  health-checked fan-out, and the filter-shaped backend the router
+  daemon hosts inside a stock :class:`~repro.service.server.
+  FilterServer`.
+* :mod:`~repro.cluster.cluster_client` — client-side routing over the
+  same ring.
+"""
+
+from repro.cluster.cluster_client import ClusterClient
+from repro.cluster.node import (
+    NodeRecovery,
+    WalSnapshotManager,
+    recover_node,
+    serve_node,
+)
+from repro.cluster.replication import AckMode, ReplicaLink, ReplicationManager
+from repro.cluster.router import (
+    HashRing,
+    HealthChecker,
+    NodeAddress,
+    RouterBackend,
+    ShardGroup,
+    parse_group,
+    parse_node,
+)
+from repro.cluster.wal import FsyncPolicy, WalCursor, WalRecord, WriteAheadLog
+
+__all__ = [
+    "WriteAheadLog",
+    "WalRecord",
+    "WalCursor",
+    "FsyncPolicy",
+    "ReplicationManager",
+    "ReplicaLink",
+    "AckMode",
+    "NodeRecovery",
+    "WalSnapshotManager",
+    "recover_node",
+    "serve_node",
+    "HashRing",
+    "ShardGroup",
+    "NodeAddress",
+    "RouterBackend",
+    "HealthChecker",
+    "parse_node",
+    "parse_group",
+    "ClusterClient",
+]

@@ -1,0 +1,121 @@
+"""Client-side cluster routing: the ring without the router daemon.
+
+:class:`ClusterClient` embeds the same :class:`~repro.cluster.router.
+HashRing` the router daemon uses, so a process that knows the topology
+can talk straight to the shard groups — one network hop instead of two.
+The router daemon remains the right front door for clients that should
+not carry topology (or that benefit from its server-side coalescing);
+both route identically because they share the ring implementation.
+
+The surface mirrors :class:`~repro.service.client.FilterClient`
+(``insert_many`` / ``query_many`` / ``delete_many`` / single-key
+helpers), plus :meth:`status` for a cluster-wide health/replication
+report — what ``repro cluster status`` prints.
+"""
+
+from __future__ import annotations
+
+from repro.cluster.router import (
+    HashRing,
+    HealthChecker,
+    RouterBackend,
+    ShardGroup,
+    parse_group,
+)
+
+__all__ = ["ClusterClient"]
+
+
+def _to_bytes(key) -> bytes:
+    if isinstance(key, bytes):
+        return key
+    if isinstance(key, str):
+        return key.encode("utf-8")
+    raise TypeError(f"cluster keys must be str or bytes, got {type(key).__name__}")
+
+
+class ClusterClient:
+    """Blocking cluster client; usable as a context manager.
+
+    Parameters
+    ----------
+    groups:
+        :class:`ShardGroup` objects or ``NAME=HOST:PORT[,HOST:PORT...]``
+        spec strings (see :func:`~repro.cluster.router.parse_group`).
+    vnodes:
+        Virtual nodes per group — must match the router daemon's setting
+        for the two to agree on placement.
+    timeout_s:
+        Per-call socket timeout.
+    check_health:
+        When True, probe every node's ``/healthz`` once up front (only
+        nodes with a health port participate) so reads skip known-dead
+        primaries immediately instead of waiting out a timeout.
+    """
+
+    def __init__(
+        self,
+        groups,
+        *,
+        vnodes: int = 64,
+        timeout_s: float = 5.0,
+        check_health: bool = False,
+    ) -> None:
+        parsed = [
+            group if isinstance(group, ShardGroup) else parse_group(group)
+            for group in groups
+        ]
+        ring = HashRing(parsed, vnodes=vnodes)
+        health = None
+        if check_health:
+            nodes = [node for group in parsed for node in group.nodes]
+            health = HealthChecker(nodes)
+            health.check_now()
+        self._backend = RouterBackend(ring, health=health, timeout_s=timeout_s)
+
+    @property
+    def ring(self) -> HashRing:
+        return self._backend.ring
+
+    # -- operations ------------------------------------------------------
+    def insert(self, key) -> None:
+        self._backend.insert_many([_to_bytes(key)])
+
+    def delete(self, key) -> None:
+        self._backend.delete_many([_to_bytes(key)])
+
+    def query(self, key) -> bool:
+        return bool(self._backend.query_many([_to_bytes(key)])[0])
+
+    def insert_many(self, keys) -> None:
+        self._backend.insert_many([_to_bytes(k) for k in keys])
+
+    def delete_many(self, keys) -> None:
+        self._backend.delete_many([_to_bytes(k) for k in keys])
+
+    def query_many(self, keys) -> list[bool]:
+        return [
+            bool(answer)
+            for answer in self._backend.query_many(
+                [_to_bytes(k) for k in keys]
+            )
+        ]
+
+    def status(self) -> dict:
+        """Topology, health, and per-node replication state."""
+        return {
+            "router": self._backend.describe(),
+            "nodes": self._backend.node_status(),
+        }
+
+    # -- lifecycle -------------------------------------------------------
+    def close(self) -> None:
+        if self._backend.health is not None:
+            self._backend.health.stop()
+        self._backend.close()
+
+    def __enter__(self) -> "ClusterClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,286 @@
+"""Node lifecycle: recovery, WAL-truncating snapshots, and serving.
+
+A cluster node's durable state is ``snapshot + WAL tail``:
+
+1. :func:`recover_node` loads the latest snapshot (if any), reads the
+   sidecar metadata recording which WAL sequence the snapshot covers,
+   and replays every later WAL record onto the filter.  After a crash —
+   even a ``kill -9`` mid-batch — this reconstructs exactly the state
+   whose records reached stable storage under the configured fsync
+   policy.
+2. :class:`WalSnapshotManager` extends the daemon's snapshot loop with
+   log compaction: each dump notes the WAL sequence it covers (in a
+   ``<path>.meta`` JSON sidecar) and then drops WAL segments the
+   snapshot made redundant, so the log stays bounded.
+3. :func:`serve_node` is the cluster flavour of
+   :func:`repro.service.server.serve`: recover, wire up the WAL, an
+   optional :class:`~repro.cluster.replication.ReplicationManager`
+   (primary role) or read-only flag (replica role), and run until
+   signalled.
+
+Replay tolerates per-record :class:`~repro.errors.ReproError` failures
+because the primary logs a mutation *before* applying it, including
+mutations that then fail (e.g. a delete underflow).  Replaying the same
+records against the same starting state deterministically reproduces
+the same failures, so skipping them converges on the pre-crash state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import signal
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.cluster.replication import ReplicationManager
+from repro.cluster.wal import FsyncPolicy, WriteAheadLog
+from repro.errors import ReproError
+from repro.observability.logging import get_logger
+from repro.service.protocol import Opcode
+from repro.service.server import FilterServer
+from repro.service.snapshot import (
+    SnapshotManager,
+    load_snapshot,
+    snapshot_bytes,
+)
+
+__all__ = [
+    "NodeRecovery",
+    "WalSnapshotManager",
+    "recover_node",
+    "serve_node",
+]
+
+logger = get_logger("cluster.node")
+
+
+def _meta_path(snapshot_path: str | Path) -> Path:
+    return Path(str(snapshot_path) + ".meta")
+
+
+def _read_snapshot_seq(snapshot_path: str | Path) -> int:
+    """WAL sequence covered by the snapshot (0 for pre-cluster dumps)."""
+    try:
+        meta = json.loads(_meta_path(snapshot_path).read_text("utf-8"))
+    except (FileNotFoundError, ValueError):
+        return 0
+    return int(meta.get("wal_seq", 0))
+
+
+class WalSnapshotManager(SnapshotManager):
+    """Snapshot manager that compacts the WAL behind each dump.
+
+    Runs on the batcher's worker thread like its base class, which is
+    what makes ``wal.last_seq`` at dump time exact: no mutation can be
+    mid-apply while the dump runs, so the snapshot covers precisely the
+    records up to that sequence.
+    """
+
+    def __init__(self, filt, path, wal: WriteAheadLog, **kwargs) -> None:
+        super().__init__(filt, path, **kwargs)
+        self.wal = wal
+
+    def save_now(self) -> dict:
+        seq = self.wal.last_seq
+        report = super().save_now()
+        _meta_path(self.path).write_text(
+            json.dumps({"wal_seq": seq}), "utf-8"
+        )
+        removed = self.wal.truncate_through(seq)
+        report["wal_seq"] = seq
+        report["wal_segments_removed"] = removed
+        return report
+
+
+@dataclass
+class NodeRecovery:
+    """What :func:`recover_node` reconstructed."""
+
+    filter: object
+    wal: WriteAheadLog
+    snapshot_seq: int
+    replayed_records: int
+    replay_errors: int
+
+    def describe(self) -> dict:
+        return {
+            "snapshot_seq": self.snapshot_seq,
+            "replayed_records": self.replayed_records,
+            "replay_errors": self.replay_errors,
+            "last_seq": self.wal.last_seq,
+        }
+
+
+def recover_node(
+    build,
+    *,
+    wal_dir: str | Path,
+    snapshot_path: str | Path | None = None,
+    segment_bytes: int = 4 * 1024 * 1024,
+    fsync: FsyncPolicy | str = FsyncPolicy.BATCH,
+) -> NodeRecovery:
+    """Reconstruct a node's filter state from snapshot + WAL replay.
+
+    ``build`` is a zero-arg callable producing a fresh (empty) filter —
+    used when no snapshot exists yet.  When ``snapshot_path`` exists,
+    the filter restores from it and replay starts at the sequence its
+    sidecar records; otherwise replay covers the whole retained log.
+    """
+    snapshot_seq = 0
+    filt = None
+    if snapshot_path is not None and Path(snapshot_path).exists():
+        filt = load_snapshot(snapshot_path)
+        snapshot_seq = _read_snapshot_seq(snapshot_path)
+    if filt is None:
+        filt = build()
+    wal = WriteAheadLog(wal_dir, segment_bytes=segment_bytes, fsync=fsync)
+    replayed = 0
+    errors = 0
+    for record in wal.replay(start_seq=snapshot_seq + 1):
+        try:
+            if record.op == Opcode.INSERT:
+                filt.insert_many(list(record.keys))
+            else:
+                filt.delete_many(list(record.keys))
+        except ReproError:
+            # The primary logged this mutation and then hit the same
+            # error against the same state; skipping reproduces it.
+            errors += 1
+        replayed += 1
+    if replayed or snapshot_seq:
+        logger.info(
+            "node_recovered",
+            extra={
+                "snapshot_seq": snapshot_seq,
+                "replayed_records": replayed,
+                "replay_errors": errors,
+                "last_seq": wal.last_seq,
+            },
+        )
+    return NodeRecovery(
+        filter=filt,
+        wal=wal,
+        snapshot_seq=snapshot_seq,
+        replayed_records=replayed,
+        replay_errors=errors,
+    )
+
+
+def build_node_server(
+    recovery: NodeRecovery,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    replicas: list[tuple[str, int]] | None = None,
+    ack_mode: str = "async",
+    read_only: bool = False,
+    snapshot_path: str | Path | None = None,
+    snapshot_interval_s: float | None = None,
+    metrics_port: int | None = None,
+    max_batch: int = 512,
+    max_delay_us: float = 200.0,
+    quorum_timeout_s: float = 5.0,
+) -> FilterServer:
+    """Assemble a :class:`FilterServer` for a recovered cluster node.
+
+    With ``replicas`` the node is a primary (it streams its WAL to
+    them); with ``read_only`` it is a replica (client writes are
+    rejected, replicated writes apply).  The replication snapshot
+    source and the WAL-truncating snapshot manager are wired through
+    the server's batcher so neither can race mutations.
+    """
+    replication = (
+        ReplicationManager(
+            recovery.wal,
+            replicas,
+            ack_mode=ack_mode,
+            quorum_timeout_s=quorum_timeout_s,
+        )
+        if replicas
+        else None
+    )
+    manager = (
+        WalSnapshotManager(
+            recovery.filter,
+            snapshot_path,
+            recovery.wal,
+            interval_s=snapshot_interval_s,
+        )
+        if snapshot_path
+        else None
+    )
+    server = FilterServer(
+        recovery.filter,
+        host=host,
+        port=port,
+        max_batch=max_batch,
+        max_delay_us=max_delay_us,
+        metrics_port=metrics_port,
+        wal=recovery.wal,
+        replication=replication,
+        read_only=read_only,
+        snapshot_manager=manager,
+    )
+    if manager is not None:
+        manager.metrics = server.metrics
+    if replication is not None:
+        async def snapshot_source() -> tuple[int, bytes]:
+            def dump() -> tuple[int, bytes]:
+                return server.wal.last_seq, snapshot_bytes(server.filter)
+
+            return await server.batcher.run(dump)
+
+        replication.snapshot_source = snapshot_source
+    return server
+
+
+async def serve_node(
+    build,
+    *,
+    wal_dir: str | Path,
+    snapshot_path: str | Path | None = None,
+    fsync: FsyncPolicy | str = FsyncPolicy.BATCH,
+    ready: asyncio.Event | None = None,
+    install_signal_handlers: bool = True,
+    **server_kwargs,
+) -> None:
+    """Recover a node, serve it until SIGTERM/SIGINT, then drain."""
+    recovery = recover_node(
+        build, wal_dir=wal_dir, snapshot_path=snapshot_path, fsync=fsync
+    )
+    server = build_node_server(
+        recovery, snapshot_path=snapshot_path, **server_kwargs
+    )
+    await server.start()
+    stop_requested = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    if install_signal_handlers:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            with contextlib.suppress(NotImplementedError):
+                loop.add_signal_handler(sig, stop_requested.set)
+    print(
+        f"repro cluster node ({server.role}): {server.filter.name} "
+        f"listening on {server.host}:{server.port}, "
+        f"wal at {recovery.wal.directory} "
+        f"(recovered seq {recovery.wal.last_seq})",
+        flush=True,
+    )
+    if server.metrics_http is not None:
+        print(
+            f"repro cluster node: metrics on "
+            f"http://{server.host}:{server.metrics_port}/metrics",
+            flush=True,
+        )
+    if ready is not None:
+        ready.set()
+    try:
+        await stop_requested.wait()
+    finally:
+        if install_signal_handlers:
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                with contextlib.suppress(NotImplementedError):
+                    loop.remove_signal_handler(sig)
+        await server.stop()
+    print("repro cluster node: drained and stopped", flush=True)

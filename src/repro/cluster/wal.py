@@ -1,0 +1,522 @@
+"""Append-only write-ahead log of filter mutations.
+
+Durability for the serving daemon between snapshots: every INSERT /
+DELETE request appends one record *before* it is applied to the filter,
+so after a crash the state is reconstructed as ``snapshot + replay``.
+The same records double as the replication stream a primary ships to
+its replicas (:mod:`repro.cluster.replication`).
+
+On-disk layout — a directory of segment files, rotated by size::
+
+    wal-00000000000000000001.seg     records with seq >= 1
+    wal-00000000000000004097.seg     records with seq >= 4097 (current)
+
+    record  := u32 crc32(payload) | u32 len(payload) | payload
+    payload := u64 seq | u8 op | u32 count | count x (u16 len | key)
+
+All integers little-endian; the key encoding matches the wire
+protocol's BATCH body, so a record's tail can be framed into a
+REPLICATE body without re-encoding.  ``seq`` is a contiguous,
+monotonically increasing 1-based sequence number; the primary assigns
+it and replicas preserve it, which is what makes "catch up from offset
+``n``" well defined cluster-wide.
+
+Crash semantics: a torn final record (truncated or CRC-mismatched) is
+the expected signature of dying mid-append — recovery stops replay
+there and truncates the tail so new appends never follow garbage.
+Corruption *before* the tail raises
+:class:`~repro.errors.WalCorruptionError` instead of silently dropping
+acknowledged history.
+
+Fsync policy trades durability for append latency:
+
+``always``    fsync after every record (safest, slowest)
+``batch``     fsync once per coalesced micro-batch (the default — the
+              same amortisation story as the paper's one-word layout)
+``interval``  fsync at most every ``fsync_interval_s`` seconds
+``never``     leave it to the OS page cache
+"""
+
+from __future__ import annotations
+
+import enum
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.errors import ConfigurationError, WalCorruptionError
+from repro.service.protocol import Opcode
+
+__all__ = [
+    "FsyncPolicy",
+    "WalRecord",
+    "WalCursor",
+    "WriteAheadLog",
+]
+
+_RECORD_HEADER = struct.Struct("<II")  # crc32(payload), len(payload)
+_PAYLOAD_PREFIX = struct.Struct("<QBI")  # seq, op, key count
+_KEY_LEN = struct.Struct("<H")
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".seg"
+
+#: Mutations a WAL record may carry.
+_WAL_OPS = (Opcode.INSERT, Opcode.DELETE)
+
+
+class FsyncPolicy(str, enum.Enum):
+    """When appended records are forced to stable storage."""
+
+    ALWAYS = "always"
+    BATCH = "batch"
+    INTERVAL = "interval"
+    NEVER = "never"
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One durable mutation: ``op`` applied to ``keys`` at ``seq``."""
+
+    seq: int
+    op: Opcode
+    keys: tuple[bytes, ...]
+
+
+@dataclass
+class WalCursor:
+    """Resumable read position (segment path + byte offset + next seq).
+
+    Handed back by :meth:`WriteAheadLog.read` so a replication link
+    tails the log without rescanning segments from the start on every
+    poll.
+    """
+
+    segment: Path
+    offset: int
+    next_seq: int
+
+
+def _encode_record(seq: int, op: Opcode, keys) -> bytes:
+    parts = [_PAYLOAD_PREFIX.pack(seq, op, len(keys))]
+    for key in keys:
+        parts.append(_KEY_LEN.pack(len(key)))
+        parts.append(key)
+    payload = b"".join(parts)
+    return _RECORD_HEADER.pack(zlib.crc32(payload), len(payload)) + payload
+
+
+def _decode_payload(payload: bytes) -> WalRecord:
+    seq, raw_op, count = _PAYLOAD_PREFIX.unpack_from(payload)
+    op = Opcode(raw_op)
+    if op not in _WAL_OPS:
+        raise ValueError(f"WAL record carries non-mutation op {op.name}")
+    keys: list[bytes] = []
+    pos = _PAYLOAD_PREFIX.size
+    for _ in range(count):
+        (key_len,) = _KEY_LEN.unpack_from(payload, pos)
+        pos += _KEY_LEN.size
+        keys.append(payload[pos : pos + key_len])
+        pos += key_len
+    if pos != len(payload):
+        raise ValueError("trailing bytes after WAL record keys")
+    return WalRecord(seq=seq, op=op, keys=tuple(keys))
+
+
+def _segment_path(directory: Path, first_seq: int) -> Path:
+    return directory / f"{_SEGMENT_PREFIX}{first_seq:020d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_seq(path: Path) -> int:
+    stem = path.name[len(_SEGMENT_PREFIX) : -len(_SEGMENT_SUFFIX)]
+    return int(stem)
+
+
+class WriteAheadLog:
+    """Segmented, CRC-checked append log of filter mutations.
+
+    Parameters
+    ----------
+    directory:
+        Segment directory; created if missing.  Opening an existing
+        directory recovers the last valid sequence number (and truncates
+        a torn tail record, see the module docstring).
+    segment_bytes:
+        Rotation threshold; a segment is closed once it exceeds this.
+    fsync:
+        A :class:`FsyncPolicy` (or its string value).
+    fsync_interval_s:
+        Max staleness for the ``interval`` policy.
+    metrics:
+        Optional :class:`~repro.service.metrics.ServiceMetrics`; fsync
+        latency lands in the ``wal_fsync`` span histogram.
+    on_append:
+        Optional callback invoked (on the appending thread) after each
+        record is written — the replication layer uses it to wake its
+        streaming links.
+
+    Thread-safety: appends must come from a single thread (the daemon's
+    batcher worker); reads (:meth:`read`, for replication) may run
+    concurrently from other threads because appends flush each complete
+    record before updating ``last_seq``.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        *,
+        segment_bytes: int = 4 * 1024 * 1024,
+        fsync: FsyncPolicy | str = FsyncPolicy.BATCH,
+        fsync_interval_s: float = 0.05,
+        metrics=None,
+        on_append: Callable[[int], None] | None = None,
+    ) -> None:
+        if segment_bytes < 1:
+            raise ConfigurationError(
+                f"segment_bytes must be >= 1, got {segment_bytes}"
+            )
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = segment_bytes
+        self.fsync_policy = FsyncPolicy(fsync)
+        self.fsync_interval_s = fsync_interval_s
+        self.metrics = metrics
+        self.on_append = on_append
+        self.appends_total = 0
+        self.fsyncs_total = 0
+        self.bytes_written = 0
+        self._last_sync_monotonic = time.monotonic()
+        self._handle = None
+        self._dirty = False
+        self.last_seq = 0
+        self._recover()
+
+    # -- recovery --------------------------------------------------------
+    def segments(self) -> list[Path]:
+        """Segment paths in sequence order."""
+        return sorted(
+            p
+            for p in self.directory.glob(
+                f"{_SEGMENT_PREFIX}*{_SEGMENT_SUFFIX}"
+            )
+            if p.is_file()
+        )
+
+    @property
+    def first_seq(self) -> int:
+        """Sequence of the oldest record still on disk.
+
+        ``last_seq + 1`` when the log holds no records (empty or fully
+        compacted) — i.e. ``first_seq <= s <= last_seq`` iff record
+        ``s`` is replayable.
+        """
+        segments = self.segments()
+        if not segments:
+            return self.last_seq + 1
+        # A just-rotated (still empty) first segment is named last_seq+1,
+        # so the filename floor is correct in that case too.
+        return min(_segment_first_seq(segments[0]), self.last_seq + 1)
+
+    def _recover(self) -> None:
+        """Find the last valid record; truncate a torn tail in place."""
+        segments = self.segments()
+        if not segments:
+            self.last_seq = 0
+            return
+        # Sequence numbers are contiguous, so only the final segment can
+        # hold the torn tail; earlier segments still get CRC checks on
+        # replay/read, just not at open time.
+        tail = segments[-1]
+        last_seq = _segment_first_seq(tail) - 1
+        valid_end = 0
+        data = tail.read_bytes()
+        pos = 0
+        while pos + _RECORD_HEADER.size <= len(data):
+            crc, length = _RECORD_HEADER.unpack_from(data, pos)
+            end = pos + _RECORD_HEADER.size + length
+            if end > len(data):
+                break
+            payload = data[pos + _RECORD_HEADER.size : end]
+            if zlib.crc32(payload) != crc:
+                break
+            try:
+                record = _decode_payload(payload)
+            except (ValueError, struct.error):
+                break
+            last_seq = record.seq
+            valid_end = end
+            pos = end
+        if valid_end < len(data):
+            with open(tail, "r+b") as handle:
+                handle.truncate(valid_end)
+        self.last_seq = max(self.last_seq, last_seq)
+        if not valid_end and len(segments) > 1:
+            # The torn segment held nothing valid at all; its sequence
+            # floor is still authoritative for last_seq.
+            self.last_seq = max(self.last_seq, _segment_first_seq(tail) - 1)
+
+    # -- appending -------------------------------------------------------
+    def _open_segment(self, first_seq: int) -> None:
+        self._close_handle()
+        path = _segment_path(self.directory, first_seq)
+        self._handle = open(path, "ab")
+        self._current_path = path
+
+    def _ensure_handle(self) -> None:
+        if self._handle is not None:
+            return
+        segments = self.segments()
+        if segments:
+            self._handle = open(segments[-1], "ab")
+            self._current_path = segments[-1]
+        else:
+            self._open_segment(self.last_seq + 1)
+
+    def _close_handle(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+
+    def append(self, op: Opcode, keys, *, seq: int | None = None) -> int:
+        """Write one record; returns its sequence number.
+
+        ``seq`` is assigned (``last_seq + 1``) when omitted — the
+        primary's path.  Replicas pass the primary's sequence through;
+        a record at or below ``last_seq`` is a replayed duplicate and
+        is skipped (idempotent re-delivery after reconnect).
+        """
+        if op not in _WAL_OPS:
+            raise ConfigurationError(f"WAL cannot log {Opcode(op).name} records")
+        if seq is None:
+            seq = self.last_seq + 1
+        elif seq <= self.last_seq:
+            return self.last_seq
+        elif seq != self.last_seq + 1:
+            raise WalCorruptionError(
+                f"replication gap: expected seq {self.last_seq + 1}, got {seq}"
+            )
+        self._ensure_handle()
+        blob = _encode_record(seq, op, keys)
+        self._handle.write(blob)
+        # Flush each complete record so concurrent readers (replication
+        # links) and a same-box crash never observe a partial buffer.
+        self._handle.flush()
+        self.appends_total += 1
+        self.bytes_written += len(blob)
+        self._dirty = True
+        self.last_seq = seq
+        if self.fsync_policy is FsyncPolicy.ALWAYS:
+            self.sync()
+        elif self.fsync_policy is FsyncPolicy.INTERVAL:
+            if (
+                time.monotonic() - self._last_sync_monotonic
+                >= self.fsync_interval_s
+            ):
+                self.sync()
+        if self._handle.tell() >= self.segment_bytes:
+            self.sync()
+            self._open_segment(seq + 1)
+        if self.on_append is not None:
+            self.on_append(seq)
+        return seq
+
+    def sync(self) -> None:
+        """fsync the current segment (no-op when nothing is dirty)."""
+        if self._handle is None or not self._dirty:
+            return
+        started = time.perf_counter()
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._dirty = False
+        self.fsyncs_total += 1
+        self._last_sync_monotonic = time.monotonic()
+        if self.metrics is not None:
+            self.metrics.observe_span(
+                "wal_fsync", (time.perf_counter() - started) * 1e6
+            )
+
+    def sync_batch(self) -> None:
+        """Batch-boundary hook: fsync under the ``batch`` policy."""
+        if self.fsync_policy is FsyncPolicy.BATCH:
+            self.sync()
+
+    def close(self) -> None:
+        """Flush, fsync, and release the current segment."""
+        if self._handle is not None:
+            self.sync()
+        self._close_handle()
+
+    # -- reading ---------------------------------------------------------
+    def _iter_segment(
+        self, path: Path, *, is_tail: bool
+    ) -> Iterator[tuple[WalRecord, int]]:
+        """Yield (record, end_offset) pairs from one segment file."""
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError:
+            return
+        pos = 0
+        while pos + _RECORD_HEADER.size <= len(data):
+            crc, length = _RECORD_HEADER.unpack_from(data, pos)
+            end = pos + _RECORD_HEADER.size + length
+            if end > len(data):
+                if is_tail:
+                    return
+                raise WalCorruptionError(f"{path}: truncated mid-log record")
+            payload = data[pos + _RECORD_HEADER.size : end]
+            if zlib.crc32(payload) != crc:
+                if is_tail:
+                    return
+                raise WalCorruptionError(f"{path}: CRC mismatch mid-log")
+            try:
+                record = _decode_payload(payload)
+            except (ValueError, struct.error) as exc:
+                if is_tail:
+                    return
+                raise WalCorruptionError(f"{path}: malformed record") from exc
+            yield record, end
+            pos = end
+        if pos != len(data) and not is_tail:
+            raise WalCorruptionError(f"{path}: trailing garbage mid-log")
+
+    def replay(self, *, start_seq: int = 1) -> Iterator[WalRecord]:
+        """Yield every durable record with ``seq >= start_seq`` in order."""
+        segments = self.segments()
+        for index, path in enumerate(segments):
+            is_tail = index == len(segments) - 1
+            # Skip whole segments strictly below the requested range.
+            if (
+                index + 1 < len(segments)
+                and _segment_first_seq(segments[index + 1]) <= start_seq
+            ):
+                continue
+            for record, _ in self._iter_segment(path, is_tail=is_tail):
+                if record.seq >= start_seq:
+                    yield record
+
+    def read(
+        self,
+        start_seq: int,
+        *,
+        cursor: WalCursor | None = None,
+        max_records: int = 256,
+    ) -> tuple[list[WalRecord], WalCursor | None]:
+        """Read up to ``max_records`` from ``start_seq``, resumably.
+
+        Pass the returned cursor back (with the next ``start_seq``) to
+        continue without rescanning.  A stale cursor (rotated or
+        compacted segment, or a seek mismatch) silently falls back to a
+        fresh scan.  Returns ``([], cursor)`` at the durable tail.
+        """
+        if cursor is not None and (
+            cursor.next_seq != start_seq or not cursor.segment.exists()
+        ):
+            cursor = None
+        segments = self.segments()
+        if not segments:
+            return [], None
+        out: list[WalRecord] = []
+        if cursor is None:
+            # Locate the segment that could contain start_seq.
+            target = segments[0]
+            for path in segments:
+                if _segment_first_seq(path) <= start_seq:
+                    target = path
+                else:
+                    break
+            cursor = WalCursor(segment=target, offset=0, next_seq=start_seq)
+        while len(out) < max_records:
+            is_tail = cursor.segment == segments[-1]
+            for record, end in self._iter_segment_from(
+                cursor.segment, cursor.offset, is_tail=is_tail
+            ):
+                cursor.offset = end
+                if record.seq >= start_seq:
+                    out.append(record)
+                    cursor.next_seq = record.seq + 1
+                    start_seq = record.seq + 1
+                if len(out) >= max_records:
+                    break
+            if len(out) >= max_records or is_tail:
+                break
+            # Current segment exhausted; move to the next one.
+            index = segments.index(cursor.segment)
+            if index + 1 >= len(segments):
+                break
+            cursor = WalCursor(
+                segment=segments[index + 1], offset=0, next_seq=start_seq
+            )
+        return out, cursor
+
+    def _iter_segment_from(
+        self, path: Path, offset: int, *, is_tail: bool
+    ) -> Iterator[tuple[WalRecord, int]]:
+        for record, end in self._iter_segment(path, is_tail=is_tail):
+            if end > offset:
+                yield record, end
+
+    # -- compaction ------------------------------------------------------
+    def truncate_through(self, seq: int) -> int:
+        """Drop whole segments made redundant by a snapshot at ``seq``.
+
+        Log compaction: once a snapshot covers every record up to
+        ``seq``, segments whose records all fall at or below it are
+        unlinked.  The current segment is rotated first so it becomes
+        eligible on the *next* compaction.  Returns segments removed.
+        """
+        self.sync()
+        if (
+            self._handle is not None
+            and self._handle.tell() > 0
+            and self.last_seq >= seq
+        ):
+            self._open_segment(self.last_seq + 1)
+        segments = self.segments()
+        removed = 0
+        for index, path in enumerate(segments):
+            if index + 1 >= len(segments):
+                break  # never unlink the live tail segment
+            next_first = _segment_first_seq(segments[index + 1])
+            if next_first - 1 <= seq:
+                path.unlink(missing_ok=True)
+                removed += 1
+            else:
+                break
+        return removed
+
+    def reset_to(self, seq: int) -> None:
+        """Discard everything and restart numbering after ``seq``.
+
+        Used when a replica installs a full snapshot from its primary:
+        local history is superseded wholesale, and the next record the
+        primary streams will be ``seq + 1``.
+        """
+        self._close_handle()
+        for path in self.segments():
+            path.unlink(missing_ok=True)
+        self.last_seq = seq
+        self._dirty = False
+
+    # -- introspection ---------------------------------------------------
+    def size_bytes(self) -> int:
+        """Total on-disk size of all segments."""
+        return sum(p.stat().st_size for p in self.segments())
+
+    def describe(self) -> dict:
+        """Plain-dict view for STATS reports and the metrics exporter."""
+        segments = self.segments()
+        return {
+            "directory": str(self.directory),
+            "last_seq": self.last_seq,
+            "first_seq": self.first_seq,
+            "segments": len(segments),
+            "size_bytes": self.size_bytes(),
+            "appends_total": self.appends_total,
+            "fsyncs_total": self.fsyncs_total,
+            "fsync_policy": self.fsync_policy.value,
+        }

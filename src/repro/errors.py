@@ -17,6 +17,9 @@ __all__ = [
     "CounterUnderflowError",
     "WordOverflowError",
     "UnsupportedOperationError",
+    "ClusterError",
+    "ReplicationError",
+    "WalCorruptionError",
 ]
 
 
@@ -88,4 +91,34 @@ class UnsupportedOperationError(ReproError):
     """The requested operation is not supported by this filter variant.
 
     For example, deleting from a plain (non-counting) Bloom filter.
+    """
+
+
+class ClusterError(ReproError):
+    """A cluster-level operation failed (routing, node unreachable...).
+
+    Raised by the consistent-hash router when every candidate node of a
+    shard group is unreachable, or by cluster management paths that hit
+    an unrecoverable topology problem.
+    """
+
+
+class ReplicationError(ClusterError):
+    """Primary→replica replication could not satisfy the ack policy.
+
+    In quorum ack mode a mutation is acknowledged only once a majority
+    of the shard group holds its WAL record; this error surfaces a
+    quorum that cannot be reached within the configured timeout.  The
+    mutation may still have been applied locally (at-least-once
+    semantics) — clients should treat it as "unknown outcome", not
+    "not applied".
+    """
+
+
+class WalCorruptionError(ClusterError):
+    """A write-ahead-log record failed its CRC or framing check.
+
+    Only raised for corruption *before* the log's tail: a torn final
+    record is the expected signature of a crash mid-append and is
+    silently treated as the end of the log.
     """

@@ -136,6 +136,9 @@ def render_metrics(
     snapshots=None,
     *,
     now: float | None = None,
+    wal=None,
+    replication=None,
+    router=None,
 ) -> str:
     """Render the full exposition document for one scrape.
 
@@ -143,9 +146,14 @@ def render_metrics(
     ``AccessStats`` counters, size, per-shard load, overflow events;
     ``snapshots`` (an optional
     :class:`~repro.service.snapshot.SnapshotManager`) contributes
-    snapshot freshness.  Reading the registries is lock-free by design:
-    all values are monotone counters or single floats, so a scrape
-    racing the event loop sees a slightly stale but never torn view.
+    snapshot freshness.  The cluster hooks — ``wal`` (a
+    :class:`~repro.cluster.wal.WriteAheadLog`), ``replication`` (a
+    :class:`~repro.cluster.replication.ReplicationManager`) and
+    ``router`` (a :class:`~repro.cluster.router.RouterBackend`) — each
+    contribute their families when the daemon plays that role.  Reading
+    the registries is lock-free by design: all values are monotone
+    counters or single floats, so a scrape racing the event loop sees a
+    slightly stale but never torn view.
     """
     writer = _Writer()
     now = time.monotonic() if now is None else now
@@ -229,9 +237,120 @@ def render_metrics(
                 "repro_snapshot_bytes", snapshots.last_report.get("bytes", 0)
             )
 
+    if wal is not None:
+        _render_wal(writer, wal)
+    if replication is not None:
+        _render_replication(writer, replication)
+    if router is not None:
+        _render_router(writer, router)
     if filt is not None:
         _render_filter(writer, filt)
     return writer.render()
+
+
+def _render_wal(writer: _Writer, wal) -> None:
+    writer.declare(
+        "repro_wal_last_seq", "gauge",
+        "Highest sequence number durably appended to the WAL.",
+    )
+    writer.sample("repro_wal_last_seq", wal.last_seq)
+    writer.declare(
+        "repro_wal_appends_total", "counter", "WAL records appended."
+    )
+    writer.sample("repro_wal_appends_total", wal.appends_total)
+    writer.declare(
+        "repro_wal_fsyncs_total", "counter", "WAL fsync calls issued."
+    )
+    writer.sample("repro_wal_fsyncs_total", wal.fsyncs_total)
+    writer.declare(
+        "repro_wal_bytes_written_total", "counter", "Bytes appended to the WAL."
+    )
+    writer.sample("repro_wal_bytes_written_total", wal.bytes_written)
+    writer.declare(
+        "repro_wal_segments", "gauge", "Live WAL segment files on disk."
+    )
+    writer.sample("repro_wal_segments", len(wal.segments()))
+    writer.declare(
+        "repro_wal_size_bytes", "gauge", "Total bytes held by live WAL segments."
+    )
+    writer.sample("repro_wal_size_bytes", wal.size_bytes())
+
+
+def _render_replication(writer: _Writer, replication) -> None:
+    writer.declare(
+        "repro_replication_lag_records", "gauge",
+        "Primary WAL records not yet acknowledged, per replica.",
+    )
+    writer.declare(
+        "repro_replication_connected", "gauge",
+        "1 when the replication link is established, else 0.",
+    )
+    writer.declare(
+        "repro_replication_records_sent_total", "counter",
+        "WAL records streamed to each replica.",
+    )
+    writer.declare(
+        "repro_replication_snapshots_sent_total", "counter",
+        "Full snapshot transfers used for replica catch-up.",
+    )
+    last_seq = replication.wal.last_seq
+    for link in replication.links:
+        labels = {"replica": link.address}
+        writer.sample(
+            "repro_replication_lag_records",
+            max(0, last_seq - link.acked_seq),
+            labels,
+        )
+        writer.sample(
+            "repro_replication_connected", 1 if link.connected else 0, labels
+        )
+        writer.sample(
+            "repro_replication_records_sent_total", link.records_sent, labels
+        )
+        writer.sample(
+            "repro_replication_snapshots_sent_total", link.snapshots_sent, labels
+        )
+    writer.declare(
+        "repro_replication_committed_seq", "gauge",
+        "Highest sequence number satisfying the configured ack mode.",
+    )
+    writer.sample("repro_replication_committed_seq", replication.committed_seq)
+
+
+def _render_router(writer: _Writer, router) -> None:
+    writer.declare(
+        "repro_ring_vnodes", "gauge",
+        "Virtual nodes owned by each shard group on the hash ring.",
+    )
+    writer.declare(
+        "repro_ring_load_fraction", "gauge",
+        "Fraction of the hash space owned by each shard group.",
+    )
+    for group, fraction in router.ring.load_fractions().items():
+        writer.sample(
+            "repro_ring_load_fraction", fraction, {"group": group}
+        )
+    for group, vnodes in router.ring.vnode_counts().items():
+        writer.sample("repro_ring_vnodes", vnodes, {"group": group})
+    writer.declare(
+        "repro_routed_keys_total", "counter",
+        "Keys routed to each shard group, by operation kind.",
+    )
+    for (group, kind), count in sorted(router.routed_keys.items()):
+        writer.sample(
+            "repro_routed_keys_total", count, {"group": group, "kind": kind}
+        )
+    writer.declare(
+        "repro_router_fallback_reads_total", "counter",
+        "Reads answered by a replica after the primary failed.",
+    )
+    writer.sample("repro_router_fallback_reads_total", router.fallback_reads)
+    writer.declare(
+        "repro_node_healthy", "gauge",
+        "1 when the node's health check last succeeded, else 0.",
+    )
+    for node, healthy in sorted(router.node_health().items()):
+        writer.sample("repro_node_healthy", 1 if healthy else 0, {"node": node})
 
 
 def _render_filter(writer: _Writer, filt) -> None:

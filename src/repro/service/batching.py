@@ -76,9 +76,22 @@ class FilterExecutor:
     a fused-write error then fails the whole batch).
     """
 
-    def __init__(self, filt, *, fuse_mutations: bool = False) -> None:
-        self.filter = filt
+    def __init__(self, filt, *, fuse_mutations: bool = False, wal=None) -> None:
         self.fuse_mutations = fuse_mutations
+        #: Optional :class:`~repro.cluster.wal.WriteAheadLog`; when set,
+        #: every mutation request appends one record *before* it is
+        #: applied, and the per-request result becomes the record's
+        #: sequence number (the server's replication hook consumes it).
+        self.wal = wal
+        self.set_filter(filt)
+
+    def set_filter(self, filt) -> None:
+        """Install (or replace) the hosted filter.
+
+        Must run on the batcher's worker thread once the server is live
+        — replicas installing a replication snapshot do exactly that.
+        """
+        self.filter = filt
         self.supports_deletion = (
             isinstance(filt, CountingFilterBase)
             or getattr(filt, "supports_deletion", False)
@@ -95,9 +108,16 @@ class FilterExecutor:
                 f"{self.filter.name} does not support deletion"
             )
             return [exc for _ in key_lists]
-        if self.fuse_mutations:
-            return self._apply_fused(op, key_lists)
-        return self._apply_isolated(op, key_lists)
+        try:
+            if self.fuse_mutations:
+                return self._apply_fused(op, key_lists)
+            return self._apply_isolated(op, key_lists)
+        finally:
+            # One durability point per coalesced batch: the WAL's
+            # ``batch`` fsync policy amortises the flush the same way
+            # the dispatch amortised the per-key interpreter cost.
+            if self.wal is not None:
+                self.wal.sync_batch()
 
     def _apply_queries(self, key_lists: list[list[bytes]]) -> list[object]:
         flat = [key for keys in key_lists for key in keys]
@@ -109,8 +129,15 @@ class FilterExecutor:
             pos += len(keys)
         return results
 
+    def _log(self, op: Opcode, keys) -> int | None:
+        """WAL-append one request's record; returns its sequence."""
+        if self.wal is None:
+            return None
+        return self.wal.append(op, keys)
+
     def _apply_fused(self, op: Opcode, key_lists: list[list[bytes]]) -> list[object]:
         flat = [key for keys in key_lists for key in keys]
+        seqs = [self._log(op, keys) for keys in key_lists]
         try:
             if op == Opcode.INSERT:
                 self.filter.insert_many(flat)
@@ -118,19 +145,20 @@ class FilterExecutor:
                 self.filter.delete_many(flat)
         except ReproError as exc:
             return [exc for _ in key_lists]
-        return [None for _ in key_lists]
+        return list(seqs)
 
     def _apply_isolated(
         self, op: Opcode, key_lists: list[list[bytes]]
     ) -> list[object]:
         results: list[object] = []
         for keys in key_lists:
+            seq = self._log(op, keys)
             try:
                 if op == Opcode.INSERT:
                     self.filter.insert_many(keys)
                 else:
                     self.filter.delete_many(keys)
-                results.append(None)
+                results.append(seq)
             except ReproError as exc:
                 results.append(exc)
         return results

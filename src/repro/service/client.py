@@ -7,9 +7,12 @@ TCP connection with strict request/response ordering.  The sync
 connections from one process (the integration tests and the throughput
 benchmark drive the daemon's coalescer with it).
 
-Connection establishment retries with exponential backoff — daemons
-come up asynchronously and "connect until it answers" is the protocol
-every deployment script otherwise reinvents.
+Connection establishment retries with full-jitter exponential backoff
+(each attempt sleeps ``uniform(0, min(cap, base * 2**attempt))``) —
+daemons come up asynchronously and "connect until it answers" is the
+protocol every deployment script otherwise reinvents, and the jitter
+keeps a fleet of clients (or a router's fan-out) from stampeding a
+restarting node in lockstep.
 
 Error frames re-raise as :class:`~repro.service.protocol.RemoteError`,
 whose ``code`` preserves which :mod:`repro.errors` failure the server
@@ -20,6 +23,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import socket
 import time
 
@@ -36,6 +40,14 @@ from repro.service.protocol import (
 )
 
 __all__ = ["FilterClient", "AsyncFilterClient"]
+
+#: Backoff delays never exceed this many seconds, jitter included.
+BACKOFF_CAP_S = 2.0
+
+
+def _jittered_delay(base_s: float, attempt: int) -> float:
+    """Full-jitter exponential backoff delay for retry ``attempt`` (0-based)."""
+    return random.uniform(0.0, min(BACKOFF_CAP_S, base_s * (2 ** (attempt + 1))))
 
 
 def _to_bytes(key) -> bytes:
@@ -81,8 +93,9 @@ class FilterClient(_BaseClient):
     timeout_s:
         Socket timeout for each call.
     retries, backoff_s:
-        Connection attempts and the initial retry delay (doubles per
-        attempt, capped at 2 s).
+        Connection attempts and the base retry delay.  Attempt ``n``
+        sleeps ``uniform(0, min(2.0, backoff_s * 2**n))`` — full-jitter
+        exponential backoff.
     """
 
     def __init__(
@@ -107,9 +120,8 @@ class FilterClient(_BaseClient):
         """Connect with retry/backoff; returns self for chaining."""
         if self._sock is not None:
             return self
-        delay = self.backoff_s
         last_error: Exception | None = None
-        for _ in range(max(1, self.retries)):
+        for attempt in range(max(1, self.retries)):
             try:
                 sock = socket.create_connection(
                     (self.host, self.port), timeout=self.timeout_s
@@ -120,8 +132,7 @@ class FilterClient(_BaseClient):
                 return self
             except OSError as exc:
                 last_error = exc
-                time.sleep(delay)
-                delay = min(delay * 2, 2.0)
+                time.sleep(_jittered_delay(self.backoff_s, attempt))
         raise ConnectionError(
             f"cannot reach repro service at {self.host}:{self.port}: {last_error}"
         )
@@ -216,9 +227,8 @@ class AsyncFilterClient(_BaseClient):
     async def connect(self) -> "AsyncFilterClient":
         if self._writer is not None:
             return self
-        delay = self.backoff_s
         last_error: Exception | None = None
-        for _ in range(max(1, self.retries)):
+        for attempt in range(max(1, self.retries)):
             try:
                 self._reader, self._writer = await asyncio.open_connection(
                     self.host, self.port
@@ -226,8 +236,7 @@ class AsyncFilterClient(_BaseClient):
                 return self
             except OSError as exc:
                 last_error = exc
-                await asyncio.sleep(delay)
-                delay = min(delay * 2, 2.0)
+                await asyncio.sleep(_jittered_delay(self.backoff_s, attempt))
         raise ConnectionError(
             f"cannot reach repro service at {self.host}:{self.port}: {last_error}"
         )

@@ -16,12 +16,19 @@ Request bodies::
     INSERT / QUERY / DELETE  key bytes (the whole remaining body)
     BATCH                    u8 sub-op | u32 count | count x (u16 len | key)
 
+Replication bodies (primary → replica, see :mod:`repro.cluster`)::
+
+    REPLICATE      u64 seq | u8 op | u32 count | count x (u16 len | key)
+    REPL_STATUS    (empty; replica answers JSON {last_seq, ...})
+    REPL_SNAPSHOT  u64 seq | snapshot blob (full-state catch-up)
+
 Response bodies::
 
     OK      (empty)               insert/delete/ping acknowledgement
     BOOL    u8                    single-query result
     BITMAP  u32 count | bits      batch-query results, LSB-first packed
     JSON    utf-8 JSON            stats / snapshot reports
+    ACK     u64 seq               replica's highest applied WAL sequence
     ERROR   u16 code | utf-8 msg  see :class:`ErrorCode`
 
 Every :mod:`repro.errors` failure mode maps to a stable
@@ -37,9 +44,11 @@ from dataclasses import dataclass
 
 from repro.errors import (
     CapacityError,
+    ClusterError,
     ConfigurationError,
     CounterOverflowError,
     CounterUnderflowError,
+    ReplicationError,
     ReproError,
     UnsupportedOperationError,
     WordOverflowError,
@@ -60,6 +69,12 @@ __all__ = [
     "encode_batch_body",
     "encode_error_body",
     "decode_error_body",
+    "encode_replicate_body",
+    "decode_replicate_body",
+    "encode_ack_body",
+    "decode_ack_body",
+    "encode_repl_snapshot_body",
+    "decode_repl_snapshot_body",
     "pack_bools",
     "unpack_bools",
     "error_code_for",
@@ -88,12 +103,17 @@ class Opcode(enum.IntEnum):
     BATCH = 0x05
     STATS = 0x06
     SNAPSHOT = 0x07
+    # replication (primary → replica; see repro.cluster.replication)
+    REPLICATE = 0x10
+    REPL_STATUS = 0x11
+    REPL_SNAPSHOT = 0x12
     # responses
     ERROR = 0x7F
     OK = 0x81
     BOOL = 0x82
     BITMAP = 0x83
     JSON = 0x84
+    ACK = 0x85
 
 
 #: Opcodes a BATCH frame may carry as its sub-operation.
@@ -111,6 +131,8 @@ class ErrorCode(enum.IntEnum):
     COUNTER_UNDERFLOW = 6
     WORD_OVERFLOW = 7
     UNSUPPORTED = 8
+    REPLICATION = 9
+    CLUSTER = 10
 
 
 #: Most-derived-first so isinstance dispatch picks the tightest code.
@@ -121,6 +143,8 @@ _ERROR_CODES: tuple[tuple[type, ErrorCode], ...] = (
     (CapacityError, ErrorCode.CAPACITY),
     (ConfigurationError, ErrorCode.CONFIGURATION),
     (UnsupportedOperationError, ErrorCode.UNSUPPORTED),
+    (ReplicationError, ErrorCode.REPLICATION),
+    (ClusterError, ErrorCode.CLUSTER),
     (ReproError, ErrorCode.INTERNAL),
 )
 
@@ -188,6 +212,52 @@ def encode_batch_body(subop: Opcode, keys: list[bytes]) -> bytes:
         parts.append(struct.pack("<H", len(key)))
         parts.append(key)
     return b"".join(parts)
+
+
+def encode_replicate_body(seq: int, subop: Opcode, keys: list[bytes]) -> bytes:
+    """Build a REPLICATE body: WAL sequence, then a BATCH-shaped tail.
+
+    The key encoding after the ``u64 seq`` prefix is byte-identical to
+    :func:`encode_batch_body`, so replicas reuse the same parser.
+    """
+    if seq < 0:
+        raise ProtocolError(f"replication sequence must be >= 0, got {seq}")
+    return struct.pack("<Q", seq) + encode_batch_body(subop, keys)
+
+
+def decode_replicate_body(body: bytes) -> tuple[int, Opcode, list[bytes]]:
+    """Inverse of :func:`encode_replicate_body`."""
+    if len(body) < 8:
+        raise ProtocolError("truncated replicate body")
+    (seq,) = struct.unpack_from("<Q", body)
+    request = parse_request(Opcode.BATCH, body[8:])
+    return seq, request.op, request.keys
+
+
+def encode_ack_body(seq: int) -> bytes:
+    """Build an ACK body carrying the replica's highest applied seq."""
+    return struct.pack("<Q", seq)
+
+
+def decode_ack_body(body: bytes) -> int:
+    """Inverse of :func:`encode_ack_body`."""
+    if len(body) != 8:
+        raise ProtocolError(f"ACK body must be 8 bytes, got {len(body)}")
+    (seq,) = struct.unpack("<Q", body)
+    return seq
+
+
+def encode_repl_snapshot_body(seq: int, blob: bytes) -> bytes:
+    """Build a REPL_SNAPSHOT body: the WAL seq the blob covers + state."""
+    return struct.pack("<Q", seq) + blob
+
+
+def decode_repl_snapshot_body(body: bytes) -> tuple[int, bytes]:
+    """Inverse of :func:`encode_repl_snapshot_body`."""
+    if len(body) < 8:
+        raise ProtocolError("truncated replication snapshot body")
+    (seq,) = struct.unpack_from("<Q", body)
+    return seq, body[8:]
 
 
 def encode_error_body(code: ErrorCode, message: str) -> bytes:

@@ -31,7 +31,7 @@ import logging
 import signal
 import time
 
-from repro.errors import ReproError
+from repro.errors import ConfigurationError, ReproError, UnsupportedOperationError
 from repro.observability.httpd import ObservabilityHTTPServer
 from repro.observability.logging import get_logger, new_request_id
 from repro.observability.prometheus import render_metrics
@@ -41,6 +41,9 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     Opcode,
     ProtocolError,
+    decode_repl_snapshot_body,
+    decode_replicate_body,
+    encode_ack_body,
     encode_error_body,
     encode_frame,
     error_code_for,
@@ -48,7 +51,7 @@ from repro.service.protocol import (
     parse_request,
     read_frame,
 )
-from repro.service.snapshot import SnapshotManager
+from repro.service.snapshot import SnapshotManager, load_snapshot_bytes
 
 __all__ = ["FilterServer", "serve"]
 
@@ -77,6 +80,23 @@ class FilterServer:
         When not None, serve ``/metrics`` (Prometheus text exposition)
         and ``/healthz`` over HTTP on this port (0 picks an ephemeral
         port, read back from ``.metrics_port`` after :meth:`start`).
+    wal:
+        Optional :class:`~repro.cluster.wal.WriteAheadLog`.  Every
+        mutation request then appends a durable record before it is
+        applied, and the server accepts the replication opcodes
+        (REPLICATE / REPL_STATUS / REPL_SNAPSHOT) so it can act as a
+        replica or hand out its offset.
+    replication:
+        Optional :class:`~repro.cluster.replication.ReplicationManager`
+        making this node a primary: acknowledged mutations honour its
+        ack mode (async or quorum).  Requires ``wal``.
+    read_only:
+        Reject client INSERT/DELETE with an UNSUPPORTED error frame —
+        the replica role (replicated mutations still apply).
+    snapshot_manager:
+        Inject a pre-built manager (e.g. the cluster's WAL-truncating
+        :class:`~repro.cluster.node.WalSnapshotManager`) instead of
+        building one from ``snapshot_path``.
     """
 
     def __init__(
@@ -91,28 +111,44 @@ class FilterServer:
         snapshot_path: str | None = None,
         snapshot_interval_s: float | None = None,
         metrics_port: int | None = None,
+        wal=None,
+        replication=None,
+        read_only: bool = False,
+        snapshot_manager: SnapshotManager | None = None,
     ) -> None:
+        if replication is not None and wal is None:
+            raise ConfigurationError("replication requires a write-ahead log")
         self.filter = filt
         self.host = host
         self.port = port
+        self.wal = wal
+        self.replication = replication
+        self.read_only = read_only
         self.metrics = ServiceMetrics()
-        self.executor = FilterExecutor(filt, fuse_mutations=fuse_mutations)
+        if wal is not None and wal.metrics is None:
+            wal.metrics = self.metrics
+        self.executor = FilterExecutor(
+            filt, fuse_mutations=fuse_mutations, wal=wal
+        )
         self.batcher = MicroBatcher(
             self.executor.apply,
             max_batch=max_batch,
             max_delay_us=max_delay_us,
             metrics=self.metrics,
         )
-        self.snapshots = (
-            SnapshotManager(
-                filt,
-                snapshot_path,
-                interval_s=snapshot_interval_s,
-                metrics=self.metrics,
+        if snapshot_manager is not None:
+            self.snapshots = snapshot_manager
+        else:
+            self.snapshots = (
+                SnapshotManager(
+                    filt,
+                    snapshot_path,
+                    interval_s=snapshot_interval_s,
+                    metrics=self.metrics,
+                )
+                if snapshot_path
+                else None
             )
-            if snapshot_path
-            else None
-        )
         self.metrics_port = metrics_port
         self.metrics_http = (
             ObservabilityHTTPServer(
@@ -132,17 +168,54 @@ class FilterServer:
 
     # -- observability ---------------------------------------------------
     def _render_metrics(self) -> str:
-        return render_metrics(self.metrics, self.filter, self.snapshots)
+        # A hosted RouterBackend contributes the ring/fan-out families;
+        # duck-typed on .ring so this module need not import the cluster.
+        router = self.filter if hasattr(self.filter, "ring") else None
+        return render_metrics(
+            self.metrics,
+            self.filter,
+            self.snapshots,
+            wal=self.wal,
+            replication=self.replication,
+            router=router,
+        )
+
+    @property
+    def role(self) -> str:
+        """``primary`` / ``replica`` / ``router`` / ``single``."""
+        if self.replication is not None:
+            return "primary"
+        if self.read_only:
+            return "replica"
+        if hasattr(self.filter, "ring"):
+            return "router"
+        return "single"
 
     def _health(self) -> dict:
-        return {
+        payload = {
             "status": "draining" if self._draining else "ok",
             "filter": getattr(self.filter, "name", type(self.filter).__name__),
             "uptime_s": round(
                 time.monotonic() - self.metrics.started_at, 3
             ),
             "connections_active": self.metrics.connections_active,
+            "role": self.role,
         }
+        if self.wal is not None:
+            payload["wal_last_seq"] = self.wal.last_seq
+        return payload
+
+    def _stats_report(self) -> dict:
+        """The STATS document (runs on the batcher's worker thread)."""
+        report = self.metrics.snapshot(self.filter)
+        if self.wal is not None:
+            cluster: dict = {"role": self.role, "wal": self.wal.describe()}
+            if self.replication is not None:
+                cluster["replication"] = self.replication.describe()
+            report["cluster"] = cluster
+        if hasattr(self.filter, "ring"):
+            report["router"] = self.filter.describe()
+        return report
 
     # -- lifecycle ------------------------------------------------------
     async def start(self) -> None:
@@ -157,6 +230,8 @@ class FilterServer:
             self.metrics_port = self.metrics_http.port
         if self.snapshots is not None:
             self.snapshots.start_periodic(self.batcher.run)
+        if self.replication is not None:
+            self.replication.start()
         logger.info(
             "server_started",
             extra={
@@ -186,11 +261,43 @@ class FilterServer:
         await self.batcher.stop()
         if self.snapshots is not None:
             self.snapshots.save_now()
+        if self.replication is not None:
+            await self.replication.stop()
+        if self.wal is not None:
+            self.wal.close()
         # The metrics endpoint outlives the drain so operators can watch
         # it happen; it is the last thing to go dark.
         if self.metrics_http is not None:
             await self.metrics_http.stop()
         logger.info("server_stopped", extra={"port": self.port})
+        self._stopped.set()
+
+    async def abort(self) -> None:
+        """Ungraceful shutdown: drop everything on the floor, now.
+
+        The in-process stand-in for ``kill -9`` that the failover and
+        crash-recovery tests use — no drain, no final snapshot, no WAL
+        flush beyond what the fsync policy already forced.  Real state
+        after this is exactly what a crash would have left.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            self._server = None
+        for writer in list(self._writers):
+            writer.transport.abort()
+        for task in list(self._connections):
+            task.cancel()
+        if self.batcher._task is not None:
+            self.batcher._task.cancel()
+            self.batcher._task = None
+        self.batcher._executor.shutdown(wait=False, cancel_futures=True)
+        if self.replication is not None:
+            await self.replication.stop()
+        if self.snapshots is not None:
+            await self.snapshots.stop()
+        if self.metrics_http is not None:
+            await self.metrics_http.stop()
         self._stopped.set()
 
     async def wait_stopped(self) -> None:
@@ -214,6 +321,8 @@ class FilterServer:
                     # Framing is broken; answer once and hang up.
                     await self._send_error(writer, exc)
                     break
+                except OSError:
+                    break  # peer reset / transport aborted mid-read
                 if frame is None:
                     break
                 opcode, body = frame
@@ -246,6 +355,10 @@ class FilterServer:
                     await writer.drain()
                 except ConnectionError:
                     break
+        except asyncio.CancelledError:
+            # abort() cancels handlers mid-read; finishing cleanly keeps
+            # asyncio's stream-task callback from logging the cancel.
+            pass
         finally:
             self.metrics.connections_active -= 1
             self._writers.discard(writer)
@@ -261,9 +374,7 @@ class FilterServer:
         if opcode == Opcode.PING:
             return encode_frame(Opcode.OK)
         if opcode == Opcode.STATS:
-            report = await self.batcher.run(
-                lambda: self.metrics.snapshot(self.filter)
-            )
+            report = await self.batcher.run(self._stats_report)
             return encode_frame(
                 Opcode.JSON, json.dumps(report).encode("utf-8")
             )
@@ -275,8 +386,14 @@ class FilterServer:
             return encode_frame(
                 Opcode.JSON, json.dumps(report).encode("utf-8")
             )
+        if opcode in (Opcode.REPLICATE, Opcode.REPL_STATUS, Opcode.REPL_SNAPSHOT):
+            return await self._dispatch_replication(opcode, body)
         with span("protocol_decode", self.metrics):
             request = parse_request(opcode, body)
+        if self.read_only and request.op in (Opcode.INSERT, Opcode.DELETE):
+            raise UnsupportedOperationError(
+                "this node is a read-only replica; send writes to its primary"
+            )
         result = await self.batcher.submit(
             request.op, request.keys, request_id=request_id
         )
@@ -284,7 +401,77 @@ class FilterServer:
             if request.single:
                 return encode_frame(Opcode.BOOL, bytes([int(result[0])]))
             return encode_frame(Opcode.BITMAP, pack_bools(result))
+        if self.replication is not None:
+            # The WAL holds the record (result is its sequence number);
+            # the ack mode decides whether holding it locally is enough.
+            with span("replication_commit", self.metrics):
+                await self.replication.wait_committed(
+                    result if isinstance(result, int) else 0
+                )
         return encode_frame(Opcode.OK)
+
+    # -- replica side of the replication stream --------------------------
+    async def _dispatch_replication(self, opcode: Opcode, body: bytes) -> bytes:
+        if self.wal is None:
+            raise ProtocolError(
+                "this server has no WAL; it cannot take part in replication"
+            )
+        if opcode == Opcode.REPL_STATUS:
+            status = {
+                "role": self.role,
+                "last_seq": self.wal.last_seq,
+                "first_seq": self.wal.first_seq,
+            }
+            return encode_frame(
+                Opcode.JSON, json.dumps(status).encode("utf-8")
+            )
+        if opcode == Opcode.REPLICATE:
+            seq, op, keys = decode_replicate_body(body)
+            applied = await self.batcher.run(
+                lambda: self._apply_replicated(seq, op, keys)
+            )
+            return encode_frame(Opcode.ACK, encode_ack_body(applied))
+        # REPL_SNAPSHOT: install the primary's full state.
+        seq, blob = decode_repl_snapshot_body(body)
+        await self.batcher.run(
+            lambda: self._install_replication_snapshot(seq, blob)
+        )
+        logger.info(
+            "replication_snapshot_installed",
+            extra={"seq": seq, "bytes": len(blob)},
+        )
+        return encode_frame(Opcode.ACK, encode_ack_body(seq))
+
+    def _apply_replicated(self, seq: int, op: Opcode, keys: list[bytes]) -> int:
+        """Apply one replicated record (on the batcher's worker thread).
+
+        Records at or below the local WAL head are duplicates from a
+        reconnect replay and are acknowledged without re-applying, which
+        makes the stream idempotent.
+        """
+        if seq <= self.wal.last_seq:
+            return self.wal.last_seq
+        self.wal.append(op, keys, seq=seq)
+        self.wal.sync_batch()
+        try:
+            if op == Opcode.INSERT:
+                self.filter.insert_many(keys)
+            else:
+                self.filter.delete_many(keys)
+        except ReproError:
+            # Deterministic on replay: the primary hit the same error
+            # against the same state and kept the record; skipping keeps
+            # the replica byte-identical to the primary.
+            pass
+        return self.wal.last_seq
+
+    def _install_replication_snapshot(self, seq: int, blob: bytes) -> None:
+        filt = load_snapshot_bytes(blob)
+        self.filter = filt
+        self.executor.set_filter(filt)
+        if self.snapshots is not None:
+            self.snapshots.filter = filt
+        self.wal.reset_to(seq)
 
     def _error_frame(self, exc: Exception, request_id: str | None = None) -> bytes:
         code = error_code_for(exc)

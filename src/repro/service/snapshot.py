@@ -9,33 +9,55 @@ new complete snapshot, never a torn write.
 :func:`load_snapshot` sniffs the magic, so a daemon restarts equally
 well from a single-filter dump (``MPCB``) or a sharded-bank dump
 (``MPBK``).
+
+Integrity: snapshots carry an 8-byte trailer — ``MPCK`` + the CRC32 of
+everything before it — so a corrupted dump fails loudly at restore time
+instead of restoring silently-wrong counters.  Dumps written before the
+trailer existed load unchanged (no trailer, no check); truncation of a
+trailered dump removes the trailer and is then caught by the array
+length checks in :mod:`repro.serialize`.
 """
 
 from __future__ import annotations
 
 import asyncio
 import os
+import struct
 import time
+import zlib
 from pathlib import Path
 
 from repro.errors import ConfigurationError
 from repro.observability.spans import spanned
 from repro.serialize import dump_bank, dump_filter, load_bank, load_filter
 
-__all__ = ["SnapshotManager", "write_snapshot", "load_snapshot"]
+__all__ = [
+    "SnapshotManager",
+    "write_snapshot",
+    "load_snapshot",
+    "load_snapshot_bytes",
+    "snapshot_bytes",
+]
+
+#: Trailer magic: snapshot blob | b"MPCK" | u32 crc32(blob).
+_CRC_MAGIC = b"MPCK"
+_CRC_TRAILER = struct.Struct("<4sI")
 
 
-def _dump(filt) -> bytes:
+def snapshot_bytes(filt) -> bytes:
+    """Serialise a filter (or bank) with the CRC32 integrity trailer."""
     if hasattr(filt, "shards"):
-        return dump_bank(filt)
-    return dump_filter(filt)
+        blob = dump_bank(filt)
+    else:
+        blob = dump_filter(filt)
+    return blob + _CRC_TRAILER.pack(_CRC_MAGIC, zlib.crc32(blob))
 
 
 def write_snapshot(filt, path: str | Path) -> dict:
     """Atomically write a snapshot; returns a small report dict."""
     path = Path(path)
     started = time.perf_counter()
-    blob = _dump(filt)
+    blob = snapshot_bytes(filt)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
@@ -46,18 +68,36 @@ def write_snapshot(filt, path: str | Path) -> dict:
     return {
         "path": str(path),
         "bytes": len(blob),
+        "crc32": zlib.crc32(blob[: -_CRC_TRAILER.size]),
         "elapsed_s": time.perf_counter() - started,
     }
 
 
-def load_snapshot(path: str | Path):
-    """Load a snapshot written by :func:`write_snapshot` (filter or bank)."""
-    data = Path(path).read_bytes()
+def load_snapshot_bytes(data: bytes, *, source: str = "snapshot"):
+    """Load a snapshot blob (filter or bank), verifying its CRC trailer.
+
+    Pre-trailer dumps (nothing to verify) still load — the check only
+    applies when the ``MPCK`` trailer is present.
+    """
+    if len(data) >= _CRC_TRAILER.size:
+        magic, crc = _CRC_TRAILER.unpack_from(data, len(data) - _CRC_TRAILER.size)
+        if magic == _CRC_MAGIC:
+            payload = data[: -_CRC_TRAILER.size]
+            if zlib.crc32(payload) != crc:
+                raise ConfigurationError(
+                    f"{source}: snapshot CRC mismatch (corrupted or torn dump)"
+                )
+            data = payload
     if data[:4] == b"MPBK":
         return load_bank(data)
     if data[:4] == b"MPCB":
         return load_filter(data)
-    raise ConfigurationError(f"{path}: not a repro snapshot (bad magic)")
+    raise ConfigurationError(f"{source}: not a repro snapshot (bad magic)")
+
+
+def load_snapshot(path: str | Path):
+    """Load a snapshot written by :func:`write_snapshot` (filter or bank)."""
+    return load_snapshot_bytes(Path(path).read_bytes(), source=str(path))
 
 
 class SnapshotManager:

@@ -1,0 +1,232 @@
+"""Replication tests: codecs, streaming, quorum acks, catch-up paths."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster.node import build_node_server, recover_node
+from repro.cluster.replication import AckMode, ReplicationManager
+from repro.cluster.wal import WriteAheadLog
+from repro.errors import ConfigurationError
+from repro.filters.factory import FilterSpec, build_filter
+from repro.service.client import AsyncFilterClient
+from repro.service.protocol import (
+    Opcode,
+    ProtocolError,
+    decode_ack_body,
+    decode_repl_snapshot_body,
+    decode_replicate_body,
+    encode_ack_body,
+    encode_repl_snapshot_body,
+    encode_replicate_body,
+)
+
+
+def make_spec(seed=7):
+    return FilterSpec(
+        variant="MPCBF-1",
+        memory_bits=64 * 8192,
+        k=3,
+        capacity=4000,
+        seed=seed,
+        extra={"word_overflow": "saturate"},
+    )
+
+
+def build(seed=7):
+    return build_filter(make_spec(seed))
+
+
+class TestCodecs:
+    def test_replicate_roundtrip(self):
+        body = encode_replicate_body(42, Opcode.INSERT, [b"alpha", b"", b"beta"])
+        seq, op, keys = decode_replicate_body(body)
+        assert (seq, op, keys) == (42, Opcode.INSERT, [b"alpha", b"", b"beta"])
+
+    def test_ack_roundtrip_and_strictness(self):
+        assert decode_ack_body(encode_ack_body(2**40)) == 2**40
+        with pytest.raises(ProtocolError):
+            decode_ack_body(b"\x00" * 7)
+
+    def test_snapshot_roundtrip(self):
+        body = encode_repl_snapshot_body(9, b"\x01\x02blob")
+        assert decode_repl_snapshot_body(body) == (9, b"\x01\x02blob")
+
+    def test_quorum_needs_a_replica(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        with pytest.raises(ConfigurationError):
+            ReplicationManager(wal, [], ack_mode=AckMode.QUORUM)
+
+
+def quorum_math(n_replicas):
+    manager = ReplicationManager.__new__(ReplicationManager)
+    manager.links = [object()] * n_replicas
+    return manager.group_size, manager.quorum, manager.replica_acks_needed
+
+
+class TestQuorumArithmetic:
+    def test_majorities(self):
+        assert quorum_math(1) == (2, 2, 1)  # every ack needs the replica
+        assert quorum_math(2) == (3, 2, 1)  # one replica ack suffices
+        assert quorum_math(3) == (4, 3, 2)
+        assert quorum_math(4) == (5, 3, 2)
+
+
+async def start_pair(tmp_path, *, ack_mode="quorum", **primary_kwargs):
+    """A primary streaming to one read-only replica, both started."""
+    replica_rec = recover_node(build, wal_dir=tmp_path / "wal-replica")
+    replica = build_node_server(replica_rec, read_only=True)
+    await replica.start()
+    primary_rec = recover_node(
+        build, wal_dir=tmp_path / "wal-primary",
+        snapshot_path=tmp_path / "primary.snap",
+    )
+    primary = build_node_server(
+        primary_rec,
+        replicas=[("127.0.0.1", replica.port)],
+        ack_mode=ack_mode,
+        snapshot_path=tmp_path / "primary.snap",
+        **primary_kwargs,
+    )
+    await primary.start()
+    return primary, replica
+
+
+class TestStreaming:
+    def test_quorum_ack_means_replica_has_the_record(self, tmp_path):
+        async def main():
+            primary, replica = await start_pair(tmp_path)
+            keys = [b"repl-%d" % i for i in range(300)]
+            async with AsyncFilterClient(port=primary.port) as client:
+                await client.insert_many(keys)
+                await client.delete_many(keys[:50])
+            # Quorum with one replica: the ack itself guarantees the
+            # replica holds every record — no settling wait needed.
+            assert replica.wal.last_seq == primary.wal.last_seq
+            async with AsyncFilterClient(port=replica.port) as rclient:
+                assert all(await rclient.query_many(keys[50:]))
+            assert primary.replication.committed_seq == primary.wal.last_seq
+            await primary.stop()
+            await replica.stop()
+
+        asyncio.run(main())
+
+    def test_replica_rejects_client_writes(self, tmp_path):
+        async def main():
+            primary, replica = await start_pair(tmp_path)
+            from repro.service.protocol import RemoteError
+
+            async with AsyncFilterClient(port=replica.port) as rclient:
+                with pytest.raises(RemoteError) as excinfo:
+                    await rclient.insert(b"nope")
+                assert excinfo.value.code.name == "UNSUPPORTED"
+                assert isinstance(await rclient.query(b"whatever"), bool)
+            await primary.stop()
+            await replica.stop()
+
+        asyncio.run(main())
+
+    def test_late_replica_catches_up_from_wal(self, tmp_path):
+        async def main():
+            # Primary first, alone, in async mode: writes land without
+            # any replica attached.
+            primary_rec = recover_node(build, wal_dir=tmp_path / "wal-p")
+            keys = [b"early-%d" % i for i in range(100)]
+            primary_rec.filter.insert_many(keys)
+            for key in keys:
+                primary_rec.wal.append(Opcode.INSERT, [key])
+            replica_rec = recover_node(build, wal_dir=tmp_path / "wal-r")
+            replica = build_node_server(replica_rec, read_only=True)
+            await replica.start()
+            primary = build_node_server(
+                primary_rec,
+                replicas=[("127.0.0.1", replica.port)],
+                ack_mode="quorum",
+            )
+            await primary.start()
+            # Force a commit point to wait for the backlog to drain.
+            async with AsyncFilterClient(port=primary.port) as client:
+                await client.insert(b"late-marker")
+            assert replica.wal.last_seq == primary.wal.last_seq
+            async with AsyncFilterClient(port=replica.port) as rclient:
+                assert all(await rclient.query_many(keys + [b"late-marker"]))
+            await primary.stop()
+            await replica.stop()
+
+        asyncio.run(main())
+
+    def test_compacted_wal_falls_back_to_snapshot_transfer(self, tmp_path):
+        async def main():
+            # Build primary history, snapshot it, compact the WAL so a
+            # fresh replica cannot catch up from records alone.
+            primary_rec = recover_node(
+                build, wal_dir=tmp_path / "wal-p",
+                snapshot_path=tmp_path / "p.snap",
+            )
+            keys = [b"compacted-%d" % i for i in range(200)]
+            replica_rec = recover_node(build, wal_dir=tmp_path / "wal-r")
+            replica = build_node_server(replica_rec, read_only=True)
+            await replica.start()
+            primary = build_node_server(
+                primary_rec,
+                replicas=[("127.0.0.1", replica.port)],
+                ack_mode="quorum",
+                snapshot_path=tmp_path / "p.snap",
+            )
+            # Small segments so compaction actually drops history.
+            primary.wal.segment_bytes = 256
+            await primary.start()
+            async with AsyncFilterClient(port=primary.port) as client:
+                for i in range(0, 200, 20):
+                    await client.insert_many(keys[i : i + 20])
+                await client.snapshot()  # compacts the WAL
+            assert primary.wal.first_seq > 1
+            # Kill and restart the replica from scratch: its offset (0)
+            # now predates the WAL, forcing the snapshot path.
+            await replica.stop()
+            replica2_rec = recover_node(build, wal_dir=tmp_path / "wal-r2")
+            replica2 = build_node_server(replica2_rec, read_only=True)
+            await replica2.start()
+            primary.replication.links[0].host = "127.0.0.1"
+            primary.replication.links[0].port = replica2.port
+            primary.replication.links[0].acked_seq = 0
+            async with AsyncFilterClient(port=primary.port) as client:
+                await client.insert(b"post-snapshot-key")
+            assert primary.replication.links[0].snapshots_sent >= 1
+            assert replica2.wal.last_seq == primary.wal.last_seq
+            async with AsyncFilterClient(port=replica2.port) as rclient:
+                assert all(
+                    await rclient.query_many(keys + [b"post-snapshot-key"])
+                )
+            await primary.stop()
+            await replica2.stop()
+
+        asyncio.run(main())
+
+    def test_stats_and_metrics_carry_cluster_families(self, tmp_path):
+        async def main():
+            primary, replica = await start_pair(tmp_path, metrics_port=0)
+            async with AsyncFilterClient(port=primary.port) as client:
+                await client.insert_many([b"m-%d" % i for i in range(50)])
+                stats = await client.stats()
+            cluster = stats["cluster"]
+            assert cluster["role"] == "primary"
+            assert cluster["wal"]["last_seq"] == 1
+            assert cluster["replication"]["quorum"] == 2
+            address = f"127.0.0.1:{replica.port}"
+            assert cluster["replication"]["lag_records"][address] == 0
+
+            from repro.observability.prometheus import parse_exposition
+
+            families = parse_exposition(primary._render_metrics())
+            assert ("repro_wal_last_seq" in families)
+            lag = families["repro_replication_lag_records"]
+            assert lag[0][0]["replica"] == address
+            assert lag[0][1] == 0.0
+            assert "repro_replication_committed_seq" in families
+            await primary.stop()
+            await replica.stop()
+
+        asyncio.run(main())

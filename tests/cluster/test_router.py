@@ -1,0 +1,245 @@
+"""Router tests: ring placement, fan-out, fallback reads, cluster client."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.cluster.cluster_client import ClusterClient
+from repro.cluster.router import (
+    HashRing,
+    NodeAddress,
+    RouterBackend,
+    ShardGroup,
+    parse_group,
+    parse_node,
+)
+from repro.errors import ClusterError, ConfigurationError
+from repro.filters.factory import FilterSpec, build_filter
+from repro.service.client import AsyncFilterClient
+from repro.service.server import FilterServer
+
+
+def build(seed=3):
+    return build_filter(
+        FilterSpec(
+            variant="MPCBF-1",
+            memory_bits=64 * 8192,
+            k=3,
+            capacity=4000,
+            seed=seed,
+            extra={"word_overflow": "saturate"},
+        )
+    )
+
+
+class TestParsing:
+    def test_parse_node_variants(self):
+        assert parse_node("10.0.0.1:7801") == NodeAddress("10.0.0.1", 7801)
+        node = parse_node("localhost:7801/9464")
+        assert node.health_port == 9464
+        assert node.health_url() == "http://localhost:9464/healthz"
+        for bad in ("nohost", "host:notaport", ":7801"):
+            with pytest.raises(ConfigurationError):
+                parse_node(bad)
+
+    def test_parse_group(self):
+        group = parse_group("a=h1:1,h2:2,h3:3")
+        assert group.name == "a"
+        assert group.primary.address == "h1:1"
+        assert [r.address for r in group.replicas] == ["h2:2", "h3:3"]
+        with pytest.raises(ConfigurationError):
+            parse_group("missing-equals")
+
+
+def ring_of(names, vnodes=64):
+    return HashRing(
+        [
+            ShardGroup(name, NodeAddress("127.0.0.1", 1 + i))
+            for i, name in enumerate(names)
+        ],
+        vnodes=vnodes,
+    )
+
+
+class TestHashRing:
+    def test_lookup_is_deterministic_and_total(self):
+        ring = ring_of(["a", "b", "c"])
+        keys = [b"key-%d" % i for i in range(1000)]
+        first = [ring.lookup(k).name for k in keys]
+        second = [ring.lookup(k).name for k in keys]
+        assert first == second
+        assert set(first) == {"a", "b", "c"}
+
+    def test_vnodes_balance_load(self):
+        ring = ring_of(["a", "b", "c", "d"], vnodes=128)
+        keys = [b"bal-%d" % i for i in range(4000)]
+        counts = {name: 0 for name in "abcd"}
+        for key in keys:
+            counts[ring.lookup(key).name] += 1
+        for count in counts.values():
+            assert 0.5 * 1000 < count < 1.7 * 1000
+        fractions = ring.load_fractions()
+        assert abs(sum(fractions.values()) - 1.0) < 1e-9
+
+    def test_adding_a_group_moves_a_minority_of_keys(self):
+        before = ring_of(["a", "b", "c"])
+        after = ring_of(["a", "b", "c", "d"])
+        keys = [b"move-%d" % i for i in range(2000)]
+        moved = sum(
+            1
+            for k in keys
+            if before.lookup(k).name != after.lookup(k).name
+        )
+        # Consistent hashing: ~1/4 of keys move, never a majority.
+        assert moved < len(keys) // 2
+
+    def test_duplicate_group_names_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ring_of(["a", "a"])
+        with pytest.raises(ConfigurationError):
+            HashRing([], vnodes=8)
+
+
+async def start_node(filt=None, **kwargs) -> FilterServer:
+    server = FilterServer(filt if filt is not None else build(), **kwargs)
+    await server.start()
+    return server
+
+
+class TestRouterFanout:
+    def test_routing_matches_oracle_across_two_groups(self):
+        async def main():
+            node_a = await start_node(build(1))
+            node_b = await start_node(build(2))
+            ring = HashRing(
+                [
+                    ShardGroup("a", NodeAddress("127.0.0.1", node_a.port)),
+                    ShardGroup("b", NodeAddress("127.0.0.1", node_b.port)),
+                ],
+                vnodes=32,
+            )
+            backend = RouterBackend(ring)
+            router = FilterServer(backend)
+            await router.start()
+            members = [b"member-%d" % i for i in range(400)]
+            absent = [b"absent-%d" % i for i in range(2000)]
+            async with AsyncFilterClient(port=router.port) as client:
+                await client.insert_many(members)
+                answers = await client.query_many(members)
+                assert all(answers)  # no false negatives through the ring
+                false_positives = sum(await client.query_many(absent))
+                assert false_positives < len(absent) * 0.05
+                await client.delete_many(members[:100])
+                stats = await client.stats()
+            assert stats["router"]["ring"]["groups"] == ["a", "b"]
+            routed = stats["router"]["routed_keys"]
+            assert sum(
+                count for name, count in routed.items() if "/insert" in name
+            ) == len(members)
+            # Both groups actually took traffic.
+            assert backend.routed_keys[("a", "insert")] > 0
+            assert backend.routed_keys[("b", "insert")] > 0
+            # The nodes only saw their own partition.
+            async with AsyncFilterClient(port=node_a.port) as direct:
+                direct_stats = await direct.stats()
+            node_a_inserts = direct_stats["filter"]["access_stats"]["insert"][
+                "operations"
+            ]
+            assert 0 < node_a_inserts < len(members)
+            assert server_role(router) == "router"
+            await router.stop()
+            backend.close()
+            await node_a.stop()
+            await node_b.stop()
+
+        asyncio.run(main())
+
+    def test_reads_fall_back_to_replica_writes_fail_fast(self):
+        async def main():
+            primary = await start_node(build(5))
+            replica = await start_node(build(5))
+            members = [b"fo-%d" % i for i in range(100)]
+            # Pre-populate both nodes identically (stand-in for
+            # replication, which test_failover exercises for real).
+            for node in (primary, replica):
+                async with AsyncFilterClient(port=node.port) as client:
+                    await client.insert_many(members)
+            ring = HashRing(
+                [
+                    ShardGroup(
+                        "g",
+                        NodeAddress("127.0.0.1", primary.port),
+                        (NodeAddress("127.0.0.1", replica.port),),
+                    )
+                ],
+                vnodes=8,
+            )
+            backend = RouterBackend(ring, timeout_s=1.0)
+            router = FilterServer(backend)
+            await router.start()
+            async with AsyncFilterClient(port=router.port) as client:
+                assert all(await client.query_many(members))
+                assert backend.fallback_reads == 0
+                await primary.abort()
+                # Reads survive the dead primary via the replica.
+                assert all(await client.query_many(members))
+                assert backend.fallback_reads == len(members)
+                # Writes have no failover target: typed error, fast.
+                from repro.service.protocol import RemoteError
+
+                with pytest.raises(RemoteError) as excinfo:
+                    await client.insert(b"new-key")
+                assert excinfo.value.code.name == "CLUSTER"
+            await router.stop()
+            backend.close()
+            await replica.stop()
+
+        asyncio.run(main())
+
+
+def server_role(server: FilterServer) -> str:
+    return server.role
+
+
+class TestClusterClient:
+    def test_client_side_routing_round_trip(self):
+        async def main():
+            node_a = await start_node(build(8))
+            node_b = await start_node(build(9))
+            loop = asyncio.get_running_loop()
+
+            def drive():
+                with ClusterClient(
+                    [
+                        f"a=127.0.0.1:{node_a.port}",
+                        f"b=127.0.0.1:{node_b.port}",
+                    ],
+                    vnodes=16,
+                ) as client:
+                    client.insert_many([f"cc-{i}" for i in range(200)])
+                    client.insert("single")
+                    assert client.query("single") is True
+                    assert all(
+                        client.query_many([f"cc-{i}" for i in range(200)])
+                    )
+                    client.delete("single")
+                    status = client.status()
+                    assert status["router"]["ring"]["groups"] == ["a", "b"]
+                    roles = {
+                        info.get("role")
+                        for info in status["nodes"].values()
+                    }
+                    assert roles == {"single"}
+
+            await loop.run_in_executor(None, drive)
+            await node_a.stop()
+            await node_b.stop()
+
+        asyncio.run(main())
+
+    def test_unreachable_group_raises_cluster_error(self):
+        with ClusterClient(["dead=127.0.0.1:1"], timeout_s=0.2) as client:
+            with pytest.raises(ClusterError):
+                client.insert_many([b"x"])

@@ -1,0 +1,75 @@
+"""Full-jitter backoff: bounds, growth, and that connect() uses it."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.service import client as client_mod
+from repro.service.client import (
+    BACKOFF_CAP_S,
+    AsyncFilterClient,
+    FilterClient,
+    _jittered_delay,
+)
+
+
+class TestJitteredDelay:
+    def test_delays_stay_within_the_exponential_envelope(self):
+        base = 0.05
+        for attempt in range(12):
+            cap = min(BACKOFF_CAP_S, base * (2 ** (attempt + 1)))
+            for _ in range(50):
+                delay = _jittered_delay(base, attempt)
+                assert 0.0 <= delay <= cap
+
+    def test_envelope_grows_then_caps(self):
+        base = 0.05
+        caps = [
+            min(BACKOFF_CAP_S, base * (2 ** (attempt + 1)))
+            for attempt in range(10)
+        ]
+        assert caps == sorted(caps)
+        assert caps[-1] == BACKOFF_CAP_S
+
+    def test_jitter_actually_varies(self):
+        # Full jitter means the whole [0, cap) range is in play; 100
+        # draws from uniform(0, 1.6) collapsing to one value would mean
+        # the jitter is gone.
+        draws = {round(_jittered_delay(0.05, 4), 6) for _ in range(100)}
+        assert len(draws) > 10
+
+
+class TestConnectUsesJitter:
+    def test_sync_connect_sleeps_jittered_delays(self, monkeypatch):
+        sleeps: list[float] = []
+        monkeypatch.setattr(client_mod.time, "sleep", sleeps.append)
+        monkeypatch.setattr(
+            client_mod.random, "uniform", lambda low, high: high
+        )
+        client = FilterClient("127.0.0.1", 1, retries=4, backoff_s=0.05)
+        with pytest.raises(ConnectionError):
+            client.connect()
+        assert sleeps == [0.1, 0.2, 0.4, 0.8]
+
+    def test_async_connect_sleeps_jittered_delays(self, monkeypatch):
+        sleeps: list[float] = []
+
+        async def fake_sleep(delay):
+            sleeps.append(delay)
+
+        monkeypatch.setattr(client_mod.asyncio, "sleep", fake_sleep)
+        monkeypatch.setattr(
+            client_mod.random, "uniform", lambda low, high: high
+        )
+
+        async def main():
+            client = AsyncFilterClient(
+                "127.0.0.1", 1, retries=4, backoff_s=0.05
+            )
+            with pytest.raises(ConnectionError):
+                await client.connect()
+
+        asyncio.run(main())
+        assert sleeps == [0.1, 0.2, 0.4, 0.8]

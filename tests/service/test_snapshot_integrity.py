@@ -1,0 +1,73 @@
+"""Snapshot CRC trailer: corruption detection + legacy compatibility."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.filters.factory import FilterSpec, build_filter
+from repro.serialize import dump_filter
+from repro.service.snapshot import (
+    load_snapshot,
+    load_snapshot_bytes,
+    snapshot_bytes,
+    write_snapshot,
+)
+
+
+def make_filter(seed=2):
+    filt = build_filter(
+        FilterSpec(
+            variant="MPCBF-1",
+            memory_bits=32 * 8192,
+            k=3,
+            capacity=2000,
+            seed=seed,
+            extra={"word_overflow": "saturate"},
+        )
+    )
+    filt.insert_many([b"crc-%d" % i for i in range(500)])
+    return filt
+
+
+class TestCrcTrailer:
+    def test_roundtrip_with_trailer(self, tmp_path):
+        filt = make_filter()
+        path = tmp_path / "f.snap"
+        report = write_snapshot(filt, path)
+        blob = path.read_bytes()
+        assert blob[-8:-4] == b"MPCK"
+        (crc,) = struct.unpack("<I", blob[-4:])
+        assert crc == zlib.crc32(blob[:-8]) == report["crc32"]
+        restored = load_snapshot(path)
+        assert all(restored.query_many([b"crc-%d" % i for i in range(500)]))
+
+    def test_corruption_is_detected(self, tmp_path):
+        path = tmp_path / "f.snap"
+        write_snapshot(make_filter(), path)
+        blob = bytearray(path.read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        with pytest.raises(ConfigurationError, match="CRC mismatch"):
+            load_snapshot(path)
+
+    def test_legacy_snapshot_without_trailer_still_loads(self, tmp_path):
+        # Dumps written before the trailer existed: raw serialize bytes.
+        filt = make_filter()
+        path = tmp_path / "legacy.snap"
+        path.write_bytes(dump_filter(filt))
+        restored = load_snapshot(path)
+        assert all(restored.query_many([b"crc-%d" % i for i in range(500)]))
+
+    def test_bad_magic_raises_with_source(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="somewhere"):
+            load_snapshot_bytes(b"not a snapshot at all", source="somewhere")
+
+    def test_snapshot_bytes_matches_file_contents(self, tmp_path):
+        filt = make_filter()
+        path = tmp_path / "f.snap"
+        write_snapshot(filt, path)
+        assert path.read_bytes() == snapshot_bytes(filt)
