@@ -3,15 +3,17 @@
 A cluster node's durable state is ``snapshot + WAL tail``:
 
 1. :func:`recover_node` loads the latest snapshot (if any), reads the
-   sidecar metadata recording which WAL sequence the snapshot covers,
-   and replays every later WAL record onto the filter.  After a crash —
-   even a ``kill -9`` mid-batch — this reconstructs exactly the state
-   whose records reached stable storage under the configured fsync
-   policy.
+   WAL sequence it covers from the snapshot's own ``MPCS`` trailer
+   (falling back to the legacy ``<path>.meta`` JSON sidecar older dumps
+   used), and replays every later WAL record onto the filter.  After a
+   crash — even a ``kill -9`` mid-batch — this reconstructs exactly the
+   state whose records reached stable storage under the configured
+   fsync policy.
 2. :class:`WalSnapshotManager` extends the daemon's snapshot loop with
-   log compaction: each dump notes the WAL sequence it covers (in a
-   ``<path>.meta`` JSON sidecar) and then drops WAL segments the
-   snapshot made redundant, so the log stays bounded.
+   log compaction: each dump embeds the WAL sequence it covers (in the
+   snapshot trailer, so state + sequence publish in one atomic rename)
+   and then drops WAL segments the snapshot made redundant, so the log
+   stays bounded.
 3. :func:`serve_node` is the cluster flavour of
    :func:`repro.service.server.serve`: recover, wire up the WAL, an
    optional :class:`~repro.cluster.replication.ReplicationManager`
@@ -42,8 +44,10 @@ from repro.service.protocol import Opcode
 from repro.service.server import FilterServer
 from repro.service.snapshot import (
     SnapshotManager,
-    load_snapshot,
+    load_snapshot_bytes,
     snapshot_bytes,
+    snapshot_wal_seq,
+    write_snapshot,
 )
 
 __all__ = [
@@ -56,14 +60,16 @@ __all__ = [
 logger = get_logger("cluster.node")
 
 
-def _meta_path(snapshot_path: str | Path) -> Path:
-    return Path(str(snapshot_path) + ".meta")
+def _read_legacy_sidecar_seq(snapshot_path: str | Path) -> int:
+    """WAL sequence from the old ``<path>.meta`` sidecar (0 when absent).
 
-
-def _read_snapshot_seq(snapshot_path: str | Path) -> int:
-    """WAL sequence covered by the snapshot (0 for pre-cluster dumps)."""
+    Dumps written before the sequence moved into the snapshot trailer
+    recorded it here; kept read-only so those nodes recover correctly.
+    """
     try:
-        meta = json.loads(_meta_path(snapshot_path).read_text("utf-8"))
+        meta = json.loads(
+            Path(str(snapshot_path) + ".meta").read_text("utf-8")
+        )
     except (FileNotFoundError, ValueError):
         return 0
     return int(meta.get("wal_seq", 0))
@@ -75,22 +81,26 @@ class WalSnapshotManager(SnapshotManager):
     Runs on the batcher's worker thread like its base class, which is
     what makes ``wal.last_seq`` at dump time exact: no mutation can be
     mid-apply while the dump runs, so the snapshot covers precisely the
-    records up to that sequence.
+    records up to that sequence.  The sequence is embedded in the dump's
+    trailer, so snapshot and sequence can never be observed out of sync
+    by a crash between two writes.
     """
 
     def __init__(self, filt, path, wal: WriteAheadLog, **kwargs) -> None:
         super().__init__(filt, path, **kwargs)
         self.wal = wal
 
-    def save_now(self) -> dict:
+    def _dump(self) -> dict:
         seq = self.wal.last_seq
-        report = super().save_now()
-        _meta_path(self.path).write_text(
-            json.dumps({"wal_seq": seq}), "utf-8"
-        )
-        removed = self.wal.truncate_through(seq)
+        report = write_snapshot(self.filter, self.path, wal_seq=seq)
         report["wal_seq"] = seq
-        report["wal_segments_removed"] = removed
+        return report
+
+    def save_now(self) -> dict:
+        report = super().save_now()
+        report["wal_segments_removed"] = self.wal.truncate_through(
+            report["wal_seq"]
+        )
         return report
 
 
@@ -131,11 +141,24 @@ def recover_node(
     snapshot_seq = 0
     filt = None
     if snapshot_path is not None and Path(snapshot_path).exists():
-        filt = load_snapshot(snapshot_path)
-        snapshot_seq = _read_snapshot_seq(snapshot_path)
+        data = Path(snapshot_path).read_bytes()
+        filt = load_snapshot_bytes(data, source=str(snapshot_path))
+        embedded_seq = snapshot_wal_seq(data)
+        snapshot_seq = (
+            embedded_seq
+            if embedded_seq is not None
+            else _read_legacy_sidecar_seq(snapshot_path)
+        )
     if filt is None:
         filt = build()
     wal = WriteAheadLog(wal_dir, segment_bytes=segment_bytes, fsync=fsync)
+    if snapshot_seq > wal.last_seq:
+        # The snapshot is ahead of the entire retained log — the replica
+        # crashed after persisting a replication state transfer but
+        # before (or during) discarding the history it supersedes.
+        # Every local record is covered by the snapshot; dropping them
+        # restarts numbering where the primary will resume streaming.
+        wal.reset_to(snapshot_seq)
     replayed = 0
     errors = 0
     for record in wal.replay(start_seq=snapshot_seq + 1):
@@ -228,7 +251,8 @@ def build_node_server(
     if replication is not None:
         async def snapshot_source() -> tuple[int, bytes]:
             def dump() -> tuple[int, bytes]:
-                return server.wal.last_seq, snapshot_bytes(server.filter)
+                seq = server.wal.last_seq
+                return seq, snapshot_bytes(server.filter, wal_seq=seq)
 
             return await server.batcher.run(dump)
 

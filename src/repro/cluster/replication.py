@@ -142,6 +142,8 @@ class ReplicationManager:
         self._committed_seq = 0
         self._loop: asyncio.AbstractEventLoop | None = None
         self._stopping = False
+        self._prev_on_append = None
+        self._wal_on_append = None
 
     # -- quorum arithmetic ----------------------------------------------
     @property
@@ -179,14 +181,20 @@ class ReplicationManager:
         self._stopping = False
         self._loop = asyncio.get_running_loop()
         self._append_events = [asyncio.Event() for _ in self.links]
-        prev_on_append = self.wal.on_append
+        self._prev_on_append = self.wal.on_append
         loop = self._loop
 
-        def on_append(seq: int, _prev=prev_on_append) -> None:
+        def on_append(seq: int, _prev=self._prev_on_append) -> None:
             if _prev is not None:
                 _prev(seq)
-            loop.call_soon_threadsafe(self._wake_links)
+            if loop.is_closed():
+                return  # appends may outlive the loop that started us
+            try:
+                loop.call_soon_threadsafe(self._wake_links)
+            except RuntimeError:
+                pass  # loop closed between the check and the call
 
+        self._wal_on_append = on_append
         self.wal.on_append = on_append
         self._tasks = [
             loop.create_task(self._run_link(index, link))
@@ -200,6 +208,14 @@ class ReplicationManager:
     async def stop(self) -> None:
         """Cancel all links and fail any still-waiting quorum acks."""
         self._stopping = True
+        # Unhook our append wrapper (restoring whatever it chained) so
+        # repeated start/stop cycles don't stack wrappers and appends
+        # after shutdown don't target a dead loop.
+        if self._wal_on_append is not None:
+            if self.wal.on_append is self._wal_on_append:
+                self.wal.on_append = self._prev_on_append
+            self._wal_on_append = None
+            self._prev_on_append = None
         for task in self._tasks:
             task.cancel()
         for task in self._tasks:

@@ -32,7 +32,11 @@ from typing import Callable
 
 import numpy as np
 
-from repro.errors import ReproError, UnsupportedOperationError
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    UnsupportedOperationError,
+)
 from repro.filters.base import CountingFilterBase
 from repro.observability.logging import get_logger
 from repro.observability.spans import span
@@ -73,10 +77,23 @@ class FilterExecutor:
     requests are never replayed against partially-applied state.  Pass
     ``fuse_mutations=True`` to fuse writes too (worth it only when the
     filter's overflow policies saturate, i.e. bulk inserts cannot raise;
-    a fused-write error then fails the whole batch).
+    a fused-write error then fails the whole batch).  Fusing is
+    incompatible with a WAL — per-request records could not faithfully
+    replay an all-or-nothing apply — and is rejected at construction.
     """
 
     def __init__(self, filt, *, fuse_mutations: bool = False, wal=None) -> None:
+        if fuse_mutations and wal is not None:
+            # The WAL logs one record per coalesced request, but a fused
+            # apply is all-or-nothing: if it raises mid-batch, replaying
+            # the records individually would let some succeed, so the
+            # recovered (or replicated) state could diverge from the
+            # pre-crash primary.  Only the isolated path keeps replay
+            # granularity equal to apply granularity.
+            raise ConfigurationError(
+                "fuse_mutations cannot be combined with a WAL: fused "
+                "applies are not replayable record-by-record"
+            )
         self.fuse_mutations = fuse_mutations
         #: Optional :class:`~repro.cluster.wal.WriteAheadLog`; when set,
         #: every mutation request appends one record *before* it is
@@ -136,8 +153,8 @@ class FilterExecutor:
         return self.wal.append(op, keys)
 
     def _apply_fused(self, op: Opcode, key_lists: list[list[bytes]]) -> list[object]:
+        # Never WAL-logged: __init__ rejects fuse_mutations with a WAL.
         flat = [key for keys in key_lists for key in keys]
-        seqs = [self._log(op, keys) for keys in key_lists]
         try:
             if op == Opcode.INSERT:
                 self.filter.insert_many(flat)
@@ -145,7 +162,7 @@ class FilterExecutor:
                 self.filter.delete_many(flat)
         except ReproError as exc:
             return [exc for _ in key_lists]
-        return list(seqs)
+        return [None for _ in key_lists]
 
     def _apply_isolated(
         self, op: Opcode, key_lists: list[list[bytes]]

@@ -51,7 +51,11 @@ from repro.service.protocol import (
     parse_request,
     read_frame,
 )
-from repro.service.snapshot import SnapshotManager, load_snapshot_bytes
+from repro.service.snapshot import (
+    SnapshotManager,
+    load_snapshot_bytes,
+    with_snapshot_seq,
+)
 
 __all__ = ["FilterServer", "serve"]
 
@@ -83,16 +87,19 @@ class FilterServer:
     wal:
         Optional :class:`~repro.cluster.wal.WriteAheadLog`.  Every
         mutation request then appends a durable record before it is
-        applied, and the server accepts the replication opcodes
-        (REPLICATE / REPL_STATUS / REPL_SNAPSHOT) so it can act as a
-        replica or hand out its offset.
+        applied, and the server answers REPL_STATUS so peers can read
+        its offset.
     replication:
         Optional :class:`~repro.cluster.replication.ReplicationManager`
         making this node a primary: acknowledged mutations honour its
         ack mode (async or quorum).  Requires ``wal``.
     read_only:
         Reject client INSERT/DELETE with an UNSUPPORTED error frame —
-        the replica role (replicated mutations still apply).
+        the replica role.  Only a read-only node accepts the
+        replication write opcodes (REPLICATE / REPL_SNAPSHOT), so a
+        primary's WAL sequencing cannot be bypassed or reset by a
+        stray client; state transfers additionally require a snapshot
+        path, because installing one discards the local WAL.
     snapshot_manager:
         Inject a pre-built manager (e.g. the cluster's WAL-truncating
         :class:`~repro.cluster.node.WalSnapshotManager`) instead of
@@ -425,6 +432,16 @@ class FilterServer:
             return encode_frame(
                 Opcode.JSON, json.dumps(status).encode("utf-8")
             )
+        # Only the replica role applies replicated writes.  Without this
+        # gate any client could inject mutations past a primary's WAL
+        # sequencing (REPLICATE) or wipe its log outright (REPL_SNAPSHOT
+        # ends in reset_to) — the read_only check in _dispatch only
+        # covers parsed client ops, not these frames.
+        if not self.read_only:
+            raise UnsupportedOperationError(
+                f"replication writes are only accepted by a read-only "
+                f"replica; this node is a {self.role}"
+            )
         if opcode == Opcode.REPLICATE:
             seq, op, keys = decode_replicate_body(body)
             applied = await self.batcher.run(
@@ -432,6 +449,14 @@ class FilterServer:
             )
             return encode_frame(Opcode.ACK, encode_ack_body(applied))
         # REPL_SNAPSHOT: install the primary's full state.
+        if self.snapshots is None:
+            # Installing would leave the transferred state memory-only
+            # while reset_to discards the local WAL — a crash before the
+            # next snapshot would silently lose it all.
+            raise ProtocolError(
+                "replica has no snapshot path; refusing state transfer "
+                "that could not survive a restart"
+            )
         seq, blob = decode_repl_snapshot_body(body)
         await self.batcher.run(
             lambda: self._install_replication_snapshot(seq, blob)
@@ -466,11 +491,16 @@ class FilterServer:
         return self.wal.last_seq
 
     def _install_replication_snapshot(self, seq: int, blob: bytes) -> None:
-        filt = load_snapshot_bytes(blob)
+        filt = load_snapshot_bytes(blob)  # CRC-verified before any effect
+        # Persist first: reset_to discards every local WAL segment, so
+        # from that point the on-disk snapshot is the only durable copy
+        # of the transferred state.  The trailer records seq, so a crash
+        # right after the rename recovers to exactly this state and
+        # resumes streaming at seq + 1 (see recover_node).
+        self.snapshots.install_bytes(with_snapshot_seq(blob, seq))
         self.filter = filt
         self.executor.set_filter(filt)
-        if self.snapshots is not None:
-            self.snapshots.filter = filt
+        self.snapshots.filter = filt
         self.wal.reset_to(seq)
 
     def _error_frame(self, exc: Exception, request_id: str | None = None) -> bytes:

@@ -16,6 +16,14 @@ instead of restoring silently-wrong counters.  Dumps written before the
 trailer existed load unchanged (no trailer, no check); truncation of a
 trailered dump removes the trailer and is then caught by the array
 length checks in :mod:`repro.serialize`.
+
+Cluster nodes additionally need each snapshot to record *which* WAL
+sequence it covers, and that pairing must be crash-atomic — a snapshot
+observed with the wrong sequence replays the wrong WAL suffix (double
+counting or lost mutations).  So the sequence lives inside the snapshot
+file itself, in a 16-byte ``MPCS`` trailer (``u64 wal_seq | 'MPCS' |
+u32 crc``): one :func:`os.replace` publishes blob and sequence
+together, with no ordering window a crash can split.
 """
 
 from __future__ import annotations
@@ -37,27 +45,87 @@ __all__ = [
     "load_snapshot",
     "load_snapshot_bytes",
     "snapshot_bytes",
+    "snapshot_wal_seq",
+    "with_snapshot_seq",
 ]
 
 #: Trailer magic: snapshot blob | b"MPCK" | u32 crc32(blob).
 _CRC_MAGIC = b"MPCK"
 _CRC_TRAILER = struct.Struct("<4sI")
+#: Seq-carrying trailer: blob | u64 wal_seq | b"MPCS" | u32 crc32 of
+#: everything before the crc field (so the sequence is covered too).
+_SEQ_MAGIC = b"MPCS"
+_SEQ_TRAILER = struct.Struct("<Q4sI")
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
 
 
-def snapshot_bytes(filt) -> bytes:
-    """Serialise a filter (or bank) with the CRC32 integrity trailer."""
+def _split_trailer(
+    data: bytes, *, source: str = "snapshot"
+) -> tuple[bytes, int | None]:
+    """Strip and verify the integrity trailer: ``(payload, wal_seq)``.
+
+    ``wal_seq`` is None for trailer-less and plain-CRC (``MPCK``) dumps;
+    either CRC flavour raises on mismatch.
+    """
+    if len(data) >= _CRC_TRAILER.size:
+        magic, crc = _CRC_TRAILER.unpack_from(data, len(data) - _CRC_TRAILER.size)
+        if magic == _CRC_MAGIC:
+            payload = data[: -_CRC_TRAILER.size]
+            if zlib.crc32(payload) != crc:
+                raise ConfigurationError(
+                    f"{source}: snapshot CRC mismatch (corrupted or torn dump)"
+                )
+            return payload, None
+        if magic == _SEQ_MAGIC and len(data) >= _SEQ_TRAILER.size:
+            if zlib.crc32(data[:-_U32.size]) != crc:
+                raise ConfigurationError(
+                    f"{source}: snapshot CRC mismatch (corrupted or torn dump)"
+                )
+            (wal_seq,) = _U64.unpack_from(data, len(data) - _SEQ_TRAILER.size)
+            return data[: -_SEQ_TRAILER.size], wal_seq
+    return data, None
+
+
+def _append_trailer(blob: bytes, wal_seq: int | None) -> bytes:
+    if wal_seq is None:
+        return blob + _CRC_TRAILER.pack(_CRC_MAGIC, zlib.crc32(blob))
+    head = blob + _U64.pack(wal_seq) + _SEQ_MAGIC
+    return head + _U32.pack(zlib.crc32(head))
+
+
+def snapshot_bytes(filt, *, wal_seq: int | None = None) -> bytes:
+    """Serialise a filter (or bank) with the CRC32 integrity trailer.
+
+    With ``wal_seq`` the trailer also records the WAL sequence the dump
+    covers (cluster nodes), crash-atomically with the state itself.
+    """
     if hasattr(filt, "shards"):
         blob = dump_bank(filt)
     else:
         blob = dump_filter(filt)
-    return blob + _CRC_TRAILER.pack(_CRC_MAGIC, zlib.crc32(blob))
+    return _append_trailer(blob, wal_seq)
 
 
-def write_snapshot(filt, path: str | Path) -> dict:
-    """Atomically write a snapshot; returns a small report dict."""
-    path = Path(path)
+def snapshot_wal_seq(data: bytes) -> int | None:
+    """WAL sequence embedded in a snapshot blob (None when absent)."""
+    return _split_trailer(data)[1]
+
+
+def with_snapshot_seq(data: bytes, wal_seq: int, *, source: str = "snapshot") -> bytes:
+    """Re-trailer a snapshot blob so it records ``wal_seq``.
+
+    Verifies the incoming trailer (if any) before rewriting it — used
+    when a replica persists a primary's state transfer, where the
+    covered sequence arrives beside the blob rather than inside it.
+    """
+    payload, _ = _split_trailer(data, source=source)
+    return _append_trailer(payload, wal_seq)
+
+
+def _write_bytes_atomic(blob: bytes, path: Path) -> dict:
+    """The crash-safe publish dance shared by every snapshot writer."""
     started = time.perf_counter()
-    blob = snapshot_bytes(filt)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     with open(tmp, "wb") as handle:
@@ -68,26 +136,23 @@ def write_snapshot(filt, path: str | Path) -> dict:
     return {
         "path": str(path),
         "bytes": len(blob),
-        "crc32": zlib.crc32(blob[: -_CRC_TRAILER.size]),
+        "crc32": zlib.crc32(_split_trailer(blob, source=str(path))[0]),
         "elapsed_s": time.perf_counter() - started,
     }
+
+
+def write_snapshot(filt, path: str | Path, *, wal_seq: int | None = None) -> dict:
+    """Atomically write a snapshot; returns a small report dict."""
+    return _write_bytes_atomic(snapshot_bytes(filt, wal_seq=wal_seq), Path(path))
 
 
 def load_snapshot_bytes(data: bytes, *, source: str = "snapshot"):
     """Load a snapshot blob (filter or bank), verifying its CRC trailer.
 
     Pre-trailer dumps (nothing to verify) still load — the check only
-    applies when the ``MPCK`` trailer is present.
+    applies when an ``MPCK``/``MPCS`` trailer is present.
     """
-    if len(data) >= _CRC_TRAILER.size:
-        magic, crc = _CRC_TRAILER.unpack_from(data, len(data) - _CRC_TRAILER.size)
-        if magic == _CRC_MAGIC:
-            payload = data[: -_CRC_TRAILER.size]
-            if zlib.crc32(payload) != crc:
-                raise ConfigurationError(
-                    f"{source}: snapshot CRC mismatch (corrupted or torn dump)"
-                )
-            data = payload
+    data, _ = _split_trailer(data, source=source)
     if data[:4] == b"MPBK":
         return load_bank(data)
     if data[:4] == b"MPCB":
@@ -133,10 +198,27 @@ class SnapshotManager:
             return None
         return time.monotonic() - self.last_saved_monotonic
 
+    def _dump(self) -> dict:
+        """Write the filter to :attr:`path`; subclasses add metadata."""
+        return write_snapshot(self.filter, self.path)
+
     @spanned("snapshot_write")
     def save_now(self) -> dict:
         """Dump synchronously (caller must own the filter's thread)."""
-        report = write_snapshot(self.filter, self.path)
+        report = self._dump()
+        self.last_report = report
+        self.last_saved_monotonic = time.monotonic()
+        return report
+
+    def install_bytes(self, blob: bytes) -> dict:
+        """Atomically persist pre-serialised snapshot bytes to :attr:`path`.
+
+        The durability half of a replication state transfer: the replica
+        must hold the primary's snapshot on disk *before* it discards the
+        local WAL history the snapshot supersedes, or a crash in between
+        silently loses every mutation the transfer carried.
+        """
+        report = _write_bytes_atomic(blob, self.path)
         self.last_report = report
         self.last_saved_monotonic = time.monotonic()
         return report

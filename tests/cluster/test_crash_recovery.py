@@ -20,10 +20,15 @@ from pathlib import Path
 
 import pytest
 
-from repro.cluster.node import recover_node
+import json
+
+from repro.cluster.node import WalSnapshotManager, recover_node
+from repro.cluster.wal import WriteAheadLog
 from repro.filters.factory import FilterSpec, build_filter
 from repro.serialize import dump_filter
 from repro.service.client import FilterClient
+from repro.service.protocol import Opcode
+from repro.service.snapshot import snapshot_wal_seq, write_snapshot
 
 SPEC_ARGS = ["--variant", "MPCBF-1", "--memory-kb", "64", "--k", "3", "--seed", "4"]
 
@@ -127,6 +132,72 @@ class TestCrashRecovery:
         assert dump_filter(recovery.filter) == dump_filter(oracle)
         answers = recovery.filter.query_many(sorted(oracle_set))
         assert all(answers)  # no acknowledged insert went missing
+
+    def test_snapshot_embeds_wal_seq_atomically(self, tmp_path):
+        # The covered sequence travels inside the snapshot file itself
+        # (one atomic rename), not in a sidecar a crash could split off.
+        filt = make_filter()
+        wal = WriteAheadLog(tmp_path / "wal")
+        keys = [b"embed-%d" % i for i in range(5)]
+        filt.insert_many(keys)
+        for key in keys:
+            wal.append(Opcode.INSERT, [key])
+        manager = WalSnapshotManager(filt, tmp_path / "n.snap", wal)
+        report = manager.save_now()
+        wal.close()
+        assert report["wal_seq"] == 5
+        assert not (tmp_path / "n.snap.meta").exists()
+        assert snapshot_wal_seq((tmp_path / "n.snap").read_bytes()) == 5
+        recovery = recover_node(
+            make_filter, wal_dir=tmp_path / "wal",
+            snapshot_path=tmp_path / "n.snap",
+        )
+        assert recovery.snapshot_seq == 5
+        assert recovery.replayed_records == 0
+        assert all(recovery.filter.query_many(keys))
+
+    def test_legacy_meta_sidecar_still_recovers(self, tmp_path):
+        # Dumps from before the embedded trailer recorded the sequence
+        # in a <path>.meta sidecar; recovery must still honour it.
+        filt = make_filter()
+        wal = WriteAheadLog(tmp_path / "wal")
+        keys = [b"legacy-%d" % i for i in range(5)]
+        for key in keys:
+            wal.append(Opcode.INSERT, [key])
+        filt.insert_many(keys[:3])
+        write_snapshot(filt, tmp_path / "n.snap")  # plain MPCK, no seq
+        (tmp_path / "n.snap.meta").write_text(
+            json.dumps({"wal_seq": 3}), "utf-8"
+        )
+        wal.close()
+        recovery = recover_node(
+            make_filter, wal_dir=tmp_path / "wal",
+            snapshot_path=tmp_path / "n.snap",
+        )
+        assert recovery.snapshot_seq == 3
+        assert recovery.replayed_records == 2
+        assert all(recovery.filter.query_many(keys))
+
+    def test_snapshot_ahead_of_wal_supersedes_stale_records(self, tmp_path):
+        # The crash window of a replication state transfer: the snapshot
+        # (covering seq 10) hit disk but reset_to never ran, so the WAL
+        # still holds stale pre-transfer records.  They are all covered
+        # by the snapshot; recovery must drop them, not replay them.
+        stale = WriteAheadLog(tmp_path / "wal")
+        for i in range(4):
+            stale.append(Opcode.INSERT, [b"stale-%d" % i])
+        stale.close()
+        donor = make_filter()
+        donor.insert_many([b"xfer-%d" % i for i in range(50)])
+        write_snapshot(donor, tmp_path / "n.snap", wal_seq=10)
+        recovery = recover_node(
+            make_filter, wal_dir=tmp_path / "wal",
+            snapshot_path=tmp_path / "n.snap",
+        )
+        assert recovery.snapshot_seq == 10
+        assert recovery.replayed_records == 0
+        assert recovery.wal.last_seq == 10  # streaming resumes at 11
+        assert dump_filter(recovery.filter) == dump_filter(donor)
 
     def test_restarted_daemon_serves_recovered_state(self, tmp_path):
         wal_dir = tmp_path / "wal"

@@ -13,15 +13,20 @@ from repro.errors import ConfigurationError
 from repro.filters.factory import FilterSpec, build_filter
 from repro.service.client import AsyncFilterClient
 from repro.service.protocol import (
+    ErrorCode,
     Opcode,
     ProtocolError,
     decode_ack_body,
+    decode_error_body,
     decode_repl_snapshot_body,
     decode_replicate_body,
     encode_ack_body,
+    encode_frame,
     encode_repl_snapshot_body,
     encode_replicate_body,
+    read_frame,
 )
+from repro.service.snapshot import snapshot_bytes
 
 
 def make_spec(seed=7):
@@ -186,8 +191,14 @@ class TestStreaming:
             # Kill and restart the replica from scratch: its offset (0)
             # now predates the WAL, forcing the snapshot path.
             await replica.stop()
-            replica2_rec = recover_node(build, wal_dir=tmp_path / "wal-r2")
-            replica2 = build_node_server(replica2_rec, read_only=True)
+            replica2_rec = recover_node(
+                build, wal_dir=tmp_path / "wal-r2",
+                snapshot_path=tmp_path / "r2.snap",
+            )
+            replica2 = build_node_server(
+                replica2_rec, read_only=True,
+                snapshot_path=tmp_path / "r2.snap",
+            )
             await replica2.start()
             primary.replication.links[0].host = "127.0.0.1"
             primary.replication.links[0].port = replica2.port
@@ -230,3 +241,168 @@ class TestStreaming:
             await replica.stop()
 
         asyncio.run(main())
+
+
+async def send_frame(port, opcode, body=b""):
+    """Fire one raw frame at a node and return its (opcode, body) reply."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    try:
+        writer.write(encode_frame(opcode, body))
+        await writer.drain()
+        frame = await read_frame(reader)
+        assert frame is not None
+        return frame
+    finally:
+        writer.close()
+
+
+class TestReplicationSafety:
+    def test_replication_writes_refused_on_non_replicas(self, tmp_path):
+        # REPLICATE/REPL_SNAPSHOT must not be accepted from arbitrary
+        # clients on a primary: injected records would corrupt its
+        # sequence space, and a snapshot install would wipe its WAL.
+        async def main():
+            primary, replica = await start_pair(tmp_path)
+            async with AsyncFilterClient(port=primary.port) as client:
+                await client.insert(b"legit")
+            before = primary.wal.last_seq
+            opcode, body = await send_frame(
+                primary.port,
+                Opcode.REPLICATE,
+                encode_replicate_body(before + 1, Opcode.INSERT, [b"inject"]),
+            )
+            assert opcode == Opcode.ERROR
+            assert decode_error_body(body)[0] == ErrorCode.UNSUPPORTED
+            assert primary.wal.last_seq == before  # nothing was applied
+            assert not primary.filter.query(b"inject")
+
+            opcode, body = await send_frame(
+                primary.port,
+                Opcode.REPL_SNAPSHOT,
+                encode_repl_snapshot_body(99, snapshot_bytes(build())),
+            )
+            assert opcode == Opcode.ERROR
+            assert decode_error_body(body)[0] == ErrorCode.UNSUPPORTED
+            assert primary.wal.last_seq == before  # WAL not reset
+
+            # REPL_STATUS stays open on any WAL node (`cluster status`).
+            opcode, _ = await send_frame(primary.port, Opcode.REPL_STATUS)
+            assert opcode == Opcode.JSON
+            await primary.stop()
+            await replica.stop()
+
+        asyncio.run(main())
+
+    def test_snapshot_transfer_refused_without_snapshot_path(self, tmp_path):
+        # Installing a state transfer only in memory and then resetting
+        # the WAL would make the transferred state vanish on the next
+        # restart — a replica that cannot persist it must refuse.
+        async def main():
+            rec = recover_node(build, wal_dir=tmp_path / "wal-r")
+            replica = build_node_server(rec, read_only=True)
+            await replica.start()
+            opcode, body = await send_frame(
+                replica.port,
+                Opcode.REPL_SNAPSHOT,
+                encode_repl_snapshot_body(5, snapshot_bytes(build())),
+            )
+            assert opcode == Opcode.ERROR
+            code, message = decode_error_body(body)
+            assert code == ErrorCode.PROTOCOL
+            assert "snapshot path" in message
+            assert replica.wal.last_seq == 0  # local WAL untouched
+            await replica.stop()
+
+        asyncio.run(main())
+
+    def test_snapshot_install_is_durable_across_crash(self, tmp_path):
+        # The transferred snapshot must be on disk before reset_to drops
+        # the local WAL: an aborted replica (kill -9 stand-in) has to
+        # come back with the installed state and the right sequence.
+        async def main():
+            rec = recover_node(
+                build, wal_dir=tmp_path / "wal-r",
+                snapshot_path=tmp_path / "r.snap",
+            )
+            replica = build_node_server(
+                rec, read_only=True, snapshot_path=tmp_path / "r.snap"
+            )
+            await replica.start()
+            donor = build()
+            keys = [b"durable-%d" % i for i in range(200)]
+            donor.insert_many(keys)
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", replica.port
+            )
+            writer.write(
+                encode_frame(
+                    Opcode.REPL_SNAPSHOT,
+                    encode_repl_snapshot_body(50, snapshot_bytes(donor)),
+                )
+            )
+            await writer.drain()
+            frame = await read_frame(reader)
+            assert frame is not None
+            opcode, body = frame
+            assert opcode == Opcode.ACK and decode_ack_body(body) == 50
+            writer.write(
+                encode_frame(
+                    Opcode.REPLICATE,
+                    encode_replicate_body(51, Opcode.INSERT, [b"after-snap"]),
+                )
+            )
+            await writer.drain()
+            frame = await read_frame(reader)
+            assert frame is not None and frame[0] == Opcode.ACK
+            writer.close()
+            await replica.abort()  # no drain, no final snapshot
+
+            recovery = recover_node(
+                build, wal_dir=tmp_path / "wal-r",
+                snapshot_path=tmp_path / "r.snap",
+            )
+            assert recovery.snapshot_seq == 50
+            assert recovery.wal.last_seq == 51
+            assert all(recovery.filter.query_many(keys + [b"after-snap"]))
+            recovery.wal.close()
+
+        asyncio.run(main())
+
+
+class TestAppendHookLifecycle:
+    def test_stop_restores_previous_on_append(self, tmp_path):
+        async def main():
+            wal = WriteAheadLog(tmp_path / "wal")
+            seen: list[int] = []
+            hook = seen.append
+            wal.on_append = hook
+            manager = ReplicationManager(wal, [("127.0.0.1", 1)])
+            manager.start()
+            assert wal.on_append is not hook
+            await manager.stop()
+            assert wal.on_append is hook
+            # A second start/stop cycle must not stack wrappers.
+            manager2 = ReplicationManager(wal, [("127.0.0.1", 1)])
+            manager2.start()
+            await manager2.stop()
+            assert wal.on_append is hook
+            wal.append(Opcode.INSERT, [b"x"])
+            assert seen == [1]  # chained exactly once, then restored
+            wal.close()
+
+        asyncio.run(main())
+
+    def test_append_after_loop_close_does_not_raise(self, tmp_path):
+        # If the hook is still installed when its loop dies (crashy
+        # shutdown paths), a later append must not blow up the caller.
+        wal = WriteAheadLog(tmp_path / "wal")
+        manager = ReplicationManager(wal, [("127.0.0.1", 1)])
+
+        async def main():
+            manager.start()
+            await asyncio.sleep(0)  # let the link task spin up
+
+        asyncio.run(main())
+        wal.append(Opcode.INSERT, [b"after-close"])
+        assert wal.last_seq == 1
+        wal.close()

@@ -172,6 +172,22 @@ class TestErrorIsolation:
         results = executor.apply(Opcode.DELETE, [[b"a"], [b"b"]])
         assert all(isinstance(r, CounterUnderflowError) for r in results)
 
+    def test_fused_mutations_reject_a_wal(self, tmp_path):
+        # A fused apply is all-or-nothing, but the WAL replays records
+        # one by one — mixing them would let recovery diverge from the
+        # pre-crash state, so the combination must not construct.
+        from repro.cluster.wal import WriteAheadLog
+        from repro.errors import ConfigurationError
+
+        wal = WriteAheadLog(tmp_path / "wal")
+        with pytest.raises(ConfigurationError, match="fuse_mutations"):
+            FilterExecutor(
+                CountingBloomFilter(4096, 3, seed=1),
+                fuse_mutations=True,
+                wal=wal,
+            )
+        wal.close()
+
 
 class TestExecutorQueries:
     def test_query_results_slice_back_per_request(self):
