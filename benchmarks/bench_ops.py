@@ -1,16 +1,29 @@
 """Micro-benchmarks: per-variant insert / query / delete throughput.
 
 Not a paper figure — engineering benchmarks guarding the bulk fast
-paths (the NumPy mirror gather, ``np.add.at`` counter updates, and the
-scalar HCBF hierarchy walk) against regressions.
+paths (the NumPy mirror gather, the grouped bincount counter updates,
+and the scalar HCBF hierarchy walk) against regressions.
+
+``test_kernel_speedup`` additionally measures the columnar update
+kernels (:mod:`repro.kernels`) against the scalar reference backend on
+the same key stream and writes ``results/ops-kernels.json``.  It is
+the CI regression gate for the kernel layer: the columnar backend must
+beat the scalar one by at least :data:`_KERNEL_FLOOR` on bulk inserts,
+at every scale (``REPRO_SCALE=ci`` runs N = 100 000; ``paper`` runs
+N = 1 000 000, where the recorded speedups are far larger).
 """
 
 from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
 
 from repro.filters import build_suite
+from repro.filters.factory import FilterSpec, build_filter
 
 _MEMORY = 1 << 21
 _N = 20_000
@@ -75,6 +88,112 @@ def test_bulk_delete(benchmark, variant, keys):
 
     filt = benchmark(cycle)
     assert not filt.query_encoded(int(keys[0]))
+
+
+# -- scalar vs columnar kernels (results/ops-kernels.json) -------------
+
+#: Minimum columnar/scalar throughput ratio on bulk inserts — the CI
+#: regression floor.  Real speedups are far higher at paper scale; the
+#: floor only has to survive noisy shared CI runners at N = 100k.
+_KERNEL_FLOOR = 1.5
+
+_RESULTS_PATH = Path(__file__).resolve().parents[1] / "results"
+
+#: ~16 bits of filter memory per key keeps both variants comfortably
+#: under their saturation knees at every scale.
+_BITS_PER_KEY = 16
+
+
+def _kernel_filter(variant: str, kernel: str, n: int):
+    extra = {"kernel": kernel}
+    if variant.startswith("MPCBF"):
+        extra["word_overflow"] = "saturate"
+    return build_filter(
+        FilterSpec(
+            variant=variant,
+            memory_bits=_BITS_PER_KEY * n,
+            k=4,
+            capacity=n,
+            seed=7,
+            extra=extra,
+        )
+    )
+
+
+def _time_ops(variant: str, kernel: str, keys: np.ndarray) -> dict:
+    """One build + insert/query/count/delete cycle, seconds per op."""
+    filt = _kernel_filter(variant, kernel, len(keys))
+    timings = {}
+    started = time.perf_counter()
+    filt.insert_many(keys)
+    timings["insert_many"] = time.perf_counter() - started
+    # Read-only ops are repeatable: take the best of two passes so the
+    # first pass's cache warm-up does not masquerade as a kernel delta.
+    member = counts = None
+    for op, call in (("query_many", filt.query_many), ("count_many", filt.count_many)):
+        best = np.inf
+        for _ in range(2):
+            started = time.perf_counter()
+            result = call(keys)
+            best = min(best, time.perf_counter() - started)
+        timings[op] = best
+        member = result if op == "query_many" else member
+        counts = result if op == "count_many" else counts
+    started = time.perf_counter()
+    filt.delete_many(keys)
+    timings["delete_many"] = time.perf_counter() - started
+    assert bool(member.all())
+    assert int(counts.min()) >= 1
+    return timings
+
+
+def kernel_speedup(scale) -> dict:
+    n = scale.synth_queries  # ci: 100k, paper: 1M, quick: 20k
+    rng = np.random.default_rng(42)
+    keys = rng.integers(1, 2**63, size=n).astype(np.uint64)
+    rows = []
+    for variant in ("MPCBF-2", "CBF"):
+        scalar = _time_ops(variant, "scalar", keys)
+        columnar = _time_ops(variant, "columnar", keys)
+        for op in scalar:
+            rows.append(
+                {
+                    "variant": variant,
+                    "op": op,
+                    "scalar_s": round(scalar[op], 4),
+                    "columnar_s": round(columnar[op], 4),
+                    "scalar_mkeys_per_s": round(n / scalar[op] / 1e6, 3),
+                    "columnar_mkeys_per_s": round(n / columnar[op] / 1e6, 3),
+                    "speedup": round(scalar[op] / columnar[op], 2),
+                }
+            )
+    return {"scale": scale.name, "n": n, "floor": _KERNEL_FLOOR, "rows": rows}
+
+
+def test_kernel_speedup(benchmark, scale, capsys):
+    from benchmarks.conftest import run_once
+
+    payload = run_once(benchmark, kernel_speedup, scale)
+    _RESULTS_PATH.mkdir(exist_ok=True)
+    out = _RESULTS_PATH / "ops-kernels.json"
+    out.write_text(json.dumps(payload, indent=2))
+    with capsys.disabled():
+        print()
+        print(f"{'variant':>8} {'op':>12} {'scalar Mk/s':>12} "
+              f"{'columnar Mk/s':>14} {'speedup':>8}")
+        for row in payload["rows"]:
+            print(
+                f"{row['variant']:>8} {row['op']:>12} "
+                f"{row['scalar_mkeys_per_s']:>12.3f} "
+                f"{row['columnar_mkeys_per_s']:>14.3f} {row['speedup']:>8.2f}"
+            )
+    by_key = {(r["variant"], r["op"]): r for r in payload["rows"]}
+    for variant in ("MPCBF-2", "CBF"):
+        row = by_key[(variant, "insert_many")]
+        assert row["speedup"] >= _KERNEL_FLOOR, (
+            f"{variant} columnar insert_many regressed below "
+            f"{_KERNEL_FLOOR}x scalar: {row}"
+        )
 
 
 def test_hcbf_word_insert_delete(benchmark):

@@ -10,6 +10,13 @@ there is nothing to coalesce and the two configurations tie; at 64-way
 concurrency the coalesced daemon must win, because each dispatch then
 carries many keys down the vectorised ``query_many`` path.
 
+A second grid measures single-key INSERT throughput at 64-way
+concurrency with mutation fusing off (default: each request rides its
+own ``insert_many`` call) and on (``fuse_mutations=True``: the whole
+coalesced batch flattens into one call, so the columnar update kernels
+see the full micro-batch at once).  Fusing requires overflow policies
+that saturate, which the benched bank uses.
+
 Writes ``results/service-throughput.json``.
 """
 
@@ -76,8 +83,50 @@ def _measure(
 
     total, elapsed, mean_batch = asyncio.run(main())
     return {
+        "op": "query",
         "clients": clients,
         "coalescing": coalesce,
+        "ops": total,
+        "elapsed_s": round(elapsed, 4),
+        "ops_per_s": round(total / elapsed, 1),
+        "mean_batch_requests": round(mean_batch, 2),
+    }
+
+
+async def _drive_inserts(server: FilterServer, clients: int, ops_per_client: int):
+    async def one_client(c: int) -> int:
+        async with AsyncFilterClient(port=server.port) as client:
+            for i in range(ops_per_client):
+                await client.insert(b"fused-%d-%d" % (c, i))
+        return ops_per_client
+
+    started = time.perf_counter()
+    counts = await asyncio.gather(*[one_client(c) for c in range(clients)])
+    elapsed = time.perf_counter() - started
+    return sum(counts), elapsed
+
+
+def _measure_inserts(
+    members: int, clients: int, ops_per_client: int, fused: bool
+) -> dict:
+    async def main():
+        server = FilterServer(
+            _make_bank(members),
+            port=0,
+            max_delay_us=200.0,
+            fuse_mutations=fused,
+        )
+        await server.start()
+        total, elapsed = await _drive_inserts(server, clients, ops_per_client)
+        mean_batch = server.metrics.mean_batch_size
+        await server.stop()
+        return total, elapsed, mean_batch
+
+    total, elapsed, mean_batch = asyncio.run(main())
+    return {
+        "op": "insert",
+        "clients": clients,
+        "fused": fused,
         "ops": total,
         "elapsed_s": round(elapsed, 4),
         "ops_per_s": round(total / elapsed, 1),
@@ -90,11 +139,18 @@ def service_throughput(scale) -> list[dict]:
     # inside a CI-friendly wall-clock budget at every scale.
     ops_total = max(1000, scale.synth_queries // 20)
     members = min(scale.synth_members, 1000)
-    return [
+    rows = [
         _measure(members, clients, max(20, ops_total // clients), coalesce)
         for coalesce in (True, False)
         for clients in CONCURRENCY_LEVELS
     ]
+    # Fused-kernel rows: 64-way single-key INSERTs, batcher window on,
+    # with and without cross-request mutation fusing.
+    rows += [
+        _measure_inserts(members, 64, max(20, ops_total // 64), fused)
+        for fused in (False, True)
+    ]
+    return rows
 
 
 def test_service_throughput(benchmark, scale, capsys):
@@ -104,17 +160,33 @@ def test_service_throughput(benchmark, scale, capsys):
     out.write_text(json.dumps({"scale": scale.name, "rows": rows}, indent=2))
     with capsys.disabled():
         print()
-        header = f"{'clients':>8} {'coalesce':>9} {'ops/s':>12} {'mean batch':>11}"
+        header = (
+            f"{'op':>7} {'clients':>8} {'mode':>10} {'ops/s':>12} "
+            f"{'mean batch':>11}"
+        )
         print(header)
         for row in rows:
+            mode = (
+                f"coalesce={row['coalescing']}"
+                if row["op"] == "query"
+                else f"fused={row['fused']}"
+            )
             print(
-                f"{row['clients']:>8} {str(row['coalescing']):>9} "
+                f"{row['op']:>7} {row['clients']:>8} {mode:>10} "
                 f"{row['ops_per_s']:>12.0f} {row['mean_batch_requests']:>11.2f}"
             )
-    by_key = {(r["clients"], r["coalescing"]): r for r in rows}
+    by_key = {
+        (r["clients"], r["coalescing"]): r for r in rows if r["op"] == "query"
+    }
     # The acceptance shape: coalescing wins at 64-way concurrency.
     assert (
         by_key[(64, True)]["ops_per_s"] > by_key[(64, False)]["ops_per_s"]
     ), "coalesced daemon must beat per-op dispatch at 64-way concurrency"
     # And it really coalesced: mean batch size well above one request.
     assert by_key[(64, True)]["mean_batch_requests"] > 1.5
+    # Fused mutations flatten the batch into one kernel call, removing
+    # the per-request insert_many dispatch; at 64-way that must win.
+    inserts = {r["fused"]: r for r in rows if r["op"] == "insert"}
+    assert inserts[True]["ops_per_s"] > inserts[False]["ops_per_s"], (
+        "fused mutation batches must beat per-request applies at 64-way"
+    )

@@ -56,6 +56,11 @@ class CounterOverflowError(CapacityError):
         self.index = index
         self.limit = limit
 
+    def __reduce__(self):
+        # Default Exception pickling replays args=(message,) into our
+        # two-argument __init__; process-pool workers need the real one.
+        return (type(self), (self.index, self.limit))
+
 
 class CounterUnderflowError(CapacityError):
     """A delete was applied to a counter that is already zero.
@@ -68,6 +73,9 @@ class CounterUnderflowError(CapacityError):
     def __init__(self, index: int) -> None:
         super().__init__(f"counter at index {index} is zero; delete would underflow")
         self.index = index
+
+    def __reduce__(self):
+        return (type(self), (self.index,))
 
 
 class WordOverflowError(CapacityError):
@@ -85,6 +93,9 @@ class WordOverflowError(CapacityError):
         )
         self.word_index = word_index
         self.capacity = capacity
+
+    def __reduce__(self):
+        return (type(self), (self.word_index, self.capacity))
 
 
 class UnsupportedOperationError(ReproError):

@@ -154,6 +154,15 @@ class CountingFilterBase(FilterBase):
         for encoded in self._encode_bulk(keys):
             self.delete_encoded(int(encoded))
 
+    def count_many(self, keys: object) -> np.ndarray:
+        """Bulk multiplicity estimates; returns an int64 array."""
+        encoded = self._encode_bulk(keys)
+        return np.fromiter(
+            (self.count_encoded(int(e)) for e in encoded),
+            dtype=np.int64,
+            count=len(encoded),
+        )
+
 
 def require_counting(filter_obj: FilterBase) -> CountingFilterBase:
     """Assert that a filter supports deletion, for generic harness code."""

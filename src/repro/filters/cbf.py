@@ -7,10 +7,11 @@ bits — the 4× blow-up over a plain Bloom filter that motivates MPCBF.
 Two storage backends: the default ``"fast"`` keeps counters in an
 ``int32`` NumPy array (``c`` defines the overflow limit and the
 reported footprint — the comparison axis of every figure), with bulk
-inserts/deletes via ``np.add.at``/``np.subtract.at`` so repeated
-indices within one batch accumulate correctly.  ``"packed"`` stores
-genuine ``c``-bit fields in 64-bit limbs
-(:mod:`repro.memmodel.packed`) for memory-faithful experiments.
+inserts/deletes grouped through one ``np.bincount`` pass
+(:mod:`repro.kernels.grouped`) so repeated indices within one batch
+accumulate correctly without the scatter bottleneck of
+``np.add.at``.  ``"packed"`` stores genuine ``c``-bit fields in 64-bit
+limbs (:mod:`repro.memmodel.packed`) for memory-faithful experiments.
 """
 
 from __future__ import annotations
@@ -26,6 +27,7 @@ from repro.filters.base import CountingFilterBase, OverflowPolicy
 from repro.hashing.bit_budget import HashBitBudget
 from repro.hashing.encoders import KeyEncoder
 from repro.hashing.families import HashFamily
+from repro.kernels.grouped import grouped_decrements, grouped_increments
 from repro.memmodel.accounting import OpKind
 
 __all__ = ["CountingBloomFilter"]
@@ -54,6 +56,14 @@ class CountingBloomFilter(CountingFilterBase):
         stay vectorised, bulk updates fall back to per-counter
         read-modify-write (the honest hardware cost).  Requires
         ``counter_bits`` ∈ {1, 2, 4, 8, 16, 32}.
+    kernel:
+        ``"columnar"`` (default) runs fast-storage bulk updates through
+        the grouped bincount kernels; ``"scalar"`` loops the per-key
+        reference path instead.  Note the two differ (by design) when a
+        batch overflows: the grouped kernel treats the batch as atomic
+        (all-or-nothing with the lowest offending counter reported),
+        the scalar loop applies a per-key prefix — matching
+        ``insert_encoded`` semantics key by key.
     """
 
     def __init__(
@@ -65,6 +75,7 @@ class CountingBloomFilter(CountingFilterBase):
         seed: int = 0,
         overflow: OverflowPolicy | str = OverflowPolicy.RAISE,
         storage: str = "fast",
+        kernel: str = "columnar",
         encoder: KeyEncoder | None = None,
     ) -> None:
         super().__init__(encoder=encoder)
@@ -87,6 +98,11 @@ class CountingBloomFilter(CountingFilterBase):
                 f"storage must be 'fast' or 'packed', got {storage!r}"
             )
         self.storage = storage
+        if kernel not in ("columnar", "scalar"):
+            raise ConfigurationError(
+                f"kernel must be 'columnar' or 'scalar', got {kernel!r}"
+            )
+        self.kernel = kernel
         self.family = HashFamily(num_counters, k, seed=seed)
         if storage == "packed":
             from repro.memmodel.packed import PackedCounterArray
@@ -232,23 +248,19 @@ class CountingBloomFilter(CountingFilterBase):
         encoded = self._encode_bulk(keys)
         if len(encoded) == 0:
             return
-        if self._packed is not None:
+        if self._packed is not None or self.kernel == "scalar":
             for key in encoded:
                 self.insert_encoded(int(key))
             return
         indices = self.family.indices_array(encoded).reshape(-1)
-        np.add.at(self._counters, indices, 1)
-        exceeded = self._counters > self.counter_limit
-        if exceeded.any():
-            if self.overflow is OverflowPolicy.RAISE:
-                idx = int(np.argmax(exceeded))
-                # Roll back so the filter is untouched on failure.
-                np.subtract.at(self._counters, indices, 1)
-                raise CounterOverflowError(idx, self.counter_limit)
-            self.saturation_events += int(
-                (self._counters[exceeded] - self.counter_limit).sum()
-            )
-            np.minimum(self._counters, self.counter_limit, out=self._counters)
+        # Grouped bincount kernel: rolls the whole batch back before
+        # raising, so the filter is untouched on failure.
+        self.saturation_events += grouped_increments(
+            self._counters,
+            indices,
+            self.counter_limit,
+            raise_on_overflow=self.overflow is OverflowPolicy.RAISE,
+        )
         self.stats.record(
             OpKind.INSERT,
             count=len(encoded),
@@ -261,16 +273,12 @@ class CountingBloomFilter(CountingFilterBase):
         encoded = self._encode_bulk(keys)
         if len(encoded) == 0:
             return
-        if self._packed is not None:
+        if self._packed is not None or self.kernel == "scalar":
             for key in encoded:
                 self.delete_encoded(int(key))
             return
         indices = self.family.indices_array(encoded).reshape(-1)
-        np.subtract.at(self._counters, indices, 1)
-        if (self._counters < 0).any():
-            idx = int(np.argmax(self._counters < 0))
-            np.add.at(self._counters, indices, 1)
-            raise CounterUnderflowError(idx)
+        grouped_decrements(self._counters, indices)
         self.stats.record(
             OpKind.DELETE,
             count=len(encoded),
@@ -297,3 +305,12 @@ class CountingBloomFilter(CountingFilterBase):
             hash_calls=self._budget.hash_calls * len(encoded),
         )
         return member
+
+    def count_many(self, keys: object) -> np.ndarray:
+        encoded = self._encode_bulk(keys)
+        if len(encoded) == 0:
+            return np.zeros(0, dtype=np.int64)
+        if self._packed is not None or self.kernel == "scalar":
+            return super().count_many(encoded)
+        indices = self.family.indices_array(encoded)
+        return self._counters[indices].min(axis=1).astype(np.int64)

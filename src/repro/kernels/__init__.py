@@ -1,0 +1,32 @@
+"""Columnar NumPy update kernels (the batch hot path).
+
+The scalar :class:`~repro.filters.hcbf_word.HCBFWord` stays the oracle
+and the per-key API; this package holds the layout that makes bulk
+updates run at array speed:
+
+* :mod:`repro.kernels.columnar` — all HCBF words' hierarchies as flat
+  ``counts``/``hist``/``used`` columns plus the packed first-level
+  mirror, with batch kernels ``bulk_insert``/``bulk_delete``/
+  ``bulk_count`` that are observably equivalent to the scalar path
+  (membership, counters, saturation, ``AccessStats``; verified by the
+  Hypothesis differential suite in ``tests/kernels/``).
+* :mod:`repro.kernels.grouped` — bincount-grouped counter updates for
+  the flat CBF.
+* :mod:`repro.kernels.shmem` — shared-memory packing of the columnar
+  arrays so :class:`~repro.parallel.sharded.ShardedFilterBank` can run
+  shards on a process pool.
+
+See ``docs/performance.md`` for the layout and equivalence argument.
+"""
+
+from repro.kernels.columnar import ColumnarHCBF, KernelOutcome
+from repro.kernels.grouped import grouped_decrements, grouped_increments
+from repro.kernels.shmem import SharedArrayPack
+
+__all__ = [
+    "ColumnarHCBF",
+    "KernelOutcome",
+    "SharedArrayPack",
+    "grouped_decrements",
+    "grouped_increments",
+]

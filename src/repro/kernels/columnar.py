@@ -1,0 +1,639 @@
+"""Columnar HCBF state: every word's hierarchy as flat NumPy arrays.
+
+The scalar :class:`~repro.filters.hcbf_word.HCBFWord` stores one word's
+popcount hierarchy as arbitrary-precision Python ints — legible and
+exact, but a batch update touches thousands of tiny objects.  This
+module stores the *same information* columnarly across all ``l`` words:
+
+* ``counts[w, pos]`` — the counter value at first-level position
+  ``pos`` of word ``w``.  The unary hierarchy is uniquely determined by
+  these counters: level ``j ≥ 1`` has one slot per position with
+  ``count ≥ j`` (in ascending position order — popcount child indexing
+  preserves position order level by level) and the slot's bit is set
+  iff ``count ≥ j + 1``.  :meth:`word_level_state` /
+  :meth:`set_word_level_state` are the exact bijection.
+* ``hist[w, j]`` — the size of level ``j`` (``#{pos: counts ≥ j}``),
+  i.e. ``HCBFWord._sizes[j]``.  Traversal-bandwidth accounting only
+  ever reads level sizes (``Σ log2 |v_j|``), so the paper's hash-bit
+  numbers are computed from ``hist`` without materialising any bitmap.
+* ``used[w]`` — hierarchy bits consumed (``Σ_pos counts``), checked
+  against the ``w − b1`` budget exactly like ``HCBFWord.bits_free``.
+* ``mirror``/``overlay``/``sat_mask`` — packed first-level limbs (the
+  array bulk queries gather from), the membership-only overlay of
+  saturated words, and which words are saturated.
+
+Batch kernels (:meth:`bulk_insert`, :meth:`bulk_delete`,
+:meth:`bulk_count`) sort the (word, position) pairs of a whole batch by
+word with one stable ``argsort`` and then apply them in *rounds*: round
+``r`` applies the ``r``-th pair of every word's group.  Within a round
+each word appears at most once, so plain fancy indexing is safe, and
+the number of rounds is bounded by the per-word hierarchy budget
+(``w − b1``, e.g. ≤ 24 for the paper's w=64 geometry) because a word
+cannot legally receive more pairs than it has budget for.  Overflow /
+underflow triggers are detected *before* applying a segment (rank-
+vs-budget comparisons on the sorted pairs), and the single triggering
+key is replayed through an exact scalar routine so error identity,
+saturation order and partial-application semantics match the scalar
+path bit for bit.  Tests drive both backends through randomized
+interleavings and assert identical observable state.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CounterUnderflowError, WordOverflowError
+
+__all__ = ["KernelOutcome", "ColumnarHCBF"]
+
+#: Array fields shared with worker processes (see repro.kernels.shmem).
+SHARED_FIELDS = ("counts", "used", "hist", "mirror", "overlay", "sat_mask")
+
+_U1 = np.uint64(1)
+
+
+@dataclass
+class KernelOutcome:
+    """Result of one bulk kernel call.
+
+    ``applied_keys`` counts keys whose mutations took effect (on error,
+    the prefix before the failing key — matching the scalar partial-
+    application semantics).  ``extra_bits`` is the summed hierarchy
+    traversal bandwidth of the applied keys; ``error`` carries the
+    exception for the first failing key instead of raising so the
+    caller can record statistics with scalar-identical ordering first.
+    """
+
+    extra_bits: float = 0.0
+    applied_keys: int = 0
+    overflow_events: int = 0
+    skipped_deletes: int = 0
+    error: Exception | None = None
+
+
+def _group_sorted(values: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(uniques, group_starts, group_sizes)`` of a sorted 1-D array."""
+    n = len(values)
+    starts = np.flatnonzero(np.r_[True, values[1:] != values[:-1]])
+    sizes = np.diff(np.r_[starts, n])
+    return values[starts], starts, sizes
+
+
+def _int_to_bits(value: int, size: int) -> np.ndarray:
+    """Little-endian bit unpack of a Python int into a bool array."""
+    if size == 0:
+        return np.zeros(0, dtype=bool)
+    raw = value.to_bytes((size + 7) // 8, "little")
+    bits = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+    return bits[:size].astype(bool)
+
+
+def _bits_to_int(bits: np.ndarray) -> int:
+    """Inverse of :func:`_int_to_bits`."""
+    if len(bits) == 0:
+        return 0
+    packed = np.packbits(bits.astype(np.uint8), bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def counts_from_levels(sizes: list, levels: list, first_level_bits: int) -> np.ndarray:
+    """Decode an ``HCBFWord``'s ``(_sizes, _levels)`` into counter values.
+
+    Level ``j``'s slots are the positions with ``count ≥ j`` in
+    ascending position order, so walking the levels and filtering the
+    surviving positions by each bitmap reconstructs every counter.
+    """
+    counts = np.zeros(first_level_bits, dtype=np.int64)
+    current = np.flatnonzero(_int_to_bits(levels[0], sizes[0]))
+    counts[current] = 1
+    for j in range(1, len(levels)):
+        bits = _int_to_bits(levels[j], sizes[j])
+        current = current[bits[: len(current)]]
+        if len(current) == 0:
+            break
+        counts[current] = j + 1
+    return counts
+
+
+class ColumnarHCBF:
+    """All HCBF words of one MPCBF as flat arrays (see module docstring)."""
+
+    def __init__(self, num_words: int, word_bits: int, first_level_bits: int) -> None:
+        self.num_words = num_words
+        self.word_bits = word_bits
+        self.first_level_bits = first_level_bits
+        #: Hierarchy bit budget per word, ``w − b1`` (= HCBFWord capacity).
+        self.capacity = word_bits - first_level_bits
+        self.limbs = -(-first_level_bits // 64)
+        counts_dtype = np.uint8 if self.capacity <= 255 else np.int32
+        self.counts = np.zeros((num_words, first_level_bits), dtype=counts_dtype)
+        self.used = np.zeros(num_words, dtype=np.int64)
+        self.hist = np.zeros((num_words, self.capacity + 2), dtype=np.int32)
+        self.mirror = np.zeros((num_words, self.limbs), dtype=np.uint64)
+        self.overlay = np.zeros((num_words, self.limbs), dtype=np.uint64)
+        self.sat_mask = np.zeros(num_words, dtype=bool)
+        # log2 lookup over possible level sizes (≤ b1); log2(1) = 0 keeps
+        # the table usable without the scalar path's `size > 1` branch.
+        self._log2 = np.zeros(first_level_bits + 1, dtype=np.float64)
+        self._log2[1:] = np.log2(np.arange(1, first_level_bits + 1, dtype=np.float64))
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def stored_hash_bits(self) -> int:
+        """Total hierarchy bits in use (= Σ counts, = Σ HCBFWord usage)."""
+        return int(self.used.sum())
+
+    def saturated_dict(self) -> dict[int, int]:
+        """``{word index: overlay bitmap}`` in ascending index order."""
+        out: dict[int, int] = {}
+        for w in np.flatnonzero(self.sat_mask).tolist():
+            out[w] = self._overlay_int(w)
+        return out
+
+    def _overlay_int(self, word_index: int) -> int:
+        value = 0
+        for limb in range(self.limbs):
+            value |= int(self.overlay[word_index, limb]) << (64 * limb)
+        return value
+
+    def set_saturated(self, mapping: dict[int, int]) -> None:
+        """Replace the saturation state; overlay bits fold into the mirror."""
+        self.sat_mask[:] = False
+        self.overlay[:] = 0
+        mask = (1 << 64) - 1
+        for word_index, overlay in mapping.items():
+            self.sat_mask[word_index] = True
+            for limb in range(self.limbs):
+                val = np.uint64((overlay >> (64 * limb)) & mask)
+                self.overlay[word_index, limb] = val
+                self.mirror[word_index, limb] |= val
+
+    # -- scalar helpers (trigger keys, merges, conversions) --------------
+    def _overlay_set(self, word_index: int, pos: int) -> None:
+        bit = np.uint64(1 << (pos & 63))
+        self.overlay[word_index, pos >> 6] |= bit
+        self.mirror[word_index, pos >> 6] |= bit
+
+    def _overlay_pairs(self, W: np.ndarray, P: np.ndarray) -> None:
+        limb = P >> 6
+        bit = _U1 << (P & 63).astype(np.uint64)
+        np.bitwise_or.at(self.overlay, (W, limb), bit)
+        np.bitwise_or.at(self.mirror, (W, limb), bit)
+
+    def insert_one(self, word_index: int, pos: int) -> float:
+        """Apply one hash insertion; returns its traversal bits.
+
+        The caller must have verified budget (``used < capacity``) —
+        mirrors ``HCBFWord.insert_bit`` after its overflow check.
+        """
+        c = int(self.counts[word_index, pos])
+        bits = 0.0
+        if c:
+            hist = self.hist[word_index]
+            for j in range(1, c + 1):
+                size = int(hist[j])
+                if size > 1:
+                    bits += math.log2(size)
+        self.counts[word_index, pos] = c + 1
+        self.hist[word_index, c + 1] += 1
+        self.used[word_index] += 1
+        if c == 0:
+            self.mirror[word_index, pos >> 6] |= np.uint64(1 << (pos & 63))
+        return bits
+
+    def delete_one(self, word_index: int, pos: int) -> float:
+        """Apply one hash deletion; returns its traversal bits."""
+        c = int(self.counts[word_index, pos])
+        bits = 0.0
+        if c > 1:
+            hist = self.hist[word_index]
+            for j in range(1, c):
+                size = int(hist[j])
+                if size > 1:
+                    bits += math.log2(size)
+        self.counts[word_index, pos] = c - 1
+        self.hist[word_index, c] -= 1
+        self.used[word_index] -= 1
+        if c == 1:
+            self.mirror[word_index, pos >> 6] &= ~np.uint64(1 << (pos & 63))
+        return bits
+
+    def _key_groups(
+        self, word_row: np.ndarray, off_row: np.ndarray, word_cols: np.ndarray
+    ) -> list[tuple[int, list[int]]]:
+        """One key's ``(word, offsets)`` groups in hash-group order."""
+        bounds = np.searchsorted(word_cols, np.arange(len(word_row) + 1))
+        offs = off_row.tolist()
+        return [
+            (int(word_row[col]), offs[bounds[col] : bounds[col + 1]])
+            for col in range(len(word_row))
+        ]
+
+    def _insert_key_scalar(
+        self,
+        word_row: np.ndarray,
+        off_row: np.ndarray,
+        word_cols: np.ndarray,
+        policy: str,
+    ) -> tuple[int, float]:
+        """Exact replica of the scalar ``MPCBF._apply_insert`` for one key.
+
+        Returns ``(overflow_events, extra_bits)``; raises
+        :class:`WordOverflowError` under the ``raise`` policy with the
+        same word chosen by the same first-touch demand order.
+        """
+        groups = self._key_groups(word_row, off_row, word_cols)
+        demand: dict[int, int] = {}
+        for word_index, offsets in groups:
+            demand[word_index] = demand.get(word_index, 0) + len(offsets)
+        for word_index, need in demand.items():
+            if self.sat_mask[word_index]:
+                continue
+            if self.capacity - int(self.used[word_index]) < need:
+                if policy == "raise":
+                    raise WordOverflowError(word_index, self.capacity)
+                self.sat_mask[word_index] = True
+        events = 0
+        extra = 0.0
+        for word_index, offsets in groups:
+            if self.sat_mask[word_index]:
+                for pos in offsets:
+                    self._overlay_set(word_index, pos)
+                    events += 1
+            else:
+                for pos in offsets:
+                    extra += self.insert_one(word_index, pos)
+        return events, extra
+
+    def _underflow_error(
+        self, word_row: np.ndarray, off_row: np.ndarray, word_cols: np.ndarray
+    ) -> CounterUnderflowError:
+        """Rebuild the exact error the scalar validation would raise."""
+        groups = self._key_groups(word_row, off_row, word_cols)
+        demand: dict[tuple[int, int], int] = {}
+        for word_index, offsets in groups:
+            if self.sat_mask[word_index]:
+                continue
+            for pos in offsets:
+                demand[(word_index, pos)] = demand.get((word_index, pos), 0) + 1
+        for (word_index, pos), need in demand.items():
+            if int(self.counts[word_index, pos]) < need:
+                return CounterUnderflowError(pos)
+        raise AssertionError("bulk_delete flagged a key the scalar path accepts")
+
+    # -- vectorised pair application -------------------------------------
+    def _apply_pairs_insert(self, W: np.ndarray, P: np.ndarray) -> float:
+        """Apply (word, pos) insert pairs known to fit their budgets.
+
+        Rounds over the per-word pair groups: pair ``r`` of every word
+        applies together, so each word's pairs land in original order
+        (stable sort) against exactly the hist/counts state the scalar
+        path would have seen.
+        """
+        order = np.argsort(W, kind="stable")
+        Ws = W[order]
+        Ps = P[order]
+        uniq, starts, sizes = _group_sorted(Ws)
+        log2tab = self._log2
+        extra = 0.0
+        for r in range(int(sizes.max())):
+            sel = sizes > r
+            A = uniq[sel]
+            p = Ps[starts[sel] + r]
+            c = self.counts[A, p].astype(np.int64)
+            cmax = int(c.max())
+            if cmax > 0:
+                # Traversal charges Σ_{j=1..c} log2(hist[j]) with the
+                # pre-insert sizes; a cumsum over the hist slice gives
+                # every pair its own prefix in one pass.
+                clog = np.cumsum(log2tab[self.hist[A, 1 : cmax + 1]], axis=1)
+                deep = c > 0
+                extra += float(clog[np.flatnonzero(deep), c[deep] - 1].sum())
+            self.counts[A, p] = (c + 1).astype(self.counts.dtype)
+            self.hist[A, c + 1] += 1
+            fresh = c == 0
+            if fresh.any():
+                An = A[fresh]
+                pn = p[fresh]
+                self.mirror[An, pn >> 6] |= _U1 << (pn & 63).astype(np.uint64)
+        self.used[uniq] += sizes
+        return extra
+
+    def _apply_pairs_delete(self, W: np.ndarray, P: np.ndarray) -> float:
+        """Apply (word, pos) delete pairs known not to underflow."""
+        order = np.argsort(W, kind="stable")
+        Ws = W[order]
+        Ps = P[order]
+        uniq, starts, sizes = _group_sorted(Ws)
+        log2tab = self._log2
+        extra = 0.0
+        for r in range(int(sizes.max())):
+            sel = sizes > r
+            A = uniq[sel]
+            p = Ps[starts[sel] + r]
+            c = self.counts[A, p].astype(np.int64)
+            cmax = int(c.max())
+            if cmax > 1:
+                # Deletes traverse to depth c−1: Σ_{j=1..c−1} log2(hist[j]).
+                clog = np.cumsum(log2tab[self.hist[A, 1:cmax]], axis=1)
+                deep = c > 1
+                extra += float(clog[np.flatnonzero(deep), c[deep] - 2].sum())
+            self.hist[A, c] -= 1
+            self.counts[A, p] = (c - 1).astype(self.counts.dtype)
+            emptied = c == 1
+            if emptied.any():
+                An = A[emptied]
+                pn = p[emptied]
+                self.mirror[An, pn >> 6] &= ~(_U1 << (pn & 63).astype(np.uint64))
+        self.used[uniq] -= sizes
+        return extra
+
+    # -- trigger detection ------------------------------------------------
+    def _first_insert_trigger(self, W: np.ndarray) -> int | None:
+        """First key whose aggregate demand overflows some word, if any.
+
+        A key fails exactly when one of its pairs has within-word rank
+        ``≥`` the word's free budget (rank counts the segment's earlier
+        pairs for that word): the rank inequality and the scalar
+        ``bits_free < need`` check are equivalent, and the minimum over
+        failing keys is the first scalar failure.
+        """
+        n, k = W.shape
+        Wf = W.ravel()
+        live = ~self.sat_mask[Wf]
+        if not live.any():
+            return None
+        Wl = Wf[live]
+        keys = np.repeat(np.arange(n, dtype=np.int64), k)[live]
+        order = np.argsort(Wl, kind="stable")
+        Ws = Wl[order]
+        _, starts, sizes = _group_sorted(Ws)
+        rank = np.arange(len(Ws), dtype=np.int64) - np.repeat(starts, sizes)
+        over = rank >= self.capacity - self.used[Ws]
+        if not over.any():
+            return None
+        return int(keys[order][over].min())
+
+    def _first_underflow_key(
+        self, W: np.ndarray, P: np.ndarray, keys: np.ndarray
+    ) -> int | None:
+        """First key deleting more from some counter than it holds."""
+        if len(W) == 0:
+            return None
+        cell = W * np.int64(self.first_level_bits) + P
+        order = np.argsort(cell, kind="stable")
+        cs = cell[order]
+        _, starts, sizes = _group_sorted(cs)
+        rank = np.arange(len(cs), dtype=np.int64) - np.repeat(starts, sizes)
+        over = rank >= self.counts.reshape(-1)[cs].astype(np.int64)
+        if not over.any():
+            return None
+        return int(keys[order][over].min())
+
+    # -- bulk kernels ------------------------------------------------------
+    def bulk_insert(
+        self,
+        word_idx: np.ndarray,
+        offsets: np.ndarray,
+        word_cols: np.ndarray,
+        policy: str,
+    ) -> KernelOutcome:
+        """Batch insert of located keys (``(n, g)`` words, ``(n, k)`` offsets).
+
+        Segments between overflow triggers apply wholesale through
+        :meth:`_apply_pairs_insert`; each triggering key replays through
+        the exact scalar routine so saturation/raise semantics match the
+        scalar path (including partial application under ``raise``).
+        """
+        n = len(offsets)
+        W = np.ascontiguousarray(word_idx[:, word_cols])
+        out = KernelOutcome()
+        start = 0
+        while start < n:
+            trigger = self._first_insert_trigger(W[start:])
+            stop = n if trigger is None else start + trigger
+            if stop > start:
+                Wf = W[start:stop].ravel()
+                Pf = offsets[start:stop].ravel()
+                sat = self.sat_mask[Wf]
+                if sat.any():
+                    self._overlay_pairs(Wf[sat], Pf[sat])
+                    out.overflow_events += int(sat.sum())
+                    live = ~sat
+                    Wf = Wf[live]
+                    Pf = Pf[live]
+                if len(Wf):
+                    out.extra_bits += self._apply_pairs_insert(Wf, Pf)
+                out.applied_keys = stop
+            if trigger is None:
+                out.applied_keys = n
+                return out
+            try:
+                events, extra = self._insert_key_scalar(
+                    word_idx[stop], offsets[stop], word_cols, policy
+                )
+            except WordOverflowError as exc:
+                out.error = exc
+                return out
+            out.overflow_events += events
+            out.extra_bits += extra
+            out.applied_keys = stop + 1
+            start = stop + 1
+        return out
+
+    def bulk_delete(
+        self,
+        word_idx: np.ndarray,
+        offsets: np.ndarray,
+        word_cols: np.ndarray,
+    ) -> KernelOutcome:
+        """Batch delete; validates all keys up-front like the scalar path.
+
+        Pairs touching saturated words are skipped (counted in
+        ``skipped_deletes``) and excluded from underflow validation,
+        exactly as ``MPCBF.delete_encoded`` does per key.
+        """
+        n = len(offsets)
+        k = offsets.shape[1]
+        W = np.ascontiguousarray(word_idx[:, word_cols]).ravel()
+        P = offsets.ravel()
+        keys = np.repeat(np.arange(n, dtype=np.int64), k)
+        live = ~self.sat_mask[W]
+        fail = self._first_underflow_key(W[live], P[live], keys[live])
+        stop = n if fail is None else fail
+        out = KernelOutcome()
+        if stop > 0:
+            cut = stop * k
+            live_cut = live[:cut]
+            out.skipped_deletes = int(cut - live_cut.sum())
+            Wm = W[:cut][live_cut]
+            if len(Wm):
+                out.extra_bits = self._apply_pairs_delete(Wm, P[:cut][live_cut])
+            out.applied_keys = stop
+        if fail is not None:
+            out.error = self._underflow_error(
+                word_idx[fail], offsets[fail], word_cols
+            )
+        return out
+
+    def bulk_count(
+        self,
+        word_idx: np.ndarray,
+        offsets: np.ndarray,
+        word_cols: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorised multiplicity estimates (min over hashed counters)."""
+        W = word_idx[:, word_cols]
+        values = self.counts[W, offsets].astype(np.int64)
+        shift = (offsets & 63).astype(np.uint64)
+        member = (self.overlay[W, offsets >> 6] >> shift) & _U1
+        # Overlay bits witness membership, not multiplicity: count ≥ 1.
+        values = np.where((values == 0) & (member == _U1), 1, values)
+        return values.min(axis=1)
+
+    # -- conversions -------------------------------------------------------
+    def word_level_state(self, word_index: int) -> tuple[list[int], list[int]]:
+        """One word's canonical ``(sizes, level bitmaps)``.
+
+        Byte-compatible with ``HCBFWord``'s internal representation:
+        identical ``_sizes`` and ``_levels`` for the same counters, so
+        serialisation round-trips across kernels bit for bit.
+        """
+        counts = self.counts[word_index].astype(np.int64)
+        maxc = int(counts.max(initial=0))
+        sizes = [self.first_level_bits]
+        levels = [_bits_to_int(counts >= 1)]
+        for j in range(1, maxc + 1):
+            members = counts[counts >= j]
+            sizes.append(int(members.size))
+            levels.append(_bits_to_int(members >= j + 1))
+        return sizes, levels
+
+    def set_word_level_state(
+        self, word_index: int, sizes: list, levels: list
+    ) -> None:
+        """Load one word from scalar-format level state.
+
+        Only ``counts`` is written; call :meth:`rebuild_derived` once
+        after loading every word.
+        """
+        counts = counts_from_levels(sizes, levels, self.first_level_bits)
+        self.counts[word_index] = counts.astype(self.counts.dtype)
+
+    def word_at(self, index: int):
+        """Materialise a scalar :class:`HCBFWord` snapshot of one word."""
+        from repro.filters.hcbf_word import HCBFWord
+
+        word = HCBFWord(self.word_bits, self.first_level_bits, index=index)
+        sizes, levels = self.word_level_state(index)
+        word._sizes = sizes
+        word._levels = levels
+        return word
+
+    def to_words(self) -> list:
+        """Materialise scalar :class:`HCBFWord` snapshots of every word."""
+        return [self.word_at(i) for i in range(self.num_words)]
+
+    def load_words(self, words: list) -> None:
+        """Load counters from scalar words, then rebuild derived arrays."""
+        for i, word in enumerate(words):
+            self.counts[i] = counts_from_levels(
+                word._sizes, word._levels, self.first_level_bits
+            ).astype(self.counts.dtype)
+        self.rebuild_derived()
+
+    def rebuild_derived(self) -> None:
+        """Recompute ``used``/``hist``/``mirror`` from ``counts``."""
+        counts = self.counts.astype(np.int64)
+        self.used[:] = counts.sum(axis=1)
+        self.hist[:] = 0
+        for j in range(1, int(counts.max(initial=0)) + 1):
+            self.hist[:, j] = (counts >= j).sum(axis=1)
+        self.rebuild_mirror_rows(None)
+
+    def rebuild_hist_rows(self, rows: np.ndarray) -> None:
+        """Recompute ``hist`` for a subset of words (wholesale merges)."""
+        counts = self.counts[rows].astype(np.int64)
+        fresh = np.zeros((len(rows), self.hist.shape[1]), dtype=self.hist.dtype)
+        for j in range(1, int(counts.max(initial=0)) + 1):
+            fresh[:, j] = (counts >= j).sum(axis=1)
+        self.hist[rows] = fresh
+
+    def rebuild_mirror_rows(self, rows: np.ndarray | None) -> None:
+        """Repack first-level limbs (``counts > 0`` | overlay) for ``rows``."""
+        index = slice(None) if rows is None else rows
+        bits = (self.counts[index] > 0).astype(np.uint8)
+        packed = np.packbits(bits, axis=1, bitorder="little")
+        pad = self.limbs * 8 - packed.shape[1]
+        if pad:
+            packed = np.pad(packed, ((0, 0), (0, pad)))
+        limbs = np.ascontiguousarray(packed).view(np.uint64)
+        self.mirror[index] = limbs | self.overlay[index]
+
+    # -- process sharing ---------------------------------------------------
+    def shareable_arrays(self) -> dict[str, np.ndarray]:
+        """The state arrays a process pool must share, by field name."""
+        return {name: getattr(self, name) for name in SHARED_FIELDS}
+
+    def rebind(self, arrays: dict[str, np.ndarray]) -> None:
+        """Point the state at externally provided arrays (shared memory)."""
+        for name in SHARED_FIELDS:
+            setattr(self, name, arrays[name])
+
+    # -- validation --------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Assert columnar self-consistency (tests and debugging)."""
+        counts = self.counts.astype(np.int64)
+        assert (counts >= 0).all(), "negative counter"
+        assert (self.used == counts.sum(axis=1)).all(), "used desync"
+        assert (self.used <= self.capacity).all(), "budget exceeded"
+        maxc = int(counts.max(initial=0))
+        for j in range(1, maxc + 1):
+            expect = (counts >= j).sum(axis=1)
+            assert (self.hist[:, j] == expect).all(), f"hist desync at level {j}"
+        assert (self.hist[:, 0] == 0).all()
+        assert (self.hist[:, maxc + 1 :] == 0).all(), "stale hist tail"
+        if not self.sat_mask.all():
+            assert not self.overlay[~self.sat_mask].any(), (
+                "overlay bits on unsaturated word"
+            )
+        bits = (counts > 0).astype(np.uint8)
+        packed = np.packbits(bits, axis=1, bitorder="little")
+        pad = self.limbs * 8 - packed.shape[1]
+        if pad:
+            packed = np.pad(packed, ((0, 0), (0, pad)))
+        expect_mirror = np.ascontiguousarray(packed).view(np.uint64) | self.overlay
+        assert (self.mirror == expect_mirror).all(), "mirror desync"
+
+
+class WordsView(Sequence):
+    """Lazy read-only sequence of scalar word snapshots.
+
+    ``view[i]`` materialises only word ``i``, so idioms like
+    ``filt.words[i].level_sizes()`` inside a loop over all words stay
+    O(word) per access instead of rebuilding the whole filter's word
+    list each time.  Snapshots are fresh objects — mutating one does
+    not write back to the columnar state.
+    """
+
+    def __init__(self, columns: ColumnarHCBF) -> None:
+        self._columns = columns
+
+    def __len__(self) -> int:
+        return self._columns.num_words
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [
+                self._columns.word_at(i)
+                for i in range(*index.indices(self._columns.num_words))
+            ]
+        if index < 0:
+            index += self._columns.num_words
+        if not 0 <= index < self._columns.num_words:
+            raise IndexError(index)
+        return self._columns.word_at(index)

@@ -1,0 +1,61 @@
+"""Grouped (bincount) counter updates for flat counting filters.
+
+``np.add.at`` scatters one increment per hashed index and serialises on
+repeated indices; for CBF-style batch updates it is the bulk-path
+bottleneck.  Grouping the batch's indices with one ``np.bincount`` pass
+and applying the per-counter deltas with a single vectorised add is
+semantically identical (the overflow/underflow checks see the same
+final counter values) and several times faster at batch sizes ≥ ~10k.
+
+Both helpers mutate ``counters`` in place and roll the whole batch back
+before raising, preserving the existing CBF bulk semantics: a failed
+batch leaves the filter untouched, and the reported index is the lowest
+offending counter index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CounterOverflowError, CounterUnderflowError
+
+__all__ = ["grouped_increments", "grouped_decrements"]
+
+
+def grouped_increments(
+    counters: np.ndarray,
+    indices: np.ndarray,
+    limit: int,
+    *,
+    raise_on_overflow: bool,
+) -> int:
+    """Add 1 per index (grouped); returns clipped saturation events.
+
+    With ``raise_on_overflow`` the batch rolls back and
+    :class:`CounterOverflowError` carries the lowest exceeded index;
+    otherwise counters clip at ``limit`` and the summed excess is
+    returned (the ``saturation_events`` delta).
+    """
+    delta = np.bincount(indices, minlength=len(counters))
+    np.add(counters, delta, out=counters, casting="unsafe")
+    exceeded = counters > limit
+    if not exceeded.any():
+        return 0
+    if raise_on_overflow:
+        idx = int(np.argmax(exceeded))
+        np.subtract(counters, delta, out=counters, casting="unsafe")
+        raise CounterOverflowError(idx, limit)
+    events = int((counters[exceeded] - limit).sum())
+    np.minimum(counters, limit, out=counters)
+    return events
+
+
+def grouped_decrements(counters: np.ndarray, indices: np.ndarray) -> None:
+    """Subtract 1 per index (grouped); rolls back on underflow."""
+    delta = np.bincount(indices, minlength=len(counters))
+    np.subtract(counters, delta, out=counters, casting="unsafe")
+    negative = counters < 0
+    if negative.any():
+        idx = int(np.argmax(negative))
+        np.add(counters, delta, out=counters, casting="unsafe")
+        raise CounterUnderflowError(idx)

@@ -1,0 +1,89 @@
+"""Shared-memory packing of columnar filter state for process pools.
+
+The columnar arrays of :class:`~repro.kernels.columnar.ColumnarHCBF`
+are plain fixed-dtype ndarrays, so — unlike the Python-object
+``HCBFWord`` lists — they can live in one
+:class:`multiprocessing.shared_memory.SharedMemory` block and be
+mutated in place by worker processes with zero serialisation of filter
+state.  :class:`SharedArrayPack` copies a named set of arrays into one
+block and hands back views; a worker process re-attaches by
+``(name, meta)`` (both picklable) and rebinds its own filter replica
+onto the same physical memory.
+
+Lifecycle: the creating side owns the block and must call
+:meth:`close` + :meth:`unlink` (after dropping/rebinding any views —
+NumPy keeps the exported buffer alive otherwise).  Attached sides are
+opened untracked where the platform supports it so the resource
+tracker does not unlink a segment it does not own.
+"""
+
+from __future__ import annotations
+
+from math import prod
+from multiprocessing import shared_memory
+
+import numpy as np
+
+__all__ = ["SharedArrayPack"]
+
+_ALIGN = 64
+
+
+def _aligned(nbytes: int) -> int:
+    return (nbytes + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArrayPack:
+    """One shared-memory block holding a named set of ndarrays.
+
+    ``meta`` maps each name to ``(dtype_str, shape, offset, nbytes)``
+    and is what a worker needs (besides the block name) to rebuild the
+    views; both travel through pickle to pool initialisers.
+    """
+
+    def __init__(self, arrays: dict[str, np.ndarray]) -> None:
+        self.meta: dict[str, tuple[str, tuple, int, int]] = {}
+        offset = 0
+        for name, arr in arrays.items():
+            contiguous = np.ascontiguousarray(arr)
+            self.meta[name] = (
+                str(contiguous.dtype),
+                tuple(contiguous.shape),
+                offset,
+                contiguous.nbytes,
+            )
+            offset += _aligned(contiguous.nbytes)
+        self.shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        self.name = self.shm.name
+        views = self.arrays()
+        for name, arr in arrays.items():
+            views[name][...] = arr
+        del views
+
+    @classmethod
+    def attach(cls, name: str, meta: dict) -> "SharedArrayPack":
+        """Open an existing block by name (worker-process side)."""
+        pack = cls.__new__(cls)
+        try:
+            # Python ≥ 3.13: opt out of resource tracking for attachers.
+            pack.shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:  # pragma: no cover - older interpreters
+            pack.shm = shared_memory.SharedMemory(name=name)
+        pack.name = name
+        pack.meta = dict(meta)
+        return pack
+
+    def arrays(self) -> dict[str, np.ndarray]:
+        """Views over the block, keyed like the constructor's input."""
+        out: dict[str, np.ndarray] = {}
+        for name, (dtype, shape, offset, _nbytes) in self.meta.items():
+            out[name] = np.frombuffer(
+                self.shm.buf, dtype=dtype, count=prod(shape), offset=offset
+            ).reshape(shape)
+        return out
+
+    def close(self) -> None:
+        self.shm.close()
+
+    def unlink(self) -> None:
+        self.shm.unlink()

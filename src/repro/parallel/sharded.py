@@ -9,14 +9,32 @@ processors spread flow state across per-port filters.
 Bulk operations are vectorised end-to-end: the whole key batch is
 routed, stably grouped by shard with one ``argsort``, handed to each
 shard's own bulk path, and results scattered back into input order.
-Shard execution can optionally run on a thread pool
-(``max_workers > 1``).  Measure before enabling it: NumPy's gathers do
-release the GIL, but at the batch sizes typical here the Python-side
-orchestration dominates and threads add overhead (a 2M-probe bulk query
-over 8 MPCBF shards measures ~2× *slower* at ``max_workers=4`` on
-CPython 3.11).  The option exists for deployments with genuinely heavy
-per-shard kernels and for free-threaded Python builds; the default is
-sequential.
+
+Shard execution has three modes:
+
+* ``executor="thread"``, ``max_workers=1`` (default): sequential.
+* ``executor="thread"``, ``max_workers>1``: a thread pool.  Measure
+  before enabling: NumPy's gathers do release the GIL, but at typical
+  batch sizes the Python-side orchestration dominates and threads add
+  overhead (a 2M-probe bulk query over 8 MPCBF shards measures ~2×
+  *slower* at ``max_workers=4`` on CPython 3.11).
+* ``executor="process"``: a spawn-based process pool over shards whose
+  state lives in one :class:`multiprocessing.shared_memory` block
+  (columnar-kernel MPCBF shards only — their state is plain fixed-dtype
+  arrays, see :mod:`repro.kernels.shmem`).  Workers mutate the shared
+  arrays in place, so only the key chunks and small stat deltas cross
+  the process boundary.  Crossover heuristic: process dispatch only
+  pays off once per-shard chunks amortise the IPC + pickling of the
+  keys — batches smaller than ``PROCESS_MIN_BATCH`` (≈64k keys) total
+  run on the calling thread even in process mode (numbers in
+  ``docs/performance.md``).  Call :meth:`close` (or use the bank as a
+  context manager) to tear down the pool and the shared segment.
+
+Error semantics differ by mode on a failing batch (documented, tested):
+sequential execution stops at the first failing shard chunk (later
+shards' chunks unapplied); pool modes run every shard's chunk and then
+raise the failing shard with the lowest index.  Either way each shard
+individually preserves its own filter's partial-application semantics.
 
 Semantics are identical to a single filter of ``s``× the memory with
 the caveat that per-shard load imbalance (binomial, like the words of
@@ -25,19 +43,101 @@ an MPCBF) slightly raises the effective load of the fullest shard.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Sequence
+import atexit
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Sequence
 
 import numpy as np
 
-from repro.errors import ConfigurationError, UnsupportedOperationError
+from repro.errors import (
+    ConfigurationError,
+    ReproError,
+    UnsupportedOperationError,
+)
 from repro.filters.base import CountingFilterBase, FilterBase
 from repro.filters.factory import FilterSpec, build_filter
 from repro.hashing.encoders import KeyEncoder
 from repro.hashing.mixers import derive_seeds, splitmix64, splitmix64_array
+from repro.kernels.columnar import SHARED_FIELDS
+from repro.kernels.shmem import SharedArrayPack
 from repro.memmodel.accounting import AccessStats
 
-__all__ = ["ShardedFilterBank"]
+__all__ = ["ShardedFilterBank", "PROCESS_MIN_BATCH"]
+
+#: Below this total batch size, process-mode dispatch runs inline: the
+#: pool's IPC + key pickling costs more than the kernel work it saves.
+PROCESS_MIN_BATCH = 65536
+
+# Worker-process globals, set once per worker by _worker_init.
+_WORKER_BANK: "ShardedFilterBank | None" = None
+_WORKER_ARENA: SharedArrayPack | None = None
+
+
+def _worker_cleanup() -> None:
+    """Drop every shared-array view before the worker interpreter exits.
+
+    NumPy views keep the segment's buffer exported; without this,
+    ``SharedMemory.__del__`` hits a BufferError during shutdown.
+    """
+    global _WORKER_BANK, _WORKER_ARENA
+    if _WORKER_BANK is not None:
+        for shard in _WORKER_BANK.shards:
+            shard.columns.rebind(
+                {
+                    field: arr.copy()
+                    for field, arr in shard.columns.shareable_arrays().items()
+                }
+            )
+        _WORKER_BANK = None
+    if _WORKER_ARENA is not None:
+        try:
+            _WORKER_ARENA.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+        _WORKER_ARENA = None
+
+
+def _worker_init(arena_name, arena_meta, spec, num_shards) -> None:
+    """Pool initializer: rebuild the bank, rebind onto shared arrays."""
+    global _WORKER_BANK, _WORKER_ARENA
+    _WORKER_ARENA = SharedArrayPack.attach(arena_name, arena_meta)
+    views = _WORKER_ARENA.arrays()
+    bank = ShardedFilterBank(spec, num_shards)
+    for i, shard in enumerate(bank.shards):
+        shard.columns.rebind(
+            {field: views[f"{i}:{field}"] for field in SHARED_FIELDS}
+        )
+    _WORKER_BANK = bank
+    atexit.register(_worker_cleanup)
+
+
+def _worker_apply(shard_index: int, opname: str, encoded: np.ndarray):
+    """Run one shard chunk in a worker; ship back results + stat deltas.
+
+    The filter state mutates in shared memory; access statistics and
+    the overflow/skip counters are worker-local Python objects, so the
+    per-call deltas travel back for the parent to fold in.  Library
+    errors return as values (picklable via their ``__reduce__``) so the
+    parent can apply its cross-shard ordering before raising.
+    """
+    filt = _WORKER_BANK.shards[shard_index]
+    filt.reset_stats()
+    pre_overflow = getattr(filt, "overflow_events", 0)
+    pre_skipped = getattr(filt, "skipped_deletes", 0)
+    result = None
+    error = None
+    try:
+        result = getattr(filt, opname)(encoded)
+    except ReproError as exc:
+        error = exc
+    return (
+        result,
+        filt.stats,
+        getattr(filt, "overflow_events", 0) - pre_overflow,
+        getattr(filt, "skipped_deletes", 0) - pre_skipped,
+        error,
+    )
 
 
 class ShardedFilterBank:
@@ -52,8 +152,12 @@ class ShardedFilterBank:
     num_shards:
         Number of shards ``s``.
     max_workers:
-        Thread-pool width for bulk operations; ``1`` (default) runs
-        shards sequentially.
+        Pool width for bulk operations; ``1`` (default) runs shards
+        sequentially under ``executor="thread"``.
+    executor:
+        ``"thread"`` (default) or ``"process"`` — see module docstring.
+        Process mode requires columnar-kernel MPCBF shards and lazily
+        builds its shared-memory arena + pool on first large dispatch.
     """
 
     def __init__(
@@ -62,16 +166,24 @@ class ShardedFilterBank:
         num_shards: int,
         *,
         max_workers: int = 1,
+        executor: str = "thread",
         encoder: KeyEncoder | None = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigurationError(f"num_shards must be >= 1, got {num_shards}")
         if max_workers < 1:
             raise ConfigurationError(f"max_workers must be >= 1, got {max_workers}")
+        if executor not in ("thread", "process"):
+            raise ConfigurationError(
+                f"executor must be 'thread' or 'process', got {executor!r}"
+            )
         self.spec = spec
         self.num_shards = num_shards
         self.max_workers = max_workers
+        self.executor = executor
         self.encoder = encoder or KeyEncoder()
+        self._pool: ProcessPoolExecutor | None = None
+        self._arena: SharedArrayPack | None = None
         seeds = derive_seeds(spec.seed ^ 0x5348415244, num_shards + 1)
         self._route_seed = seeds[0]
         self.shards: list[FilterBase] = []
@@ -158,13 +270,71 @@ class ShardedFilterBank:
             raise UnsupportedOperationError(f"{self.name} cannot count")
         return filt.count_encoded(encoded)
 
+    # -- process pool ------------------------------------------------------
+    def _ensure_process_pool(self) -> None:
+        if self._pool is not None:
+            return
+        for shard in self.shards:
+            if getattr(shard, "columns", None) is None:
+                raise ConfigurationError(
+                    "executor='process' requires columnar-kernel MPCBF "
+                    "shards (their state shares as flat arrays; scalar "
+                    "HCBFWord objects cannot live in shared memory)"
+                )
+        arrays = {}
+        for i, shard in enumerate(self.shards):
+            for field, arr in shard.columns.shareable_arrays().items():
+                arrays[f"{i}:{field}"] = arr
+        self._arena = SharedArrayPack(arrays)
+        views = self._arena.arrays()
+        # The parent's shards rebind onto the same physical memory, so
+        # local scalar calls and worker bulk calls see one state.
+        for i, shard in enumerate(self.shards):
+            shard.columns.rebind(
+                {field: views[f"{i}:{field}"] for field in SHARED_FIELDS}
+            )
+        del views
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.max_workers,
+            mp_context=multiprocessing.get_context("spawn"),
+            initializer=_worker_init,
+            initargs=(self._arena.name, self._arena.meta, self.spec, self.num_shards),
+        )
+
+    def close(self) -> None:
+        """Tear down the process pool and shared-memory arena (idempotent).
+
+        The shards keep their state: before the segment unlinks, every
+        shard rebinds onto private copies of its arrays, so the bank
+        stays fully usable (inline) after closing.
+        """
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        if self._arena is not None:
+            for shard in self.shards:
+                shard.columns.rebind(
+                    {
+                        field: arr.copy()
+                        for field, arr in shard.columns.shareable_arrays().items()
+                    }
+                )
+            self._arena.close()
+            self._arena.unlink()
+            self._arena = None
+
+    def __enter__(self) -> "ShardedFilterBank":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
     # -- bulk API -------------------------------------------------------------
     def _dispatch(
-        self,
-        encoded: np.ndarray,
-        op: Callable[[FilterBase, np.ndarray], np.ndarray | None],
+        self, encoded: np.ndarray, opname: str
     ) -> list[tuple[np.ndarray, np.ndarray | None]]:
-        """Group keys by shard, run ``op`` per shard (maybe threaded).
+        """Group keys by shard, run the named bulk op per shard.
 
         Returns ``(positions, result)`` per shard, where ``positions``
         are the original indices of that shard's keys.
@@ -182,24 +352,60 @@ class ShardedFilterBank:
                 continue
             positions = order[lo:hi]
             jobs.append((shard_index, positions, encoded[positions]))
+        if (
+            self.executor == "process"
+            and len(encoded) >= PROCESS_MIN_BATCH
+            and len(jobs) > 0
+        ):
+            return self._dispatch_process(jobs, opname)
         if self.max_workers > 1 and len(jobs) > 1:
             with ThreadPoolExecutor(max_workers=self.max_workers) as pool:
                 futures = [
-                    (positions, pool.submit(op, self.shards[i], chunk))
+                    (positions, pool.submit(getattr(self.shards[i], opname), chunk))
                     for i, positions, chunk in jobs
                 ]
                 return [(pos, fut.result()) for pos, fut in futures]
         return [
-            (positions, op(self.shards[i], chunk))
+            (positions, getattr(self.shards[i], opname)(chunk))
             for i, positions, chunk in jobs
         ]
+
+    def _dispatch_process(self, jobs, opname: str):
+        """Run shard chunks on the process pool over shared memory.
+
+        Every shard's chunk runs to completion; if any failed, the
+        error from the lowest shard index re-raises afterwards (each
+        shard's own partial-application semantics are preserved — the
+        modes only differ in whether *later shards'* chunks ran).
+        """
+        self._ensure_process_pool()
+        futures = [
+            (i, positions, self._pool.submit(_worker_apply, i, opname, chunk))
+            for i, positions, chunk in jobs
+        ]
+        out = []
+        first_error = None
+        for i, positions, fut in futures:  # jobs are in shard-index order
+            result, stats, d_overflow, d_skipped, error = fut.result()
+            shard = self.shards[i]
+            shard.stats.merge(stats)
+            if hasattr(shard, "overflow_events"):
+                shard.overflow_events += d_overflow
+            if hasattr(shard, "skipped_deletes"):
+                shard.skipped_deletes += d_skipped
+            if error is not None and first_error is None:
+                first_error = error
+            out.append((positions, result))
+        if first_error is not None:
+            raise first_error
+        return out
 
     def insert_many(self, keys: object) -> None:
         """Bulk insert, routed and executed per shard."""
         encoded = self._encode_bulk(keys)
         if len(encoded) == 0:
             return
-        self._dispatch(encoded, lambda filt, chunk: filt.insert_many(chunk))
+        self._dispatch(encoded, "insert_many")
 
     def delete_many(self, keys: object) -> None:
         """Bulk delete (counting variants only)."""
@@ -208,7 +414,7 @@ class ShardedFilterBank:
         encoded = self._encode_bulk(keys)
         if len(encoded) == 0:
             return
-        self._dispatch(encoded, lambda filt, chunk: filt.delete_many(chunk))
+        self._dispatch(encoded, "delete_many")
 
     def query_many(self, keys: object) -> np.ndarray:
         """Bulk query; results in input order."""
@@ -216,9 +422,19 @@ class ShardedFilterBank:
         result = np.zeros(len(encoded), dtype=bool)
         if len(encoded) == 0:
             return result
-        for positions, answers in self._dispatch(
-            encoded, lambda filt, chunk: filt.query_many(chunk)
-        ):
+        for positions, answers in self._dispatch(encoded, "query_many"):
+            result[positions] = answers
+        return result
+
+    def count_many(self, keys: object) -> np.ndarray:
+        """Bulk multiplicity estimates (counting variants only)."""
+        if not self.supports_deletion:
+            raise UnsupportedOperationError(f"{self.name} cannot count")
+        encoded = self._encode_bulk(keys)
+        result = np.zeros(len(encoded), dtype=np.int64)
+        if len(encoded) == 0:
+            return result
+        for positions, answers in self._dispatch(encoded, "count_many"):
             result[positions] = answers
         return result
 

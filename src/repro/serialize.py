@@ -29,7 +29,6 @@ from repro.filters.base import FilterBase
 from repro.filters.bloom import BloomFilter
 from repro.filters.cbf import CountingBloomFilter
 from repro.filters.dlcbf import DLeftCBF
-from repro.filters.hcbf_word import HCBFWord
 from repro.filters.mpcbf import MPCBF
 from repro.filters.one_access import OneAccessBloomFilter
 from repro.filters.pcbf import PartitionedCBF
@@ -66,22 +65,6 @@ def _write_array(buf: io.BytesIO, arr: np.ndarray) -> dict:
 def _read_array(payload: bytes, desc: dict) -> np.ndarray:
     raw = payload[desc["offset"] : desc["offset"] + desc["nbytes"]]
     return np.frombuffer(raw, dtype=desc["dtype"]).reshape(desc["shape"]).copy()
-
-
-def _dump_mpcbf_words(filt: MPCBF) -> list[list]:
-    """HCBF words as [sizes, level-int-hex] pairs (compact, exact)."""
-    out = []
-    for word in filt.words:
-        sizes = list(word.level_sizes())
-        levels = [hex(word.level_bits(i)) for i in range(word.depth)]
-        out.append([sizes, levels])
-    return out
-
-
-def _load_mpcbf_words(filt: MPCBF, blob: list[list]) -> None:
-    for word, (sizes, levels) in zip(filt.words, blob):
-        word._sizes = list(sizes)
-        word._levels = [int(h, 16) for h in levels]
 
 
 def dump_filter(filt: FilterBase) -> bytes:
@@ -173,8 +156,14 @@ def dump_filter(filt: FilterBase) -> bytes:
             n_max=filt.n_max,
             first_level_bits=filt.first_level_bits,
             word_overflow=filt.word_overflow,
-            words=_dump_mpcbf_words(filt),
-            saturated={str(i): hex(v) for i, v in filt._saturated.items()},
+            # dump_level_state() is kernel-independent and saturated is
+            # sorted, so columnar and scalar backends holding the same
+            # contents serialise to identical bytes (the kernel choice
+            # itself is a runtime concern and is deliberately omitted).
+            words=filt.dump_level_state(),
+            saturated={
+                str(i): hex(v) for i, v in sorted(filt._saturated.items())
+            },
             mirror=_write_array(state, filt._mirror),
         )
     else:
@@ -306,7 +295,7 @@ def load_filter(data: bytes) -> FilterBase:
                 "geometry mismatch reconstructing MPCBF "
                 f"(n_max {filt.n_max} != {config['n_max']})"
             )
-        _load_mpcbf_words(filt, config["words"])
+        filt.load_level_state(config["words"])
         filt._saturated = {
             int(i): int(v, 16) for i, v in config["saturated"].items()
         }
@@ -333,6 +322,7 @@ def dump_bank(bank) -> bytes:
     config = {
         "num_shards": bank.num_shards,
         "max_workers": bank.max_workers,
+        "executor": getattr(bank, "executor", "thread"),
         "spec": {
             "variant": spec.variant,
             "memory_bits": spec.memory_bits,
@@ -383,7 +373,10 @@ def load_bank(data: bytes):
         extra=dict(spec_cfg["extra"]),
     )
     bank = ShardedFilterBank(
-        spec, config["num_shards"], max_workers=config["max_workers"]
+        spec,
+        config["num_shards"],
+        max_workers=config["max_workers"],
+        executor=config.get("executor", "thread"),
     )
     bank.shards = [
         load_filter(payload[d["offset"] : d["offset"] + d["nbytes"]])

@@ -77,9 +77,14 @@ class FilterExecutor:
     requests are never replayed against partially-applied state.  Pass
     ``fuse_mutations=True`` to fuse writes too (worth it only when the
     filter's overflow policies saturate, i.e. bulk inserts cannot raise;
-    a fused-write error then fails the whole batch).  Fusing is
-    incompatible with a WAL — per-request records could not faithfully
-    replay an all-or-nothing apply — and is rejected at construction.
+    a fused-write error then fails the whole batch).  A fused mutation
+    batch flattens into a single ``insert_many``/``delete_many`` call,
+    so the columnar update kernels (:mod:`repro.kernels`) see the whole
+    micro-batch in one vectorised pass instead of one small call per
+    request — the daemon-side analogue of the bulk fast path.  Fusing
+    is incompatible with a WAL — per-request records could not
+    faithfully replay an all-or-nothing apply — and is rejected at
+    construction.
     """
 
     def __init__(self, filt, *, fuse_mutations: bool = False, wal=None) -> None:
@@ -154,6 +159,9 @@ class FilterExecutor:
 
     def _apply_fused(self, op: Opcode, key_lists: list[list[bytes]]) -> list[object]:
         # Never WAL-logged: __init__ rejects fuse_mutations with a WAL.
+        # The flattened batch rides one bulk call, which on the default
+        # columnar backend is a single kernel dispatch for every key in
+        # the coalesced micro-batch.
         flat = [key for keys in key_lists for key in keys]
         try:
             if op == Opcode.INSERT:

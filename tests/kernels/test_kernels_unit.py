@@ -1,0 +1,200 @@
+"""Unit tests for the kernel primitives underneath the bulk paths.
+
+The differential suite (`test_differential.py`) proves whole-filter
+equivalence; these tests pin the individual building blocks — the
+level-state bijection, single-pair updates vs ``HCBFWord``, the grouped
+CBF counter kernels vs an ``np.add.at`` reference, and shared-memory
+array packing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CounterOverflowError, CounterUnderflowError
+from repro.filters.cbf import CountingBloomFilter
+from repro.filters.hcbf_word import HCBFWord
+from repro.kernels.columnar import ColumnarHCBF, counts_from_levels
+from repro.kernels.grouped import grouped_decrements, grouped_increments
+from repro.kernels.shmem import SharedArrayPack
+
+
+class TestLevelStateBijection:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=0, max_size=24))
+    def test_matches_hcbf_word(self, positions):
+        # Drive a scalar word and a columnar word with identical
+        # insertions; their canonical level state must be identical.
+        word = HCBFWord(64, 40, index=0)
+        col = ColumnarHCBF(1, 64, 40)
+        for pos in positions:
+            if word.bits_free < 1:
+                break
+            word.insert_bit(pos)
+            col.insert_one(0, pos)
+        sizes, levels = col.word_level_state(0)
+        assert sizes == list(word.level_sizes())
+        assert levels == [word.level_bits(i) for i in range(word.depth)]
+        # And decoding the scalar word's state recovers the counters.
+        decoded = counts_from_levels(word._sizes, word._levels, 40)
+        assert np.array_equal(decoded, col.counts[0].astype(np.int64))
+
+    def test_fresh_word_state(self):
+        col = ColumnarHCBF(2, 64, 40)
+        sizes, levels = col.word_level_state(0)
+        assert sizes == [40]
+        assert levels == [0]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 15), min_size=1, max_size=20))
+    def test_set_round_trip(self, positions):
+        src = ColumnarHCBF(1, 64, 40)
+        for pos in positions:
+            src.insert_one(0, pos)
+        dst = ColumnarHCBF(1, 64, 40)
+        sizes, levels = src.word_level_state(0)
+        dst.set_word_level_state(0, sizes, levels)
+        dst.rebuild_derived()
+        assert np.array_equal(src.counts, dst.counts)
+        assert np.array_equal(src.hist, dst.hist)
+        assert np.array_equal(src.used, dst.used)
+        assert np.array_equal(src.mirror, dst.mirror)
+        dst.check_invariants()
+
+
+class TestSinglePairOps:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 9)), max_size=30))
+    def test_insert_delete_match_word(self, ops):
+        word = HCBFWord(64, 40, index=0)
+        col = ColumnarHCBF(1, 64, 40)
+        for is_insert, pos in ops:
+            if is_insert:
+                if word.bits_free < 1:
+                    continue
+                _, bits = word.insert_bit(pos)
+                assert col.insert_one(0, pos) == pytest.approx(bits)
+            else:
+                if word.count(pos) == 0:
+                    continue
+                _, bits = word.delete_bit(pos)
+                assert col.delete_one(0, pos) == pytest.approx(bits)
+            assert int(col.used[0]) == word.hierarchy_bits_used
+            assert int(col.counts[0, pos]) == word.count(pos)
+        col.check_invariants()
+        word.check_invariants()
+
+
+class TestGroupedCounterKernels:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        st.lists(st.integers(0, 19), min_size=1, max_size=60),
+        st.integers(1, 15),
+    )
+    def test_increments_match_scatter_reference(self, idx_list, limit):
+        indices = np.asarray(idx_list, dtype=np.int64)
+        ours = np.zeros(20, dtype=np.int32)
+        ref = np.zeros(20, dtype=np.int32)
+        events = grouped_increments(ours, indices, limit, raise_on_overflow=False)
+        np.add.at(ref, indices, 1)
+        ref_events = int(np.maximum(ref - limit, 0).sum())
+        np.minimum(ref, limit, out=ref)
+        assert np.array_equal(ours, ref)
+        assert events == ref_events
+
+    def test_increments_raise_rolls_back(self):
+        counters = np.array([2, 0, 3], dtype=np.int32)
+        before = counters.copy()
+        with pytest.raises(CounterOverflowError) as info:
+            grouped_increments(
+                counters,
+                np.array([2, 0, 2], dtype=np.int64),
+                limit=3,
+                raise_on_overflow=True,
+            )
+        assert info.value.index == 2  # lowest exceeded counter index
+        assert np.array_equal(counters, before)
+
+    def test_decrements_and_underflow_rollback(self):
+        counters = np.array([2, 1, 0], dtype=np.int32)
+        grouped_decrements(counters, np.array([0, 1], dtype=np.int64))
+        assert counters.tolist() == [1, 0, 0]
+        before = counters.copy()
+        with pytest.raises(CounterUnderflowError) as info:
+            grouped_decrements(counters, np.array([0, 2], dtype=np.int64))
+        assert info.value.index == 2
+        assert np.array_equal(counters, before)
+
+
+class TestCBFKernelSwitch:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(0, 30), min_size=1, max_size=40),
+        st.integers(0, 3),
+    )
+    def test_columnar_matches_scalar_kernel(self, ids, seed):
+        keys = np.asarray(ids, dtype=np.uint64)
+        col = CountingBloomFilter(256, 3, counter_bits=8, seed=seed)
+        sca = CountingBloomFilter(
+            256, 3, counter_bits=8, seed=seed, kernel="scalar"
+        )
+        col.insert_many(keys)
+        sca.insert_many(keys)
+        assert np.array_equal(col.counters, sca.counters)
+        probes = np.arange(64, dtype=np.uint64)
+        assert np.array_equal(col.query_many(probes), sca.query_many(probes))
+        assert np.array_equal(col.count_many(probes), sca.count_many(probes))
+        half = keys[: len(keys) // 2]
+        if len(half):
+            col.delete_many(half)
+            sca.delete_many(half)
+            assert np.array_equal(col.counters, sca.counters)
+
+    def test_bulk_underflow_is_atomic(self):
+        filt = CountingBloomFilter(128, 3, counter_bits=8, seed=1)
+        filt.insert_many(np.arange(5, dtype=np.uint64))
+        before = filt.counters.copy()
+        with pytest.raises(CounterUnderflowError):
+            filt.delete_many(np.arange(4, 8, dtype=np.uint64))
+        assert np.array_equal(filt.counters, before)
+
+    def test_kernel_validation(self):
+        with pytest.raises(Exception):
+            CountingBloomFilter(64, 3, kernel="gpu")
+
+
+class TestSharedArrayPack:
+    def test_round_trip_and_shared_mutation(self):
+        arrays = {
+            "a": np.arange(12, dtype=np.int64).reshape(3, 4),
+            "b": np.zeros(5, dtype=np.uint64),
+            "c": np.array([True, False, True]),
+        }
+        pack = SharedArrayPack(arrays)
+        try:
+            attached = SharedArrayPack.attach(pack.name, pack.meta)
+            try:
+                views = attached.arrays()
+                for name, arr in arrays.items():
+                    assert np.array_equal(views[name], arr)
+                    assert views[name].dtype == arr.dtype
+                # Mutation through one attachment is visible in the other.
+                views["b"][2] = 99
+                mine = pack.arrays()
+                assert int(mine["b"][2]) == 99
+                del views, mine
+            finally:
+                attached.close()
+        finally:
+            pack.close()
+            pack.unlink()
+
+    def test_empty_pack(self):
+        pack = SharedArrayPack({})
+        try:
+            assert pack.arrays() == {}
+        finally:
+            pack.close()
+            pack.unlink()

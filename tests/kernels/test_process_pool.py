@@ -1,0 +1,145 @@
+"""Process-pool sharded execution over shared-memory columnar state.
+
+Small geometries and 2 workers keep this fast; the point is semantic
+equivalence with the sequential bank, error transport across the
+process boundary, and clean arena lifecycle (close/reopen/idempotence).
+The dispatch threshold is monkeypatched down so tiny test batches
+actually exercise the pool.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.parallel.sharded as sharded_mod
+from repro.errors import ConfigurationError, CounterUnderflowError
+from repro.filters.factory import FilterSpec
+from repro.parallel.sharded import ShardedFilterBank
+from repro.serialize import dump_bank, load_bank
+
+
+def _spec(**overrides) -> FilterSpec:
+    base = dict(
+        variant="MPCBF-2",
+        memory_bits=64 * 1024,
+        k=4,
+        word_bits=64,
+        capacity=2000,
+        seed=11,
+        extra={"word_overflow": "saturate"},
+    )
+    base.update(overrides)
+    return FilterSpec(**base)
+
+
+@pytest.fixture
+def small_batches(monkeypatch):
+    monkeypatch.setattr(sharded_mod, "PROCESS_MIN_BATCH", 64)
+
+
+def test_process_bank_matches_sequential(small_batches):
+    rng = np.random.default_rng(1)
+    keys = rng.integers(0, 2**63, size=2000, dtype=np.uint64)
+    ref = ShardedFilterBank(_spec(), 4)
+    with ShardedFilterBank(_spec(), 4, max_workers=2, executor="process") as bank:
+        bank.insert_many(keys)
+        ref.insert_many(keys)
+        members = bank.query_many(keys)
+        assert members.all()
+        assert np.array_equal(members, ref.query_many(keys))
+        assert np.array_equal(bank.count_many(keys), ref.count_many(keys))
+        bank.delete_many(keys[:1000])
+        ref.delete_many(keys[:1000])
+        assert np.array_equal(bank.query_many(keys), ref.query_many(keys))
+        assert np.array_equal(bank.count_many(keys), ref.count_many(keys))
+        # Worker stat deltas fold into the parent shards exactly.
+        s1, s2 = bank.stats, ref.stats
+        assert s1.insert.operations == s2.insert.operations
+        assert s1.insert.word_accesses == s2.insert.word_accesses
+        assert s1.delete.operations == s2.delete.operations
+        assert s1.query.word_accesses == s2.query.word_accesses
+        # Scalar calls on the parent hit the same shared arrays.
+        bank.insert("mixed-mode")
+        ref.insert("mixed-mode")
+        assert bank.query("mixed-mode")
+        for sh1, sh2 in zip(bank.shards, ref.shards):
+            assert np.array_equal(sh1.columns.counts, sh2.columns.counts)
+            assert np.array_equal(sh1.columns.mirror, sh2.columns.mirror)
+            assert sh1.overflow_events == sh2.overflow_events
+            assert sh1.skipped_deletes == sh2.skipped_deletes
+
+
+def test_error_transport_and_all_shards_applied(small_batches):
+    rng = np.random.default_rng(2)
+    keys = rng.integers(0, 2**63, size=400, dtype=np.uint64)
+    absent = rng.integers(0, 2**63, size=400, dtype=np.uint64)
+    ref = ShardedFilterBank(_spec(), 4)
+    with ShardedFilterBank(_spec(), 4, max_workers=2, executor="process") as bank:
+        bank.insert_many(keys)
+        ref.insert_many(keys)
+        with pytest.raises(CounterUnderflowError) as via_pool:
+            bank.delete_many(absent)
+        with pytest.raises(CounterUnderflowError):
+            ref.delete_many(absent)
+        assert isinstance(via_pool.value.index, int)  # __reduce__ round trip
+        # Pool mode ran every shard's chunk; each shard preserved its
+        # own partial-application semantics, so columnar state matches a
+        # per-shard replay (not asserted against `ref`, whose sequential
+        # dispatch stopped at the first failing shard).
+        bank.insert_many(keys)  # the bank remains fully usable
+
+
+def test_small_batches_run_inline(monkeypatch):
+    # Below the crossover threshold no pool should ever be created.
+    bank = ShardedFilterBank(_spec(), 2, executor="process")
+    keys = np.arange(100, dtype=np.uint64)
+    bank.insert_many(keys)
+    assert bank.query_many(keys).all()
+    assert bank._pool is None and bank._arena is None
+    bank.close()  # no-op
+
+
+def test_close_is_idempotent_and_bank_survives(small_batches):
+    keys = np.arange(70000, dtype=np.uint64) * np.uint64(0x9E3779B97F4A7C15)
+    bank = ShardedFilterBank(
+        _spec(capacity=200000, memory_bits=64 * 65536),
+        2,
+        max_workers=2,
+        executor="process",
+    )
+    bank.insert_many(keys[:1000])
+    assert bank._pool is not None
+    bank.close()
+    bank.close()
+    assert bank._pool is None and bank._arena is None
+    # Still queryable (inline) after close, and the pool reopens lazily.
+    assert bank.query_many(keys[:1000]).all()
+    bank.insert_many(keys[1000:2000])
+    assert bank._pool is not None
+    bank.close()
+
+
+def test_process_executor_requires_columnar_shards(small_batches):
+    spec = _spec(extra={"word_overflow": "saturate", "kernel": "scalar"})
+    bank = ShardedFilterBank(spec, 2, executor="process")
+    with pytest.raises(ConfigurationError, match="columnar"):
+        bank.insert_many(np.arange(200, dtype=np.uint64))
+
+
+def test_executor_validation():
+    with pytest.raises(ConfigurationError):
+        ShardedFilterBank(_spec(), 2, executor="fibers")
+
+
+def test_bank_serialization_preserves_executor():
+    bank = ShardedFilterBank(_spec(), 2, max_workers=2, executor="process")
+    keys = np.arange(500, dtype=np.uint64)
+    bank.insert_many(keys)  # inline (below threshold)
+    blob = dump_bank(bank)
+    loaded = load_bank(blob)
+    assert loaded.executor == "process"
+    assert loaded.max_workers == 2
+    assert np.array_equal(loaded.query_many(keys), bank.query_many(keys))
+    bank.close()
+    loaded.close()
