@@ -14,7 +14,13 @@ up: because the WAL fsyncs once per coalesced micro-batch and
 replication streams records in bulk, durability should cost a modest
 constant factor — not a per-key collapse.
 
-Writes ``results/cluster-throughput.json``.
+A second experiment prices *elastic scale-out*: client ops/s against a
+one-group ring before, during, and after a second group joins via the
+``repro.rebalance`` coordinator.  The during-phase number is the
+client-visible cost of live resharding (redirect retries, fence
+windows, WAL contention from the migration stream).
+
+Writes ``results/cluster-throughput.json`` with both row sets.
 """
 
 from __future__ import annotations
@@ -121,11 +127,105 @@ def cluster_throughput(scale, tmp_base: Path) -> list[dict]:
     ]
 
 
+def _pump_keys(client, tag: str, n_batches: int, batch: int) -> tuple[int, float]:
+    """Insert ``n_batches`` unique batches; returns (ops, elapsed_s)."""
+    started = time.perf_counter()
+    ops = 0
+    for i in range(n_batches):
+        keys = [b"mig-%s-%d-%d" % (tag.encode(), i, j) for j in range(batch)]
+        client.insert_many(keys)
+        ops += batch
+    return ops, time.perf_counter() - started
+
+
+def migration_throughput(scale, tmp_base: Path) -> list[dict]:
+    """Ops/s before, during, and after a live join migration."""
+    from repro.cluster.cluster_client import ClusterClient
+    from repro.cluster.router import NodeAddress, ShardGroup
+    from repro.rebalance.coordinator import Coordinator
+
+    vnodes = 32
+    batch = 32
+    n_batches = max(8, scale.synth_queries // (batch * 40))
+
+    async def main():
+        rec_a = recover_node(_build, wal_dir=tmp_base / "mig-a")
+        node_a = build_node_server(rec_a, group="a")
+        await node_a.start()
+        group_a = ShardGroup(
+            name="a", primary=NodeAddress("127.0.0.1", node_a.port), replicas=()
+        )
+        coord = Coordinator(
+            tmp_base / "mig-coord", catchup_lag=64, batch_records=128
+        )
+        await asyncio.to_thread(coord.bootstrap, [group_a], vnodes=vnodes)
+
+        rows = []
+        with ClusterClient(
+            [group_a], vnodes=vnodes, retries=12, backoff_s=0.02
+        ) as client:
+            ops, elapsed = await asyncio.to_thread(
+                _pump_keys, client, "before", n_batches, batch
+            )
+            rows.append({"phase": "before", "ops": ops, "elapsed_s": elapsed})
+
+            rec_b = recover_node(_build, wal_dir=tmp_base / "mig-b")
+            node_b = build_node_server(rec_b, group="b")
+            await node_b.start()
+            group_b = ShardGroup(
+                name="b",
+                primary=NodeAddress("127.0.0.1", node_b.port),
+                replicas=(),
+            )
+            await asyncio.to_thread(coord.plan_join, group_b)
+            join = asyncio.create_task(asyncio.to_thread(coord.execute))
+            ops = 0
+            started = time.perf_counter()
+            while not join.done():
+                done, _ = await asyncio.to_thread(
+                    _pump_keys, client, f"during-{ops}", 1, batch
+                )
+                ops += done
+            rows.append(
+                {
+                    "phase": "during",
+                    "ops": ops,
+                    "elapsed_s": time.perf_counter() - started,
+                }
+            )
+            await join
+
+            client.refresh_topology()
+            ops, elapsed = await asyncio.to_thread(
+                _pump_keys, client, "after", n_batches, batch
+            )
+            rows.append({"phase": "after", "ops": ops, "elapsed_s": elapsed})
+
+        coord.close()
+        await node_b.stop()
+        await node_a.stop()
+        return rows
+
+    rows = asyncio.run(main())
+    for row in rows:
+        row["elapsed_s"] = round(row["elapsed_s"], 4)
+        row["ops_per_s"] = (
+            round(row["ops"] / row["elapsed_s"], 1) if row["elapsed_s"] else 0.0
+        )
+    return rows
+
+
 def test_cluster_throughput(benchmark, scale, capsys, tmp_path):
     rows = run_once(benchmark, cluster_throughput, scale, tmp_path)
+    migration = migration_throughput(scale, tmp_path)
     RESULTS_PATH.mkdir(exist_ok=True)
     out = RESULTS_PATH / "cluster-throughput.json"
-    out.write_text(json.dumps({"scale": scale.name, "rows": rows}, indent=2))
+    out.write_text(
+        json.dumps(
+            {"scale": scale.name, "rows": rows, "migration": migration},
+            indent=2,
+        )
+    )
     with capsys.disabled():
         print()
         print(f"{'mode':>12} {'ops/s':>12} {'fsyncs':>8} {'records':>8}")
@@ -135,6 +235,19 @@ def test_cluster_throughput(benchmark, scale, capsys, tmp_path):
                 f"{row.get('wal_fsyncs', '-'):>8} "
                 f"{row.get('wal_records', '-'):>8}"
             )
+        print(f"{'migration':>12} {'ops/s':>12} {'ops':>8}")
+        for row in migration:
+            print(
+                f"{row['phase']:>12} {row['ops_per_s']:>12.0f} "
+                f"{row['ops']:>8}"
+            )
+    phases = {row["phase"]: row for row in migration}
+    # The join must not stall traffic entirely, and the enlarged ring
+    # must recover to a healthy fraction of the pre-join rate.
+    assert phases["during"]["ops"] > 0, "writes must flow mid-migration"
+    assert (
+        phases["after"]["ops_per_s"] > phases["before"]["ops_per_s"] * 0.2
+    ), "post-join throughput collapsed"
     by_mode = {row["mode"]: row for row in rows}
     # Batch-fsync amortisation: far fewer fsyncs than WAL records.
     assert by_mode["wal"]["wal_fsyncs"] < by_mode["wal"]["wal_records"] * 0.75

@@ -18,6 +18,10 @@ Usage (also installed as the ``repro`` console script)::
     repro cluster serve --wal-dir wal/a1 --port 7802 --read-only
     repro cluster route --group a=127.0.0.1:7801,127.0.0.1:7802 --port 7700
     repro cluster status --group a=127.0.0.1:7801,127.0.0.1:7802
+    repro cluster init --state-dir ring --group a=127.0.0.1:7801
+    repro cluster join --state-dir ring --group b=127.0.0.1:7803
+    repro cluster drain --state-dir ring --group b
+    repro cluster rebalance-status --state-dir ring
 
 Key files are plain text, one key per line (encoded as UTF-8 bytes).
 Filters serialise through :mod:`repro.serialize`, so a built filter can
@@ -28,6 +32,7 @@ payload.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
@@ -274,6 +279,7 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             replicas=replicas,
             ack_mode=args.ack_mode,
             read_only=args.read_only,
+            group=args.group,
             snapshot_interval_s=args.snapshot_interval,
             metrics_port=args.metrics_port,
             max_batch=args.max_batch,
@@ -333,6 +339,68 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
         import json as _json
 
         print(_json.dumps(client.status(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_cluster_init(args: argparse.Namespace) -> int:
+    from repro.cluster.router import parse_group
+    from repro.rebalance import Coordinator
+
+    with Coordinator(args.state_dir, timeout_s=args.timeout) as coord:
+        epoch = coord.bootstrap(
+            [parse_group(spec) for spec in args.group], vnodes=args.vnodes
+        )
+    print(
+        f"bootstrapped ring epoch v{epoch.version}: "
+        f"groups {', '.join(epoch.group_names())}, {epoch.vnodes} vnodes each"
+    )
+    return 0
+
+
+def _cmd_cluster_join(args: argparse.Namespace) -> int:
+    from repro.cluster.router import parse_group
+    from repro.rebalance import Coordinator
+
+    with Coordinator(
+        args.state_dir,
+        timeout_s=args.timeout,
+        catchup_lag=args.catchup_lag,
+    ) as coord:
+        plan = coord.plan_join(parse_group(args.group))
+        plan = coord.execute(plan)
+    print(
+        f"join complete: ring epoch v{plan['epoch_from']} -> "
+        f"v{plan['epoch_to']}, {len(plan['sessions'])} migration "
+        f"session(s) OWNED"
+    )
+    return 0
+
+
+def _cmd_cluster_drain(args: argparse.Namespace) -> int:
+    from repro.rebalance import Coordinator
+
+    with Coordinator(
+        args.state_dir,
+        timeout_s=args.timeout,
+        catchup_lag=args.catchup_lag,
+    ) as coord:
+        plan = coord.plan_drain(args.group)
+        plan = coord.execute(plan)
+    print(
+        f"drain complete: ring epoch v{plan['epoch_from']} -> "
+        f"v{plan['epoch_to']}, {len(plan['sessions'])} migration "
+        f"session(s) OWNED"
+    )
+    return 0
+
+
+def _cmd_cluster_rebalance_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.rebalance import Coordinator
+
+    with Coordinator(args.state_dir) as coord:
+        print(_json.dumps(coord.status(), indent=2, sort_keys=True))
     return 0
 
 
@@ -429,6 +497,11 @@ def _cmd_client(args: argparse.Namespace) -> int:
             if args.watch:
                 import time as _time
 
+                # Alternate screen, restored in the finally: Ctrl-C
+                # must hand the terminal back (scrollback intact) and
+                # exit 0 — interrupting a watch is the normal way out.
+                sys.stdout.write("\x1b[?1049h")
+                sys.stdout.flush()
                 try:
                     while True:
                         stats = client.stats()
@@ -436,6 +509,9 @@ def _cmd_client(args: argparse.Namespace) -> int:
                         _time.sleep(args.interval)
                 except KeyboardInterrupt:
                     pass
+                finally:
+                    sys.stdout.write("\x1b[?1049l")
+                    sys.stdout.flush()
             else:
                 print(_json.dumps(client.stats(), indent=2, sort_keys=True))
         elif args.action == "snapshot":
@@ -620,6 +696,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--read-only", action="store_true",
         help="replica role: reject client writes, accept replicated ones",
     )
+    p_cnode.add_argument(
+        "--group", default=None,
+        help="shard-group name this node belongs to; enables epoch "
+        "fencing during repro cluster join/drain migrations",
+    )
     p_cnode.add_argument("--max-batch", type=int, default=512)
     p_cnode.add_argument("--max-delay-us", type=float, default=200.0)
     p_cnode.add_argument("--metrics-port", type=int, default=None)
@@ -669,6 +750,61 @@ def build_parser() -> argparse.ArgumentParser:
     p_cstatus.add_argument("--timeout", type=float, default=5.0)
     p_cstatus.set_defaults(func=_cmd_cluster_status)
 
+    p_cinit = cluster_sub.add_parser(
+        "init", help="record ring epoch v1 and push it to every node"
+    )
+    p_cinit.add_argument(
+        "--state-dir", required=True,
+        help="coordinator state directory (epoch log + migration plans)",
+    )
+    p_cinit.add_argument(
+        "--group", action="append", required=True,
+        metavar="NAME=HOST:PORT[,HOST:PORT...]",
+        help="shard group in the initial ring (repeatable)",
+    )
+    p_cinit.add_argument("--vnodes", type=int, default=64)
+    p_cinit.add_argument("--timeout", type=float, default=10.0)
+    p_cinit.set_defaults(func=_cmd_cluster_init)
+
+    p_cjoin = cluster_sub.add_parser(
+        "join",
+        help="add a shard group with a live, crash-resumable migration",
+    )
+    p_cjoin.add_argument("--state-dir", required=True)
+    p_cjoin.add_argument(
+        "--group", required=True,
+        metavar="NAME=HOST:PORT[,HOST:PORT...]",
+        help="the joining shard group",
+    )
+    p_cjoin.add_argument(
+        "--catchup-lag", type=int, default=64,
+        help="fence the source once the stream is within this many "
+        "WAL records of its tail",
+    )
+    p_cjoin.add_argument("--timeout", type=float, default=10.0)
+    p_cjoin.set_defaults(func=_cmd_cluster_join)
+
+    p_cdrain = cluster_sub.add_parser(
+        "drain",
+        help="migrate a group's ranges to the survivors, then drop it",
+    )
+    p_cdrain.add_argument("--state-dir", required=True)
+    p_cdrain.add_argument(
+        "--group", required=True, metavar="NAME",
+        help="name of the group to remove from the ring",
+    )
+    p_cdrain.add_argument("--catchup-lag", type=int, default=64)
+    p_cdrain.add_argument("--timeout", type=float, default=10.0)
+    p_cdrain.set_defaults(func=_cmd_cluster_drain)
+
+    p_crstat = cluster_sub.add_parser(
+        "rebalance-status",
+        help="print the coordinator's epoch log and per-vnode "
+        "migration states",
+    )
+    p_crstat.add_argument("--state-dir", required=True)
+    p_crstat.set_defaults(func=_cmd_cluster_rebalance_status)
+
     p_metrics = sub.add_parser(
         "metrics-dump",
         help="print the Prometheus exposition of a daemon's /metrics endpoint",
@@ -690,6 +826,13 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1
+    except BrokenPipeError:
+        # stdout's reader hung up (`... | head`, `... | grep -q`): die
+        # quietly like any pipeline-friendly tool.  Point stdout at
+        # /dev/null so the interpreter's exit flush cannot re-raise.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except (FileNotFoundError, ConnectionError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 1

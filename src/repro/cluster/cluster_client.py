@@ -7,6 +7,15 @@ The router daemon remains the right front door for clients that should
 not carry topology (or that benefit from its server-side coalescing);
 both route identically because they share the ring implementation.
 
+Topology is cached per client: the constructor seeds it (spec strings
+or a fetched epoch) and no call thereafter touches the ring until the
+cluster says it must — a ``MOVED`` redirect or a ``WRONG_EPOCH`` fence
+rejection.  Only then does the client refetch the epoch from the nodes
+it knows, with full-jitter backoff between attempts, and retry the
+operation under the new ring.  During a live resharding this is the
+whole client-visible story: a handful of retried calls while the
+coordinator bumps the epoch, and zero lost acknowledged writes.
+
 The surface mirrors :class:`~repro.service.client.FilterClient`
 (``insert_many`` / ``query_many`` / ``delete_many`` / single-key
 helpers), plus :meth:`status` for a cluster-wide health/replication
@@ -15,6 +24,8 @@ report — what ``repro cluster status`` prints.
 
 from __future__ import annotations
 
+import time
+
 from repro.cluster.router import (
     HashRing,
     HealthChecker,
@@ -22,6 +33,9 @@ from repro.cluster.router import (
     ShardGroup,
     parse_group,
 )
+from repro.errors import ClusterError
+from repro.service.client import _jittered_delay
+from repro.service.protocol import ErrorCode, RemoteError
 
 __all__ = ["ClusterClient"]
 
@@ -51,6 +65,11 @@ class ClusterClient:
         When True, probe every node's ``/healthz`` once up front (only
         nodes with a health port participate) so reads skip known-dead
         primaries immediately instead of waiting out a timeout.
+    retries, backoff_s:
+        Topology-race retry budget.  ``MOVED`` / ``WRONG_EPOCH``
+        rejections and unreachable-primary errors back off with
+        full-jitter exponential delays, refresh the cached topology,
+        and resend — the client-side half of epoch fencing.
     """
 
     def __init__(
@@ -60,6 +79,8 @@ class ClusterClient:
         vnodes: int = 64,
         timeout_s: float = 5.0,
         check_health: bool = False,
+        retries: int = 10,
+        backoff_s: float = 0.05,
     ) -> None:
         parsed = [
             group if isinstance(group, ShardGroup) else parse_group(group)
@@ -71,35 +92,73 @@ class ClusterClient:
             nodes = [node for group in parsed for node in group.nodes]
             health = HealthChecker(nodes)
             health.check_now()
+        self.retries = retries
+        self.backoff_s = backoff_s
         self._backend = RouterBackend(ring, health=health, timeout_s=timeout_s)
 
     @property
     def ring(self) -> HashRing:
         return self._backend.ring
 
+    def refresh_topology(self) -> bool:
+        """Refetch the ring epoch from the cluster; True when newer.
+
+        Called automatically on redirects; exposed for tooling that
+        knows a topology change just happened (e.g. the CLI after a
+        ``repro cluster join``).
+        """
+        return self._backend.refresh_epoch()
+
+    def _with_retry(self, operation):
+        """Run ``operation`` through the topology-race retry loop.
+
+        ``MOVED`` means the cached ring is stale; ``WRONG_EPOCH`` means
+        the key's range is fenced *right now* and will reopen on the
+        new owner within the fence window; ``ClusterError`` and
+        ``OSError`` cover a primary that vanished or stalled mid-drain
+        (the client drops a timed-out connection, so the retry starts
+        on a clean stream).  All are transient by protocol contract,
+        so: full-jitter backoff, refresh the cached topology, resend.
+        Anything else propagates untouched.
+        """
+        for attempt in range(max(1, self.retries)):
+            try:
+                return operation()
+            except RemoteError as exc:
+                if exc.code not in (ErrorCode.MOVED, ErrorCode.WRONG_EPOCH):
+                    raise
+                if attempt == self.retries - 1:
+                    raise
+            except (ClusterError, OSError):
+                if attempt == self.retries - 1:
+                    raise
+            time.sleep(_jittered_delay(self.backoff_s, attempt))
+            self.refresh_topology()
+
     # -- operations ------------------------------------------------------
     def insert(self, key) -> None:
-        self._backend.insert_many([_to_bytes(key)])
+        self.insert_many([key])
 
     def delete(self, key) -> None:
-        self._backend.delete_many([_to_bytes(key)])
+        self.delete_many([key])
 
     def query(self, key) -> bool:
-        return bool(self._backend.query_many([_to_bytes(key)])[0])
+        return self.query_many([key])[0]
 
     def insert_many(self, keys) -> None:
-        self._backend.insert_many([_to_bytes(k) for k in keys])
+        payload = [_to_bytes(k) for k in keys]
+        self._with_retry(lambda: self._backend.insert_many(payload))
 
     def delete_many(self, keys) -> None:
-        self._backend.delete_many([_to_bytes(k) for k in keys])
+        payload = [_to_bytes(k) for k in keys]
+        self._with_retry(lambda: self._backend.delete_many(payload))
 
     def query_many(self, keys) -> list[bool]:
-        return [
-            bool(answer)
-            for answer in self._backend.query_many(
-                [_to_bytes(k) for k in keys]
-            )
-        ]
+        payload = [_to_bytes(k) for k in keys]
+        answers = self._with_retry(
+            lambda: self._backend.query_many(payload)
+        )
+        return [bool(answer) for answer in answers]
 
     def status(self) -> dict:
         """Topology, health, and per-node replication state."""

@@ -40,6 +40,7 @@ from repro.cluster.replication import ReplicationManager
 from repro.cluster.wal import FsyncPolicy, WriteAheadLog
 from repro.errors import ReproError
 from repro.observability.logging import get_logger
+from repro.rebalance.migrator import RebalanceState
 from repro.service.protocol import Opcode
 from repro.service.server import FilterServer
 from repro.service.snapshot import (
@@ -89,6 +90,11 @@ class WalSnapshotManager(SnapshotManager):
     def __init__(self, filt, path, wal: WriteAheadLog, **kwargs) -> None:
         super().__init__(filt, path, **kwargs)
         self.wal = wal
+        #: Optional :class:`~repro.rebalance.migrator.RebalanceState`.
+        #: While it holds an outgoing migration session the WAL tail is
+        #: the migration's source of truth (streams are WAL replays),
+        #: so compaction must wait for the plan to commit.
+        self.rebalance = None
 
     def _dump(self) -> dict:
         seq = self.wal.last_seq
@@ -98,6 +104,10 @@ class WalSnapshotManager(SnapshotManager):
 
     def save_now(self) -> dict:
         report = super().save_now()
+        if self.rebalance is not None and self.rebalance.holds_wal():
+            report["wal_segments_removed"] = 0
+            report["wal_truncation_held"] = True
+            return report
         report["wal_segments_removed"] = self.wal.truncate_through(
             report["wal_seq"]
         )
@@ -162,6 +172,20 @@ def recover_node(
     replayed = 0
     errors = 0
     for record in wal.replay(start_seq=snapshot_seq + 1):
+        if record.op in (Opcode.MIG_INSERT, Opcode.MIG_DELETE):
+            # Migration records: keys[0] is the plan header, the real
+            # keys applied one at a time — replay skips exactly the
+            # per-key errors the live apply skipped.
+            for key in list(record.keys)[1:]:
+                try:
+                    if record.op == Opcode.MIG_INSERT:
+                        filt.insert_many([key])
+                    else:
+                        filt.delete_many([key])
+                except ReproError:
+                    errors += 1
+            replayed += 1
+            continue
         try:
             if record.op == Opcode.INSERT:
                 filt.insert_many(list(record.keys))
@@ -205,6 +229,7 @@ def build_node_server(
     max_batch: int = 512,
     max_delay_us: float = 200.0,
     quorum_timeout_s: float = 5.0,
+    group: str | None = None,
 ) -> FilterServer:
     """Assemble a :class:`FilterServer` for a recovered cluster node.
 
@@ -213,6 +238,11 @@ def build_node_server(
     rejected, replicated writes apply).  The replication snapshot
     source and the WAL-truncating snapshot manager are wired through
     the server's batcher so neither can race mutations.
+
+    ``group`` names this node's shard group for epoch fencing; every
+    node carries a :class:`~repro.rebalance.migrator.RebalanceState`
+    (inert until an epoch is installed), so a standalone node behaves
+    exactly as before.
     """
     replication = (
         ReplicationManager(
@@ -234,6 +264,7 @@ def build_node_server(
         if snapshot_path
         else None
     )
+    rebalance = RebalanceState(recovery.filter, wal=recovery.wal, group=group)
     server = FilterServer(
         recovery.filter,
         host=host,
@@ -245,9 +276,12 @@ def build_node_server(
         replication=replication,
         read_only=read_only,
         snapshot_manager=manager,
+        rebalance=rebalance,
     )
+    rebalance.metrics = server.metrics
     if manager is not None:
         manager.metrics = server.metrics
+        manager.rebalance = rebalance
     if replication is not None:
         async def snapshot_source() -> tuple[int, bytes]:
             def dump() -> tuple[int, bytes]:

@@ -50,7 +50,7 @@ from repro.errors import ClusterError, ConfigurationError
 from repro.memmodel.accounting import AccessStats, OpKind
 from repro.observability.logging import get_logger
 from repro.service.client import FilterClient
-from repro.service.protocol import RemoteError
+from repro.service.protocol import ErrorCode, RemoteError
 
 __all__ = [
     "NodeAddress",
@@ -165,10 +165,30 @@ class HashRing:
 
     def lookup(self, key: bytes) -> ShardGroup:
         """The group owning ``key``'s position on the ring."""
-        index = bisect.bisect_right(self._points, _hash64(key))
+        return self.groups[self.owner_at(_hash64(key))]
+
+    def owner_at(self, position: int) -> str:
+        """Name of the group owning ring ``position`` (a 64-bit hash).
+
+        The owner is the group of the first ring point *strictly after*
+        the position (``lookup`` uses ``bisect_right``), so each vnode
+        point owns the arc ``[previous_point, point)`` ending at it.
+        """
+        index = bisect.bisect_right(self._points, position)
         if index == len(self._points):
             index = 0  # wrap: the first point owns the top arc
-        return self.groups[self._owners[index]]
+        return self._owners[index]
+
+    def vnode_at(self, position: int) -> int:
+        """The ring point (vnode position) owning ``position``."""
+        index = bisect.bisect_right(self._points, position)
+        if index == len(self._points):
+            index = 0
+        return self._points[index]
+
+    def points(self) -> list[int]:
+        """All vnode positions, sorted ascending."""
+        return list(self._points)
 
     def partition(self, keys) -> dict[str, list[int]]:
         """Split ``keys`` into per-group lists of key *indices*."""
@@ -336,10 +356,90 @@ class RouterBackend:
         #: ``(group, kind) -> keys`` routed counters for the exporter.
         self.routed_keys: Counter[tuple[str, str]] = Counter()
         self.fallback_reads = 0
+        #: Installed :class:`~repro.rebalance.epochs.RingEpoch`, once a
+        #: coordinator has pushed (or a MOVED redirect fetched) one.
+        self._epoch = None
         self._groups = {
             name: _GroupClients(group=group)
             for name, group in ring.groups.items()
         }
+
+    # -- ring epochs -----------------------------------------------------
+    def install_epoch(self, group: str, blob: bytes) -> dict:
+        """Adopt a ring epoch (``group`` is unused — routers own no arc).
+
+        Rebuilds the ring and connection cache, keeping live
+        connections for shard groups that survive the change.  Runs on
+        the hosting server's single worker thread like every other
+        call, so no request can observe a half-swapped ring.
+        """
+        from repro.rebalance.epochs import RingEpoch
+
+        epoch = RingEpoch.from_bytes(blob)
+        if self._epoch is not None and epoch.version < self._epoch.version:
+            return self.describe()  # stale delivery
+        self._epoch = epoch
+        self.ring = epoch.ring()
+        previous = self._groups
+        self._groups = {}
+        for name, shard_group in self.ring.groups.items():
+            cached = previous.pop(name, None)
+            if cached is not None and cached.group == shard_group:
+                self._groups[name] = cached
+            else:
+                if cached is not None:
+                    cached.close()
+                self._groups[name] = _GroupClients(group=shard_group)
+        for cached in previous.values():
+            cached.close()  # drained groups
+        self.name = f"router[{len(self.ring.groups)} groups]"
+        logger.info(
+            "router_epoch_installed", extra={"version": epoch.version}
+        )
+        return {
+            "epoch_version": epoch.version,
+            "groups": sorted(self.ring.groups),
+        }
+
+    def epoch_blob(self) -> bytes:
+        if self._epoch is None:
+            return b""
+        return self._epoch.to_bytes()
+
+    def refresh_epoch(self) -> bool:
+        """Fetch the newest epoch any known node holds; adopt if newer.
+
+        The MOVED recovery path: a redirect proves this router's ring
+        is stale, and the node that rejected us (or any of its peers)
+        already holds the epoch that explains where the key went.
+        """
+        from repro.rebalance.epochs import RingEpoch
+        from repro.service.protocol import Opcode
+
+        best: RingEpoch | None = None
+        best_blob = b""
+        for clients in list(self._groups.values()):
+            for node in clients.group.nodes:
+                try:
+                    _, blob = clients.client(
+                        node, timeout_s=self.timeout_s
+                    ).call(Opcode.RING_EPOCH)
+                except (ConnectionError, OSError, TimeoutError, RemoteError):
+                    continue
+                if not blob:
+                    continue
+                try:
+                    epoch = RingEpoch.from_bytes(blob)
+                except ConfigurationError:
+                    continue
+                if best is None or epoch.version > best.version:
+                    best, best_blob = epoch, blob
+        if best is None:
+            return False
+        if self._epoch is not None and best.version <= self._epoch.version:
+            return False
+        self.install_epoch("", best_blob)
+        return True
 
     # -- filter interface ------------------------------------------------
     def insert_many(self, keys) -> None:
@@ -355,7 +455,14 @@ class RouterBackend:
         for group_name, indices in self.ring.partition(keys).items():
             self.routed_keys[(group_name, "query")] += len(indices)
             subset = [keys[i] for i in indices]
-            result = self._query_group(self._groups[group_name], subset)
+            try:
+                result = self._query_group(self._groups[group_name], subset)
+            except RemoteError as exc:
+                # MOVED: our ring is stale.  Refresh it from the nodes
+                # and re-route just this slice under the new epoch.
+                if exc.code != ErrorCode.MOVED or not self.refresh_epoch():
+                    raise
+                result = self.query_many(subset)
             for position, index in enumerate(indices):
                 answers[index] = result[position]
         return answers
@@ -389,7 +496,13 @@ class RouterBackend:
                     client.insert_many(subset)
                 else:
                     client.delete_many(subset)
-            except RemoteError:
+            except RemoteError as exc:
+                # MOVED: re-route this slice under a refreshed ring.
+                # (WRONG_EPOCH — a fence mid-migration — is forwarded:
+                # the client owns that retry, with backoff.)
+                if exc.code == ErrorCode.MOVED and self.refresh_epoch():
+                    self._mutate(kind, subset)
+                    continue
                 raise  # the filter's own error (e.g. underflow): forward
             except (ConnectionError, OSError, TimeoutError) as exc:
                 clients.drop(primary)
@@ -452,6 +565,9 @@ class RouterBackend:
     def describe(self) -> dict:
         return {
             "ring": self.ring.describe(),
+            "epoch_version": (
+                None if self._epoch is None else self._epoch.version
+            ),
             "groups": {
                 name: {
                     "primary": clients.group.primary.address,

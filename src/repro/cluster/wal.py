@@ -49,7 +49,7 @@ from pathlib import Path
 from typing import Callable, Iterator
 
 from repro.errors import ConfigurationError, WalCorruptionError
-from repro.service.protocol import Opcode
+from repro.service.protocol import RECORD_OPS, Opcode
 
 __all__ = [
     "FsyncPolicy",
@@ -65,8 +65,8 @@ _KEY_LEN = struct.Struct("<H")
 _SEGMENT_PREFIX = "wal-"
 _SEGMENT_SUFFIX = ".seg"
 
-#: Mutations a WAL record may carry.
-_WAL_OPS = (Opcode.INSERT, Opcode.DELETE)
+#: Mutations a WAL record may carry (client ops plus migration applies).
+_WAL_OPS = RECORD_OPS
 
 
 class FsyncPolicy(str, enum.Enum):

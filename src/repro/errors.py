@@ -20,6 +20,8 @@ __all__ = [
     "ClusterError",
     "ReplicationError",
     "WalCorruptionError",
+    "WrongEpochError",
+    "MovedError",
 ]
 
 
@@ -132,4 +134,24 @@ class WalCorruptionError(ClusterError):
     Only raised for corruption *before* the log's tail: a torn final
     record is the expected signature of a crash mid-append and is
     silently treated as the end of the log.
+    """
+
+
+class WrongEpochError(ClusterError):
+    """A write raced a live topology change and was fenced.
+
+    Raised while a node's key range is mid-migration (between the
+    migration fence and the epoch commit, see :mod:`repro.rebalance`).
+    Retryable: back off briefly, refetch the ring epoch, and resend —
+    after the epoch bump the new owner accepts the write.
+    """
+
+
+class MovedError(WrongEpochError):
+    """The addressed node no longer owns the key's ring range.
+
+    The rebalance analogue of a redirect: the topology committed a new
+    epoch and this key's vnode now lives on another shard group.
+    Retryable after a topology refetch; clients holding a cached ring
+    must invalidate it before resending.
     """

@@ -139,6 +139,7 @@ def render_metrics(
     wal=None,
     replication=None,
     router=None,
+    rebalance=None,
 ) -> str:
     """Render the full exposition document for one scrape.
 
@@ -148,8 +149,9 @@ def render_metrics(
     :class:`~repro.service.snapshot.SnapshotManager`) contributes
     snapshot freshness.  The cluster hooks — ``wal`` (a
     :class:`~repro.cluster.wal.WriteAheadLog`), ``replication`` (a
-    :class:`~repro.cluster.replication.ReplicationManager`) and
-    ``router`` (a :class:`~repro.cluster.router.RouterBackend`) — each
+    :class:`~repro.cluster.replication.ReplicationManager`), ``router``
+    (a :class:`~repro.cluster.router.RouterBackend`) and ``rebalance``
+    (a :class:`~repro.rebalance.migrator.RebalanceState`) — each
     contribute their families when the daemon plays that role.  Reading
     the registries is lock-free by design: all values are monotone
     counters or single floats, so a scrape racing the event loop sees a
@@ -243,6 +245,8 @@ def render_metrics(
         _render_replication(writer, replication)
     if router is not None:
         _render_router(writer, router)
+    if rebalance is not None:
+        _render_rebalance(writer, rebalance)
     if filt is not None:
         _render_filter(writer, filt)
     return writer.render()
@@ -351,6 +355,38 @@ def _render_router(writer: _Writer, router) -> None:
     )
     for node, healthy in sorted(router.node_health().items()):
         writer.sample("repro_node_healthy", 1 if healthy else 0, {"node": node})
+
+
+def _render_rebalance(writer: _Writer, rebalance) -> None:
+    state = rebalance.describe()
+    version = state.get("epoch_version")
+    writer.declare(
+        "repro_rebalance_epoch_version", "gauge",
+        "Ring epoch version this node has installed (0 before any).",
+    )
+    writer.sample("repro_rebalance_epoch_version", version or 0)
+    writer.declare(
+        "repro_rebalance_sessions", "gauge",
+        "In-flight migration sessions on this node, by role.",
+    )
+    writer.sample(
+        "repro_rebalance_sessions",
+        len(state.get("outgoing", [])),
+        {"role": "source"},
+    )
+    writer.sample(
+        "repro_rebalance_sessions",
+        len(state.get("incoming", [])),
+        {"role": "destination"},
+    )
+    writer.declare(
+        "repro_rebalance_events_total", "counter",
+        "Rebalance engine events (streams, applies, fences, rejections).",
+    )
+    for event, count in sorted(state.get("counters", {}).items()):
+        writer.sample(
+            "repro_rebalance_events_total", count, {"event": event}
+        )
 
 
 def _render_filter(writer: _Writer, filt) -> None:

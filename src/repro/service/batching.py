@@ -87,7 +87,9 @@ class FilterExecutor:
     construction.
     """
 
-    def __init__(self, filt, *, fuse_mutations: bool = False, wal=None) -> None:
+    def __init__(
+        self, filt, *, fuse_mutations: bool = False, wal=None, gate=None
+    ) -> None:
         if fuse_mutations and wal is not None:
             # The WAL logs one record per coalesced request, but a fused
             # apply is all-or-nothing: if it raises mid-batch, replaying
@@ -105,6 +107,13 @@ class FilterExecutor:
         #: applied, and the per-request result becomes the record's
         #: sequence number (the server's replication hook consumes it).
         self.wal = wal
+        #: Optional per-request screen, ``gate(op, keys) -> None`` or
+        #: raise — cluster nodes install
+        #: :meth:`repro.rebalance.migrator.RebalanceState.gate` so a
+        #: request into a moved or fenced key range is rejected *before*
+        #: its WAL record exists.  Runs on the worker thread, same as
+        #: the apply, so the answer cannot race a fence or epoch install.
+        self.gate = gate
         self.set_filter(filt)
 
     def set_filter(self, filt) -> None:
@@ -142,13 +151,23 @@ class FilterExecutor:
                 self.wal.sync_batch()
 
     def _apply_queries(self, key_lists: list[list[bytes]]) -> list[object]:
-        flat = [key for keys in key_lists for key in keys]
-        answers = self.filter.query_many(flat)
-        results: list[object] = []
+        results: list[object] = [None] * len(key_lists)
+        passing = list(range(len(key_lists)))
+        if self.gate is not None:
+            passing = []
+            for index, keys in enumerate(key_lists):
+                try:
+                    self.gate(Opcode.QUERY, keys)
+                    passing.append(index)
+                except ReproError as exc:
+                    results[index] = exc
+        flat = [key for index in passing for key in key_lists[index]]
+        answers = self.filter.query_many(flat) if flat else []
         pos = 0
-        for keys in key_lists:
-            results.append(np.asarray(answers[pos : pos + len(keys)], dtype=bool))
-            pos += len(keys)
+        for index in passing:
+            count = len(key_lists[index])
+            results[index] = np.asarray(answers[pos : pos + count], dtype=bool)
+            pos += count
         return results
 
     def _log(self, op: Opcode, keys) -> int | None:
@@ -177,6 +196,12 @@ class FilterExecutor:
     ) -> list[object]:
         results: list[object] = []
         for keys in key_lists:
+            if self.gate is not None:
+                try:
+                    self.gate(op, keys)
+                except ReproError as exc:
+                    results.append(exc)
+                    continue
             seq = self._log(op, keys)
             try:
                 if op == Opcode.INSERT:

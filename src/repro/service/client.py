@@ -153,15 +153,22 @@ class FilterClient(_BaseClient):
         if self._sock is None:
             self.connect()
         assert self._sock is not None
-        self._sock.sendall(frame)
-        while True:
-            for parsed in self._decoder.frames():
-                return parsed
-            chunk = self._sock.recv(65536)
-            if not chunk:
-                self.close()
-                raise ConnectionError("server closed the connection")
-            self._decoder.feed(chunk)
+        try:
+            self._sock.sendall(frame)
+            while True:
+                for parsed in self._decoder.frames():
+                    return parsed
+                chunk = self._sock.recv(65536)
+                if not chunk:
+                    raise ConnectionError("server closed the connection")
+                self._decoder.feed(chunk)
+        except OSError:
+            # A timed-out or failed call leaves the strict request/
+            # response stream desynchronised — the reply may arrive
+            # later and would answer the *next* request.  Drop the
+            # connection so a retry starts on a clean stream.
+            self.close()
+            raise
 
     # -- operations -----------------------------------------------------
     def ping(self) -> bool:
@@ -204,6 +211,19 @@ class FilterClient(_BaseClient):
         opcode, body = self._call(encode_frame(Opcode.SNAPSHOT))
         _check(opcode, body, Opcode.JSON)
         return json.loads(body.decode("utf-8"))
+
+    def call(self, opcode: Opcode, body: bytes = b"") -> tuple[Opcode, bytes]:
+        """Send one raw frame; returns ``(opcode, body)`` of the reply.
+
+        Error frames raise :class:`RemoteError` like every typed call.
+        The escape hatch the cluster tooling (epoch fetches, migration
+        verbs) uses for opcodes without a dedicated method.
+        """
+        reply_op, reply_body = self._call(encode_frame(opcode, body))
+        if reply_op == Opcode.ERROR:
+            code, message = decode_error_body(reply_body)
+            raise RemoteError(code, message)
+        return reply_op, reply_body
 
 
 class AsyncFilterClient(_BaseClient):
@@ -261,9 +281,15 @@ class AsyncFilterClient(_BaseClient):
         if self._writer is None:
             await self.connect()
         assert self._reader is not None and self._writer is not None
-        self._writer.write(frame)
-        await self._writer.drain()
-        parsed = await read_frame(self._reader)
+        try:
+            self._writer.write(frame)
+            await self._writer.drain()
+            parsed = await read_frame(self._reader)
+        except OSError:
+            # Same desync hazard as the sync client: never reuse a
+            # stream whose in-flight reply was abandoned.
+            await self.close()
+            raise
         if parsed is None:
             await self.close()
             raise ConnectionError("server closed the connection")
@@ -309,3 +335,13 @@ class AsyncFilterClient(_BaseClient):
         opcode, body = await self._call(encode_frame(Opcode.SNAPSHOT))
         _check(opcode, body, Opcode.JSON)
         return json.loads(body.decode("utf-8"))
+
+    async def call(
+        self, opcode: Opcode, body: bytes = b""
+    ) -> tuple[Opcode, bytes]:
+        """Async twin of :meth:`FilterClient.call`."""
+        reply_op, reply_body = await self._call(encode_frame(opcode, body))
+        if reply_op == Opcode.ERROR:
+            code, message = decode_error_body(reply_body)
+            raise RemoteError(code, message)
+        return reply_op, reply_body

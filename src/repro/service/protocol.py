@@ -22,6 +22,16 @@ Replication bodies (primary → replica, see :mod:`repro.cluster`)::
     REPL_STATUS    (empty; replica answers JSON {last_seq, ...})
     REPL_SNAPSHOT  u64 seq | snapshot blob (full-state catch-up)
 
+Rebalance bodies (coordinator → node, see :mod:`repro.rebalance`)::
+
+    RING_EPOCH     (empty = get; answers RING_EPOCH | epoch blob)
+                   set: u16 group_len | group | epoch blob
+    MIGRATE_BEGIN / MIGRATE_READ / MIGRATE_FENCE  utf-8 JSON
+    MIGRATE_APPLY  u16 plan_len | plan | records
+    MIGRATE_COMMIT u32 meta_len | utf-8 JSON meta | epoch blob
+    records       := u32 count | count x (u64 seq | u8 op |
+                     u32 nkeys | nkeys x (u16 len | key))
+
 Response bodies::
 
     OK      (empty)               insert/delete/ping acknowledgement
@@ -39,6 +49,7 @@ server hit — the wire adds no new failure vocabulary of its own.
 from __future__ import annotations
 
 import enum
+import json
 import struct
 from dataclasses import dataclass
 
@@ -48,10 +59,12 @@ from repro.errors import (
     ConfigurationError,
     CounterOverflowError,
     CounterUnderflowError,
+    MovedError,
     ReplicationError,
     ReproError,
     UnsupportedOperationError,
     WordOverflowError,
+    WrongEpochError,
 )
 
 __all__ = [
@@ -60,6 +73,8 @@ __all__ = [
     "MAX_KEY_BYTES",
     "Opcode",
     "ErrorCode",
+    "RECORD_OPS",
+    "REBALANCE_OPS",
     "ProtocolError",
     "RemoteError",
     "Request",
@@ -75,6 +90,16 @@ __all__ = [
     "decode_ack_body",
     "encode_repl_snapshot_body",
     "decode_repl_snapshot_body",
+    "encode_migrate_records",
+    "decode_migrate_records",
+    "encode_ring_epoch_set",
+    "decode_ring_epoch_set",
+    "encode_migrate_read_resp",
+    "decode_migrate_read_resp",
+    "encode_migrate_apply_body",
+    "decode_migrate_apply_body",
+    "encode_migrate_commit_body",
+    "decode_migrate_commit_body",
     "pack_bools",
     "unpack_bools",
     "error_code_for",
@@ -107,6 +132,17 @@ class Opcode(enum.IntEnum):
     REPLICATE = 0x10
     REPL_STATUS = 0x11
     REPL_SNAPSHOT = 0x12
+    # migration record ops (WAL/replication only, never client frames;
+    # keys[0] is the migration header, see repro.rebalance.migrator)
+    MIG_INSERT = 0x13
+    MIG_DELETE = 0x14
+    # rebalance control (coordinator → node; see repro.rebalance)
+    RING_EPOCH = 0x20
+    MIGRATE_BEGIN = 0x21
+    MIGRATE_READ = 0x22
+    MIGRATE_APPLY = 0x23
+    MIGRATE_FENCE = 0x24
+    MIGRATE_COMMIT = 0x25
     # responses
     ERROR = 0x7F
     OK = 0x81
@@ -118,6 +154,26 @@ class Opcode(enum.IntEnum):
 
 #: Opcodes a BATCH frame may carry as its sub-operation.
 BATCH_SUBOPS = (Opcode.INSERT, Opcode.QUERY, Opcode.DELETE)
+
+#: Mutation ops a WAL record (and hence a REPLICATE body) may carry.
+#: The MIG_* flavours are migration applies: ``keys[0]`` is a header
+#: blob naming the plan and source sequence, ``keys[1:]`` the real keys.
+RECORD_OPS = (
+    Opcode.INSERT,
+    Opcode.DELETE,
+    Opcode.MIG_INSERT,
+    Opcode.MIG_DELETE,
+)
+
+#: Rebalance control opcodes the server routes to its rebalance state.
+REBALANCE_OPS = (
+    Opcode.RING_EPOCH,
+    Opcode.MIGRATE_BEGIN,
+    Opcode.MIGRATE_READ,
+    Opcode.MIGRATE_APPLY,
+    Opcode.MIGRATE_FENCE,
+    Opcode.MIGRATE_COMMIT,
+)
 
 
 class ErrorCode(enum.IntEnum):
@@ -133,6 +189,8 @@ class ErrorCode(enum.IntEnum):
     UNSUPPORTED = 8
     REPLICATION = 9
     CLUSTER = 10
+    WRONG_EPOCH = 11
+    MOVED = 12
 
 
 #: Most-derived-first so isinstance dispatch picks the tightest code.
@@ -143,6 +201,8 @@ _ERROR_CODES: tuple[tuple[type, ErrorCode], ...] = (
     (CapacityError, ErrorCode.CAPACITY),
     (ConfigurationError, ErrorCode.CONFIGURATION),
     (UnsupportedOperationError, ErrorCode.UNSUPPORTED),
+    (MovedError, ErrorCode.MOVED),
+    (WrongEpochError, ErrorCode.WRONG_EPOCH),
     (ReplicationError, ErrorCode.REPLICATION),
     (ClusterError, ErrorCode.CLUSTER),
     (ReproError, ErrorCode.INTERNAL),
@@ -199,11 +259,9 @@ def encode_frame(opcode: Opcode, body: bytes = b"") -> bytes:
     )
 
 
-def encode_batch_body(subop: Opcode, keys: list[bytes]) -> bytes:
-    """Build a BATCH body: sub-op, count, then length-prefixed keys."""
-    if subop not in BATCH_SUBOPS:
-        raise ProtocolError(f"invalid batch sub-op {subop!r}")
-    parts = [struct.pack("<BI", subop, len(keys))]
+def _encode_op_keys(op: Opcode, keys: list[bytes]) -> bytes:
+    """Pack ``u8 op | u32 count | count x (u16 len | key)``."""
+    parts = [struct.pack("<BI", op, len(keys))]
     for key in keys:
         if len(key) > MAX_KEY_BYTES:
             raise ProtocolError(
@@ -214,15 +272,53 @@ def encode_batch_body(subop: Opcode, keys: list[bytes]) -> bytes:
     return b"".join(parts)
 
 
+def _parse_op_keys(
+    body: bytes, pos: int, allowed: tuple[Opcode, ...], kind: str
+) -> tuple[Opcode, list[bytes], int]:
+    """Inverse of :func:`_encode_op_keys`; returns (op, keys, end)."""
+    if pos + 5 > len(body):
+        raise ProtocolError(f"truncated {kind} header")
+    raw_op, count = struct.unpack_from("<BI", body, pos)
+    try:
+        op = Opcode(raw_op)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown {kind} op 0x{raw_op:02x}") from exc
+    if op not in allowed:
+        raise ProtocolError(f"invalid {kind} op {op.name}")
+    pos += 5
+    keys: list[bytes] = []
+    for _ in range(count):
+        if pos + 2 > len(body):
+            raise ProtocolError(f"truncated {kind} key length")
+        (key_len,) = struct.unpack_from("<H", body, pos)
+        pos += 2
+        if pos + key_len > len(body):
+            raise ProtocolError(f"truncated {kind} key")
+        keys.append(body[pos : pos + key_len])
+        pos += key_len
+    return op, keys, pos
+
+
+def encode_batch_body(subop: Opcode, keys: list[bytes]) -> bytes:
+    """Build a BATCH body: sub-op, count, then length-prefixed keys."""
+    if subop not in BATCH_SUBOPS:
+        raise ProtocolError(f"invalid batch sub-op {subop!r}")
+    return _encode_op_keys(subop, keys)
+
+
 def encode_replicate_body(seq: int, subop: Opcode, keys: list[bytes]) -> bytes:
     """Build a REPLICATE body: WAL sequence, then a BATCH-shaped tail.
 
     The key encoding after the ``u64 seq`` prefix is byte-identical to
-    :func:`encode_batch_body`, so replicas reuse the same parser.
+    :func:`encode_batch_body`, so replicas reuse the same parser.  Any
+    :data:`RECORD_OPS` member is accepted: replication ships migration
+    applies (MIG_*) with the same framing as client mutations.
     """
     if seq < 0:
         raise ProtocolError(f"replication sequence must be >= 0, got {seq}")
-    return struct.pack("<Q", seq) + encode_batch_body(subop, keys)
+    if subop not in RECORD_OPS:
+        raise ProtocolError(f"invalid replicate op {subop!r}")
+    return struct.pack("<Q", seq) + _encode_op_keys(subop, keys)
 
 
 def decode_replicate_body(body: bytes) -> tuple[int, Opcode, list[bytes]]:
@@ -230,8 +326,12 @@ def decode_replicate_body(body: bytes) -> tuple[int, Opcode, list[bytes]]:
     if len(body) < 8:
         raise ProtocolError("truncated replicate body")
     (seq,) = struct.unpack_from("<Q", body)
-    request = parse_request(Opcode.BATCH, body[8:])
-    return seq, request.op, request.keys
+    op, keys, pos = _parse_op_keys(body, 8, RECORD_OPS, "replicate")
+    if pos != len(body):
+        raise ProtocolError(
+            f"{len(body) - pos} trailing bytes after replicate keys"
+        )
+    return seq, op, keys
 
 
 def encode_ack_body(seq: int) -> bytes:
@@ -258,6 +358,130 @@ def decode_repl_snapshot_body(body: bytes) -> tuple[int, bytes]:
         raise ProtocolError("truncated replication snapshot body")
     (seq,) = struct.unpack_from("<Q", body)
     return seq, body[8:]
+
+
+# -- rebalance bodies (see repro.rebalance) -----------------------------
+def encode_migrate_records(
+    records: list[tuple[int, Opcode, list[bytes]]],
+) -> bytes:
+    """Pack migration records: count, then (seq, op, keys) triples."""
+    parts = [struct.pack("<I", len(records))]
+    for seq, op, keys in records:
+        if op not in RECORD_OPS:
+            raise ProtocolError(f"invalid migrate record op {op!r}")
+        parts.append(struct.pack("<Q", seq))
+        parts.append(_encode_op_keys(op, keys))
+    return b"".join(parts)
+
+
+def decode_migrate_records(
+    body: bytes, offset: int = 0
+) -> list[tuple[int, Opcode, list[bytes]]]:
+    """Inverse of :func:`encode_migrate_records`; consumes to the end."""
+    if offset + 4 > len(body):
+        raise ProtocolError("truncated migrate records header")
+    (count,) = struct.unpack_from("<I", body, offset)
+    pos = offset + 4
+    records: list[tuple[int, Opcode, list[bytes]]] = []
+    for _ in range(count):
+        if pos + 8 > len(body):
+            raise ProtocolError("truncated migrate record sequence")
+        (seq,) = struct.unpack_from("<Q", body, pos)
+        op, keys, pos = _parse_op_keys(
+            body, pos + 8, RECORD_OPS, "migrate record"
+        )
+        records.append((seq, op, keys))
+    if pos != len(body):
+        raise ProtocolError(
+            f"{len(body) - pos} trailing bytes after migrate records"
+        )
+    return records
+
+
+def encode_ring_epoch_set(group: str, blob: bytes) -> bytes:
+    """Build a RING_EPOCH *set* body: the receiver's group name + epoch."""
+    raw = group.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError("group name too long for ring-epoch body")
+    return struct.pack("<H", len(raw)) + raw + blob
+
+
+def decode_ring_epoch_set(body: bytes) -> tuple[str, bytes]:
+    """Inverse of :func:`encode_ring_epoch_set`."""
+    if len(body) < 2:
+        raise ProtocolError("truncated ring-epoch body")
+    (group_len,) = struct.unpack_from("<H", body)
+    if 2 + group_len > len(body):
+        raise ProtocolError("truncated ring-epoch group name")
+    group = body[2 : 2 + group_len].decode("utf-8")
+    return group, body[2 + group_len :]
+
+
+def encode_migrate_apply_body(
+    plan: str, records: list[tuple[int, Opcode, list[bytes]]]
+) -> bytes:
+    """Build a MIGRATE_APPLY body: plan id + migration records."""
+    raw = plan.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError("plan id too long for migrate-apply body")
+    return struct.pack("<H", len(raw)) + raw + encode_migrate_records(records)
+
+
+def decode_migrate_apply_body(
+    body: bytes,
+) -> tuple[str, list[tuple[int, Opcode, list[bytes]]]]:
+    """Inverse of :func:`encode_migrate_apply_body`."""
+    if len(body) < 2:
+        raise ProtocolError("truncated migrate-apply body")
+    (plan_len,) = struct.unpack_from("<H", body)
+    if 2 + plan_len > len(body):
+        raise ProtocolError("truncated migrate-apply plan id")
+    plan = body[2 : 2 + plan_len].decode("utf-8")
+    return plan, decode_migrate_records(body, 2 + plan_len)
+
+
+def encode_migrate_read_resp(
+    scanned_through: int,
+    last_seq: int,
+    records: list[tuple[int, Opcode, list[bytes]]],
+) -> bytes:
+    """Build a MIGRATE_READ response: scan watermarks + matching records."""
+    return (
+        struct.pack("<QQ", scanned_through, last_seq)
+        + encode_migrate_records(records)
+    )
+
+
+def decode_migrate_read_resp(
+    body: bytes,
+) -> tuple[int, int, list[tuple[int, Opcode, list[bytes]]]]:
+    """Inverse of :func:`encode_migrate_read_resp`."""
+    if len(body) < 16:
+        raise ProtocolError("truncated migrate-read response")
+    scanned_through, last_seq = struct.unpack_from("<QQ", body)
+    return scanned_through, last_seq, decode_migrate_records(body, 16)
+
+
+def encode_migrate_commit_body(meta: dict, blob: bytes) -> bytes:
+    """Build a MIGRATE_COMMIT body: JSON metadata + the new epoch blob."""
+    raw = json.dumps(meta, sort_keys=True).encode("utf-8")
+    return struct.pack("<I", len(raw)) + raw + blob
+
+
+def decode_migrate_commit_body(body: bytes) -> tuple[dict, bytes]:
+    """Inverse of :func:`encode_migrate_commit_body`."""
+    if len(body) < 4:
+        raise ProtocolError("truncated migrate-commit body")
+    (meta_len,) = struct.unpack_from("<I", body)
+    if 4 + meta_len > len(body):
+        raise ProtocolError("truncated migrate-commit metadata")
+    try:
+        meta = json.loads(body[4 : 4 + meta_len].decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError("malformed migrate-commit metadata") from exc
+    if not isinstance(meta, dict):
+        raise ProtocolError("migrate-commit metadata must be a JSON object")
+    return meta, body[4 + meta_len :]
 
 
 def encode_error_body(code: ErrorCode, message: str) -> bytes:

@@ -39,13 +39,18 @@ from repro.observability.spans import span
 from repro.service.batching import FilterExecutor, MicroBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
+    REBALANCE_OPS,
     Opcode,
     ProtocolError,
+    decode_migrate_apply_body,
+    decode_migrate_commit_body,
     decode_repl_snapshot_body,
     decode_replicate_body,
+    decode_ring_epoch_set,
     encode_ack_body,
     encode_error_body,
     encode_frame,
+    encode_migrate_read_resp,
     error_code_for,
     pack_bools,
     parse_request,
@@ -104,6 +109,11 @@ class FilterServer:
         Inject a pre-built manager (e.g. the cluster's WAL-truncating
         :class:`~repro.cluster.node.WalSnapshotManager`) instead of
         building one from ``snapshot_path``.
+    rebalance:
+        Optional :class:`~repro.rebalance.migrator.RebalanceState`.
+        Enables the rebalance opcodes (RING_EPOCH / MIGRATE_*) and
+        installs the epoch-fencing gate in front of every client
+        operation; cluster nodes always carry one.
     """
 
     def __init__(
@@ -122,6 +132,7 @@ class FilterServer:
         replication=None,
         read_only: bool = False,
         snapshot_manager: SnapshotManager | None = None,
+        rebalance=None,
     ) -> None:
         if replication is not None and wal is None:
             raise ConfigurationError("replication requires a write-ahead log")
@@ -131,11 +142,15 @@ class FilterServer:
         self.wal = wal
         self.replication = replication
         self.read_only = read_only
+        self.rebalance = rebalance
         self.metrics = ServiceMetrics()
         if wal is not None and wal.metrics is None:
             wal.metrics = self.metrics
         self.executor = FilterExecutor(
-            filt, fuse_mutations=fuse_mutations, wal=wal
+            filt,
+            fuse_mutations=fuse_mutations,
+            wal=wal,
+            gate=None if rebalance is None else rebalance.gate,
         )
         self.batcher = MicroBatcher(
             self.executor.apply,
@@ -185,6 +200,7 @@ class FilterServer:
             wal=self.wal,
             replication=self.replication,
             router=router,
+            rebalance=self.rebalance,
         )
 
     @property
@@ -222,6 +238,8 @@ class FilterServer:
             report["cluster"] = cluster
         if hasattr(self.filter, "ring"):
             report["router"] = self.filter.describe()
+        if self.rebalance is not None:
+            report["rebalance"] = self.rebalance.describe()
         return report
 
     # -- lifecycle ------------------------------------------------------
@@ -395,6 +413,8 @@ class FilterServer:
             )
         if opcode in (Opcode.REPLICATE, Opcode.REPL_STATUS, Opcode.REPL_SNAPSHOT):
             return await self._dispatch_replication(opcode, body)
+        if opcode in REBALANCE_OPS:
+            return await self._dispatch_rebalance(opcode, body)
         with span("protocol_decode", self.metrics):
             request = parse_request(opcode, body)
         if self.read_only and request.op in (Opcode.INSERT, Opcode.DELETE):
@@ -416,6 +436,116 @@ class FilterServer:
                     result if isinstance(result, int) else 0
                 )
         return encode_frame(Opcode.OK)
+
+    # -- rebalance opcodes ------------------------------------------------
+    async def _dispatch_rebalance(self, opcode: Opcode, body: bytes) -> bytes:
+        """RING_EPOCH and the MIGRATE_* verbs (coordinator-driven).
+
+        Every state-touching call runs through ``batcher.run`` so it
+        serialises with client mutations on the single worker thread —
+        fences, epoch installs, and excision can therefore never split
+        a coalesced batch.
+        """
+        def _json_frame(report: dict) -> bytes:
+            return encode_frame(Opcode.JSON, json.dumps(report).encode("utf-8"))
+
+        if opcode == Opcode.RING_EPOCH:
+            if not body:  # get: reply with the installed epoch blob
+                if self.rebalance is not None:
+                    blob = await self.batcher.run(self.rebalance.epoch_blob)
+                elif hasattr(self.filter, "epoch_blob"):
+                    blob = self.filter.epoch_blob()
+                else:
+                    blob = b""
+                return encode_frame(Opcode.RING_EPOCH, blob)
+            group, blob = decode_ring_epoch_set(body)
+            if self.rebalance is not None:
+                report = await self.batcher.run(
+                    lambda: self.rebalance.install_epoch(group, blob)
+                )
+            elif hasattr(self.filter, "install_epoch"):
+                # A hosted RouterBackend tracks epochs without a WAL.
+                report = self.filter.install_epoch(group, blob)
+            else:
+                raise UnsupportedOperationError(
+                    "this node does not track ring epochs"
+                )
+            return _json_frame(report)
+        if self.rebalance is None:
+            raise UnsupportedOperationError(
+                "this node has no rebalance engine; migration opcodes "
+                "are only served by cluster nodes"
+            )
+        if self.read_only:
+            raise UnsupportedOperationError(
+                "migration opcodes go to a shard primary, not a replica"
+            )
+        if opcode == Opcode.MIGRATE_BEGIN:
+            doc = json.loads(body)
+            if doc["role"] == "src":
+                from repro.rebalance.epochs import KeyRangeSet
+
+                ranges = KeyRangeSet.from_json(doc["ranges"])
+                report = await self.batcher.run(
+                    lambda: self.rebalance.begin_source(
+                        doc["plan"], ranges, int(doc.get("start_seq", 1))
+                    )
+                )
+            else:
+                blob = bytes.fromhex(doc.get("epoch_hex", ""))
+                report = await self.batcher.run(
+                    lambda: self.rebalance.begin_destination(
+                        doc["plan"], doc["group"], blob
+                    )
+                )
+            return _json_frame(report)
+        if opcode == Opcode.MIGRATE_READ:
+            doc = json.loads(body)
+            scanned, last_seq, records = await self.batcher.run(
+                lambda: self.rebalance.read_records(
+                    doc["plan"],
+                    int(doc["start_seq"]),
+                    int(doc.get("max_records", 256)),
+                )
+            )
+            return encode_frame(
+                Opcode.MIGRATE_READ,
+                encode_migrate_read_resp(scanned, last_seq, records),
+            )
+        if opcode == Opcode.MIGRATE_APPLY:
+            plan, records = decode_migrate_apply_body(body)
+            report = await self.batcher.run(
+                lambda: self.rebalance.apply_records(plan, records)
+            )
+            return _json_frame(report)
+        if opcode == Opcode.MIGRATE_FENCE:
+            doc = json.loads(body)
+            report = await self.batcher.run(
+                lambda: self.rebalance.fence(doc["plan"])
+            )
+            return _json_frame(report)
+        # MIGRATE_COMMIT
+        meta, blob = decode_migrate_commit_body(body)
+        if meta["role"] == "src":
+            from repro.rebalance.epochs import KeyRangeSet
+
+            ranges = KeyRangeSet.from_json(meta["ranges"])
+            report = await self.batcher.run(
+                lambda: self.rebalance.commit_source(
+                    meta["plan"],
+                    meta["group"],
+                    blob,
+                    ranges=ranges,
+                    excise_through=int(meta["excise_through"]),
+                )
+            )
+        else:
+            report = await self.batcher.run(
+                lambda: self.rebalance.commit_destination(
+                    meta["plan"], meta["group"], blob
+                )
+            )
+        return _json_frame(report)
 
     # -- replica side of the replication stream --------------------------
     async def _dispatch_replication(self, opcode: Opcode, body: bytes) -> bytes:
@@ -478,6 +608,20 @@ class FilterServer:
             return self.wal.last_seq
         self.wal.append(op, keys, seq=seq)
         self.wal.sync_batch()
+        if op in (Opcode.MIG_INSERT, Opcode.MIG_DELETE):
+            # A primary's migration applies flow to its replicas through
+            # the ordinary stream.  keys[0] is the plan header; the real
+            # keys apply one at a time so a per-key counter error skips
+            # the same key the primary skipped.
+            for key in keys[1:]:
+                try:
+                    if op == Opcode.MIG_INSERT:
+                        self.filter.insert_many([key])
+                    else:
+                        self.filter.delete_many([key])
+                except ReproError:
+                    pass
+            return self.wal.last_seq
         try:
             if op == Opcode.INSERT:
                 self.filter.insert_many(keys)
@@ -501,6 +645,8 @@ class FilterServer:
         self.filter = filt
         self.executor.set_filter(filt)
         self.snapshots.filter = filt
+        if self.rebalance is not None:
+            self.rebalance.filter = filt
         self.wal.reset_to(seq)
 
     def _error_frame(self, exc: Exception, request_id: str | None = None) -> bytes:

@@ -133,6 +133,14 @@ def _write_bytes_atomic(blob: bytes, path: Path) -> dict:
         handle.flush()
         os.fsync(handle.fileno())
     os.replace(tmp, path)
+    # The rename itself lives in the directory's metadata: without a
+    # directory fsync a power loss can revert the publish even though
+    # the file's bytes are stable (same discipline as the WAL).
+    dir_fd = os.open(path.parent, os.O_RDONLY)
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
     return {
         "path": str(path),
         "bytes": len(blob),

@@ -1,0 +1,256 @@
+"""Engine-level migration tests: two RebalanceStates, no sockets.
+
+Drives the source/destination state machines directly the way the
+coordinator does over the wire, and pins the linearity argument: after
+stream + fence + drain + commit, both filters are byte-identical to
+oracles built from only the keys each side owns under the new epoch.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.router import NodeAddress, ShardGroup
+from repro.cluster.wal import WriteAheadLog
+from repro.errors import ClusterError, MovedError, WrongEpochError
+from repro.filters.factory import FilterSpec, build_filter
+from repro.rebalance.epochs import (
+    KeyRangeSet,
+    RingEpoch,
+    compute_moves,
+    hash_key,
+)
+from repro.rebalance.migrator import RebalanceState
+from repro.serialize import dump_filter
+from repro.service.protocol import Opcode
+
+
+def make_filter(seed: int = 5):
+    return build_filter(
+        FilterSpec(
+            variant="MPCBF-1",
+            memory_bits=64 * 8192,
+            k=3,
+            capacity=4000,
+            seed=seed,
+            extra={"word_overflow": "saturate"},
+        )
+    )
+
+
+def make_group(name: str, port: int) -> ShardGroup:
+    return ShardGroup(
+        name=name, primary=NodeAddress("127.0.0.1", port), replicas=()
+    )
+
+
+def make_state(tmp_path, name: str, group: str) -> RebalanceState:
+    wal = WriteAheadLog(tmp_path / f"wal-{name}", fsync="never")
+    return RebalanceState(make_filter(), wal=wal, group=group)
+
+
+def write(state: RebalanceState, op: Opcode, keys: list[bytes]) -> int:
+    """One client mutation the way the server applies it: gate, log, apply."""
+    state.gate(op, keys)
+    seq = state.wal.append(op, keys)
+    if op == Opcode.INSERT:
+        state.filter.insert_many(keys)
+    else:
+        state.filter.delete_many(keys)
+    return seq
+
+
+def pump(src: RebalanceState, dst: RebalanceState, plan: str, scan: int) -> int:
+    """Stream src→dst until the watermark reaches the source's tail."""
+    while True:
+        scanned, last_seq, records = src.read_records(plan, scan + 1)
+        if records:
+            dst.apply_records(plan, records)
+        scan = max(scan, scanned)
+        if scan >= last_seq:
+            return scan
+
+
+class TestMigrationEngine:
+    def run_migration(self, tmp_path, keys, churn=()):
+        """Full a→c migration; returns (src, dst, moved_ranges, epochs)."""
+        e1 = RingEpoch(
+            version=1,
+            vnodes=16,
+            groups=(make_group("a", 7801), make_group("b", 7802)),
+        )
+        e2 = e1.with_group(make_group("c", 7803))
+        moves = [m for m in compute_moves(e1, e2) if m.src == "a"]
+        ranges = KeyRangeSet(m.range for m in moves)
+
+        src = make_state(tmp_path, "src", "a")
+        dst = make_state(tmp_path, "dst", "c")
+        src.install_epoch("a", e1.to_bytes())
+
+        mine = [k for k in keys if e1.ring().owner_at(hash_key(k)) == "a"]
+        for key in mine:
+            write(src, Opcode.INSERT, [key])
+
+        plan = "join-v1-v2-a-c"
+        dst.begin_destination(plan, "c", e1.to_bytes())
+        src.begin_source(plan, ranges, 1)
+        scan = pump(src, dst, plan, 0)
+
+        # Writes racing the stream, then the fence + final drain.
+        for key in churn:
+            if e1.ring().owner_at(hash_key(key)) == "a":
+                write(src, Opcode.INSERT, [key])
+                mine.append(key)
+        fence_seq = src.fence(plan)["fence_seq"]
+        scan = pump(src, dst, plan, scan)
+        assert scan >= fence_seq
+
+        src.commit_source(
+            plan, "a", e2.to_bytes(), ranges=ranges, excise_through=fence_seq
+        )
+        dst.commit_destination(plan, "c", e2.to_bytes())
+        return src, dst, ranges, (e1, e2), mine
+
+    def test_stream_fence_commit_is_oracle_identical(self, tmp_path):
+        keys = [b"key-%04d" % i for i in range(600)]
+        churn = [b"late-%04d" % i for i in range(60)]
+        src, dst, ranges, (e1, e2), mine = self.run_migration(
+            tmp_path, keys, churn
+        )
+
+        moved = [k for k in mine if ranges.contains(hash_key(k))]
+        kept = [k for k in mine if not ranges.contains(hash_key(k))]
+        assert moved and kept, "need traffic on both sides of the arcs"
+
+        oracle_src = make_filter()
+        oracle_src.insert_many(kept)
+        oracle_dst = make_filter()
+        oracle_dst.insert_many(moved)
+        assert dump_filter(src.filter) == dump_filter(oracle_src)
+        assert dump_filter(dst.filter) == dump_filter(oracle_dst)
+        assert src.epoch.version == 2 and dst.epoch.version == 2
+
+    def test_destination_crash_recovery_deduplicates(self, tmp_path):
+        src, dst, ranges, (e1, e2), mine = self.run_migration(
+            tmp_path, [b"key-%04d" % i for i in range(200)]
+        )
+        # A destination rebuilt from its own WAL rediscovers the cursor
+        # and acks duplicates without reapplying them.
+        plan = "join-v1-v2-a-c"
+        rebuilt = RebalanceState(make_filter(), wal=dst.wal, group="c")
+        resp = rebuilt.begin_destination(plan, "c", b"")
+        assert resp["cursor"] > 0
+        replayed = rebuilt.apply_records(
+            plan, [(1, Opcode.INSERT, [b"key-0000"])]
+        )
+        assert replayed["applied"] == 0
+
+    def test_commit_source_is_idempotent(self, tmp_path):
+        src, dst, ranges, (e1, e2), mine = self.run_migration(
+            tmp_path, [b"key-%04d" % i for i in range(200)]
+        )
+        before = dump_filter(src.filter)
+        src.commit_source(
+            "join-v1-v2-a-c",
+            "a",
+            e2.to_bytes(),
+            ranges=ranges,
+            excise_through=src.wal.last_seq,
+        )
+        assert dump_filter(src.filter) == before
+
+
+class TestGate:
+    def test_inert_without_epoch(self, tmp_path):
+        state = make_state(tmp_path, "n", None)
+        state.gate(Opcode.INSERT, [b"anything"])  # no raise
+
+    def test_rejects_unowned_keys_with_moved(self, tmp_path):
+        e = RingEpoch(
+            version=1,
+            vnodes=16,
+            groups=(make_group("a", 7801), make_group("b", 7802)),
+        )
+        state = make_state(tmp_path, "n", "a")
+        state.install_epoch("a", e.to_bytes())
+        ring = e.ring()
+        theirs = next(
+            k
+            for k in (b"k-%d" % i for i in range(500))
+            if ring.owner_at(hash_key(k)) == "b"
+        )
+        with pytest.raises(MovedError):
+            state.gate(Opcode.INSERT, [theirs])
+        with pytest.raises(MovedError):
+            state.gate(Opcode.QUERY, [theirs])
+        assert state.counters["moved_rejections"] == 2
+
+    def test_fenced_range_rejects_writes_not_reads(self, tmp_path):
+        e = RingEpoch(
+            version=1,
+            vnodes=16,
+            groups=(make_group("a", 7801), make_group("b", 7802)),
+        )
+        state = make_state(tmp_path, "n", "a")
+        state.install_epoch("a", e.to_bytes())
+        ring = e.ring()
+        mine = next(
+            k
+            for k in (b"k-%d" % i for i in range(500))
+            if ring.owner_at(hash_key(k)) == "a"
+        )
+        whole_ring = KeyRangeSet.from_json([{"start": 0, "end": 0}])
+        state.begin_source("p", whole_ring, 1)
+        state.fence("p")
+        with pytest.raises(WrongEpochError):
+            state.gate(Opcode.INSERT, [mine])
+        state.gate(Opcode.QUERY, [mine])  # reads stay open while fenced
+
+    def test_fence_survives_restart(self, tmp_path):
+        e = RingEpoch(
+            version=1,
+            vnodes=16,
+            groups=(make_group("a", 7801), make_group("b", 7802)),
+        )
+        state = make_state(tmp_path, "n", "a")
+        state.install_epoch("a", e.to_bytes())
+        whole_ring = KeyRangeSet.from_json([{"start": 0, "end": 0}])
+        state.begin_source("p", whole_ring, 1)
+        state.fence("p")
+
+        reborn = RebalanceState(make_filter(), wal=state.wal, group=None)
+        # Both the epoch and the fence came back from disk.
+        assert reborn.epoch.version == 1
+        assert reborn.group == "a"
+        assert reborn.holds_wal()
+        mine = next(
+            k
+            for k in (b"k-%d" % i for i in range(500))
+            if e.ring().owner_at(hash_key(k)) == "a"
+        )
+        with pytest.raises(WrongEpochError):
+            reborn.gate(Opcode.INSERT, [mine])
+
+
+class TestSourcePreconditions:
+    def test_begin_source_requires_retained_history(self, tmp_path):
+        state = make_state(tmp_path, "n", "a")
+        for i in range(50):
+            state.wal.append(Opcode.INSERT, [b"k-%d" % i])
+        state.wal.sync()
+        removed = state.wal.truncate_through(40)
+        assert removed >= 0
+        whole_ring = KeyRangeSet.from_json([{"start": 0, "end": 0}])
+        if state.wal.first_seq > 1:
+            with pytest.raises(ClusterError):
+                state.begin_source("p", whole_ring, 1)
+        # From the retained floor it always works.
+        state.begin_source("p", whole_ring, state.wal.first_seq)
+
+    def test_stale_epoch_install_is_ignored(self, tmp_path):
+        e1 = RingEpoch(version=1, vnodes=16, groups=(make_group("a", 7801),))
+        e3 = RingEpoch(version=3, vnodes=16, groups=(make_group("a", 7801),))
+        state = make_state(tmp_path, "n", "a")
+        state.install_epoch("a", e3.to_bytes())
+        state.install_epoch("a", e1.to_bytes())
+        assert state.epoch.version == 3

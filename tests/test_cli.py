@@ -232,3 +232,97 @@ class TestBenchSubcommand:
     def test_bench_unknown_id(self, capsys):
         rc = main(["bench", "fig99"])
         assert rc == 2
+
+
+class TestStatsWatch:
+    """Ctrl-C out of `client stats --watch` must restore the terminal."""
+
+    class _StubClient:
+        calls = 0
+
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc_info):
+            return False
+
+        def stats(self):
+            type(self).calls += 1
+            return {"uptime_s": 1.0, "ops": {"insert": 3}}
+
+    def test_ctrl_c_exits_zero_and_leaves_alt_screen(
+        self, capsys, monkeypatch
+    ):
+        import time
+
+        import repro.service.client as client_mod
+
+        self._StubClient.calls = 0
+        monkeypatch.setattr(client_mod, "FilterClient", self._StubClient)
+
+        def interrupt(_interval):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(time, "sleep", interrupt)
+        rc = main(["client", "stats", "--watch", "--port", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert self._StubClient.calls == 1
+        assert out.startswith("\x1b[?1049h")  # entered the alt screen
+        assert out.endswith("\x1b[?1049l")  # ...and left it on Ctrl-C
+        assert "insert=3" in out
+
+
+class TestBrokenPipe:
+    """`repro client query ... | grep -q` closes stdout early; the CLI
+    must die quietly (no stderr noise) like any pipeline-friendly tool."""
+
+    class _StubClient:
+        def __init__(self, *args, **kwargs):
+            pass
+
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc_info):
+            return False
+
+        def query_many(self, keys):
+            return [True for _ in keys]
+
+    def test_epipe_on_stdout_is_quiet_and_exits_zero(
+        self, capsys, monkeypatch
+    ):
+        import os
+        import sys
+
+        import repro.service.client as client_mod
+
+        monkeypatch.setattr(client_mod, "FilterClient", self._StubClient)
+
+        # A stdout whose reader hung up: writes raise EPIPE.  Its
+        # fileno is a throwaway devnull fd so the handler's dup2
+        # cannot touch the test harness's real stdout.
+        spare_fd = os.open(os.devnull, os.O_WRONLY)
+
+        class _GonePipe:
+            def write(self, text):
+                raise BrokenPipeError(32, "Broken pipe")
+
+            def flush(self):
+                pass
+
+            def fileno(self):
+                return spare_fd
+
+        monkeypatch.setattr(sys, "stdout", _GonePipe())
+        try:
+            rc = main(["client", "query", "alpha", "--port", "1"])
+        finally:
+            monkeypatch.undo()
+            os.close(spare_fd)
+        assert rc == 0
+        assert capsys.readouterr().err == ""
