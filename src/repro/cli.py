@@ -218,6 +218,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             snapshot_path=args.snapshot,
             snapshot_interval_s=args.snapshot_interval,
             metrics_port=args.metrics_port,
+            max_inflight=args.max_inflight,
+            admission_rate=args.admission_rate,
+            admission_burst=args.admission_burst,
+            deadline_default_s=args.deadline_default,
         )
     )
     return 0
@@ -285,6 +289,10 @@ def _cmd_cluster_serve(args: argparse.Namespace) -> int:
             max_batch=args.max_batch,
             max_delay_us=args.max_delay_us,
             quorum_timeout_s=args.quorum_timeout,
+            max_inflight=args.max_inflight,
+            admission_rate=args.admission_rate,
+            admission_burst=args.admission_burst,
+            deadline_default_s=args.deadline_default,
         )
     )
     return 0
@@ -520,6 +528,30 @@ def _cmd_client(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_overload_flags(parser: argparse.ArgumentParser) -> None:
+    """Admission-control knobs shared by ``serve`` and ``cluster serve``."""
+    parser.add_argument(
+        "--max-inflight", type=int, default=None,
+        help="bound on concurrently admitted keyed requests; excess "
+        "requests are shed with OVERLOADED + a retry-after hint",
+    )
+    parser.add_argument(
+        "--admission-rate", type=float, default=None,
+        help="token-bucket refill rate (cost units/second; mutations "
+        "cost more than queries — see repro.overload.DEFAULT_COSTS)",
+    )
+    parser.add_argument(
+        "--admission-burst", type=float, default=None,
+        help="token-bucket burst capacity (defaults to one second of "
+        "--admission-rate)",
+    )
+    parser.add_argument(
+        "--deadline-default", type=float, default=None,
+        help="default per-request deadline in seconds for clients that "
+        "do not send a DEADLINE frame",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -625,6 +657,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--log-level", choices=["info", "debug"], default="info",
         help="JSON log verbosity (debug includes per-request events)",
     )
+    _add_overload_flags(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_client = sub.add_parser("client", help="talk to a running daemon")
@@ -708,6 +741,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_cnode.add_argument(
         "--log-level", choices=["info", "debug"], default="info"
     )
+    _add_overload_flags(p_cnode)
     p_cnode.set_defaults(func=_cmd_cluster_serve)
 
     p_croute = cluster_sub.add_parser(

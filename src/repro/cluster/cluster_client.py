@@ -33,7 +33,7 @@ from repro.cluster.router import (
     ShardGroup,
     parse_group,
 )
-from repro.errors import ClusterError
+from repro.errors import ClusterError, OverloadedError
 from repro.service.client import _jittered_delay
 from repro.service.protocol import ErrorCode, RemoteError
 
@@ -119,21 +119,56 @@ class ClusterClient:
         (the client drops a timed-out connection, so the retry starts
         on a clean stream).  All are transient by protocol contract,
         so: full-jitter backoff, refresh the cached topology, resend.
-        Anything else propagates untouched.
+
+        ``OVERLOADED`` — from a node's admission control (a
+        :class:`RemoteError` carrying a retry-after hint) or from the
+        embedded router's own circuit breaker (a local
+        :class:`~repro.errors.OverloadedError`) — is also retried, but
+        differently: the client sleeps *at least* the server's
+        retry-after hint (plus jitter), and does not refetch topology —
+        the ring is fine, the node is busy.  Anything else propagates
+        untouched.
+
+        One wrinkle: transport failures also feed the breaker, so a
+        plain *dead* group can open it mid-loop.  A local breaker
+        rejection carries no information the caller can act on, so when
+        the retry budget runs out on one, the last real transport error
+        is raised instead — an unreachable group always reports as
+        ``ClusterError``, never as a synthesized ``OVERLOADED``.
         """
+        last_transport: BaseException | None = None
         for attempt in range(max(1, self.retries)):
+            hint = 0.0
+            refresh = True
             try:
                 return operation()
+            except OverloadedError as exc:
+                # Raised locally by the router's per-group breaker; no
+                # packet was sent, the hint is the remaining cooldown.
+                if attempt == self.retries - 1:
+                    if last_transport is not None:
+                        raise last_transport from exc
+                    raise
+                hint = exc.retry_after_s or 0.0
+                refresh = False
             except RemoteError as exc:
-                if exc.code not in (ErrorCode.MOVED, ErrorCode.WRONG_EPOCH):
+                last_transport = None  # the node answered: it is alive
+                if exc.code == ErrorCode.OVERLOADED:
+                    if attempt == self.retries - 1:
+                        raise
+                    hint = exc.retry_after_s or 0.0
+                    refresh = False
+                elif exc.code not in (ErrorCode.MOVED, ErrorCode.WRONG_EPOCH):
                     raise
+                elif attempt == self.retries - 1:
+                    raise
+            except (ClusterError, OSError) as exc:
+                last_transport = exc
                 if attempt == self.retries - 1:
                     raise
-            except (ClusterError, OSError):
-                if attempt == self.retries - 1:
-                    raise
-            time.sleep(_jittered_delay(self.backoff_s, attempt))
-            self.refresh_topology()
+            time.sleep(hint + _jittered_delay(self.backoff_s, attempt))
+            if refresh:
+                self.refresh_topology()
 
     # -- operations ------------------------------------------------------
     def insert(self, key) -> None:

@@ -42,7 +42,7 @@ from repro.errors import ReproError
 from repro.observability.logging import get_logger
 from repro.rebalance.migrator import RebalanceState
 from repro.service.protocol import Opcode
-from repro.service.server import FilterServer
+from repro.service.server import FilterServer, build_admission
 from repro.service.snapshot import (
     SnapshotManager,
     load_snapshot_bytes,
@@ -230,6 +230,10 @@ def build_node_server(
     max_delay_us: float = 200.0,
     quorum_timeout_s: float = 5.0,
     group: str | None = None,
+    max_inflight: int | None = None,
+    admission_rate: float | None = None,
+    admission_burst: float | None = None,
+    deadline_default_s: float | None = None,
 ) -> FilterServer:
     """Assemble a :class:`FilterServer` for a recovered cluster node.
 
@@ -243,6 +247,12 @@ def build_node_server(
     node carries a :class:`~repro.rebalance.migrator.RebalanceState`
     (inert until an epoch is installed), so a standalone node behaves
     exactly as before.
+
+    ``max_inflight`` / ``admission_rate`` / ``admission_burst`` /
+    ``deadline_default_s`` configure the node's overload protection
+    exactly as for :func:`repro.service.server.serve` — see
+    :mod:`repro.overload`.  Replication and rebalance opcodes bypass
+    admission, so a shedding node still converges with its primary.
     """
     replication = (
         ReplicationManager(
@@ -277,6 +287,12 @@ def build_node_server(
         read_only=read_only,
         snapshot_manager=manager,
         rebalance=rebalance,
+        admission=build_admission(
+            max_inflight=max_inflight,
+            rate=admission_rate,
+            burst=admission_burst,
+        ),
+        deadline_default_s=deadline_default_s,
     )
     rebalance.metrics = server.metrics
     if manager is not None:

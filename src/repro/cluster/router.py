@@ -31,6 +31,16 @@ timeout or health-check failure they fall back to a replica (bounded
 staleness: replication lag).  Writes have nowhere else to go — a dead
 primary fails them with :class:`~repro.errors.ClusterError` until it
 returns, preserving single-writer ordering per group.
+
+Overload: an ``OVERLOADED`` answer from a primary sheds *reads* to the
+group's replicas the same way a transport failure does (counted in
+``overload_fallbacks``) — membership queries tolerate bounded
+staleness, so replica capacity absorbs read storms.  Writes cannot
+move, so each group's write path sits behind a
+:class:`~repro.overload.CircuitBreaker`: a saturated or dead primary
+trips it, and subsequent writes fail locally with a retry-after hint
+instead of stoking the overload.  The breaker half-opens after its
+cooldown and one probing write decides whether the group is back.
 """
 
 from __future__ import annotations
@@ -49,6 +59,7 @@ import numpy as np
 from repro.errors import ClusterError, ConfigurationError
 from repro.memmodel.accounting import AccessStats, OpKind
 from repro.observability.logging import get_logger
+from repro.overload import CircuitBreaker
 from repro.service.client import FilterClient
 from repro.service.protocol import ErrorCode, RemoteError
 
@@ -345,10 +356,14 @@ class RouterBackend:
         *,
         health: HealthChecker | None = None,
         timeout_s: float = 5.0,
+        breaker_failures: int = 8,
+        breaker_cooldown_s: float = 0.5,
     ) -> None:
         self.ring = ring
         self.health = health
         self.timeout_s = timeout_s
+        self.breaker_failures = breaker_failures
+        self.breaker_cooldown_s = breaker_cooldown_s
         self.name = f"router[{len(ring.groups)} groups]"
         #: Ring lookups cost one hash evaluation per key; account them
         #: in the same AccessStats currency as a real filter.
@@ -356,6 +371,10 @@ class RouterBackend:
         #: ``(group, kind) -> keys`` routed counters for the exporter.
         self.routed_keys: Counter[tuple[str, str]] = Counter()
         self.fallback_reads = 0
+        #: Reads served by a replica *because the primary shed them*
+        #: (OVERLOADED), as opposed to ``fallback_reads`` which also
+        #: counts plain transport failovers.
+        self.overload_fallbacks = 0
         #: Installed :class:`~repro.rebalance.epochs.RingEpoch`, once a
         #: coordinator has pushed (or a MOVED redirect fetched) one.
         self._epoch = None
@@ -363,6 +382,16 @@ class RouterBackend:
             name: _GroupClients(group=group)
             for name, group in ring.groups.items()
         }
+        #: Per-group write-path breakers (reads fail over instead).
+        self._breakers = {
+            name: self._new_breaker() for name in ring.groups
+        }
+
+    def _new_breaker(self) -> CircuitBreaker:
+        return CircuitBreaker(
+            failure_threshold=self.breaker_failures,
+            cooldown_s=self.breaker_cooldown_s,
+        )
 
     # -- ring epochs -----------------------------------------------------
     def install_epoch(self, group: str, blob: bytes) -> dict:
@@ -392,6 +421,12 @@ class RouterBackend:
                 self._groups[name] = _GroupClients(group=shard_group)
         for cached in previous.values():
             cached.close()  # drained groups
+        # Surviving groups keep their breaker history; new groups start
+        # closed, and breakers of drained groups are dropped with them.
+        self._breakers = {
+            name: self._breakers.get(name) or self._new_breaker()
+            for name in self.ring.groups
+        }
         self.name = f"router[{len(self.ring.groups)} groups]"
         logger.info(
             "router_epoch_installed", extra={"version": epoch.version}
@@ -490,6 +525,11 @@ class RouterBackend:
                     f"group {group_name!r}: primary {primary.address} is "
                     f"unhealthy; writes have no failover target"
                 )
+            breaker = self._breakers.get(group_name)
+            if breaker is not None:
+                # Raises OverloadedError locally while the group's write
+                # path is open — no packet reaches the drowning primary.
+                breaker.allow()
             try:
                 client = clients.client(primary, timeout_s=self.timeout_s)
                 if kind == "insert":
@@ -497,6 +537,11 @@ class RouterBackend:
                 else:
                     client.delete_many(subset)
             except RemoteError as exc:
+                if breaker is not None:
+                    if exc.code == ErrorCode.OVERLOADED:
+                        breaker.record_failure()
+                    else:
+                        breaker.record_success()  # answering = serving
                 # MOVED: re-route this slice under a refreshed ring.
                 # (WRONG_EPOCH — a fence mid-migration — is forwarded:
                 # the client owns that retry, with backoff.)
@@ -505,11 +550,16 @@ class RouterBackend:
                     continue
                 raise  # the filter's own error (e.g. underflow): forward
             except (ConnectionError, OSError, TimeoutError) as exc:
+                if breaker is not None:
+                    breaker.record_failure()
                 clients.drop(primary)
                 raise ClusterError(
                     f"group {group_name!r}: primary {primary.address} "
                     f"unreachable for {kind}: {exc}"
                 ) from exc
+            else:
+                if breaker is not None:
+                    breaker.record_success()
 
     def _query_group(
         self, clients: _GroupClients, subset: list[bytes]
@@ -521,6 +571,7 @@ class RouterBackend:
             if self.health is None or self.health.is_healthy(node)
         ] or list(group.nodes)
         last_error: Exception | None = None
+        shed_by_primary = False
         for position, node in enumerate(candidates):
             try:
                 result = clients.client(
@@ -528,8 +579,20 @@ class RouterBackend:
                 ).query_many(subset)
                 if position > 0 or node is not group.primary:
                     self.fallback_reads += len(subset)
+                    if shed_by_primary:
+                        self.overload_fallbacks += len(subset)
                 return result
-            except RemoteError:
+            except RemoteError as exc:
+                if exc.code == ErrorCode.OVERLOADED and position + 1 < len(
+                    candidates
+                ):
+                    # The primary shed this read; a replica can serve it
+                    # (bounded staleness) — same move as a transport
+                    # failover, but the node is alive, so keep its
+                    # connection.
+                    shed_by_primary = True
+                    last_error = exc
+                    continue
                 raise
             except (ConnectionError, OSError, TimeoutError) as exc:
                 clients.drop(node)
@@ -540,6 +603,13 @@ class RouterBackend:
         )
 
     # -- introspection ---------------------------------------------------
+    def breaker_states(self) -> dict[str, int]:
+        """Per-group breaker gauge values (0 closed / 1 half-open / 2 open)."""
+        return {
+            name: breaker.state_code
+            for name, breaker in sorted(self._breakers.items())
+        }
+
     def node_health(self) -> dict[str, bool]:
         if self.health is None:
             return {}
@@ -578,6 +648,11 @@ class RouterBackend:
                 for name, clients in self._groups.items()
             },
             "fallback_reads": self.fallback_reads,
+            "overload_fallbacks": self.overload_fallbacks,
+            "breakers": {
+                name: breaker.describe()
+                for name, breaker in sorted(self._breakers.items())
+            },
             "node_health": self.node_health(),
             "routed_keys": {
                 f"{group}/{kind}": count

@@ -22,6 +22,8 @@ __all__ = [
     "WalCorruptionError",
     "WrongEpochError",
     "MovedError",
+    "OverloadedError",
+    "DeadlineExceededError",
 ]
 
 
@@ -144,6 +146,43 @@ class WrongEpochError(ClusterError):
     migration fence and the epoch commit, see :mod:`repro.rebalance`).
     Retryable: back off briefly, refetch the ring epoch, and resend —
     after the epoch bump the new owner accepts the write.
+    """
+
+
+class OverloadedError(ReproError):
+    """The request was shed by admission control (or a circuit breaker).
+
+    No effect was applied — sheds happen *before* any WAL record or
+    filter mutation exists — so the operation is safe to retry.
+    ``retry_after_s`` is the server's honest estimate of when capacity
+    returns (token-bucket refill time, breaker cooldown, ...); clients
+    should wait at least that long, with jitter, before resending.
+    Crosses the wire as the ``OVERLOADED`` error code with the hint
+    embedded in the message (see
+    :func:`repro.service.protocol.format_retry_after`).
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float | None = None):
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+    def __reduce__(self):
+        return (_rebuild_overloaded, (str(self), self.retry_after_s))
+
+
+def _rebuild_overloaded(message: str, retry_after_s):
+    """Unpickle helper: Exception pickling replays positional args only."""
+    return OverloadedError(message, retry_after_s=retry_after_s)
+
+
+class DeadlineExceededError(ReproError):
+    """The request's deadline expired before it reached the filter.
+
+    Raised by the coalescer's pre-dispatch shed (the request sat in
+    the queue past its budget) or by the admission gate when a request
+    arrives already expired.  Like :class:`OverloadedError`, no effect
+    was applied; unlike it, retrying with the *same* deadline is
+    pointless — the caller must budget a fresh one.
     """
 
 

@@ -140,6 +140,7 @@ def render_metrics(
     replication=None,
     router=None,
     rebalance=None,
+    admission=None,
 ) -> str:
     """Render the full exposition document for one scrape.
 
@@ -152,7 +153,9 @@ def render_metrics(
     :class:`~repro.cluster.replication.ReplicationManager`), ``router``
     (a :class:`~repro.cluster.router.RouterBackend`) and ``rebalance``
     (a :class:`~repro.rebalance.migrator.RebalanceState`) — each
-    contribute their families when the daemon plays that role.  Reading
+    contribute their families when the daemon plays that role;
+    ``admission`` (an :class:`~repro.overload.AdmissionController`)
+    contributes the ``repro_admission_*`` families.  Reading
     the registries is lock-free by design: all values are monotone
     counters or single floats, so a scrape racing the event loop sees a
     slightly stale but never torn view.
@@ -176,6 +179,13 @@ def render_metrics(
     )
     for code, count in sorted(metrics.errors.items()):
         writer.sample("repro_errors_total", count, {"code": code})
+
+    writer.declare(
+        "repro_shed_total", "counter",
+        "Requests shed before any effect was applied, by reason.",
+    )
+    for reason, count in sorted(metrics.shed.items()):
+        writer.sample("repro_shed_total", count, {"reason": reason})
 
     writer.declare(
         "repro_bytes_total", "counter", "Wire bytes moved, by direction."
@@ -247,9 +257,45 @@ def render_metrics(
         _render_router(writer, router)
     if rebalance is not None:
         _render_rebalance(writer, rebalance)
+    if admission is not None:
+        _render_admission(writer, admission)
     if filt is not None:
         _render_filter(writer, filt)
     return writer.render()
+
+
+def _render_admission(writer: _Writer, admission) -> None:
+    writer.declare(
+        "repro_admission_inflight", "gauge",
+        "Admitted requests not yet answered.",
+    )
+    writer.sample("repro_admission_inflight", admission.inflight)
+    writer.declare(
+        "repro_admission_limit", "gauge",
+        "Configured inflight bound (max_inflight).",
+    )
+    writer.sample("repro_admission_limit", admission.max_inflight)
+    writer.declare(
+        "repro_admission_admitted_total", "counter",
+        "Requests that passed the admission gate.",
+    )
+    writer.sample("repro_admission_admitted_total", admission.admitted_total)
+    writer.declare(
+        "repro_admission_degraded", "gauge",
+        "1 while the node is in degraded-read mode (mutations shed).",
+    )
+    writer.sample("repro_admission_degraded", 1 if admission.degraded else 0)
+    if admission.bucket is not None:
+        writer.declare(
+            "repro_admission_tokens", "gauge",
+            "Tokens currently available in the admission bucket.",
+        )
+        writer.sample("repro_admission_tokens", admission.bucket.tokens)
+        writer.declare(
+            "repro_admission_token_rate", "gauge",
+            "Token refill rate of the admission bucket (tokens/s).",
+        )
+        writer.sample("repro_admission_token_rate", admission.bucket.rate)
 
 
 def _render_wal(writer: _Writer, wal) -> None:
@@ -355,6 +401,22 @@ def _render_router(writer: _Writer, router) -> None:
     )
     for node, healthy in sorted(router.node_health().items()):
         writer.sample("repro_node_healthy", 1 if healthy else 0, {"node": node})
+    breaker_states = getattr(router, "breaker_states", None)
+    if breaker_states is not None:
+        writer.declare(
+            "repro_breaker_state", "gauge",
+            "Per-group circuit breaker: 0 closed, 1 half-open, 2 open.",
+        )
+        for group, state in sorted(breaker_states().items()):
+            writer.sample("repro_breaker_state", state, {"group": group})
+    writer.declare(
+        "repro_router_overload_fallbacks_total", "counter",
+        "Reads shed by a primary's overload and served by a replica.",
+    )
+    writer.sample(
+        "repro_router_overload_fallbacks_total",
+        getattr(router, "overload_fallbacks", 0),
+    )
 
 
 def _render_rebalance(writer: _Writer, rebalance) -> None:

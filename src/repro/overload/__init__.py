@@ -1,0 +1,46 @@
+"""Load management for the serving stack (``repro.overload``).
+
+The daemon's north star is heavy traffic from many clients, and heavy
+traffic always eventually exceeds capacity.  This package makes the
+behaviour past that point *explicit and bounded* instead of emergent:
+
+- :mod:`repro.overload.admission` — cost-aware token buckets and the
+  bounded-inflight :class:`AdmissionController` the server consults
+  before a request touches the coalescer queue.  Shed requests are
+  answered with an ``OVERLOADED`` error frame carrying a retry-after
+  hint, *before* any WAL record or filter state exists for them.
+- :mod:`repro.overload.breaker` — a client-side
+  :class:`CircuitBreaker` with half-open probing, so a fleet of
+  clients stops hammering a saturated or dead node instead of
+  stampeding it in lockstep.
+- :mod:`repro.overload.deadline` — the :class:`Deadline` budget that
+  travels with a request (``DEADLINE`` wire frames carry the remaining
+  budget, client deadline minus elapsed), letting the coalescer drop
+  requests that already expired before spending a kernel call on them.
+
+The design contract, documented in ``docs/operations.md``: under
+sustained overload the daemon keeps serving admitted requests at
+bounded latency, sheds the excess with honest retry hints, never loses
+an acknowledged write, and returns to full service when load drops.
+"""
+
+from __future__ import annotations
+
+from repro.overload.admission import (
+    DEFAULT_COSTS,
+    DEFAULT_MAX_INFLIGHT,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.overload.breaker import BreakerState, CircuitBreaker
+from repro.overload.deadline import Deadline
+
+__all__ = [
+    "AdmissionController",
+    "BreakerState",
+    "CircuitBreaker",
+    "Deadline",
+    "TokenBucket",
+    "DEFAULT_COSTS",
+    "DEFAULT_MAX_INFLIGHT",
+]

@@ -1,0 +1,254 @@
+"""Server-side admission control: bounded queues + cost-aware buckets.
+
+The daemon used to accept unbounded work — every connection could park
+requests on the coalescer queue forever, so a retry storm turned into
+queue growth, which turned into latency, which turned into more
+retries.  Admission control inverts that: work is *priced and bounded
+at the door*, and the excess is rejected immediately with
+:class:`~repro.errors.OverloadedError` (an ``OVERLOADED`` wire frame
+with a retry-after hint) while the door itself stays fast.
+
+Two mechanisms compose:
+
+- a hard **inflight bound** (``max_inflight`` admitted requests not
+  yet answered) — the memory backstop.  Past it everything sheds.
+- an optional cost-aware :class:`TokenBucket` — the *rate* backstop.
+  Mutations cost more tokens per key than queries (they touch counters
+  and the WAL, not just the level-1 mirror), mirroring the paper's
+  update-vs-query access asymmetry (Tables I–II), so a write-heavy
+  storm is throttled earlier than a read-heavy one.
+
+Between the two sits **degraded-read mode**: past the high-water mark
+(a fraction of ``max_inflight``) the controller keeps admitting
+membership queries — which the MPCBF answers from its packed level-1
+mirror, the cheapest path it has — while shedding mutations.  The
+mode clears at the low-water mark (hysteresis, so the daemon does not
+flap at the boundary).  Shed accounting flows into
+:class:`~repro.service.metrics.ServiceMetrics` and is exported as the
+``repro_shed_total`` / ``repro_admission_*`` Prometheus families.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import Counter
+from typing import Callable
+
+from repro.errors import ConfigurationError, OverloadedError
+
+__all__ = [
+    "TokenBucket",
+    "AdmissionController",
+    "DEFAULT_COSTS",
+    "DEFAULT_MAX_INFLIGHT",
+]
+
+#: Tokens one key costs, by operation kind.  Mutations are priced at
+#: 4x a query: they touch every hash position read-modify-write (and,
+#: on cluster nodes, append a WAL record), where a query is a read-only
+#: probe of the packed mirror.
+DEFAULT_COSTS: dict[str, float] = {"query": 1.0, "insert": 4.0, "delete": 4.0}
+
+#: Inflight bound when the operator does not set one.  Far above any
+#: healthy working set (the coalescer drains hundreds of requests per
+#: dispatch) but a real memory backstop against pathological pile-ups.
+DEFAULT_MAX_INFLIGHT = 4096
+
+
+class TokenBucket:
+    """Classic token bucket with fractional tokens and a lazy refill.
+
+    ``rate`` tokens accrue per second up to ``burst`` capacity.
+    :meth:`try_acquire` either debits the full cost or debits nothing;
+    :meth:`wait_time` turns a shortfall into the retry-after hint shed
+    responses carry, so clients back off for a *useful* interval
+    instead of a guessed one.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"token rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else float(rate)
+        if self.burst <= 0:
+            raise ConfigurationError(f"burst must be > 0, got {burst}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._refilled_at = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._refilled_at
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._refilled_at = now
+
+    @property
+    def tokens(self) -> float:
+        """Tokens currently available (refills before reading)."""
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        """Debit ``cost`` tokens if available; all-or-nothing."""
+        self._refill()
+        if cost <= self._tokens:
+            self._tokens -= cost
+            return True
+        return False
+
+    def wait_time(self, cost: float = 1.0) -> float:
+        """Seconds until ``cost`` tokens will have accrued (0 if now).
+
+        Costs above ``burst`` can never be satisfied in one acquire;
+        the wait for a full bucket is reported, which is the honest
+        "try again with a smaller batch" hint.
+        """
+        self._refill()
+        shortfall = min(cost, self.burst) - self._tokens
+        if shortfall <= 0:
+            return 0.0
+        return shortfall / self.rate
+
+
+class AdmissionController:
+    """Decides, per request, between *admit now* and *shed with a hint*.
+
+    Thread-model: the server calls :meth:`admit` / :meth:`release` from
+    the event loop only, so plain counters suffice.  The Prometheus
+    exporter reads the public attributes from its scrape thread; they
+    are single ints/floats, so a torn read is impossible.
+
+    Parameters
+    ----------
+    max_inflight:
+        Hard bound on admitted-but-unanswered requests.
+    bucket:
+        Optional :class:`TokenBucket` pricing admitted keys.  ``None``
+        disables rate limiting (the inflight bound still applies).
+    costs:
+        Per-key token cost by op kind; defaults to :data:`DEFAULT_COSTS`.
+    high_water, low_water:
+        Degraded-mode hysteresis, as fractions of ``max_inflight``.
+        At or above high water mutations shed (queries still admit);
+        below low water full service resumes.
+    metrics:
+        Optional :class:`~repro.service.metrics.ServiceMetrics`; shed
+        events are mirrored into its ``shed`` counter so STATS and the
+        ``repro_shed_total`` family see them.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        bucket: TokenBucket | None = None,
+        costs: dict[str, float] | None = None,
+        high_water: float = 0.8,
+        low_water: float = 0.5,
+        metrics=None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_inflight < 1:
+            raise ConfigurationError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        if not 0.0 < low_water <= high_water <= 1.0:
+            raise ConfigurationError(
+                f"need 0 < low_water <= high_water <= 1, got "
+                f"{low_water}/{high_water}"
+            )
+        self.max_inflight = max_inflight
+        self.bucket = bucket
+        self.costs = dict(DEFAULT_COSTS if costs is None else costs)
+        self.high_water = high_water
+        self.low_water = low_water
+        self.metrics = metrics
+        self._clock = clock
+        self.inflight = 0
+        self.degraded = False
+        self.admitted_total = 0
+        self.shed: Counter[str] = Counter()
+
+    # -- bookkeeping -----------------------------------------------------
+    def _shed(self, reason: str, message: str, retry_after_s: float):
+        self.shed[reason] += 1
+        if self.metrics is not None:
+            self.metrics.record_shed(reason)
+        return OverloadedError(message, retry_after_s=retry_after_s)
+
+    def _update_degraded(self) -> None:
+        if not self.degraded:
+            if self.inflight >= self.high_water * self.max_inflight:
+                self.degraded = True
+        elif self.inflight <= self.low_water * self.max_inflight:
+            self.degraded = False
+
+    # -- the decision ----------------------------------------------------
+    def admit(self, kind: str, n_keys: int) -> None:
+        """Admit one ``kind`` request carrying ``n_keys`` keys, or raise.
+
+        Raises :class:`~repro.errors.OverloadedError` (never applies
+        partial effects) when the request must shed; on return the
+        request is admitted and the caller owes one :meth:`release`.
+        """
+        self._update_degraded()
+        if self.inflight >= self.max_inflight:
+            # Queue-full sheds hint half an RTT through the queue: the
+            # backlog drains batch-by-batch, so "soon" is honest.
+            raise self._shed(
+                "queue_full",
+                f"admission queue is full ({self.inflight} inflight, "
+                f"limit {self.max_inflight})",
+                retry_after_s=0.05,
+            )
+        if self.degraded and kind != "query":
+            raise self._shed(
+                "degraded_write",
+                f"node is past its high-water mark "
+                f"({self.inflight}/{self.max_inflight} inflight): serving "
+                f"reads only, {kind} rejected",
+                retry_after_s=0.1,
+            )
+        if self.bucket is not None:
+            cost = max(1, n_keys) * self.costs.get(kind, 1.0)
+            if not self.bucket.try_acquire(cost):
+                raise self._shed(
+                    "rate_limited",
+                    f"token bucket empty for {kind} of {n_keys} key(s)",
+                    retry_after_s=max(0.001, self.bucket.wait_time(cost)),
+                )
+        self.inflight += 1
+        self.admitted_total += 1
+
+    def release(self) -> None:
+        """Mark one admitted request answered (success or error)."""
+        if self.inflight > 0:
+            self.inflight -= 1
+        self._update_degraded()
+
+    # -- introspection ---------------------------------------------------
+    def describe(self) -> dict:
+        """Plain-dict report for STATS / the operator runbook."""
+        out = {
+            "max_inflight": self.max_inflight,
+            "inflight": self.inflight,
+            "degraded": self.degraded,
+            "admitted_total": self.admitted_total,
+            "shed": dict(self.shed),
+            "high_water": self.high_water,
+            "low_water": self.low_water,
+        }
+        if self.bucket is not None:
+            out["bucket"] = {
+                "rate": self.bucket.rate,
+                "burst": self.bucket.burst,
+                "tokens": round(self.bucket.tokens, 3),
+            }
+        return out

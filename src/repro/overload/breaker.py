@@ -1,0 +1,169 @@
+"""Client-side circuit breaker with half-open probing.
+
+Full-jitter backoff (``repro.service.client``) already keeps a fleet
+of clients from stampeding a *restarting* node; the breaker handles
+the complementary failure — a node that is up but *saturated*.  Retry
+storms against a saturated node are self-sustaining: every rejected
+request comes back, so offered load never falls below capacity and the
+node never recovers.  The breaker cuts that loop at the source.
+
+State machine::
+
+    CLOSED ──(failure_threshold consecutive failures)──▶ OPEN
+    OPEN   ──(cooldown elapsed)──▶ HALF_OPEN
+    HALF_OPEN ──(probe succeeds)──▶ CLOSED
+    HALF_OPEN ──(probe fails)─────▶ OPEN      (cooldown restarts)
+
+While OPEN, :meth:`CircuitBreaker.allow` rejects locally with
+:class:`~repro.errors.OverloadedError` whose retry-after hint is the
+remaining cooldown — no packet is sent, which is the whole point.
+HALF_OPEN admits a bounded number of probes; the first verdict decides
+the next state.  ``OVERLOADED`` rejections and transport failures
+count as failures; any other server answer (including application
+errors like a counter underflow) proves the node is serving and counts
+as success.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable
+
+from repro.errors import ConfigurationError, OverloadedError
+
+__all__ = ["BreakerState", "CircuitBreaker"]
+
+
+class BreakerState(enum.Enum):
+    """Breaker states; ``value`` is the ``repro_breaker_state`` gauge."""
+
+    CLOSED = 0
+    HALF_OPEN = 1
+    OPEN = 2
+
+
+class CircuitBreaker:
+    """Trip after consecutive failures; recover via half-open probes.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip CLOSED → OPEN.
+    cooldown_s:
+        Seconds OPEN rejects locally before allowing probes.
+    half_open_probes:
+        Concurrent probe budget in HALF_OPEN (1 is the classic
+        behaviour; more lets a high-fan-out caller re-ramp faster).
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 1.0,
+        half_open_probes: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ConfigurationError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        if cooldown_s <= 0:
+            raise ConfigurationError(
+                f"cooldown_s must be > 0, got {cooldown_s}"
+            )
+        if half_open_probes < 1:
+            raise ConfigurationError(
+                f"half_open_probes must be >= 1, got {half_open_probes}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.half_open_probes = half_open_probes
+        self._clock = clock
+        self.state = BreakerState.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probes_inflight = 0
+        self.rejections = 0
+        self.trips = 0
+
+    # -- gate ------------------------------------------------------------
+    def allow(self) -> None:
+        """Gate one call: return to proceed, raise to reject locally.
+
+        Raises :class:`~repro.errors.OverloadedError` whose
+        ``retry_after_s`` is the remaining cooldown.  A caller that
+        proceeds owes exactly one :meth:`record_success` or
+        :meth:`record_failure` for this call.
+        """
+        if self.state is BreakerState.CLOSED:
+            return
+        if self.state is BreakerState.OPEN:
+            remaining = self._opened_at + self.cooldown_s - self._clock()
+            if remaining > 0:
+                self.rejections += 1
+                raise OverloadedError(
+                    f"circuit breaker is open ({remaining:.3f}s of cooldown "
+                    f"left)",
+                    retry_after_s=remaining,
+                )
+            self.state = BreakerState.HALF_OPEN
+            self._probes_inflight = 0
+        # HALF_OPEN: admit up to the probe budget, reject the rest.
+        if self._probes_inflight >= self.half_open_probes:
+            self.rejections += 1
+            raise OverloadedError(
+                "circuit breaker is half-open and its probe is in flight",
+                retry_after_s=self.cooldown_s / 2,
+            )
+        self._probes_inflight += 1
+
+    # -- verdicts --------------------------------------------------------
+    def record_success(self) -> None:
+        """The call the breaker admitted came back healthy."""
+        self._consecutive_failures = 0
+        if self.state is not BreakerState.CLOSED:
+            self.state = BreakerState.CLOSED
+            self._probes_inflight = 0
+
+    def record_failure(self) -> None:
+        """The admitted call failed (transport error or OVERLOADED)."""
+        if self.state is BreakerState.HALF_OPEN:
+            # The probe failed: back to OPEN, cooldown restarts.
+            self._trip()
+            return
+        self._consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self.state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._consecutive_failures = 0
+        self._probes_inflight = 0
+        self.trips += 1
+
+    # -- introspection ---------------------------------------------------
+    @property
+    def state_code(self) -> int:
+        """Numeric state for the ``repro_breaker_state`` gauge."""
+        if self.state is BreakerState.OPEN:
+            # An expired cooldown is HALF_OPEN in spirit; report it so
+            # dashboards see recovery begin without waiting for traffic.
+            if self._clock() >= self._opened_at + self.cooldown_s:
+                return BreakerState.HALF_OPEN.value
+        return self.state.value
+
+    def describe(self) -> dict:
+        return {
+            "state": self.state.name,
+            "consecutive_failures": self._consecutive_failures,
+            "rejections": self.rejections,
+            "trips": self.trips,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_s": self.cooldown_s,
+        }

@@ -1,0 +1,58 @@
+"""Request deadlines: a monotonic budget that travels with a request.
+
+A deadline is created once, at the edge (the client call site or the
+server's ``--deadline-default``), and every layer below it asks the
+same two questions: :meth:`Deadline.remaining` when forwarding the
+request (the wire carries *remaining* budget, i.e. client deadline
+minus elapsed — never an absolute timestamp, so clocks on the two ends
+need not agree), and :meth:`Deadline.expired` before spending real
+work on it.  The highest-value check is the coalescer's: a request
+that expired while queued is answered with
+:class:`~repro.errors.DeadlineExceededError` *before* the kernel call,
+so saturated queues shed dead work instead of computing answers nobody
+is waiting for.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """An absolute monotonic-clock expiry, built from a relative budget.
+
+    Instances are cheap and immutable-ish (the clock is the only
+    state); pass ``clock`` to pin time in tests.
+    """
+
+    __slots__ = ("expires_at", "_clock")
+
+    def __init__(
+        self, expires_at: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> None:
+        self.expires_at = expires_at
+        self._clock = clock
+
+    @classmethod
+    def after(
+        cls, budget_s: float, *, clock: Callable[[], float] = time.monotonic
+    ) -> "Deadline":
+        """Deadline ``budget_s`` seconds from now (clamped to >= 0)."""
+        return cls(clock() + max(0.0, budget_s), clock=clock)
+
+    def remaining(self) -> float:
+        """Seconds of budget left (0.0 once expired, never negative)."""
+        return max(0.0, self.expires_at - self._clock())
+
+    def remaining_us(self) -> int:
+        """Remaining budget in integer microseconds (the wire unit)."""
+        return int(self.remaining() * 1e6)
+
+    def expired(self) -> bool:
+        return self._clock() >= self.expires_at
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Deadline(remaining={self.remaining():.6f}s)"

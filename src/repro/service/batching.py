@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.errors import (
     ConfigurationError,
+    DeadlineExceededError,
     ReproError,
     UnsupportedOperationError,
 )
@@ -60,6 +61,12 @@ class _Pending:
     #: Event-loop clock at enqueue; dispatch time minus this is the
     #: latency the coalescer *added* (the ``coalesce_wait`` span).
     enqueued_at: float = 0.0
+    #: Optional :class:`~repro.overload.Deadline`.  Checked again at
+    #: dispatch time: a request that expired while queued is answered
+    #: with :class:`~repro.errors.DeadlineExceededError` *before* the
+    #: kernel call, so a saturated queue sheds dead work instead of
+    #: computing answers nobody is waiting for.
+    deadline: object | None = None
 
 
 class _Stop:
@@ -282,7 +289,12 @@ class MicroBatcher:
 
     # -- submission -----------------------------------------------------
     async def submit(
-        self, op: Opcode, keys: list[bytes], *, request_id: str | None = None
+        self,
+        op: Opcode,
+        keys: list[bytes],
+        *,
+        request_id: str | None = None,
+        deadline=None,
     ) -> object:
         """Enqueue one request; resolves to its per-request result.
 
@@ -290,7 +302,9 @@ class MicroBatcher:
         anything enqueued before the stop sentinel still drains, but a
         request arriving after shutdown began has no worker left to
         serve it.  ``request_id`` (optional) travels with the request so
-        the dispatch log can attribute the fused batch.
+        the dispatch log can attribute the fused batch; ``deadline``
+        (optional :class:`~repro.overload.Deadline`) makes the request
+        sheddable while it queues.
         """
         if self._task is None:
             raise RuntimeError("MicroBatcher is not running (call start())")
@@ -305,6 +319,7 @@ class MicroBatcher:
                 future=future,
                 request_id=request_id,
                 enqueued_at=loop.time(),
+                deadline=deadline,
             )
         )
         return await future
@@ -379,8 +394,38 @@ class MicroBatcher:
         """After a stop sentinel, keep draining if work remains queued."""
         return self._carry is not None or not self._queue.empty()
 
+    def _shed_expired(self, batch: list[_Pending]) -> list[_Pending]:
+        """Drop queued requests whose deadline expired; answer them now.
+
+        This is deliberately the last check before the kernel call:
+        under overload the coalescer queue is exactly where requests
+        age, so this is where a stale budget is most likely to have run
+        out — and the cheapest place to notice, since no filter work
+        has been spent yet.
+        """
+        live: list[_Pending] = []
+        for pending in batch:
+            deadline = pending.deadline
+            if deadline is not None and deadline.expired():
+                if self.metrics is not None:
+                    self.metrics.record_shed("deadline_coalescer")
+                if not pending.future.done():
+                    pending.future.set_exception(
+                        DeadlineExceededError(
+                            f"{pending.op.name} deadline expired in the "
+                            f"coalescer queue; no work was applied"
+                        )
+                    )
+                continue
+            live.append(pending)
+        return live
+
     async def _dispatch(self, batch: list[_Pending], total_keys: int) -> None:
         loop = asyncio.get_running_loop()
+        batch = self._shed_expired(batch)
+        if not batch:
+            return
+        total_keys = sum(len(pending.keys) for pending in batch)
         if self.metrics is not None:
             self.metrics.record_batch(len(batch), total_keys)
             dispatched_at = loop.time()

@@ -17,6 +17,21 @@ restarting node in lockstep.
 Error frames re-raise as :class:`~repro.service.protocol.RemoteError`,
 whose ``code`` preserves which :mod:`repro.errors` failure the server
 hit (e.g. ``COUNTER_UNDERFLOW`` for deleting an absent key).
+
+Overload integration (both transports, off by default):
+
+- ``deadline_s`` gives every keyed operation a time budget.  The frame
+  then travels DEADLINE-wrapped, carrying *remaining* budget (client
+  deadline minus elapsed) so the server can shed the request once it
+  cannot possibly answer in time.  Per-call ``deadline=`` overrides
+  the default — a :class:`~repro.overload.Deadline` shared across
+  retries keeps shrinking, which is the point.
+- ``breaker`` installs a :class:`~repro.overload.CircuitBreaker` in
+  front of the transport.  ``OVERLOADED`` answers and transport
+  failures count as failures; any other server answer (including
+  application errors) proves the node is serving and counts as
+  success.  While open, calls fail locally with
+  :class:`~repro.errors.OverloadedError` — no packet is sent.
 """
 
 from __future__ import annotations
@@ -27,13 +42,16 @@ import random
 import socket
 import time
 
+from repro.overload import Deadline
 from repro.service.protocol import (
+    ErrorCode,
     FrameDecoder,
     Opcode,
     ProtocolError,
     RemoteError,
     decode_error_body,
     encode_batch_body,
+    encode_deadline_body,
     encode_frame,
     read_frame,
     unpack_bools,
@@ -58,29 +76,52 @@ def _to_bytes(key) -> bytes:
     raise TypeError(f"wire keys must be str or bytes, got {type(key).__name__}")
 
 
-def _check(opcode: Opcode, body: bytes, expected: Opcode):
-    if opcode == Opcode.ERROR:
-        code, message = decode_error_body(body)
-        raise RemoteError(code, message)
-    if opcode != expected:
-        raise ProtocolError(
-            f"expected {expected.name} response, got {opcode.name}"
-        )
-    return body
-
-
 class _BaseClient:
-    """Request encoding shared by both transports."""
+    """Request encoding + overload bookkeeping shared by both transports.
+
+    Subclasses set ``deadline_s`` and ``breaker`` in their constructors
+    (both ``None`` by default — no behaviour change for existing users).
+    """
+
+    deadline_s: float | None = None
+    breaker = None
+
+    def _resolve_deadline(self, deadline) -> "Deadline | None":
+        if deadline is not None:
+            return deadline
+        if self.deadline_s is not None:
+            return Deadline.after(self.deadline_s)
+        return None
 
     @staticmethod
-    def _single_frame(op: Opcode, key) -> bytes:
-        return encode_frame(op, _to_bytes(key))
+    def _wrap_deadline(frame_op: Opcode, body: bytes, deadline) -> bytes:
+        """Encode the request, DEADLINE-wrapped when a budget applies.
 
-    @staticmethod
-    def _batch_frame(subop: Opcode, keys) -> bytes:
+        The wrapped budget is read at *send* time, so whatever the
+        caller already spent (breaker gate, connection backoff, earlier
+        attempts against another node) has been deducted.
+        """
+        if deadline is None:
+            return encode_frame(frame_op, body)
         return encode_frame(
-            Opcode.BATCH, encode_batch_body(subop, [_to_bytes(k) for k in keys])
+            Opcode.DEADLINE,
+            encode_deadline_body(deadline.remaining_us(), frame_op, body),
         )
+
+    def _breaker_verdict(self, opcode: Opcode, body: bytes) -> None:
+        """Classify one reply for the breaker; raises on ERROR frames."""
+        if opcode == Opcode.ERROR:
+            code, message = decode_error_body(body)
+            if self.breaker is not None:
+                if code == ErrorCode.OVERLOADED:
+                    self.breaker.record_failure()
+                else:
+                    # The node answered; even an application error means
+                    # it is serving — only overload opens the breaker.
+                    self.breaker.record_success()
+            raise RemoteError(code, message)
+        if self.breaker is not None:
+            self.breaker.record_success()
 
 
 class FilterClient(_BaseClient):
@@ -96,6 +137,13 @@ class FilterClient(_BaseClient):
         Connection attempts and the base retry delay.  Attempt ``n``
         sleeps ``uniform(0, min(2.0, backoff_s * 2**n))`` — full-jitter
         exponential backoff.
+    deadline_s:
+        Default time budget per keyed operation; requests travel
+        DEADLINE-wrapped so the server can shed them once stale.
+        ``None`` (default) sends bare frames, as before.
+    breaker:
+        Optional :class:`~repro.overload.CircuitBreaker` gating every
+        operation; ``None`` (default) disables breaking.
     """
 
     def __init__(
@@ -106,12 +154,16 @@ class FilterClient(_BaseClient):
         timeout_s: float = 10.0,
         retries: int = 8,
         backoff_s: float = 0.05,
+        deadline_s: float | None = None,
+        breaker=None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.retries = retries
         self.backoff_s = backoff_s
+        self.deadline_s = deadline_s
+        self.breaker = breaker
         self._sock: socket.socket | None = None
         self._decoder = FrameDecoder()
 
@@ -170,46 +222,89 @@ class FilterClient(_BaseClient):
             self.close()
             raise
 
+    def _request(
+        self,
+        op: Opcode,
+        body: bytes,
+        expected: Opcode,
+        *,
+        deadline=None,
+        use_default_deadline: bool = True,
+    ) -> bytes:
+        """One gated exchange: breaker → deadline wrap → send → verdict."""
+        if use_default_deadline:
+            deadline = self._resolve_deadline(deadline)
+        if self.breaker is not None:
+            self.breaker.allow()
+        try:
+            opcode, reply = self._call(self._wrap_deadline(op, body, deadline))
+        except OSError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        self._breaker_verdict(opcode, reply)
+        if opcode != expected:
+            raise ProtocolError(
+                f"expected {expected.name} response, got {opcode.name}"
+            )
+        return reply
+
     # -- operations -----------------------------------------------------
     def ping(self) -> bool:
-        opcode, body = self._call(encode_frame(Opcode.PING))
-        _check(opcode, body, Opcode.OK)
+        self._request(Opcode.PING, b"", Opcode.OK, use_default_deadline=False)
         return True
 
-    def insert(self, key) -> None:
-        opcode, body = self._call(self._single_frame(Opcode.INSERT, key))
-        _check(opcode, body, Opcode.OK)
+    def insert(self, key, *, deadline=None) -> None:
+        self._request(
+            Opcode.INSERT, _to_bytes(key), Opcode.OK, deadline=deadline
+        )
 
-    def query(self, key) -> bool:
-        opcode, body = self._call(self._single_frame(Opcode.QUERY, key))
-        _check(opcode, body, Opcode.BOOL)
+    def query(self, key, *, deadline=None) -> bool:
+        body = self._request(
+            Opcode.QUERY, _to_bytes(key), Opcode.BOOL, deadline=deadline
+        )
         return bool(body[0])
 
-    def delete(self, key) -> None:
-        opcode, body = self._call(self._single_frame(Opcode.DELETE, key))
-        _check(opcode, body, Opcode.OK)
+    def delete(self, key, *, deadline=None) -> None:
+        self._request(
+            Opcode.DELETE, _to_bytes(key), Opcode.OK, deadline=deadline
+        )
 
-    def insert_many(self, keys) -> None:
-        opcode, body = self._call(self._batch_frame(Opcode.INSERT, keys))
-        _check(opcode, body, Opcode.OK)
+    def insert_many(self, keys, *, deadline=None) -> None:
+        self._request(
+            Opcode.BATCH,
+            encode_batch_body(Opcode.INSERT, [_to_bytes(k) for k in keys]),
+            Opcode.OK,
+            deadline=deadline,
+        )
 
-    def query_many(self, keys) -> list[bool]:
-        opcode, body = self._call(self._batch_frame(Opcode.QUERY, keys))
-        _check(opcode, body, Opcode.BITMAP)
+    def query_many(self, keys, *, deadline=None) -> list[bool]:
+        body = self._request(
+            Opcode.BATCH,
+            encode_batch_body(Opcode.QUERY, [_to_bytes(k) for k in keys]),
+            Opcode.BITMAP,
+            deadline=deadline,
+        )
         return unpack_bools(body)
 
-    def delete_many(self, keys) -> None:
-        opcode, body = self._call(self._batch_frame(Opcode.DELETE, keys))
-        _check(opcode, body, Opcode.OK)
+    def delete_many(self, keys, *, deadline=None) -> None:
+        self._request(
+            Opcode.BATCH,
+            encode_batch_body(Opcode.DELETE, [_to_bytes(k) for k in keys]),
+            Opcode.OK,
+            deadline=deadline,
+        )
 
     def stats(self) -> dict:
-        opcode, body = self._call(encode_frame(Opcode.STATS))
-        _check(opcode, body, Opcode.JSON)
+        body = self._request(
+            Opcode.STATS, b"", Opcode.JSON, use_default_deadline=False
+        )
         return json.loads(body.decode("utf-8"))
 
     def snapshot(self) -> dict:
-        opcode, body = self._call(encode_frame(Opcode.SNAPSHOT))
-        _check(opcode, body, Opcode.JSON)
+        body = self._request(
+            Opcode.SNAPSHOT, b"", Opcode.JSON, use_default_deadline=False
+        )
         return json.loads(body.decode("utf-8"))
 
     def call(self, opcode: Opcode, body: bytes = b"") -> tuple[Opcode, bytes]:
@@ -236,11 +331,15 @@ class AsyncFilterClient(_BaseClient):
         *,
         retries: int = 8,
         backoff_s: float = 0.05,
+        deadline_s: float | None = None,
+        breaker=None,
     ) -> None:
         self.host = host
         self.port = port
         self.retries = retries
         self.backoff_s = backoff_s
+        self.deadline_s = deadline_s
+        self.breaker = breaker
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -295,45 +394,92 @@ class AsyncFilterClient(_BaseClient):
             raise ConnectionError("server closed the connection")
         return parsed
 
+    async def _request(
+        self,
+        op: Opcode,
+        body: bytes,
+        expected: Opcode,
+        *,
+        deadline=None,
+        use_default_deadline: bool = True,
+    ) -> bytes:
+        """Async twin of :meth:`FilterClient._request`."""
+        if use_default_deadline:
+            deadline = self._resolve_deadline(deadline)
+        if self.breaker is not None:
+            self.breaker.allow()
+        try:
+            opcode, reply = await self._call(
+                self._wrap_deadline(op, body, deadline)
+            )
+        except OSError:
+            if self.breaker is not None:
+                self.breaker.record_failure()
+            raise
+        self._breaker_verdict(opcode, reply)
+        if opcode != expected:
+            raise ProtocolError(
+                f"expected {expected.name} response, got {opcode.name}"
+            )
+        return reply
+
     async def ping(self) -> bool:
-        opcode, body = await self._call(encode_frame(Opcode.PING))
-        _check(opcode, body, Opcode.OK)
+        await self._request(
+            Opcode.PING, b"", Opcode.OK, use_default_deadline=False
+        )
         return True
 
-    async def insert(self, key) -> None:
-        opcode, body = await self._call(self._single_frame(Opcode.INSERT, key))
-        _check(opcode, body, Opcode.OK)
+    async def insert(self, key, *, deadline=None) -> None:
+        await self._request(
+            Opcode.INSERT, _to_bytes(key), Opcode.OK, deadline=deadline
+        )
 
-    async def query(self, key) -> bool:
-        opcode, body = await self._call(self._single_frame(Opcode.QUERY, key))
-        _check(opcode, body, Opcode.BOOL)
+    async def query(self, key, *, deadline=None) -> bool:
+        body = await self._request(
+            Opcode.QUERY, _to_bytes(key), Opcode.BOOL, deadline=deadline
+        )
         return bool(body[0])
 
-    async def delete(self, key) -> None:
-        opcode, body = await self._call(self._single_frame(Opcode.DELETE, key))
-        _check(opcode, body, Opcode.OK)
+    async def delete(self, key, *, deadline=None) -> None:
+        await self._request(
+            Opcode.DELETE, _to_bytes(key), Opcode.OK, deadline=deadline
+        )
 
-    async def insert_many(self, keys) -> None:
-        opcode, body = await self._call(self._batch_frame(Opcode.INSERT, keys))
-        _check(opcode, body, Opcode.OK)
+    async def insert_many(self, keys, *, deadline=None) -> None:
+        await self._request(
+            Opcode.BATCH,
+            encode_batch_body(Opcode.INSERT, [_to_bytes(k) for k in keys]),
+            Opcode.OK,
+            deadline=deadline,
+        )
 
-    async def query_many(self, keys) -> list[bool]:
-        opcode, body = await self._call(self._batch_frame(Opcode.QUERY, keys))
-        _check(opcode, body, Opcode.BITMAP)
+    async def query_many(self, keys, *, deadline=None) -> list[bool]:
+        body = await self._request(
+            Opcode.BATCH,
+            encode_batch_body(Opcode.QUERY, [_to_bytes(k) for k in keys]),
+            Opcode.BITMAP,
+            deadline=deadline,
+        )
         return unpack_bools(body)
 
-    async def delete_many(self, keys) -> None:
-        opcode, body = await self._call(self._batch_frame(Opcode.DELETE, keys))
-        _check(opcode, body, Opcode.OK)
+    async def delete_many(self, keys, *, deadline=None) -> None:
+        await self._request(
+            Opcode.BATCH,
+            encode_batch_body(Opcode.DELETE, [_to_bytes(k) for k in keys]),
+            Opcode.OK,
+            deadline=deadline,
+        )
 
     async def stats(self) -> dict:
-        opcode, body = await self._call(encode_frame(Opcode.STATS))
-        _check(opcode, body, Opcode.JSON)
+        body = await self._request(
+            Opcode.STATS, b"", Opcode.JSON, use_default_deadline=False
+        )
         return json.loads(body.decode("utf-8"))
 
     async def snapshot(self) -> dict:
-        opcode, body = await self._call(encode_frame(Opcode.SNAPSHOT))
-        _check(opcode, body, Opcode.JSON)
+        body = await self._request(
+            Opcode.SNAPSHOT, b"", Opcode.JSON, use_default_deadline=False
+        )
         return json.loads(body.decode("utf-8"))
 
     async def call(

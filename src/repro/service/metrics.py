@@ -109,6 +109,11 @@ class ServiceMetrics:
         self.started_at = time.monotonic()
         self.ops: Counter[str] = Counter()
         self.errors: Counter[str] = Counter()
+        #: Requests rejected before any effect, by shed reason
+        #: (``queue_full`` / ``degraded_write`` / ``rate_limited`` from
+        #: admission control, ``deadline_arrival`` / ``deadline_coalescer``
+        #: from deadline enforcement) — the ``repro_shed_total`` family.
+        self.shed: Counter[str] = Counter()
         self.bytes_in = 0
         self.bytes_out = 0
         self.connections_opened = 0
@@ -143,6 +148,10 @@ class ServiceMetrics:
     def record_error(self, code_name: str) -> None:
         self.errors[code_name] += 1
 
+    def record_shed(self, reason: str) -> None:
+        """Count one request shed before it produced any effect."""
+        self.shed[reason] += 1
+
     def record_batch(self, num_requests: int, num_keys: int) -> None:
         self.batch_requests.observe(num_requests)
         self.batch_keys.observe(num_keys)
@@ -159,6 +168,7 @@ class ServiceMetrics:
             "uptime_s": time.monotonic() - self.started_at,
             "ops": dict(self.ops),
             "errors": dict(self.errors),
+            "shed": dict(self.shed),
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
             "connections": {

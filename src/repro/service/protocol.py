@@ -15,6 +15,14 @@ Request bodies::
     PING / STATS / SNAPSHOT  (empty)
     INSERT / QUERY / DELETE  key bytes (the whole remaining body)
     BATCH                    u8 sub-op | u32 count | count x (u16 len | key)
+    DEADLINE                 u32 budget_us | u8 inner opcode | inner body
+
+A ``DEADLINE`` frame wraps any other request and attaches the caller's
+*remaining* time budget in microseconds (client deadline minus elapsed
+— a relative quantity, so the two ends' clocks need not agree).  The
+server answers with the inner request's normal response, or with a
+``DEADLINE_EXCEEDED`` error if the budget ran out before the request
+reached the filter (see :mod:`repro.overload`).
 
 Replication bodies (primary → replica, see :mod:`repro.cluster`)::
 
@@ -59,7 +67,9 @@ from repro.errors import (
     ConfigurationError,
     CounterOverflowError,
     CounterUnderflowError,
+    DeadlineExceededError,
     MovedError,
+    OverloadedError,
     ReplicationError,
     ReproError,
     UnsupportedOperationError,
@@ -71,6 +81,7 @@ __all__ = [
     "PROTOCOL_VERSION",
     "MAX_FRAME_BYTES",
     "MAX_KEY_BYTES",
+    "MAX_BUDGET_US",
     "Opcode",
     "ErrorCode",
     "RECORD_OPS",
@@ -81,6 +92,10 @@ __all__ = [
     "encode_frame",
     "decode_payload",
     "parse_request",
+    "encode_deadline_body",
+    "decode_deadline_body",
+    "format_retry_after",
+    "parse_retry_after",
     "encode_batch_body",
     "encode_error_body",
     "decode_error_body",
@@ -128,6 +143,7 @@ class Opcode(enum.IntEnum):
     BATCH = 0x05
     STATS = 0x06
     SNAPSHOT = 0x07
+    DEADLINE = 0x08
     # replication (primary → replica; see repro.cluster.replication)
     REPLICATE = 0x10
     REPL_STATUS = 0x11
@@ -191,6 +207,8 @@ class ErrorCode(enum.IntEnum):
     CLUSTER = 10
     WRONG_EPOCH = 11
     MOVED = 12
+    OVERLOADED = 13
+    DEADLINE_EXCEEDED = 14
 
 
 #: Most-derived-first so isinstance dispatch picks the tightest code.
@@ -201,6 +219,8 @@ _ERROR_CODES: tuple[tuple[type, ErrorCode], ...] = (
     (CapacityError, ErrorCode.CAPACITY),
     (ConfigurationError, ErrorCode.CONFIGURATION),
     (UnsupportedOperationError, ErrorCode.UNSUPPORTED),
+    (OverloadedError, ErrorCode.OVERLOADED),
+    (DeadlineExceededError, ErrorCode.DEADLINE_EXCEEDED),
     (MovedError, ErrorCode.MOVED),
     (WrongEpochError, ErrorCode.WRONG_EPOCH),
     (ReplicationError, ErrorCode.REPLICATION),
@@ -214,12 +234,20 @@ class ProtocolError(ReproError):
 
 
 class RemoteError(ReproError):
-    """Client-side view of a server error frame."""
+    """Client-side view of a server error frame.
+
+    For ``OVERLOADED`` frames ``retry_after_s`` carries the server's
+    parsed backoff hint (``None`` when the message has none); other
+    codes always leave it ``None``.
+    """
 
     def __init__(self, code: ErrorCode, message: str) -> None:
         super().__init__(f"[{code.name}] {message}")
         self.code = code
         self.remote_message = message
+        self.retry_after_s: float | None = None
+        if code == ErrorCode.OVERLOADED:
+            self.retry_after_s = parse_retry_after(message)[0]
 
 
 def error_code_for(exc: BaseException) -> ErrorCode:
@@ -297,6 +325,77 @@ def _parse_op_keys(
         keys.append(body[pos : pos + key_len])
         pos += key_len
     return op, keys, pos
+
+
+# -- deadlines & overload hints -----------------------------------------
+_DEADLINE_PREFIX = struct.Struct("<IB")
+#: Largest budget a DEADLINE frame can carry (u32 microseconds ≈ 71.6
+#: minutes); longer budgets are clamped rather than rejected — past
+#: this horizon the wrapper is indistinguishable from "no deadline".
+MAX_BUDGET_US = 0xFFFFFFFF
+
+_RETRY_AFTER_PREFIX = "retry_after_ms="
+
+
+def encode_deadline_body(budget_us: int, opcode: Opcode, body: bytes) -> bytes:
+    """Build a DEADLINE body wrapping ``opcode``/``body`` with a budget.
+
+    ``budget_us`` is the caller's *remaining* budget in microseconds
+    (clamped to the u32 range).  Nesting DEADLINE inside DEADLINE is
+    rejected: one wrapper per frame, re-wrap with the smaller budget
+    instead.
+    """
+    if budget_us < 0:
+        raise ProtocolError(f"deadline budget must be >= 0, got {budget_us}")
+    if opcode == Opcode.DEADLINE:
+        raise ProtocolError("DEADLINE frames cannot nest")
+    return _DEADLINE_PREFIX.pack(min(budget_us, MAX_BUDGET_US), opcode) + body
+
+
+def decode_deadline_body(body: bytes) -> tuple[int, Opcode, bytes]:
+    """Inverse of :func:`encode_deadline_body` → (budget_us, op, body)."""
+    if len(body) < _DEADLINE_PREFIX.size:
+        raise ProtocolError("truncated deadline body")
+    budget_us, raw_op = _DEADLINE_PREFIX.unpack_from(body)
+    try:
+        opcode = Opcode(raw_op)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown deadline inner op 0x{raw_op:02x}") from exc
+    if opcode == Opcode.DEADLINE:
+        raise ProtocolError("DEADLINE frames cannot nest")
+    return budget_us, opcode, body[_DEADLINE_PREFIX.size :]
+
+
+def format_retry_after(retry_after_s: float | None, message: str) -> str:
+    """Prefix an error message with a machine-readable backoff hint.
+
+    The hint rides inside the ERROR frame's message field —
+    ``retry_after_ms=<n>; <message>`` — so the body format
+    (``u16 code | utf-8 msg``) is unchanged and old clients simply see
+    a slightly longer human-readable string.
+    """
+    if retry_after_s is None:
+        return message
+    ms = max(1, round(retry_after_s * 1000.0))
+    return f"{_RETRY_AFTER_PREFIX}{ms}; {message}"
+
+
+def parse_retry_after(message: str) -> tuple[float | None, str]:
+    """Inverse of :func:`format_retry_after` → (retry_after_s, message).
+
+    Returns ``(None, message)`` unchanged when no hint is present or it
+    fails to parse — the hint is advisory, never a hard dependency.
+    """
+    if not message.startswith(_RETRY_AFTER_PREFIX):
+        return None, message
+    head, sep, rest = message.partition("; ")
+    try:
+        ms = int(head[len(_RETRY_AFTER_PREFIX) :])
+    except ValueError:
+        return None, message
+    if ms < 0 or not sep:
+        return None, message
+    return ms / 1000.0, rest
 
 
 def encode_batch_body(subop: Opcode, keys: list[bytes]) -> bytes:

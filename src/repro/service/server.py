@@ -31,17 +31,25 @@ import logging
 import signal
 import time
 
-from repro.errors import ConfigurationError, ReproError, UnsupportedOperationError
+from repro.errors import (
+    ConfigurationError,
+    DeadlineExceededError,
+    OverloadedError,
+    ReproError,
+    UnsupportedOperationError,
+)
 from repro.observability.httpd import ObservabilityHTTPServer
 from repro.observability.logging import get_logger, new_request_id
 from repro.observability.prometheus import render_metrics
 from repro.observability.spans import span
+from repro.overload import AdmissionController, Deadline, TokenBucket
 from repro.service.batching import FilterExecutor, MicroBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     REBALANCE_OPS,
     Opcode,
     ProtocolError,
+    decode_deadline_body,
     decode_migrate_apply_body,
     decode_migrate_commit_body,
     decode_repl_snapshot_body,
@@ -52,6 +60,7 @@ from repro.service.protocol import (
     encode_frame,
     encode_migrate_read_resp,
     error_code_for,
+    format_retry_after,
     pack_bools,
     parse_request,
     read_frame,
@@ -62,7 +71,7 @@ from repro.service.snapshot import (
     with_snapshot_seq,
 )
 
-__all__ = ["FilterServer", "serve"]
+__all__ = ["FilterServer", "build_admission", "serve"]
 
 logger = get_logger("service.server")
 
@@ -114,6 +123,21 @@ class FilterServer:
         Enables the rebalance opcodes (RING_EPOCH / MIGRATE_*) and
         installs the epoch-fencing gate in front of every client
         operation; cluster nodes always carry one.
+    admission:
+        Optional :class:`~repro.overload.AdmissionController`.  Every
+        keyed client request (INSERT/QUERY/DELETE/BATCH) then passes
+        the admission gate before it may queue: past the inflight bound
+        or an empty token bucket the request is answered with an
+        ``OVERLOADED`` frame carrying a retry-after hint, and past the
+        high-water mark the node degrades to reads-only (queries keep
+        flowing off the level-1 mirror; mutations shed).  Control,
+        replication, and rebalance opcodes bypass the gate — shedding
+        a MIGRATE_COMMIT or a replica's catch-up stream would turn an
+        overload into an availability incident.
+    deadline_default_s:
+        Budget assumed for keyed requests that arrive *without* a
+        DEADLINE wrapper.  ``None`` (the default) leaves unwrapped
+        requests deadline-free, matching pre-overload behaviour.
     """
 
     def __init__(
@@ -133,9 +157,15 @@ class FilterServer:
         read_only: bool = False,
         snapshot_manager: SnapshotManager | None = None,
         rebalance=None,
+        admission: AdmissionController | None = None,
+        deadline_default_s: float | None = None,
     ) -> None:
         if replication is not None and wal is None:
             raise ConfigurationError("replication requires a write-ahead log")
+        if deadline_default_s is not None and deadline_default_s <= 0:
+            raise ConfigurationError(
+                f"deadline_default_s must be > 0, got {deadline_default_s}"
+            )
         self.filter = filt
         self.host = host
         self.port = port
@@ -143,7 +173,11 @@ class FilterServer:
         self.replication = replication
         self.read_only = read_only
         self.rebalance = rebalance
+        self.admission = admission
+        self.deadline_default_s = deadline_default_s
         self.metrics = ServiceMetrics()
+        if admission is not None and admission.metrics is None:
+            admission.metrics = self.metrics
         if wal is not None and wal.metrics is None:
             wal.metrics = self.metrics
         self.executor = FilterExecutor(
@@ -201,6 +235,7 @@ class FilterServer:
             replication=self.replication,
             router=router,
             rebalance=self.rebalance,
+            admission=self.admission,
         )
 
     @property
@@ -226,6 +261,8 @@ class FilterServer:
         }
         if self.wal is not None:
             payload["wal_last_seq"] = self.wal.last_seq
+        if self.admission is not None:
+            payload["degraded"] = self.admission.degraded
         return payload
 
     def _stats_report(self) -> dict:
@@ -240,6 +277,8 @@ class FilterServer:
             report["router"] = self.filter.describe()
         if self.rebalance is not None:
             report["rebalance"] = self.rebalance.describe()
+        if self.admission is not None:
+            report["admission"] = self.admission.describe()
         return report
 
     # -- lifecycle ------------------------------------------------------
@@ -393,9 +432,23 @@ class FilterServer:
             with contextlib.suppress(ConnectionError):
                 await writer.wait_closed()
 
+    #: Opcode → admission-cost kind; the controller prices mutations
+    #: higher than queries (see :data:`repro.overload.DEFAULT_COSTS`).
+    _ADMIT_KINDS = {
+        Opcode.INSERT: "insert",
+        Opcode.QUERY: "query",
+        Opcode.DELETE: "delete",
+    }
+
     async def _dispatch(
         self, opcode: Opcode, body: bytes, request_id: str | None = None
     ) -> bytes:
+        deadline: Deadline | None = None
+        if opcode == Opcode.DEADLINE:
+            # Unwrap: the budget is *remaining* microseconds as of the
+            # client's send; queue time on this side counts against it.
+            budget_us, opcode, body = decode_deadline_body(body)
+            deadline = Deadline.after(budget_us / 1e6)
         if opcode == Opcode.PING:
             return encode_frame(Opcode.OK)
         if opcode == Opcode.STATS:
@@ -421,21 +474,43 @@ class FilterServer:
             raise UnsupportedOperationError(
                 "this node is a read-only replica; send writes to its primary"
             )
-        result = await self.batcher.submit(
-            request.op, request.keys, request_id=request_id
-        )
-        if request.op == Opcode.QUERY:
-            if request.single:
-                return encode_frame(Opcode.BOOL, bytes([int(result[0])]))
-            return encode_frame(Opcode.BITMAP, pack_bools(result))
-        if self.replication is not None:
-            # The WAL holds the record (result is its sequence number);
-            # the ack mode decides whether holding it locally is enough.
-            with span("replication_commit", self.metrics):
-                await self.replication.wait_committed(
-                    result if isinstance(result, int) else 0
+        if deadline is None and self.deadline_default_s is not None:
+            deadline = Deadline.after(self.deadline_default_s)
+        if deadline is not None and deadline.expired():
+            # Arrived already dead (budget burned in transit / upstream
+            # queues); shed before charging the bucket a single token.
+            self.metrics.record_shed("deadline_arrival")
+            raise DeadlineExceededError(
+                f"{request.op.name} arrived with an expired deadline; "
+                f"no work was applied"
+            )
+        if self.admission is not None:
+            with span("admission_wait", self.metrics):
+                self.admission.admit(
+                    self._ADMIT_KINDS[request.op], len(request.keys)
                 )
-        return encode_frame(Opcode.OK)
+        try:
+            result = await self.batcher.submit(
+                request.op,
+                request.keys,
+                request_id=request_id,
+                deadline=deadline,
+            )
+            if request.op == Opcode.QUERY:
+                if request.single:
+                    return encode_frame(Opcode.BOOL, bytes([int(result[0])]))
+                return encode_frame(Opcode.BITMAP, pack_bools(result))
+            if self.replication is not None:
+                # The WAL holds the record (result is its sequence number);
+                # the ack mode decides whether holding it locally is enough.
+                with span("replication_commit", self.metrics):
+                    await self.replication.wait_committed(
+                        result if isinstance(result, int) else 0
+                    )
+            return encode_frame(Opcode.OK)
+        finally:
+            if self.admission is not None:
+                self.admission.release()
 
     # -- rebalance opcodes ------------------------------------------------
     async def _dispatch_rebalance(self, opcode: Opcode, body: bytes) -> bytes:
@@ -652,6 +727,11 @@ class FilterServer:
     def _error_frame(self, exc: Exception, request_id: str | None = None) -> bytes:
         code = error_code_for(exc)
         self.metrics.record_error(code.name)
+        message = str(exc)
+        if isinstance(exc, OverloadedError):
+            # The hint rides inside the message so the ERROR body format
+            # stays unchanged; clients parse it back out (RemoteError).
+            message = format_retry_after(exc.retry_after_s, message)
         logger.info(
             "request_error",
             extra={
@@ -660,7 +740,7 @@ class FilterServer:
                 "error": str(exc),
             },
         )
-        return encode_frame(Opcode.ERROR, encode_error_body(code, str(exc)))
+        return encode_frame(Opcode.ERROR, encode_error_body(code, message))
 
     async def _send_error(
         self, writer: asyncio.StreamWriter, exc: Exception
@@ -668,6 +748,24 @@ class FilterServer:
         with contextlib.suppress(ConnectionError):
             writer.write(self._error_frame(exc))
             await writer.drain()
+
+
+def build_admission(
+    *,
+    max_inflight: int | None = None,
+    rate: float | None = None,
+    burst: float | None = None,
+) -> AdmissionController | None:
+    """Build an :class:`~repro.overload.AdmissionController` from CLI-ish
+    knobs; ``None`` everywhere means "no admission control" and returns
+    ``None`` so existing callers keep the unbounded behaviour.
+    """
+    if max_inflight is None and rate is None:
+        return None
+    bucket = TokenBucket(rate, burst) if rate is not None else None
+    if max_inflight is not None:
+        return AdmissionController(max_inflight=max_inflight, bucket=bucket)
+    return AdmissionController(bucket=bucket)
 
 
 async def serve(
@@ -681,6 +779,10 @@ async def serve(
     snapshot_path: str | None = None,
     snapshot_interval_s: float | None = None,
     metrics_port: int | None = None,
+    max_inflight: int | None = None,
+    admission_rate: float | None = None,
+    admission_burst: float | None = None,
+    deadline_default_s: float | None = None,
     ready: asyncio.Event | None = None,
     install_signal_handlers: bool = True,
 ) -> None:
@@ -688,6 +790,9 @@ async def serve(
 
     ``ready`` (if given) is set once the port is bound — callers that
     embed the daemon (tests, benchmarks) use it instead of polling.
+    ``max_inflight`` / ``admission_rate`` (tokens per second, priced by
+    :data:`repro.overload.DEFAULT_COSTS`) enable admission control;
+    both ``None`` leaves the daemon unbounded, as before.
     """
     server = FilterServer(
         filt,
@@ -699,6 +804,12 @@ async def serve(
         snapshot_path=snapshot_path,
         snapshot_interval_s=snapshot_interval_s,
         metrics_port=metrics_port,
+        admission=build_admission(
+            max_inflight=max_inflight,
+            rate=admission_rate,
+            burst=admission_burst,
+        ),
+        deadline_default_s=deadline_default_s,
     )
     await server.start()
     stop_requested = asyncio.Event()

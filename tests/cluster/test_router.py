@@ -243,3 +243,24 @@ class TestClusterClient:
         with ClusterClient(["dead=127.0.0.1:1"], timeout_s=0.2) as client:
             with pytest.raises(ClusterError):
                 client.insert_many([b"x"])
+
+    def test_breaker_rejection_never_masks_transport_errors(self):
+        # Transport failures feed the write breaker, so a plain dead
+        # group can open it mid-retry-loop; exhausting the budget on the
+        # breaker's *local* rejection must still report the real cause.
+        from repro.errors import OverloadedError
+
+        with ClusterClient(
+            ["dead=127.0.0.1:1"], timeout_s=0.2, retries=3, backoff_s=0.001
+        ) as client:
+            attempts = []
+
+            def dead_then_breaker_open():
+                attempts.append(1)
+                if len(attempts) < 3:
+                    raise ClusterError("primary unreachable")
+                raise OverloadedError("breaker open", retry_after_s=0.001)
+
+            with pytest.raises(ClusterError, match="unreachable"):
+                client._with_retry(dead_then_breaker_open)
+            assert len(attempts) == 3

@@ -1,0 +1,23 @@
+"""Shared fixtures for the overload unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class FakeClock:
+    """A monotonic clock advanced by hand, for deterministic time."""
+
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()

@@ -1,0 +1,171 @@
+"""AdmissionController: inflight bound, degraded hysteresis, pricing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, OverloadedError
+from repro.overload.admission import (
+    DEFAULT_COSTS,
+    AdmissionController,
+    TokenBucket,
+)
+from repro.service.metrics import ServiceMetrics
+
+
+class TestConstruction:
+    def test_rejects_zero_inflight(self, clock):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_inflight=0, clock=clock)
+
+    @pytest.mark.parametrize(
+        "low,high", [(0.0, 0.8), (0.9, 0.8), (0.5, 1.5)]
+    )
+    def test_rejects_bad_watermarks(self, clock, low, high):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(
+                max_inflight=10, low_water=low, high_water=high, clock=clock
+            )
+
+    def test_mutations_cost_four_queries(self):
+        assert DEFAULT_COSTS["insert"] == 4 * DEFAULT_COSTS["query"]
+        assert DEFAULT_COSTS["delete"] == 4 * DEFAULT_COSTS["query"]
+
+
+class TestInflightBound:
+    def test_queue_full_sheds_with_hint(self, clock):
+        ctl = AdmissionController(max_inflight=2, clock=clock)
+        ctl.admit("query", 1)
+        ctl.admit("query", 1)
+        with pytest.raises(OverloadedError) as exc_info:
+            ctl.admit("query", 1)
+        assert exc_info.value.retry_after_s == 0.05
+        assert ctl.shed == {"queue_full": 1}
+        assert ctl.inflight == 2  # the shed request was never admitted
+
+    def test_release_reopens_the_door(self, clock):
+        ctl = AdmissionController(max_inflight=1, clock=clock)
+        ctl.admit("query", 1)
+        ctl.release()
+        ctl.admit("query", 1)  # must not raise
+        assert ctl.admitted_total == 2
+
+    def test_release_never_goes_negative(self, clock):
+        ctl = AdmissionController(max_inflight=1, clock=clock)
+        ctl.release()
+        assert ctl.inflight == 0
+
+
+class TestDegradedMode:
+    def make(self, clock):
+        # high water at 8/10 inflight, low water at 5/10.
+        return AdmissionController(
+            max_inflight=10, high_water=0.8, low_water=0.5, clock=clock
+        )
+
+    def test_hysteresis_enter_high_exit_low(self, clock):
+        ctl = self.make(clock)
+        for _ in range(8):
+            ctl.admit("query", 1)
+        # At high water: mutations shed, queries still admitted.
+        with pytest.raises(OverloadedError) as exc_info:
+            ctl.admit("insert", 1)
+        assert exc_info.value.retry_after_s == 0.1
+        assert ctl.degraded
+        assert ctl.shed == {"degraded_write": 1}
+        ctl.admit("query", 1)
+        assert ctl.inflight == 9
+
+        # Drain to 6 — above low water, so degraded mode is sticky.
+        for _ in range(3):
+            ctl.release()
+        with pytest.raises(OverloadedError):
+            ctl.admit("delete", 1)
+        assert ctl.degraded
+
+        # One more release crosses low water: full service resumes.
+        ctl.release()
+        assert not ctl.degraded
+        ctl.admit("insert", 1)
+        assert ctl.shed == {"degraded_write": 2}
+
+    def test_degraded_reads_use_no_bucket_tokens_for_writes(self, clock):
+        # A shed mutation must not debit the bucket: the degraded check
+        # fires before pricing, so the rejection is effect-free.
+        bucket = TokenBucket(100.0, burst=100.0, clock=clock)
+        ctl = AdmissionController(
+            max_inflight=10,
+            bucket=bucket,
+            high_water=0.8,
+            low_water=0.5,
+            clock=clock,
+        )
+        for _ in range(8):
+            ctl.admit("query", 1)
+        before = bucket.tokens
+        with pytest.raises(OverloadedError):
+            ctl.admit("insert", 5)
+        assert bucket.tokens == before
+
+
+class TestRateLimiting:
+    def test_insert_priced_at_four_per_key(self, clock):
+        bucket = TokenBucket(100.0, burst=8.0, clock=clock)
+        ctl = AdmissionController(max_inflight=100, bucket=bucket, clock=clock)
+        ctl.admit("insert", 2)  # 2 keys x 4.0 = the whole burst
+        assert bucket.tokens == 0.0
+        with pytest.raises(OverloadedError) as exc_info:
+            ctl.admit("query", 1)
+        # The hint is the bucket's own wait for cost 1 at 100/s.
+        assert exc_info.value.retry_after_s == pytest.approx(0.01)
+        assert ctl.shed == {"rate_limited": 1}
+        assert ctl.inflight == 1  # only the insert was admitted
+
+    def test_zero_key_requests_cost_one(self, clock):
+        bucket = TokenBucket(100.0, burst=1.0, clock=clock)
+        ctl = AdmissionController(max_inflight=100, bucket=bucket, clock=clock)
+        ctl.admit("query", 0)
+        assert bucket.tokens == 0.0
+
+    def test_hint_floor(self, clock):
+        # Even a microscopic shortfall hints at least 1ms, so clients
+        # never busy-spin on a zero backoff.
+        bucket = TokenBucket(1_000_000.0, burst=1.0, clock=clock)
+        ctl = AdmissionController(max_inflight=100, bucket=bucket, clock=clock)
+        ctl.admit("query", 1)
+        with pytest.raises(OverloadedError) as exc_info:
+            ctl.admit("query", 1)
+        assert exc_info.value.retry_after_s >= 0.001
+
+    def test_no_bucket_means_no_rate_limit(self, clock):
+        ctl = AdmissionController(max_inflight=100, clock=clock)
+        for _ in range(50):
+            ctl.admit("insert", 1000)
+        assert ctl.shed == {}
+
+
+class TestAccounting:
+    def test_sheds_mirror_into_service_metrics(self, clock):
+        metrics = ServiceMetrics()
+        ctl = AdmissionController(max_inflight=1, metrics=metrics, clock=clock)
+        ctl.admit("query", 1)
+        with pytest.raises(OverloadedError):
+            ctl.admit("query", 1)
+        assert metrics.shed["queue_full"] == 1
+
+    def test_describe_reports_bucket_and_sheds(self, clock):
+        bucket = TokenBucket(10.0, burst=4.0, clock=clock)
+        ctl = AdmissionController(max_inflight=2, bucket=bucket, clock=clock)
+        ctl.admit("insert", 1)
+        with pytest.raises(OverloadedError):
+            ctl.admit("insert", 1)
+        report = ctl.describe()
+        assert report["max_inflight"] == 2
+        assert report["inflight"] == 1
+        assert report["admitted_total"] == 1
+        assert report["shed"] == {"rate_limited": 1}
+        assert report["bucket"] == {"rate": 10.0, "burst": 4.0, "tokens": 0.0}
+
+    def test_describe_without_bucket(self, clock):
+        ctl = AdmissionController(max_inflight=2, clock=clock)
+        assert "bucket" not in ctl.describe()

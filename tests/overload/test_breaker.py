@@ -1,0 +1,134 @@
+"""CircuitBreaker state machine: trip, cooldown, half-open probing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError, OverloadedError
+from repro.overload.breaker import BreakerState, CircuitBreaker
+
+
+def make(clock, threshold=3, cooldown=1.0, probes=1):
+    return CircuitBreaker(
+        failure_threshold=threshold,
+        cooldown_s=cooldown,
+        half_open_probes=probes,
+        clock=clock,
+    )
+
+
+class TestConstruction:
+    def test_rejects_zero_threshold(self, clock):
+        with pytest.raises(ConfigurationError):
+            make(clock, threshold=0)
+
+    def test_rejects_nonpositive_cooldown(self, clock):
+        with pytest.raises(ConfigurationError):
+            make(clock, cooldown=0.0)
+
+    def test_rejects_zero_probes(self, clock):
+        with pytest.raises(ConfigurationError):
+            make(clock, probes=0)
+
+
+class TestTripping:
+    def test_stays_closed_below_threshold(self, clock):
+        breaker = make(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.allow()  # must not raise
+
+    def test_success_resets_the_failure_streak(self, clock):
+        breaker = make(clock, threshold=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_trips_at_threshold(self, clock):
+        breaker = make(clock, threshold=3)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 1
+
+
+class TestOpen:
+    def test_rejects_with_remaining_cooldown_hint(self, clock):
+        breaker = make(clock, threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        with pytest.raises(OverloadedError) as exc_info:
+            breaker.allow()
+        assert exc_info.value.retry_after_s == pytest.approx(1.0)
+        clock.advance(0.4)
+        with pytest.raises(OverloadedError) as exc_info:
+            breaker.allow()
+        assert exc_info.value.retry_after_s == pytest.approx(0.6)
+        assert breaker.rejections == 2
+
+    def test_transitions_to_half_open_after_cooldown(self, clock):
+        breaker = make(clock, threshold=1, cooldown=1.0)
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()  # the probe is admitted
+        assert breaker.state is BreakerState.HALF_OPEN
+
+
+class TestHalfOpen:
+    def open_and_cool(self, clock, probes=1):
+        breaker = make(clock, threshold=1, cooldown=1.0, probes=probes)
+        breaker.record_failure()
+        clock.advance(1.0)
+        return breaker
+
+    def test_probe_budget_bounds_admissions(self, clock):
+        breaker = self.open_and_cool(clock, probes=2)
+        breaker.allow()
+        breaker.allow()
+        with pytest.raises(OverloadedError) as exc_info:
+            breaker.allow()
+        assert exc_info.value.retry_after_s == pytest.approx(0.5)  # cooldown/2
+        assert breaker.rejections == 1
+
+    def test_probe_success_closes(self, clock):
+        breaker = self.open_and_cool(clock)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.allow()  # full service resumed
+
+    def test_probe_failure_reopens_with_fresh_cooldown(self, clock):
+        breaker = self.open_and_cool(clock)
+        breaker.allow()
+        clock.advance(0.3)
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.trips == 2
+        with pytest.raises(OverloadedError) as exc_info:
+            breaker.allow()
+        # The cooldown restarted at the probe failure, not the first trip.
+        assert exc_info.value.retry_after_s == pytest.approx(1.0)
+
+
+class TestIntrospection:
+    def test_state_code_tracks_transitions(self, clock):
+        breaker = make(clock, threshold=1, cooldown=1.0)
+        assert breaker.state_code == BreakerState.CLOSED.value
+        breaker.record_failure()
+        assert breaker.state_code == BreakerState.OPEN.value
+        # An expired cooldown reports HALF_OPEN before any traffic, so
+        # dashboards see recovery begin on an idle client.
+        clock.advance(1.0)
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.state_code == BreakerState.HALF_OPEN.value
+
+    def test_describe(self, clock):
+        breaker = make(clock, threshold=2)
+        breaker.record_failure()
+        report = breaker.describe()
+        assert report["state"] == "CLOSED"
+        assert report["consecutive_failures"] == 1
+        assert report["trips"] == 0

@@ -1,0 +1,38 @@
+"""Deadline: monotonic budgets and their wire-unit view."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.overload.deadline import Deadline
+
+
+class TestDeadline:
+    def test_after_counts_down(self, clock):
+        deadline = Deadline.after(0.5, clock=clock)
+        assert deadline.remaining() == pytest.approx(0.5)
+        assert not deadline.expired()
+        clock.advance(0.2)
+        assert deadline.remaining() == pytest.approx(0.3)
+
+    def test_remaining_clamps_at_zero(self, clock):
+        deadline = Deadline.after(0.1, clock=clock)
+        clock.advance(5.0)
+        assert deadline.remaining() == 0.0
+        assert deadline.expired()
+
+    def test_expired_at_the_exact_boundary(self, clock):
+        deadline = Deadline.after(1.0, clock=clock)
+        clock.advance(1.0)
+        assert deadline.expired()
+
+    def test_negative_budget_clamps_to_now(self, clock):
+        deadline = Deadline.after(-3.0, clock=clock)
+        assert deadline.expired()
+        assert deadline.remaining() == 0.0
+
+    def test_remaining_us_is_the_wire_unit(self, clock):
+        deadline = Deadline.after(0.25, clock=clock)
+        assert deadline.remaining_us() == 250_000
+        clock.advance(0.25)
+        assert deadline.remaining_us() == 0

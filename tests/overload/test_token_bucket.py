@@ -1,0 +1,91 @@
+"""TokenBucket accounting: refill, all-or-nothing debit, hint math."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.overload.admission import TokenBucket
+
+
+class TestConstruction:
+    def test_burst_defaults_to_rate(self, clock):
+        bucket = TokenBucket(50.0, clock=clock)
+        assert bucket.burst == 50.0
+        assert bucket.tokens == 50.0
+
+    def test_starts_full(self, clock):
+        bucket = TokenBucket(10.0, burst=4.0, clock=clock)
+        assert bucket.tokens == 4.0
+
+    @pytest.mark.parametrize("rate", [0.0, -1.0])
+    def test_rejects_nonpositive_rate(self, clock, rate):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate, clock=clock)
+
+    @pytest.mark.parametrize("burst", [0.0, -2.0])
+    def test_rejects_nonpositive_burst(self, clock, burst):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(10.0, burst=burst, clock=clock)
+
+
+class TestAcquire:
+    def test_debits_exact_cost(self, clock):
+        bucket = TokenBucket(10.0, burst=10.0, clock=clock)
+        assert bucket.try_acquire(3.0)
+        assert bucket.tokens == 7.0
+
+    def test_all_or_nothing(self, clock):
+        bucket = TokenBucket(10.0, burst=5.0, clock=clock)
+        # A cost above the balance debits *nothing* — a failed acquire
+        # must not penalise the very retry the hint schedules.
+        assert not bucket.try_acquire(6.0)
+        assert bucket.tokens == 5.0
+        assert bucket.try_acquire(5.0)
+        assert not bucket.try_acquire(0.5)
+
+    def test_fractional_costs(self, clock):
+        bucket = TokenBucket(10.0, burst=1.0, clock=clock)
+        assert bucket.try_acquire(0.25)
+        assert bucket.try_acquire(0.75)
+        assert not bucket.try_acquire(0.25)
+
+
+class TestRefill:
+    def test_refills_at_rate(self, clock):
+        bucket = TokenBucket(10.0, burst=10.0, clock=clock)
+        assert bucket.try_acquire(10.0)
+        clock.advance(0.5)
+        assert bucket.tokens == pytest.approx(5.0)
+        assert bucket.try_acquire(5.0)
+
+    def test_refill_caps_at_burst(self, clock):
+        bucket = TokenBucket(10.0, burst=3.0, clock=clock)
+        assert bucket.try_acquire(3.0)
+        clock.advance(1000.0)
+        assert bucket.tokens == 3.0
+
+    def test_no_time_travel(self, clock):
+        bucket = TokenBucket(10.0, burst=10.0, clock=clock)
+        assert bucket.try_acquire(4.0)
+        assert bucket.tokens == pytest.approx(6.0)  # zero elapsed: no refill
+
+
+class TestWaitTime:
+    def test_zero_when_affordable(self, clock):
+        bucket = TokenBucket(10.0, burst=10.0, clock=clock)
+        assert bucket.wait_time(10.0) == 0.0
+
+    def test_shortfall_over_rate(self, clock):
+        bucket = TokenBucket(10.0, burst=10.0, clock=clock)
+        assert bucket.try_acquire(10.0)
+        assert bucket.wait_time(5.0) == pytest.approx(0.5)
+        clock.advance(0.2)  # 2 tokens back
+        assert bucket.wait_time(5.0) == pytest.approx(0.3)
+
+    def test_cost_above_burst_waits_for_full_bucket(self, clock):
+        # An impossible cost reports the wait for a *full* bucket — the
+        # honest "try again with a smaller batch" hint, never infinity.
+        bucket = TokenBucket(10.0, burst=8.0, clock=clock)
+        assert bucket.try_acquire(8.0)
+        assert bucket.wait_time(1000.0) == pytest.approx(0.8)

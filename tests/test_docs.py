@@ -8,6 +8,14 @@ that genuinely cannot run standalone — e.g. it talks to a live daemon —
 opts out by placing ``<!-- no-test -->`` on one of the two lines above
 the fence; opted-out blocks still show up in the test report as
 skipped, so the escape hatch stays visible instead of silent.
+
+``bash`` fences are opt-*in*: a block whose two context lines carry
+``<!-- test-cli -->`` has each of its ``repro ...`` command lines run
+through :func:`repro.cli.main` in-process (cwd in a tmp dir), asserting
+exit code 0 — so the runbook's copy-pasteable commands are exercised,
+not just typeset.  Comment lines and blank lines are ignored; any other
+line in a marked block is an error (marked blocks must be pure
+``repro`` command sequences).
 """
 
 from __future__ import annotations
@@ -20,6 +28,7 @@ import pytest
 ROOT = Path(__file__).resolve().parent.parent
 
 NO_TEST_MARKER = "<!-- no-test -->"
+TEST_CLI_MARKER = "<!-- test-cli -->"
 
 
 @dataclasses.dataclass
@@ -28,6 +37,7 @@ class Snippet:
     lineno: int  # 1-based line of the opening fence
     code: str
     skipped: bool
+    kind: str = "python"  # "python" | "cli"
 
     @property
     def test_id(self) -> str:
@@ -37,31 +47,44 @@ class Snippet:
 def extract_snippets(path: Path) -> list[Snippet]:
     lines = path.read_text(encoding="utf-8").splitlines()
     snippets: list[Snippet] = []
-    inside = False
+    inside = None  # None | "python" | "cli"
     start = 0
     block: list[str] = []
     for index, line in enumerate(lines):
         stripped = line.strip()
-        if not inside and stripped.startswith("```python"):
-            inside = True
+        if inside is None and stripped.startswith("```"):
+            context = lines[max(0, index - 2) : index]
+            if stripped.startswith("```python"):
+                inside = "python"
+            elif stripped.startswith(("```bash", "```sh", "```console")) and any(
+                TEST_CLI_MARKER in c for c in context
+            ):
+                inside = "cli"
+            else:
+                continue
             start = index
             block = []
-        elif inside and stripped == "```":
-            inside = False
+        elif inside is not None and stripped == "```":
             context = lines[max(0, start - 2) : start]
-            skipped = any(NO_TEST_MARKER in c for c in context)
+            skipped = inside == "python" and any(
+                NO_TEST_MARKER in c for c in context
+            )
             snippets.append(
                 Snippet(
                     path=path,
                     lineno=start + 1,
                     code="\n".join(block) + "\n",
                     skipped=skipped,
+                    kind=inside,
                 )
             )
-        elif inside:
+            inside = None
+        elif inside is not None:
             block.append(line)
-    if inside:
-        raise AssertionError(f"{path}: unterminated ```python fence at line {start + 1}")
+    if inside is not None:
+        raise AssertionError(
+            f"{path}: unterminated ```{inside} fence at line {start + 1}"
+        )
     return snippets
 
 
@@ -99,6 +122,37 @@ def test_docs_contain_executable_snippets():
 )
 def test_doc_snippet_executes(snippet: Snippet, tmp_path, monkeypatch):
     monkeypatch.chdir(tmp_path)  # snippets may write files; keep the repo clean
+    if snippet.kind == "cli":
+        _run_cli_snippet(snippet)
+        return
     code = compile(snippet.code, str(snippet.test_id), "exec")
     namespace: dict = {"__name__": "__doc_snippet__"}
     exec(code, namespace)  # noqa: S102 - executing our own documentation
+
+
+def _run_cli_snippet(snippet: Snippet) -> None:
+    """Run each ``repro ...`` line of a ``<!-- test-cli -->`` block."""
+    import shlex
+
+    from repro.cli import main as cli_main
+
+    # Fold "\"-continued lines first, so wrapped commands stay one command.
+    folded: list[str] = []
+    for raw in snippet.code.splitlines():
+        if folded and folded[-1].endswith("\\"):
+            folded[-1] = folded[-1][:-1].rstrip() + " " + raw.strip()
+        else:
+            folded.append(raw.strip())
+    commands = []
+    for line in folded:
+        if not line or line.startswith("#"):
+            continue
+        assert line.startswith("repro "), (
+            f"{snippet.test_id}: test-cli blocks may only contain `repro` "
+            f"commands, got {line!r}"
+        )
+        commands.append(line)
+    assert commands, f"{snippet.test_id}: test-cli block has no commands"
+    for command in commands:
+        exit_code = cli_main(shlex.split(command)[1:])
+        assert exit_code == 0, f"{snippet.test_id}: {command!r} exited {exit_code}"

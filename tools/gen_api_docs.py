@@ -11,7 +11,10 @@ public-API change::
 The output is committed (docs/api.md) so the reference is readable
 without executing anything.  CI runs ``--check``, which regenerates in
 memory, diffs against the committed file, and exits non-zero on drift —
-so the reference cannot silently fall behind the code.
+so the reference cannot silently fall behind the code.  ``--check``
+also enforces docs *coverage*: every public module under ``src/repro/``
+must be listed in :data:`MODULES` (= have a docs/api.md section) and
+carry a module docstring, so a new subsystem cannot land undocumented.
 """
 
 from __future__ import annotations
@@ -88,6 +91,10 @@ MODULES = [
     "repro.service.client",
     "repro.service.metrics",
     "repro.service.snapshot",
+    "repro.overload",
+    "repro.overload.deadline",
+    "repro.overload.admission",
+    "repro.overload.breaker",
     "repro.cluster",
     "repro.cluster.wal",
     "repro.cluster.replication",
@@ -111,6 +118,46 @@ MODULES = [
     "repro.bench.scale",
     "repro.cli",
 ]
+
+
+def discover_public_modules() -> list[str]:
+    """Every importable public module under ``src/repro/``.
+
+    A module is public unless any dotted-path component starts with an
+    underscore (``repro.bench.__main__`` is an entry point, not API).
+    """
+    src = Path(__file__).resolve().parent.parent / "src" / "repro"
+    names = []
+    for path in sorted(src.rglob("*.py")):
+        parts = list(path.relative_to(src.parent).with_suffix("").parts)
+        if parts[-1] == "__init__":
+            parts = parts[:-1]
+        if any(part.startswith("_") for part in parts):
+            continue
+        names.append(".".join(parts))
+    return names
+
+
+def coverage_errors() -> list[str]:
+    """The docs-coverage gate: every public module is documented.
+
+    Two ways a module fails: it is not listed in :data:`MODULES` (so
+    docs/api.md has no section for it — new subsystems must opt in
+    here), or it has no module docstring (so its section would say
+    nothing).
+    """
+    errors = []
+    listed = set(MODULES)
+    for name in discover_public_modules():
+        module = importlib.import_module(name)
+        if name not in listed:
+            errors.append(
+                f"{name}: not in tools/gen_api_docs.py MODULES — "
+                f"docs/api.md has no section for it"
+            )
+        if not (module.__doc__ or "").strip():
+            errors.append(f"{name}: missing module docstring")
+    return errors
 
 
 def _first_paragraph(doc: str | None) -> str:
@@ -187,7 +234,12 @@ def generate() -> str:
 
 
 def check(target: Path) -> int:
-    """Exit 0 iff the committed file matches a fresh generation."""
+    """Exit 0 iff the reference is complete and matches a fresh build."""
+    gaps = coverage_errors()
+    if gaps:
+        for gap in gaps:
+            print(f"docs coverage: {gap}", file=sys.stderr)
+        return 1
     fresh = generate()
     committed = target.read_text() if target.exists() else ""
     if committed == fresh:
