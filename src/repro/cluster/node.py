@@ -36,6 +36,8 @@ import signal
 from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
 from repro.cluster.replication import ReplicationManager
 from repro.cluster.wal import FsyncPolicy, WriteAheadLog
 from repro.errors import ReproError
@@ -171,26 +173,44 @@ def recover_node(
         wal.reset_to(snapshot_seq)
     replayed = 0
     errors = 0
+    mig_ops = (
+        Opcode.MIG_INSERT,
+        Opcode.MIG_DELETE,
+        Opcode.MIG_INSERT64,
+        Opcode.MIG_DELETE64,
+    )
     for record in wal.replay(start_seq=snapshot_seq + 1):
-        if record.op in (Opcode.MIG_INSERT, Opcode.MIG_DELETE):
+        if record.op in mig_ops:
             # Migration records: keys[0] is the plan header, the real
             # keys applied one at a time — replay skips exactly the
-            # per-key errors the live apply skipped.
+            # per-key errors the live apply skipped.  The *64 flavours
+            # carry 8-byte LE packings of pre-encoded u64 keys, applied
+            # as columns so they are never re-hashed.
+            packed = record.op in (Opcode.MIG_INSERT64, Opcode.MIG_DELETE64)
+            insert_like = record.op in (
+                Opcode.MIG_INSERT, Opcode.MIG_INSERT64
+            )
             for key in list(record.keys)[1:]:
+                column = (
+                    np.frombuffer(key, dtype="<u8") if packed else [key]
+                )
                 try:
-                    if record.op == Opcode.MIG_INSERT:
-                        filt.insert_many([key])
+                    if insert_like:
+                        filt.insert_many(column)
                     else:
-                        filt.delete_many([key])
+                        filt.delete_many(column)
                 except ReproError:
                     errors += 1
             replayed += 1
             continue
+        keys = record.keys
+        if not isinstance(keys, np.ndarray):
+            keys = list(keys)
         try:
-            if record.op == Opcode.INSERT:
-                filt.insert_many(list(record.keys))
+            if record.op in (Opcode.INSERT, Opcode.BULK64_INSERT):
+                filt.insert_many(keys)
             else:
-                filt.delete_many(list(record.keys))
+                filt.delete_many(keys)
         except ReproError:
             # The primary logged this mutation and then hit the same
             # error against the same state; skipping reproduces it.

@@ -387,7 +387,7 @@ class ReplicationManager:
                     encode_frame(
                         Opcode.REPLICATE,
                         encode_replicate_body(
-                            record.seq, record.op, list(record.keys)
+                            record.seq, record.op, record.keys
                         ),
                     )
                 )

@@ -174,9 +174,17 @@ class HashRing:
         self._points = [point for point, _ in points]
         self._owners = [owner for _, owner in points]
 
-    def lookup(self, key: bytes) -> ShardGroup:
-        """The group owning ``key``'s position on the ring."""
-        return self.groups[self.owner_at(_hash64(key))]
+    def lookup(self, key) -> ShardGroup:
+        """The group owning ``key``'s position on the ring.
+
+        Byte keys hash directly; pre-encoded ``uint64`` keys (the
+        columnar fastpath) hash as their 8-byte little-endian packing —
+        the same position rule :func:`repro.rebalance.epochs.hash_key`
+        uses, so routers and node gates always agree.
+        """
+        if not isinstance(key, (bytes, bytearray, memoryview)):
+            key = struct.pack("<Q", int(key))
+        return self.groups[self.owner_at(_hash64(bytes(key)))]
 
     def owner_at(self, position: int) -> str:
         """Name of the group owning ring ``position`` (a 64-bit hash).
@@ -484,12 +492,15 @@ class RouterBackend:
         self._mutate("delete", keys)
 
     def query_many(self, keys) -> np.ndarray:
-        keys = list(keys)
+        columnar = isinstance(keys, np.ndarray)
+        if not columnar:
+            keys = list(keys)
         self._account(OpKind.QUERY, len(keys))
         answers = np.zeros(len(keys), dtype=bool)
         for group_name, indices in self.ring.partition(keys).items():
             self.routed_keys[(group_name, "query")] += len(indices)
-            subset = [keys[i] for i in indices]
+            where = np.asarray(indices, dtype=np.intp)
+            subset = keys[where] if columnar else [keys[i] for i in indices]
             try:
                 result = self._query_group(self._groups[group_name], subset)
             except RemoteError as exc:
@@ -498,8 +509,7 @@ class RouterBackend:
                 if exc.code != ErrorCode.MOVED or not self.refresh_epoch():
                     raise
                 result = self.query_many(subset)
-            for position, index in enumerate(indices):
-                answers[index] = result[position]
+            answers[where] = np.asarray(result, dtype=bool)
         return answers
 
     # -- routing ---------------------------------------------------------
@@ -511,13 +521,18 @@ class RouterBackend:
             )
 
     def _mutate(self, kind: str, keys) -> None:
-        keys = list(keys)
+        columnar = isinstance(keys, np.ndarray)
+        if not columnar:
+            keys = list(keys)
         self._account(
             OpKind.INSERT if kind == "insert" else OpKind.DELETE, len(keys)
         )
         for group_name, indices in self.ring.partition(keys).items():
             self.routed_keys[(group_name, kind)] += len(indices)
-            subset = [keys[i] for i in indices]
+            if columnar:
+                subset = keys[np.asarray(indices, dtype=np.intp)]
+            else:
+                subset = [keys[i] for i in indices]
             clients = self._groups[group_name]
             primary = clients.group.primary
             if self.health is not None and not self.health.is_healthy(primary):
@@ -532,7 +547,15 @@ class RouterBackend:
                 breaker.allow()
             try:
                 client = clients.client(primary, timeout_s=self.timeout_s)
-                if kind == "insert":
+                if columnar:
+                    # Forward pre-encoded keys over the bulk64 fastpath;
+                    # a node without bulk64 support fails loudly rather
+                    # than silently re-hashing the u64 column.
+                    if kind == "insert":
+                        client.insert_many64(subset)
+                    else:
+                        client.delete_many64(subset)
+                elif kind == "insert":
                     client.insert_many(subset)
                 else:
                     client.delete_many(subset)
@@ -561,10 +584,9 @@ class RouterBackend:
                 if breaker is not None:
                     breaker.record_success()
 
-    def _query_group(
-        self, clients: _GroupClients, subset: list[bytes]
-    ) -> list[bool]:
+    def _query_group(self, clients: _GroupClients, subset):
         group = clients.group
+        columnar = isinstance(subset, np.ndarray)
         candidates = [
             node
             for node in group.nodes
@@ -574,9 +596,12 @@ class RouterBackend:
         shed_by_primary = False
         for position, node in enumerate(candidates):
             try:
-                result = clients.client(
-                    node, timeout_s=self.timeout_s
-                ).query_many(subset)
+                client = clients.client(node, timeout_s=self.timeout_s)
+                result = (
+                    client.query_many64(subset)
+                    if columnar
+                    else client.query_many(subset)
+                )
                 if position > 0 or node is not group.primary:
                     self.fallback_reads += len(subset)
                     if shed_by_primary:

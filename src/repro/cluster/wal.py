@@ -13,10 +13,16 @@ On-disk layout — a directory of segment files, rotated by size::
 
     record  := u32 crc32(payload) | u32 len(payload) | payload
     payload := u64 seq | u8 op | u32 count | count x (u16 len | key)
+    columnar payload (BULK64_* ops) := u64 seq | u8 op | u32 count |
+                                       count x u64 key
 
 All integers little-endian; the key encoding matches the wire
 protocol's BATCH body, so a record's tail can be framed into a
-REPLICATE body without re-encoding.  ``seq`` is a contiguous,
+REPLICATE body without re-encoding.  Columnar records (the bulk64
+fastpath) store their pre-encoded ``uint64`` keys as a packed column —
+written with one buffer copy, decoded with a zero-copy ``frombuffer``
+view — while the legacy reader continues to handle every byte-key
+record in the same log.  ``seq`` is a contiguous,
 monotonically increasing 1-based sequence number; the primary assigns
 it and replicas preserve it, which is what makes "catch up from offset
 ``n``" well defined cluster-wide.
@@ -48,8 +54,10 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterator
 
+import numpy as np
+
 from repro.errors import ConfigurationError, WalCorruptionError
-from repro.service.protocol import RECORD_OPS, Opcode
+from repro.service.protocol import COLUMNAR_RECORD_OPS, RECORD_OPS, Opcode
 
 __all__ = [
     "FsyncPolicy",
@@ -80,11 +88,16 @@ class FsyncPolicy(str, enum.Enum):
 
 @dataclass(frozen=True)
 class WalRecord:
-    """One durable mutation: ``op`` applied to ``keys`` at ``seq``."""
+    """One durable mutation: ``op`` applied to ``keys`` at ``seq``.
+
+    Legacy records hold ``keys`` as a tuple of byte strings; columnar
+    records (BULK64_* ops) hold a read-only ``uint64`` ndarray of
+    pre-encoded keys.
+    """
 
     seq: int
     op: Opcode
-    keys: tuple[bytes, ...]
+    keys: "tuple[bytes, ...] | np.ndarray"
 
 
 @dataclass
@@ -102,11 +115,15 @@ class WalCursor:
 
 
 def _encode_record(seq: int, op: Opcode, keys) -> bytes:
-    parts = [_PAYLOAD_PREFIX.pack(seq, op, len(keys))]
-    for key in keys:
-        parts.append(_KEY_LEN.pack(len(key)))
-        parts.append(key)
-    payload = b"".join(parts)
+    if op in COLUMNAR_RECORD_OPS:
+        arr = np.ascontiguousarray(keys, dtype="<u8")
+        payload = _PAYLOAD_PREFIX.pack(seq, op, arr.size) + arr.tobytes()
+    else:
+        parts = [_PAYLOAD_PREFIX.pack(seq, op, len(keys))]
+        for key in keys:
+            parts.append(_KEY_LEN.pack(len(key)))
+            parts.append(key)
+        payload = b"".join(parts)
     return _RECORD_HEADER.pack(zlib.crc32(payload), len(payload)) + payload
 
 
@@ -115,8 +132,13 @@ def _decode_payload(payload: bytes) -> WalRecord:
     op = Opcode(raw_op)
     if op not in _WAL_OPS:
         raise ValueError(f"WAL record carries non-mutation op {op.name}")
-    keys: list[bytes] = []
     pos = _PAYLOAD_PREFIX.size
+    if op in COLUMNAR_RECORD_OPS:
+        if len(payload) - pos != count * 8:
+            raise ValueError("WAL columnar record length mismatch")
+        column = np.frombuffer(payload, dtype="<u8", count=count, offset=pos)
+        return WalRecord(seq=seq, op=op, keys=column)
+    keys: list[bytes] = []
     for _ in range(count):
         (key_len,) = _KEY_LEN.unpack_from(payload, pos)
         pos += _KEY_LEN.size

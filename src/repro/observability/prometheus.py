@@ -188,6 +188,17 @@ def render_metrics(
         writer.sample("repro_shed_total", count, {"reason": reason})
 
     writer.declare(
+        "repro_fastpath_frames_total", "counter",
+        "Bulk64 frames accepted on the columnar zero-copy fastpath.",
+    )
+    writer.sample("repro_fastpath_frames_total", metrics.fastpath_frames)
+    writer.declare(
+        "repro_fastpath_keys_total", "counter",
+        "Pre-encoded u64 keys carried by bulk64 frames.",
+    )
+    writer.sample("repro_fastpath_keys_total", metrics.fastpath_keys)
+
+    writer.declare(
         "repro_bytes_total", "counter", "Wire bytes moved, by direction."
     )
     writer.sample("repro_bytes_total", metrics.bytes_in, {"direction": "in"})

@@ -53,11 +53,19 @@ _TRAILER = struct.Struct("<4sI")
 _RING_SPACE = 2**64
 
 
-def hash_key(key: bytes) -> int:
-    """A key's 64-bit ring position (the router's BLAKE2b point hash)."""
+def hash_key(key) -> int:
+    """A key's 64-bit ring position (the router's BLAKE2b point hash).
+
+    Accepts raw ``bytes`` or a pre-encoded ``uint64`` (the columnar
+    fastpath).  An integer hashes as its 8-byte little-endian packing,
+    so a packed migration key (``MIG_*64`` records) and its integer
+    form always agree on ring position.
+    """
     from repro.cluster.router import _hash64
 
-    return _hash64(key)
+    if not isinstance(key, (bytes, bytearray, memoryview)):
+        key = struct.pack("<Q", int(key))
+    return _hash64(bytes(key))
 
 
 def _node_to_json(node: NodeAddress) -> list:

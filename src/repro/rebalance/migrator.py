@@ -45,6 +45,8 @@ import struct
 from dataclasses import dataclass, field
 from pathlib import Path
 
+import numpy as np
+
 from repro.errors import (
     ClusterError,
     ConfigurationError,
@@ -69,7 +71,14 @@ logger = get_logger("rebalance.migrator")
 _SEQ = struct.Struct("<Q")
 #: Mutation opcodes the gate screens (queries are screened separately).
 _MUTATIONS = (Opcode.INSERT, Opcode.DELETE)
-_MIG_OPS = (Opcode.MIG_INSERT, Opcode.MIG_DELETE)
+_MIG_OPS = (
+    Opcode.MIG_INSERT,
+    Opcode.MIG_DELETE,
+    Opcode.MIG_INSERT64,
+    Opcode.MIG_DELETE64,
+)
+#: Packed flavours: ``keys[1:]`` are 8-byte LE packings of u64 keys.
+_MIG64_OPS = (Opcode.MIG_INSERT64, Opcode.MIG_DELETE64)
 
 
 def encode_mig_header(src_seq: int, plan: str) -> bytes:
@@ -84,14 +93,29 @@ def decode_mig_header(blob: bytes) -> tuple[int, str]:
     return _SEQ.unpack_from(blob)[0], blob[_SEQ.size :].decode("utf-8")
 
 
-def mig_record_keys(record) -> list[bytes]:
-    """The real keys of any WAL record (drops a MIG record's header)."""
-    keys = list(record.keys)
+def mig_record_keys(record) -> "list[bytes] | np.ndarray":
+    """The real keys of any WAL record (drops a MIG record's header).
+
+    Columnar records (``BULK64_*``) return their u64 column as-is and
+    the packed ``MIG_*64`` flavours decode back to one, so callers
+    filter and re-stream pre-encoded keys without ever re-hashing.
+    """
+    keys = record.keys
+    if isinstance(keys, np.ndarray):
+        return keys
+    keys = list(keys)
+    if record.op in _MIG64_OPS:
+        return np.frombuffer(b"".join(keys[1:]), dtype="<u8")
     return keys[1:] if record.op in _MIG_OPS else keys
 
 
 def _record_insert_like(op: Opcode) -> bool:
-    return op in (Opcode.INSERT, Opcode.MIG_INSERT)
+    return op in (
+        Opcode.INSERT,
+        Opcode.MIG_INSERT,
+        Opcode.BULK64_INSERT,
+        Opcode.MIG_INSERT64,
+    )
 
 
 def _safe_name(plan: str) -> str:
@@ -318,13 +342,16 @@ class RebalanceState:
     @spanned("migration_stream")
     def read_records(
         self, plan: str, start_seq: int, max_records: int = 256
-    ) -> tuple[int, int, list[tuple[int, Opcode, list[bytes]]]]:
+    ) -> tuple[int, int, list]:
         """Scan the WAL tail for records touching the plan's ranges.
 
         Returns ``(scanned_through, last_seq, records)`` where
         ``scanned_through`` advances over *examined* records (matching
         or not) so the coordinator's watermark always makes progress,
-        and each record is ``(seq, INSERT|DELETE, in-range keys)``.
+        and each record is ``(seq, op, in-range keys)`` — op
+        ``INSERT``/``DELETE`` with byte keys for legacy history,
+        ``BULK64_INSERT``/``BULK64_DELETE`` with a u64 column for
+        columnar history (streamed pre-encoded, never re-hashed).
         """
         session = self._session_out(plan)
         if start_seq == session._cursor_next and session._cursor is not None:
@@ -335,22 +362,28 @@ class RebalanceState:
             start_seq, cursor=cursor, max_records=max_records
         )
         session._cursor = cursor
-        records: list[tuple[int, Opcode, list[bytes]]] = []
+        records: list = []
         scanned_through = start_seq - 1
         for record in raw:
             scanned_through = record.seq
+            all_keys = mig_record_keys(record)
             keys = [
                 key
-                for key in mig_record_keys(record)
+                for key in all_keys
                 if session.ranges.contains(hash_key(key))
             ]
             if not keys:
                 continue
-            op = (
-                Opcode.INSERT
-                if _record_insert_like(record.op)
-                else Opcode.DELETE
-            )
+            insert_like = _record_insert_like(record.op)
+            if isinstance(all_keys, np.ndarray):
+                keys = np.asarray(keys, dtype=np.uint64)
+                op = (
+                    Opcode.BULK64_INSERT
+                    if insert_like
+                    else Opcode.BULK64_DELETE
+                )
+            else:
+                op = Opcode.INSERT if insert_like else Opcode.DELETE
             records.append((record.seq, op, keys))
             session.records_streamed += 1
             session.keys_streamed += len(keys)
@@ -454,23 +487,39 @@ class RebalanceState:
                 break
             if record.seq <= done_through:
                 continue
+            all_keys = mig_record_keys(record)
             keys = [
                 key
-                for key in mig_record_keys(record)
+                for key in all_keys
                 if ranges.contains(hash_key(key))
             ]
             if not keys:
                 continue
             insert_like = _record_insert_like(record.op)
-            inverse_op = Opcode.MIG_DELETE if insert_like else Opcode.MIG_INSERT
             header = encode_mig_header(record.seq, marker)
-            self.wal.append(inverse_op, [header, *keys])
-            for key in keys:
+            if isinstance(all_keys, np.ndarray):
+                arr = np.ascontiguousarray(keys, dtype="<u8")
+                inverse_op = (
+                    Opcode.MIG_DELETE64 if insert_like else Opcode.MIG_INSERT64
+                )
+                blob = arr.tobytes()
+                self.wal.append(
+                    inverse_op,
+                    [header, *(blob[i : i + 8] for i in range(0, len(blob), 8))],
+                )
+                columns = [arr[i : i + 1] for i in range(arr.size)]
+            else:
+                inverse_op = (
+                    Opcode.MIG_DELETE if insert_like else Opcode.MIG_INSERT
+                )
+                self.wal.append(inverse_op, [header, *keys])
+                columns = [[key] for key in keys]
+            for column in columns:
                 try:
                     if insert_like:
-                        self.filter.delete_many([key])
+                        self.filter.delete_many(column)
                     else:
-                        self.filter.insert_many([key])
+                        self.filter.insert_many(column)
                 except ReproError:
                     # Deterministic on replay; see module docstring.
                     pass
@@ -503,15 +552,16 @@ class RebalanceState:
         self._incoming[plan] = _IncomingSession(plan=plan, cursor=cursor)
         return {"cursor": cursor}
 
-    def apply_records(
-        self, plan: str, records: list[tuple[int, Opcode, list[bytes]]]
-    ) -> dict:
+    def apply_records(self, plan: str, records: list) -> dict:
         """Apply one streamed batch; durable before the ack.
 
         Each source record becomes one local migration record (header +
         keys, a single CRC unit) and applies per key — a key the filter
         rejects (e.g. saturation policy) is skipped, identically on
-        every replay.  Records at or below the cursor are duplicates
+        every replay.  Columnar records (``BULK64_*`` ops, u64 columns)
+        are logged as the packed ``MIG_*64`` flavours and applied as
+        one-element columns, so the destination never re-encodes a
+        pre-encoded key.  Records at or below the cursor are duplicates
         from a coordinator retry and are acknowledged without effect.
         """
         session = self._incoming.get(plan)
@@ -523,17 +573,33 @@ class RebalanceState:
         for src_seq, op, keys in records:
             if src_seq <= session.cursor:
                 continue
-            wal_op = (
-                Opcode.MIG_INSERT if op == Opcode.INSERT else Opcode.MIG_DELETE
-            )
+            insert_like = _record_insert_like(op)
             header = encode_mig_header(src_seq, plan)
-            self.wal.append(wal_op, [header, *keys])
-            for key in keys:
+            if isinstance(keys, np.ndarray):
+                arr = np.ascontiguousarray(keys, dtype="<u8")
+                wal_op = (
+                    Opcode.MIG_INSERT64
+                    if insert_like
+                    else Opcode.MIG_DELETE64
+                )
+                blob = arr.tobytes()
+                self.wal.append(
+                    wal_op,
+                    [header, *(blob[i : i + 8] for i in range(0, len(blob), 8))],
+                )
+                columns = [arr[i : i + 1] for i in range(arr.size)]
+            else:
+                wal_op = (
+                    Opcode.MIG_INSERT if insert_like else Opcode.MIG_DELETE
+                )
+                self.wal.append(wal_op, [header, *keys])
+                columns = [[key] for key in keys]
+            for column in columns:
                 try:
-                    if op == Opcode.INSERT:
-                        self.filter.insert_many([key])
+                    if insert_like:
+                        self.filter.insert_many(column)
                     else:
-                        self.filter.delete_many([key])
+                        self.filter.delete_many(column)
                     applied += 1
                 except ReproError:
                     skipped += 1

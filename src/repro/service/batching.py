@@ -28,6 +28,7 @@ import asyncio
 import logging
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import Callable
 
 import numpy as np
@@ -52,7 +53,9 @@ logger = get_logger("service.batching")
 @dataclass
 class _Pending:
     op: Opcode
-    keys: list[bytes]
+    #: Legacy requests carry a list of byte keys; bulk64 requests carry
+    #: the pre-encoded u64 column straight off the wire (zero-copy).
+    keys: "list[bytes] | np.ndarray"
     future: asyncio.Future = field(repr=False)
     #: Wire-level request id (see :func:`repro.observability.logging.
     #: new_request_id`); lets a coalesced dispatch log which requests
@@ -141,6 +144,8 @@ class FilterExecutor:
         """Return one result or exception per request in the batch."""
         if op == Opcode.QUERY:
             return self._apply_queries(key_lists)
+        if op == Opcode.BULK64_COUNT:
+            return self._apply_counts(key_lists)
         if op == Opcode.DELETE and not self.supports_deletion:
             exc = UnsupportedOperationError(
                 f"{self.filter.name} does not support deletion"
@@ -157,43 +162,178 @@ class FilterExecutor:
             if self.wal is not None:
                 self.wal.sync_batch()
 
-    def _apply_queries(self, key_lists: list[list[bytes]]) -> list[object]:
+    def _gate_pass(
+        self, op: Opcode, key_lists, results: list[object]
+    ) -> list[int]:
+        """Indices that clear the gate; failures land in ``results``."""
+        if self.gate is None:
+            return list(range(len(key_lists)))
+        passing: list[int] = []
+        for index, keys in enumerate(key_lists):
+            try:
+                self.gate(op, keys)
+                passing.append(index)
+            except ReproError as exc:
+                results[index] = exc
+        return passing
+
+    def _fused_keys(self, key_lists, indices):
+        """Fuse the selected requests' keys into one bulk-call column.
+
+        All-legacy batches flatten into one byte-key list (the filter
+        encodes the whole column in a single vectorised pass); batches
+        with any columnar member concatenate into one ``uint64`` array,
+        encoding legacy stragglers through the filter's own encoder so
+        the fused keys are bit-identical to the per-request path.
+        Returns ``None`` when the batch mixes forms and the hosted
+        backend has no encoder (the cluster router) — callers then fall
+        back to one bulk call per key form.
+        """
+        lists = [key_lists[index] for index in indices]
+        if not any(isinstance(keys, np.ndarray) for keys in lists):
+            return list(chain.from_iterable(lists))
+        if len(lists) == 1:
+            return lists[0]
+        if all(isinstance(keys, np.ndarray) for keys in lists):
+            return np.concatenate(lists)
+        encoder = getattr(self.filter, "encoder", None)
+        if encoder is None:
+            return None
+        return np.concatenate(
+            [
+                keys
+                if isinstance(keys, np.ndarray)
+                else encoder.encode_many(keys)
+                for keys in lists
+            ]
+        )
+
+    def _fused_probe(
+        self, probe, key_lists, passing: list[int], dtype
+    ) -> np.ndarray:
+        """One read-only bulk probe over the fused batch.
+
+        Returns a flat answer array aligned with the concatenation of
+        the passing requests' keys.  Normally a single bulk call; the
+        mixed-form/no-encoder fallback makes exactly two (one per key
+        form) and interleaves the answers back into request order.
+        """
+        fused = self._fused_keys(key_lists, passing)
+        if fused is not None:
+            return np.asarray(probe(fused), dtype=dtype)
+        counts = [len(key_lists[index]) for index in passing]
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        answers = np.empty(offsets[-1], dtype=dtype)
+        legacy = [i for i in passing if not isinstance(key_lists[i], np.ndarray)]
+        columnar = [i for i in passing if isinstance(key_lists[i], np.ndarray)]
+        for group, column in (
+            (legacy, list(chain.from_iterable(key_lists[i] for i in legacy))),
+            (columnar, np.concatenate([key_lists[i] for i in columnar])
+             if columnar else None),
+        ):
+            if not group:
+                continue
+            part = np.asarray(probe(column), dtype=dtype)
+            pos = 0
+            for i in group:
+                slot = passing.index(i)
+                n = len(key_lists[i])
+                answers[offsets[slot] : offsets[slot] + n] = part[pos : pos + n]
+                pos += n
+        return answers
+
+    def _scatter(
+        self, answers: np.ndarray, key_lists, passing: list[int], results
+    ) -> None:
+        """Slice the fused answer column back out per request (views)."""
+        boundaries = np.cumsum(
+            [len(key_lists[index]) for index in passing]
+        )[:-1]
+        for index, part in zip(passing, np.split(answers, boundaries)):
+            results[index] = part
+
+    def _apply_queries(self, key_lists) -> list[object]:
         results: list[object] = [None] * len(key_lists)
-        passing = list(range(len(key_lists)))
-        if self.gate is not None:
-            passing = []
-            for index, keys in enumerate(key_lists):
-                try:
-                    self.gate(Opcode.QUERY, keys)
-                    passing.append(index)
-                except ReproError as exc:
-                    results[index] = exc
-        flat = [key for index in passing for key in key_lists[index]]
-        answers = self.filter.query_many(flat) if flat else []
-        pos = 0
-        for index in passing:
-            count = len(key_lists[index])
-            results[index] = np.asarray(answers[pos : pos + count], dtype=bool)
-            pos += count
+        passing = self._gate_pass(Opcode.QUERY, key_lists, results)
+        if not passing:
+            return results
+        answers = self._fused_probe(
+            self.filter.query_many, key_lists, passing, bool
+        )
+        self._scatter(answers, key_lists, passing, results)
         return results
+
+    def _apply_counts(self, key_lists) -> list[object]:
+        results: list[object] = [None] * len(key_lists)
+        count_many = getattr(self.filter, "count_many", None)
+        if count_many is None or not self.supports_deletion:
+            exc = UnsupportedOperationError(
+                f"{self.filter.name} does not support counting"
+            )
+            return [exc for _ in key_lists]
+        passing = self._gate_pass(Opcode.BULK64_COUNT, key_lists, results)
+        if not passing:
+            return results
+        try:
+            answers = self._fused_probe(
+                count_many, key_lists, passing, np.uint64
+            )
+        except ReproError as exc:
+            for index in passing:
+                results[index] = exc
+            return results
+        self._scatter(answers, key_lists, passing, results)
+        return results
+
+    #: WAL/replication record op for a columnar mutation request.
+    _COLUMNAR_RECORD = {
+        Opcode.INSERT: Opcode.BULK64_INSERT,
+        Opcode.DELETE: Opcode.BULK64_DELETE,
+    }
 
     def _log(self, op: Opcode, keys) -> int | None:
         """WAL-append one request's record; returns its sequence."""
         if self.wal is None:
             return None
+        if isinstance(keys, np.ndarray):
+            op = self._COLUMNAR_RECORD[op]
         return self.wal.append(op, keys)
 
-    def _apply_fused(self, op: Opcode, key_lists: list[list[bytes]]) -> list[object]:
+    def _apply_fused(self, op: Opcode, key_lists) -> list[object]:
         # Never WAL-logged: __init__ rejects fuse_mutations with a WAL.
-        # The flattened batch rides one bulk call, which on the default
+        # The fused batch rides one bulk call, which on the default
         # columnar backend is a single kernel dispatch for every key in
         # the coalesced micro-batch.
-        flat = [key for keys in key_lists for key in keys]
+        mutate = (
+            self.filter.insert_many
+            if op == Opcode.INSERT
+            else self.filter.delete_many
+        )
+        fused = self._fused_keys(key_lists, range(len(key_lists)))
         try:
-            if op == Opcode.INSERT:
-                self.filter.insert_many(flat)
+            if fused is None:
+                # Mixed key forms on an encoder-less backend: one bulk
+                # call per form is the best available fusion.
+                legacy = list(
+                    chain.from_iterable(
+                        keys
+                        for keys in key_lists
+                        if not isinstance(keys, np.ndarray)
+                    )
+                )
+                if legacy:
+                    mutate(legacy)
+                mutate(
+                    np.concatenate(
+                        [
+                            keys
+                            for keys in key_lists
+                            if isinstance(keys, np.ndarray)
+                        ]
+                    )
+                )
             else:
-                self.filter.delete_many(flat)
+                mutate(fused)
         except ReproError as exc:
             return [exc for _ in key_lists]
         return [None for _ in key_lists]

@@ -32,6 +32,20 @@ Overload integration (both transports, off by default):
   application errors) proves the node is serving and counts as
   success.  While open, calls fail locally with
   :class:`~repro.errors.OverloadedError` — no packet is sent.
+
+Columnar fastpath (the ``*_many64`` methods): keys are pre-encoded
+client-side with the library's vectorised FNV-1a encoders and shipped
+as a packed little-endian ``uint64`` column (BULK64_* frames, protocol
+version 2).  The server decodes with a zero-copy view and skips
+re-encoding entirely, and responses unpack vectorised
+(``unpack_bools_array`` over the reply buffer — no per-bit Python
+loop).  Support is negotiated lazily with one HELLO exchange; against
+a server without the feature, str/bytes inputs silently fall back to
+the legacy BATCH path (byte-identical results, since the server then
+runs the same encoder), while already-encoded ``uint64`` arrays cannot
+be downgraded and raise.  Pre-encoding assumes the server's filter
+uses the default :class:`~repro.hashing.encoders.KeyEncoder`; a server
+hosting a custom encoder needs legacy frames.
 """
 
 from __future__ import annotations
@@ -42,19 +56,32 @@ import random
 import socket
 import time
 
+import numpy as np
+
+from repro.errors import UnsupportedOperationError
+from repro.hashing.encoders import KeyEncoder, encode_str_array
 from repro.overload import Deadline
 from repro.service.protocol import (
+    FEATURE_BULK64,
+    PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BULK64,
+    SUPPORTED_VERSIONS,
     ErrorCode,
     FrameDecoder,
     Opcode,
     ProtocolError,
     RemoteError,
     decode_error_body,
+    decode_hello_body,
     encode_batch_body,
+    encode_bulk64_body,
     encode_deadline_body,
     encode_frame,
+    encode_hello_body,
     read_frame,
     unpack_bools,
+    unpack_bools_array,
+    unpack_counts64,
 )
 
 __all__ = ["FilterClient", "AsyncFilterClient"]
@@ -76,6 +103,32 @@ def _to_bytes(key) -> bytes:
     raise TypeError(f"wire keys must be str or bytes, got {type(key).__name__}")
 
 
+#: Stateless vectorised encoder; one instance serves every client.  It
+#: is the same default the server's filters construct, which is what
+#: makes client-side pre-encoding bit-identical to the legacy path.
+_ENCODER = KeyEncoder()
+
+
+def _encode_keys64(keys) -> np.ndarray:
+    """Pre-encode keys to the u64 column a BULK64 frame carries.
+
+    A ``uint64`` ndarray passes through untouched (already encoded);
+    anything else normalises to bytes first so the encoding matches
+    what the server would compute for the same legacy frame.  Byte
+    keys take the vectorised FNV fold (:func:`encode_str_array`)
+    unless one ends in a NUL — NumPy ``S`` arrays strip trailing NULs,
+    so those keys fall back to the exact scalar path.
+    """
+    if isinstance(keys, np.ndarray) and keys.dtype == np.uint64:
+        return keys
+    raw = [_to_bytes(k) for k in keys]
+    if raw and not any(k[-1:] == b"\x00" for k in raw):
+        arr = np.array(raw, dtype=np.bytes_)
+        if arr.dtype.itemsize:
+            return encode_str_array(arr)
+    return _ENCODER.encode_many(raw)
+
+
 class _BaseClient:
     """Request encoding + overload bookkeeping shared by both transports.
 
@@ -85,6 +138,8 @@ class _BaseClient:
 
     deadline_s: float | None = None
     breaker = None
+    #: Tri-state bulk64 capability: None until the first HELLO exchange.
+    _bulk64: bool | None = None
 
     def _resolve_deadline(self, deadline) -> "Deadline | None":
         if deadline is not None:
@@ -94,18 +149,44 @@ class _BaseClient:
         return None
 
     @staticmethod
-    def _wrap_deadline(frame_op: Opcode, body: bytes, deadline) -> bytes:
+    def _wrap_deadline(
+        frame_op: Opcode,
+        body: bytes,
+        deadline,
+        *,
+        version: int = PROTOCOL_VERSION,
+    ) -> bytes:
         """Encode the request, DEADLINE-wrapped when a budget applies.
 
         The wrapped budget is read at *send* time, so whatever the
         caller already spent (breaker gate, connection backoff, earlier
-        attempts against another node) has been deducted.
+        attempts against another node) has been deducted.  ``version``
+        stamps the outer frame — bulk64 requests travel as protocol
+        version 2 so a v1-only server rejects them cleanly.
         """
         if deadline is None:
-            return encode_frame(frame_op, body)
+            return encode_frame(frame_op, body, version=version)
         return encode_frame(
             Opcode.DEADLINE,
             encode_deadline_body(deadline.remaining_us(), frame_op, body),
+            version=version,
+        )
+
+    @staticmethod
+    def _reject_downgrade(keys) -> None:
+        """Pre-encoded columns cannot ride the legacy byte-key path."""
+        if isinstance(keys, np.ndarray):
+            raise UnsupportedOperationError(
+                "server does not support bulk64 frames and pre-encoded "
+                "u64 keys cannot be downgraded to byte keys; pass the "
+                "original str/bytes keys instead"
+            )
+
+    @staticmethod
+    def _hello_verdict(version: int, features: int) -> bool:
+        return (
+            version >= PROTOCOL_VERSION_BULK64
+            and bool(features & FEATURE_BULK64)
         )
 
     def _breaker_verdict(self, opcode: Opcode, body: bytes) -> None:
@@ -230,6 +311,7 @@ class FilterClient(_BaseClient):
         *,
         deadline=None,
         use_default_deadline: bool = True,
+        version: int = PROTOCOL_VERSION,
     ) -> bytes:
         """One gated exchange: breaker → deadline wrap → send → verdict."""
         if use_default_deadline:
@@ -237,7 +319,9 @@ class FilterClient(_BaseClient):
         if self.breaker is not None:
             self.breaker.allow()
         try:
-            opcode, reply = self._call(self._wrap_deadline(op, body, deadline))
+            opcode, reply = self._call(
+                self._wrap_deadline(op, body, deadline, version=version)
+            )
         except OSError:
             if self.breaker is not None:
                 self.breaker.record_failure()
@@ -294,6 +378,81 @@ class FilterClient(_BaseClient):
             Opcode.OK,
             deadline=deadline,
         )
+
+    # -- columnar fastpath ----------------------------------------------
+    def hello(self) -> tuple[int, int]:
+        """One capability exchange → (server version, feature bits)."""
+        body = self._request(
+            Opcode.HELLO,
+            encode_hello_body(max(SUPPORTED_VERSIONS), FEATURE_BULK64),
+            Opcode.HELLO,
+            use_default_deadline=False,
+        )
+        return decode_hello_body(body)
+
+    def bulk64_supported(self) -> bool:
+        """Whether the server speaks bulk64 (one lazy HELLO, cached)."""
+        if self._bulk64 is None:
+            try:
+                self._bulk64 = self._hello_verdict(*self.hello())
+            except (RemoteError, ProtocolError, ConnectionError, OSError):
+                self._bulk64 = False
+        return self._bulk64
+
+    def insert_many64(self, keys, *, deadline=None) -> None:
+        """Bulk insert over the columnar fastpath (keys encoded here)."""
+        if not self.bulk64_supported():
+            self._reject_downgrade(keys)
+            return self.insert_many(keys, deadline=deadline)
+        self._request(
+            Opcode.BULK64_INSERT,
+            encode_bulk64_body(_encode_keys64(keys)),
+            Opcode.OK,
+            deadline=deadline,
+            version=PROTOCOL_VERSION_BULK64,
+        )
+
+    def query_many64(self, keys, *, deadline=None) -> np.ndarray:
+        """Bulk query over the columnar fastpath; returns a bool array."""
+        if not self.bulk64_supported():
+            self._reject_downgrade(keys)
+            return np.asarray(self.query_many(keys, deadline=deadline), bool)
+        body = self._request(
+            Opcode.BULK64_QUERY,
+            encode_bulk64_body(_encode_keys64(keys)),
+            Opcode.BITMAP,
+            deadline=deadline,
+            version=PROTOCOL_VERSION_BULK64,
+        )
+        return unpack_bools_array(body)
+
+    def delete_many64(self, keys, *, deadline=None) -> None:
+        """Bulk delete over the columnar fastpath (keys encoded here)."""
+        if not self.bulk64_supported():
+            self._reject_downgrade(keys)
+            return self.delete_many(keys, deadline=deadline)
+        self._request(
+            Opcode.BULK64_DELETE,
+            encode_bulk64_body(_encode_keys64(keys)),
+            Opcode.OK,
+            deadline=deadline,
+            version=PROTOCOL_VERSION_BULK64,
+        )
+
+    def count_many64(self, keys, *, deadline=None) -> np.ndarray:
+        """Bulk multiplicity estimates; columnar only (no legacy twin)."""
+        if not self.bulk64_supported():
+            raise UnsupportedOperationError(
+                "server does not support bulk64 COUNT frames"
+            )
+        body = self._request(
+            Opcode.BULK64_COUNT,
+            encode_bulk64_body(_encode_keys64(keys)),
+            Opcode.COUNTS64,
+            deadline=deadline,
+            version=PROTOCOL_VERSION_BULK64,
+        )
+        return unpack_counts64(body)
 
     def stats(self) -> dict:
         body = self._request(
@@ -402,6 +561,7 @@ class AsyncFilterClient(_BaseClient):
         *,
         deadline=None,
         use_default_deadline: bool = True,
+        version: int = PROTOCOL_VERSION,
     ) -> bytes:
         """Async twin of :meth:`FilterClient._request`."""
         if use_default_deadline:
@@ -410,7 +570,7 @@ class AsyncFilterClient(_BaseClient):
             self.breaker.allow()
         try:
             opcode, reply = await self._call(
-                self._wrap_deadline(op, body, deadline)
+                self._wrap_deadline(op, body, deadline, version=version)
             )
         except OSError:
             if self.breaker is not None:
@@ -469,6 +629,83 @@ class AsyncFilterClient(_BaseClient):
             Opcode.OK,
             deadline=deadline,
         )
+
+    # -- columnar fastpath ----------------------------------------------
+    async def hello(self) -> tuple[int, int]:
+        """One capability exchange → (server version, feature bits)."""
+        body = await self._request(
+            Opcode.HELLO,
+            encode_hello_body(max(SUPPORTED_VERSIONS), FEATURE_BULK64),
+            Opcode.HELLO,
+            use_default_deadline=False,
+        )
+        return decode_hello_body(body)
+
+    async def bulk64_supported(self) -> bool:
+        """Whether the server speaks bulk64 (one lazy HELLO, cached)."""
+        if self._bulk64 is None:
+            try:
+                self._bulk64 = self._hello_verdict(*await self.hello())
+            except (RemoteError, ProtocolError, ConnectionError, OSError):
+                self._bulk64 = False
+        return self._bulk64
+
+    async def insert_many64(self, keys, *, deadline=None) -> None:
+        """Bulk insert over the columnar fastpath (keys encoded here)."""
+        if not await self.bulk64_supported():
+            self._reject_downgrade(keys)
+            return await self.insert_many(keys, deadline=deadline)
+        await self._request(
+            Opcode.BULK64_INSERT,
+            encode_bulk64_body(_encode_keys64(keys)),
+            Opcode.OK,
+            deadline=deadline,
+            version=PROTOCOL_VERSION_BULK64,
+        )
+
+    async def query_many64(self, keys, *, deadline=None) -> np.ndarray:
+        """Bulk query over the columnar fastpath; returns a bool array."""
+        if not await self.bulk64_supported():
+            self._reject_downgrade(keys)
+            return np.asarray(
+                await self.query_many(keys, deadline=deadline), bool
+            )
+        body = await self._request(
+            Opcode.BULK64_QUERY,
+            encode_bulk64_body(_encode_keys64(keys)),
+            Opcode.BITMAP,
+            deadline=deadline,
+            version=PROTOCOL_VERSION_BULK64,
+        )
+        return unpack_bools_array(body)
+
+    async def delete_many64(self, keys, *, deadline=None) -> None:
+        """Bulk delete over the columnar fastpath (keys encoded here)."""
+        if not await self.bulk64_supported():
+            self._reject_downgrade(keys)
+            return await self.delete_many(keys, deadline=deadline)
+        await self._request(
+            Opcode.BULK64_DELETE,
+            encode_bulk64_body(_encode_keys64(keys)),
+            Opcode.OK,
+            deadline=deadline,
+            version=PROTOCOL_VERSION_BULK64,
+        )
+
+    async def count_many64(self, keys, *, deadline=None) -> np.ndarray:
+        """Bulk multiplicity estimates; columnar only (no legacy twin)."""
+        if not await self.bulk64_supported():
+            raise UnsupportedOperationError(
+                "server does not support bulk64 COUNT frames"
+            )
+        body = await self._request(
+            Opcode.BULK64_COUNT,
+            encode_bulk64_body(_encode_keys64(keys)),
+            Opcode.COUNTS64,
+            deadline=deadline,
+            version=PROTOCOL_VERSION_BULK64,
+        )
+        return unpack_counts64(body)
 
     async def stats(self) -> dict:
         body = await self._request(

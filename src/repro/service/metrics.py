@@ -129,6 +129,10 @@ class ServiceMetrics:
         #: :mod:`repro.observability.spans`.
         self.spans: dict[str, Histogram] = {}
         self.snapshots_written = 0
+        #: Bulk64 frames accepted on the columnar fastpath.
+        self.fastpath_frames = 0
+        #: Pre-encoded u64 keys those frames carried (zero-copy decoded).
+        self.fastpath_keys = 0
 
     # -- recording ------------------------------------------------------
     def record_op(self, name: str, latency_us: float) -> None:
@@ -155,6 +159,11 @@ class ServiceMetrics:
     def record_batch(self, num_requests: int, num_keys: int) -> None:
         self.batch_requests.observe(num_requests)
         self.batch_keys.observe(num_keys)
+
+    def record_fastpath(self, num_keys: int) -> None:
+        """Count one bulk64 frame and the keys its column carried."""
+        self.fastpath_frames += 1
+        self.fastpath_keys += num_keys
 
     @property
     def mean_batch_size(self) -> float:
@@ -189,6 +198,10 @@ class ServiceMetrics:
                 "batch_keys": self.batch_keys.summary(),
             },
             "snapshots_written": self.snapshots_written,
+            "fastpath": {
+                "frames": self.fastpath_frames,
+                "keys": self.fastpath_keys,
+            },
         }
         if filt is not None:
             out["filter"] = {

@@ -15,7 +15,19 @@ Request bodies::
     PING / STATS / SNAPSHOT  (empty)
     INSERT / QUERY / DELETE  key bytes (the whole remaining body)
     BATCH                    u8 sub-op | u32 count | count x (u16 len | key)
+    BULK64_*                 u32 count | count x u64 key  (columnar fastpath)
+    HELLO                    u8 max_version | u32 feature bits
     DEADLINE                 u32 budget_us | u8 inner opcode | inner body
+
+The ``BULK64_*`` frames carry keys the client already ran through the
+library's vectorised FNV-1a encoders (:mod:`repro.hashing.encoders`) as
+a packed little-endian ``uint64`` column.  The server decodes them with
+a zero-copy ``np.frombuffer`` view and hands the array straight to the
+columnar kernels — no per-key length prefixes, no Python loop, no
+re-encoding.  Bulk64 frames are sent under protocol version 2 so that a
+version-1-only server rejects them cleanly; ``HELLO`` lets a client
+discover the capability up front (the server echoes its own version
+ceiling and feature bits).
 
 A ``DEADLINE`` frame wraps any other request and attaches the caller's
 *remaining* time budget in microseconds (client deadline minus elapsed
@@ -27,8 +39,14 @@ reached the filter (see :mod:`repro.overload`).
 Replication bodies (primary → replica, see :mod:`repro.cluster`)::
 
     REPLICATE      u64 seq | u8 op | u32 count | count x (u16 len | key)
+                   columnar ops: u64 seq | u8 op | u32 count | count x u64
     REPL_STATUS    (empty; replica answers JSON {last_seq, ...})
     REPL_SNAPSHOT  u64 seq | snapshot blob (full-state catch-up)
+
+Columnar record ops (``BULK64_INSERT``/``BULK64_DELETE``) swap the
+length-prefixed key list for a packed ``u64`` column; every other
+record op keeps the legacy framing, so replicas replay mixed histories
+record-by-record with no mode switch.
 
 Rebalance bodies (coordinator → node, see :mod:`repro.rebalance`)::
 
@@ -45,6 +63,7 @@ Response bodies::
     OK      (empty)               insert/delete/ping acknowledgement
     BOOL    u8                    single-query result
     BITMAP  u32 count | bits      batch-query results, LSB-first packed
+    COUNTS64 u32 count | count x u64   batch-count results, packed
     JSON    utf-8 JSON            stats / snapshot reports
     ACK     u64 seq               replica's highest applied WAL sequence
     ERROR   u16 code | utf-8 msg  see :class:`ErrorCode`
@@ -60,6 +79,8 @@ import enum
 import json
 import struct
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.errors import (
     CapacityError,
@@ -79,12 +100,17 @@ from repro.errors import (
 
 __all__ = [
     "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_BULK64",
+    "SUPPORTED_VERSIONS",
+    "FEATURE_BULK64",
     "MAX_FRAME_BYTES",
     "MAX_KEY_BYTES",
     "MAX_BUDGET_US",
     "Opcode",
     "ErrorCode",
     "RECORD_OPS",
+    "COLUMNAR_RECORD_OPS",
+    "BULK64_OPS",
     "REBALANCE_OPS",
     "ProtocolError",
     "RemoteError",
@@ -97,6 +123,11 @@ __all__ = [
     "format_retry_after",
     "parse_retry_after",
     "encode_batch_body",
+    "encode_bulk64_body",
+    "decode_bulk64_body",
+    "encode_hello_body",
+    "decode_hello_body",
+    "bulk64_base_op",
     "encode_error_body",
     "decode_error_body",
     "encode_replicate_body",
@@ -117,12 +148,21 @@ __all__ = [
     "decode_migrate_commit_body",
     "pack_bools",
     "unpack_bools",
+    "unpack_bools_array",
+    "pack_counts64",
+    "unpack_counts64",
     "error_code_for",
     "FrameDecoder",
     "read_frame",
 ]
 
 PROTOCOL_VERSION = 1
+#: Version that introduced the columnar bulk64 fastpath frames.
+PROTOCOL_VERSION_BULK64 = 2
+#: Every version this build of the server accepts on the wire.
+SUPPORTED_VERSIONS = (PROTOCOL_VERSION, PROTOCOL_VERSION_BULK64)
+#: HELLO feature bit: the peer speaks BULK64_* / COUNTS64 frames.
+FEATURE_BULK64 = 0x1
 #: Upper bound on one frame's payload; bounds per-connection buffering.
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 #: Keys are length-prefixed with a u16 inside BATCH bodies.
@@ -144,6 +184,12 @@ class Opcode(enum.IntEnum):
     STATS = 0x06
     SNAPSHOT = 0x07
     DEADLINE = 0x08
+    # columnar fastpath requests (protocol v2; packed u64 key columns)
+    BULK64_INSERT = 0x09
+    BULK64_DELETE = 0x0A
+    BULK64_QUERY = 0x0B
+    BULK64_COUNT = 0x0C
+    HELLO = 0x0D
     # replication (primary → replica; see repro.cluster.replication)
     REPLICATE = 0x10
     REPL_STATUS = 0x11
@@ -152,6 +198,12 @@ class Opcode(enum.IntEnum):
     # keys[0] is the migration header, see repro.rebalance.migrator)
     MIG_INSERT = 0x13
     MIG_DELETE = 0x14
+    # migration applies of columnar-sourced keys: framing is identical
+    # to MIG_* (keys[0] header, keys[1:] keys) but each key is the
+    # 8-byte little-endian packing of an already-encoded u64, applied
+    # without re-encoding (see repro.rebalance.migrator)
+    MIG_INSERT64 = 0x15
+    MIG_DELETE64 = 0x16
     # rebalance control (coordinator → node; see repro.rebalance)
     RING_EPOCH = 0x20
     MIGRATE_BEGIN = 0x21
@@ -166,20 +218,56 @@ class Opcode(enum.IntEnum):
     BITMAP = 0x83
     JSON = 0x84
     ACK = 0x85
+    COUNTS64 = 0x86
 
 
 #: Opcodes a BATCH frame may carry as its sub-operation.
 BATCH_SUBOPS = (Opcode.INSERT, Opcode.QUERY, Opcode.DELETE)
 
+#: The columnar fastpath request frames (packed u64 key columns).
+BULK64_OPS = (
+    Opcode.BULK64_INSERT,
+    Opcode.BULK64_DELETE,
+    Opcode.BULK64_QUERY,
+    Opcode.BULK64_COUNT,
+)
+
+#: Record ops whose key payload is a packed u64 column rather than a
+#: length-prefixed byte-key list (WAL columnar record type; replication
+#: ships them with the same framing).
+COLUMNAR_RECORD_OPS = (Opcode.BULK64_INSERT, Opcode.BULK64_DELETE)
+
 #: Mutation ops a WAL record (and hence a REPLICATE body) may carry.
 #: The MIG_* flavours are migration applies: ``keys[0]`` is a header
-#: blob naming the plan and source sequence, ``keys[1:]`` the real keys.
+#: blob naming the plan and source sequence, ``keys[1:]`` the real keys
+#: (8-byte packed pre-encoded u64s for the ``*64`` flavours).  The
+#: BULK64_* flavours are columnar records — their keys travel as a
+#: packed u64 column.
 RECORD_OPS = (
     Opcode.INSERT,
     Opcode.DELETE,
+    Opcode.BULK64_INSERT,
+    Opcode.BULK64_DELETE,
     Opcode.MIG_INSERT,
     Opcode.MIG_DELETE,
+    Opcode.MIG_INSERT64,
+    Opcode.MIG_DELETE64,
 )
+
+#: Maps each bulk64 request frame to the batching-layer op it fuses
+#: with.  INSERT/QUERY/DELETE coalesce with their legacy equivalents;
+#: BULK64_COUNT has no legacy twin and batches under its own op.
+_BULK64_BASE = {
+    Opcode.BULK64_INSERT: Opcode.INSERT,
+    Opcode.BULK64_DELETE: Opcode.DELETE,
+    Opcode.BULK64_QUERY: Opcode.QUERY,
+    Opcode.BULK64_COUNT: Opcode.BULK64_COUNT,
+}
+
+
+def bulk64_base_op(opcode: Opcode) -> Opcode:
+    """The batching-layer op a bulk64 request frame coalesces under."""
+    return _BULK64_BASE[opcode]
 
 #: Rebalance control opcodes the server routes to its rebalance state.
 REBALANCE_OPS = (
@@ -262,17 +350,27 @@ def error_code_for(exc: BaseException) -> ErrorCode:
 
 @dataclass
 class Request:
-    """A parsed request frame: an operation over one or more keys."""
+    """A parsed request frame: an operation over one or more keys.
+
+    Legacy frames carry ``keys`` as a list of raw byte strings; bulk64
+    frames carry a read-only ``uint64`` ndarray view over the frame
+    body (``columnar=True``) — the keys are already encoded and flow to
+    the kernels without copying or re-hashing.
+    """
 
     op: Opcode
-    keys: list[bytes]
+    keys: "list[bytes] | np.ndarray"
     #: True when the request arrived as a single-key frame (response is
     #: OK/BOOL) rather than a BATCH frame (response is OK/BITMAP).
     single: bool
+    #: True when keys is a pre-encoded u64 column (bulk64 fastpath).
+    columnar: bool = False
 
 
 # -- encoding -----------------------------------------------------------
-def encode_frame(opcode: Opcode, body: bytes = b"") -> bytes:
+def encode_frame(
+    opcode: Opcode, body: bytes = b"", *, version: int = PROTOCOL_VERSION
+) -> bytes:
     """Serialise one frame (header + version + opcode + body)."""
     payload_len = 2 + len(body)
     if payload_len > MAX_FRAME_BYTES:
@@ -282,49 +380,113 @@ def encode_frame(opcode: Opcode, body: bytes = b"") -> bytes:
         )
     return (
         _HEADER.pack(payload_len)
-        + _PAYLOAD_PREFIX.pack(PROTOCOL_VERSION, opcode)
+        + _PAYLOAD_PREFIX.pack(version, opcode)
         + body
     )
 
 
+_KEY_LEN = struct.Struct("<H")
+_OP_COUNT = struct.Struct("<BI")
+
+
 def _encode_op_keys(op: Opcode, keys: list[bytes]) -> bytes:
-    """Pack ``u8 op | u32 count | count x (u16 len | key)``."""
-    parts = [struct.pack("<BI", op, len(keys))]
+    """Pack ``u8 op | u32 count | count x (u16 len | key)``.
+
+    One preallocated buffer, filled with ``pack_into`` + slice assigns
+    — no per-key ``bytes`` objects, no join of O(keys) fragments.
+    """
+    total = 5
     for key in keys:
         if len(key) > MAX_KEY_BYTES:
             raise ProtocolError(
                 f"key of {len(key)} bytes exceeds the {MAX_KEY_BYTES}-byte limit"
             )
-        parts.append(struct.pack("<H", len(key)))
-        parts.append(key)
-    return b"".join(parts)
+        total += 2 + len(key)
+    out = bytearray(total)
+    _OP_COUNT.pack_into(out, 0, op, len(keys))
+    pos = 5
+    pack_len = _KEY_LEN.pack_into
+    for key in keys:
+        key_len = len(key)
+        pack_len(out, pos, key_len)
+        pos += 2
+        out[pos : pos + key_len] = key
+        pos += key_len
+    return bytes(out)
 
 
 def _parse_op_keys(
-    body: bytes, pos: int, allowed: tuple[Opcode, ...], kind: str
+    body: bytes,
+    pos: int,
+    allowed: tuple[Opcode, ...],
+    kind: str,
+    op_label: str | None = None,
 ) -> tuple[Opcode, list[bytes], int]:
     """Inverse of :func:`_encode_op_keys`; returns (op, keys, end)."""
+    label = op_label if op_label is not None else f"{kind} op"
     if pos + 5 > len(body):
         raise ProtocolError(f"truncated {kind} header")
-    raw_op, count = struct.unpack_from("<BI", body, pos)
+    raw_op, count = _OP_COUNT.unpack_from(body, pos)
     try:
         op = Opcode(raw_op)
     except ValueError as exc:
-        raise ProtocolError(f"unknown {kind} op 0x{raw_op:02x}") from exc
+        raise ProtocolError(f"unknown {label} 0x{raw_op:02x}") from exc
     if op not in allowed:
-        raise ProtocolError(f"invalid {kind} op {op.name}")
+        raise ProtocolError(f"invalid {label} {op.name}")
     pos += 5
     keys: list[bytes] = []
+    unpack_len = _KEY_LEN.unpack_from
+    size = len(body)
     for _ in range(count):
-        if pos + 2 > len(body):
+        if pos + 2 > size:
             raise ProtocolError(f"truncated {kind} key length")
-        (key_len,) = struct.unpack_from("<H", body, pos)
+        (key_len,) = unpack_len(body, pos)
         pos += 2
-        if pos + key_len > len(body):
+        if pos + key_len > size:
             raise ProtocolError(f"truncated {kind} key")
         keys.append(body[pos : pos + key_len])
         pos += key_len
     return op, keys, pos
+
+
+def _encode_op_keys64(op: Opcode, keys: np.ndarray) -> bytes:
+    """Pack ``u8 op | u32 count | count x u64`` for a columnar record."""
+    arr = np.ascontiguousarray(keys, dtype="<u8")
+    return _OP_COUNT.pack(op, arr.size) + arr.tobytes()
+
+
+def _parse_op_keys64(
+    body: bytes, pos: int, op: Opcode, count: int, kind: str
+) -> tuple[np.ndarray, int]:
+    """Parse the u64 column of a columnar record (op/count pre-read).
+
+    Returns a read-only zero-copy view over ``body`` — safe because the
+    whole filter stack never mutates key arrays in place.
+    """
+    end = pos + count * 8
+    if end > len(body):
+        raise ProtocolError(f"truncated {kind} u64 column")
+    keys = np.frombuffer(body, dtype="<u8", count=count, offset=pos)
+    return keys, end
+
+
+def _parse_record_tail(
+    body: bytes, pos: int, kind: str
+) -> "tuple[Opcode, list[bytes] | np.ndarray, int]":
+    """Parse a record tail, dispatching on op: legacy vs columnar framing."""
+    if pos + 5 > len(body):
+        raise ProtocolError(f"truncated {kind} header")
+    raw_op, count = _OP_COUNT.unpack_from(body, pos)
+    try:
+        op = Opcode(raw_op)
+    except ValueError as exc:
+        raise ProtocolError(f"unknown {kind} op 0x{raw_op:02x}") from exc
+    if op not in RECORD_OPS:
+        raise ProtocolError(f"invalid {kind} op {op.name}")
+    if op in COLUMNAR_RECORD_OPS:
+        keys, pos = _parse_op_keys64(body, pos + 5, op, count, kind)
+        return op, keys, pos
+    return _parse_op_keys(body, pos, RECORD_OPS, kind)
 
 
 # -- deadlines & overload hints -----------------------------------------
@@ -405,27 +567,99 @@ def encode_batch_body(subop: Opcode, keys: list[bytes]) -> bytes:
     return _encode_op_keys(subop, keys)
 
 
-def encode_replicate_body(seq: int, subop: Opcode, keys: list[bytes]) -> bytes:
+_BULK64_PREFIX = struct.Struct("<I")
+_HELLO_BODY = struct.Struct("<BI")
+
+
+def encode_bulk64_body(keys) -> bytes:
+    """Build a BULK64_* body: ``u32 count | count x u64`` packed keys.
+
+    ``keys`` is anything :func:`np.asarray` turns into a ``uint64``
+    column — typically the output of the library's vectorised encoders.
+    On little-endian hosts the array's buffer is appended as-is.
+    """
+    arr = np.ascontiguousarray(keys, dtype="<u8")
+    if arr.ndim != 1:
+        raise ProtocolError(
+            f"bulk64 keys must be a 1-d u64 column, got shape {arr.shape}"
+        )
+    if arr.size == 0:
+        raise ProtocolError("bulk64 frame carries no keys")
+    body_len = 4 + arr.size * 8
+    if body_len + 2 > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"bulk64 body of {body_len} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte frame limit"
+        )
+    return _BULK64_PREFIX.pack(arr.size) + arr.tobytes()
+
+
+def decode_bulk64_body(body: bytes) -> np.ndarray:
+    """Inverse of :func:`encode_bulk64_body` — a zero-copy u64 view.
+
+    The returned array is a read-only ``np.frombuffer`` view over the
+    frame body (no copy); validation is count/length agreement only, so
+    decode cost is O(1) in the number of keys.
+    """
+    if len(body) < 4:
+        raise ProtocolError("truncated bulk64 header")
+    (count,) = _BULK64_PREFIX.unpack_from(body)
+    if count == 0:
+        raise ProtocolError("bulk64 frame carries no keys")
+    if len(body) - 4 != count * 8:
+        raise ProtocolError(
+            f"bulk64 body holds {len(body) - 4} key bytes, "
+            f"count {count} needs {count * 8}"
+        )
+    return np.frombuffer(body, dtype="<u8", count=count, offset=4)
+
+
+def encode_hello_body(version: int, features: int) -> bytes:
+    """Build a HELLO body: the sender's version ceiling + feature bits."""
+    if not 0 <= version <= 0xFF:
+        raise ProtocolError(f"hello version {version} out of u8 range")
+    return _HELLO_BODY.pack(version, features & 0xFFFFFFFF)
+
+
+def decode_hello_body(body: bytes) -> tuple[int, int]:
+    """Inverse of :func:`encode_hello_body` → (version, features)."""
+    if len(body) != _HELLO_BODY.size:
+        raise ProtocolError(
+            f"hello body must be {_HELLO_BODY.size} bytes, got {len(body)}"
+        )
+    version, features = _HELLO_BODY.unpack(body)
+    return version, features
+
+
+def encode_replicate_body(seq: int, subop: Opcode, keys) -> bytes:
     """Build a REPLICATE body: WAL sequence, then a BATCH-shaped tail.
 
     The key encoding after the ``u64 seq`` prefix is byte-identical to
     :func:`encode_batch_body`, so replicas reuse the same parser.  Any
     :data:`RECORD_OPS` member is accepted: replication ships migration
-    applies (MIG_*) with the same framing as client mutations.
+    applies (MIG_*) with the same framing as client mutations, and
+    columnar records (BULK64_*) with their packed u64 column intact —
+    the replica replays the exact pre-encoded keys, never re-hashing.
     """
     if seq < 0:
         raise ProtocolError(f"replication sequence must be >= 0, got {seq}")
     if subop not in RECORD_OPS:
         raise ProtocolError(f"invalid replicate op {subop!r}")
-    return struct.pack("<Q", seq) + _encode_op_keys(subop, keys)
+    if subop in COLUMNAR_RECORD_OPS:
+        tail = _encode_op_keys64(subop, keys)
+    else:
+        tail = _encode_op_keys(subop, keys)
+    return struct.pack("<Q", seq) + tail
 
 
-def decode_replicate_body(body: bytes) -> tuple[int, Opcode, list[bytes]]:
+def decode_replicate_body(
+    body: bytes,
+) -> "tuple[int, Opcode, list[bytes] | np.ndarray]":
     """Inverse of :func:`encode_replicate_body`."""
     if len(body) < 8:
         raise ProtocolError("truncated replicate body")
     (seq,) = struct.unpack_from("<Q", body)
-    op, keys, pos = _parse_op_keys(body, 8, RECORD_OPS, "replicate")
+    op, keys, pos = _parse_record_tail(body, 8, "replicate")
     if pos != len(body):
         raise ProtocolError(
             f"{len(body) - pos} trailing bytes after replicate keys"
@@ -461,34 +695,39 @@ def decode_repl_snapshot_body(body: bytes) -> tuple[int, bytes]:
 
 # -- rebalance bodies (see repro.rebalance) -----------------------------
 def encode_migrate_records(
-    records: list[tuple[int, Opcode, list[bytes]]],
+    records: "list[tuple[int, Opcode, list[bytes] | np.ndarray]]",
 ) -> bytes:
-    """Pack migration records: count, then (seq, op, keys) triples."""
+    """Pack migration records: count, then (seq, op, keys) triples.
+
+    Columnar records (BULK64_*) pack their keys as a u64 column; every
+    other op uses the legacy length-prefixed framing.
+    """
     parts = [struct.pack("<I", len(records))]
     for seq, op, keys in records:
         if op not in RECORD_OPS:
             raise ProtocolError(f"invalid migrate record op {op!r}")
         parts.append(struct.pack("<Q", seq))
-        parts.append(_encode_op_keys(op, keys))
+        if op in COLUMNAR_RECORD_OPS:
+            parts.append(_encode_op_keys64(op, keys))
+        else:
+            parts.append(_encode_op_keys(op, keys))
     return b"".join(parts)
 
 
 def decode_migrate_records(
     body: bytes, offset: int = 0
-) -> list[tuple[int, Opcode, list[bytes]]]:
+) -> "list[tuple[int, Opcode, list[bytes] | np.ndarray]]":
     """Inverse of :func:`encode_migrate_records`; consumes to the end."""
     if offset + 4 > len(body):
         raise ProtocolError("truncated migrate records header")
     (count,) = struct.unpack_from("<I", body, offset)
     pos = offset + 4
-    records: list[tuple[int, Opcode, list[bytes]]] = []
+    records: "list[tuple[int, Opcode, list[bytes] | np.ndarray]]" = []
     for _ in range(count):
         if pos + 8 > len(body):
             raise ProtocolError("truncated migrate record sequence")
         (seq,) = struct.unpack_from("<Q", body, pos)
-        op, keys, pos = _parse_op_keys(
-            body, pos + 8, RECORD_OPS, "migrate record"
-        )
+        op, keys, pos = _parse_record_tail(body, pos + 8, "migrate record")
         records.append((seq, op, keys))
     if pos != len(body):
         raise ProtocolError(
@@ -599,23 +838,18 @@ def decode_error_body(body: bytes) -> tuple[ErrorCode, str]:
 
 
 def pack_bools(values) -> bytes:
-    """Pack an iterable of booleans into a BITMAP body (LSB-first)."""
-    bits = list(values)
-    out = bytearray(struct.pack("<I", len(bits)))
-    acc = 0
-    for i, value in enumerate(bits):
-        if value:
-            acc |= 1 << (i & 7)
-        if (i & 7) == 7:
-            out.append(acc)
-            acc = 0
-    if len(bits) & 7:
-        out.append(acc)
-    return bytes(out)
+    """Pack an iterable of booleans into a BITMAP body (LSB-first).
+
+    Arrays (and anything else iterable) go through ``np.packbits`` with
+    ``bitorder="little"`` — one vectorised pass, no per-bit Python loop.
+    """
+    bits = np.asarray(values, dtype=bool).ravel()
+    return struct.pack("<I", bits.size) + np.packbits(
+        bits, bitorder="little"
+    ).tobytes()
 
 
-def unpack_bools(body: bytes) -> list[bool]:
-    """Inverse of :func:`pack_bools`."""
+def _check_bitmap(body: bytes) -> int:
     if len(body) < 4:
         raise ProtocolError("truncated bitmap body")
     (count,) = struct.unpack_from("<I", body)
@@ -624,7 +858,40 @@ def unpack_bools(body: bytes) -> list[bool]:
         raise ProtocolError(
             f"bitmap body holds {len(body) - 4} bytes, needs {need - 4}"
         )
-    return [bool(body[4 + (i >> 3)] >> (i & 7) & 1) for i in range(count)]
+    return count
+
+
+def unpack_bools(body: bytes) -> list[bool]:
+    """Inverse of :func:`pack_bools`."""
+    return unpack_bools_array(body).tolist()
+
+
+def unpack_bools_array(body: bytes) -> np.ndarray:
+    """Inverse of :func:`pack_bools` as a bool ndarray (vectorised)."""
+    count = _check_bitmap(body)
+    packed = np.frombuffer(body, dtype=np.uint8, offset=4)
+    return np.unpackbits(packed, bitorder="little", count=count).astype(
+        bool, copy=False
+    )
+
+
+def pack_counts64(values) -> bytes:
+    """Pack per-key counts into a COUNTS64 body: u32 count | u64 column."""
+    arr = np.ascontiguousarray(values, dtype="<u8")
+    return struct.pack("<I", arr.size) + arr.tobytes()
+
+
+def unpack_counts64(body: bytes) -> np.ndarray:
+    """Inverse of :func:`pack_counts64` — a zero-copy u64 view."""
+    if len(body) < 4:
+        raise ProtocolError("truncated counts64 body")
+    (count,) = struct.unpack_from("<I", body)
+    if len(body) - 4 != count * 8:
+        raise ProtocolError(
+            f"counts64 body holds {len(body) - 4} bytes, "
+            f"count {count} needs {count * 8}"
+        )
+    return np.frombuffer(body, dtype="<u8", count=count, offset=4)
 
 
 # -- decoding -----------------------------------------------------------
@@ -633,7 +900,7 @@ def decode_payload(payload: bytes) -> tuple[Opcode, bytes]:
     if len(payload) < 2:
         raise ProtocolError(f"payload of {len(payload)} bytes is too short")
     version, raw_op = _PAYLOAD_PREFIX.unpack_from(payload)
-    if version != PROTOCOL_VERSION:
+    if version not in SUPPORTED_VERSIONS:
         raise ProtocolError(f"unsupported protocol version {version}")
     try:
         opcode = Opcode(raw_op)
@@ -657,31 +924,21 @@ def parse_request(opcode: Opcode, body: bytes) -> Request:
             )
         return Request(op=opcode, keys=[body], single=True)
     if opcode == Opcode.BATCH:
-        if len(body) < 5:
-            raise ProtocolError("truncated batch header")
-        raw_subop, count = struct.unpack_from("<BI", body)
-        try:
-            subop = Opcode(raw_subop)
-        except ValueError as exc:
-            raise ProtocolError(f"unknown batch sub-op 0x{raw_subop:02x}") from exc
-        if subop not in BATCH_SUBOPS:
-            raise ProtocolError(f"invalid batch sub-op {subop.name}")
-        keys: list[bytes] = []
-        pos = 5
-        for _ in range(count):
-            if pos + 2 > len(body):
-                raise ProtocolError("truncated batch key length")
-            (key_len,) = struct.unpack_from("<H", body, pos)
-            pos += 2
-            if pos + key_len > len(body):
-                raise ProtocolError("truncated batch key")
-            keys.append(body[pos : pos + key_len])
-            pos += key_len
+        subop, keys, pos = _parse_op_keys(
+            body, 0, BATCH_SUBOPS, "batch", op_label="batch sub-op"
+        )
         if pos != len(body):
             raise ProtocolError(
                 f"{len(body) - pos} trailing bytes after batch keys"
             )
         return Request(op=subop, keys=keys, single=False)
+    if opcode in BULK64_OPS:
+        return Request(
+            op=bulk64_base_op(opcode),
+            keys=decode_bulk64_body(body),
+            single=False,
+            columnar=True,
+        )
     raise ProtocolError(f"opcode {opcode.name} is not a keyed request")
 
 

@@ -31,6 +31,8 @@ import logging
 import signal
 import time
 
+import numpy as np
+
 from repro.errors import (
     ConfigurationError,
     DeadlineExceededError,
@@ -46,10 +48,14 @@ from repro.overload import AdmissionController, Deadline, TokenBucket
 from repro.service.batching import FilterExecutor, MicroBatcher
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
+    FEATURE_BULK64,
+    PROTOCOL_VERSION_BULK64,
     REBALANCE_OPS,
+    SUPPORTED_VERSIONS,
     Opcode,
     ProtocolError,
     decode_deadline_body,
+    decode_hello_body,
     decode_migrate_apply_body,
     decode_migrate_commit_body,
     decode_repl_snapshot_body,
@@ -58,10 +64,12 @@ from repro.service.protocol import (
     encode_ack_body,
     encode_error_body,
     encode_frame,
+    encode_hello_body,
     encode_migrate_read_resp,
     error_code_for,
     format_retry_after,
     pack_bools,
+    pack_counts64,
     parse_request,
     read_frame,
 )
@@ -438,6 +446,8 @@ class FilterServer:
         Opcode.INSERT: "insert",
         Opcode.QUERY: "query",
         Opcode.DELETE: "delete",
+        # Counting is a read probe; price it like a query.
+        Opcode.BULK64_COUNT: "query",
     }
 
     async def _dispatch(
@@ -451,6 +461,14 @@ class FilterServer:
             deadline = Deadline.after(budget_us / 1e6)
         if opcode == Opcode.PING:
             return encode_frame(Opcode.OK)
+        if opcode == Opcode.HELLO:
+            # Capability discovery: echo the server's version ceiling
+            # and feature bits; the client takes the intersection.
+            decode_hello_body(body)
+            return encode_frame(
+                Opcode.HELLO,
+                encode_hello_body(max(SUPPORTED_VERSIONS), FEATURE_BULK64),
+            )
         if opcode == Opcode.STATS:
             report = await self.batcher.run(self._stats_report)
             return encode_frame(
@@ -469,7 +487,17 @@ class FilterServer:
         if opcode in REBALANCE_OPS:
             return await self._dispatch_rebalance(opcode, body)
         with span("protocol_decode", self.metrics):
+            # Bulk64 bodies decode to a zero-copy u64 view; legacy
+            # bodies pay the per-key slicing here.
             request = parse_request(opcode, body)
+        if request.columnar:
+            with span("protocol_copy", self.metrics):
+                # Materialise the column in native byte order.  On a
+                # little-endian host the wire dtype *is* the native
+                # dtype, so this is a no-op view — the span keeps the
+                # decode-vs-copy split honest on any architecture.
+                request.keys = np.asarray(request.keys, dtype=np.uint64)
+            self.metrics.record_fastpath(len(request.keys))
         if self.read_only and request.op in (Opcode.INSERT, Opcode.DELETE):
             raise UnsupportedOperationError(
                 "this node is a read-only replica; send writes to its primary"
@@ -500,6 +528,12 @@ class FilterServer:
                 if request.single:
                     return encode_frame(Opcode.BOOL, bytes([int(result[0])]))
                 return encode_frame(Opcode.BITMAP, pack_bools(result))
+            if request.op == Opcode.BULK64_COUNT:
+                return encode_frame(
+                    Opcode.COUNTS64,
+                    pack_counts64(result),
+                    version=PROTOCOL_VERSION_BULK64,
+                )
             if self.replication is not None:
                 # The WAL holds the record (result is its sequence number);
                 # the ack mode decides whether holding it locally is enough.
@@ -672,33 +706,48 @@ class FilterServer:
         )
         return encode_frame(Opcode.ACK, encode_ack_body(seq))
 
-    def _apply_replicated(self, seq: int, op: Opcode, keys: list[bytes]) -> int:
+    _MIG_APPLY_OPS = (
+        Opcode.MIG_INSERT,
+        Opcode.MIG_DELETE,
+        Opcode.MIG_INSERT64,
+        Opcode.MIG_DELETE64,
+    )
+
+    def _apply_replicated(self, seq: int, op: Opcode, keys) -> int:
         """Apply one replicated record (on the batcher's worker thread).
 
         Records at or below the local WAL head are duplicates from a
         reconnect replay and are acknowledged without re-applying, which
-        makes the stream idempotent.
+        makes the stream idempotent.  Columnar records (BULK64_*) carry
+        a pre-encoded u64 column and apply without re-hashing, so the
+        replica's filter state stays byte-identical to the primary's.
         """
         if seq <= self.wal.last_seq:
             return self.wal.last_seq
         self.wal.append(op, keys, seq=seq)
         self.wal.sync_batch()
-        if op in (Opcode.MIG_INSERT, Opcode.MIG_DELETE):
+        if op in self._MIG_APPLY_OPS:
             # A primary's migration applies flow to its replicas through
             # the ordinary stream.  keys[0] is the plan header; the real
             # keys apply one at a time so a per-key counter error skips
-            # the same key the primary skipped.
+            # the same key the primary skipped.  The *64 flavours carry
+            # 8-byte packings of pre-encoded u64 keys.
+            insert_like = op in (Opcode.MIG_INSERT, Opcode.MIG_INSERT64)
+            packed = op in (Opcode.MIG_INSERT64, Opcode.MIG_DELETE64)
             for key in keys[1:]:
+                column = (
+                    np.frombuffer(key, dtype="<u8") if packed else [key]
+                )
                 try:
-                    if op == Opcode.MIG_INSERT:
-                        self.filter.insert_many([key])
+                    if insert_like:
+                        self.filter.insert_many(column)
                     else:
-                        self.filter.delete_many([key])
+                        self.filter.delete_many(column)
                 except ReproError:
                     pass
             return self.wal.last_seq
         try:
-            if op == Opcode.INSERT:
+            if op in (Opcode.INSERT, Opcode.BULK64_INSERT):
                 self.filter.insert_many(keys)
             else:
                 self.filter.delete_many(keys)

@@ -155,3 +155,44 @@ class TestRead:
         assert desc["segments"] == 1
         assert desc["fsync_policy"] == "batch"
         assert desc["size_bytes"] == wal.size_bytes() > 0
+
+
+class TestColumnarRecords:
+    """BULK64 records round-trip as u64 columns, interleaved with legacy."""
+
+    def test_columnar_round_trip_and_replay(self, tmp_path):
+        import numpy as np
+
+        column = np.array([1, 2**40, 2**64 - 1], dtype=np.uint64)
+        wal = WriteAheadLog(tmp_path)
+        wal.append(Opcode.INSERT, [b"legacy-a", b"legacy-b"])
+        wal.append(Opcode.BULK64_INSERT, column)
+        wal.append(Opcode.BULK64_DELETE, column[:2])
+        wal.sync()
+
+        reopened = WriteAheadLog(tmp_path)
+        records = list(reopened.replay())
+        assert [r.op for r in records] == [
+            Opcode.INSERT,
+            Opcode.BULK64_INSERT,
+            Opcode.BULK64_DELETE,
+        ]
+        assert records[0].keys == (b"legacy-a", b"legacy-b")
+        assert isinstance(records[1].keys, np.ndarray)
+        assert np.array_equal(records[1].keys, column)
+        assert np.array_equal(records[2].keys, column[:2])
+
+    def test_mig64_records_keep_header_and_packed_keys(self, tmp_path):
+        import numpy as np
+
+        packed = [int(v).to_bytes(8, "little") for v in (7, 9, 11)]
+        wal = WriteAheadLog(tmp_path)
+        wal.append(Opcode.MIG_INSERT64, [b"header-blob", *packed])
+        wal.sync()
+        [record] = list(WriteAheadLog(tmp_path).replay())
+        assert record.op == Opcode.MIG_INSERT64
+        assert record.keys[0] == b"header-blob"
+        assert np.array_equal(
+            np.frombuffer(b"".join(record.keys[1:]), dtype="<u8"),
+            np.array([7, 9, 11], dtype=np.uint64),
+        )

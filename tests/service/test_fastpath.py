@@ -1,0 +1,268 @@
+"""Columnar fastpath acceptance: negotiation, differential oracle.
+
+The bulk64 wire path must be an *optimisation*, never a semantic fork:
+a workload driven entirely over BULK64 frames, entirely over legacy
+frames, or mixed across both on one server must leave byte-identical
+filter state and give identical answers.  Client-side key encoding
+makes that non-trivial — the tests here pin that the client's encoder
+agrees with the server's, end to end over a real socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import UnsupportedOperationError
+from repro.filters.factory import FilterSpec, build_filter
+from repro.parallel.sharded import ShardedFilterBank
+from repro.service.client import AsyncFilterClient, FilterClient
+from repro.service.protocol import FEATURE_BULK64, PROTOCOL_VERSION_BULK64
+from repro.service.server import FilterServer
+from repro.service.snapshot import snapshot_bytes
+
+
+def make_bank(num_shards=4, seed=11):
+    spec = FilterSpec(
+        variant="MPCBF-1",
+        memory_bits=64 * 8192,
+        k=3,
+        capacity=4000,
+        seed=seed,
+        extra={"word_overflow": "saturate"},
+    )
+    return ShardedFilterBank(spec, num_shards)
+
+
+async def start_server(filt, **kwargs) -> FilterServer:
+    server = FilterServer(filt, port=0, **kwargs)
+    await server.start()
+    return server
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+KEYS = [b"fp-key-%d" % i for i in range(200)]
+DEAD = KEYS[150:]
+ABSENT = [b"fp-missing-%d" % i for i in range(200)]
+
+
+class TestNegotiation:
+    def test_hello_reports_bulk64(self):
+        async def main():
+            server = await start_server(make_bank())
+            try:
+                with FilterClient(port=server.port) as client:
+                    version, features = await asyncio.to_thread(client.hello)
+                    supported = await asyncio.to_thread(client.bulk64_supported)
+            finally:
+                await server.stop()
+            return version, features, supported
+
+        version, features, supported = run(main())
+        assert version == PROTOCOL_VERSION_BULK64
+        assert features & FEATURE_BULK64
+        assert supported
+
+    def test_async_hello_reports_bulk64(self):
+        async def main():
+            server = await start_server(make_bank())
+            try:
+                async with AsyncFilterClient(port=server.port) as client:
+                    version, features = await client.hello()
+                    supported = await client.bulk64_supported()
+            finally:
+                await server.stop()
+            return version, features, supported
+
+        version, features, supported = run(main())
+        assert version == PROTOCOL_VERSION_BULK64
+        assert features & FEATURE_BULK64
+        assert supported
+
+    def test_downgrade_falls_back_to_legacy_frames(self):
+        """A client that negotiated no bulk64 still serves byte keys."""
+
+        async def main():
+            server = await start_server(make_bank())
+            try:
+                with FilterClient(port=server.port) as client:
+                    client._bulk64 = False  # simulate a v1-only server
+                    await asyncio.to_thread(client.insert_many64, KEYS[:10])
+                    hits = await asyncio.to_thread(
+                        client.query_many64, KEYS[:10]
+                    )
+            finally:
+                await server.stop()
+            return hits
+
+        assert np.asarray(run(main()), dtype=bool).all()
+
+    def test_downgrade_rejects_preencoded_columns(self):
+        """u64 columns cannot be replayed as byte keys — fail loudly."""
+
+        async def main():
+            server = await start_server(make_bank())
+            try:
+                with FilterClient(port=server.port) as client:
+                    client._bulk64 = False
+                    column = np.arange(4, dtype=np.uint64)
+                    try:
+                        await asyncio.to_thread(client.insert_many64, column)
+                    except UnsupportedOperationError:
+                        return True
+                    return False
+            finally:
+                await server.stop()
+
+        assert run(main())
+
+
+class TestDifferentialOracle:
+    """Same workload, different wire paths, identical filter state."""
+
+    def _drive_legacy(self, port):
+        with FilterClient(port=port) as client:
+            client.insert_many(KEYS)
+            client.insert_many(KEYS[:50])  # duplicates: counter depth
+            client.delete_many(DEAD)
+            members = client.query_many(KEYS[:150])
+            ghosts = client.query_many(ABSENT)
+        return np.asarray(members, bool), np.asarray(ghosts, bool)
+
+    def _drive_bulk64(self, port):
+        with FilterClient(port=port) as client:
+            assert client.bulk64_supported()
+            client.insert_many64(KEYS)
+            client.insert_many64(KEYS[:50])
+            client.delete_many64(DEAD)
+            members = client.query_many64(KEYS[:150])
+            ghosts = client.query_many64(ABSENT)
+        return np.asarray(members, bool), np.asarray(ghosts, bool)
+
+    def test_bulk64_and_legacy_state_byte_identical(self):
+        async def main():
+            legacy_server = await start_server(make_bank())
+            bulk_server = await start_server(make_bank())
+            try:
+                legacy = await asyncio.to_thread(
+                    self._drive_legacy, legacy_server.port
+                )
+                bulk = await asyncio.to_thread(
+                    self._drive_bulk64, bulk_server.port
+                )
+                blobs = (
+                    snapshot_bytes(legacy_server.filter),
+                    snapshot_bytes(bulk_server.filter),
+                )
+                stats = await asyncio.to_thread(
+                    lambda: FilterClient(port=bulk_server.port).stats()
+                )
+            finally:
+                await legacy_server.stop()
+                await bulk_server.stop()
+            return legacy, bulk, blobs, stats
+
+        (legacy, bulk, (legacy_blob, bulk_blob), stats) = run(main())
+        assert np.array_equal(legacy[0], bulk[0])
+        assert np.array_equal(legacy[1], bulk[1])
+        assert legacy[0].all()  # no false negatives on either path
+        assert legacy_blob == bulk_blob  # zero state divergence
+        assert stats["fastpath"]["frames"] > 0
+        assert stats["fastpath"]["keys"] >= len(KEYS)
+
+    def test_mixed_clients_one_server_match_legacy_oracle(self):
+        """Legacy and bulk64 clients interleaved on one server converge
+        on the same state a legacy-only server reaches."""
+
+        async def main():
+            mixed_server = await start_server(make_bank())
+            oracle_server = await start_server(make_bank())
+            try:
+                def mixed_traffic(port):
+                    with FilterClient(port=port) as legacy_client, \
+                            FilterClient(port=port) as bulk_client:
+                        legacy_client.insert_many(KEYS[:100])
+                        bulk_client.insert_many64(KEYS[100:])
+                        bulk_client.delete_many64(DEAD[:25])
+                        legacy_client.delete_many(DEAD[25:])
+                        a = legacy_client.query_many(KEYS[:150])
+                        b = bulk_client.query_many64(KEYS[:150])
+                    return np.asarray(a, bool), np.asarray(b, bool)
+
+                def oracle_traffic(port):
+                    with FilterClient(port=port) as client:
+                        client.insert_many(KEYS)
+                        client.delete_many(DEAD)
+                        return np.asarray(client.query_many(KEYS[:150]), bool)
+
+                mixed = await asyncio.to_thread(
+                    mixed_traffic, mixed_server.port
+                )
+                oracle = await asyncio.to_thread(
+                    oracle_traffic, oracle_server.port
+                )
+                blobs = (
+                    snapshot_bytes(mixed_server.filter),
+                    snapshot_bytes(oracle_server.filter),
+                )
+            finally:
+                await mixed_server.stop()
+                await oracle_server.stop()
+            return mixed, oracle, blobs
+
+        (legacy_view, bulk_view), oracle, (mixed_blob, oracle_blob) = run(
+            main()
+        )
+        assert np.array_equal(legacy_view, bulk_view)
+        assert np.array_equal(legacy_view, oracle)
+        assert mixed_blob == oracle_blob
+
+    def test_count_many64_tracks_multiplicity(self):
+        async def main():
+            filt = build_filter(
+                FilterSpec(
+                    variant="CBF",
+                    memory_bits=64 * 4096,
+                    k=3,
+                    capacity=2000,
+                    seed=5,
+                )
+            )
+            server = await start_server(filt)
+            try:
+                def traffic(port):
+                    with FilterClient(port=port) as client:
+                        client.insert_many64(KEYS[:20])
+                        client.insert_many64(KEYS[:10])
+                        client.insert_many64(KEYS[:5])
+                        return client.count_many64(KEYS[:20] + ABSENT[:5])
+
+                counts = await asyncio.to_thread(traffic, server.port)
+            finally:
+                await server.stop()
+            return counts
+
+        counts = np.asarray(run(main()), dtype=np.uint64)
+        # CBF count estimates never under-count.
+        assert (counts[:5] >= 3).all()
+        assert (counts[5:10] >= 2).all()
+        assert (counts[10:20] >= 1).all()
+
+    def test_async_bulk64_round_trip(self):
+        async def main():
+            server = await start_server(make_bank())
+            try:
+                async with AsyncFilterClient(port=server.port) as client:
+                    await client.insert_many64(KEYS[:40])
+                    await client.delete_many64(KEYS[30:40])
+                    hits = await client.query_many64(KEYS[:30])
+            finally:
+                await server.stop()
+            return hits
+
+        assert np.asarray(run(main()), bool).all()

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import struct
 
+import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -15,21 +16,38 @@ from repro.errors import (
     WordOverflowError,
 )
 from repro.service.protocol import (
+    FEATURE_BULK64,
     MAX_FRAME_BYTES,
     PROTOCOL_VERSION,
+    PROTOCOL_VERSION_BULK64,
+    SUPPORTED_VERSIONS,
     ErrorCode,
     FrameDecoder,
     Opcode,
     ProtocolError,
+    decode_bulk64_body,
     decode_error_body,
+    decode_hello_body,
     decode_payload,
     encode_batch_body,
+    encode_bulk64_body,
     encode_error_body,
     encode_frame,
+    encode_hello_body,
     error_code_for,
     pack_bools,
+    pack_counts64,
     parse_request,
     unpack_bools,
+    unpack_bools_array,
+    unpack_counts64,
+)
+
+_BULK64_OPS = (
+    Opcode.BULK64_INSERT,
+    Opcode.BULK64_DELETE,
+    Opcode.BULK64_QUERY,
+    Opcode.BULK64_COUNT,
 )
 
 
@@ -53,9 +71,15 @@ class TestFraming:
         assert all(op == Opcode.QUERY and body == b"bob" for op, body in collected)
 
     def test_bad_version_rejected(self):
-        payload = struct.pack("<BB", PROTOCOL_VERSION + 1, Opcode.PING)
+        bad = max(SUPPORTED_VERSIONS) + 1
+        payload = struct.pack("<BB", bad, Opcode.PING)
         with pytest.raises(ProtocolError, match="version"):
             decode_payload(payload)
+
+    def test_both_supported_versions_accepted(self):
+        for version in SUPPORTED_VERSIONS:
+            payload = struct.pack("<BB", version, Opcode.PING)
+            assert decode_payload(payload) == (Opcode.PING, b"")
 
     def test_unknown_opcode_rejected(self):
         payload = struct.pack("<BB", PROTOCOL_VERSION, 0x66)
@@ -130,6 +154,98 @@ class TestBodies:
         assert error_code_for(RuntimeError("x")) == ErrorCode.INTERNAL
 
 
+class TestBulk64:
+    """The columnar fastpath frames: packed u64 columns, v2 framing."""
+
+    def test_body_round_trip(self):
+        keys = np.array([0, 1, 2**63, 2**64 - 1, 42], dtype=np.uint64)
+        for op in _BULK64_OPS:
+            request = parse_request(op, encode_bulk64_body(keys))
+            assert request.columnar
+            assert not request.single
+            assert np.array_equal(
+                np.asarray(request.keys, dtype=np.uint64), keys
+            )
+
+    def test_base_op_mapping(self):
+        body = encode_bulk64_body(np.array([7], dtype=np.uint64))
+        assert parse_request(Opcode.BULK64_INSERT, body).op == Opcode.INSERT
+        assert parse_request(Opcode.BULK64_DELETE, body).op == Opcode.DELETE
+        assert parse_request(Opcode.BULK64_QUERY, body).op == Opcode.QUERY
+        assert (
+            parse_request(Opcode.BULK64_COUNT, body).op == Opcode.BULK64_COUNT
+        )
+
+    def test_body_is_little_endian(self):
+        body = encode_bulk64_body(np.array([0x0102030405060708], dtype=np.uint64))
+        assert body == struct.pack("<I", 1) + bytes(
+            [8, 7, 6, 5, 4, 3, 2, 1]
+        )
+
+    def test_decode_is_zero_copy(self):
+        body = encode_bulk64_body(np.arange(16, dtype=np.uint64))
+        keys = decode_bulk64_body(body)
+        assert keys.base is not None  # a view over the body, not a copy
+        assert not keys.flags.writeable
+
+    def test_empty_column_rejected(self):
+        with pytest.raises(ProtocolError, match="no keys"):
+            decode_bulk64_body(struct.pack("<I", 0))
+        with pytest.raises(ProtocolError):
+            encode_bulk64_body(np.array([], dtype=np.uint64))
+
+    def test_truncated_body_rejected(self):
+        body = encode_bulk64_body(np.arange(4, dtype=np.uint64))
+        for cut in (len(body) - 1, len(body) - 8, 3, 4, 5):
+            with pytest.raises(ProtocolError):
+                decode_bulk64_body(body[:cut])
+
+    def test_count_length_mismatch_rejected(self):
+        column = np.arange(4, dtype=np.uint64).tobytes()
+        for claimed in (3, 5, 2**32 - 1):
+            with pytest.raises(ProtocolError):
+                decode_bulk64_body(struct.pack("<I", claimed) + column)
+
+    def test_trailing_garbage_rejected(self):
+        body = encode_bulk64_body(np.arange(4, dtype=np.uint64))
+        with pytest.raises(ProtocolError):
+            decode_bulk64_body(body + b"x")
+
+    def test_v2_frame_round_trip(self):
+        keys = np.arange(64, dtype=np.uint64)
+        frame = encode_frame(
+            Opcode.BULK64_INSERT,
+            encode_bulk64_body(keys),
+            version=PROTOCOL_VERSION_BULK64,
+        )
+        decoder = FrameDecoder()
+        decoder.feed(frame)
+        [(opcode, body)] = list(decoder.frames())
+        assert opcode == Opcode.BULK64_INSERT
+        assert np.array_equal(decode_bulk64_body(body), keys)
+
+    def test_hello_round_trip(self):
+        body = encode_hello_body(PROTOCOL_VERSION_BULK64, FEATURE_BULK64)
+        assert decode_hello_body(body) == (
+            PROTOCOL_VERSION_BULK64,
+            FEATURE_BULK64,
+        )
+        with pytest.raises(ProtocolError):
+            decode_hello_body(body + b"x")
+        with pytest.raises(ProtocolError):
+            decode_hello_body(body[:-1])
+
+    def test_counts64_round_trip(self):
+        counts = np.array([0, 1, 2**40, 2**64 - 1], dtype=np.uint64)
+        assert np.array_equal(unpack_counts64(pack_counts64(counts)), counts)
+
+    def test_bitmap_array_round_trip(self):
+        for pattern in ([], [True], [False] * 9, [True, False] * 37):
+            packed = pack_bools(pattern)
+            assert unpack_bools_array(packed).tolist() == pattern
+            assert unpack_bools(packed) == pattern
+
+
 class TestFuzz:
     """Arbitrary bytes must produce ProtocolError or clean parses — never
     any other exception.  (The server turns ProtocolError into an error
@@ -147,6 +263,7 @@ class TestFuzz:
                     Opcode.QUERY,
                     Opcode.DELETE,
                     Opcode.BATCH,
+                    *_BULK64_OPS,
                 ):
                     parse_request(opcode, body)
         except ProtocolError:
@@ -157,6 +274,36 @@ class TestFuzz:
     def test_batch_body_parse_never_crashes(self, body):
         try:
             parse_request(Opcode.BATCH, body)
+        except ProtocolError:
+            pass
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.binary(max_size=128))
+    def test_bulk64_body_parse_never_crashes(self, body):
+        for op in _BULK64_OPS:
+            try:
+                parse_request(op, body)
+            except ProtocolError:
+                pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.binary(min_size=1, max_size=32))
+    def test_corrupted_bulk64_frame_never_crashes(self, noise):
+        frame = bytearray(
+            encode_frame(
+                Opcode.BULK64_QUERY,
+                encode_bulk64_body(np.arange(8, dtype=np.uint64)),
+                version=PROTOCOL_VERSION_BULK64,
+            )
+        )
+        for i, byte in enumerate(noise):
+            frame[byte % len(frame)] ^= (i % 255) + 1
+        decoder = FrameDecoder()
+        decoder.feed(bytes(frame))
+        try:
+            for opcode, body in decoder.frames():
+                if opcode in _BULK64_OPS:
+                    parse_request(opcode, body)
         except ProtocolError:
             pass
 
