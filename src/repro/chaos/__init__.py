@@ -1,0 +1,48 @@
+"""Deterministic fault-injection simulation harness (``repro.chaos``).
+
+Runs the *unmodified* server, replication, and client code over
+simulated transport, time, and storage so thousands of fault schedules
+(crashes, partitions, torn WAL tails) can be explored deterministically
+from a single seed — and any failure replayed bit-for-bit.
+
+Components
+----------
+:class:`~repro.chaos.clock.SimClock` / :class:`~repro.chaos.clock.SimEventLoop`
+    Virtual time: an asyncio event loop whose ``time()`` is a counter
+    advanced instantly to the next scheduled callback, so a 60-second
+    fault schedule executes in milliseconds.
+:class:`~repro.chaos.network.SimNetwork`
+    In-memory StreamReader/StreamWriter transport with injectable
+    delay, drop, reorder, duplication, partitions, and resets, plugged
+    into the production code through the
+    :class:`~repro.service.transport.Transport` seam.
+:class:`~repro.chaos.storage.FaultyStorage`
+    File/fsync seam that tracks which bytes were actually fsynced and
+    can tear unsynced WAL tails on crash, fail fsyncs, or inject
+    ENOSPC mid-write.
+:class:`~repro.chaos.schedule.Schedule`
+    A seeded, canonical op/fault interleaving (JSON round-trippable,
+    content-addressed by digest) plus ddmin shrinking.
+:class:`~repro.chaos.runner.ChaosRunner`
+    Drives a primary + replicas cluster through a schedule, folds the
+    primary's WAL into a scalar oracle, and asserts zero acked-write
+    loss and snapshot byte-identity.
+"""
+
+from repro.chaos.clock import SimClock, SimEventLoop
+from repro.chaos.network import SimNetwork
+from repro.chaos.schedule import Event, Schedule, shrink_schedule
+from repro.chaos.storage import FaultyStorage
+from repro.chaos.runner import ChaosRunner, run_seed
+
+__all__ = [
+    "SimClock",
+    "SimEventLoop",
+    "SimNetwork",
+    "FaultyStorage",
+    "Event",
+    "Schedule",
+    "shrink_schedule",
+    "ChaosRunner",
+    "run_seed",
+]

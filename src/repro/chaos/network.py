@@ -1,0 +1,417 @@
+"""In-memory simulated network behind the Transport seam.
+
+A :class:`SimNetwork` hosts named *endpoints* ("n0", "client", ...).
+Each endpoint is a :class:`~repro.service.transport.Transport`, so the
+unmodified server/replication/client code dials and accepts exactly as
+it would over TCP — but every connection is a pair of in-process
+directed pipes feeding real ``asyncio.StreamReader`` objects, with
+injectable per-link message delay, drops, duplication, reordering,
+one- and two-way partitions, and connection resets.
+
+Fidelity choices (deliberately TCP-shaped):
+
+- A pipe delivers chunks **in order**: each delivery is scheduled no
+  earlier than the previous one (the ``reorder`` fault knob bypasses
+  this floor explicitly, for tests of the fault machinery itself).
+- A partition **stalls** delivery rather than dropping it: chunks
+  queue and flow again on heal, like a retransmitting TCP stream.
+  Dialling a partitioned endpoint refuses the connection.
+- ``transport.abort()`` is an RST: queued data is discarded and both
+  sides' readers raise :class:`ConnectionResetError`.
+- ``writer.close()`` is a FIN: queued data still delivers, then the
+  peer reads EOF.
+
+Everything is scheduled on the (virtual-time) event loop with
+deterministic delays, so a run is a pure function of the seed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.service.transport import Transport
+
+__all__ = ["SimNetwork", "SimEndpoint", "SimServer"]
+
+#: Epsilon between consecutive deliveries on one pipe — keeps timer
+#: ordering strict so heapq tie-breaking can never reorder a stream.
+_ORDER_EPS = 1e-9
+
+
+@dataclass
+class _LinkFaults:
+    """Probabilistic fault knobs for one directed link."""
+
+    drop: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0  # extra uniform delay window (seconds)
+    rng: object = None
+
+
+class _Pipe:
+    """One direction of a connection: writer side → reader side."""
+
+    def __init__(self, net: "SimNetwork", src: str, dst: str) -> None:
+        self.net = net
+        self.src = src
+        self.dst = dst
+        self.reader = asyncio.StreamReader()
+        #: Reset (RST): queued deliveries are discarded.
+        self.closed = False
+        #: Half-closed (FIN sent): no further writes accepted, but
+        #: everything already scheduled — including the EOF — delivers.
+        self.write_closed = False
+        self._next_time = 0.0
+        self._stalled: list[object] = []  # chunks parked by a partition
+
+    # -- scheduling -------------------------------------------------------
+    def _schedule(self, item, extra_delay: float = 0.0) -> None:
+        """Queue ``item`` (bytes, EOF, or exception) for ordered delivery."""
+        loop = self.net._running_loop()
+        now = loop.time()
+        deliver_at = max(
+            now + self.net.delay(self.src, self.dst) + extra_delay,
+            self._next_time,
+        )
+        self._next_time = deliver_at + _ORDER_EPS
+        loop.call_at(deliver_at, self._deliver, item)
+
+    def send(self, data: bytes) -> None:
+        if self.closed or self.write_closed:
+            return  # writes into a closed connection vanish, like TCP
+        faults = self.net._faults.get((self.src, self.dst))
+        if faults is not None and faults.rng is not None:
+            if faults.drop and faults.rng.random() < faults.drop:
+                return
+            if faults.reorder and faults.rng.random() < 0.5:
+                # Bypass the ordering floor: schedule at an absolute
+                # time that may undercut queued chunks.
+                loop = self.net._running_loop()
+                when = (
+                    loop.time()
+                    + self.net.delay(self.src, self.dst)
+                    + faults.rng.uniform(0.0, faults.reorder)
+                )
+                loop.call_at(when, self._deliver, data)
+                return
+            if faults.duplicate and faults.rng.random() < faults.duplicate:
+                self._schedule(data)
+        self._schedule(data)
+
+    def send_eof(self) -> None:
+        if not self.closed and not self.write_closed:
+            self._schedule(_EOF)
+        self.write_closed = True
+
+    def _deliver(self, item) -> None:
+        if self.closed:
+            return
+        if self.net.is_blocked(self.src, self.dst):
+            self._stalled.append(item)
+            return
+        if item is _EOF:
+            self.reader.feed_eof()
+        elif isinstance(item, Exception):
+            try:
+                self.reader.set_exception(item)
+            except Exception:
+                pass
+        else:
+            self.reader.feed_data(item)
+
+    def release(self) -> None:
+        """Re-schedule everything a partition parked (heal path)."""
+        if not self._stalled:
+            return
+        stalled, self._stalled = self._stalled, []
+        for item in stalled:
+            self._schedule(item)
+
+    def reset(self) -> None:
+        """RST this direction: drop queued data, poison the reader."""
+        if self.closed:
+            return
+        self.closed = True  # queued _deliver calls become no-ops
+        self._stalled.clear()
+        loop = self.net._running_loop()
+        if not self.reader.at_eof():
+            loop.call_soon(self._poison)
+
+    def _poison(self) -> None:
+        try:
+            self.reader.set_exception(ConnectionResetError("simulated reset"))
+        except Exception:
+            pass
+
+
+_EOF = object()  # sentinel delivered in-order to mark clean close
+
+
+class _SimTransportHandle:
+    """Stand-in for the writer's ``.transport`` (supports ``abort``)."""
+
+    def __init__(self, conn: "_SimConnection") -> None:
+        self._conn = conn
+
+    def abort(self) -> None:
+        self._conn.reset()
+
+    def is_closing(self) -> bool:
+        return self._conn.closed
+
+
+class SimStreamWriter:
+    """Duck-typed ``asyncio.StreamWriter`` over one simulated pipe."""
+
+    def __init__(self, conn: "_SimConnection", pipe: _Pipe, peer: str) -> None:
+        self._conn = conn
+        self._pipe = pipe
+        self._peer = peer
+        self.transport = _SimTransportHandle(conn)
+
+    def write(self, data: bytes) -> None:
+        self._pipe.send(bytes(data))
+
+    def writelines(self, chunks) -> None:
+        for chunk in chunks:
+            self.write(chunk)
+
+    async def drain(self) -> None:
+        if self._pipe.closed:
+            raise ConnectionResetError("simulated connection reset")
+        # Yield once so a same-tick reader can be scheduled, mirroring
+        # the real drain's cooperative behaviour.
+        await asyncio.sleep(0)
+
+    def close(self) -> None:
+        self._conn.close_from(self._pipe)
+
+    def is_closing(self) -> bool:
+        return self._pipe.closed or self._pipe.write_closed
+
+    async def wait_closed(self) -> None:
+        return None
+
+    def get_extra_info(self, name: str, default=None):
+        if name == "peername":
+            return (self._peer, 0)
+        return default
+
+
+class _SimConnection:
+    """A full-duplex connection: two pipes + two writers."""
+
+    def __init__(self, net: "SimNetwork", dialer: str, target: str) -> None:
+        self.net = net
+        self.dialer = dialer
+        self.target = target
+        self.closed = False
+        self.to_server = _Pipe(net, dialer, target)
+        self.to_client = _Pipe(net, target, dialer)
+        self.client_writer = SimStreamWriter(self, self.to_server, target)
+        self.server_writer = SimStreamWriter(self, self.to_client, dialer)
+
+    @property
+    def endpoints(self) -> Tuple[str, str]:
+        return (self.dialer, self.target)
+
+    def close_from(self, pipe: _Pipe) -> None:
+        """FIN from one side: flush that direction, then EOF."""
+        pipe.send_eof()
+        self._maybe_forget()
+
+    def reset(self) -> None:
+        """RST both directions immediately."""
+        if self.closed:
+            return
+        self.closed = True
+        self.to_server.reset()
+        self.to_client.reset()
+        self.net._connections.discard(self)
+
+    def _maybe_forget(self) -> None:
+        if self.to_server.write_closed and self.to_client.write_closed:
+            self.closed = True
+            self.net._connections.discard(self)
+
+
+class SimServer:
+    """Handle returned by :meth:`SimEndpoint.start_server`."""
+
+    def __init__(
+        self, net: "SimNetwork", endpoint: str, host: str, port: int, handler
+    ) -> None:
+        self.net = net
+        self.endpoint = endpoint
+        self.host = host
+        self.port = port
+        self.handler = handler
+        self.closed = False
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.net._servers.pop((self.host, self.port), None)
+
+    async def wait_closed(self) -> None:
+        return None
+
+
+class SimEndpoint(Transport):
+    """One named party on the network; plugs into the Transport seam."""
+
+    def __init__(self, net: "SimNetwork", name: str) -> None:
+        self.net = net
+        self.name = name
+
+    async def start_server(self, handler, host: str, port: int):
+        if port == 0:
+            port = self.net._next_ephemeral()
+        key = (host, port)
+        if key in self.net._servers:
+            raise OSError(98, f"simulated address in use: {host}:{port}")
+        server = SimServer(self.net, self.name, host, port, handler)
+        self.net._servers[key] = server
+        return server
+
+    def server_port(self, server) -> int:
+        return server.port
+
+    async def open_connection(self, host: str, port: int):
+        server = self.net._servers.get((host, port))
+        if server is None or server.closed:
+            raise ConnectionRefusedError(
+                f"simulated connect refused: nothing listening on "
+                f"{host}:{port}"
+            )
+        if self.net.is_blocked(self.name, server.endpoint) or (
+            self.net.is_blocked(server.endpoint, self.name)
+        ):
+            raise ConnectionRefusedError(
+                f"simulated partition: {self.name} cannot reach "
+                f"{server.endpoint}"
+            )
+        conn = _SimConnection(self.net, self.name, server.endpoint)
+        self.net._connections.add(conn)
+        loop = self.net._running_loop()
+        loop.create_task(
+            server.handler(conn.to_server.reader, conn.server_writer)
+        )
+        return conn.to_client.reader, conn.client_writer
+
+    def create_connection(self, host, port, *, timeout_s=None):
+        raise OSError(
+            "the simulated network is asyncio-only; the blocking "
+            "FilterClient cannot dial a SimNetwork endpoint"
+        )
+
+
+class SimNetwork:
+    """Registry of endpoints, servers, live connections, and faults.
+
+    Construct one per simulation, hand each simulated party its own
+    :meth:`endpoint`, then steer faults mid-run::
+
+        net = SimNetwork(default_delay_s=0.001)
+        server_transport = net.endpoint("n0")
+        client_transport = net.endpoint("client")
+        ...
+        net.partition("n0", "n1")     # two-way stall
+        net.heal("n0", "n1")          # queued chunks flow again
+        net.reset_endpoint("n0")      # RST every live connection of n0
+    """
+
+    def __init__(self, *, default_delay_s: float = 0.001) -> None:
+        self.default_delay_s = default_delay_s
+        self._servers: Dict[Tuple[str, int], SimServer] = {}
+        self._connections: Set[_SimConnection] = set()
+        self._blocked: Set[Tuple[str, str]] = set()
+        self._delays: Dict[Tuple[str, str], float] = {}
+        self._faults: Dict[Tuple[str, str], _LinkFaults] = {}
+        self._ephemeral = 49152
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+
+    # -- plumbing ---------------------------------------------------------
+    def _running_loop(self) -> asyncio.AbstractEventLoop:
+        if self._loop is None:
+            self._loop = asyncio.get_running_loop()
+        return self._loop
+
+    def _next_ephemeral(self) -> int:
+        self._ephemeral += 1
+        return self._ephemeral
+
+    def endpoint(self, name: str) -> SimEndpoint:
+        return SimEndpoint(self, name)
+
+    # -- fault injection --------------------------------------------------
+    def delay(self, src: str, dst: str) -> float:
+        return self._delays.get((src, dst), self.default_delay_s)
+
+    def set_delay(self, a: str, b: str, delay_s: float) -> None:
+        """Symmetric per-link delay override."""
+        self._delays[(a, b)] = delay_s
+        self._delays[(b, a)] = delay_s
+
+    def set_link_faults(
+        self,
+        src: str,
+        dst: str,
+        *,
+        drop: float = 0.0,
+        duplicate: float = 0.0,
+        reorder: float = 0.0,
+        rng=None,
+    ) -> None:
+        """Probabilistic drop/duplicate/reorder on the ``src→dst`` link.
+
+        ``reorder`` is a window in seconds: affected chunks bypass the
+        in-order floor and land anywhere inside it.  Requires a seeded
+        ``rng`` for determinism.
+        """
+        self._faults[(src, dst)] = _LinkFaults(
+            drop=drop, duplicate=duplicate, reorder=reorder, rng=rng
+        )
+
+    def is_blocked(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._blocked
+
+    def block(self, src: str, dst: str) -> None:
+        """One-way partition: ``src→dst`` chunks stall until healed."""
+        self._blocked.add((src, dst))
+
+    def partition(self, a: str, b: str) -> None:
+        """Two-way partition between endpoints ``a`` and ``b``."""
+        self.block(a, b)
+        self.block(b, a)
+
+    def heal(self, a: str, b: str) -> None:
+        """Remove the partition (both directions); stalled chunks flow."""
+        self._blocked.discard((a, b))
+        self._blocked.discard((b, a))
+        self._release_stalled()
+
+    def heal_all(self) -> None:
+        self._blocked.clear()
+        self._release_stalled()
+
+    def _release_stalled(self) -> None:
+        for conn in list(self._connections):
+            for pipe in (conn.to_server, conn.to_client):
+                if not self.is_blocked(pipe.src, pipe.dst):
+                    pipe.release()
+
+    def reset_endpoint(self, name: str) -> int:
+        """RST every live connection touching endpoint ``name``."""
+        count = 0
+        for conn in list(self._connections):
+            if name in conn.endpoints:
+                conn.reset()
+                count += 1
+        return count
+
+    def connections_of(self, name: str) -> int:
+        """Live connection count for endpoint ``name`` (introspection)."""
+        return sum(1 for c in self._connections if name in c.endpoints)

@@ -1,0 +1,255 @@
+"""Seeded, canonical op/fault schedules and ddmin shrinking.
+
+A :class:`Schedule` is the *entire* input to a chaos run: the client
+operation sequence plus the fault events interleaved with it, all
+derived from one u64 seed by :meth:`Schedule.generate`.  Schedules
+round-trip through canonical JSON and are content-addressed by a
+sha256 :meth:`~Schedule.digest`, which is what the CI reproducibility
+check compares across runs.
+
+Fault events are deliberately *position-independent*: the runner
+treats a crash of an already-down node, a heal of an unpartitioned
+pair, etc. as no-ops.  That makes every subset of the event list a
+valid schedule, which is exactly the property :func:`shrink_schedule`
+(a ddmin variant) needs to minimise a failing schedule by deleting
+event chunks.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = ["Event", "Schedule", "shrink_schedule"]
+
+_SCHEMA_VERSION = 1
+
+#: Relative likelihood of each fault family during generation.
+_FAULT_WEIGHTS: Sequence[Tuple[str, float]] = (
+    ("crash", 0.30),
+    ("partition", 0.25),
+    ("reset", 0.20),
+    ("snapshot", 0.15),
+    ("fsync_fail", 0.10),
+)
+
+
+@dataclass(frozen=True)
+class Event:
+    """One fault event, fired just before op index ``step``."""
+
+    step: int
+    kind: str
+    args: Tuple[Tuple[str, int], ...] = ()
+
+    def arg(self, name: str, default: int = 0) -> int:
+        for key, value in self.args:
+            if key == name:
+                return value
+        return default
+
+    def to_obj(self) -> Dict[str, object]:
+        obj: Dict[str, object] = {"step": self.step, "kind": self.kind}
+        for key, value in self.args:
+            obj[key] = value
+        return obj
+
+    @classmethod
+    def from_obj(cls, obj: Dict[str, object]) -> "Event":
+        args = tuple(
+            sorted(
+                (k, int(v))
+                for k, v in obj.items()
+                if k not in ("step", "kind")
+            )
+        )
+        return cls(step=int(obj["step"]), kind=str(obj["kind"]), args=args)
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete chaos-run input: ops + fault events, seed-derived."""
+
+    seed: int
+    steps: int
+    nodes: int
+    ops: Tuple[Tuple[str, str], ...]
+    events: Tuple[Event, ...]
+
+    # -- generation -------------------------------------------------------
+    @classmethod
+    def generate(cls, seed: int, steps: int, nodes: int) -> "Schedule":
+        """Derive the full schedule for ``seed`` (pure; no global state)."""
+        if nodes < 1:
+            raise ValueError("need at least one node")
+        rng = random.Random(seed)
+        ops = cls._generate_ops(rng, steps)
+        events = cls._generate_events(rng, steps, nodes)
+        return cls(
+            seed=seed, steps=steps, nodes=nodes, ops=ops, events=events
+        )
+
+    @staticmethod
+    def _generate_ops(
+        rng: random.Random, steps: int
+    ) -> Tuple[Tuple[str, str], ...]:
+        key_space = max(4, steps // 2)
+        inserted: List[str] = []
+        ops: List[Tuple[str, str]] = []
+        for _ in range(steps):
+            roll = rng.random()
+            if roll < 0.60 or not inserted:
+                key = f"k{rng.randrange(key_space)}"
+                ops.append(("insert", key))
+                inserted.append(key)
+            elif roll < 0.85:
+                key = inserted[rng.randrange(len(inserted))]
+                ops.append(("delete", key))
+            else:
+                key = f"k{rng.randrange(key_space)}"
+                ops.append(("query", key))
+        return tuple(ops)
+
+    @staticmethod
+    def _generate_events(
+        rng: random.Random, steps: int, nodes: int
+    ) -> Tuple[Event, ...]:
+        fault_count = max(1, steps // 12)
+        events: List[Event] = []
+        for _ in range(fault_count):
+            step = rng.randrange(steps)
+            kind = _weighted_choice(rng, _FAULT_WEIGHTS)
+            if kind == "crash":
+                # Replicas crash with torn tails; the primary crashes
+                # quiesced.  Either way a restart follows.
+                node = rng.randrange(nodes)
+                gap = rng.randint(1, max(2, steps // 8))
+                events.append(Event(step, "crash", (("node", node),)))
+                events.append(
+                    Event(min(steps - 1, step + gap), "restart",
+                          (("node", node),))
+                )
+            elif kind == "partition":
+                if nodes < 2:
+                    continue
+                a, b = rng.sample(range(nodes), 2)
+                gap = rng.randint(1, max(2, steps // 8))
+                events.append(
+                    Event(step, "partition", (("a", a), ("b", b)))
+                )
+                events.append(
+                    Event(min(steps - 1, step + gap), "heal",
+                          (("a", a), ("b", b)))
+                )
+            elif kind == "reset":
+                events.append(
+                    Event(step, "reset", (("node", rng.randrange(nodes)),))
+                )
+            elif kind == "snapshot":
+                events.append(Event(step, "snapshot"))
+            elif kind == "fsync_fail":
+                events.append(
+                    Event(
+                        step,
+                        "fsync_fail",
+                        (("node", rng.randrange(nodes)),),
+                    )
+                )
+        events.sort(key=lambda e: e.step)
+        return tuple(events)
+
+    # -- derivation -------------------------------------------------------
+    def with_events(self, events: Sequence[Event]) -> "Schedule":
+        """Same ops, different fault events (used by shrinking)."""
+        return Schedule(
+            seed=self.seed,
+            steps=self.steps,
+            nodes=self.nodes,
+            ops=self.ops,
+            events=tuple(events),
+        )
+
+    # -- canonical serialisation ------------------------------------------
+    def to_json(self) -> str:
+        obj = {
+            "version": _SCHEMA_VERSION,
+            "seed": self.seed,
+            "steps": self.steps,
+            "nodes": self.nodes,
+            "ops": [list(op) for op in self.ops],
+            "events": [e.to_obj() for e in self.events],
+        }
+        return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Schedule":
+        obj = json.loads(text)
+        if obj.get("version") != _SCHEMA_VERSION:
+            raise ValueError(
+                f"unsupported schedule version: {obj.get('version')!r}"
+            )
+        return cls(
+            seed=int(obj["seed"]),
+            steps=int(obj["steps"]),
+            nodes=int(obj["nodes"]),
+            ops=tuple((str(k), str(v)) for k, v in obj["ops"]),
+            events=tuple(Event.from_obj(e) for e in obj["events"]),
+        )
+
+    def digest(self) -> str:
+        """Content address of the canonical JSON form."""
+        return hashlib.sha256(self.to_json().encode("utf-8")).hexdigest()
+
+
+def _weighted_choice(
+    rng: random.Random, weights: Sequence[Tuple[str, float]]
+) -> str:
+    total = sum(w for _, w in weights)
+    roll = rng.random() * total
+    for name, weight in weights:
+        roll -= weight
+        if roll <= 0:
+            return name
+    return weights[-1][0]
+
+
+def shrink_schedule(
+    schedule: Schedule,
+    failing: Callable[[Schedule], bool],
+    *,
+    max_tests: int = 128,
+) -> Schedule:
+    """Minimise a failing schedule's fault-event list (ddmin).
+
+    ``failing(candidate)`` must return True iff the candidate still
+    reproduces the failure.  Deletes progressively smaller chunks of
+    the event list while the failure persists, capped at ``max_tests``
+    re-executions.  Returns the smallest failing schedule found (the
+    input itself if nothing could be removed).
+    """
+    events = list(schedule.events)
+    tests = 0
+    granularity = 2
+    while len(events) >= 1 and tests < max_tests:
+        chunk = max(1, len(events) // granularity)
+        reduced = False
+        for start in range(0, len(events), chunk):
+            candidate = events[:start] + events[start + chunk:]
+            if len(candidate) == len(events):
+                continue
+            tests += 1
+            if failing(schedule.with_events(candidate)):
+                events = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+            if tests >= max_tests:
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(max(2, len(events)), granularity * 2)
+    return schedule.with_events(events)

@@ -22,6 +22,8 @@ Usage (also installed as the ``repro`` console script)::
     repro cluster join --state-dir ring --group b=127.0.0.1:7803
     repro cluster drain --state-dir ring --group b
     repro cluster rebalance-status --state-dir ring
+    repro chaos run --seed 42 --steps 120 --nodes 3
+    repro chaos run --sweep 200 --steps 60 --artifacts-dir chaos-artifacts
 
 Key files are plain text, one key per line (encoded as UTF-8 bytes).
 Filters serialise through :mod:`repro.serialize`, so a built filter can
@@ -459,6 +461,53 @@ def _render_stats_watch(stats: dict) -> str:
     return "\n".join(lines)
 
 
+def _cmd_chaos_run(args: argparse.Namespace) -> int:
+    import json as _json
+    import time
+
+    from repro.chaos.runner import run_seed
+
+    seeds = (
+        range(args.start_seed, args.start_seed + args.sweep)
+        if args.sweep
+        else [args.seed]
+    )
+    started = time.monotonic()
+    failures = 0
+    for seed in seeds:
+        report = run_seed(
+            seed,
+            steps=args.steps,
+            nodes=args.nodes,
+            shrink=not args.no_shrink,
+        )
+        if args.json:
+            print(_json.dumps(report, sort_keys=True))
+        elif report["ok"]:
+            print(
+                f"seed {seed}: ok  "
+                f"(events={report['events']} seq={report['final_seq']} "
+                f"digest={report['schedule_digest'][:12]})"
+            )
+        else:
+            print(f"seed {seed}: FAIL  {report['violations']}")
+        if not report["ok"]:
+            failures += 1
+            if args.artifacts_dir and "minimal_schedule" in report:
+                art_dir = Path(args.artifacts_dir)
+                art_dir.mkdir(parents=True, exist_ok=True)
+                out = art_dir / f"chaos-minimal-{seed}.json"
+                out.write_text(report["minimal_schedule"] + "\n")
+                print(f"seed {seed}: minimal failing schedule -> {out}")
+    if args.sweep:
+        elapsed = time.monotonic() - started
+        print(
+            f"sweep: {len(seeds) - failures}/{len(seeds)} seeds ok "
+            f"in {elapsed:.1f}s"
+        )
+    return 1 if failures else 0
+
+
 def _cmd_metrics_dump(args: argparse.Namespace) -> int:
     """Fetch and print a /metrics exposition from a running daemon."""
     from urllib.error import URLError
@@ -838,6 +887,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_crstat.add_argument("--state-dir", required=True)
     p_crstat.set_defaults(func=_cmd_cluster_rebalance_status)
+
+    p_chaos = sub.add_parser(
+        "chaos", help="deterministic fault-injection simulation"
+    )
+    chaos_sub = p_chaos.add_subparsers(dest="chaos_command", required=True)
+
+    p_chrun = chaos_sub.add_parser(
+        "run",
+        help="run one seeded chaos schedule (or a sweep) in simulated time",
+    )
+    p_chrun.add_argument("--seed", type=int, default=0)
+    p_chrun.add_argument("--steps", type=int, default=120)
+    p_chrun.add_argument("--nodes", type=int, default=3)
+    p_chrun.add_argument(
+        "--sweep",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run N consecutive seeds starting at --start-seed",
+    )
+    p_chrun.add_argument("--start-seed", type=int, default=0)
+    p_chrun.add_argument(
+        "--json", action="store_true", help="print full JSON reports"
+    )
+    p_chrun.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip ddmin schedule minimisation on failure",
+    )
+    p_chrun.add_argument(
+        "--artifacts-dir",
+        default=None,
+        help="write minimal failing schedules here (one JSON per seed)",
+    )
+    p_chrun.set_defaults(func=_cmd_chaos_run)
 
     p_metrics = sub.add_parser(
         "metrics-dump",

@@ -100,7 +100,9 @@ class WalSnapshotManager(SnapshotManager):
 
     def _dump(self) -> dict:
         seq = self.wal.last_seq
-        report = write_snapshot(self.filter, self.path, wal_seq=seq)
+        report = write_snapshot(
+            self.filter, self.path, wal_seq=seq, storage=self.storage
+        )
         report["wal_seq"] = seq
         return report
 
@@ -142,6 +144,7 @@ def recover_node(
     snapshot_path: str | Path | None = None,
     segment_bytes: int = 4 * 1024 * 1024,
     fsync: FsyncPolicy | str = FsyncPolicy.BATCH,
+    storage=None,
 ) -> NodeRecovery:
     """Reconstruct a node's filter state from snapshot + WAL replay.
 
@@ -149,6 +152,9 @@ def recover_node(
     used when no snapshot exists yet.  When ``snapshot_path`` exists,
     the filter restores from it and replay starts at the sequence its
     sidecar records; otherwise replay covers the whole retained log.
+    ``storage`` (optional :class:`~repro.service.storage.Storage`) is
+    handed to the node's WAL — the chaos harness injects its
+    fault-tracking storage here.
     """
     snapshot_seq = 0
     filt = None
@@ -163,7 +169,9 @@ def recover_node(
         )
     if filt is None:
         filt = build()
-    wal = WriteAheadLog(wal_dir, segment_bytes=segment_bytes, fsync=fsync)
+    wal = WriteAheadLog(
+        wal_dir, segment_bytes=segment_bytes, fsync=fsync, storage=storage
+    )
     if snapshot_seq > wal.last_seq:
         # The snapshot is ahead of the entire retained log — the replica
         # crashed after persisting a replication state transfer but
@@ -254,6 +262,10 @@ def build_node_server(
     admission_rate: float | None = None,
     admission_burst: float | None = None,
     deadline_default_s: float | None = None,
+    transport=None,
+    executor=None,
+    storage=None,
+    rng=None,
 ) -> FilterServer:
     """Assemble a :class:`FilterServer` for a recovered cluster node.
 
@@ -273,6 +285,11 @@ def build_node_server(
     exactly as for :func:`repro.service.server.serve` — see
     :mod:`repro.overload`.  Replication and rebalance opcodes bypass
     admission, so a shedding node still converges with its primary.
+
+    ``transport`` / ``executor`` / ``storage`` / ``rng`` are the chaos
+    harness's simulation seams (in-memory network, shared deterministic
+    worker, fault-tracking storage, seeded jitter); all default to the
+    production implementations.
     """
     replication = (
         ReplicationManager(
@@ -280,6 +297,8 @@ def build_node_server(
             replicas,
             ack_mode=ack_mode,
             quorum_timeout_s=quorum_timeout_s,
+            transport=transport,
+            rng=rng,
         )
         if replicas
         else None
@@ -290,6 +309,7 @@ def build_node_server(
             snapshot_path,
             recovery.wal,
             interval_s=snapshot_interval_s,
+            storage=storage,
         )
         if snapshot_path
         else None
@@ -313,6 +333,8 @@ def build_node_server(
             burst=admission_burst,
         ),
         deadline_default_s=deadline_default_s,
+        transport=transport,
+        executor=executor,
     )
     rebalance.metrics = server.metrics
     if manager is not None:

@@ -112,6 +112,12 @@ class ReplicationManager:
         :class:`~repro.errors.ReplicationError`.
     reconnect_backoff_s:
         Initial reconnect delay; grows exponentially with full jitter.
+    transport:
+        Connection factory for dialling replicas (default: real TCP).
+    rng:
+        Random source for reconnect jitter (default: the module-level
+        :mod:`random` generator); inject a seeded ``random.Random``
+        for reproducible reconnect timing under simulation.
     """
 
     def __init__(
@@ -124,6 +130,8 @@ class ReplicationManager:
         quorum_timeout_s: float = 5.0,
         reconnect_backoff_s: float = 0.05,
         batch_records: int = 256,
+        transport=None,
+        rng=None,
     ) -> None:
         self.wal = wal
         self.ack_mode = AckMode(ack_mode)
@@ -131,6 +139,12 @@ class ReplicationManager:
         self.quorum_timeout_s = quorum_timeout_s
         self.reconnect_backoff_s = reconnect_backoff_s
         self.batch_records = batch_records
+        if transport is None:
+            from repro.service.transport import REAL_TRANSPORT
+
+            transport = REAL_TRANSPORT
+        self.transport = transport
+        self._rng = rng if rng is not None else random
         self.links = [ReplicaLink(host, port) for host, port in replicas]
         if self.ack_mode is AckMode.QUORUM and not self.links:
             raise ConfigurationError(
@@ -280,12 +294,19 @@ class ReplicationManager:
         while not self._stopping:
             writer = None
             try:
-                reader, writer = await asyncio.open_connection(
+                reader, writer = await self.transport.open_connection(
                     link.host, link.port
                 )
                 attempt = 0
                 last_seq = await self._handshake(reader, writer)
-                link.acked_seq = max(link.acked_seq, last_seq)
+                # The handshake value is authoritative: a replica that
+                # crashed with an unsynced WAL tail comes back *behind*
+                # our last tracked ack, and streaming from the stale
+                # cursor would trip its gap check on every reconnect.
+                # Re-sent records are deduplicated by the replica's own
+                # last_seq, and _advance_commits never regresses, so
+                # adopting the reported head is safe in both directions.
+                link.acked_seq = last_seq
                 link.connected = True
                 link.last_error = None
                 self._advance_commits()
@@ -310,7 +331,7 @@ class ReplicationManager:
             # reconnect stampede after a replica restart.
             attempt += 1
             cap = min(2.0, self.reconnect_backoff_s * (2**attempt))
-            await asyncio.sleep(random.uniform(0, cap))
+            await asyncio.sleep(self._rng.uniform(0, cap))
 
     async def _handshake(self, reader, writer) -> int:
         writer.write(encode_frame(Opcode.REPL_STATUS))

@@ -252,9 +252,14 @@ class HealthChecker:
         *,
         interval_s: float = 1.0,
         timeout_s: float = 1.0,
+        probe=None,
     ) -> None:
         self.interval_s = interval_s
         self.timeout_s = timeout_s
+        if probe is not None:
+            # Injectable probe seam: ``probe(url) -> bool``.  The chaos
+            # harness answers from simulated node state instead of HTTP.
+            self._probe = probe
         self._urls = {
             node.address: node.health_url()
             for node in nodes
@@ -310,23 +315,32 @@ class HealthChecker:
             self._stop.wait(self.interval_s)
 
 
+def _default_client_factory(
+    node: NodeAddress, *, timeout_s: float
+) -> FilterClient:
+    return FilterClient(
+        node.host,
+        node.port,
+        timeout_s=timeout_s,
+        retries=2,
+        backoff_s=0.02,
+    )
+
+
 @dataclass
 class _GroupClients:
     """Cached connections to one shard group's nodes."""
 
     group: ShardGroup
     clients: dict[str, FilterClient] = field(default_factory=dict)
+    #: ``factory(node, timeout_s=...) -> FilterClient`` — the router's
+    #: client-construction seam (simulations inject their transport).
+    factory: object = _default_client_factory
 
     def client(self, node: NodeAddress, *, timeout_s: float) -> FilterClient:
         client = self.clients.get(node.address)
         if client is None:
-            client = FilterClient(
-                node.host,
-                node.port,
-                timeout_s=timeout_s,
-                retries=2,
-                backoff_s=0.02,
-            )
+            client = self.factory(node, timeout_s=timeout_s)
             self.clients[node.address] = client
         return client
 
@@ -366,12 +380,20 @@ class RouterBackend:
         timeout_s: float = 5.0,
         breaker_failures: int = 8,
         breaker_cooldown_s: float = 0.5,
+        client_factory=None,
     ) -> None:
         self.ring = ring
         self.health = health
         self.timeout_s = timeout_s
         self.breaker_failures = breaker_failures
         self.breaker_cooldown_s = breaker_cooldown_s
+        #: ``factory(node, timeout_s=...) -> FilterClient``; ``None``
+        #: builds real TCP clients (the production path).
+        self.client_factory = (
+            client_factory
+            if client_factory is not None
+            else _default_client_factory
+        )
         self.name = f"router[{len(ring.groups)} groups]"
         #: Ring lookups cost one hash evaluation per key; account them
         #: in the same AccessStats currency as a real filter.
@@ -387,7 +409,7 @@ class RouterBackend:
         #: coordinator has pushed (or a MOVED redirect fetched) one.
         self._epoch = None
         self._groups = {
-            name: _GroupClients(group=group)
+            name: _GroupClients(group=group, factory=self.client_factory)
             for name, group in ring.groups.items()
         }
         #: Per-group write-path breakers (reads fail over instead).
@@ -426,7 +448,9 @@ class RouterBackend:
             else:
                 if cached is not None:
                     cached.close()
-                self._groups[name] = _GroupClients(group=shard_group)
+                self._groups[name] = _GroupClients(
+                    group=shard_group, factory=self.client_factory
+                )
         for cached in previous.values():
             cached.close()  # drained groups
         # Surviving groups keep their breaker history; new groups start

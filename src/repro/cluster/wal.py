@@ -46,7 +46,6 @@ Fsync policy trades durability for append latency:
 from __future__ import annotations
 
 import enum
-import os
 import struct
 import time
 import zlib
@@ -58,6 +57,7 @@ import numpy as np
 
 from repro.errors import ConfigurationError, WalCorruptionError
 from repro.service.protocol import COLUMNAR_RECORD_OPS, RECORD_OPS, Opcode
+from repro.service.storage import REAL_STORAGE, Storage
 
 __all__ = [
     "FsyncPolicy",
@@ -180,6 +180,10 @@ class WriteAheadLog:
         Optional callback invoked (on the appending thread) after each
         record is written — the replication layer uses it to wake its
         streaming links.
+    storage:
+        Durable-write seam (default: real files + real fsync).  The
+        chaos harness injects a fault-tracking
+        :class:`~repro.chaos.storage.FaultyStorage` here.
 
     Thread-safety: appends must come from a single thread (the daemon's
     batcher worker); reads (:meth:`read`, for replication) may run
@@ -196,11 +200,13 @@ class WriteAheadLog:
         fsync_interval_s: float = 0.05,
         metrics=None,
         on_append: Callable[[int], None] | None = None,
+        storage: Storage | None = None,
     ) -> None:
         if segment_bytes < 1:
             raise ConfigurationError(
                 f"segment_bytes must be >= 1, got {segment_bytes}"
             )
+        self.storage = storage if storage is not None else REAL_STORAGE
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.segment_bytes = segment_bytes
@@ -285,7 +291,7 @@ class WriteAheadLog:
     def _open_segment(self, first_seq: int) -> None:
         self._close_handle()
         path = _segment_path(self.directory, first_seq)
-        self._handle = open(path, "ab")
+        self._handle = self.storage.open(path, "ab")
         self._current_path = path
 
     def _ensure_handle(self) -> None:
@@ -293,7 +299,7 @@ class WriteAheadLog:
             return
         segments = self.segments()
         if segments:
-            self._handle = open(segments[-1], "ab")
+            self._handle = self.storage.open(segments[-1], "ab")
             self._current_path = segments[-1]
         else:
             self._open_segment(self.last_seq + 1)
@@ -324,10 +330,24 @@ class WriteAheadLog:
             )
         self._ensure_handle()
         blob = _encode_record(seq, op, keys)
-        self._handle.write(blob)
-        # Flush each complete record so concurrent readers (replication
-        # links) and a same-box crash never observe a partial buffer.
-        self._handle.flush()
+        offset = self._handle.tell()
+        try:
+            self._handle.write(blob)
+            # Flush each complete record so concurrent readers
+            # (replication links) and a same-box crash never observe a
+            # partial buffer.
+            self._handle.flush()
+        except OSError:
+            # A partial write (ENOSPC, I/O error) must not leave torn
+            # bytes for the next append to follow: replay would stop at
+            # the garbage and silently drop every later record.  Roll
+            # the segment back to the last complete record.
+            try:
+                self._handle.truncate(offset)
+                self._handle.seek(offset)
+            except OSError:
+                pass  # rollback is best-effort; recovery truncates too
+            raise
         self.appends_total += 1
         self.bytes_written += len(blob)
         self._dirty = True
@@ -353,7 +373,7 @@ class WriteAheadLog:
             return
         started = time.perf_counter()
         self._handle.flush()
-        os.fsync(self._handle.fileno())
+        self.storage.fsync(self._handle)
         self._dirty = False
         self.fsyncs_total += 1
         self._last_sync_monotonic = time.monotonic()
@@ -372,6 +392,18 @@ class WriteAheadLog:
         if self._handle is not None:
             self.sync()
         self._close_handle()
+
+    def abandon(self) -> None:
+        """Release the current segment WITHOUT forcing it to disk.
+
+        The crash-simulation twin of :meth:`close`: whatever the fsync
+        policy has already synced is durable, anything newer is at the
+        mercy of the (simulated) page cache.  The chaos harness calls
+        this when it crash-stops a node so torn-tail scenarios are not
+        papered over by a tidy shutdown fsync.
+        """
+        self._close_handle()
+        self._dirty = False
 
     # -- reading ---------------------------------------------------------
     def _iter_segment(

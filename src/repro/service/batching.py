@@ -384,6 +384,12 @@ class MicroBatcher:
         the throughput benchmark compares against.
     metrics:
         Optional :class:`ServiceMetrics` receiving batch-size samples.
+    executor:
+        Inject a shared worker executor instead of the private
+        single-thread pool.  The chaos harness runs every simulated
+        node on ONE single-worker executor so cross-node thread
+        interleavings are deterministic; an injected executor is never
+        shut down by this batcher (its owner does that).
     """
 
     def __init__(
@@ -393,6 +399,7 @@ class MicroBatcher:
         max_batch: int = 512,
         max_delay_us: float = 200.0,
         metrics: ServiceMetrics | None = None,
+        executor: ThreadPoolExecutor | None = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
@@ -405,8 +412,13 @@ class MicroBatcher:
         self._queue: asyncio.Queue = asyncio.Queue()
         self._carry: _Pending | None = None
         self._task: asyncio.Task | None = None
-        self._executor = ThreadPoolExecutor(
-            max_workers=1, thread_name_prefix="repro-filter"
+        self._owns_executor = executor is None
+        self._executor = (
+            executor
+            if executor is not None
+            else ThreadPoolExecutor(
+                max_workers=1, thread_name_prefix="repro-filter"
+            )
         )
         self._stopping = False
 
@@ -425,7 +437,22 @@ class MicroBatcher:
         await self._queue.put(_Stop())
         await self._task
         self._task = None
-        self._executor.shutdown(wait=True)
+        if self._owns_executor:
+            self._executor.shutdown(wait=True)
+
+    def abort(self) -> None:
+        """Crash-stop: cancel the drain task and drop queued work.
+
+        A shared (injected) executor is left running — other batchers
+        may still depend on it; only a privately owned worker pool is
+        torn down.
+        """
+        self._stopping = True
+        if self._task is not None:
+            self._task.cancel()
+            self._task = None
+        if self._owns_executor:
+            self._executor.shutdown(wait=False, cancel_futures=True)
 
     # -- submission -----------------------------------------------------
     async def submit(

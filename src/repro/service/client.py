@@ -90,9 +90,14 @@ __all__ = ["FilterClient", "AsyncFilterClient"]
 BACKOFF_CAP_S = 2.0
 
 
-def _jittered_delay(base_s: float, attempt: int) -> float:
-    """Full-jitter exponential backoff delay for retry ``attempt`` (0-based)."""
-    return random.uniform(0.0, min(BACKOFF_CAP_S, base_s * (2 ** (attempt + 1))))
+def _jittered_delay(base_s: float, attempt: int, rng=random) -> float:
+    """Full-jitter exponential backoff delay for retry ``attempt`` (0-based).
+
+    ``rng`` defaults to the module-level :mod:`random` generator; the
+    chaos harness injects a seeded ``random.Random`` so retry timing is
+    reproducible from the schedule seed.
+    """
+    return rng.uniform(0.0, min(BACKOFF_CAP_S, base_s * (2 ** (attempt + 1))))
 
 
 def _to_bytes(key) -> bytes:
@@ -225,6 +230,13 @@ class FilterClient(_BaseClient):
     breaker:
         Optional :class:`~repro.overload.CircuitBreaker` gating every
         operation; ``None`` (default) disables breaking.
+    transport:
+        Connection factory (default: real TCP via
+        :data:`repro.service.transport.REAL_TRANSPORT`).
+    rng:
+        Random source for backoff jitter (default: the module-level
+        :mod:`random` generator); inject a seeded ``random.Random``
+        for reproducible retry timing.
     """
 
     def __init__(
@@ -237,6 +249,8 @@ class FilterClient(_BaseClient):
         backoff_s: float = 0.05,
         deadline_s: float | None = None,
         breaker=None,
+        transport=None,
+        rng=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -245,6 +259,12 @@ class FilterClient(_BaseClient):
         self.backoff_s = backoff_s
         self.deadline_s = deadline_s
         self.breaker = breaker
+        if transport is None:
+            from repro.service.transport import REAL_TRANSPORT
+
+            transport = REAL_TRANSPORT
+        self.transport = transport
+        self._rng = rng if rng is not None else random
         self._sock: socket.socket | None = None
         self._decoder = FrameDecoder()
 
@@ -256,16 +276,16 @@ class FilterClient(_BaseClient):
         last_error: Exception | None = None
         for attempt in range(max(1, self.retries)):
             try:
-                sock = socket.create_connection(
-                    (self.host, self.port), timeout=self.timeout_s
+                self._sock = self.transport.create_connection(
+                    self.host, self.port, timeout_s=self.timeout_s
                 )
-                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                self._sock = sock
                 self._decoder = FrameDecoder()
                 return self
             except OSError as exc:
                 last_error = exc
-                time.sleep(_jittered_delay(self.backoff_s, attempt))
+                time.sleep(
+                    _jittered_delay(self.backoff_s, attempt, self._rng)
+                )
         raise ConnectionError(
             f"cannot reach repro service at {self.host}:{self.port}: {last_error}"
         )
@@ -492,6 +512,8 @@ class AsyncFilterClient(_BaseClient):
         backoff_s: float = 0.05,
         deadline_s: float | None = None,
         breaker=None,
+        transport=None,
+        rng=None,
     ) -> None:
         self.host = host
         self.port = port
@@ -499,6 +521,12 @@ class AsyncFilterClient(_BaseClient):
         self.backoff_s = backoff_s
         self.deadline_s = deadline_s
         self.breaker = breaker
+        if transport is None:
+            from repro.service.transport import REAL_TRANSPORT
+
+            transport = REAL_TRANSPORT
+        self.transport = transport
+        self._rng = rng if rng is not None else random
         self._reader: asyncio.StreamReader | None = None
         self._writer: asyncio.StreamWriter | None = None
 
@@ -508,13 +536,16 @@ class AsyncFilterClient(_BaseClient):
         last_error: Exception | None = None
         for attempt in range(max(1, self.retries)):
             try:
-                self._reader, self._writer = await asyncio.open_connection(
-                    self.host, self.port
-                )
+                (
+                    self._reader,
+                    self._writer,
+                ) = await self.transport.open_connection(self.host, self.port)
                 return self
             except OSError as exc:
                 last_error = exc
-                await asyncio.sleep(_jittered_delay(self.backoff_s, attempt))
+                await asyncio.sleep(
+                    _jittered_delay(self.backoff_s, attempt, self._rng)
+                )
         raise ConnectionError(
             f"cannot reach repro service at {self.host}:{self.port}: {last_error}"
         )

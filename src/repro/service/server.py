@@ -78,6 +78,7 @@ from repro.service.snapshot import (
     load_snapshot_bytes,
     with_snapshot_seq,
 )
+from repro.service.transport import REAL_TRANSPORT, Transport
 
 __all__ = ["FilterServer", "build_admission", "serve"]
 
@@ -146,6 +147,15 @@ class FilterServer:
         Budget assumed for keyed requests that arrive *without* a
         DEADLINE wrapper.  ``None`` (the default) leaves unwrapped
         requests deadline-free, matching pre-overload behaviour.
+    transport:
+        Connection factory (default: real TCP).  The chaos harness
+        passes a :class:`~repro.chaos.network.SimNetwork` so the server
+        accepts in-memory simulated connections instead of binding a
+        socket.
+    executor:
+        Shared worker executor for the batcher (see
+        :class:`~repro.service.batching.MicroBatcher`); ``None`` lets
+        the batcher own a private single worker thread.
     """
 
     def __init__(
@@ -167,6 +177,8 @@ class FilterServer:
         rebalance=None,
         admission: AdmissionController | None = None,
         deadline_default_s: float | None = None,
+        transport: Transport | None = None,
+        executor=None,
     ) -> None:
         if replication is not None and wal is None:
             raise ConfigurationError("replication requires a write-ahead log")
@@ -183,6 +195,7 @@ class FilterServer:
         self.rebalance = rebalance
         self.admission = admission
         self.deadline_default_s = deadline_default_s
+        self.transport = transport if transport is not None else REAL_TRANSPORT
         self.metrics = ServiceMetrics()
         if admission is not None and admission.metrics is None:
             admission.metrics = self.metrics
@@ -199,6 +212,7 @@ class FilterServer:
             max_batch=max_batch,
             max_delay_us=max_delay_us,
             metrics=self.metrics,
+            executor=executor,
         )
         if snapshot_manager is not None:
             self.snapshots = snapshot_manager
@@ -293,10 +307,10 @@ class FilterServer:
     async def start(self) -> None:
         """Bind, start the coalescer, metrics endpoint, and snapshots."""
         self.batcher.start()
-        self._server = await asyncio.start_server(
+        self._server = await self.transport.start_server(
             self._handle_connection, self.host, self.port
         )
-        self.port = self._server.sockets[0].getsockname()[1]
+        self.port = self.transport.server_port(self._server)
         if self.metrics_http is not None:
             await self.metrics_http.start()
             self.metrics_port = self.metrics_http.port
@@ -360,10 +374,7 @@ class FilterServer:
             writer.transport.abort()
         for task in list(self._connections):
             task.cancel()
-        if self.batcher._task is not None:
-            self.batcher._task.cancel()
-            self.batcher._task = None
-        self.batcher._executor.shutdown(wait=False, cancel_futures=True)
+        self.batcher.abort()
         if self.replication is not None:
             await self.replication.stop()
         if self.snapshots is not None:

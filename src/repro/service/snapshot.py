@@ -38,6 +38,7 @@ from pathlib import Path
 from repro.errors import ConfigurationError
 from repro.observability.spans import spanned
 from repro.serialize import dump_bank, dump_filter, load_bank, load_filter
+from repro.service.storage import REAL_STORAGE, Storage
 
 __all__ = [
     "SnapshotManager",
@@ -123,24 +124,26 @@ def with_snapshot_seq(data: bytes, wal_seq: int, *, source: str = "snapshot") ->
     return _append_trailer(payload, wal_seq)
 
 
-def _write_bytes_atomic(blob: bytes, path: Path) -> dict:
+def _write_bytes_atomic(
+    blob: bytes, path: Path, *, storage: Storage | None = None
+) -> dict:
     """The crash-safe publish dance shared by every snapshot writer."""
+    storage = storage if storage is not None else REAL_STORAGE
     started = time.perf_counter()
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as handle:
+    handle = storage.open(tmp, "wb")
+    try:
         handle.write(blob)
         handle.flush()
-        os.fsync(handle.fileno())
+        storage.fsync(handle)
+    finally:
+        handle.close()
     os.replace(tmp, path)
     # The rename itself lives in the directory's metadata: without a
     # directory fsync a power loss can revert the publish even though
     # the file's bytes are stable (same discipline as the WAL).
-    dir_fd = os.open(path.parent, os.O_RDONLY)
-    try:
-        os.fsync(dir_fd)
-    finally:
-        os.close(dir_fd)
+    storage.fsync_path(path.parent)
     return {
         "path": str(path),
         "bytes": len(blob),
@@ -149,9 +152,17 @@ def _write_bytes_atomic(blob: bytes, path: Path) -> dict:
     }
 
 
-def write_snapshot(filt, path: str | Path, *, wal_seq: int | None = None) -> dict:
+def write_snapshot(
+    filt,
+    path: str | Path,
+    *,
+    wal_seq: int | None = None,
+    storage: Storage | None = None,
+) -> dict:
     """Atomically write a snapshot; returns a small report dict."""
-    return _write_bytes_atomic(snapshot_bytes(filt, wal_seq=wal_seq), Path(path))
+    return _write_bytes_atomic(
+        snapshot_bytes(filt, wal_seq=wal_seq), Path(path), storage=storage
+    )
 
 
 def load_snapshot_bytes(data: bytes, *, source: str = "snapshot"):
@@ -189,10 +200,12 @@ class SnapshotManager:
         *,
         interval_s: float | None = None,
         metrics=None,
+        storage: Storage | None = None,
     ) -> None:
         self.filter = filt
         self.path = Path(path)
         self.interval_s = interval_s
+        self.storage = storage if storage is not None else REAL_STORAGE
         self.last_report: dict | None = None
         self.last_saved_monotonic: float | None = None
         #: Optional span sink (:class:`ServiceMetrics`) timing each dump.
@@ -208,7 +221,7 @@ class SnapshotManager:
 
     def _dump(self) -> dict:
         """Write the filter to :attr:`path`; subclasses add metadata."""
-        return write_snapshot(self.filter, self.path)
+        return write_snapshot(self.filter, self.path, storage=self.storage)
 
     @spanned("snapshot_write")
     def save_now(self) -> dict:
@@ -226,7 +239,7 @@ class SnapshotManager:
         local WAL history the snapshot supersedes, or a crash in between
         silently loses every mutation the transfer carried.
         """
-        report = _write_bytes_atomic(blob, self.path)
+        report = _write_bytes_atomic(blob, self.path, storage=self.storage)
         self.last_report = report
         self.last_saved_monotonic = time.monotonic()
         return report

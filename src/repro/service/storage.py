@@ -1,0 +1,60 @@
+"""Injectable storage seam for durable writes (WAL segments, snapshots).
+
+The write-ahead log and the snapshot writer open their files and force
+them to stable storage through a :class:`Storage` instance instead of
+calling ``open``/``os.fsync`` directly.  The default :data:`REAL_STORAGE`
+is a trivial pass-through; the chaos harness substitutes a
+:class:`repro.chaos.storage.FaultyStorage` that tracks which bytes have
+actually been fsynced and can inject torn tails, failed fsyncs, and
+ENOSPC at chosen write offsets — without the WAL or snapshot code
+knowing it is being simulated.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import BinaryIO, Union
+
+__all__ = ["Storage", "RealStorage", "REAL_STORAGE"]
+
+
+class Storage:
+    """Abstract factory for durable file handles.
+
+    ``open`` mirrors the builtin and returns a binary file object;
+    ``fsync`` forces a handle's written bytes to stable storage;
+    ``fsync_path`` does the same for a path (used for directory fsyncs
+    after a rename).  Implementations may wrap the returned handles to
+    observe or perturb writes.
+    """
+
+    def open(self, path: Union[str, Path], mode: str) -> BinaryIO:
+        raise NotImplementedError
+
+    def fsync(self, handle: BinaryIO) -> None:
+        raise NotImplementedError
+
+    def fsync_path(self, path: Union[str, Path]) -> None:
+        raise NotImplementedError
+
+
+class RealStorage(Storage):
+    """The production storage: plain files, real fsync."""
+
+    def open(self, path: Union[str, Path], mode: str) -> BinaryIO:
+        return open(path, mode)
+
+    def fsync(self, handle: BinaryIO) -> None:
+        os.fsync(handle.fileno())
+
+    def fsync_path(self, path: Union[str, Path]) -> None:
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+
+#: Shared production storage; stateless, safe to reuse everywhere.
+REAL_STORAGE = RealStorage()

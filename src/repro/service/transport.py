@@ -1,0 +1,86 @@
+"""Injectable transport seam for the serving and cluster stacks.
+
+Every place the codebase opens or accepts a TCP connection goes through a
+:class:`Transport` instance instead of calling ``asyncio.open_connection`` /
+``asyncio.start_server`` / ``socket.create_connection`` directly.  The default
+:data:`REAL_TRANSPORT` binds real sockets and is behaviourally identical to
+the direct calls it replaces; the chaos harness (:mod:`repro.chaos`)
+substitutes an in-memory :class:`repro.chaos.network.SimNetwork` so the
+*unmodified* server, replication, and client code can run over simulated
+links with injectable delay, drops, partitions, and resets.
+
+The seam is intentionally tiny: three factory methods mirroring the stdlib
+entry points.  Anything richer (TLS, happy eyeballs) would live behind the
+same three calls.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import socket
+from typing import Awaitable, Callable, Optional, Tuple
+
+__all__ = ["Transport", "RealTransport", "REAL_TRANSPORT"]
+
+ConnectionHandler = Callable[
+    [asyncio.StreamReader, asyncio.StreamWriter], Awaitable[None]
+]
+
+
+class Transport:
+    """Abstract connection factory used by servers and clients.
+
+    Implementations must provide the three methods below.  ``start_server``
+    returns an object with ``close()`` / ``wait_closed()`` and a way to
+    discover the bound port via :meth:`server_port`.
+    """
+
+    async def start_server(
+        self, handler: ConnectionHandler, host: str, port: int
+    ) -> object:
+        """Begin accepting connections; return a server handle."""
+        raise NotImplementedError
+
+    def server_port(self, server: object) -> int:
+        """Return the concrete port a ``start_server`` handle is bound to."""
+        raise NotImplementedError
+
+    async def open_connection(
+        self, host: str, port: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        """Dial ``host:port`` and return a stream pair."""
+        raise NotImplementedError
+
+    def create_connection(
+        self, host: str, port: int, *, timeout_s: Optional[float] = None
+    ) -> socket.socket:
+        """Synchronously dial ``host:port`` (blocking-client path)."""
+        raise NotImplementedError
+
+
+class RealTransport(Transport):
+    """The production transport: real TCP sockets via the stdlib."""
+
+    async def start_server(
+        self, handler: ConnectionHandler, host: str, port: int
+    ) -> object:
+        return await asyncio.start_server(handler, host, port)
+
+    def server_port(self, server: object) -> int:
+        return server.sockets[0].getsockname()[1]  # type: ignore[attr-defined]
+
+    async def open_connection(
+        self, host: str, port: int
+    ) -> Tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        return await asyncio.open_connection(host, port)
+
+    def create_connection(
+        self, host: str, port: int, *, timeout_s: Optional[float] = None
+    ) -> socket.socket:
+        sock = socket.create_connection((host, port), timeout=timeout_s)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return sock
+
+
+#: Shared production transport; stateless, safe to reuse everywhere.
+REAL_TRANSPORT = RealTransport()

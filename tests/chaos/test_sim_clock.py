@@ -1,0 +1,99 @@
+"""SimClock / SimEventLoop: virtual time under unmodified asyncio code."""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.chaos import SimClock, SimEventLoop
+
+
+class TestSimClock:
+    def test_starts_at_zero_and_advances(self):
+        clock = SimClock()
+        assert clock.time() == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock.time() == 1.5
+        assert clock.monotonic() == 1.5
+
+    def test_callable_form_matches_time(self):
+        # The overload seams take a bare callable.
+        clock = SimClock(start=10.0)
+        assert clock() == clock.time() == 10.0
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-0.1)
+
+
+def run_sim(coro, clock=None):
+    loop = SimEventLoop(clock)
+    try:
+        return loop, loop.run_until_complete(coro)
+    finally:
+        loop.close()
+
+
+class TestSimEventLoop:
+    def test_long_sleep_finishes_in_real_milliseconds(self):
+        async def main():
+            await asyncio.sleep(3600.0)
+            return asyncio.get_running_loop().time()
+
+        started = time.monotonic()
+        loop, virtual = run_sim(main())
+        assert virtual >= 3600.0
+        assert time.monotonic() - started < 2.0
+
+    def test_timer_ordering_follows_virtual_deadlines(self):
+        fired = []
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            loop.call_later(30.0, fired.append, "late")
+            loop.call_later(1.0, fired.append, "early")
+            loop.call_later(5.0, fired.append, "mid")
+            await asyncio.sleep(60.0)
+
+        run_sim(main())
+        assert fired == ["early", "mid", "late"]
+
+    def test_wait_for_timeout_uses_virtual_time(self):
+        async def main():
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(asyncio.Event().wait(), timeout=120.0)
+            return asyncio.get_running_loop().time()
+
+        _, virtual = run_sim(main())
+        assert virtual >= 120.0
+
+    def test_executor_work_completes_with_clock_frozen(self):
+        # While a worker thread runs, the selector polls real I/O
+        # without advancing the clock, so a timer can never fire
+        # "during" a computation that would have finished first.
+        clock = SimClock()
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            before = loop.time()
+            result = await loop.run_in_executor(None, lambda: 7 * 6)
+            return before, loop.time(), result
+
+        _, (before, after, result) = run_sim(main(), clock)
+        assert result == 42
+        assert after == before
+
+    def test_deadlock_detection_raises_instead_of_hanging(self):
+        async def main():
+            # A future nobody will ever resolve: no timers, no executor
+            # work, no I/O — the loop must fail fast, not spin forever.
+            await asyncio.get_running_loop().create_future()
+
+        loop = SimEventLoop()
+        try:
+            with pytest.raises(RuntimeError, match="deadlock"):
+                loop.run_until_complete(main())
+        finally:
+            loop.close()

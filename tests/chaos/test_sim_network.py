@@ -1,0 +1,242 @@
+"""SimNetwork: in-memory streams with injectable faults."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+import pytest
+
+from repro.chaos import SimEventLoop, SimNetwork
+
+
+def run_sim(coro):
+    loop = SimEventLoop()
+    try:
+        result = loop.run_until_complete(coro)
+        # Retire leftover server handlers before closing the loop.
+        pending = asyncio.all_tasks(loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True)
+            )
+        return result
+    finally:
+        loop.close()
+
+
+async def start_echo(net: SimNetwork, name: str = "server"):
+    """An echo server on <name>:1 that also counts its connections."""
+    state = {"conns": 0}
+
+    async def handler(reader, writer):
+        state["conns"] += 1
+        try:
+            while True:
+                data = await reader.read(4096)
+                if not data:
+                    break
+                writer.write(data)
+                await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+
+    server = await net.endpoint(name).start_server(handler, name, 1)
+    return server, state
+
+
+class TestConnectivity:
+    def test_echo_roundtrip(self):
+        async def main():
+            net = SimNetwork()
+            await start_echo(net, "server")
+            reader, writer = await net.endpoint("client").open_connection(
+                "server", 1
+            )
+            writer.write(b"hello")
+            await writer.drain()
+            echoed = await reader.readexactly(5)
+            writer.close()
+            return echoed
+
+        assert run_sim(main()) == b"hello"
+
+    def test_dial_unknown_endpoint_refused(self):
+        async def main():
+            net = SimNetwork()
+            with pytest.raises(ConnectionRefusedError):
+                await net.endpoint("client").open_connection("nowhere", 1)
+
+        run_sim(main())
+
+    def test_graceful_close_delivers_eof_not_reset(self):
+        # FIN semantics: data queued before close still arrives, then a
+        # clean EOF — the peer's read() returns b"", it does not raise.
+        async def main():
+            net = SimNetwork()
+            await start_echo(net, "server")
+            reader, writer = await net.endpoint("client").open_connection(
+                "server", 1
+            )
+            writer.write(b"bye")
+            await writer.drain()
+            echoed = await reader.readexactly(3)
+            writer.close()
+            await writer.wait_closed()
+            return echoed
+
+        assert run_sim(main()) == b"bye"
+
+    def test_delay_is_simulated_time(self):
+        async def main():
+            net = SimNetwork(default_delay_s=0.5)
+            await start_echo(net, "server")
+            loop = asyncio.get_running_loop()
+            reader, writer = await net.endpoint("client").open_connection(
+                "server", 1
+            )
+            started = loop.time()
+            writer.write(b"x")
+            await writer.drain()
+            await reader.readexactly(1)
+            elapsed = loop.time() - started
+            writer.close()
+            return elapsed
+
+        # One client->server hop plus one server->client hop.
+        assert run_sim(main()) >= 1.0
+
+
+class TestFaults:
+    def test_partition_refuses_new_dials_until_heal(self):
+        async def main():
+            net = SimNetwork()
+            await start_echo(net, "server")
+            net.partition("client", "server")
+            with pytest.raises(ConnectionRefusedError):
+                await net.endpoint("client").open_connection("server", 1)
+            net.heal("client", "server")
+            reader, writer = await net.endpoint("client").open_connection(
+                "server", 1
+            )
+            writer.write(b"ok")
+            await writer.drain()
+            echoed = await reader.readexactly(2)
+            writer.close()
+            return echoed
+
+        assert run_sim(main()) == b"ok"
+
+    def test_partition_stalls_inflight_data_heal_releases_it(self):
+        # Chunks sent into a partition are parked, not lost: TCP would
+        # retransmit, so the sim must deliver them after the heal.
+        async def main():
+            net = SimNetwork()
+            await start_echo(net, "server")
+            reader, writer = await net.endpoint("client").open_connection(
+                "server", 1
+            )
+            net.partition("client", "server")
+            writer.write(b"parked")
+            await writer.drain()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(reader.readexactly(6), timeout=5.0)
+            net.heal_all()
+            echoed = await asyncio.wait_for(reader.readexactly(6), timeout=5.0)
+            writer.close()
+            return echoed
+
+        assert run_sim(main()) == b"parked"
+
+    def test_reset_endpoint_poisons_open_connections(self):
+        async def main():
+            net = SimNetwork()
+            await start_echo(net, "server")
+            reader, writer = await net.endpoint("client").open_connection(
+                "server", 1
+            )
+            assert net.connections_of("server") == 1
+            killed = net.reset_endpoint("server")
+            assert killed == 1
+            with pytest.raises(ConnectionResetError):
+                await reader.readexactly(1)
+
+        run_sim(main())
+
+    def test_drop_all_loses_chunks(self):
+        async def main():
+            net = SimNetwork()
+            await start_echo(net, "server")
+            net.set_link_faults(
+                "client", "server", drop=1.0, rng=random.Random(1)
+            )
+            reader, writer = await net.endpoint("client").open_connection(
+                "server", 1
+            )
+            writer.write(b"gone")
+            await writer.drain()
+            with pytest.raises(asyncio.TimeoutError):
+                await asyncio.wait_for(reader.readexactly(4), timeout=5.0)
+            writer.close()
+
+        run_sim(main())
+
+    def test_duplicate_delivers_twice(self):
+        async def main():
+            net = SimNetwork()
+            await start_echo(net, "server")
+            net.set_link_faults(
+                "client", "server", duplicate=1.0, rng=random.Random(1)
+            )
+            reader, writer = await net.endpoint("client").open_connection(
+                "server", 1
+            )
+            writer.write(b"AB")
+            await writer.drain()
+            echoed = await asyncio.wait_for(reader.readexactly(4), timeout=5.0)
+            writer.close()
+            return echoed
+
+        assert run_sim(main()) == b"ABAB"
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_transcript(self):
+        async def scenario():
+            net = SimNetwork()
+            await start_echo(net, "server")
+            net.set_link_faults(
+                "client",
+                "server",
+                drop=0.3,
+                duplicate=0.2,
+                reorder=0.05,
+                rng=random.Random(99),
+            )
+            reader, writer = await net.endpoint("client").open_connection(
+                "server", 1
+            )
+            for i in range(20):
+                writer.write(b"%02d" % i)
+            await writer.drain()
+            writer.close()
+            got = bytearray()
+            try:
+                while True:
+                    chunk = await asyncio.wait_for(
+                        reader.read(4096), timeout=2.0
+                    )
+                    if not chunk:
+                        break
+                    got.extend(chunk)
+            except asyncio.TimeoutError:
+                pass
+            return bytes(got)
+
+        first = run_sim(scenario())
+        second = run_sim(scenario())
+        assert first == second

@@ -11,16 +11,15 @@ batches in the same order.
 from __future__ import annotations
 
 import os
-import re
 import signal
 import subprocess
-import sys
-import time
 from pathlib import Path
 
 import pytest
 
 import json
+
+from tests.conftest import spawn_cli_daemon
 
 from repro.cluster.node import WalSnapshotManager, recover_node
 from repro.cluster.wal import WriteAheadLog
@@ -47,38 +46,19 @@ def make_filter():
 
 
 def spawn_node(wal_dir: Path, snapshot: Path) -> tuple[subprocess.Popen, int]:
-    env = dict(os.environ)
-    env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
-    env["PYTHONUNBUFFERED"] = "1"
-    proc = subprocess.Popen(
-        [
-            sys.executable, "-m", "repro.cli", "cluster", "serve",
-            *SPEC_ARGS,
-            "--wal-dir", str(wal_dir),
-            "--snapshot", str(snapshot),
-            "--fsync", "always",
-            "--port", "0",
-        ],
-        env=env,
-        stdout=subprocess.PIPE,
-        stderr=subprocess.STDOUT,
-        text=True,
-    )
-    deadline = time.monotonic() + 30.0
-    port = None
-    assert proc.stdout is not None
-    while time.monotonic() < deadline:
-        line = proc.stdout.readline()
-        if not line:
-            break
-        match = re.search(r"listening on [\w.]+:(\d+)", line)
-        if match:
-            port = int(match.group(1))
-            break
-    if port is None:
-        proc.kill()
-        pytest.fail("daemon never reported its port")
-    return proc, port
+    try:
+        return spawn_cli_daemon(
+            [
+                "cluster", "serve",
+                *SPEC_ARGS,
+                "--wal-dir", str(wal_dir),
+                "--snapshot", str(snapshot),
+                "--fsync", "always",
+                "--port", "0",
+            ]
+        )
+    except RuntimeError as exc:
+        pytest.fail(str(exc))
 
 
 class TestCrashRecovery:

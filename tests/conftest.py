@@ -2,10 +2,86 @@
 
 from __future__ import annotations
 
+import os
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import numpy as np
 import pytest
 
 from repro.hashing.encoders import KeyEncoder
+
+_SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+#: Every daemon prints exactly one "listening on <host>:<port>" line once
+#: its socket is bound; with ``--port 0`` the kernel picks the port, so
+#: reading it back is race-free (unlike probe-then-bind schemes).
+_PORT_LINE = re.compile(r"listening on [\w.\-]+:(\d+)")
+
+
+def wait_for_port(proc: subprocess.Popen, *, timeout_s: float = 30.0) -> int:
+    """Read a spawned daemon's stdout until it reports its bound port."""
+    deadline = time.monotonic() + timeout_s
+    assert proc.stdout is not None
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            break
+        match = _PORT_LINE.search(line)
+        if match:
+            return int(match.group(1))
+    raise RuntimeError("daemon never reported its bound port")
+
+
+def spawn_cli_daemon(
+    cli_args: list[str], *, timeout_s: float = 30.0
+) -> tuple[subprocess.Popen, int]:
+    """Spawn ``python -m repro.cli <args>`` and return (proc, bound port).
+
+    Callers pass ``--port 0`` in ``cli_args``; the helper parses the
+    readback line.  On failure the subprocess is killed before raising.
+    """
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(_SRC_DIR) + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONUNBUFFERED"] = "1"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", *cli_args],
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    try:
+        port = wait_for_port(proc, timeout_s=timeout_s)
+    except Exception:
+        proc.kill()
+        proc.wait(timeout=10)
+        raise
+    return proc, port
+
+
+@pytest.fixture
+def spawn_daemon():
+    """Function fixture wrapping :func:`spawn_cli_daemon` with cleanup.
+
+    Any daemon still alive at teardown is killed, so a failing test
+    cannot leak listeners into later tests.
+    """
+    procs: list[subprocess.Popen] = []
+
+    def _spawn(cli_args: list[str], *, timeout_s: float = 30.0):
+        proc, port = spawn_cli_daemon(cli_args, timeout_s=timeout_s)
+        procs.append(proc)
+        return proc, port
+
+    yield _spawn
+    for proc in procs:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=10)
 
 
 @pytest.fixture

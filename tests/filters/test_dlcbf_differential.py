@@ -1,0 +1,127 @@
+"""dlCBF differential properties against a dict-multiset oracle.
+
+The d-left fingerprint table has exact-count semantics (one cell per
+distinct key, a counter for multiplicity), so unlike the array CBFs its
+``count`` must *equal* the oracle multiplicity whenever no fingerprint
+collision occurred — and with 14-bit fingerprints over a 16-key
+universe, collisions do not occur at these sizes.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CounterOverflowError, CounterUnderflowError
+from repro.filters.dlcbf import DLeftCBF
+
+
+def make_filter(seed: int = 0, counter_bits: int = 8) -> DLeftCBF:
+    return DLeftCBF(64, counter_bits=counter_bits, seed=seed)
+
+
+@st.composite
+def op_sequences(draw):
+    """Arbitrary legal interleavings over a small key universe."""
+    n_ops = draw(st.integers(1, 80))
+    ops = []
+    live: Counter = Counter()
+    for _ in range(n_ops):
+        key = draw(st.integers(0, 15))
+        if live[key] > 0 and draw(st.booleans()):
+            ops.append(("delete", key))
+            live[key] -= 1
+        else:
+            ops.append(("insert", key))
+            live[key] += 1
+    return ops
+
+
+class TestMultisetDifferential:
+    @settings(max_examples=80, deadline=None)
+    @given(op_sequences(), st.integers(0, 3))
+    def test_membership_tracks_oracle_exactly(self, ops, seed):
+        filt = make_filter(seed)
+        oracle: Counter = Counter()
+        for op, key_id in ops:
+            key = f"dk-{key_id}"
+            getattr(filt, op)(key)
+            oracle[key] += 1 if op == "insert" else -1
+            assert filt.query(key) == (oracle[key] > 0)
+        for key, count in oracle.items():
+            assert filt.query(key) == (count > 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(op_sequences())
+    def test_count_equals_oracle_multiplicity(self, ops):
+        filt = make_filter()
+        oracle: Counter = Counter()
+        for op, key_id in ops:
+            key = f"dk-{key_id}"
+            getattr(filt, op)(key)
+            oracle[key] += 1 if op == "insert" else -1
+        for key, count in oracle.items():
+            assert filt.count(key) == count
+        assert filt.load == sum(1 for c in oracle.values() if c > 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(st.integers(0, 100), min_size=1, max_size=30))
+    def test_query_many_agrees_with_scalar(self, key_ids):
+        filt = make_filter(3)
+        keys = [f"dk-{k}" for k in sorted(key_ids)]
+        present = keys[:: 2]
+        filt.insert_many(present)
+        bulk = filt.query_many(keys)
+        for key, answer in zip(keys, bulk):
+            assert bool(answer) == filt.query(key)
+
+
+class TestOverflow:
+    def test_cell_counter_overflow_raises(self):
+        # 2-bit counters: a fourth copy of the same key cannot be
+        # represented in the cell.
+        filt = make_filter(counter_bits=2)
+        for _ in range(3):
+            filt.insert("hot-key")
+        with pytest.raises(CounterOverflowError):
+            filt.insert("hot-key")
+
+    def test_overflow_leaves_count_at_limit(self):
+        filt = make_filter(counter_bits=2)
+        for _ in range(3):
+            filt.insert("hot-key")
+        with pytest.raises(CounterOverflowError):
+            filt.insert("hot-key")
+        assert filt.count("hot-key") == 3
+        # The failed insert must not have corrupted delete bookkeeping.
+        for _ in range(3):
+            filt.delete("hot-key")
+        assert not filt.query("hot-key")
+
+
+class TestDeleteOfAbsent:
+    def test_delete_from_empty_filter_underflows(self):
+        with pytest.raises(CounterUnderflowError):
+            make_filter().delete("never-inserted")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 6))
+    def test_one_delete_too_many_underflows(self, copies):
+        filt = make_filter()
+        for _ in range(copies):
+            filt.insert("only-key")
+        for _ in range(copies):
+            filt.delete("only-key")
+        assert not filt.query("only-key")
+        with pytest.raises(CounterUnderflowError):
+            filt.delete("only-key")
+
+    def test_delete_of_absent_key_among_others_underflows(self):
+        filt = make_filter()
+        filt.insert_many([f"dk-{i}" for i in range(20)])
+        with pytest.raises(CounterUnderflowError):
+            filt.delete("absent-key")
+        # No bystander cell was decremented by the failed delete.
+        assert all(filt.query(f"dk-{i}") for i in range(20))

@@ -1,0 +1,120 @@
+"""VI-CBF differential properties against a dict-multiset oracle.
+
+Complements test_properties.py's cross-variant suite with VI-CBF
+specific behaviour: variable increments make counter arithmetic easy to
+get subtly wrong, so overflow, underflow, and delete-of-absent get
+dedicated deterministic coverage here.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CounterOverflowError, CounterUnderflowError
+from repro.filters.vicbf import VariableIncrementCBF
+
+
+def make_filter(seed: int = 0, counter_bits: int = 16) -> VariableIncrementCBF:
+    # Wide counters so the differential runs never trip overflow.
+    return VariableIncrementCBF(8192, 3, counter_bits=counter_bits, seed=seed)
+
+
+@st.composite
+def op_sequences(draw):
+    """Arbitrary legal interleavings over a small key universe."""
+    n_ops = draw(st.integers(1, 80))
+    ops = []
+    live: Counter = Counter()
+    for _ in range(n_ops):
+        key = draw(st.integers(0, 15))
+        if live[key] > 0 and draw(st.booleans()):
+            ops.append(("delete", key))
+            live[key] -= 1
+        else:
+            ops.append(("insert", key))
+            live[key] += 1
+    return ops
+
+
+class TestMultisetDifferential:
+    @settings(max_examples=80, deadline=None)
+    @given(op_sequences(), st.integers(0, 3))
+    def test_no_false_negatives_under_interleaving(self, ops, seed):
+        filt = make_filter(seed)
+        oracle: Counter = Counter()
+        for op, key_id in ops:
+            key = f"vk-{key_id}"
+            getattr(filt, op)(key)
+            oracle[key] += 1 if op == "insert" else -1
+            # Mid-sequence, not just at the end: every present key
+            # answers True after *each* operation.
+            if oracle[key] > 0:
+                assert filt.query(key)
+        for key, count in oracle.items():
+            assert not count or filt.query(key)
+
+    @settings(max_examples=40, deadline=None)
+    @given(op_sequences())
+    def test_count_never_below_oracle_multiplicity(self, ops):
+        filt = make_filter()
+        oracle: Counter = Counter()
+        for op, key_id in ops:
+            key = f"vk-{key_id}"
+            getattr(filt, op)(key)
+            oracle[key] += 1 if op == "insert" else -1
+        for key, count in oracle.items():
+            assert filt.count(key) >= count
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.sets(st.integers(0, 100), min_size=1, max_size=30))
+    def test_scalar_and_bulk_paths_agree(self, key_ids):
+        scalar, bulk = make_filter(2), make_filter(2)
+        keys = [f"vk-{k}" for k in sorted(key_ids)]
+        for key in keys:
+            scalar.insert(key)
+        bulk.insert_many(keys)
+        assert (scalar._counters == bulk._counters).all()
+        for key in keys:
+            scalar.delete(key)
+        bulk.delete_many(keys)
+        assert (scalar._counters == bulk._counters).all()
+        assert not scalar._counters.any()
+
+
+class TestOverflow:
+    def test_hammering_one_key_overflows_small_counters(self):
+        # L=4 increments land in [4, 7]; 4-bit counters saturate fast.
+        filt = VariableIncrementCBF(64, 3, counter_bits=4, seed=0)
+        with pytest.raises(CounterOverflowError):
+            for _ in range(16):
+                filt.insert("hot-key")
+
+    def test_bulk_insert_overflow_raises_too(self):
+        filt = VariableIncrementCBF(64, 3, counter_bits=4, seed=0)
+        with pytest.raises(CounterOverflowError):
+            filt.insert_many(["hot-key"] * 16)
+
+
+class TestDeleteOfAbsent:
+    def test_delete_from_empty_filter_underflows(self):
+        with pytest.raises(CounterUnderflowError):
+            make_filter().delete("never-inserted")
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(1, 6))
+    def test_one_delete_too_many_underflows(self, copies):
+        filt = make_filter()
+        for _ in range(copies):
+            filt.insert("only-key")
+        for _ in range(copies):
+            filt.delete("only-key")
+        assert not filt.query("only-key")
+        with pytest.raises(CounterUnderflowError):
+            filt.delete("only-key")
+
+    def test_bulk_delete_of_absent_underflows(self):
+        with pytest.raises(CounterUnderflowError):
+            make_filter().delete_many(["never-inserted"])

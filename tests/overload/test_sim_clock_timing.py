@@ -1,0 +1,144 @@
+"""Overload timing driven by the chaos harness's SimClock.
+
+The FakeClock in conftest.py predates :mod:`repro.chaos`; these tests
+plug the real simulation clock into the ``clock=`` seams to pin down
+the *timing* contracts — cooldown boundaries, probe budgets, refill
+rates, hysteresis — at exact virtual instants.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chaos import SimClock
+from repro.errors import OverloadedError
+from repro.overload.admission import AdmissionController, TokenBucket
+from repro.overload.breaker import BreakerState, CircuitBreaker
+
+
+def tripped_breaker(clock: SimClock, **kwargs) -> CircuitBreaker:
+    breaker = CircuitBreaker(
+        failure_threshold=3, cooldown_s=5.0, clock=clock, **kwargs
+    )
+    for _ in range(3):
+        breaker.allow()
+        breaker.record_failure()
+    assert breaker.state is BreakerState.OPEN
+    return breaker
+
+
+class TestBreakerHalfOpenTiming:
+    def test_open_rejects_with_exact_remaining_cooldown(self):
+        clock = SimClock(start=100.0)
+        breaker = tripped_breaker(clock)
+        clock.advance(1.5)
+        with pytest.raises(OverloadedError) as exc:
+            breaker.allow()
+        assert exc.value.retry_after_s == pytest.approx(3.5)
+
+    def test_probe_admitted_exactly_at_cooldown_boundary(self):
+        clock = SimClock(start=100.0)
+        breaker = tripped_breaker(clock)
+        clock.advance(4.999)
+        with pytest.raises(OverloadedError):
+            breaker.allow()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.001)
+        breaker.allow()  # first call at the boundary becomes the probe
+        assert breaker.state is BreakerState.HALF_OPEN
+
+    def test_half_open_budget_admits_probes_rejects_rest(self):
+        clock = SimClock(start=0.0)
+        breaker = tripped_breaker(clock, half_open_probes=2)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.allow()
+        with pytest.raises(OverloadedError):
+            breaker.allow()
+        assert breaker.rejections >= 1
+
+    def test_failed_probe_restarts_cooldown_from_probe_time(self):
+        clock = SimClock(start=0.0)
+        breaker = tripped_breaker(clock)
+        clock.advance(5.0)
+        breaker.allow()
+        breaker.record_failure()  # probe failed at t=5
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(4.5)  # t=9.5: new cooldown runs until t=10
+        with pytest.raises(OverloadedError) as exc:
+            breaker.allow()
+        assert exc.value.retry_after_s == pytest.approx(0.5)
+        clock.advance(0.5)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_state_code_reports_half_open_once_cooldown_expires(self):
+        # Dashboards see recovery begin even with zero traffic.
+        clock = SimClock(start=0.0)
+        breaker = tripped_breaker(clock)
+        assert breaker.state_code == BreakerState.OPEN.value
+        clock.advance(5.0)
+        assert breaker.state_code == BreakerState.HALF_OPEN.value
+        assert breaker.state is BreakerState.OPEN  # spirit, not letter
+
+
+class TestTokenBucketRefillTiming:
+    def test_refill_is_linear_in_virtual_time(self):
+        clock = SimClock(start=50.0)
+        bucket = TokenBucket(rate=10.0, burst=20.0, clock=clock)
+        assert bucket.try_acquire(20.0)
+        assert not bucket.try_acquire(1.0)
+        clock.advance(0.5)  # 5 tokens back
+        assert bucket.try_acquire(5.0)
+        assert not bucket.try_acquire(0.5)
+
+    def test_wait_time_matches_deficit_over_rate(self):
+        clock = SimClock(start=0.0)
+        bucket = TokenBucket(rate=4.0, burst=8.0, clock=clock)
+        assert bucket.try_acquire(8.0)
+        assert bucket.wait_time(6.0) == pytest.approx(1.5)
+        clock.advance(1.5)
+        assert bucket.try_acquire(6.0)
+
+
+class TestAdmissionHysteresis:
+    def make(self, clock: SimClock) -> AdmissionController:
+        return AdmissionController(
+            max_inflight=10, high_water=0.8, low_water=0.5, clock=clock
+        )
+
+    def test_degraded_entered_at_high_water_exited_below_low_water(self):
+        control = self.make(SimClock())
+        for _ in range(8):
+            control.admit("insert", 1)
+        # At high water: next mutation sheds, queries still admit.
+        with pytest.raises(OverloadedError, match="reads only"):
+            control.admit("insert", 1)
+        control.admit("query", 1)
+        control.release()
+        # Hysteresis: drops below high water but not to low water yet.
+        for _ in range(2):
+            control.release()
+        assert control.inflight == 6
+        with pytest.raises(OverloadedError, match="reads only"):
+            control.admit("insert", 1)
+        # At/below low water full service resumes.
+        control.release()
+        assert control.inflight == 5
+        control.admit("insert", 1)
+        assert not control.degraded
+
+    def test_rate_limit_hint_rides_virtual_clock(self):
+        clock = SimClock(start=0.0)
+        # Inserts cost 4 tokens/key, so 2 keys drain the 8-token burst.
+        bucket = TokenBucket(rate=8.0, burst=8.0, clock=clock)
+        control = AdmissionController(
+            max_inflight=10, bucket=bucket, clock=clock
+        )
+        control.admit("insert", 2)
+        with pytest.raises(OverloadedError) as exc:
+            control.admit("insert", 2)
+        assert exc.value.retry_after_s == pytest.approx(1.0)
+        clock.advance(1.0)
+        control.admit("insert", 2)

@@ -174,52 +174,27 @@ class TestReadKeys:
 
 
 class TestServeClientEndToEnd:
-    def test_serve_and_client_over_subprocess(self, tmp_path):
-        import os
+    def test_serve_and_client_over_subprocess(self, tmp_path, spawn_daemon):
         import signal
-        import subprocess
-        import sys
-        import time
-        from pathlib import Path
 
-        env = dict(os.environ)
-        repo_src = str(Path(__file__).resolve().parents[1] / "src")
-        env["PYTHONPATH"] = repo_src + os.pathsep + env.get("PYTHONPATH", "")
         snap = tmp_path / "served.snap"
-        proc = subprocess.Popen(
+        proc, port = spawn_daemon(
             [
-                sys.executable, "-m", "repro.cli", "serve",
-                "--port", "0", "--shards", "2",
+                "serve", "--port", "0", "--shards", "2",
                 "--snapshot", str(snap),
             ],
-            env=env,
-            stdout=subprocess.PIPE,
-            stderr=subprocess.STDOUT,
-            text=True,
+            timeout_s=15.0,
         )
-        try:
-            # The daemon prints its bound port once listening.
-            port = None
-            deadline = time.time() + 15
-            while time.time() < deadline:
-                line = proc.stdout.readline()
-                if "listening on" in line:
-                    port = int(line.rsplit(":", 1)[1])
-                    break
-            assert port, "daemon never reported its port"
-            rc = main(["client", "insert", "k1", "k2", "--port", str(port)])
-            assert rc == 0
-            rc = main(["client", "query", "k1", "k3", "--port", str(port)])
-            assert rc == 0
-            rc = main(["client", "stats", "--port", str(port)])
-            assert rc == 0
-            proc.send_signal(signal.SIGTERM)
-            assert proc.wait(timeout=15) == 0
-            # Graceful shutdown wrote the final snapshot.
-            assert snap.exists()
-        finally:
-            if proc.poll() is None:
-                proc.kill()
+        rc = main(["client", "insert", "k1", "k2", "--port", str(port)])
+        assert rc == 0
+        rc = main(["client", "query", "k1", "k3", "--port", str(port)])
+        assert rc == 0
+        rc = main(["client", "stats", "--port", str(port)])
+        assert rc == 0
+        proc.send_signal(signal.SIGTERM)
+        assert proc.wait(timeout=15) == 0
+        # Graceful shutdown wrote the final snapshot.
+        assert snap.exists()
 
 
 class TestBenchSubcommand:

@@ -91,6 +91,8 @@ MODULES = [
     "repro.service.client",
     "repro.service.metrics",
     "repro.service.snapshot",
+    "repro.service.storage",
+    "repro.service.transport",
     "repro.overload",
     "repro.overload.deadline",
     "repro.overload.admission",
@@ -101,6 +103,12 @@ MODULES = [
     "repro.cluster.node",
     "repro.cluster.router",
     "repro.cluster.cluster_client",
+    "repro.chaos",
+    "repro.chaos.clock",
+    "repro.chaos.network",
+    "repro.chaos.storage",
+    "repro.chaos.schedule",
+    "repro.chaos.runner",
     "repro.rebalance",
     "repro.rebalance.epochs",
     "repro.rebalance.migrator",
